@@ -1,0 +1,24 @@
+//! E1 — RLHF alignment curve: tester rating / acceptance / reward vs.
+//! feedback iteration (paper §III-B3, §IV-3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e1_table, run_e1};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e1(24, 12, &[1, 2, 3]);
+    let (headers, data) = e1_table(&rows);
+    println!(
+        "{}",
+        render_table("E1: RLHF alignment (rating/acceptance vs iteration)", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e1");
+    g.sample_size(10);
+    g.bench_function("rlhf_iteration_4_scenarios", |b| {
+        b.iter(|| run_e1(4, 1, &[1]));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

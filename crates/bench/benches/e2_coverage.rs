@@ -1,0 +1,24 @@
+//! E2 — fault-class coverage: scenarios expressible by the neural tool
+//! vs. the conventional predefined fault model (paper §II-1, §IV-3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e2_table, run_e2};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e2(0);
+    let (headers, data) = e2_table(&rows);
+    println!(
+        "{}",
+        render_table("E2: fault-class coverage (neural vs conventional)", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e2");
+    g.sample_size(10);
+    g.bench_function("coverage_8_scenarios", |b| {
+        b.iter(|| run_e2(8));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E3 — tester effort: interactions per realized fault, neural vs.
+//! conventional workflow (paper §II-3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e3_table, run_e3};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e3(48, 6);
+    let (headers, data) = e3_table(&rows);
+    println!(
+        "{}",
+        render_table("E3: tester effort (interactions per realized fault)", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e3");
+    g.sample_size(10);
+    g.bench_function("effort_4_scenarios", |b| {
+        b.iter(|| run_e3(4, 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

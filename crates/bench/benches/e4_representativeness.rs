@@ -1,0 +1,24 @@
+//! E4 — representativeness: Jensen–Shannon distance between injected
+//! fault-class distributions and the field profile (paper §II-1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e4_table, run_e4};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e4(500, 9);
+    let (headers, data) = e4_table(&rows);
+    println!(
+        "{}",
+        render_table("E4: representativeness (JS distance to field profile)", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e4");
+    g.sample_size(10);
+    g.bench_function("representativeness_100_faults", |b| {
+        b.iter(|| run_e4(100, 9));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E5 — injection funnel: generated → parsed → integrated → activated →
+//! detected, with failure-mode breakdown (paper §III-B4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e5_table, run_e5};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let funnel = run_e5(0);
+    let (headers, data) = e5_table(&funnel);
+    println!(
+        "{}",
+        render_table("E5: injection success funnel + failure modes", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e5");
+    g.sample_size(10);
+    g.bench_function("funnel_8_scenarios", |b| {
+        b.iter(|| run_e5(8));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

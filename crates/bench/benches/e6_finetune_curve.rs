@@ -1,0 +1,24 @@
+//! E6 — fine-tuning learning curve: token-LM perplexity and retrieval
+//! accuracy vs. dataset size (paper §IV-1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e6_table, run_e6};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e6(&[64, 128, 256, 512, 1024], 100, 3);
+    let (headers, data) = e6_table(&rows);
+    println!(
+        "{}",
+        render_table("E6: fine-tuning learning curve", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e6");
+    g.sample_size(10);
+    g.bench_function("fine_tune_64_records", |b| {
+        b.iter(|| run_e6(&[64], 20, 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E7 — pipeline throughput and per-stage latency (paper §IV-2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e7_table, run_e7};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let row = run_e7(0);
+    let (headers, data) = e7_table(&row);
+    println!(
+        "{}",
+        render_table("E7: pipeline stage latency / throughput", &headers, &data)
+    );
+    let mut g = c.benchmark_group("e7");
+    g.sample_size(10);
+    g.bench_function("end_to_end_injection", |b| {
+        b.iter(|| run_e7(4));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E8 — ablations: full system vs no-RLHF vs direct-rating vs stripped
+//! NLP spec (design choices called out in DESIGN.md §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfi_bench::experiments::{e8_table, run_e8};
+use nfi_bench::render_table;
+
+fn bench(c: &mut Criterion) {
+    let rows = run_e8(24, 10);
+    let (headers, data) = e8_table(&rows);
+    println!("{}", render_table("E8: ablations", &headers, &data));
+    let mut g = c.benchmark_group("e8");
+    g.sample_size(10);
+    g.bench_function("ablation_round_4_scenarios", |b| {
+        b.iter(|| run_e8(4, 2));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

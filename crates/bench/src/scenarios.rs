@@ -1,0 +1,130 @@
+//! The NL scenario suite: per-class fault descriptions grounded in the
+//! corpus programs' real functions.
+
+use nfi_corpus::SeedProgram;
+use nfi_pylite::analysis::ModuleIndex;
+use nfi_sfi::FaultClass;
+
+/// One evaluation scenario: a natural-language fault request against a
+/// seed program, with the class the description *intends*.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Seed program.
+    pub program: &'static SeedProgram,
+    /// The tester's natural-language description.
+    pub description: String,
+    /// Ground-truth intended fault class.
+    pub intended: FaultClass,
+}
+
+/// Builds the scenario suite: for every corpus program, one scenario per
+/// fault class (descriptions reference the program's actual functions).
+/// `cap` bounds the total (0 = unlimited).
+pub fn build_scenarios(cap: usize) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for program in nfi_corpus::all() {
+        let module = program.module().expect("corpus parses");
+        let index = ModuleIndex::build(&module);
+        let Some(target) = index
+            .functions
+            .iter()
+            .find(|f| !f.name.starts_with("test_"))
+        else {
+            continue;
+        };
+        let fn_name = &target.name;
+        let callee = target
+            .calls
+            .iter()
+            .find(|c| !nfi_pylite::BUILTIN_FUNCTIONS.contains(&c.as_str()))
+            .cloned()
+            .unwrap_or_else(|| "the helper".to_string());
+        let cases: Vec<(FaultClass, String)> = vec![
+            (
+                FaultClass::Timing,
+                format!(
+                    "Simulate a scenario where {fn_name} fails due to a database timeout, causing an unhandled exception."
+                ),
+            ),
+            (
+                FaultClass::Concurrency,
+                format!(
+                    "Introduce a race condition in {fn_name}: two concurrent workers update shared state without holding the lock."
+                ),
+            ),
+            (
+                FaultClass::ResourceLeak,
+                format!("Leak a connection handle in {fn_name} by never closing it."),
+            ),
+            (
+                FaultClass::BufferOverflow,
+                format!("Write past the buffer capacity bounds inside {fn_name}, overflowing it."),
+            ),
+            (
+                FaultClass::ExceptionHandling,
+                format!("Swallow the exception raised inside {fn_name} without any recovery."),
+            ),
+            (
+                FaultClass::Omission,
+                format!("Omit the call to {callee} inside {fn_name} so a step is missing."),
+            ),
+            (
+                FaultClass::WrongValue,
+                format!("Assign a wrong, corrupted value inside {fn_name}."),
+            ),
+            (
+                FaultClass::Interface,
+                format!("Pass a duplicate argument to the api call in {fn_name}, invoking it twice."),
+            ),
+        ];
+        for (intended, description) in cases {
+            out.push(Scenario {
+                program,
+                description,
+                intended,
+            });
+        }
+    }
+    if cap > 0 {
+        out.truncate(cap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_programs_and_classes() {
+        let scenarios = build_scenarios(0);
+        assert_eq!(scenarios.len(), 12 * 8);
+        for class in FaultClass::ALL {
+            assert!(scenarios.iter().any(|s| s.intended == class));
+        }
+    }
+
+    #[test]
+    fn descriptions_classify_to_the_intended_class() {
+        let scenarios = build_scenarios(0);
+        let mut correct = 0usize;
+        for s in &scenarios {
+            let module = s.program.module().unwrap();
+            let spec = nfi_nlp::analyze(&s.description, Some(&module));
+            if spec.class == Some(s.intended) {
+                correct += 1;
+            }
+        }
+        // The NLP engine should get the overwhelming majority right.
+        assert!(
+            correct * 10 >= scenarios.len() * 9,
+            "only {correct}/{} scenarios classified as intended",
+            scenarios.len()
+        );
+    }
+
+    #[test]
+    fn cap_truncates() {
+        assert_eq!(build_scenarios(5).len(), 5);
+    }
+}

@@ -1,0 +1,303 @@
+//! # nfi-corpus — seed programs for fault-injection experiments
+//!
+//! Twelve small but realistic PyLite services, each shipping its own
+//! `test_*` suite. They play the role of the "different Python software
+//! systems" the paper's §IV-1 dataset generation sweeps over, and of the
+//! applications under test in the end-to-end pipeline.
+//!
+//! Every program is verified (in this crate's tests) to parse, run its
+//! module body cleanly, and pass its entire embedded test suite on the
+//! pristine source — a precondition for differential fault-injection
+//! experiments.
+//!
+//! ```
+//! let p = nfi_corpus::by_name("ecommerce").expect("present");
+//! assert!(p.source.contains("def process_transaction"));
+//! assert_eq!(nfi_corpus::all().len(), 12);
+//! ```
+
+use nfi_pylite::analysis::ModuleIndex;
+use nfi_pylite::{parse, Module, PyliteError};
+
+/// One embedded seed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedProgram {
+    /// Short unique name (e.g. `"ecommerce"`).
+    pub name: &'static str,
+    /// Application domain, for reporting.
+    pub domain: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// PyLite source text.
+    pub source: &'static str,
+}
+
+impl SeedProgram {
+    /// Parses the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors (none are expected for embedded sources;
+    /// the crate test suite enforces this).
+    pub fn module(&self) -> Result<Module, PyliteError> {
+        parse(self.source)
+    }
+
+    /// Names of the program's embedded `test_*` functions.
+    pub fn test_names(&self) -> Vec<String> {
+        let module = self.module().expect("embedded corpus source parses");
+        ModuleIndex::build(&module)
+            .test_functions()
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Names of the program's non-test functions (injection candidates).
+    pub fn target_functions(&self) -> Vec<String> {
+        let module = self.module().expect("embedded corpus source parses");
+        ModuleIndex::build(&module)
+            .functions
+            .iter()
+            .filter(|f| !f.name.starts_with("test_"))
+            .map(|f| f.name.clone())
+            .collect()
+    }
+}
+
+macro_rules! programs {
+    ($(($name:literal, $domain:literal, $desc:literal, $file:literal)),* $(,)?) => {
+        &[$(SeedProgram {
+            name: $name,
+            domain: $domain,
+            description: $desc,
+            source: include_str!(concat!("../programs/", $file)),
+        }),*]
+    };
+}
+
+/// All embedded seed programs, in stable order.
+pub fn all() -> &'static [SeedProgram] {
+    programs![
+        (
+            "ecommerce",
+            "web-commerce",
+            "order processing with payment gateway and stock reservation",
+            "ecommerce.py"
+        ),
+        (
+            "banking",
+            "finance",
+            "lock-guarded account ledger with transfers and audit trail",
+            "banking.py"
+        ),
+        (
+            "kvcache",
+            "infrastructure",
+            "LRU cache with hit/miss statistics",
+            "kvcache.py"
+        ),
+        (
+            "jobqueue",
+            "infrastructure",
+            "work queue drained by a pool of cooperative workers",
+            "jobqueue.py"
+        ),
+        (
+            "inventory",
+            "logistics",
+            "warehouse stock with reservations and releases",
+            "inventory.py"
+        ),
+        (
+            "ratelimiter",
+            "infrastructure",
+            "token-bucket rate limiter on the virtual clock",
+            "ratelimiter.py"
+        ),
+        (
+            "filestore",
+            "storage",
+            "handle-based file store exercising resource cleanup",
+            "filestore.py"
+        ),
+        (
+            "sessions",
+            "web",
+            "session manager with TTL expiry",
+            "sessions.py"
+        ),
+        (
+            "metrics",
+            "observability",
+            "metric series aggregation: mean, peak, percentiles",
+            "metrics.py"
+        ),
+        (
+            "orderbook",
+            "finance",
+            "limit order book with price-time matching",
+            "orderbook.py"
+        ),
+        (
+            "textindex",
+            "search",
+            "inverted text index with AND queries",
+            "textindex.py"
+        ),
+        (
+            "pipeline",
+            "concurrency",
+            "bounded producer/consumer pipeline with backpressure",
+            "pipeline.py"
+        ),
+    ]
+}
+
+/// Finds a seed program by name.
+pub fn by_name(name: &str) -> Option<&'static SeedProgram> {
+    all().iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::{Machine, MachineConfig, RunStatus};
+
+    #[test]
+    fn twelve_programs_with_unique_names() {
+        let names: Vec<_> = all().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 12);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn every_program_parses() {
+        for p in all() {
+            p.module()
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn every_program_has_tests_and_targets() {
+        for p in all() {
+            assert!(
+                p.test_names().len() >= 3,
+                "{} needs at least 3 tests, has {}",
+                p.name,
+                p.test_names().len()
+            );
+            assert!(
+                !p.target_functions().is_empty(),
+                "{} needs injection targets",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn pristine_programs_pass_their_suites() {
+        for p in all() {
+            for test in p.test_names() {
+                let mut m = Machine::new(MachineConfig::default());
+                let module_out = m
+                    .run_source(p.source)
+                    .unwrap_or_else(|e| panic!("{} compile: {e}", p.name));
+                assert!(
+                    matches!(module_out.status, RunStatus::Completed),
+                    "{} module body failed: {:?}",
+                    p.name,
+                    module_out.status
+                );
+                let out = m.call(&test, vec![]).unwrap();
+                assert!(
+                    matches!(out.status, RunStatus::Completed),
+                    "{}::{} failed: {:?}\noutput: {}",
+                    p.name,
+                    test,
+                    out.status,
+                    out.output
+                );
+                assert!(
+                    out.task_failures.is_empty(),
+                    "{}::{} spawned-task failures: {:?}",
+                    p.name,
+                    test,
+                    out.task_failures
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pristine_programs_report_no_races_or_leaks() {
+        for p in all() {
+            for test in p.test_names() {
+                let mut m = Machine::new(MachineConfig::default());
+                m.run_source(p.source).unwrap();
+                let out = m.call(&test, vec![]).unwrap();
+                assert!(
+                    out.races.is_empty(),
+                    "{}::{} raced: {:?}",
+                    p.name,
+                    test,
+                    out.races
+                );
+                assert!(
+                    out.leaks.is_empty(),
+                    "{}::{} leaked: {:?}",
+                    p.name,
+                    test,
+                    out.leaks
+                );
+                assert!(
+                    out.overflows.is_empty(),
+                    "{}::{} overflowed: {:?}",
+                    p.name,
+                    test,
+                    out.overflows
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pristine_suites_pass_under_many_schedules() {
+        // Concurrency-heavy programs must pass for any scheduler seed.
+        for name in ["banking", "jobqueue", "pipeline"] {
+            let p = by_name(name).unwrap();
+            for seed in 0..5u64 {
+                for test in p.test_names() {
+                    let mut m = Machine::new(MachineConfig {
+                        seed,
+                        quantum: 5,
+                        ..MachineConfig::default()
+                    });
+                    m.run_source(p.source).unwrap();
+                    let out = m.call(&test, vec![]).unwrap();
+                    assert!(
+                        matches!(out.status, RunStatus::Completed),
+                        "{name}::{test} seed {seed}: {:?}\n{}",
+                        out.status,
+                        out.output
+                    );
+                    assert!(
+                        out.races.is_empty(),
+                        "{name}::{test} seed {seed} raced: {:?}",
+                        out.races
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("ecommerce").is_some());
+        assert!(by_name("not-a-program").is_none());
+    }
+}

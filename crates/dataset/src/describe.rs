@@ -1,0 +1,166 @@
+//! Natural-language description templates per operator.
+//!
+//! Each operator has several phrasings; a seeded RNG picks one so the
+//! dataset has linguistic variety ("to ensure a diverse and realistic
+//! dataset", §IV-1) while staying reproducible.
+
+use nfi_sfi::Site;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Renders an NL fault condition for an operator application.
+pub fn render(operator: &str, site: &Site, program: &str, rng: &mut StdRng) -> String {
+    let loc = match &site.function {
+        Some(f) => format!("in the {f} function of the {program} service"),
+        None => format!("at module level of the {program} service"),
+    };
+    let d = &site.detail;
+    let options: Vec<String> = match operator {
+        "MFC" => vec![
+            format!("Simulate a missing call to {d} {loc}."),
+            format!("The call to {d} is accidentally omitted {loc}."),
+            format!("Skip invoking {d} {loc} so its side effects never happen."),
+        ],
+        "MIA" => vec![
+            format!("Remove the guard `if {d}` {loc} so the guarded code always executes."),
+            format!("The condition `{d}` is no longer checked {loc}."),
+        ],
+        "MIEB" => vec![
+            format!("Drop the else branch ({d}) {loc}."),
+            format!("The fallback path is missing {loc}: the else branch was deleted."),
+        ],
+        "MVIV" => vec![
+            format!("The variable {d} is never initialized {loc}."),
+            format!("Simulate a missing initialization of {d} {loc}."),
+        ],
+        "MLPA" => vec![
+            format!("Skip the update step of {d} {loc} (a small part of the algorithm is missing)."),
+            format!("The accumulator {d} is not updated {loc}."),
+        ],
+        "MRS" => vec![
+            format!("Return None instead of `{d}` {loc}."),
+            format!("The result `{d}` is dropped {loc}: the function returns nothing."),
+        ],
+        "WVAV" => vec![
+            format!("Assign a wrong value (perturbing {d}) {loc}."),
+            format!("A wrong constant replaces {d} {loc}."),
+        ],
+        "WAEP" => vec![
+            format!("Use the wrong arithmetic operator ({d}) {loc}."),
+            format!("An arithmetic expression uses the wrong operator ({d}) {loc}."),
+        ],
+        "WLEC" => vec![
+            format!("Invert the branch condition `{d}` {loc}."),
+            format!("The logical condition `{d}` is negated {loc}."),
+        ],
+        "OBOE" => vec![
+            format!("Introduce an off-by-one boundary ({d}) {loc}."),
+            format!("The loop boundary is off by one ({d}) {loc}."),
+        ],
+        "WPFV" => vec![
+            format!("Pass a wrong argument value (perturbing {d}) {loc}."),
+            format!("A call receives the wrong parameter (was {d}) {loc}."),
+        ],
+        "SDC" => vec![
+            format!("Call {d} twice instead of once {loc} (duplicate submission)."),
+            format!("Duplicate the invocation of {d} {loc}."),
+        ],
+        "EHS" => vec![
+            format!("Swallow {d} exceptions without any recovery logic {loc}."),
+            format!("The except handler for {d} does nothing {loc}: errors are silently ignored."),
+        ],
+        "EHW" => vec![
+            format!("Catch the wrong exception kind instead of {d} {loc}."),
+            format!("The handler {loc} expects the wrong error type (was {d})."),
+        ],
+        "DFR" => vec![
+            format!("Make {d} fail with a TimeoutError as if a dependency timed out {loc}."),
+            format!("Simulate a dependency timeout: {d} raises a TimeoutError {loc}."),
+        ],
+        "LRA" => vec![
+            format!("Access shared state without acquiring lock `{d}` {loc}, opening a race condition."),
+            format!("Remove the `{d}` lock acquire/release pair {loc} (race window)."),
+        ],
+        "LRM" => vec![
+            format!("Never release lock `{d}` after acquiring it {loc} (deadlock under contention)."),
+            format!("The release of lock `{d}` is missing {loc}."),
+        ],
+        "RLK" => vec![
+            format!("Leak the resource `{d}` by never closing it {loc}."),
+            format!("The handle `{d}` is never closed {loc} (resource leak)."),
+        ],
+        "BCS" => vec![
+            format!("Allocate the buffer with half its intended capacity ({d}) {loc}."),
+            format!("The buffer {loc} is undersized (intended capacity {d})."),
+        ],
+        "BWO" => vec![
+            format!("Write to the buffer without checking `{d}` {loc} (bounds check removed)."),
+            format!("The capacity guard `{d}` is missing {loc}, allowing overflow."),
+        ],
+        "TDL" => vec![
+            format!("Delay 60 seconds before calling {d} {loc} (slow dependency)."),
+            format!("A long stall precedes the call to {d} {loc}."),
+        ],
+        "STL" => vec![
+            format!("Stretch the existing sleep of {d} seconds by 100x {loc}."),
+            format!("The delay of {d} seconds becomes 100 times longer {loc}."),
+        ],
+        other => vec![format!("Apply fault operator {other} ({d}) {loc}.")],
+    };
+    options[rng.gen_range(0..options.len())].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::ast::NodeId;
+    use rand::SeedableRng;
+
+    fn site() -> Site {
+        Site {
+            stmt_id: NodeId(1),
+            function: Some("process_transaction".into()),
+            line: 10,
+            detail: "charge_payment".into(),
+        }
+    }
+
+    #[test]
+    fn known_operators_mention_detail_and_location() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for op in ["MFC", "MIA", "EHS", "LRA", "RLK", "TDL"] {
+            let text = render(op, &site(), "ecommerce", &mut rng);
+            assert!(text.contains("ecommerce"), "{op}: {text}");
+            assert!(
+                text.contains("process_transaction"),
+                "{op}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn module_level_sites_say_module_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Site {
+            function: None,
+            ..site()
+        };
+        let text = render("MVIV", &s, "kvcache", &mut rng);
+        assert!(text.contains("module level"));
+    }
+
+    #[test]
+    fn phrasing_varies_with_rng_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let texts: Vec<String> = (0..8).map(|_| render("MFC", &site(), "p", &mut rng)).collect();
+        let unique: std::collections::BTreeSet<_> = texts.iter().collect();
+        assert!(unique.len() > 1, "expected phrasing variety: {texts:?}");
+    }
+
+    #[test]
+    fn unknown_operator_gets_generic_phrase() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let text = render("ZZZ", &site(), "p", &mut rng);
+        assert!(text.contains("ZZZ"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Curated incident-style fault scenarios.
+//!
+//! §IV-1 closes with: "to ensure a diverse and realistic dataset, we aim
+//! to incorporate fault scenarios from open-source projects, documented
+//! incidents, and expert simulations." This module provides that third
+//! source: a curated catalogue of incident write-up style descriptions
+//! (inspired by the recurring patterns in public cloud postmortems:
+//! connection-pool exhaustion, thundering retries, expired sessions,
+//! stuck workers, double charges, ...), each labelled with its fault
+//! class.
+//!
+//! The catalogue serves two purposes:
+//!
+//! 1. **Dataset augmentation** — [`incident_training_records`] converts
+//!    incidents into fine-tuning records by synthesizing the matching
+//!    faulty code against a corpus program.
+//! 2. **NLP evaluation** — the incidents are held-out, more colloquial
+//!    phrasings than the operator templates, so classifier accuracy on
+//!    them measures generalization (tested below).
+
+use crate::DatasetRecord;
+use nfi_sfi::FaultClass;
+
+/// One curated incident scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incident {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// Incident-report style description.
+    pub description: &'static str,
+    /// Ground-truth fault class.
+    pub class: FaultClass,
+}
+
+/// The curated incident catalogue.
+pub fn catalogue() -> &'static [Incident] {
+    &[
+        Incident {
+            id: "inc-pool-exhaustion",
+            description: "Database connections were checked out of the pool but never closed after a code change; over the next hours the pool was exhausted and requests began failing. Leak the connection handle the same way.",
+            class: FaultClass::ResourceLeak,
+        },
+        Incident {
+            id: "inc-slow-upstream",
+            description: "An upstream dependency became extremely slow; calls that normally complete in milliseconds stalled for a minute due to missing deadline propagation. Simulate the same stall with a timeout.",
+            class: FaultClass::Timing,
+        },
+        Incident {
+            id: "inc-retry-storm",
+            description: "A transient gateway error was retried in a tight loop without backoff, so the payment service saw the same request many times. Duplicate the call to the payment api twice.",
+            class: FaultClass::Interface,
+        },
+        Incident {
+            id: "inc-lost-update",
+            description: "Two workers read and wrote the same counter concurrently without the lock, so increments were lost under load. Introduce the same race condition on shared state.",
+            class: FaultClass::Concurrency,
+        },
+        Incident {
+            id: "inc-swallowed-error",
+            description: "The exception from the billing step was caught and ignored without recovery, so failures were silently swallowed and orders shipped unpaid.",
+            class: FaultClass::ExceptionHandling,
+        },
+        Incident {
+            id: "inc-off-by-one",
+            description: "A report paginated one row short on every page because a boundary comparison was off by one in the loop.",
+            class: FaultClass::WrongValue,
+        },
+        Incident {
+            id: "inc-missing-validation",
+            description: "A refactor accidentally removed the call to the validation step, so malformed records were accepted and corrupted downstream state. Omit the validation call the same way.",
+            class: FaultClass::Omission,
+        },
+        Incident {
+            id: "inc-buffer-smash",
+            description: "A fixed-capacity ring buffer was written past its bounds when a burst arrived, overflowing the buffer and crashing the ingester.",
+            class: FaultClass::BufferOverflow,
+        },
+        Incident {
+            id: "inc-stuck-worker",
+            description: "A worker held the queue lock and never released it after an early return, so every other worker deadlocked waiting on the lock.",
+            class: FaultClass::Concurrency,
+        },
+        Incident {
+            id: "inc-session-expiry",
+            description: "Sessions expired while requests were still in flight because a stalled dependency delayed them past the TTL; users were logged out mid-checkout. Simulate the delay.",
+            class: FaultClass::Timing,
+        },
+        Incident {
+            id: "inc-wrong-config",
+            description: "A wrong constant was assigned to the rate limit during deploy, an incorrect value ten times lower than intended, throttling all traffic.",
+            class: FaultClass::WrongValue,
+        },
+        Incident {
+            id: "inc-fd-leak",
+            description: "File descriptors leaked on the error path because close was only called on success; after enough failures the process could not open sockets. Never close the handle on that path.",
+            class: FaultClass::ResourceLeak,
+        },
+    ]
+}
+
+/// Converts incidents into fine-tuning records by synthesizing the
+/// matching fault against a target corpus program. Incidents whose class
+/// cannot be synthesized for the program are skipped.
+pub fn incident_training_records(program: &nfi_corpus::SeedProgram) -> Vec<DatasetRecord> {
+    let Ok(module) = program.module() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for incident in catalogue() {
+        let spec = nfi_nlp::analyze(incident.description, Some(&module));
+        let llm = nfi_llm::FaultLlm::untrained(nfi_llm::LlmConfig::default());
+        let cands = llm.candidates(&spec, &module);
+        let Some(cand) = cands.iter().find(|c| c.class == incident.class) else {
+            continue;
+        };
+        out.push(DatasetRecord {
+            id: format!("{}:{}", program.name, incident.id),
+            program: program.name.to_string(),
+            operator: format!("incident:{}", cand.pattern),
+            class: incident.class,
+            description: incident.description.to_string(),
+            function: cand.target_function.clone(),
+            line: 0,
+            code_before: nfi_pylite::print_module(&module),
+            code_after: cand.snippet.clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_unique_ids_and_covers_all_classes() {
+        let cat = catalogue();
+        let mut ids: Vec<_> = cat.iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate incident ids");
+        for class in FaultClass::ALL {
+            assert!(
+                cat.iter().any(|i| i.class == class),
+                "no incident covers {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn nlp_classifier_generalizes_to_incident_phrasing() {
+        // The incidents are phrased like postmortems, not like the
+        // operator templates; the lexicon classifier should still get
+        // most of them right.
+        let cat = catalogue();
+        let correct = cat
+            .iter()
+            .filter(|i| {
+                let spec = nfi_nlp::analyze(i.description, None);
+                spec.class == Some(i.class) || spec.secondary_class == Some(i.class)
+            })
+            .count();
+        assert!(
+            correct * 4 >= cat.len() * 3,
+            "classifier got {correct}/{} incidents",
+            cat.len()
+        );
+    }
+
+    #[test]
+    fn incidents_convert_to_training_records() {
+        let program = nfi_corpus::by_name("ecommerce").unwrap();
+        let records = incident_training_records(program);
+        assert!(
+            records.len() >= catalogue().len() / 2,
+            "only {} incidents converted",
+            records.len()
+        );
+        for r in &records {
+            assert!(r.operator.starts_with("incident:"));
+            assert!(!r.code_after.is_empty());
+            nfi_pylite::parse(&r.code_after)
+                .unwrap_or_else(|e| panic!("{}: snippet unparseable: {e}", r.id));
+        }
+    }
+
+    #[test]
+    fn incident_records_mix_into_datasets() {
+        let program = nfi_corpus::by_name("banking").unwrap();
+        let mut ds = crate::generate(
+            &[*program],
+            &crate::DatasetConfig {
+                per_program_cap: 10,
+                seed: 1,
+            },
+        );
+        let before = ds.records.len();
+        ds.records.extend(incident_training_records(program));
+        assert!(ds.records.len() > before);
+        // The merged dataset still serializes.
+        let text = crate::jsonl::encode_all(&ds.records);
+        assert_eq!(crate::jsonl::decode_all(&text).unwrap().len(), ds.records.len());
+    }
+}

@@ -1,0 +1,290 @@
+//! Hand-rolled JSONL serialization for dataset records.
+//!
+//! `serde_json` is not in the offline dependency allowlist, so records
+//! are written with a small purpose-built encoder and read back with a
+//! minimal flat-object parser (strings / integers / null — exactly what
+//! [`DatasetRecord`] needs). Round-tripping is property-tested.
+
+use crate::DatasetRecord;
+use nfi_sfi::FaultClass;
+use std::collections::BTreeMap;
+
+/// Escapes a string for JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes one record as a single JSON line (no trailing newline).
+pub fn encode(r: &DatasetRecord) -> String {
+    let function = match &r.function {
+        Some(f) => format!("\"{}\"", escape(f)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"program\":\"{}\",\"operator\":\"{}\",\"class\":\"{}\",\"description\":\"{}\",\"function\":{},\"line\":{},\"code_before\":\"{}\",\"code_after\":\"{}\"}}",
+        escape(&r.id),
+        escape(&r.program),
+        escape(&r.operator),
+        r.class.key(),
+        escape(&r.description),
+        function,
+        r.line,
+        escape(&r.code_before),
+        escape(&r.code_after),
+    )
+}
+
+/// Encodes a whole dataset as JSONL text.
+pub fn encode_all(records: &[DatasetRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&encode(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes one JSON line back into a record.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn decode(line: &str) -> Result<DatasetRecord, String> {
+    let fields = parse_flat_object(line)?;
+    let get = |k: &str| -> Result<&JsonValue, String> {
+        fields.get(k).ok_or_else(|| format!("missing field `{k}`"))
+    };
+    let string = |k: &str| -> Result<String, String> {
+        match get(k)? {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(format!("field `{k}` is not a string: {other:?}")),
+        }
+    };
+    let class_key = string("class")?;
+    let class = FaultClass::from_key(&class_key)
+        .ok_or_else(|| format!("unknown fault class `{class_key}`"))?;
+    let function = match get("function")? {
+        JsonValue::Null => None,
+        JsonValue::Str(s) => Some(s.clone()),
+        other => return Err(format!("field `function` invalid: {other:?}")),
+    };
+    let line_no = match get("line")? {
+        JsonValue::Num(n) => *n as u32,
+        other => return Err(format!("field `line` is not a number: {other:?}")),
+    };
+    Ok(DatasetRecord {
+        id: string("id")?,
+        program: string("program")?,
+        operator: string("operator")?,
+        class,
+        description: string("description")?,
+        function,
+        line: line_no,
+        code_before: string("code_before")?,
+        code_after: string("code_after")?,
+    })
+}
+
+/// Decodes JSONL text (blank lines skipped).
+///
+/// # Errors
+///
+/// Reports the first undecodable line with its number.
+pub fn decode_all(text: &str) -> Result<Vec<DatasetRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(decode(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+/// Parses a flat (non-nested) JSON object of string/number/null values.
+fn parse_flat_object(s: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let chars: Vec<char> = s.trim().chars().collect();
+    let mut i = 0usize;
+    let mut out = BTreeMap::new();
+    expect(&chars, &mut i, '{')?;
+    skip_ws(&chars, &mut i);
+    if peek(&chars, i) == Some('}') {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&chars, &mut i);
+        let key = parse_string(&chars, &mut i)?;
+        skip_ws(&chars, &mut i);
+        expect(&chars, &mut i, ':')?;
+        skip_ws(&chars, &mut i);
+        let value = match peek(&chars, i) {
+            Some('"') => JsonValue::Str(parse_string(&chars, &mut i)?),
+            Some('n') => {
+                for expected in ['n', 'u', 'l', 'l'] {
+                    expect(&chars, &mut i, expected)?;
+                }
+                JsonValue::Null
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                while peek(&chars, i)
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '.' || c == 'e' || c == 'E' || c == '+')
+                    .unwrap_or(false)
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                JsonValue::Num(text.parse().map_err(|_| format!("bad number `{text}`"))?)
+            }
+            other => return Err(format!("unexpected value start {other:?} at {i}")),
+        };
+        out.insert(key, value);
+        skip_ws(&chars, &mut i);
+        match peek(&chars, i) {
+            Some(',') => {
+                i += 1;
+            }
+            Some('}') => break,
+            other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn peek(chars: &[char], i: usize) -> Option<char> {
+    chars.get(i).copied()
+}
+
+fn skip_ws(chars: &[char], i: &mut usize) {
+    while peek(chars, *i).map(|c| c.is_whitespace()).unwrap_or(false) {
+        *i += 1;
+    }
+}
+
+fn expect(chars: &[char], i: &mut usize, c: char) -> Result<(), String> {
+    if peek(chars, *i) == Some(c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at {}, found {:?}", i, peek(chars, *i)))
+    }
+}
+
+fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
+    expect(chars, i, '"')?;
+    let mut out = String::new();
+    loop {
+        match peek(chars, *i) {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *i += 1;
+                match peek(chars, *i) {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('u') => {
+                        let hex: String = chars.get(*i + 1..*i + 5).map(|s| s.iter().collect()).unwrap_or_default();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *i += 1;
+            }
+            Some(c) => {
+                out.push(c);
+                *i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> DatasetRecord {
+        DatasetRecord {
+            id: "p:MFC:3:0".into(),
+            program: "ecommerce".into(),
+            operator: "MFC".into(),
+            class: FaultClass::Omission,
+            description: "Skip the \"critical\" call\nwith newline".into(),
+            function: Some("process_transaction".into()),
+            line: 3,
+            code_before: "def f():\n    g()\n".into(),
+            code_after: "def f():\n    pass\n".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_record() {
+        let r = record();
+        let encoded = encode(&r);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(r, decoded);
+    }
+
+    #[test]
+    fn roundtrip_with_null_function() {
+        let r = DatasetRecord {
+            function: None,
+            ..record()
+        };
+        assert_eq!(decode(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_whole_dataset() {
+        let records = vec![record(), DatasetRecord { id: "x".into(), ..record() }];
+        let text = encode_all(&records);
+        assert_eq!(decode_all(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("not json").is_err());
+        assert!(decode("{\"id\":\"x\"}").is_err(), "missing fields");
+        assert!(decode_all("{bad}\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", encode(&record()));
+        assert_eq!(decode_all(&text).unwrap().len(), 1);
+    }
+}

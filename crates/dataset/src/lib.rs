@@ -1,0 +1,257 @@
+//! # nfi-dataset — the fine-tuning dataset factory (§IV-1)
+//!
+//! Reproduces the paper's data-generation strategy: "we leverage an
+//! existing software fault-injection tool \[ProFIPy] ... to generate a
+//! dataset encompassing a wide array of fault scenarios across different
+//! Python software systems ... documenting both the fault conditions and
+//! the resultant code changes."
+//!
+//! [`generate`] sweeps the seed corpus with the full `nfi-sfi` operator
+//! registry, pairing every applied mutation with a templated
+//! natural-language description of the fault condition (multiple seeded
+//! phrasings per operator, [`describe`]). Records serialize to JSONL via
+//! a hand-rolled writer ([`jsonl`]) to keep the offline dependency set
+//! minimal.
+//!
+//! ```
+//! use nfi_dataset::{generate, DatasetConfig};
+//!
+//! let programs = [*nfi_corpus::by_name("kvcache").unwrap()];
+//! let ds = generate(&programs, &DatasetConfig { per_program_cap: 16, seed: 1 });
+//! assert!(!ds.records.is_empty());
+//! assert!(ds.records.len() <= 16);
+//! ```
+
+pub mod describe;
+pub mod incidents;
+pub mod jsonl;
+
+use nfi_corpus::SeedProgram;
+use nfi_llm::TrainingRecord;
+use nfi_pylite::{print_block, print_module};
+use nfi_sfi::{Campaign, FaultClass};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// One dataset row: an NL fault condition plus the code change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRecord {
+    /// Stable id (`program:operator:line:index`).
+    pub id: String,
+    /// Seed program name.
+    pub program: String,
+    /// Operator mnemonic.
+    pub operator: String,
+    /// Fault class.
+    pub class: FaultClass,
+    /// Natural-language fault description.
+    pub description: String,
+    /// Function containing the fault, when not module level.
+    pub function: Option<String>,
+    /// Source line of the injection site.
+    pub line: u32,
+    /// Pristine code of the mutated region.
+    pub code_before: String,
+    /// Faulty code of the mutated region.
+    pub code_after: String,
+}
+
+impl DatasetRecord {
+    /// Converts to the LLM's fine-tuning record shape.
+    pub fn to_training(&self) -> TrainingRecord {
+        TrainingRecord {
+            id: self.id.clone(),
+            description: self.description.clone(),
+            class: self.class,
+            snippet: self.code_after.clone(),
+            operator: self.operator.clone(),
+            program: self.program.clone(),
+        }
+    }
+}
+
+/// Dataset generation parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Maximum records per seed program (sampled when exceeded).
+    pub per_program_cap: usize,
+    /// Sampling / phrasing seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            per_program_cap: 200,
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// All records.
+    pub records: Vec<DatasetRecord>,
+}
+
+impl Dataset {
+    /// Records per fault class.
+    pub fn class_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.class.key()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Records per operator.
+    pub fn operator_counts(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.operator.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Converts all records for LLM fine-tuning.
+    pub fn to_training_records(&self) -> Vec<TrainingRecord> {
+        self.records.iter().map(DatasetRecord::to_training).collect()
+    }
+
+    /// Seeded shuffle + split into (train, eval) by fraction.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Vec<DatasetRecord>, Vec<DatasetRecord>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all = self.records.clone();
+        all.shuffle(&mut rng);
+        let n_train = ((all.len() as f64) * train_fraction).round() as usize;
+        let eval = all.split_off(n_train.min(all.len()));
+        (all, eval)
+    }
+}
+
+/// Generates a dataset by sweeping the corpus with the full operator
+/// registry (capped and seeded per program).
+pub fn generate(programs: &[SeedProgram], config: &DatasetConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut records = Vec::new();
+    for program in programs {
+        let Ok(module) = program.module() else {
+            continue;
+        };
+        let campaign = Campaign::full(&module);
+        let mut plans = campaign.plans().to_vec();
+        plans.shuffle(&mut rng);
+        plans.truncate(config.per_program_cap);
+        for (i, plan) in plans.iter().enumerate() {
+            let Some(fault) = campaign.apply(plan) else {
+                continue;
+            };
+            let region_before = region_source(&module, plan.site.function.as_deref());
+            let region_after = region_source(&fault.module, plan.site.function.as_deref());
+            let description = describe::render(
+                plan.operator,
+                &plan.site,
+                program.name,
+                &mut rng,
+            );
+            records.push(DatasetRecord {
+                id: format!("{}:{}:{}:{}", program.name, plan.operator, plan.site.line, i),
+                program: program.name.to_string(),
+                operator: plan.operator.to_string(),
+                class: plan.class,
+                description,
+                function: plan.site.function.clone(),
+                line: plan.site.line,
+                code_before: region_before,
+                code_after: region_after,
+            });
+        }
+    }
+    Dataset { records }
+}
+
+/// The source of the mutated region: the named function when present,
+/// the whole module otherwise.
+fn region_source(module: &nfi_pylite::Module, function: Option<&str>) -> String {
+    match function.and_then(|f| module.find_def(f)) {
+        Some(def) => print_block(std::slice::from_ref(def), 0),
+        None => print_module(module),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        let programs = [*nfi_corpus::by_name("kvcache").unwrap()];
+        generate(&programs, &DatasetConfig { per_program_cap: 30, seed: 7 })
+    }
+
+    #[test]
+    fn generation_produces_capped_records() {
+        let ds = small_dataset();
+        assert!(!ds.records.is_empty());
+        assert!(ds.records.len() <= 30);
+    }
+
+    #[test]
+    fn records_document_condition_and_change() {
+        let ds = small_dataset();
+        for r in &ds.records {
+            assert!(!r.description.is_empty(), "{}: empty description", r.id);
+            assert_ne!(
+                r.code_before, r.code_after,
+                "{}: mutation must change the region",
+                r.id
+            );
+            // The faulty region must be parseable PyLite.
+            nfi_pylite::parse(&r.code_after)
+                .unwrap_or_else(|e| panic!("{}: code_after unparseable: {e}", r.id));
+        }
+    }
+
+    #[test]
+    fn full_corpus_covers_many_classes() {
+        let ds = generate(
+            nfi_corpus::all(),
+            &DatasetConfig { per_program_cap: 40, seed: 3 },
+        );
+        let counts = ds.class_counts();
+        assert!(
+            counts.len() >= 6,
+            "expected at least 6 fault classes, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn split_partitions_all_records() {
+        let ds = small_dataset();
+        let (train, eval) = ds.split(0.8, 5);
+        assert_eq!(train.len() + eval.len(), ds.records.len());
+        assert!(!train.is_empty());
+        // Deterministic per seed.
+        let (train2, _) = ds.split(0.8, 5);
+        assert_eq!(train[0].id, train2[0].id);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = small_dataset();
+        let b = small_dataset();
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records[0].id, b.records[0].id);
+        assert_eq!(a.records[0].description, b.records[0].description);
+    }
+
+    #[test]
+    fn training_records_carry_snippets() {
+        let ds = small_dataset();
+        let training = ds.to_training_records();
+        assert_eq!(training.len(), ds.records.len());
+        assert_eq!(training[0].snippet, ds.records[0].code_after);
+    }
+}

@@ -1,0 +1,190 @@
+//! Line-based diff between pristine and faulty code, for review output.
+//!
+//! A small LCS diff (the programs are tiny) producing unified-style
+//! hunks; the CLI and examples use it to show exactly what the injection
+//! changed.
+
+/// One line of a diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffLine {
+    /// Unchanged line (present in both).
+    Context(String),
+    /// Line only in the new text.
+    Added(String),
+    /// Line only in the old text.
+    Removed(String),
+}
+
+/// Computes a line diff from `old` to `new` (LCS-based, O(n·m) — the
+/// inputs are function-sized).
+pub fn diff_lines(old: &str, new: &str) -> Vec<DiffLine> {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let n = a.len();
+    let m = b.len();
+    // LCS table.
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(DiffLine::Context(a[i].to_string()));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push(DiffLine::Removed(a[i].to_string()));
+            i += 1;
+        } else {
+            out.push(DiffLine::Added(b[j].to_string()));
+            j += 1;
+        }
+    }
+    while i < n {
+        out.push(DiffLine::Removed(a[i].to_string()));
+        i += 1;
+    }
+    while j < m {
+        out.push(DiffLine::Added(b[j].to_string()));
+        j += 1;
+    }
+    out
+}
+
+/// Renders a diff in unified style (`+`/`-`/two-space context), keeping
+/// `context` unchanged lines around each change run.
+pub fn render_diff(old: &str, new: &str, context: usize) -> String {
+    let lines = diff_lines(old, new);
+    // Mark which indexes to keep: changes plus +-context around them.
+    let changed: Vec<bool> = lines
+        .iter()
+        .map(|l| !matches!(l, DiffLine::Context(_)))
+        .collect();
+    let mut keep = vec![false; lines.len()];
+    for (i, &c) in changed.iter().enumerate() {
+        if c {
+            let from = i.saturating_sub(context);
+            let to = (i + context + 1).min(lines.len());
+            for k in keep.iter_mut().take(to).skip(from) {
+                *k = true;
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut last_kept = true;
+    for (i, line) in lines.iter().enumerate() {
+        if !keep[i] {
+            if last_kept {
+                out.push_str("  ...\n");
+            }
+            last_kept = false;
+            continue;
+        }
+        last_kept = true;
+        match line {
+            DiffLine::Context(s) => {
+                out.push_str("  ");
+                out.push_str(s);
+            }
+            DiffLine::Added(s) => {
+                out.push_str("+ ");
+                out.push_str(s);
+            }
+            DiffLine::Removed(s) => {
+                out.push_str("- ");
+                out.push_str(s);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Counts (added, removed) lines.
+pub fn change_counts(old: &str, new: &str) -> (usize, usize) {
+    let mut added = 0;
+    let mut removed = 0;
+    for line in diff_lines(old, new) {
+        match line {
+            DiffLine::Added(_) => added += 1,
+            DiffLine::Removed(_) => removed += 1,
+            DiffLine::Context(_) => {}
+        }
+    }
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_no_changes() {
+        let text = "a\nb\nc\n";
+        assert_eq!(change_counts(text, text), (0, 0));
+        assert!(diff_lines(text, text)
+            .iter()
+            .all(|l| matches!(l, DiffLine::Context(_))));
+    }
+
+    #[test]
+    fn insertion_and_removal_are_attributed() {
+        let old = "def f():\n    a()\n    b()\n";
+        let new = "def f():\n    a()\n    raise X(\"boom\")\n    b()\n";
+        let (added, removed) = change_counts(old, new);
+        assert_eq!((added, removed), (1, 0));
+        let back = change_counts(new, old);
+        assert_eq!(back, (0, 1));
+    }
+
+    #[test]
+    fn replacement_counts_both_sides() {
+        let old = "x = 1\ny = 2\n";
+        let new = "x = 1\ny = 3\n";
+        assert_eq!(change_counts(old, new), (1, 1));
+    }
+
+    #[test]
+    fn render_marks_lines_and_elides_far_context() {
+        let old = "l1\nl2\nl3\nl4\nl5\nl6\nl7\n";
+        let new = "l1\nl2\nl3\nl4x\nl5\nl6\nl7\n";
+        let rendered = render_diff(old, new, 1);
+        assert!(rendered.contains("- l4"));
+        assert!(rendered.contains("+ l4x"));
+        assert!(rendered.contains("  l3"));
+        assert!(rendered.contains("  l5"));
+        assert!(rendered.contains("..."), "far context elided: {rendered}");
+        assert!(!rendered.contains("  l1\n"));
+    }
+
+    #[test]
+    fn diff_reconstructs_both_sides() {
+        let old = "a\nb\nc\nd\n";
+        let new = "a\nx\nc\ny\n";
+        let lines = diff_lines(old, new);
+        let rebuilt_old: Vec<&str> = lines
+            .iter()
+            .filter_map(|l| match l {
+                DiffLine::Context(s) | DiffLine::Removed(s) => Some(s.as_str()),
+                DiffLine::Added(_) => None,
+            })
+            .collect();
+        let rebuilt_new: Vec<&str> = lines
+            .iter()
+            .filter_map(|l| match l {
+                DiffLine::Context(s) | DiffLine::Added(s) => Some(s.as_str()),
+                DiffLine::Removed(_) => None,
+            })
+            .collect();
+        assert_eq!(rebuilt_old.join("\n") + "\n", old);
+        assert_eq!(rebuilt_new.join("\n") + "\n", new);
+    }
+}

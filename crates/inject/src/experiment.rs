@@ -1,0 +1,139 @@
+//! The inject → activate → classify experiment pipeline.
+
+use crate::classify::{classify, most_severe, FailureMode};
+use crate::harness::run_suite;
+use nfi_pylite::{MachineConfig, Module};
+
+/// Per-test comparison between pristine and faulty runs.
+#[derive(Debug, Clone)]
+pub struct TestComparison {
+    /// Test name.
+    pub name: String,
+    /// Whether the pristine run passed (sanity; expected true).
+    pub pristine_passed: bool,
+    /// Failure mode of the faulty run relative to pristine.
+    pub mode: FailureMode,
+}
+
+/// Result of one injection experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Per-test comparisons.
+    pub tests: Vec<TestComparison>,
+    /// Most severe mode across tests.
+    pub overall: FailureMode,
+    /// Whether the fault produced any observable effect.
+    pub activated: bool,
+    /// Whether the embedded test suite *detected* the fault (some test
+    /// no longer passes).
+    pub detected: bool,
+}
+
+/// Runs the pristine and faulty suites and classifies each test
+/// differentially.
+pub fn run_experiment(
+    pristine: &Module,
+    faulty: &Module,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    let base = run_suite(pristine, config);
+    let injected = run_suite(faulty, config);
+    let mut tests = Vec::new();
+    let mut detected = false;
+    for (p, f) in base.tests.iter().zip(injected.tests.iter()) {
+        let mode = if f.module_failed {
+            match &f.outcome.status {
+                nfi_pylite::RunStatus::Uncaught(info) => {
+                    FailureMode::CrashUnhandled(info.kind.clone())
+                }
+                nfi_pylite::RunStatus::Hung(_) => FailureMode::Hang,
+                nfi_pylite::RunStatus::Completed => FailureMode::WrongOutput,
+            }
+        } else {
+            classify(&f.outcome, &p.outcome)
+        };
+        if p.passed() && !f.passed() {
+            detected = true;
+        }
+        tests.push(TestComparison {
+            name: p.name.clone(),
+            pristine_passed: p.passed(),
+            mode,
+        });
+    }
+    let modes: Vec<FailureMode> = tests.iter().map(|t| t.mode.clone()).collect();
+    let overall = most_severe(&modes);
+    let activated = tests.iter().any(|t| t.mode != FailureMode::NoEffect);
+    ExperimentReport {
+        tests,
+        overall,
+        activated,
+        detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    const BASE: &str = "\
+def price(qty):
+    return qty * 10
+def test_price():
+    assert price(2) == 20
+def test_zero():
+    assert price(0) == 0
+";
+
+    #[test]
+    fn wrong_value_fault_is_detected() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace("qty * 10", "qty * 11")).unwrap();
+        let report = run_experiment(&pristine, &faulty, &MachineConfig::default());
+        assert!(report.activated);
+        assert!(report.detected);
+        assert_eq!(report.overall, FailureMode::WrongOutput);
+        // qty = 0 masks the fault: that test still passes.
+        let zero = report.tests.iter().find(|t| t.name == "test_zero").unwrap();
+        assert_eq!(zero.mode, FailureMode::NoEffect);
+    }
+
+    #[test]
+    fn equivalent_mutation_is_not_activated() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace("qty * 10", "10 * qty")).unwrap();
+        let report = run_experiment(&pristine, &faulty, &MachineConfig::default());
+        assert!(!report.activated);
+        assert!(!report.detected);
+        assert_eq!(report.overall, FailureMode::NoEffect);
+    }
+
+    #[test]
+    fn crash_fault_reports_kind() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace(
+            "    return qty * 10",
+            "    raise TimeoutError(\"injected\")\n    return qty * 10",
+        ))
+        .unwrap();
+        let report = run_experiment(&pristine, &faulty, &MachineConfig::default());
+        assert_eq!(
+            report.overall,
+            FailureMode::CrashUnhandled("TimeoutError".into())
+        );
+        assert!(report.detected);
+    }
+
+    #[test]
+    fn module_level_fault_fails_loading() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&format!("raise RuntimeError(\"boot\")\n{BASE}")).unwrap();
+        let report = run_experiment(&pristine, &faulty, &MachineConfig::default());
+        assert!(report.detected);
+        assert_eq!(
+            report.overall,
+            FailureMode::CrashUnhandled("RuntimeError".into())
+        );
+    }
+}

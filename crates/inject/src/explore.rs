@@ -1,0 +1,157 @@
+//! Schedule exploration: run experiments across many scheduler seeds.
+//!
+//! Concurrency faults are schedule-dependent — a race window may only be
+//! hit under some interleavings. The PyLite machine's scheduler is
+//! seed-deterministic, so sweeping seeds explores distinct interleavings
+//! reproducibly (a lightweight systematic-concurrency-testing loop).
+
+use crate::classify::{most_severe, FailureMode};
+use crate::experiment::{run_experiment, ExperimentReport};
+use nfi_pylite::{MachineConfig, Module};
+use std::collections::BTreeMap;
+
+/// Aggregated result of a multi-seed exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport {
+    /// Seeds explored.
+    pub seeds: Vec<u64>,
+    /// Most severe mode observed per seed.
+    pub per_seed: Vec<(u64, FailureMode)>,
+    /// Most severe mode over all seeds.
+    pub overall: FailureMode,
+    /// Seeds under which the fault activated.
+    pub activating_seeds: Vec<u64>,
+    /// Mode frequency across seeds.
+    pub mode_counts: BTreeMap<String, usize>,
+}
+
+impl ExplorationReport {
+    /// Fraction of schedules under which the fault activated.
+    pub fn activation_ratio(&self) -> f64 {
+        if self.seeds.is_empty() {
+            0.0
+        } else {
+            self.activating_seeds.len() as f64 / self.seeds.len() as f64
+        }
+    }
+
+    /// Whether the observed failure mode depends on the schedule.
+    pub fn schedule_sensitive(&self) -> bool {
+        self.mode_counts.len() > 1
+    }
+}
+
+/// Runs the differential experiment under each scheduler seed and
+/// aggregates the outcomes.
+pub fn explore_schedules(
+    pristine: &Module,
+    faulty: &Module,
+    base: &MachineConfig,
+    seeds: &[u64],
+) -> ExplorationReport {
+    let mut per_seed = Vec::new();
+    let mut activating = Vec::new();
+    let mut mode_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for &seed in seeds {
+        let config = MachineConfig {
+            seed,
+            ..base.clone()
+        };
+        let report: ExperimentReport = run_experiment(pristine, faulty, &config);
+        if report.activated {
+            activating.push(seed);
+        }
+        *mode_counts.entry(report.overall.key().to_string()).or_insert(0) += 1;
+        per_seed.push((seed, report.overall));
+    }
+    let modes: Vec<FailureMode> = per_seed.iter().map(|(_, m)| m.clone()).collect();
+    ExplorationReport {
+        seeds: seeds.to_vec(),
+        overall: most_severe(&modes),
+        per_seed,
+        activating_seeds: activating,
+        mode_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    fn config() -> MachineConfig {
+        MachineConfig {
+            step_budget: 150_000,
+            quantum: 5,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A schedule-dependent fault: the assertion only fails when the two
+    /// unsynchronized workers interleave badly.
+    const RACY: &str = "\
+counter = 0
+def work():
+    global counter
+    for i in range(30):
+        counter = counter + 1
+def test_total():
+    t1 = spawn(work)
+    t2 = spawn(work)
+    join(t1)
+    join(t2)
+    assert counter == 60
+";
+
+    /// The pristine version protects the counter with a lock.
+    const SAFE: &str = "\
+counter = 0
+m = lock()
+def work():
+    global counter
+    for i in range(30):
+        m.acquire()
+        counter = counter + 1
+        m.release()
+def test_total():
+    t1 = spawn(work)
+    t2 = spawn(work)
+    join(t1)
+    join(t2)
+    assert counter == 60
+";
+
+    #[test]
+    fn exploration_finds_the_race_across_seeds() {
+        let pristine = parse(SAFE).unwrap();
+        let faulty = parse(RACY).unwrap();
+        let seeds: Vec<u64> = (0..8).collect();
+        let report = explore_schedules(&pristine, &faulty, &config(), &seeds);
+        assert!(
+            !report.activating_seeds.is_empty(),
+            "some schedule must expose the race: {:?}",
+            report.mode_counts
+        );
+        // The race detector flags the unsynchronized counter on every
+        // schedule, so the overall verdict is at least a data race.
+        assert!(report.overall.severity() >= FailureMode::DataRace.severity());
+    }
+
+    #[test]
+    fn deterministic_fault_is_schedule_insensitive() {
+        let pristine = parse("def f():\n    return 1\ndef test_f():\n    assert f() == 1\n").unwrap();
+        let faulty = parse("def f():\n    return 2\ndef test_f():\n    assert f() == 1\n").unwrap();
+        let report = explore_schedules(&pristine, &faulty, &config(), &[1, 2, 3, 4]);
+        assert!(!report.schedule_sensitive(), "{:?}", report.mode_counts);
+        assert_eq!(report.activation_ratio(), 1.0);
+        assert_eq!(report.overall, FailureMode::WrongOutput);
+    }
+
+    #[test]
+    fn empty_seed_list_is_safe() {
+        let m = parse("x = 1\n").unwrap();
+        let report = explore_schedules(&m, &m, &config(), &[]);
+        assert_eq!(report.overall, FailureMode::NoEffect);
+        assert_eq!(report.activation_ratio(), 0.0);
+    }
+}

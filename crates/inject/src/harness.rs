@@ -1,0 +1,177 @@
+//! The test harness: run a module's embedded `test_*` suite.
+//!
+//! Each test executes on a fresh machine (fresh globals, clock, and
+//! detector state) so tests are isolated, exactly like the corpus
+//! verification suite.
+
+use nfi_pylite::analysis::ModuleIndex;
+use nfi_pylite::{Machine, MachineConfig, Module, RunOutcome, RunStatus};
+
+/// The outcome of one test function.
+#[derive(Debug, Clone)]
+pub struct TestResult {
+    /// Test function name.
+    pub name: String,
+    /// Full run outcome (status, detectors, output).
+    pub outcome: RunOutcome,
+    /// Whether the module body itself failed before the test ran.
+    pub module_failed: bool,
+}
+
+impl TestResult {
+    /// Whether the test passed (module loaded and test completed with no
+    /// failures anywhere).
+    pub fn passed(&self) -> bool {
+        !self.module_failed && self.outcome.clean()
+    }
+}
+
+/// The outcome of a whole suite.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Per-test results, in discovery order.
+    pub tests: Vec<TestResult>,
+}
+
+impl SuiteReport {
+    /// Number of passing tests.
+    pub fn passed(&self) -> usize {
+        self.tests.iter().filter(|t| t.passed()).count()
+    }
+
+    /// Number of failing tests.
+    pub fn failed(&self) -> usize {
+        self.tests.len() - self.passed()
+    }
+
+    /// Whether every test passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0
+    }
+}
+
+/// Runs the module's `test_*` suite, one fresh machine per test.
+///
+/// When the module body itself fails (e.g. a module-level injected
+/// fault), each test is reported as failed with `module_failed` set —
+/// the suite cannot even load.
+pub fn run_suite(module: &Module, config: &MachineConfig) -> SuiteReport {
+    let index = ModuleIndex::build(module);
+    let mut tests = Vec::new();
+    for name in index.test_functions() {
+        let mut machine = Machine::new(config.clone());
+        let module_out = match machine.run_module(module) {
+            Ok(out) => out,
+            Err(_) => {
+                // Compile error: report as module failure with an empty
+                // outcome placeholder.
+                tests.push(TestResult {
+                    name: name.to_string(),
+                    outcome: RunOutcome {
+                        status: RunStatus::Completed,
+                        output: String::new(),
+                        races: Vec::new(),
+                        overflows: Vec::new(),
+                        leaks: Vec::new(),
+                        task_failures: Vec::new(),
+                        steps: 0,
+                        vtime: 0.0,
+                        return_value: None,
+                    },
+                    module_failed: true,
+                });
+                continue;
+            }
+        };
+        if !matches!(module_out.status, RunStatus::Completed) {
+            tests.push(TestResult {
+                name: name.to_string(),
+                outcome: module_out,
+                module_failed: true,
+            });
+            continue;
+        }
+        match machine.call(name, vec![]) {
+            Ok(outcome) => tests.push(TestResult {
+                name: name.to_string(),
+                outcome,
+                module_failed: false,
+            }),
+            Err(_) => tests.push(TestResult {
+                name: name.to_string(),
+                outcome: module_out,
+                module_failed: true,
+            }),
+        }
+    }
+    SuiteReport { tests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    #[test]
+    fn passing_suite_reports_all_green() {
+        let m = parse(
+            "def add(a, b):\n    return a + b\ndef test_one():\n    assert add(1, 1) == 2\ndef test_two():\n    assert add(2, 3) == 5\n",
+        )
+        .unwrap();
+        let report = run_suite(&m, &MachineConfig::default());
+        assert_eq!(report.tests.len(), 2);
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn assertion_failures_are_reported() {
+        let m = parse(
+            "def add(a, b):\n    return a + b + 1\ndef test_one():\n    assert add(1, 1) == 2\n",
+        )
+        .unwrap();
+        let report = run_suite(&m, &MachineConfig::default());
+        assert_eq!(report.failed(), 1);
+        match &report.tests[0].outcome.status {
+            RunStatus::Uncaught(info) => assert_eq!(info.kind, "AssertionError"),
+            other => panic!("expected assertion failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_level_crash_fails_every_test() {
+        let m = parse(
+            "raise RuntimeError(\"boot failure\")\ndef test_one():\n    assert True\n",
+        )
+        .unwrap();
+        let report = run_suite(&m, &MachineConfig::default());
+        assert_eq!(report.tests.len(), 1);
+        assert!(report.tests[0].module_failed);
+        assert!(!report.tests[0].passed());
+    }
+
+    #[test]
+    fn suite_without_tests_is_empty() {
+        let m = parse("x = 1\n").unwrap();
+        let report = run_suite(&m, &MachineConfig::default());
+        assert!(report.tests.is_empty());
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn hanging_test_is_bounded_by_step_budget() {
+        let m = parse(
+            "def spin():\n    while True:\n        pass\ndef test_spin():\n    spin()\n",
+        )
+        .unwrap();
+        let config = MachineConfig {
+            step_budget: 20_000,
+            ..MachineConfig::default()
+        };
+        let report = run_suite(&m, &config);
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.tests[0].outcome.status,
+            RunStatus::Hung(_)
+        ));
+    }
+}

@@ -1,0 +1,175 @@
+//! Patching: splice generated snippets into a target codebase.
+
+use nfi_pylite::ast::{Module, Stmt, StmtKind};
+use nfi_pylite::{parse, PyliteError};
+use std::fmt;
+
+/// Why a patch could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchError {
+    /// The snippet failed to parse.
+    Snippet(PyliteError),
+    /// The snippet did not contain anything integrable.
+    EmptySnippet,
+    /// A function replacement target does not exist in the codebase.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::Snippet(e) => write!(f, "snippet does not parse: {e}"),
+            PatchError::EmptySnippet => write!(f, "snippet contains no statements"),
+            PatchError::NoSuchFunction(n) => {
+                write!(f, "codebase has no function `{n}` to replace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Replaces the body of the named function with a replacement `def`.
+///
+/// # Errors
+///
+/// Returns [`PatchError::NoSuchFunction`] when the codebase has no
+/// function with that name.
+pub fn replace_function(
+    codebase: &Module,
+    name: &str,
+    replacement: &Stmt,
+) -> Result<Module, PatchError> {
+    let mut m = codebase.clone();
+    let slot = m
+        .body
+        .iter_mut()
+        .find(|s| matches!(&s.kind, StmtKind::Def { name: n, .. } if n == name))
+        .ok_or_else(|| PatchError::NoSuchFunction(name.to_string()))?;
+    *slot = replacement.clone();
+    m.renumber();
+    Ok(m)
+}
+
+/// Integrates a reviewed snippet into the codebase:
+///
+/// * every `def` in the snippet replaces the same-named function in the
+///   codebase (or is appended when new),
+/// * any other top-level statements are prepended as new initialization.
+///
+/// This mirrors the paper's "seamless" integration step: the tester
+/// reviews a code snippet and the tool places it in its designated
+/// context.
+///
+/// # Errors
+///
+/// Returns [`PatchError::Snippet`] for unparseable snippets and
+/// [`PatchError::EmptySnippet`] for empty ones.
+pub fn integrate_snippet(codebase: &Module, snippet: &str) -> Result<Module, PatchError> {
+    let parsed = parse(snippet).map_err(PatchError::Snippet)?;
+    if parsed.body.is_empty() {
+        return Err(PatchError::EmptySnippet);
+    }
+    let mut m = codebase.clone();
+    let mut init_cursor = 0usize;
+    for stmt in parsed.body {
+        match &stmt.kind {
+            StmtKind::Def { name, .. } => {
+                let existing = m
+                    .body
+                    .iter_mut()
+                    .find(|s| matches!(&s.kind, StmtKind::Def { name: n, .. } if n == name));
+                match existing {
+                    Some(slot) => *slot = stmt,
+                    None => m.body.push(stmt),
+                }
+            }
+            _ => {
+                m.body.insert(init_cursor, stmt);
+                init_cursor += 1;
+            }
+        }
+    }
+    m.renumber();
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::{print_module, Machine, MachineConfig};
+
+    const BASE: &str = "\
+count = 0
+def bump():
+    global count
+    count = count + 1
+    return count
+def test_bump():
+    assert bump() == 1
+";
+
+    #[test]
+    fn replace_function_swaps_definition() {
+        let base = parse(BASE).unwrap();
+        let snippet = parse("def bump():\n    return 99\n").unwrap();
+        let m = replace_function(&base, "bump", &snippet.body[0]).unwrap();
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.run_module(&m).unwrap();
+        let out = machine.call("bump", vec![]).unwrap();
+        assert!(out.return_value.unwrap().py_eq(&nfi_pylite::Value::Int(99)));
+    }
+
+    #[test]
+    fn replace_missing_function_errors() {
+        let base = parse(BASE).unwrap();
+        let snippet = parse("def nope():\n    pass\n").unwrap();
+        let err = replace_function(&base, "nope", &snippet.body[0]).unwrap_err();
+        assert_eq!(err, PatchError::NoSuchFunction("nope".to_string()));
+    }
+
+    #[test]
+    fn integrate_snippet_replaces_and_appends() {
+        let base = parse(BASE).unwrap();
+        let m = integrate_snippet(
+            &base,
+            "def bump():\n    global count\n    count = count + 2\n    return count\ndef helper():\n    return 7\n",
+        )
+        .unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("count = count + 2"));
+        assert!(printed.contains("def helper():"));
+        // Replacement happened in place; no duplicate bump definitions.
+        assert_eq!(printed.matches("def bump():").count(), 1);
+    }
+
+    #[test]
+    fn integrate_snippet_prepends_initialization() {
+        let base = parse(BASE).unwrap();
+        let m = integrate_snippet(&base, "injected_flag = True\n").unwrap();
+        assert!(print_module(&m).starts_with("injected_flag = True"));
+    }
+
+    #[test]
+    fn integrated_module_still_runs_tests() {
+        let base = parse(BASE).unwrap();
+        let m = integrate_snippet(&base, "def bump():\n    return 1\n").unwrap();
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.run_module(&m).unwrap();
+        let out = machine.call("test_bump", vec![]).unwrap();
+        assert!(matches!(out.status, nfi_pylite::RunStatus::Completed));
+    }
+
+    #[test]
+    fn bad_snippet_is_an_error() {
+        let base = parse(BASE).unwrap();
+        assert!(matches!(
+            integrate_snippet(&base, "def oops(:\n"),
+            Err(PatchError::Snippet(_))
+        ));
+        assert!(matches!(
+            integrate_snippet(&base, ""),
+            Err(PatchError::EmptySnippet)
+        ));
+    }
+}

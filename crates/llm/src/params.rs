@@ -1,0 +1,128 @@
+//! Concrete generation parameters derived from a fault spec.
+
+use nfi_nlp::{FaultSpec, Quantity, Trigger, Unit};
+
+/// Parameters that instantiate a synthesis pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Exception kind to raise/catch.
+    pub exception_kind: String,
+    /// Simulated dependency delay in virtual seconds.
+    pub delay: Option<f64>,
+    /// Retry attempts for recovery patterns.
+    pub retries: Option<u32>,
+    /// Probability gate (`None` = always fire).
+    pub probability: Option<f64>,
+    /// Whether the handler logs.
+    pub logs: bool,
+    /// Prose trigger condition that could not be compiled (kept for the
+    /// rationale so the tester sees it).
+    pub trigger_note: Option<String>,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            exception_kind: "TimeoutError".to_string(),
+            delay: None,
+            retries: None,
+            probability: None,
+            logs: true,
+            trigger_note: None,
+        }
+    }
+}
+
+/// Derives concrete parameters from the structured spec.
+pub fn derive(spec: &FaultSpec) -> GenParams {
+    let mut p = GenParams {
+        exception_kind: spec
+            .exception_kind
+            .clone()
+            .unwrap_or_else(|| default_kind(spec)),
+        ..GenParams::default()
+    };
+    for q in &spec.quantities {
+        match q.unit {
+            Unit::Seconds => {
+                if p.delay.is_none() {
+                    p.delay = Some(q.value);
+                }
+            }
+            Unit::Milliseconds => {
+                if p.delay.is_none() {
+                    p.delay = Some(q.value / 1000.0);
+                }
+            }
+            Unit::Count => {
+                if p.retries.is_none() && q.value >= 1.0 && q.value <= 100.0 {
+                    p.retries = Some(q.value as u32);
+                }
+            }
+            _ => {}
+        }
+    }
+    match &spec.trigger {
+        Trigger::Probabilistic(prob) => p.probability = Some(*prob),
+        Trigger::When(clause) => p.trigger_note = Some(clause.clone()),
+        Trigger::After(Quantity {
+            value,
+            unit: Unit::Seconds,
+        }) => {
+            if p.delay.is_none() {
+                p.delay = Some(*value);
+            }
+        }
+        _ => {}
+    }
+    p
+}
+
+fn default_kind(spec: &FaultSpec) -> String {
+    use nfi_sfi::FaultClass;
+    match spec.class {
+        Some(FaultClass::Timing) => "TimeoutError",
+        Some(FaultClass::BufferOverflow) => "BufferOverflowError",
+        Some(FaultClass::ResourceLeak) => "IOError",
+        Some(FaultClass::Interface) => "TypeError",
+        _ => "RuntimeError",
+    }
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_delay_retries_and_probability() {
+        let spec = nfi_nlp::analyze(
+            "Sometimes fail with a timeout of 2 seconds and retry 3 times.",
+            None,
+        );
+        let p = derive(&spec);
+        assert_eq!(p.delay, Some(2.0));
+        assert_eq!(p.retries, Some(3));
+        assert_eq!(p.probability, Some(0.5));
+        assert_eq!(p.exception_kind, "TimeoutError");
+    }
+
+    #[test]
+    fn explicit_exception_kind_wins() {
+        let spec = nfi_nlp::analyze("raise a ConnectionError during checkout", None);
+        assert_eq!(derive(&spec).exception_kind, "ConnectionError");
+    }
+
+    #[test]
+    fn when_clause_becomes_trigger_note() {
+        let spec = nfi_nlp::analyze("crash when the cart is empty", None);
+        let p = derive(&spec);
+        assert_eq!(p.trigger_note.as_deref(), Some("the cart is empty"));
+    }
+
+    #[test]
+    fn class_default_kinds() {
+        let spec = nfi_nlp::analyze("write past the buffer capacity bounds", None);
+        assert_eq!(derive(&spec).exception_kind, "BufferOverflowError");
+    }
+}

@@ -1,0 +1,274 @@
+//! The sampling policy over synthesized candidates — the object RLHF
+//! fine-tunes.
+//!
+//! A linear scorer over a fixed feature vector, turned into a sampling
+//! distribution by a temperature softmax. REINFORCE-with-baseline
+//! updates (driven by the reward model in `nfi-rlhf`) shift probability
+//! mass toward candidates testers prefer.
+
+use crate::params::GenParams;
+use nfi_neural::{sample_index, softmax_with_temperature};
+use nfi_pylite::Module;
+use nfi_sfi::FaultClass;
+
+/// Dimensionality of candidate feature vectors.
+///
+/// Layout: `[class_match, secondary_match, retrieval_sim, fluency,
+/// target_match, has_retry, logs, effect_crash, effect_match,
+/// trigger_honored, class_prior, bias]`.
+pub const FEATURE_DIM: usize = 12;
+
+/// A synthesized candidate fault awaiting scoring/sampling.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Pattern id (`"raise_mishandled"`, `"op:MFC"`, ...).
+    pub pattern: String,
+    /// Fault class of the mutation.
+    pub class: FaultClass,
+    /// Mutated module.
+    pub module: Module,
+    /// Function targeted, when applicable.
+    pub target_function: Option<String>,
+    /// Printed mutated region for review.
+    pub snippet: String,
+    /// Human-readable rationale.
+    pub rationale: String,
+    /// Parameters used.
+    pub params: GenParams,
+    /// Whether the candidate is expected to crash (escaping exception).
+    pub effect_crash: bool,
+    /// Whether the candidate's expected manifestation matches the spec's
+    /// effect hint.
+    pub effect_matches_spec: bool,
+    /// How faithfully the trigger condition was honored (1 = compiled,
+    /// 0.5 = noted but not compiled, lower = ignored).
+    pub trigger_honored: f32,
+    /// Feature vector (filled by the model).
+    pub features: Vec<f32>,
+}
+
+/// Linear softmax policy with temperature.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    weights: Vec<f32>,
+    /// Sampling temperature.
+    pub temperature: f32,
+}
+
+impl Policy {
+    /// Creates a policy with a mild prior: prefer candidates whose class
+    /// matches the spec and that target the requested function.
+    pub fn new(temperature: f32) -> Self {
+        let mut weights = vec![0.0; FEATURE_DIM];
+        weights[0] = 1.5; // class match
+        weights[1] = 0.5; // secondary class match
+        weights[4] = 0.75; // target function match
+        weights[9] = 0.5; // trigger honored
+        Policy {
+            weights,
+            temperature,
+        }
+    }
+
+    /// Raw linear score of a feature vector.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        self.weights
+            .iter()
+            .zip(features.iter())
+            .map(|(w, f)| w * f)
+            .sum()
+    }
+
+    /// The policy's weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Sampling distribution over candidates.
+    pub fn distribution(&self, candidates: &[Candidate]) -> Vec<f32> {
+        let scores: Vec<f32> = candidates.iter().map(|c| self.score(&c.features)).collect();
+        softmax_with_temperature(&scores, self.temperature)
+    }
+
+    /// Samples a candidate index given a uniform draw in `[0, 1)`.
+    /// Returns the index and the full distribution.
+    pub fn choose(&self, candidates: &[Candidate], uniform: f32) -> (usize, Vec<f32>) {
+        let probs = self.distribution(candidates);
+        (sample_index(&probs, uniform), probs)
+    }
+
+    /// REINFORCE-with-baseline update: increases the log-probability of
+    /// `chosen` proportionally to `advantage` (reward − baseline).
+    ///
+    /// `∇ log π(chosen) = φ(chosen) − Σ_i π(i) φ(i)` for a linear softmax
+    /// policy; temperature scales the gradient.
+    pub fn reinforce(&mut self, candidates: &[Candidate], chosen: usize, advantage: f32, lr: f32) {
+        if candidates.is_empty() {
+            return;
+        }
+        let grad = self.log_prob_gradient(candidates, chosen);
+        for (w, g) in self.weights.iter_mut().zip(grad.iter()) {
+            *w += lr * advantage * g;
+        }
+    }
+
+    /// PPO-style clipped update (single-sample surrogate): maximizes
+    /// `min(ratio · A, clip(ratio, 1±ε) · A)` where
+    /// `ratio = π_new(chosen) / π_old(chosen)` and `π_old` is the
+    /// sampling-time probability the caller recorded. When the ratio has
+    /// already left the trust region in the advantage's direction, the
+    /// update is skipped — the standard PPO zero-gradient case.
+    pub fn ppo_clip(
+        &mut self,
+        candidates: &[Candidate],
+        chosen: usize,
+        old_prob: f32,
+        advantage: f32,
+        lr: f32,
+        epsilon: f32,
+    ) {
+        if candidates.is_empty() {
+            return;
+        }
+        let probs = self.distribution(candidates);
+        let ratio = probs[chosen] / old_prob.max(1e-6);
+        let outside = if advantage >= 0.0 {
+            ratio > 1.0 + epsilon
+        } else {
+            ratio < 1.0 - epsilon
+        };
+        if outside {
+            return;
+        }
+        // ∇(ratio · A) = A · ratio · ∇log π_new(chosen).
+        let grad = self.log_prob_gradient(candidates, chosen);
+        for (w, g) in self.weights.iter_mut().zip(grad.iter()) {
+            *w += lr * advantage * ratio * g;
+        }
+    }
+
+    /// `∇_w log π(chosen)` for the linear softmax policy.
+    fn log_prob_gradient(&self, candidates: &[Candidate], chosen: usize) -> Vec<f32> {
+        let probs = self.distribution(candidates);
+        let mut expected = vec![0.0f32; FEATURE_DIM];
+        for (c, p) in candidates.iter().zip(probs.iter()) {
+            for (e, f) in expected.iter_mut().zip(c.features.iter()) {
+                *e += p * f;
+            }
+        }
+        let chosen_features = &candidates[chosen].features;
+        (0..FEATURE_DIM)
+            .map(|i| (chosen_features[i] - expected[i]) / self.temperature)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(features: Vec<f32>) -> Candidate {
+        Candidate {
+            pattern: "test".into(),
+            class: FaultClass::Timing,
+            module: Module::new(),
+            target_function: None,
+            snippet: String::new(),
+            rationale: String::new(),
+            params: GenParams::default(),
+            effect_crash: false,
+            effect_matches_spec: false,
+            trigger_honored: 1.0,
+            features,
+        }
+    }
+
+    fn one_hot(i: usize) -> Vec<f32> {
+        let mut f = vec![0.0; FEATURE_DIM];
+        f[i] = 1.0;
+        f
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(0)), candidate(one_hot(5))];
+        let d = p.distribution(&cands);
+        assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(d[0] > d[1], "class-match prior should dominate");
+    }
+
+    #[test]
+    fn reinforce_shifts_mass_toward_rewarded_candidate() {
+        let mut p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(5)), candidate(one_hot(6))];
+        let before = p.distribution(&cands)[1];
+        for _ in 0..50 {
+            p.reinforce(&cands, 1, 1.0, 0.1);
+        }
+        let after = p.distribution(&cands)[1];
+        assert!(
+            after > before + 0.1,
+            "probability of rewarded candidate should grow: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn negative_advantage_pushes_mass_away() {
+        let mut p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(5)), candidate(one_hot(6))];
+        let before = p.distribution(&cands)[0];
+        for _ in 0..50 {
+            p.reinforce(&cands, 0, -1.0, 0.1);
+        }
+        let after = p.distribution(&cands)[0];
+        assert!(after < before);
+    }
+
+    #[test]
+    fn ppo_clip_moves_toward_rewarded_candidate() {
+        let mut p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(5)), candidate(one_hot(6))];
+        let before = p.distribution(&cands)[1];
+        for _ in 0..50 {
+            let old = p.distribution(&cands)[1];
+            p.ppo_clip(&cands, 1, old, 1.0, 0.1, 0.2);
+        }
+        let after = p.distribution(&cands)[1];
+        assert!(after > before + 0.1, "{before} -> {after}");
+    }
+
+    #[test]
+    fn ppo_clip_respects_the_trust_region() {
+        let mut p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(5)), candidate(one_hot(6))];
+        // Record π_old once, then update many times against the *stale*
+        // old probability: the clip must stop the ratio from running away.
+        let old = p.distribution(&cands)[1];
+        for _ in 0..200 {
+            p.ppo_clip(&cands, 1, old, 1.0, 0.15, 0.2);
+        }
+        let new = p.distribution(&cands)[1];
+        let ratio = new / old;
+        assert!(
+            ratio <= 1.0 + 0.2 + 0.15,
+            "ratio {ratio} escaped the trust region (old {old}, new {new})"
+        );
+        // REINFORCE with the same budget blasts far past it.
+        let mut q = Policy::new(0.7);
+        for _ in 0..200 {
+            q.reinforce(&cands, 1, 1.0, 0.15);
+        }
+        let runaway = q.distribution(&cands)[1] / old;
+        assert!(runaway > ratio, "reinforce {runaway} vs ppo {ratio}");
+    }
+
+    #[test]
+    fn choose_is_deterministic_given_uniform() {
+        let p = Policy::new(0.7);
+        let cands = vec![candidate(one_hot(0)), candidate(one_hot(1))];
+        let (a, _) = p.choose(&cands, 0.1);
+        let (b, _) = p.choose(&cands, 0.1);
+        assert_eq!(a, b);
+    }
+}

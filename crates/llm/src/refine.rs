@@ -1,0 +1,122 @@
+//! Spec refinement from parsed tester critiques — the data path of the
+//! running example's second iteration.
+
+use nfi_nlp::{CritiqueIntent, FaultSpec, Quantity, Trigger, Unit};
+
+/// Applies critique intents to a spec, producing the refined spec used
+/// for the next generation round.
+pub fn refine_spec(spec: &FaultSpec, intents: &[CritiqueIntent]) -> FaultSpec {
+    let mut s = spec.clone();
+    for intent in intents {
+        match intent {
+            CritiqueIntent::AddRetry { attempts } => {
+                let n = attempts.unwrap_or(3);
+                s.quantities.push(Quantity {
+                    value: n as f64,
+                    unit: Unit::Count,
+                });
+                if !s.keywords.iter().any(|k| k == "retry") {
+                    s.keywords.push("retry".to_string());
+                }
+                s.raw = format!("{} [refined: add a {n}-attempt retry mechanism]", s.raw);
+            }
+            CritiqueIntent::UseExceptionKind(kind) => {
+                s.exception_kind = Some(kind.clone());
+                s.raw = format!("{} [refined: raise {kind}]", s.raw);
+            }
+            CritiqueIntent::AddLogging => {
+                if !s.keywords.iter().any(|k| k == "log") {
+                    s.keywords.push("log".to_string());
+                }
+            }
+            CritiqueIntent::RemoveLogging => {
+                s.keywords.retain(|k| k != "log");
+            }
+            CritiqueIntent::PropagateError => {
+                s.effect = Some(nfi_nlp::EffectHint::Crash);
+                s.raw = format!("{} [refined: let the exception propagate]", s.raw);
+            }
+            CritiqueIntent::SwallowError => {
+                s.effect = Some(nfi_nlp::EffectHint::WrongOutput);
+            }
+            CritiqueIntent::TriggerOnlyWhen(clause) => {
+                s.trigger = Trigger::When(clause.clone());
+            }
+            CritiqueIntent::MakeIntermittent(p) => {
+                s.trigger = Trigger::Probabilistic(*p);
+            }
+            CritiqueIntent::ChangeDelay(q) => {
+                s.quantities.retain(|x| x.unit != q.unit);
+                s.quantities.push(q.clone());
+            }
+            CritiqueIntent::Approve | CritiqueIntent::Other(_) => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_nlp::parse_critique;
+
+    fn base_spec() -> FaultSpec {
+        nfi_nlp::analyze(
+            "Simulate a database transaction timeout causing an unhandled exception.",
+            None,
+        )
+    }
+
+    #[test]
+    fn running_example_refinement_adds_retry() {
+        let spec = base_spec();
+        let intents = parse_critique("introduce a retry mechanism instead of just logging the error");
+        let refined = refine_spec(&spec, &intents);
+        assert!(refined
+            .quantities
+            .iter()
+            .any(|q| q.unit == Unit::Count && q.value == 3.0));
+        assert!(refined.keywords.contains(&"retry".to_string()));
+        assert!(refined.raw.contains("retry mechanism"));
+    }
+
+    #[test]
+    fn exception_kind_override() {
+        let spec = base_spec();
+        let refined = refine_spec(
+            &spec,
+            &[CritiqueIntent::UseExceptionKind("ConnectionError".into())],
+        );
+        assert_eq!(refined.exception_kind.as_deref(), Some("ConnectionError"));
+    }
+
+    #[test]
+    fn intermittent_changes_trigger() {
+        let spec = base_spec();
+        let refined = refine_spec(&spec, &[CritiqueIntent::MakeIntermittent(0.25)]);
+        assert_eq!(refined.trigger, Trigger::Probabilistic(0.25));
+    }
+
+    #[test]
+    fn delay_replacement() {
+        let spec = base_spec();
+        let refined = refine_spec(
+            &spec,
+            &[CritiqueIntent::ChangeDelay(Quantity {
+                value: 45.0,
+                unit: Unit::Seconds,
+            })],
+        );
+        assert!(refined
+            .quantities
+            .iter()
+            .any(|q| q.value == 45.0 && q.unit == Unit::Seconds));
+    }
+
+    #[test]
+    fn approve_is_a_noop() {
+        let spec = base_spec();
+        let refined = refine_spec(&spec, &[CritiqueIntent::Approve]);
+        assert_eq!(refined, spec);
+    }
+}

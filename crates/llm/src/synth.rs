@@ -1,0 +1,759 @@
+//! Candidate synthesis: class-specific AST patterns plus operator-backed
+//! mutations.
+//!
+//! Each synthesizer produces a *complete mutated module*; the review
+//! snippet is the printed target function so the tester sees exactly
+//! what the paper's running example shows.
+
+use crate::params::GenParams;
+use crate::policy::Candidate;
+use nfi_nlp::{EffectHint, FaultSpec, Trigger};
+use nfi_pylite::ast::{build, BinOp, CmpOp, Expr, Module, Stmt, StmtKind};
+use nfi_pylite::{print_block, print_module};
+use nfi_sfi::FaultClass;
+
+/// Maximum operator-backed candidates per generation.
+const MAX_OPERATOR_CANDIDATES: usize = 6;
+
+/// Synthesizes every applicable candidate for the spec.
+pub fn synthesize(spec: &FaultSpec, module: &Module, params: &GenParams) -> Vec<Candidate> {
+    let target = spec
+        .target_function
+        .clone()
+        .or_else(|| first_non_test_function(module));
+    // Try to compile a `when ...` trigger clause into a real guard over
+    // the target's visible symbols (params + module globals).
+    let guard: Option<Expr> = match (&spec.trigger, &target) {
+        (Trigger::When(clause), Some(t)) => {
+            let index = nfi_pylite::analysis::ModuleIndex::build(module);
+            let mut symbols: Vec<String> = index.globals.clone();
+            if let Some(f) = index.function(t) {
+                symbols.extend(f.params.iter().cloned());
+            }
+            nfi_nlp::compile_when(clause, &symbols)
+        }
+        _ => None,
+    };
+    let guard = guard.as_ref();
+    let mut out = Vec::new();
+
+    if let Some(target) = &target {
+        let kind_class = if params.exception_kind == "TimeoutError" {
+            FaultClass::Timing
+        } else {
+            FaultClass::ExceptionHandling
+        };
+        // Spec-driven patterns, the "creative" half of the generator.
+        out.extend(raise_unhandled(spec, module, params, guard, target, kind_class));
+        out.extend(raise_mishandled(spec, module, params, guard, target, kind_class));
+        out.extend(raise_with_retry(spec, module, params, guard, target, kind_class));
+        out.extend(delay_entry(spec, module, params, guard, target));
+        out.extend(leak_handle(spec, module, params, guard, target));
+        out.extend(overflow_write(spec, module, params, guard, target));
+        out.extend(race_writers(spec, module, params, guard, target));
+        if spec.effect == Some(EffectHint::Hang) {
+            out.extend(spin_hang(spec, module, params, guard, target));
+        }
+    }
+
+    // Operator-backed candidates for the spec's class(es).
+    let wanted: Vec<FaultClass> = [spec.class, spec.secondary_class]
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut op_count = 0;
+    for op in nfi_sfi::registry() {
+        if op_count >= MAX_OPERATOR_CANDIDATES {
+            break;
+        }
+        if !wanted.is_empty() && !wanted.contains(&op.class()) {
+            continue;
+        }
+        let mut sites = op.find_sites(module);
+        // Prefer sites inside the target function.
+        if let Some(t) = &target {
+            let preferred: Vec<_> = sites
+                .iter()
+                .filter(|s| s.function.as_deref() == Some(t))
+                .cloned()
+                .collect();
+            if !preferred.is_empty() {
+                sites = preferred;
+            }
+        }
+        for site in sites.into_iter().take(2) {
+            if op_count >= MAX_OPERATOR_CANDIDATES {
+                break;
+            }
+            if let Some(mutated) = op.apply(module, &site) {
+                let snippet = snippet_for(&mutated, site.function.as_deref());
+                out.push(Candidate {
+                    pattern: format!("op:{}", op.name()),
+                    class: op.class(),
+                    module: mutated,
+                    target_function: site.function.clone(),
+                    snippet,
+                    rationale: op.describe(&site),
+                    params: params.clone(),
+                    effect_crash: false,
+                    effect_matches_spec: operator_effect_matches(op.class(), spec.effect),
+                    trigger_honored: trigger_default_honor(spec),
+                    features: Vec::new(),
+                });
+                op_count += 1;
+            }
+        }
+    }
+    out
+}
+
+fn first_non_test_function(module: &Module) -> Option<String> {
+    module
+        .def_names()
+        .into_iter()
+        .find(|n| !n.starts_with("test_"))
+}
+
+fn operator_effect_matches(class: FaultClass, effect: Option<EffectHint>) -> bool {
+    match effect {
+        None => true,
+        Some(EffectHint::Leak) => class == FaultClass::ResourceLeak,
+        Some(EffectHint::Slow) => class == FaultClass::Timing,
+        Some(EffectHint::Hang) => class == FaultClass::Concurrency,
+        Some(EffectHint::Crash) => matches!(
+            class,
+            FaultClass::ExceptionHandling | FaultClass::BufferOverflow
+        ),
+        Some(EffectHint::WrongOutput) => matches!(
+            class,
+            FaultClass::WrongValue | FaultClass::Omission | FaultClass::Interface
+        ),
+    }
+}
+
+fn trigger_default_honor(spec: &FaultSpec) -> f32 {
+    match spec.trigger {
+        Trigger::Always => 1.0,
+        Trigger::When(_) => 0.5,
+        Trigger::Probabilistic(_) | Trigger::After(_) => 0.3,
+    }
+}
+
+/// Wraps fault statements in the probability gate and/or the compiled
+/// trigger guard.
+fn gated(stmts: Vec<Stmt>, params: &GenParams, guard: Option<&Expr>) -> Vec<Stmt> {
+    let inner = match params.probability {
+        Some(p) => vec![build::if_(
+            build::cmp(
+                CmpOp::Lt,
+                build::call("rand_float", vec![]),
+                build::float(p),
+            ),
+            stmts,
+            vec![],
+        )],
+        None => stmts,
+    };
+    match guard {
+        Some(g) => vec![build::if_(g.clone(), inner, vec![])],
+        None => inner,
+    }
+}
+
+/// Trigger fidelity of a pattern, given what was actually compiled.
+fn honored(spec: &FaultSpec, params: &GenParams, guard: Option<&Expr>) -> f32 {
+    match &spec.trigger {
+        Trigger::Always => 1.0,
+        Trigger::Probabilistic(_) => {
+            if params.probability.is_some() {
+                1.0
+            } else {
+                0.3
+            }
+        }
+        Trigger::When(_) => {
+            if guard.is_some() {
+                1.0
+            } else {
+                0.5
+            }
+        }
+        Trigger::After(_) => {
+            if params.delay.is_some() {
+                0.8
+            } else {
+                0.3
+            }
+        }
+    }
+}
+
+/// Inserts statements at the top of the named function, returning the
+/// mutated module and the printed function.
+fn prepend_in_function(module: &Module, target: &str, stmts: Vec<Stmt>) -> Option<(Module, String)> {
+    let mut m = module.clone();
+    let def = m.find_def_mut(target)?;
+    if let StmtKind::Def { body, .. } = &mut def.kind {
+        for (i, s) in stmts.into_iter().enumerate() {
+            body.insert(i, s);
+        }
+    }
+    m.renumber();
+    let snippet = snippet_for(&m, Some(target));
+    Some((m, snippet))
+}
+
+/// The review snippet: the named function when present, the whole module
+/// otherwise.
+fn snippet_for(module: &Module, function: Option<&str>) -> String {
+    match function.and_then(|f| module.find_def(f)) {
+        Some(def) => print_block(std::slice::from_ref(def), 0),
+        None => print_module(module),
+    }
+}
+
+fn exception_message(spec: &FaultSpec, kind: &str) -> String {
+    let lower = spec.raw.to_lowercase();
+    if kind == "TimeoutError" && lower.contains("database") && lower.contains("transaction") {
+        "Database transaction timeout".to_string()
+    } else if kind == "TimeoutError" {
+        "operation timed out".to_string()
+    } else if kind == "ConnectionError" {
+        "connection refused by remote service".to_string()
+    } else {
+        format!("injected {kind}")
+    }
+}
+
+fn trigger_suffix(params: &GenParams) -> String {
+    match &params.trigger_note {
+        Some(note) => format!(" (intended trigger: when {note})"),
+        None => String::new(),
+    }
+}
+
+// ---- spec-driven patterns --------------------------------------------------
+
+fn raise_unhandled(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+    class: FaultClass,
+) -> Option<Candidate> {
+    let msg = exception_message(spec, &params.exception_kind);
+    let mut stmts = Vec::new();
+    if let Some(d) = params.delay {
+        stmts.push(build::expr_stmt(build::call(
+            "sleep",
+            vec![build::float(d)],
+        )));
+    }
+    stmts.push(build::raise(&params.exception_kind, &msg));
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "raise_unhandled".into(),
+        class,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!(
+            "raise an uncaught {} at the entry of {}{}",
+            params.exception_kind,
+            target,
+            trigger_suffix(params)
+        ),
+        params: params.clone(),
+        effect_crash: params.probability.is_none(),
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::Crash),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+/// The paper's first-round generation: the exception is caught but only
+/// logged — "missing exception handling logic".
+fn raise_mishandled(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+    class: FaultClass,
+) -> Option<Candidate> {
+    let kind = &params.exception_kind;
+    let msg = exception_message(spec, kind);
+    let mut try_body = Vec::new();
+    if let Some(d) = params.delay {
+        try_body.push(build::expr_stmt(build::call(
+            "sleep",
+            vec![build::float(d)],
+        )));
+    }
+    try_body.push(build::raise(kind, &msg));
+    let handler_body = if params.logs {
+        vec![build::print(vec![
+            build::str_("Transaction failed:"),
+            build::call("str", vec![build::name("nfi_e")]),
+        ])]
+    } else {
+        vec![build::pass()]
+    };
+    let stmts = vec![build::try_(
+        try_body,
+        vec![build::handler(Some(kind), Some("nfi_e"), handler_body)],
+        vec![],
+    )];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "raise_mishandled".into(),
+        class,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!(
+            "simulate a {kind} inside {target}, caught but only logged — the recovery logic is missing{}",
+            trigger_suffix(params)
+        ),
+        params: params.clone(),
+        effect_crash: false,
+        effect_matches_spec: spec.effect.is_none()
+            || matches!(spec.effect, Some(EffectHint::WrongOutput | EffectHint::Crash)),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+/// The paper's second-round generation: a retry path around the fault.
+fn raise_with_retry(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+    class: FaultClass,
+) -> Option<Candidate> {
+    let retries = params.retries.unwrap_or(3) as i64;
+    let kind = &params.exception_kind;
+    let msg = exception_message(spec, kind);
+    let loop_body = vec![build::try_(
+        vec![build::raise(kind, &msg)],
+        vec![build::handler(
+            Some(kind),
+            Some("nfi_e"),
+            vec![
+                build::print(vec![build::str_("Attempting to retry transaction")]),
+                build::aug_assign("nfi_attempts", BinOp::Add, build::int(1)),
+            ],
+        )],
+        vec![],
+    )];
+    let stmts = vec![
+        build::assign("nfi_attempts", build::int(0)),
+        build::while_(
+            build::cmp(
+                CmpOp::Lt,
+                build::name("nfi_attempts"),
+                build::int(retries),
+            ),
+            loop_body,
+        ),
+    ];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "raise_with_retry".into(),
+        class,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!(
+            "simulate a {kind} inside {target} with a {retries}-attempt retry mechanism before recovering{}",
+            trigger_suffix(params)
+        ),
+        params: GenParams {
+            retries: Some(retries as u32),
+            ..params.clone()
+        },
+        effect_crash: false,
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::Slow),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+fn delay_entry(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+) -> Option<Candidate> {
+    let delay = params.delay.unwrap_or(60.0);
+    let stmts = vec![build::expr_stmt(build::call(
+        "sleep",
+        vec![build::float(delay)],
+    ))];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "delay_entry".into(),
+        class: FaultClass::Timing,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!("stall {target} for {delay} seconds (slow dependency)"),
+        params: params.clone(),
+        effect_crash: false,
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::Slow),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+fn leak_handle(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+) -> Option<Candidate> {
+    let stmts = vec![build::assign(
+        "nfi_leaked",
+        build::call(
+            "open_handle",
+            vec![build::str_(&format!("injected-leak:{target}"))],
+        ),
+    )];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "leak_handle".into(),
+        class: FaultClass::ResourceLeak,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!("acquire a resource in {target} that is never released"),
+        params: params.clone(),
+        effect_crash: false,
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::Leak),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+fn overflow_write(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+) -> Option<Candidate> {
+    let stmts = vec![
+        build::assign("nfi_buf", build::call("make_buffer", vec![build::int(2)])),
+        build::expr_stmt(build::method(
+            build::name("nfi_buf"),
+            "write",
+            vec![build::int(4), build::int(1)],
+        )),
+    ];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "overflow_write".into(),
+        class: FaultClass::BufferOverflow,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!("write past a bounded buffer's capacity inside {target}"),
+        params: params.clone(),
+        effect_crash: params.probability.is_none(),
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::Crash),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+/// Adds two unsynchronized writer tasks over a fresh shared global —
+/// expressing a race condition even in programs with no locks at all.
+fn race_writers(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+) -> Option<Candidate> {
+    // Module additions: shared counter + racer function.
+    let mut m = module.clone();
+    m.body.insert(0, build::assign("nfi_shared", build::int(0)));
+    m.body.insert(
+        1,
+        build::def(
+            "nfi_racer",
+            vec![],
+            vec![
+                build::global(vec!["nfi_shared"]),
+                build::for_(
+                    vec!["nfi_i"],
+                    build::call("range", vec![build::int(25)]),
+                    vec![build::assign(
+                        "nfi_shared",
+                        build::bin(BinOp::Add, build::name("nfi_shared"), build::int(1)),
+                    )],
+                ),
+            ],
+        ),
+    );
+    let stmts = vec![
+        build::assign("nfi_t1", build::call("spawn", vec![build::name("nfi_racer")])),
+        build::assign("nfi_t2", build::call("spawn", vec![build::name("nfi_racer")])),
+        build::expr_stmt(build::call("join", vec![build::name("nfi_t1")])),
+        build::expr_stmt(build::call("join", vec![build::name("nfi_t2")])),
+    ];
+    let (module, _) = prepend_in_function(&m, target, gated(stmts, params, guard))?;
+    // The snippet must carry the module-level additions too, so that
+    // snippet-based integration reproduces the full mutation.
+    let mut snippet = print_block(&module.body[..2], 0);
+    if let Some(def) = module.find_def(target) {
+        snippet.push_str(&print_block(std::slice::from_ref(def), 0));
+    }
+    Some(Candidate {
+        pattern: "race_writers".into(),
+        class: FaultClass::Concurrency,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!(
+            "spawn two tasks from {target} that update shared state without synchronization"
+        ),
+        params: params.clone(),
+        effect_crash: false,
+        effect_matches_spec: spec.effect.is_none() || spec.effect == Some(EffectHint::WrongOutput),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+fn spin_hang(
+    spec: &FaultSpec,
+    module: &Module,
+    params: &GenParams,
+    guard: Option<&Expr>,
+    target: &str,
+) -> Option<Candidate> {
+    let stmts = vec![
+        build::assign("nfi_spin", build::int(0)),
+        build::while_(
+            build::bool_(true),
+            vec![build::aug_assign("nfi_spin", BinOp::Add, build::int(1))],
+        ),
+    ];
+    let (module, snippet) = prepend_in_function(module, target, gated(stmts, params, guard))?;
+    Some(Candidate {
+        pattern: "spin_hang".into(),
+        class: FaultClass::Timing,
+        module,
+        target_function: Some(target.to_string()),
+        snippet,
+        rationale: format!("spin forever at the entry of {target} (livelock)"),
+        params: params.clone(),
+        effect_crash: false,
+        effect_matches_spec: spec.effect == Some(EffectHint::Hang),
+        trigger_honored: honored(spec, params, guard),
+        features: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    fn module() -> Module {
+        parse("def process_transaction(details):\n    return True\n").unwrap()
+    }
+
+    fn spec(text: &str) -> FaultSpec {
+        let m = module();
+        nfi_nlp::analyze(text, Some(&m))
+    }
+
+    #[test]
+    fn every_candidate_module_reparses_and_runs_module_body() {
+        let m = module();
+        let s = spec("simulate a database timeout causing an unhandled exception in process_transaction");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        assert!(cands.len() >= 5, "got {} candidates", cands.len());
+        for c in &cands {
+            let printed = print_module(&c.module);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{} unparseable: {e}\n{printed}", c.pattern));
+            let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
+            let out = machine.run_module(&reparsed).unwrap();
+            assert!(
+                matches!(out.status, nfi_pylite::RunStatus::Completed),
+                "{} module body failed: {:?}",
+                c.pattern,
+                out.status
+            );
+        }
+    }
+
+    #[test]
+    fn mishandled_pattern_matches_running_example_shape() {
+        let m = module();
+        let s = spec("simulate a database transaction timeout causing an unhandled exception in process_transaction");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands
+            .iter()
+            .find(|c| c.pattern == "raise_mishandled")
+            .unwrap();
+        assert!(c.snippet.contains("raise TimeoutError(\"Database transaction timeout\")"));
+        assert!(c.snippet.contains("except TimeoutError as nfi_e:"));
+        assert!(c.snippet.contains("Transaction failed:"));
+    }
+
+    #[test]
+    fn retry_pattern_contains_retry_loop() {
+        let m = module();
+        let s = spec("timeout in process_transaction, retry 3 times");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands
+            .iter()
+            .find(|c| c.pattern == "raise_with_retry")
+            .unwrap();
+        assert!(c.snippet.contains("while nfi_attempts < 3:"));
+        assert!(c.snippet.contains("Attempting to retry transaction"));
+        assert_eq!(c.params.retries, Some(3));
+    }
+
+    #[test]
+    fn probabilistic_trigger_compiles_to_rand_gate() {
+        let m = module();
+        let s = spec("sometimes crash process_transaction with an unhandled error");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
+        assert!(c.snippet.contains("if rand_float() < 0.5:"), "{}", c.snippet);
+        assert!(!c.effect_crash, "gated fault does not always crash");
+    }
+
+    #[test]
+    fn race_pattern_produces_detectable_race() {
+        let m = module();
+        let s = spec("introduce a race condition in process_transaction on shared state");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands.iter().find(|c| c.pattern == "race_writers").unwrap();
+        let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
+        machine.run_module(&c.module).unwrap();
+        let out = machine.call("process_transaction", vec![nfi_pylite::Value::None]).unwrap();
+        assert!(
+            !out.races.is_empty(),
+            "expected a detected race, races: {:?}, status {:?}",
+            out.races,
+            out.status
+        );
+    }
+
+    #[test]
+    fn leak_pattern_produces_detectable_leak() {
+        let m = module();
+        let s = spec("leak a handle in process_transaction");
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands.iter().find(|c| c.pattern == "leak_handle").unwrap();
+        let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
+        machine.run_module(&c.module).unwrap();
+        let out = machine
+            .call("process_transaction", vec![nfi_pylite::Value::None])
+            .unwrap();
+        assert_eq!(out.leaks.len(), 1);
+    }
+
+    #[test]
+    fn hang_pattern_only_offered_for_hang_specs() {
+        let m = module();
+        let hang_spec = spec("make process_transaction hang forever");
+        let params = crate::params::derive(&hang_spec);
+        let cands = synthesize(&hang_spec, &m, &params);
+        assert!(cands.iter().any(|c| c.pattern == "spin_hang"));
+
+        let other = spec("wrong value in process_transaction");
+        let params = crate::params::derive(&other);
+        let cands = synthesize(&other, &m, &params);
+        assert!(!cands.iter().any(|c| c.pattern == "spin_hang"));
+    }
+
+    #[test]
+    fn empty_module_yields_no_spec_driven_candidates() {
+        let m = parse("x = 1\n").unwrap();
+        let s = nfi_nlp::analyze("crash something", Some(&m));
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        assert!(cands.iter().all(|c| c.pattern.starts_with("op:")));
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    #[test]
+    fn when_clause_compiles_into_a_guard() {
+        let m = parse("def checkout(cart):\n    return len(cart)\n").unwrap();
+        let s = nfi_nlp::analyze(
+            "raise an unhandled timeout error in checkout when the cart is empty",
+            Some(&m),
+        );
+        assert!(matches!(s.trigger, Trigger::When(_)), "{:?}", s.trigger);
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
+        assert!(
+            c.snippet.contains("if len(cart) == 0:"),
+            "guard must be compiled into the snippet:\n{}",
+            c.snippet
+        );
+        assert_eq!(c.trigger_honored, 1.0);
+        // The guarded fault only fires on an empty cart.
+        let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
+        machine.run_module(&c.module).unwrap();
+        let ok = machine
+            .call("checkout", vec![nfi_pylite::Value::list(vec![nfi_pylite::Value::Int(1)])])
+            .unwrap();
+        assert!(ok.clean(), "non-empty cart must not trigger: {:?}", ok.status);
+        let boom = machine
+            .call("checkout", vec![nfi_pylite::Value::list(vec![])])
+            .unwrap();
+        assert!(
+            matches!(boom.status, nfi_pylite::RunStatus::Uncaught(_)),
+            "empty cart must trigger: {:?}",
+            boom.status
+        );
+    }
+
+    #[test]
+    fn uncompilable_when_clause_degrades_gracefully() {
+        let m = parse("def checkout(cart):\n    return len(cart)\n").unwrap();
+        let s = nfi_nlp::analyze(
+            "raise an unhandled timeout error in checkout when mercury is in retrograde",
+            Some(&m),
+        );
+        let params = crate::params::derive(&s);
+        let cands = synthesize(&s, &m, &params);
+        let c = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
+        assert_eq!(c.trigger_honored, 0.5, "noted but not compiled");
+        assert!(!c.snippet.contains("mercury"));
+    }
+}

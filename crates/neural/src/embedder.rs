@@ -1,0 +1,175 @@
+//! TF-IDF text encoder used for retrieval over the fine-tuning corpus.
+
+use crate::tensor::cosine;
+use std::collections::HashMap;
+
+/// A fitted TF-IDF vectorizer.
+///
+/// # Examples
+///
+/// ```
+/// use nfi_neural::embedder::TfIdf;
+///
+/// let docs = vec![
+///     vec!["timeout".to_string(), "database".to_string()],
+///     vec!["race".to_string(), "condition".to_string()],
+/// ];
+/// let tfidf = TfIdf::fit(&docs);
+/// let q = vec!["database".to_string(), "timeout".to_string()];
+/// assert!(tfidf.similarity(&q, &docs[0]) > tfidf.similarity(&q, &docs[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    vocab: HashMap<String, usize>,
+    idf: Vec<f32>,
+}
+
+impl TfIdf {
+    /// Fits vocabulary and inverse document frequencies on a corpus of
+    /// tokenized documents.
+    pub fn fit(docs: &[Vec<String>]) -> Self {
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: Vec<usize> = Vec::new();
+        for doc in docs {
+            let mut seen: Vec<usize> = Vec::new();
+            for tok in doc {
+                let id = *vocab.entry(tok.clone()).or_insert_with(|| {
+                    doc_freq.push(0);
+                    doc_freq.len() - 1
+                });
+                if !seen.contains(&id) {
+                    seen.push(id);
+                }
+            }
+            for id in seen {
+                doc_freq[id] += 1;
+            }
+        }
+        let n = docs.len().max(1) as f32;
+        let idf = doc_freq
+            .iter()
+            .map(|df| ((n + 1.0) / (*df as f32 + 1.0)).ln() + 1.0)
+            .collect();
+        TfIdf { vocab, idf }
+    }
+
+    /// Dimensionality of embeddings (vocabulary size).
+    pub fn dim(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Embeds a tokenized document as a dense TF-IDF vector
+    /// (out-of-vocabulary tokens are ignored).
+    pub fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim()];
+        if tokens.is_empty() {
+            return v;
+        }
+        for tok in tokens {
+            if let Some(&id) = self.vocab.get(tok) {
+                v[id] += 1.0;
+            }
+        }
+        let len = tokens.len() as f32;
+        for (x, idf) in v.iter_mut().zip(self.idf.iter()) {
+            *x = (*x / len) * idf;
+        }
+        v
+    }
+
+    /// Cosine similarity between two tokenized documents.
+    pub fn similarity(&self, a: &[String], b: &[String]) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+
+    /// Indices of the `k` most similar corpus documents to the query,
+    /// given pre-embedded corpus vectors. Ties broken by lower index.
+    pub fn top_k(&self, query: &[String], corpus_vecs: &[Vec<f32>], k: usize) -> Vec<(usize, f32)> {
+        let q = self.embed(query);
+        let mut scored: Vec<(usize, f32)> = corpus_vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine(&q, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Lowercases and splits text into word tokens (alphanumeric runs).
+pub fn word_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Vec<String> {
+        word_tokens(s)
+    }
+
+    #[test]
+    fn rare_words_get_higher_idf() {
+        let docs = vec![
+            doc("the timeout failed"),
+            doc("the race failed"),
+            doc("the leak failed"),
+        ];
+        let t = TfIdf::fit(&docs);
+        let the_id = t.vocab["the"];
+        let timeout_id = t.vocab["timeout"];
+        assert!(t.idf[timeout_id] > t.idf[the_id]);
+    }
+
+    #[test]
+    fn retrieval_prefers_overlapping_document() {
+        let docs = vec![
+            doc("simulate a database timeout in the transaction"),
+            doc("introduce a race condition between workers"),
+            doc("leak a file handle by never closing it"),
+        ];
+        let t = TfIdf::fit(&docs);
+        let vecs: Vec<Vec<f32>> = docs.iter().map(|d| t.embed(d)).collect();
+        let hits = t.top_k(&doc("database transaction timeout"), &vecs, 2);
+        assert_eq!(hits[0].0, 0);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn oov_query_embeds_to_zero() {
+        let docs = vec![doc("alpha beta")];
+        let t = TfIdf::fit(&docs);
+        let v = t.embed(&doc("gamma delta"));
+        assert!(v.iter().all(|x| *x == 0.0));
+        assert_eq!(t.similarity(&doc("gamma"), &doc("alpha")), 0.0);
+    }
+
+    #[test]
+    fn word_tokens_normalize_case_and_punctuation() {
+        assert_eq!(
+            word_tokens("Simulate a DB-timeout, now!"),
+            vec!["simulate", "a", "db", "timeout", "now"]
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let t = TfIdf::fit(&[]);
+        assert_eq!(t.dim(), 0);
+        assert!(t.embed(&[]).is_empty());
+    }
+}

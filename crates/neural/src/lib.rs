@@ -1,0 +1,130 @@
+//! # nfi-neural — a from-scratch micro neural-network library
+//!
+//! The Rust ML ecosystem is deliberately not used (offline build, thin
+//! ecosystem — see DESIGN.md §1); this crate implements exactly the
+//! pieces the neural fault-injection pipeline needs:
+//!
+//! * [`tensor::Matrix`] — minimal dense row-major matrices,
+//! * [`mlp::Mlp`] — multi-layer perceptrons with manual backprop and
+//!   [`optim::Adam`], gradient-checked against finite differences,
+//! * [`lm::NgramLm`] — a neural n-gram language model over code tokens
+//!   (embeddings → tanh hidden layer → softmax), used for fluency
+//!   scoring and the fine-tuning learning-curve experiment (E6),
+//! * [`embedder::TfIdf`] — a TF-IDF text encoder with cosine similarity
+//!   for retrieval over the fine-tuning corpus.
+//!
+//! ```
+//! use nfi_neural::mlp::{Activation, Mlp};
+//!
+//! // Learn XOR: the classic non-linear sanity check.
+//! let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+//! let ys = [0.0, 1.0, 1.0, 0.0];
+//! let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, 7);
+//! for _ in 0..800 {
+//!     for (x, y) in xs.iter().zip(ys.iter()) {
+//!         net.train_mse_step(x, &[*y], 0.1);
+//!     }
+//! }
+//! let out = net.forward(&xs[1]);
+//! assert!(out[0] > 0.5);
+//! ```
+
+pub mod embedder;
+pub mod lm;
+pub mod mlp;
+pub mod optim;
+pub mod tensor;
+
+/// Numerically stable softmax over a slice.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax with a temperature: `t -> 0` approaches argmax, large `t`
+/// approaches uniform.
+///
+/// # Panics
+///
+/// Panics if `temperature` is not strictly positive.
+pub fn softmax_with_temperature(xs: &[f32], temperature: f32) -> Vec<f32> {
+    assert!(
+        temperature > 0.0,
+        "temperature must be positive, got {temperature}"
+    );
+    let scaled: Vec<f32> = xs.iter().map(|x| x / temperature).collect();
+    softmax(&scaled)
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Samples an index from a probability distribution using a uniform draw
+/// in `[0, 1)` (callers supply the randomness for determinism).
+pub fn sample_index(probs: &[f32], uniform: f32) -> usize {
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if uniform < acc {
+            return i;
+        }
+    }
+    probs.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn temperature_sharpens_and_flattens() {
+        let logits = [1.0, 2.0];
+        let sharp = softmax_with_temperature(&logits, 0.1);
+        let flat = softmax_with_temperature(&logits, 10.0);
+        assert!(sharp[1] > 0.99);
+        assert!((flat[1] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let _ = softmax_with_temperature(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn sample_index_respects_distribution_edges() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(sample_index(&p, 0.0), 0);
+        assert_eq!(sample_index(&p, 0.3), 1);
+        assert_eq!(sample_index(&p, 0.99), 2);
+        assert_eq!(sample_index(&p, 1.0), 2, "clamped to last index");
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,369 @@
+//! A neural n-gram language model over (code) tokens.
+//!
+//! Architecture (Bengio et al. 2003 style): each of the `context`
+//! previous tokens is embedded, embeddings are concatenated, passed
+//! through one tanh hidden layer, and projected to vocabulary logits.
+//! Training is stochastic gradient descent on cross-entropy with manual
+//! backprop (including embedding gradients).
+//!
+//! In the workspace this model plays the role of the LLM's *token-level*
+//! backbone: it is fine-tuned on faulty-code corpora, provides fluency
+//! scores for candidate snippets, and yields the perplexity-vs-dataset
+//! learning curve of experiment E6.
+
+use crate::tensor::Matrix;
+use crate::{sample_index, softmax_with_temperature};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Hyper-parameters for [`NgramLm`].
+#[derive(Debug, Clone)]
+pub struct LmConfig {
+    /// Number of previous tokens used as context.
+    pub context: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Weight-initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        LmConfig {
+            context: 3,
+            dim: 16,
+            hidden: 32,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Reserved id for beginning-of-sequence padding.
+pub const BOS: usize = 0;
+/// Reserved id for out-of-vocabulary tokens.
+pub const UNK: usize = 1;
+
+/// The neural n-gram language model.
+#[derive(Debug, Clone)]
+pub struct NgramLm {
+    vocab: Vec<String>,
+    lookup: HashMap<String, usize>,
+    embed: Matrix,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+    config: LmConfig,
+}
+
+impl NgramLm {
+    /// Creates an untrained model with a vocabulary built from the given
+    /// sequences (tokens occurring at least once).
+    pub fn new(sequences: &[Vec<String>], config: LmConfig) -> Self {
+        let mut vocab = vec!["<s>".to_string(), "<unk>".to_string()];
+        let mut lookup: HashMap<String, usize> = HashMap::new();
+        lookup.insert(vocab[0].clone(), BOS);
+        lookup.insert(vocab[1].clone(), UNK);
+        for seq in sequences {
+            for tok in seq {
+                if !lookup.contains_key(tok) {
+                    lookup.insert(tok.clone(), vocab.len());
+                    vocab.push(tok.clone());
+                }
+            }
+        }
+        let v = vocab.len();
+        let in_dim = config.context * config.dim;
+        NgramLm {
+            embed: Matrix::xavier(v, config.dim, config.seed),
+            w1: Matrix::xavier(config.hidden, in_dim, config.seed.wrapping_add(1)),
+            b1: vec![0.0; config.hidden],
+            w2: Matrix::xavier(v, config.hidden, config.seed.wrapping_add(2)),
+            b2: vec![0.0; v],
+            vocab,
+            lookup,
+            config,
+        }
+    }
+
+    /// Vocabulary size (including `<s>` and `<unk>`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Token → id (OOV maps to `<unk>`).
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens
+            .iter()
+            .map(|t| self.lookup.get(t).copied().unwrap_or(UNK))
+            .collect()
+    }
+
+    fn context_vector(&self, ctx: &[usize]) -> Vec<f32> {
+        let mut x = Vec::with_capacity(self.config.context * self.config.dim);
+        for id in ctx {
+            x.extend_from_slice(self.embed.row(*id));
+        }
+        x
+    }
+
+    fn logits(&self, ctx: &[usize]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let x = self.context_vector(ctx);
+        let mut h = self.w1.matvec(&x);
+        for (hj, bj) in h.iter_mut().zip(self.b1.iter()) {
+            *hj = (*hj + bj).tanh();
+        }
+        let mut logits = self.w2.matvec(&h);
+        for (lj, bj) in logits.iter_mut().zip(self.b2.iter()) {
+            *lj += bj;
+        }
+        (x, h, logits)
+    }
+
+    /// One epoch of SGD over all positions of all sequences; returns the
+    /// average negative log-likelihood (natural log).
+    pub fn train_epoch(&mut self, sequences: &[Vec<String>], lr: f32) -> f64 {
+        let mut total_nll = 0.0f64;
+        let mut count = 0usize;
+        let encoded: Vec<Vec<usize>> = sequences.iter().map(|s| self.encode(s)).collect();
+        for seq in &encoded {
+            let mut ctx = vec![BOS; self.config.context];
+            for &target in seq {
+                total_nll += self.sgd_example(&ctx, target, lr);
+                count += 1;
+                ctx.remove(0);
+                ctx.push(target);
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total_nll / count as f64
+        }
+    }
+
+    fn sgd_example(&mut self, ctx: &[usize], target: usize, lr: f32) -> f64 {
+        let (x, h, logits) = self.logits(ctx);
+        let probs = crate::softmax(&logits);
+        let nll = -(probs[target].max(1e-12) as f64).ln();
+
+        // dL/dlogits = p - onehot(target)
+        let mut dlogits = probs;
+        dlogits[target] -= 1.0;
+
+        // Output layer.
+        let dh_raw = self.w2.matvec_t(&dlogits);
+        self.w2.add_outer(-lr, &dlogits, &h);
+        for (b, d) in self.b2.iter_mut().zip(dlogits.iter()) {
+            *b -= lr * d;
+        }
+
+        // Hidden layer (tanh).
+        let dz: Vec<f32> = dh_raw
+            .iter()
+            .zip(h.iter())
+            .map(|(d, y)| d * (1.0 - y * y))
+            .collect();
+        let dx = self.w1.matvec_t(&dz);
+        self.w1.add_outer(-lr, &dz, &x);
+        for (b, d) in self.b1.iter_mut().zip(dz.iter()) {
+            *b -= lr * d;
+        }
+
+        // Embedding gradients: slice dx back to each context position.
+        for (pos, id) in ctx.iter().enumerate() {
+            let from = pos * self.config.dim;
+            let row = self.embed.row_mut(*id);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r -= lr * dx[from + j];
+            }
+        }
+        nll
+    }
+
+    /// Average per-token negative log-likelihood over sequences.
+    pub fn nll(&self, sequences: &[Vec<String>]) -> f64 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for seq in sequences {
+            let ids = self.encode(seq);
+            let mut ctx = vec![BOS; self.config.context];
+            for &target in &ids {
+                let (_, _, logits) = self.logits(&ctx);
+                let probs = crate::softmax(&logits);
+                total += -(probs[target].max(1e-12) as f64).ln();
+                count += 1;
+                ctx.remove(0);
+                ctx.push(target);
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Perplexity `exp(nll)`.
+    pub fn perplexity(&self, sequences: &[Vec<String>]) -> f64 {
+        self.nll(sequences).exp()
+    }
+
+    /// Average log-probability of a single token sequence (fluency score;
+    /// higher is more fluent).
+    pub fn fluency(&self, tokens: &[String]) -> f64 {
+        -self.nll(std::slice::from_ref(&tokens.to_vec()))
+    }
+
+    /// Samples up to `max_len` tokens after `prefix` with the given
+    /// temperature, using a seeded RNG.
+    pub fn sample(&self, prefix: &[String], max_len: usize, temperature: f32, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = vec![BOS; self.config.context];
+        for id in self.encode(prefix) {
+            ctx.remove(0);
+            ctx.push(id);
+        }
+        let mut out = Vec::new();
+        for _ in 0..max_len {
+            let (_, _, logits) = self.logits(&ctx);
+            let probs = softmax_with_temperature(&logits, temperature);
+            let pick = sample_index(&probs, rng.gen::<f32>());
+            if pick == BOS {
+                break;
+            }
+            out.push(self.vocab[pick].clone());
+            ctx.remove(0);
+            ctx.push(pick);
+        }
+        out
+    }
+}
+
+/// Splits source text into crude code tokens: identifiers, numbers, and
+/// single punctuation characters. Shared by the LM corpus builder and
+/// the fluency scorer so both see the same token stream.
+pub fn code_tokens(source: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in source.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            } else if c == '\n' {
+                tokens.push("<nl>".to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Vec<Vec<String>> {
+        let lines = [
+            "raise TimeoutError ( msg )",
+            "raise ValueError ( msg )",
+            "try : x = f ( ) except TimeoutError : pass",
+            "raise TimeoutError ( msg )",
+        ];
+        lines
+            .iter()
+            .map(|l| l.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        let corpus = tiny_corpus();
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        let before = lm.nll(&corpus);
+        for _ in 0..30 {
+            lm.train_epoch(&corpus, 0.05);
+        }
+        let after = lm.nll(&corpus);
+        assert!(
+            after < before * 0.7,
+            "nll did not drop enough: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn perplexity_is_exp_of_nll() {
+        let corpus = tiny_corpus();
+        let lm = NgramLm::new(&corpus, LmConfig::default());
+        let nll = lm.nll(&corpus);
+        assert!((lm.perplexity(&corpus) - nll.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oov_tokens_map_to_unk() {
+        let corpus = tiny_corpus();
+        let lm = NgramLm::new(&corpus, LmConfig::default());
+        let ids = lm.encode(&["utterly_novel_token".to_string()]);
+        assert_eq!(ids, vec![UNK]);
+    }
+
+    #[test]
+    fn trained_model_prefers_seen_continuations() {
+        let corpus = tiny_corpus();
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        for _ in 0..60 {
+            lm.train_epoch(&corpus, 0.05);
+        }
+        let seen: Vec<String> = "raise TimeoutError ( msg )"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let shuffled: Vec<String> = ") msg ( TimeoutError raise"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        assert!(
+            lm.fluency(&seen) > lm.fluency(&shuffled),
+            "fluency should prefer trained order"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let corpus = tiny_corpus();
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        for _ in 0..20 {
+            lm.train_epoch(&corpus, 0.05);
+        }
+        let prefix = vec!["raise".to_string()];
+        let a = lm.sample(&prefix, 5, 0.8, 11);
+        let b = lm.sample(&prefix, 5, 0.8, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn code_tokens_split_identifiers_and_punctuation() {
+        let toks = code_tokens("raise TimeoutError(\"db timeout\")");
+        assert!(toks.contains(&"raise".to_string()));
+        assert!(toks.contains(&"TimeoutError".to_string()));
+        assert!(toks.contains(&"(".to_string()));
+        assert!(toks.contains(&"\"".to_string()));
+    }
+
+    #[test]
+    fn empty_corpus_yields_zero_nll() {
+        let lm = NgramLm::new(&[], LmConfig::default());
+        assert_eq!(lm.nll(&[]), 0.0);
+        assert_eq!(lm.vocab_size(), 2);
+    }
+}

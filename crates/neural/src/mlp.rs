@@ -1,0 +1,379 @@
+//! Multi-layer perceptrons with manual backpropagation.
+//!
+//! The implementation is intentionally small: dense layers, one hidden
+//! activation type, identity output. Correctness is enforced by a
+//! finite-difference gradient check in the test suite.
+
+use crate::optim::{sgd_step, Adam};
+use crate::tensor::Matrix;
+
+/// Hidden-layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No non-linearity (linear network).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *post-activation* value.
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Gradients for every parameter tensor of an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-layer weight gradients.
+    pub weights: Vec<Matrix>,
+    /// Per-layer bias gradients.
+    pub biases: Vec<Vec<f32>>,
+}
+
+/// A feed-forward network: `dims = [in, h1, ..., out]`, hidden layers use
+/// the configured activation, the output layer is linear.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(dims: &[usize], act: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for (i, w) in dims.windows(2).enumerate() {
+            weights.push(Matrix::xavier(w[1], w[0], seed.wrapping_add(i as u64)));
+            biases.push(vec![0.0; w[1]]);
+        }
+        Mlp {
+            weights,
+            biases,
+            act,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights[self.weights.len() - 1].rows()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.weights
+            .iter()
+            .map(|w| w.rows() * w.cols())
+            .sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        self.forward_cached(x).pop().expect("at least one layer")
+    }
+
+    /// Scalar convenience for networks with a single output.
+    pub fn scalar(&self, x: &[f32]) -> f32 {
+        self.forward(x)[0]
+    }
+
+    /// Forward pass returning every layer's post-activation output
+    /// (excluding the input itself), last entry = network output.
+    fn forward_cached(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let n_layers = self.weights.len();
+        let mut outs: Vec<Vec<f32>> = Vec::with_capacity(n_layers);
+        let mut cur = x.to_vec();
+        for (i, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
+            let mut z = w.matvec(&cur);
+            for (zj, bj) in z.iter_mut().zip(b.iter()) {
+                *zj += bj;
+            }
+            let is_output = i == n_layers - 1;
+            if !is_output {
+                for zj in z.iter_mut() {
+                    *zj = self.act.apply(*zj);
+                }
+            }
+            outs.push(z.clone());
+            cur = z;
+        }
+        outs
+    }
+
+    /// Backpropagates `grad_out` (dL/d output) for input `x`, returning
+    /// parameter gradients.
+    pub fn backward(&self, x: &[f32], grad_out: &[f32]) -> Gradients {
+        let outs = self.forward_cached(x);
+        let n = self.weights.len();
+        let mut gw: Vec<Matrix> = self
+            .weights
+            .iter()
+            .map(|w| Matrix::zeros(w.rows(), w.cols()))
+            .collect();
+        let mut gb: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+        // delta = dL/dz for the current layer (output layer is linear).
+        let mut delta = grad_out.to_vec();
+        for layer in (0..n).rev() {
+            let input: &[f32] = if layer == 0 { x } else { &outs[layer - 1] };
+            gw[layer].add_outer(1.0, &delta, input);
+            for (g, d) in gb[layer].iter_mut().zip(delta.iter()) {
+                *g += d;
+            }
+            if layer > 0 {
+                // Propagate: dL/d input = W^T delta, then through activation.
+                let mut prev = self.weights[layer].matvec_t(&delta);
+                for (p, y) in prev.iter_mut().zip(outs[layer - 1].iter()) {
+                    *p *= self.act.derivative_from_output(*y);
+                }
+                delta = prev;
+            }
+        }
+        Gradients {
+            weights: gw,
+            biases: gb,
+        }
+    }
+
+    /// Applies gradients with plain SGD.
+    pub fn apply_sgd(&mut self, grads: &Gradients, lr: f32) {
+        for (w, g) in self.weights.iter_mut().zip(grads.weights.iter()) {
+            sgd_step(w.data_mut(), g.data(), lr);
+        }
+        for (b, g) in self.biases.iter_mut().zip(grads.biases.iter()) {
+            sgd_step(b, g, lr);
+        }
+    }
+
+    /// Applies gradients with Adam (state in a matching [`MlpAdam`]).
+    pub fn apply_adam(&mut self, grads: &Gradients, opt: &mut MlpAdam) {
+        for ((w, g), a) in self
+            .weights
+            .iter_mut()
+            .zip(grads.weights.iter())
+            .zip(opt.weights.iter_mut())
+        {
+            a.step(w.data_mut(), g.data());
+        }
+        for ((b, g), a) in self
+            .biases
+            .iter_mut()
+            .zip(grads.biases.iter())
+            .zip(opt.biases.iter_mut())
+        {
+            a.step(b, g);
+        }
+    }
+
+    /// One SGD step on the squared error `|y - target|^2 / 2`.
+    ///
+    /// Returns the loss before the update.
+    pub fn train_mse_step(&mut self, x: &[f32], target: &[f32], lr: f32) -> f32 {
+        let y = self.forward(x);
+        let grad: Vec<f32> = y.iter().zip(target.iter()).map(|(a, b)| a - b).collect();
+        let loss: f32 = grad.iter().map(|g| g * g).sum::<f32>() / 2.0;
+        let grads = self.backward(x, &grad);
+        self.apply_sgd(&grads, lr);
+        loss
+    }
+
+    /// Merges another gradient set into `into` (for minibatching).
+    pub fn accumulate(into: &mut Gradients, from: &Gradients) {
+        for (a, b) in into.weights.iter_mut().zip(from.weights.iter()) {
+            for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
+                *x += y;
+            }
+        }
+        for (a, b) in into.biases.iter_mut().zip(from.biases.iter()) {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+        }
+    }
+
+    /// A zeroed gradient set shaped like this network.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            weights: self
+                .weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
+            biases: self.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    #[cfg(test)]
+    fn weight_mut(&mut self, layer: usize, r: usize, c: usize) -> &mut f32 {
+        self.weights[layer].get_mut(r, c)
+    }
+}
+
+/// Adam state matching an [`Mlp`]'s parameter tensors.
+#[derive(Debug, Clone)]
+pub struct MlpAdam {
+    weights: Vec<Adam>,
+    biases: Vec<Adam>,
+}
+
+impl MlpAdam {
+    /// Creates optimizer state for a network.
+    pub fn new(net: &Mlp, lr: f32) -> Self {
+        MlpAdam {
+            weights: net
+                .weights
+                .iter()
+                .map(|w| Adam::new(w.rows() * w.cols(), lr))
+                .collect(),
+            biases: net.biases.iter().map(|b| Adam::new(b.len(), lr)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, 1);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut net = Mlp::new(&[4, 6, 3], Activation::Tanh, 42);
+        let x = [0.3, -0.2, 0.5, 0.1];
+        // Loss = sum of outputs, so dL/dy = 1 for every output.
+        let grad_out = vec![1.0; 3];
+        let grads = net.backward(&x, &grad_out);
+        let eps = 1e-3;
+        for (layer, r, c) in [(0usize, 0usize, 1usize), (0, 3, 2), (1, 2, 4), (1, 0, 0)] {
+            let orig = *net.weight_mut(layer, r, c);
+            *net.weight_mut(layer, r, c) = orig + eps;
+            let plus: f32 = net.forward(&x).iter().sum();
+            *net.weight_mut(layer, r, c) = orig - eps;
+            let minus: f32 = net.forward(&x).iter().sum();
+            *net.weight_mut(layer, r, c) = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads.weights[layer].get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "layer {layer} w[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_map() {
+        // y = 2a - b is learnable by a linear net.
+        let mut net = Mlp::new(&[2, 1], Activation::Identity, 3);
+        for _ in 0..500 {
+            for (a, b) in [(1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.5, 0.25)] {
+                net.train_mse_step(&[a, b], &[2.0 * a - b], 0.1);
+            }
+        }
+        assert!((net.scalar(&[1.0, 1.0]) - 1.0).abs() < 0.05);
+        assert!((net.scalar(&[0.0, 1.0]) + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn xor_requires_the_hidden_layer() {
+        let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+        let ys = [0.0, 1.0, 1.0, 0.0];
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, 7);
+        for _ in 0..800 {
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                net.train_mse_step(x, &[*y], 0.1);
+            }
+        }
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let out = net.scalar(x);
+            assert!(
+                (out - y).abs() < 0.25,
+                "xor({x:?}) = {out}, expected {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_training_converges_faster_than_nothing() {
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, 9);
+        let mut opt = MlpAdam::new(&net, 0.01);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..400 {
+            let mut total = 0.0;
+            for i in 0..8 {
+                let x = i as f32 / 8.0;
+                let t = (x * 3.0).sin();
+                let y = net.forward(&[x]);
+                let grad = vec![y[0] - t];
+                total += (y[0] - t) * (y[0] - t);
+                let g = net.backward(&[x], &grad);
+                net.apply_adam(&g, &mut opt);
+            }
+            if first_loss.is_none() {
+                first_loss = Some(total);
+            }
+            last_loss = total;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.1,
+            "loss failed to drop: {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn minibatch_accumulation_matches_sum() {
+        let net = Mlp::new(&[2, 3, 1], Activation::Tanh, 5);
+        let g1 = net.backward(&[0.1, 0.2], &[1.0]);
+        let g2 = net.backward(&[-0.3, 0.4], &[1.0]);
+        let mut acc = net.zero_gradients();
+        Mlp::accumulate(&mut acc, &g1);
+        Mlp::accumulate(&mut acc, &g2);
+        let expected = g1.weights[0].get(0, 0) + g2.weights[0].get(0, 0);
+        assert!((acc.weights[0].get(0, 0) - expected).abs() < 1e-6);
+    }
+}

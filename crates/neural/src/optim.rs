@@ -1,0 +1,100 @@
+//! Optimizers: plain SGD and Adam.
+
+/// Adam optimizer state for one parameter tensor (flattened).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Adam {
+    /// Creates Adam state for `n` parameters with standard defaults.
+    pub fn new(n: usize, lr: f32) -> Self {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Applies one update step: `params -= lr * m_hat / (sqrt(v_hat) + eps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the state size.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "adam param size mismatch");
+        assert_eq!(grads.len(), self.m.len(), "adam grad size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// One SGD step: `params -= lr * grads`.
+pub fn sgd_step(params: &mut [f32], grads: &[f32], lr: f32) {
+    debug_assert_eq!(params.len(), grads.len());
+    for (p, g) in params.iter_mut().zip(grads.iter()) {
+        *p -= lr * g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // f(x) = (x - 3)^2, f'(x) = 2(x - 3)
+        let mut x = [0.0f32];
+        for _ in 0..100 {
+            let g = [2.0 * (x[0] - 3.0)];
+            sgd_step(&mut x, &g, 0.1);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut x = [10.0f32];
+        let mut adam = Adam::new(1, 0.3);
+        for _ in 0..300 {
+            let g = [2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "got {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradients() {
+        let mut x = [5.0f32, 5.0];
+        let mut adam = Adam::new(2, 0.2);
+        for _ in 0..200 {
+            // Only the first coordinate gets gradient signal.
+            let g = [2.0 * x[0], 0.0];
+            adam.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 0.1);
+        assert!((x[1] - 5.0).abs() < 1e-6);
+    }
+}

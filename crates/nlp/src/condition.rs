@@ -1,0 +1,184 @@
+//! Compiling simple trigger clauses into executable guard expressions.
+//!
+//! `Trigger::When("the cart is empty")` is prose; when the clause fits a
+//! small set of recognizable shapes over the target function's symbols,
+//! it compiles to a PyLite guard so the injected fault genuinely fires
+//! only under the described condition (raising trigger fidelity from
+//! "noted in the rationale" to "compiled into the code"):
+//!
+//! * `<symbol> is empty` / `<symbol> is not empty` → `len(s) == 0` / `!= 0`
+//! * `<symbol> is none` / `is not none` → `s == None` / `s != None`
+//! * `<symbol> (is) greater/less than N`, `exceeds N`, `is at least N`
+//! * `<symbol> equals N` / `is N`
+//! * `<symbol> contains "word"` → `"word" in s`
+
+use crate::tokens;
+use nfi_pylite::ast::{build, CmpOp, Expr};
+
+/// Attempts to compile a prose clause into a guard expression over the
+/// given in-scope symbols (function parameters and module globals).
+/// Returns `None` when the clause does not match a known shape or names
+/// no visible symbol.
+pub fn compile_when(clause: &str, symbols: &[String]) -> Option<Expr> {
+    let toks = tokens(clause);
+    if toks.is_empty() {
+        return None;
+    }
+    // Locate the symbol the clause talks about (first token matching a
+    // visible symbol; multi-word fusion like entity matching).
+    let (sym, sym_end) = find_symbol(&toks, symbols)?;
+    let rest: Vec<&str> = toks[sym_end..].iter().map(String::as_str).collect();
+    let negated = rest.contains(&"not");
+    let rest_joined = rest.join(" ");
+
+    // <sym> is [not] empty
+    if rest.contains(&"empty") {
+        let op = if negated { CmpOp::Ne } else { CmpOp::Eq };
+        return Some(build::cmp(
+            op,
+            build::call("len", vec![build::name(&sym)]),
+            build::int(0),
+        ));
+    }
+    // <sym> is [not] none / missing
+    if rest.contains(&"none") || rest.contains(&"missing") {
+        let op = if negated { CmpOp::Ne } else { CmpOp::Eq };
+        return Some(build::cmp(op, build::name(&sym), build::none()));
+    }
+    // Numeric comparisons.
+    let number = rest.iter().find_map(|t| t.parse::<i64>().ok());
+    if let Some(n) = number {
+        let op = if rest_joined.contains("greater than or equal")
+            || rest_joined.contains("at least")
+        {
+            Some(CmpOp::Ge)
+        } else if rest_joined.contains("less than or equal") || rest_joined.contains("at most") {
+            Some(CmpOp::Le)
+        } else if rest_joined.contains("greater than")
+            || rest_joined.contains("exceed")
+            || rest_joined.contains("exceeds")
+            || rest_joined.contains("above")
+            || rest_joined.contains("more than")
+        {
+            Some(CmpOp::Gt)
+        } else if rest_joined.contains("less than") || rest_joined.contains("below") {
+            Some(CmpOp::Lt)
+        } else if rest_joined.contains("equal") || rest.first() == Some(&"is") {
+            Some(CmpOp::Eq)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            return Some(build::cmp(op, build::name(&sym), build::int(n)));
+        }
+    }
+    // <sym> contains "<word>" — take the word after `contains`.
+    if let Some(pos) = rest.iter().position(|t| *t == "contains") {
+        if let Some(word) = rest.get(pos + 1) {
+            return Some(build::cmp(
+                CmpOp::In,
+                build::str_(word),
+                build::name(&sym),
+            ));
+        }
+    }
+    None
+}
+
+/// Finds the first visible symbol mentioned in the tokens (verbatim or
+/// as a fused multi-word span); returns the symbol and the index just
+/// past its mention.
+fn find_symbol(toks: &[String], symbols: &[String]) -> Option<(String, usize)> {
+    let mut sorted: Vec<&String> = symbols.iter().collect();
+    sorted.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for sym in sorted {
+        let lower = sym.to_lowercase();
+        if let Some(i) = toks.iter().position(|t| *t == lower) {
+            return Some((sym.clone(), i + 1));
+        }
+        let parts: Vec<&str> = lower.split('_').filter(|p| !p.is_empty()).collect();
+        if parts.len() >= 2 {
+            for (i, w) in toks.windows(parts.len()).enumerate() {
+                if w.iter().map(String::as_str).eq(parts.iter().copied()) {
+                    return Some((sym.clone(), i + parts.len()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::print_expr;
+
+    fn syms(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn compiles_is_empty() {
+        let e = compile_when("the cart is empty", &syms(&["cart", "user"])).unwrap();
+        assert_eq!(print_expr(&e), "len(cart) == 0");
+        let e = compile_when("cart is not empty", &syms(&["cart"])).unwrap();
+        assert_eq!(print_expr(&e), "len(cart) != 0");
+    }
+
+    #[test]
+    fn compiles_is_none() {
+        let e = compile_when("the session is none", &syms(&["session"])).unwrap();
+        assert_eq!(print_expr(&e), "session == None");
+        let e = compile_when("payload is missing", &syms(&["payload"])).unwrap();
+        assert_eq!(print_expr(&e), "payload == None");
+    }
+
+    #[test]
+    fn compiles_numeric_comparisons() {
+        let s = syms(&["qty", "total"]);
+        assert_eq!(
+            print_expr(&compile_when("qty is greater than 10", &s).unwrap()),
+            "qty > 10"
+        );
+        assert_eq!(
+            print_expr(&compile_when("the total exceeds 100", &s).unwrap()),
+            "total > 100"
+        );
+        assert_eq!(
+            print_expr(&compile_when("qty is at least 3", &s).unwrap()),
+            "qty >= 3"
+        );
+        assert_eq!(
+            print_expr(&compile_when("qty is less than 2", &s).unwrap()),
+            "qty < 2"
+        );
+        assert_eq!(
+            print_expr(&compile_when("qty equals 7", &s).unwrap()),
+            "qty == 7"
+        );
+    }
+
+    #[test]
+    fn compiles_multiword_symbols() {
+        let e = compile_when(
+            "the transaction details is none",
+            &syms(&["transaction_details"]),
+        )
+        .unwrap();
+        assert_eq!(print_expr(&e), "transaction_details == None");
+    }
+
+    #[test]
+    fn compiles_contains() {
+        let e = compile_when("name contains admin", &syms(&["name"])).unwrap();
+        assert_eq!(print_expr(&e), "\"admin\" in name");
+    }
+
+    #[test]
+    fn unknown_shapes_return_none() {
+        let s = syms(&["cart"]);
+        assert!(compile_when("the moon is full", &s).is_none());
+        assert!(compile_when("cart feels heavy somehow", &s).is_none());
+        assert!(compile_when("", &s).is_none());
+    }
+}

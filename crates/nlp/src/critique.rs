@@ -1,0 +1,192 @@
+//! Parsing tester critiques into structured refinement intents.
+//!
+//! In the paper's running example the tester replies *"introduce a retry
+//! mechanism instead of just logging the error"* and the next generation
+//! incorporates a retry path; this module is the NL half of that loop
+//! (the RLHF mechanism consumes the parsed intents).
+
+use crate::quantity::{extract, Quantity, Unit};
+use crate::{stem, tokens};
+
+/// A structured refinement intent extracted from a tester's critique.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CritiqueIntent {
+    /// Add a retry path (optionally with an attempt budget).
+    AddRetry {
+        /// Requested number of attempts, when stated.
+        attempts: Option<u32>,
+    },
+    /// Raise / expect a different exception kind.
+    UseExceptionKind(String),
+    /// Log the error where it is handled.
+    AddLogging,
+    /// Stop merely logging (usually paired with another intent).
+    RemoveLogging,
+    /// Let the exception propagate to the caller.
+    PropagateError,
+    /// Swallow the error silently.
+    SwallowError,
+    /// Fire only under the described condition.
+    TriggerOnlyWhen(String),
+    /// Fire intermittently with the given probability.
+    MakeIntermittent(f64),
+    /// Change the injected delay.
+    ChangeDelay(Quantity),
+    /// The generation is accepted as-is.
+    Approve,
+    /// Unrecognized feedback, kept verbatim.
+    Other(String),
+}
+
+/// Parses a critique into zero or more intents (order follows the text).
+pub fn parse_critique(text: &str) -> Vec<CritiqueIntent> {
+    let lower = text.to_lowercase();
+    let toks = tokens(text);
+    let stems: Vec<String> = toks.iter().map(|t| stem(t)).collect();
+    let has = |w: &str| stems.iter().any(|s| s == &stem(w));
+    let mut intents = Vec::new();
+
+    if has("perfect")
+        || has("approve")
+        || lower.contains("looks good")
+        || lower.contains("ship it")
+        || lower.contains("exactly what")
+    {
+        intents.push(CritiqueIntent::Approve);
+    }
+
+    if has("retry") || has("retries") || lower.contains("try again") {
+        let attempts = extract(text)
+            .into_iter()
+            .find(|q| q.unit == Unit::Count || q.unit == Unit::None)
+            .map(|q| q.value as u32);
+        intents.push(CritiqueIntent::AddRetry { attempts });
+    }
+
+    // Explicit exception-kind request ("raise a ConnectionError instead").
+    for word in text.split(|c: char| !c.is_alphanumeric()) {
+        if word.ends_with("Error") && word.len() > 5 {
+            intents.push(CritiqueIntent::UseExceptionKind(word.to_string()));
+            break;
+        }
+    }
+
+    if lower.contains("instead of just logging") || lower.contains("not just log") {
+        intents.push(CritiqueIntent::RemoveLogging);
+    } else if has("log") {
+        intents.push(CritiqueIntent::AddLogging);
+    }
+
+    if has("propagate") || lower.contains("let the exception") || lower.contains("bubble up") {
+        intents.push(CritiqueIntent::PropagateError);
+    }
+    if has("swallow") || lower.contains("ignore the error") || lower.contains("silently ignore") {
+        intents.push(CritiqueIntent::SwallowError);
+    }
+
+    if let Some(pos) = lower.find("only when ") {
+        let clause = text[pos + "only when ".len()..]
+            .split(['.', ','])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if !clause.is_empty() {
+            intents.push(CritiqueIntent::TriggerOnlyWhen(clause));
+        }
+    }
+
+    if has("intermittent") || has("sometimes") || has("occasionally") {
+        let p = extract(text)
+            .into_iter()
+            .find(|q| q.unit == Unit::Percent)
+            .map(|q| q.value / 100.0)
+            .unwrap_or(0.5);
+        intents.push(CritiqueIntent::MakeIntermittent(p));
+    }
+
+    if has("delay") || has("longer") || has("shorter") || has("sleep") {
+        if let Some(q) = extract(text)
+            .into_iter()
+            .find(|q| matches!(q.unit, Unit::Seconds | Unit::Milliseconds))
+        {
+            intents.push(CritiqueIntent::ChangeDelay(q));
+        }
+    }
+
+    if intents.is_empty() {
+        intents.push(CritiqueIntent::Other(text.to_string()));
+    }
+    intents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_critique() {
+        let intents =
+            parse_critique("introduce a retry mechanism instead of just logging the error");
+        assert!(intents.contains(&CritiqueIntent::AddRetry { attempts: None }));
+        assert!(intents.contains(&CritiqueIntent::RemoveLogging));
+    }
+
+    #[test]
+    fn retry_with_count() {
+        let intents = parse_critique("retry 3 times before giving up");
+        assert!(intents.contains(&CritiqueIntent::AddRetry { attempts: Some(3) }));
+    }
+
+    #[test]
+    fn exception_kind_request() {
+        let intents = parse_critique("raise a ConnectionError instead of a generic failure");
+        assert!(intents
+            .iter()
+            .any(|i| matches!(i, CritiqueIntent::UseExceptionKind(k) if k == "ConnectionError")));
+    }
+
+    #[test]
+    fn approval() {
+        assert!(parse_critique("looks good, ship it").contains(&CritiqueIntent::Approve));
+        assert!(parse_critique("Perfect.").contains(&CritiqueIntent::Approve));
+    }
+
+    #[test]
+    fn trigger_only_when() {
+        let intents = parse_critique("trigger the fault only when the cart is empty");
+        assert!(intents
+            .iter()
+            .any(|i| matches!(i, CritiqueIntent::TriggerOnlyWhen(c) if c == "the cart is empty")));
+    }
+
+    #[test]
+    fn intermittent_with_percent() {
+        let intents = parse_critique("make it intermittent, around 20% of requests");
+        assert!(intents
+            .iter()
+            .any(|i| matches!(i, CritiqueIntent::MakeIntermittent(p) if (*p - 0.2).abs() < 1e-9)));
+    }
+
+    #[test]
+    fn delay_change() {
+        let intents = parse_critique("use a longer delay of 45 seconds");
+        assert!(intents.iter().any(|i| matches!(
+            i,
+            CritiqueIntent::ChangeDelay(Quantity { value, unit: Unit::Seconds }) if *value == 45.0
+        )));
+    }
+
+    #[test]
+    fn propagate_and_log() {
+        let intents = parse_critique("log the error and let the exception propagate");
+        assert!(intents.contains(&CritiqueIntent::AddLogging));
+        assert!(intents.contains(&CritiqueIntent::PropagateError));
+    }
+
+    #[test]
+    fn unknown_text_is_other() {
+        let intents = parse_critique("hmm, interesting approach");
+        assert!(matches!(intents.as_slice(), [CritiqueIntent::Other(_)]));
+    }
+}

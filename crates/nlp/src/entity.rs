@@ -1,0 +1,124 @@
+//! Named-entity extraction for code symbols.
+//!
+//! Matches description tokens against the submitted code's symbol table
+//! (the "named entity recognition" of §III-B1). Multi-word spans fuse
+//! into snake_case identifiers: "the process transaction function"
+//! matches `process_transaction`.
+
+use nfi_pylite::analysis::ModuleIndex;
+
+/// Matches tokens against the module's symbols.
+///
+/// Returns `(target_function, other_symbols)`: the first *function*
+/// matched is the injection target; every other matched symbol (globals,
+/// parameters, further functions) lands in the symbol list.
+pub fn match_symbols(tokens: &[String], index: &ModuleIndex) -> (Option<String>, Vec<String>) {
+    let mut functions: Vec<&str> = index.functions.iter().map(|f| f.name.as_str()).collect();
+    // Longer names first so "retry_transaction" wins over "transaction".
+    functions.sort_by_key(|n| std::cmp::Reverse(n.len()));
+
+    let mut globals: Vec<&str> = index.globals.iter().map(String::as_str).collect();
+    globals.sort_by_key(|n| std::cmp::Reverse(n.len()));
+
+    let mut params: Vec<&str> = index
+        .functions
+        .iter()
+        .flat_map(|f| f.params.iter().map(String::as_str))
+        .collect();
+    params.sort_by_key(|n| std::cmp::Reverse(n.len()));
+
+    let mut target_function = None;
+    let mut symbols = Vec::new();
+
+    for name in functions {
+        if matches_name(tokens, name) {
+            if target_function.is_none() {
+                target_function = Some(name.to_string());
+            } else if !symbols.contains(&name.to_string()) {
+                symbols.push(name.to_string());
+            }
+        }
+    }
+    for name in globals.into_iter().chain(params) {
+        if matches_name(tokens, name) && !symbols.contains(&name.to_string()) {
+            if Some(name.to_string()) != target_function {
+                symbols.push(name.to_string());
+            }
+        }
+    }
+    (target_function, symbols)
+}
+
+/// Whether `name` (a snake_case identifier) appears in the tokens either
+/// verbatim or as a consecutive word span.
+fn matches_name(tokens: &[String], name: &str) -> bool {
+    let lower = name.to_lowercase();
+    if tokens.iter().any(|t| *t == lower) {
+        return true;
+    }
+    let parts: Vec<&str> = lower.split('_').filter(|p| !p.is_empty()).collect();
+    if parts.len() < 2 {
+        return false;
+    }
+    tokens
+        .windows(parts.len())
+        .any(|w| w.iter().map(String::as_str).eq(parts.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens;
+    use nfi_pylite::parse;
+
+    fn index() -> ModuleIndex {
+        let m = parse(
+            "inventory = {}\ndef process_transaction(transaction_details):\n    pass\ndef reserve_stock(item, qty):\n    pass\n",
+        )
+        .unwrap();
+        ModuleIndex::build(&m)
+    }
+
+    #[test]
+    fn verbatim_identifier_matches() {
+        let (f, _) = match_symbols(&tokens("break process_transaction badly"), &index());
+        assert_eq!(f.as_deref(), Some("process_transaction"));
+    }
+
+    #[test]
+    fn multi_word_span_fuses_to_snake_case() {
+        let (f, _) = match_symbols(
+            &tokens("inside the process transaction function"),
+            &index(),
+        );
+        assert_eq!(f.as_deref(), Some("process_transaction"));
+    }
+
+    #[test]
+    fn globals_and_params_go_to_symbols() {
+        let (f, syms) = match_symbols(
+            &tokens("corrupt the inventory after reserve stock runs with qty"),
+            &index(),
+        );
+        assert_eq!(f.as_deref(), Some("reserve_stock"));
+        assert!(syms.contains(&"inventory".to_string()));
+        assert!(syms.contains(&"qty".to_string()));
+    }
+
+    #[test]
+    fn single_word_names_do_not_fuzzy_match() {
+        let m = parse("def take():\n    pass\n").unwrap();
+        let idx = ModuleIndex::build(&m);
+        let (f, _) = match_symbols(&tokens("do not match partial words like taken"), &idx);
+        assert_eq!(f, None);
+        let (f, _) = match_symbols(&tokens("but take matches exactly"), &idx);
+        assert_eq!(f.as_deref(), Some("take"));
+    }
+
+    #[test]
+    fn no_match_yields_none() {
+        let (f, syms) = match_symbols(&tokens("completely unrelated text"), &index());
+        assert_eq!(f, None);
+        assert!(syms.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Fault-class keyword lexicons and effect/exception heuristics.
+//!
+//! Classification is weighted keyword scoring over stemmed tokens; the
+//! best and second-best classes are both reported so hybrid descriptions
+//! ("a timeout causing an unhandled exception") keep their causal
+//! structure.
+
+use crate::{stem, EffectHint};
+use nfi_sfi::FaultClass;
+
+/// Weighted keyword lexicon per fault class. Entries are stemmed at
+/// match time so surface variants (locking / locks / locked) hit.
+fn lexicon() -> Vec<(FaultClass, Vec<(&'static str, f32)>)> {
+    vec![
+        (
+            FaultClass::Timing,
+            vec![
+                ("timeout", 3.5),
+                ("delay", 2.0),
+                ("slow", 2.0),
+                ("latency", 2.0),
+                ("stall", 2.0),
+                ("expire", 2.0),
+                ("deadline", 2.0),
+                ("sleep", 1.5),
+            ],
+        ),
+        (
+            FaultClass::Concurrency,
+            vec![
+                ("race", 3.0),
+                ("deadlock", 3.0),
+                ("concurrent", 2.0),
+                ("interleave", 2.0),
+                ("lock", 2.0),
+                ("mutex", 2.0),
+                ("synchronization", 2.0),
+                ("unsynchronized", 2.5),
+                ("shared", 1.5),
+                ("thread", 1.5),
+                ("parallel", 1.5),
+                ("atomic", 1.5),
+            ],
+        ),
+        (
+            FaultClass::ResourceLeak,
+            vec![
+                ("leak", 3.0),
+                ("unclosed", 2.5),
+                ("exhaust", 2.0),
+                ("descriptor", 2.0),
+                ("close", 1.5),
+                ("handle", 1.5),
+                ("socket", 1.5),
+                ("connection", 1.0),
+                ("release", 1.0),
+            ],
+        ),
+        (
+            FaultClass::BufferOverflow,
+            vec![
+                ("overflow", 3.0),
+                ("buffer", 2.5),
+                ("bound", 2.0),
+                ("capacity", 2.0),
+                ("overrun", 2.5),
+            ],
+        ),
+        (
+            FaultClass::ExceptionHandling,
+            vec![
+                ("exception", 1.5),
+                ("unhandled", 1.5),
+                ("uncaught", 1.5),
+                ("catch", 1.5),
+                ("except", 1.5),
+                ("handler", 1.5),
+                ("swallow", 2.0),
+                ("propagate", 1.5),
+                ("raise", 1.5),
+                ("recovery", 1.5),
+                ("retry", 1.0),
+                ("error", 0.75),
+            ],
+        ),
+        (
+            FaultClass::Omission,
+            vec![
+                ("missing", 2.0),
+                ("omit", 2.5),
+                ("skip", 2.0),
+                ("remove", 2.0),
+                ("forget", 2.5),
+                ("drop", 1.5),
+                ("without", 1.0),
+            ],
+        ),
+        (
+            FaultClass::WrongValue,
+            vec![
+                ("wrong", 2.0),
+                ("incorrect", 2.0),
+                ("corrupt", 2.5),
+                ("invalid", 1.5),
+                ("boundary", 1.5),
+                ("negate", 2.0),
+                ("invert", 2.0),
+            ],
+        ),
+        (
+            FaultClass::Interface,
+            vec![
+                ("parameter", 2.0),
+                ("argument", 2.0),
+                ("api", 2.0),
+                ("interface", 2.0),
+                ("duplicate", 2.0),
+                ("twice", 2.0),
+                ("call", 0.5),
+            ],
+        ),
+    ]
+}
+
+/// Classifies stemmed tokens; returns (best, second, confidence).
+pub fn classify(stems: &[String]) -> (Option<FaultClass>, Option<FaultClass>, f32) {
+    let mut scores: Vec<(FaultClass, f32)> = Vec::new();
+    for (class, words) in lexicon() {
+        let mut score = 0.0;
+        for (word, weight) in words {
+            let stemmed = stem(word);
+            let hits = stems.iter().filter(|s| **s == stemmed).count();
+            score += weight * hits as f32;
+        }
+        // "off by one" trigram boosts WrongValue.
+        if class == FaultClass::WrongValue && has_trigram(stems, "off", "by", "one") {
+            score += 3.0;
+        }
+        scores.push((class, score));
+    }
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (best_class, best) = scores[0];
+    let (second_class, second) = scores[1];
+    if best <= 0.0 {
+        return (None, None, 0.0);
+    }
+    let confidence = ((best - second) / best).max(0.05);
+    let secondary = if second > 0.0 { Some(second_class) } else { None };
+    (Some(best_class), secondary, confidence)
+}
+
+fn has_trigram(stems: &[String], a: &str, b: &str, c: &str) -> bool {
+    stems
+        .windows(3)
+        .any(|w| w[0] == a && w[1] == b && w[2] == c)
+}
+
+/// Effect-hint extraction, in priority order.
+pub fn effect_hint(stems: &[String]) -> Option<EffectHint> {
+    let any = |words: &[&str]| {
+        words
+            .iter()
+            .any(|w| stems.iter().any(|s| s == &stem(w)))
+    };
+    if any(&["crash", "unhandled", "uncaught", "abort", "panic"]) {
+        Some(EffectHint::Crash)
+    } else if any(&["hang", "freeze", "stuck", "deadlock", "forever"]) {
+        Some(EffectHint::Hang)
+    } else if any(&["leak", "exhaust"]) {
+        Some(EffectHint::Leak)
+    } else if any(&["corrupt", "wrong", "incorrect", "silently"]) {
+        Some(EffectHint::WrongOutput)
+    } else if any(&["slow", "delay", "latency"]) {
+        Some(EffectHint::Slow)
+    } else {
+        None
+    }
+}
+
+/// Infers the exception kind involved, when the description implies one.
+pub fn exception_kind(description: &str, stems: &[String]) -> Option<String> {
+    // Explicit CamelCase ...Error names win.
+    for word in description.split(|c: char| !c.is_alphanumeric()) {
+        if word.ends_with("Error") && word.len() > 5 && word.chars().next()?.is_uppercase() {
+            return Some(word.to_string());
+        }
+    }
+    // Otherwise require an exception-ish context word before mapping
+    // domain terms to kinds.
+    let has_context = ["except", "error", "rais", "fail", "crash", "throw"]
+        .iter()
+        .any(|w| stems.iter().any(|s| s.starts_with(w)));
+    if !has_context {
+        return None;
+    }
+    let has = |w: &str| stems.iter().any(|s| s == &stem(w));
+    if has("timeout") || has("deadline") {
+        Some("TimeoutError".to_string())
+    } else if has("connection") || has("network") || has("gateway") {
+        Some("ConnectionError".to_string())
+    } else if has("permission") || has("denied") {
+        Some("PermissionError".to_string())
+    } else if has("key") {
+        Some("KeyError".to_string())
+    } else if has("index") {
+        Some("IndexError".to_string())
+    } else if has("file") || has("io") || has("disk") {
+        Some("IOError".to_string())
+    } else if has("division") || has("zero") {
+        Some("ZeroDivisionError".to_string())
+    } else if has("invalid") || has("value") {
+        Some("ValueError".to_string())
+    } else {
+        None
+    }
+}
+
+/// Common function words ignored when building retrieval keywords.
+pub fn is_stopword(stemmed: &str) -> bool {
+    const STOP: &[&str] = &[
+        "a", "an", "the", "of", "to", "in", "on", "at", "by", "for", "with", "and", "or", "so",
+        "it", "its", "is", "are", "was", "be", "been", "that", "this", "these", "those", "where",
+        "which", "within", "into", "due", "caus", "function", "scenario", "simulate", "introduce",
+        "make", "should", "would", "will", "can", "may",
+    ];
+    STOP.contains(&stemmed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens;
+
+    fn stems_of(text: &str) -> Vec<String> {
+        tokens(text).iter().map(|t| stem(t)).collect()
+    }
+
+    #[test]
+    fn each_class_has_a_clear_example() {
+        let cases = [
+            ("a timeout while waiting for the slow database", FaultClass::Timing),
+            ("a race condition on the shared lock", FaultClass::Concurrency),
+            ("leak the unclosed socket handle", FaultClass::ResourceLeak),
+            ("overflow the bounded buffer capacity", FaultClass::BufferOverflow),
+            ("swallow the exception in the handler", FaultClass::ExceptionHandling),
+            ("omit the missing validation step", FaultClass::Omission),
+            ("assign a corrupt incorrect value", FaultClass::WrongValue),
+            ("pass a duplicate argument to the api", FaultClass::Interface),
+        ];
+        for (text, expected) in cases {
+            let (best, _, conf) = classify(&stems_of(text));
+            assert_eq!(best, Some(expected), "misclassified: {text}");
+            assert!(conf > 0.0);
+        }
+    }
+
+    #[test]
+    fn off_by_one_trigram_boosts_wrong_value() {
+        let (best, _, _) = classify(&stems_of("introduce an off by one mistake in the loop"));
+        assert_eq!(best, Some(FaultClass::WrongValue));
+    }
+
+    #[test]
+    fn no_keywords_means_no_class() {
+        let (best, second, conf) = classify(&stems_of("hello pleasant world"));
+        assert_eq!(best, None);
+        assert_eq!(second, None);
+        assert_eq!(conf, 0.0);
+    }
+
+    #[test]
+    fn effect_priority_crash_over_slow() {
+        let e = effect_hint(&stems_of("a slow request causing an unhandled crash"));
+        assert_eq!(e, Some(EffectHint::Crash));
+    }
+
+    #[test]
+    fn exception_kind_explicit_name_wins() {
+        let k = exception_kind("raise a ZeroDivisionError here", &stems_of("raise a ZeroDivisionError here"));
+        assert_eq!(k.as_deref(), Some("ZeroDivisionError"));
+    }
+
+    #[test]
+    fn exception_kind_requires_context() {
+        let text = "the connection pool of the database";
+        assert_eq!(exception_kind(text, &stems_of(text)), None);
+        let text2 = "fail with a connection problem";
+        assert_eq!(
+            exception_kind(text2, &stems_of(text2)).as_deref(),
+            Some("ConnectionError")
+        );
+    }
+}

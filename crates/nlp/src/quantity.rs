@@ -1,0 +1,159 @@
+//! Quantity extraction: numbers with units from raw description text.
+
+/// Unit attached to an extracted quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Seconds (normalized from s / sec / seconds / minutes).
+    Seconds,
+    /// Milliseconds.
+    Milliseconds,
+    /// A count (times, retries, attempts, items).
+    Count,
+    /// A percentage.
+    Percent,
+    /// Bare number.
+    None,
+}
+
+/// A number found in the text, with its unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantity {
+    /// Numeric value (minutes are converted to seconds).
+    pub value: f64,
+    /// Unit.
+    pub unit: Unit,
+}
+
+/// Extracts quantities from raw text. Handles decimals (`1.5`), the `%`
+/// sign, and unit words following the number.
+pub fn extract(text: &str) -> Vec<Quantity> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
+            {
+                if chars[i] == '.' {
+                    // Only treat as decimal point when a digit follows.
+                    if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+                        seen_dot = true;
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            let number: String = chars[start..i].iter().collect();
+            let Ok(value) = number.parse::<f64>() else {
+                continue;
+            };
+            // Percent sign directly after (possibly spaces).
+            let mut j = i;
+            while j < chars.len() && chars[j] == ' ' {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '%' {
+                out.push(Quantity {
+                    value,
+                    unit: Unit::Percent,
+                });
+                i = j + 1;
+                continue;
+            }
+            // Unit word following the number.
+            let word = next_word(&chars, i);
+            let (unit, value) = match word.as_str() {
+                "second" | "seconds" | "sec" | "secs" | "s" => (Unit::Seconds, value),
+                "minute" | "minutes" | "min" | "mins" => (Unit::Seconds, value * 60.0),
+                "millisecond" | "milliseconds" | "ms" => (Unit::Milliseconds, value),
+                "time" | "times" | "retry" | "retries" | "attempt" | "attempts" | "item"
+                | "items" | "request" | "requests" | "iteration" | "iterations" => {
+                    (Unit::Count, value)
+                }
+                "percent" | "percentage" => (Unit::Percent, value),
+                _ => (Unit::None, value),
+            };
+            out.push(Quantity { value, unit });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_word(chars: &[char], mut i: usize) -> String {
+    while i < chars.len() && !chars[i].is_alphanumeric() {
+        // Stop at sentence punctuation; units must be adjacent-ish.
+        if chars[i] == '.' || chars[i] == ',' {
+            return String::new();
+        }
+        i += 1;
+    }
+    let mut w = String::new();
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        w.extend(chars[i].to_lowercase());
+        i += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_and_decimals() {
+        let q = extract("wait 1.5 seconds then 30 s");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0], Quantity { value: 1.5, unit: Unit::Seconds });
+        assert_eq!(q[1], Quantity { value: 30.0, unit: Unit::Seconds });
+    }
+
+    #[test]
+    fn minutes_normalize_to_seconds() {
+        let q = extract("after 2 minutes");
+        assert_eq!(q[0], Quantity { value: 120.0, unit: Unit::Seconds });
+    }
+
+    #[test]
+    fn percent_sign_and_word() {
+        assert_eq!(
+            extract("fail 25% of requests")[0],
+            Quantity { value: 25.0, unit: Unit::Percent }
+        );
+        assert_eq!(
+            extract("fail 10 percent of requests")[0],
+            Quantity { value: 10.0, unit: Unit::Percent }
+        );
+    }
+
+    #[test]
+    fn counts() {
+        let q = extract("retry 3 times across 5 attempts");
+        assert_eq!(q[0], Quantity { value: 3.0, unit: Unit::Count });
+        assert_eq!(q[1], Quantity { value: 5.0, unit: Unit::Count });
+    }
+
+    #[test]
+    fn bare_numbers_have_no_unit() {
+        assert_eq!(
+            extract("use version 7 now")[0],
+            Quantity { value: 7.0, unit: Unit::None }
+        );
+    }
+
+    #[test]
+    fn number_at_end_of_sentence() {
+        let q = extract("set the limit to 8.");
+        assert_eq!(q[0], Quantity { value: 8.0, unit: Unit::None });
+    }
+
+    #[test]
+    fn no_numbers_no_quantities() {
+        assert!(extract("no digits here").is_empty());
+    }
+}

@@ -1,0 +1,960 @@
+//! Abstract syntax tree for the PyLite language.
+//!
+//! PyLite is a deliberately small Python dialect that serves as the
+//! injection substrate for the whole workspace: fault operators mutate
+//! these trees, the code generator synthesizes fragments of them, and the
+//! [`crate::machine::Machine`] executes them.
+//!
+//! Every node carries a [`Span`] (source position) and a [`NodeId`]
+//! (stable identity used by fault-injection site descriptors). Equality
+//! (`PartialEq`) is *structural*: spans and node ids are ignored, so a
+//! parse → print → parse round-trip compares equal.
+
+use std::fmt;
+
+/// A source position (1-based line, 1-based column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Stable identity of an AST node within one [`Module`].
+///
+/// Node ids are assigned in pre-order by the parser and re-assigned by
+/// [`Module::renumber`] after mutation, so a `NodeId` uniquely names an
+/// injection site inside a given module snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Binary arithmetic / container operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+}
+
+impl CmpOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+        }
+    }
+
+    /// The negated comparison, e.g. `==` becomes `!=`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::In => CmpOp::NotIn,
+            CmpOp::NotIn => CmpOp::In,
+        }
+    }
+
+    /// A "close" neighbouring comparison used by off-by-one style fault
+    /// operators, e.g. `<` becomes `<=`.
+    pub fn relax(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Gt,
+            other => other.negate(),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+}
+
+/// Boolean connectives with short-circuit semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Literal constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// `None`
+    None,
+    /// `True` / `False`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// An expression node.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Stable node identity (ignored by `PartialEq`).
+    pub id: NodeId,
+    /// Source position (ignored by `PartialEq`).
+    pub span: Span,
+    /// The expression payload.
+    pub kind: ExprKind,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Literal constant.
+    Const(Lit),
+    /// Variable reference.
+    Name(String),
+    /// Binary arithmetic operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Short-circuit boolean operation.
+    Bool {
+        /// Connective.
+        op: BoolOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Comparison (non-chained).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call `f(a, b)`.
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call `obj.name(a, b)`.
+    MethodCall {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Positional arguments.
+        args: Vec<Expr>,
+    },
+    /// Subscript `obj[idx]`.
+    Index {
+        /// Container.
+        obj: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// List display `[a, b]`.
+    List(Vec<Expr>),
+    /// Tuple display `(a, b)`.
+    Tuple(Vec<Expr>),
+    /// Dict display `{k: v}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// Conditional expression `a if cond else b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when the condition is truthy.
+        then: Box<Expr>,
+        /// Value when the condition is falsy.
+        orelse: Box<Expr>,
+    },
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Simple name binding `x = ...`.
+    Name(String),
+    /// Subscript store `obj[idx] = ...`.
+    Index {
+        /// Container expression.
+        obj: Expr,
+        /// Index expression.
+        index: Expr,
+    },
+    /// Tuple unpacking `a, b = ...`.
+    Tuple(Vec<String>),
+}
+
+/// One `except` clause of a `try` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handler {
+    /// The exception kind to match (`None` = bare `except`, matches all).
+    pub kind: Option<String>,
+    /// Optional `as name` binding.
+    pub bind: Option<String>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement node.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Stable node identity (ignored by `PartialEq`).
+    pub id: NodeId,
+    /// Source position (ignored by `PartialEq`).
+    pub span: Span,
+    /// The statement payload.
+    pub kind: StmtKind,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement (value discarded).
+    Expr(Expr),
+    /// Assignment `target = value`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// Augmented assignment `target op= value`.
+    AugAssign {
+        /// Target (name or subscript).
+        target: Target,
+        /// Operator.
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if` / `elif` / `else` chain (elifs are desugared into nested ifs).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// False branch (empty when absent).
+        orelse: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for var[, var2] in iter` loop.
+    For {
+        /// Loop variables (tuple unpacking when more than one).
+        vars: Vec<String>,
+        /// Iterable expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Function definition.
+    Def {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Default values for the trailing parameters.
+        defaults: Vec<Expr>,
+        /// Function body.
+        body: Vec<Stmt>,
+    },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `raise [expr]` (bare raise re-raises the active exception).
+    Raise(Option<Expr>),
+    /// `try` / `except` / `finally`.
+    Try {
+        /// Guarded body.
+        body: Vec<Stmt>,
+        /// Except clauses, tried in order.
+        handlers: Vec<Handler>,
+        /// Optional finally block.
+        finally: Vec<Stmt>,
+    },
+    /// `global name[, name]` declaration.
+    Global(Vec<String>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `pass`.
+    Pass,
+    /// `assert cond[, msg]`.
+    Assert {
+        /// Asserted condition.
+        cond: Expr,
+        /// Optional message expression.
+        msg: Option<Expr>,
+    },
+}
+
+/// A parsed PyLite source file: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module { body: Vec::new() }
+    }
+
+    /// Re-assigns node ids in pre-order, returning the number of nodes.
+    ///
+    /// Fault operators splice freshly-built subtrees whose ids are zeroed;
+    /// renumbering restores the invariant that ids are unique and dense.
+    pub fn renumber(&mut self) -> u32 {
+        let mut next = 0u32;
+        for stmt in &mut self.body {
+            renumber_stmt(stmt, &mut next);
+        }
+        next
+    }
+
+    /// Iterates over all statements (depth-first, pre-order), invoking
+    /// `f` for each one.
+    pub fn walk_stmts<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        for stmt in &self.body {
+            walk_stmt(stmt, f);
+        }
+    }
+
+    /// Mutable depth-first statement walk.
+    pub fn walk_stmts_mut(&mut self, f: &mut dyn FnMut(&mut Stmt)) {
+        for stmt in &mut self.body {
+            walk_stmt_mut(stmt, f);
+        }
+    }
+
+    /// Total number of statements (all nesting levels).
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.walk_stmts(&mut |_| n += 1);
+        n
+    }
+
+    /// Finds the top-level function definition with the given name.
+    pub fn find_def(&self, name: &str) -> Option<&Stmt> {
+        self.body.iter().find(|s| match &s.kind {
+            StmtKind::Def { name: n, .. } => n == name,
+            _ => false,
+        })
+    }
+
+    /// Mutable variant of [`Module::find_def`].
+    pub fn find_def_mut(&mut self, name: &str) -> Option<&mut Stmt> {
+        self.body.iter_mut().find(|s| match &s.kind {
+            StmtKind::Def { name: n, .. } => n == name,
+            _ => false,
+        })
+    }
+
+    /// Names of all top-level function definitions, in source order.
+    pub fn def_names(&self) -> Vec<String> {
+        self.body
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Def { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Child statement blocks of a statement, if any.
+pub fn stmt_blocks(stmt: &Stmt) -> Vec<&Vec<Stmt>> {
+    match &stmt.kind {
+        StmtKind::If { then, orelse, .. } => vec![then, orelse],
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } | StmtKind::Def { body, .. } => {
+            vec![body]
+        }
+        StmtKind::Try {
+            body,
+            handlers,
+            finally,
+        } => {
+            let mut v = vec![body];
+            for h in handlers {
+                v.push(&h.body);
+            }
+            v.push(finally);
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Stmt)) {
+    f(stmt);
+    for block in stmt_blocks(stmt) {
+        for s in block {
+            walk_stmt(s, f);
+        }
+    }
+}
+
+fn walk_stmt_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Stmt)) {
+    f(stmt);
+    match &mut stmt.kind {
+        StmtKind::If { then, orelse, .. } => {
+            for s in then {
+                walk_stmt_mut(s, f);
+            }
+            for s in orelse {
+                walk_stmt_mut(s, f);
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } | StmtKind::Def { body, .. } => {
+            for s in body {
+                walk_stmt_mut(s, f);
+            }
+        }
+        StmtKind::Try {
+            body,
+            handlers,
+            finally,
+        } => {
+            for s in body {
+                walk_stmt_mut(s, f);
+            }
+            for h in handlers {
+                for s in &mut h.body {
+                    walk_stmt_mut(s, f);
+                }
+            }
+            for s in finally {
+                walk_stmt_mut(s, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn renumber_stmt(stmt: &mut Stmt, next: &mut u32) {
+    stmt.id = NodeId(*next);
+    *next += 1;
+    match &mut stmt.kind {
+        StmtKind::Expr(e) => renumber_expr(e, next),
+        StmtKind::Assign { target, value } => {
+            renumber_target(target, next);
+            renumber_expr(value, next);
+        }
+        StmtKind::AugAssign { target, value, .. } => {
+            renumber_target(target, next);
+            renumber_expr(value, next);
+        }
+        StmtKind::If { cond, then, orelse } => {
+            renumber_expr(cond, next);
+            for s in then {
+                renumber_stmt(s, next);
+            }
+            for s in orelse {
+                renumber_stmt(s, next);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            renumber_expr(cond, next);
+            for s in body {
+                renumber_stmt(s, next);
+            }
+        }
+        StmtKind::For { iter, body, .. } => {
+            renumber_expr(iter, next);
+            for s in body {
+                renumber_stmt(s, next);
+            }
+        }
+        StmtKind::Def { defaults, body, .. } => {
+            for d in defaults {
+                renumber_expr(d, next);
+            }
+            for s in body {
+                renumber_stmt(s, next);
+            }
+        }
+        StmtKind::Return(e) | StmtKind::Raise(e) => {
+            if let Some(e) = e {
+                renumber_expr(e, next);
+            }
+        }
+        StmtKind::Try {
+            body,
+            handlers,
+            finally,
+        } => {
+            for s in body {
+                renumber_stmt(s, next);
+            }
+            for h in handlers {
+                for s in &mut h.body {
+                    renumber_stmt(s, next);
+                }
+            }
+            for s in finally {
+                renumber_stmt(s, next);
+            }
+        }
+        StmtKind::Assert { cond, msg } => {
+            renumber_expr(cond, next);
+            if let Some(m) = msg {
+                renumber_expr(m, next);
+            }
+        }
+        StmtKind::Global(_) | StmtKind::Break | StmtKind::Continue | StmtKind::Pass => {}
+    }
+}
+
+fn renumber_target(target: &mut Target, next: &mut u32) {
+    if let Target::Index { obj, index } = target {
+        renumber_expr(obj, next);
+        renumber_expr(index, next);
+    }
+}
+
+fn renumber_expr(expr: &mut Expr, next: &mut u32) {
+    expr.id = NodeId(*next);
+    *next += 1;
+    match &mut expr.kind {
+        ExprKind::Const(_) | ExprKind::Name(_) => {}
+        ExprKind::Bin { left, right, .. }
+        | ExprKind::Bool { left, right, .. }
+        | ExprKind::Cmp { left, right, .. } => {
+            renumber_expr(left, next);
+            renumber_expr(right, next);
+        }
+        ExprKind::Unary { operand, .. } => renumber_expr(operand, next),
+        ExprKind::Call { func, args } => {
+            renumber_expr(func, next);
+            for a in args {
+                renumber_expr(a, next);
+            }
+        }
+        ExprKind::MethodCall { obj, args, .. } => {
+            renumber_expr(obj, next);
+            for a in args {
+                renumber_expr(a, next);
+            }
+        }
+        ExprKind::Index { obj, index } => {
+            renumber_expr(obj, next);
+            renumber_expr(index, next);
+        }
+        ExprKind::List(items) | ExprKind::Tuple(items) => {
+            for e in items {
+                renumber_expr(e, next);
+            }
+        }
+        ExprKind::Dict(pairs) => {
+            for (k, v) in pairs {
+                renumber_expr(k, next);
+                renumber_expr(v, next);
+            }
+        }
+        ExprKind::Ternary { cond, then, orelse } => {
+            renumber_expr(cond, next);
+            renumber_expr(then, next);
+            renumber_expr(orelse, next);
+        }
+    }
+}
+
+/// Convenience constructors for synthesizing AST fragments programmatically
+/// (used by fault operators and the neural code generator). All nodes are
+/// created with zeroed ids/spans; call [`Module::renumber`] after splicing.
+pub mod build {
+    use super::*;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr {
+            id: NodeId(0),
+            span: Span::default(),
+            kind,
+        }
+    }
+
+    fn s(kind: StmtKind) -> Stmt {
+        Stmt {
+            id: NodeId(0),
+            span: Span::default(),
+            kind,
+        }
+    }
+
+    /// `None` literal.
+    pub fn none() -> Expr {
+        e(ExprKind::Const(Lit::None))
+    }
+
+    /// Boolean literal.
+    pub fn bool_(b: bool) -> Expr {
+        e(ExprKind::Const(Lit::Bool(b)))
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        e(ExprKind::Const(Lit::Int(v)))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> Expr {
+        e(ExprKind::Const(Lit::Float(v)))
+    }
+
+    /// String literal.
+    pub fn str_(v: &str) -> Expr {
+        e(ExprKind::Const(Lit::Str(v.to_string())))
+    }
+
+    /// Name reference.
+    pub fn name(n: &str) -> Expr {
+        e(ExprKind::Name(n.to_string()))
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        e(ExprKind::Bin {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        })
+    }
+
+    /// Comparison.
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        e(ExprKind::Cmp {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        })
+    }
+
+    /// Unary not.
+    pub fn not(operand: Expr) -> Expr {
+        e(ExprKind::Unary {
+            op: UnaryOp::Not,
+            operand: Box::new(operand),
+        })
+    }
+
+    /// Function call by name.
+    pub fn call(func: &str, args: Vec<Expr>) -> Expr {
+        e(ExprKind::Call {
+            func: Box::new(name(func)),
+            args,
+        })
+    }
+
+    /// Method call.
+    pub fn method(obj: Expr, m: &str, args: Vec<Expr>) -> Expr {
+        e(ExprKind::MethodCall {
+            obj: Box::new(obj),
+            name: m.to_string(),
+            args,
+        })
+    }
+
+    /// Subscript.
+    pub fn index(obj: Expr, idx: Expr) -> Expr {
+        e(ExprKind::Index {
+            obj: Box::new(obj),
+            index: Box::new(idx),
+        })
+    }
+
+    /// Expression statement.
+    pub fn expr_stmt(ex: Expr) -> Stmt {
+        s(StmtKind::Expr(ex))
+    }
+
+    /// Assignment to a name.
+    pub fn assign(target: &str, value: Expr) -> Stmt {
+        s(StmtKind::Assign {
+            target: Target::Name(target.to_string()),
+            value,
+        })
+    }
+
+    /// Augmented assignment to a name.
+    pub fn aug_assign(target: &str, op: BinOp, value: Expr) -> Stmt {
+        s(StmtKind::AugAssign {
+            target: Target::Name(target.to_string()),
+            op,
+            value,
+        })
+    }
+
+    /// `if` statement.
+    pub fn if_(cond: Expr, then: Vec<Stmt>, orelse: Vec<Stmt>) -> Stmt {
+        s(StmtKind::If { cond, then, orelse })
+    }
+
+    /// `while` statement.
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        s(StmtKind::While { cond, body })
+    }
+
+    /// `for` statement.
+    pub fn for_(vars: Vec<&str>, iter: Expr, body: Vec<Stmt>) -> Stmt {
+        s(StmtKind::For {
+            vars: vars.into_iter().map(|v| v.to_string()).collect(),
+            iter,
+            body,
+        })
+    }
+
+    /// Function definition.
+    pub fn def(name: &str, params: Vec<&str>, body: Vec<Stmt>) -> Stmt {
+        s(StmtKind::Def {
+            name: name.to_string(),
+            params: params.into_iter().map(|p| p.to_string()).collect(),
+            defaults: Vec::new(),
+            body,
+        })
+    }
+
+    /// `return` statement.
+    pub fn return_(value: Option<Expr>) -> Stmt {
+        s(StmtKind::Return(value))
+    }
+
+    /// `raise Kind("msg")` statement.
+    pub fn raise(kind: &str, msg: &str) -> Stmt {
+        s(StmtKind::Raise(Some(call(kind, vec![str_(msg)]))))
+    }
+
+    /// `try`/`except` statement.
+    pub fn try_(body: Vec<Stmt>, handlers: Vec<Handler>, finally: Vec<Stmt>) -> Stmt {
+        s(StmtKind::Try {
+            body,
+            handlers,
+            finally,
+        })
+    }
+
+    /// An `except` clause.
+    pub fn handler(kind: Option<&str>, bind: Option<&str>, body: Vec<Stmt>) -> Handler {
+        Handler {
+            kind: kind.map(|k| k.to_string()),
+            bind: bind.map(|b| b.to_string()),
+            body,
+        }
+    }
+
+    /// `pass` statement.
+    pub fn pass() -> Stmt {
+        s(StmtKind::Pass)
+    }
+
+    /// `global` declaration.
+    pub fn global(names: Vec<&str>) -> Stmt {
+        s(StmtKind::Global(
+            names.into_iter().map(|n| n.to_string()).collect(),
+        ))
+    }
+
+    /// `print(...)` call statement.
+    pub fn print(args: Vec<Expr>) -> Stmt {
+        expr_stmt(call("print", args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_equality_ignores_ids_and_spans() {
+        let mut a = build::assign("x", build::int(1));
+        let mut b = build::assign("x", build::int(1));
+        a.id = NodeId(5);
+        a.span = Span::new(10, 3);
+        b.id = NodeId(99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_inequality_on_kind() {
+        let a = build::assign("x", build::int(1));
+        let b = build::assign("x", build::int(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn renumber_assigns_dense_preorder_ids() {
+        let mut m = Module {
+            body: vec![
+                build::def(
+                    "f",
+                    vec!["a"],
+                    vec![build::return_(Some(build::name("a")))],
+                ),
+                build::expr_stmt(build::call("f", vec![build::int(1)])),
+            ],
+        };
+        let n = m.renumber();
+        assert!(n >= 5);
+        let mut seen = std::collections::BTreeSet::new();
+        m.walk_stmts(&mut |s| {
+            assert!(seen.insert(s.id), "duplicate id {:?}", s.id);
+        });
+    }
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let m = Module {
+            body: vec![build::if_(
+                build::bool_(true),
+                vec![build::pass(), build::pass()],
+                vec![build::pass()],
+            )],
+        };
+        assert_eq!(m.stmt_count(), 4);
+    }
+
+    #[test]
+    fn find_def_locates_function() {
+        let m = Module {
+            body: vec![build::def("g", vec![], vec![build::pass()])],
+        };
+        assert!(m.find_def("g").is_some());
+        assert!(m.find_def("h").is_none());
+        assert_eq!(m.def_names(), vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn cmp_op_negate_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::In,
+            CmpOp::NotIn,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bytecode representation executed by the PyLite virtual machine.
+//!
+//! PyLite compiles to a compact stack bytecode instead of walking the AST
+//! directly so that execution is *pausable at every instruction*: the
+//! cooperative scheduler in [`crate::machine`] preempts tasks between
+//! instructions, which is what makes deterministic interleaving
+//! exploration (and therefore race-condition faults) possible.
+
+use crate::ast::{BinOp, CmpOp, Span};
+use crate::value::Value;
+use std::rc::Rc;
+
+/// A compile-time constant.
+#[derive(Debug, Clone)]
+pub enum Const {
+    /// An immediate value (numbers, strings, None, bools).
+    Value(Value),
+    /// A nested code object (function body).
+    Code(Rc<Code>),
+}
+
+/// A single VM instruction.
+///
+/// Jump operands are absolute instruction indexes within the same
+/// [`Code`]. `u16` operands index the `consts` / `names` / `locals`
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Push `consts[i]`.
+    LoadConst(u16),
+    /// Push local slot `i` (raises `UnboundLocalError` when unset).
+    LoadLocal(u16),
+    /// Pop into local slot `i`.
+    StoreLocal(u16),
+    /// Push global `names[i]` (falls back to builtins, else `NameError`).
+    LoadGlobal(u16),
+    /// Pop into global `names[i]`.
+    StoreGlobal(u16),
+    /// Binary arithmetic on the top two stack values.
+    Bin(BinOp),
+    /// Comparison on the top two stack values.
+    Cmp(CmpOp),
+    /// Logical `not` of the top value.
+    Not,
+    /// Arithmetic negation of the top value.
+    Neg,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalsePop(u32),
+    /// Pop; jump when truthy.
+    JumpIfTruePop(u32),
+    /// Peek; jump when falsy keeping the value (for `and`).
+    JumpIfFalsePeek(u32),
+    /// Peek; jump when truthy keeping the value (for `or`).
+    JumpIfTruePeek(u32),
+    /// Pop `n` values into a new list.
+    MakeList(u16),
+    /// Pop `n` values into a new tuple.
+    MakeTuple(u16),
+    /// Pop `2n` values into a new dict.
+    MakeDict(u16),
+    /// `obj[index]` — pops index, obj; pushes element.
+    GetIndex,
+    /// `obj[index] = value` — pops value, index, obj.
+    SetIndex,
+    /// Duplicate the top value.
+    Dup,
+    /// Duplicate the top two values (for augmented subscript assignment).
+    Dup2,
+    /// Discard the top value.
+    Pop,
+    /// Call with `argc` positional arguments (callee below the arguments).
+    Call(u8),
+    /// Method call `obj.names[name](...)` with `argc` arguments.
+    CallMethod {
+        /// Index into `names` for the method name.
+        name: u16,
+        /// Number of positional arguments.
+        argc: u8,
+    },
+    /// Return the top value from the current frame.
+    Return,
+    /// Create a function from `consts[code]`, popping `n_defaults`
+    /// default values (rightmost on top).
+    MakeFunction {
+        /// Index into `consts` of the [`Const::Code`].
+        code: u16,
+        /// Number of trailing parameter defaults to pop.
+        n_defaults: u8,
+    },
+    /// Replace TOS with an iterator over it.
+    GetIter,
+    /// TOS is an iterator: push the next element, or pop it and jump when
+    /// exhausted.
+    ForIter(u32),
+    /// Pop a sequence of exactly `n` elements; push them so the first
+    /// element ends on top.
+    UnpackTuple(u8),
+    /// Raise the popped exception (or instantiate a popped exception
+    /// constructor).
+    Raise,
+    /// Re-raise the task's current exception (bare `raise`).
+    Reraise,
+    /// Pop a message value and raise `AssertionError` with it.
+    RaiseAssert,
+    /// Enter a `try` region whose except-dispatch starts at the operand.
+    SetupExcept(u32),
+    /// Enter a `try`/`finally` region whose exception-path copy of the
+    /// finally suite starts at the operand.
+    SetupFinally(u32),
+    /// Leave the innermost `try` region (normal path).
+    PopBlock,
+    /// Peek the exception on TOS; push whether it matches `names[i]`.
+    MatchExc(u16),
+}
+
+/// A compiled function (or module) body.
+#[derive(Debug, Default)]
+pub struct Code {
+    /// Name for diagnostics (`"<module>"` for top level).
+    pub name: String,
+    /// Parameter names (locals `0..params.len()`).
+    pub params: Vec<String>,
+    /// All local variable names (including parameters).
+    pub locals: Vec<String>,
+    /// Constant pool.
+    pub consts: Vec<Const>,
+    /// Global / method / exception-kind name pool.
+    pub names: Vec<String>,
+    /// Instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Source span per instruction (parallel to `instrs`).
+    pub spans: Vec<Span>,
+}
+
+impl Code {
+    /// The source span of instruction `pc`, when in range.
+    pub fn span_at(&self, pc: usize) -> Option<Span> {
+        self.spans.get(pc).copied()
+    }
+
+    /// A readable disassembly, one instruction per line (for debugging
+    /// and for compiler tests).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "code {} ({} locals)", self.name, self.locals.len());
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "  {i:4}: {instr:?}");
+        }
+        for c in &self.consts {
+            if let Const::Code(code) = c {
+                out.push_str(&code.disassemble());
+            }
+        }
+        out
+    }
+}

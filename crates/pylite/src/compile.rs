@@ -1,0 +1,836 @@
+//! AST → bytecode compiler.
+//!
+//! Scoping follows Python's rule: a name assigned anywhere in a function
+//! body is local to that function unless declared `global`. `finally`
+//! suites are *inlined* on every normal exit path (fall-through, `break`,
+//! `continue`, `return`) and compiled once more on the exception path,
+//! ending in a re-raise; this avoids a pending-unwind register in the VM.
+
+use crate::ast::*;
+use crate::code::{Code, Const, Instr};
+use crate::error::{ErrorKind, PyliteError};
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Compiles a module into its top-level code object.
+///
+/// # Errors
+///
+/// Returns [`ErrorKind::Compile`] errors for structural problems the
+/// parser admits but the VM cannot run: `break`/`continue` outside a
+/// loop, `return` at module level, or jump/control misuse inside
+/// `finally` suites.
+pub fn compile_module(module: &Module) -> Result<Rc<Code>, PyliteError> {
+    let mut c = Compiler::new("<module>".to_string(), Vec::new(), true, &module.body)?;
+    c.suite(&module.body)?;
+    // Implicit `return None` at the end of the module.
+    let none = c.const_value(Value::None);
+    c.emit(Instr::LoadConst(none), Span::default());
+    c.emit(Instr::Return, Span::default());
+    Ok(Rc::new(c.finish()))
+}
+
+/// Lexical scope tracked while compiling (for break/continue/return
+/// crossing `try` regions and loops).
+enum Scope {
+    Loop {
+        /// Patch list for `break` jumps.
+        breaks: Vec<usize>,
+        /// Jump target for `continue`.
+        continue_target: u32,
+        /// Whether this is a `for` loop (iterator lives on the stack).
+        is_for: bool,
+    },
+    Except,
+    Finally {
+        /// The finally suite, re-compiled (inlined) at each exit path.
+        stmts: Vec<Stmt>,
+    },
+    /// Marks that we are compiling a finally suite right now (so nested
+    /// `break`/`continue`/`return` can be rejected).
+    InFinally,
+}
+
+struct Compiler {
+    code: Code,
+    scopes: Vec<Scope>,
+    locals_map: HashMap<String, u16>,
+    globals_decl: BTreeSet<String>,
+    is_module: bool,
+}
+
+impl Compiler {
+    fn new(
+        name: String,
+        params: Vec<String>,
+        is_module: bool,
+        body: &[Stmt],
+    ) -> Result<Self, PyliteError> {
+        let mut assigned = BTreeSet::new();
+        let mut globals_decl = BTreeSet::new();
+        collect_assigned(body, &mut assigned, &mut globals_decl);
+        let mut locals: Vec<String> = params.clone();
+        if !is_module {
+            for name in &assigned {
+                if !globals_decl.contains(name) && !locals.contains(name) {
+                    locals.push(name.clone());
+                }
+            }
+        }
+        let locals_map = locals
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u16))
+            .collect();
+        Ok(Compiler {
+            code: Code {
+                name,
+                params,
+                locals,
+                ..Code::default()
+            },
+            scopes: Vec::new(),
+            locals_map,
+            globals_decl,
+            is_module,
+        })
+    }
+
+    fn finish(self) -> Code {
+        self.code
+    }
+
+    fn err(&self, span: Span, msg: impl Into<String>) -> PyliteError {
+        PyliteError::new(ErrorKind::Compile, msg).with_span(span)
+    }
+
+    fn emit(&mut self, instr: Instr, span: Span) -> usize {
+        self.code.instrs.push(instr);
+        self.code.spans.push(span);
+        self.code.instrs.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.instrs.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        let instr = &mut self.code.instrs[at];
+        *instr = match *instr {
+            Instr::Jump(_) => Instr::Jump(target),
+            Instr::JumpIfFalsePop(_) => Instr::JumpIfFalsePop(target),
+            Instr::JumpIfTruePop(_) => Instr::JumpIfTruePop(target),
+            Instr::JumpIfFalsePeek(_) => Instr::JumpIfFalsePeek(target),
+            Instr::JumpIfTruePeek(_) => Instr::JumpIfTruePeek(target),
+            Instr::ForIter(_) => Instr::ForIter(target),
+            Instr::SetupExcept(_) => Instr::SetupExcept(target),
+            Instr::SetupFinally(_) => Instr::SetupFinally(target),
+            other => panic!("patch of non-jump instruction {other:?}"),
+        };
+    }
+
+    fn const_value(&mut self, v: Value) -> u16 {
+        // Reuse identical simple constants to keep pools small.
+        for (i, c) in self.code.consts.iter().enumerate() {
+            if let Const::Value(existing) = c {
+                let same = match (existing, &v) {
+                    (Value::None, Value::None) => true,
+                    (Value::Bool(a), Value::Bool(b)) => a == b,
+                    (Value::Int(a), Value::Int(b)) => a == b,
+                    (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+                    (Value::Str(a), Value::Str(b)) => a == b,
+                    _ => false,
+                };
+                if same {
+                    return i as u16;
+                }
+            }
+        }
+        self.code.consts.push(Const::Value(v));
+        (self.code.consts.len() - 1) as u16
+    }
+
+    fn const_code(&mut self, code: Rc<Code>) -> u16 {
+        self.code.consts.push(Const::Code(code));
+        (self.code.consts.len() - 1) as u16
+    }
+
+    fn name_idx(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.code.names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.code.names.push(name.to_string());
+        (self.code.names.len() - 1) as u16
+    }
+
+    fn is_local(&self, name: &str) -> bool {
+        !self.is_module && self.locals_map.contains_key(name) && !self.globals_decl.contains(name)
+    }
+
+    fn load_name(&mut self, name: &str, span: Span) {
+        if self.is_local(name) {
+            let slot = self.locals_map[name];
+            self.emit(Instr::LoadLocal(slot), span);
+        } else {
+            let idx = self.name_idx(name);
+            self.emit(Instr::LoadGlobal(idx), span);
+        }
+    }
+
+    fn store_name(&mut self, name: &str, span: Span) {
+        if self.is_local(name) {
+            let slot = self.locals_map[name];
+            self.emit(Instr::StoreLocal(slot), span);
+        } else {
+            let idx = self.name_idx(name);
+            self.emit(Instr::StoreGlobal(idx), span);
+        }
+    }
+
+    fn suite(&mut self, stmts: &[Stmt]) -> Result<(), PyliteError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), PyliteError> {
+        let span = stmt.span;
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.emit(Instr::Pop, span);
+            }
+            StmtKind::Assign { target, value } => match target {
+                Target::Name(n) => {
+                    self.expr(value)?;
+                    self.store_name(n, span);
+                }
+                Target::Index { obj, index } => {
+                    self.expr(obj)?;
+                    self.expr(index)?;
+                    self.expr(value)?;
+                    self.emit(Instr::SetIndex, span);
+                }
+                Target::Tuple(names) => {
+                    self.expr(value)?;
+                    self.emit(Instr::UnpackTuple(names.len() as u8), span);
+                    for n in names {
+                        self.store_name(n, span);
+                    }
+                }
+            },
+            StmtKind::AugAssign { target, op, value } => match target {
+                Target::Name(n) => {
+                    self.load_name(n, span);
+                    self.expr(value)?;
+                    self.emit(Instr::Bin(*op), span);
+                    self.store_name(n, span);
+                }
+                Target::Index { obj, index } => {
+                    self.expr(obj)?;
+                    self.expr(index)?;
+                    self.emit(Instr::Dup2, span);
+                    self.emit(Instr::GetIndex, span);
+                    self.expr(value)?;
+                    self.emit(Instr::Bin(*op), span);
+                    self.emit(Instr::SetIndex, span);
+                }
+                Target::Tuple(_) => {
+                    return Err(self.err(span, "augmented assignment to tuple is not allowed"))
+                }
+            },
+            StmtKind::If { cond, then, orelse } => {
+                self.expr(cond)?;
+                let jf = self.emit(Instr::JumpIfFalsePop(0), span);
+                self.suite(then)?;
+                if orelse.is_empty() {
+                    let t = self.here();
+                    self.patch(jf, t);
+                } else {
+                    let jend = self.emit(Instr::Jump(0), span);
+                    let t = self.here();
+                    self.patch(jf, t);
+                    self.suite(orelse)?;
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let start = self.here();
+                self.expr(cond)?;
+                let jexit = self.emit(Instr::JumpIfFalsePop(0), span);
+                self.scopes.push(Scope::Loop {
+                    breaks: Vec::new(),
+                    continue_target: start,
+                    is_for: false,
+                });
+                self.suite(body)?;
+                self.emit(Instr::Jump(start), span);
+                let end = self.here();
+                self.patch(jexit, end);
+                let Some(Scope::Loop { breaks, .. }) = self.scopes.pop() else {
+                    unreachable!("loop scope must be on top");
+                };
+                for b in breaks {
+                    self.patch(b, end);
+                }
+            }
+            StmtKind::For { vars, iter, body } => {
+                self.expr(iter)?;
+                self.emit(Instr::GetIter, span);
+                let start = self.here();
+                let fi = self.emit(Instr::ForIter(0), span);
+                if vars.len() == 1 {
+                    self.store_name(&vars[0], span);
+                } else {
+                    self.emit(Instr::UnpackTuple(vars.len() as u8), span);
+                    for v in vars {
+                        self.store_name(v, span);
+                    }
+                }
+                self.scopes.push(Scope::Loop {
+                    breaks: Vec::new(),
+                    continue_target: start,
+                    is_for: true,
+                });
+                self.suite(body)?;
+                self.emit(Instr::Jump(start), span);
+                let end = self.here();
+                self.patch(fi, end);
+                let Some(Scope::Loop { breaks, .. }) = self.scopes.pop() else {
+                    unreachable!("loop scope must be on top");
+                };
+                for b in breaks {
+                    self.patch(b, end);
+                }
+            }
+            StmtKind::Def {
+                name,
+                params,
+                defaults,
+                body,
+            } => {
+                let mut inner = Compiler::new(name.clone(), params.clone(), false, body)?;
+                inner.suite(body)?;
+                let none = inner.const_value(Value::None);
+                inner.emit(Instr::LoadConst(none), span);
+                inner.emit(Instr::Return, span);
+                let code = Rc::new(inner.finish());
+                for d in defaults {
+                    self.expr(d)?;
+                }
+                let ci = self.const_code(code);
+                self.emit(
+                    Instr::MakeFunction {
+                        code: ci,
+                        n_defaults: defaults.len() as u8,
+                    },
+                    span,
+                );
+                self.store_name(name, span);
+            }
+            StmtKind::Return(value) => {
+                if self.is_module {
+                    return Err(self.err(span, "return outside function"));
+                }
+                if self
+                    .scopes
+                    .iter()
+                    .any(|s| matches!(s, Scope::InFinally))
+                {
+                    return Err(self.err(span, "return inside finally suite is not supported"));
+                }
+                match value {
+                    Some(v) => self.expr(v)?,
+                    None => {
+                        let none = self.const_value(Value::None);
+                        self.emit(Instr::LoadConst(none), span);
+                    }
+                }
+                // Run enclosing finally suites (innermost first). The frame
+                // is discarded on Return, so no PopBlock is needed.
+                let finallys: Vec<Vec<Stmt>> = self
+                    .scopes
+                    .iter()
+                    .rev()
+                    .filter_map(|s| match s {
+                        Scope::Finally { stmts } => Some(stmts.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for stmts in finallys {
+                    self.inline_finally(&stmts)?;
+                }
+                self.emit(Instr::Return, span);
+            }
+            StmtKind::Raise(value) => match value {
+                Some(v) => {
+                    self.expr(v)?;
+                    self.emit(Instr::Raise, span);
+                }
+                None => {
+                    self.emit(Instr::Reraise, span);
+                }
+            },
+            StmtKind::Try {
+                body,
+                handlers,
+                finally,
+            } => {
+                if !finally.is_empty() {
+                    // Desugar: try/except/finally => finally wrapping try/except.
+                    let setup = self.emit(Instr::SetupFinally(0), span);
+                    self.scopes.push(Scope::Finally {
+                        stmts: finally.clone(),
+                    });
+                    if handlers.is_empty() {
+                        self.suite(body)?;
+                    } else {
+                        self.try_except(span, body, handlers)?;
+                    }
+                    self.emit(Instr::PopBlock, span);
+                    self.scopes.pop();
+                    self.inline_finally(finally)?;
+                    let jend = self.emit(Instr::Jump(0), span);
+                    let handler = self.here();
+                    self.patch(setup, handler);
+                    // Exception path: TOS is the in-flight exception.
+                    self.scopes.push(Scope::InFinally);
+                    self.suite(finally)?;
+                    self.scopes.pop();
+                    self.emit(Instr::Raise, span);
+                    let end = self.here();
+                    self.patch(jend, end);
+                } else {
+                    self.try_except(span, body, handlers)?;
+                }
+            }
+            StmtKind::Global(_) => {
+                // Handled during symbol collection; no code.
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                let is_break = matches!(stmt.kind, StmtKind::Break);
+                if self
+                    .scopes
+                    .iter()
+                    .any(|s| matches!(s, Scope::InFinally))
+                {
+                    return Err(self.err(
+                        span,
+                        "break/continue inside finally suite is not supported",
+                    ));
+                }
+                // Unwind compiler scopes down to the nearest loop: pop try
+                // blocks, inlining their finally suites.
+                let mut loop_idx = None;
+                for (i, s) in self.scopes.iter().enumerate().rev() {
+                    if matches!(s, Scope::Loop { .. }) {
+                        loop_idx = Some(i);
+                        break;
+                    }
+                }
+                let Some(loop_idx) = loop_idx else {
+                    return Err(self.err(
+                        span,
+                        if is_break {
+                            "break outside loop"
+                        } else {
+                            "continue outside loop"
+                        },
+                    ));
+                };
+                let to_unwind: Vec<Option<Vec<Stmt>>> = self.scopes[loop_idx + 1..]
+                    .iter()
+                    .rev()
+                    .map(|s| match s {
+                        Scope::Finally { stmts } => Some(stmts.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for fin in to_unwind {
+                    self.emit(Instr::PopBlock, span);
+                    if let Some(stmts) = fin {
+                        self.inline_finally(&stmts)?;
+                    }
+                }
+                let (is_for, continue_target) = match &self.scopes[loop_idx] {
+                    Scope::Loop {
+                        is_for,
+                        continue_target,
+                        ..
+                    } => (*is_for, *continue_target),
+                    _ => unreachable!("loop scope checked above"),
+                };
+                if is_break {
+                    if is_for {
+                        self.emit(Instr::Pop, span); // discard the iterator
+                    }
+                    let j = self.emit(Instr::Jump(0), span);
+                    if let Scope::Loop { breaks, .. } = &mut self.scopes[loop_idx] {
+                        breaks.push(j);
+                    }
+                } else {
+                    self.emit(Instr::Jump(continue_target), span);
+                }
+            }
+            StmtKind::Pass => {}
+            StmtKind::Assert { cond, msg } => {
+                self.expr(cond)?;
+                let jok = self.emit(Instr::JumpIfTruePop(0), span);
+                match msg {
+                    Some(m) => self.expr(m)?,
+                    None => {
+                        let c = self.const_value(Value::str("assertion failed"));
+                        self.emit(Instr::LoadConst(c), span);
+                    }
+                }
+                self.emit(Instr::RaiseAssert, span);
+                let t = self.here();
+                self.patch(jok, t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the finally suite inline on a normal exit path. The suite
+    /// runs *outside* its own block, so nested raises propagate outward.
+    fn inline_finally(&mut self, stmts: &[Stmt]) -> Result<(), PyliteError> {
+        self.scopes.push(Scope::InFinally);
+        let r = self.suite(stmts);
+        self.scopes.pop();
+        r
+    }
+
+    fn try_except(
+        &mut self,
+        span: Span,
+        body: &[Stmt],
+        handlers: &[Handler],
+    ) -> Result<(), PyliteError> {
+        if handlers.is_empty() {
+            return self.suite(body);
+        }
+        let setup = self.emit(Instr::SetupExcept(0), span);
+        self.scopes.push(Scope::Except);
+        self.suite(body)?;
+        self.emit(Instr::PopBlock, span);
+        self.scopes.pop();
+        let jend = self.emit(Instr::Jump(0), span);
+        let dispatch = self.here();
+        self.patch(setup, dispatch);
+        // Exception value is on TOS here.
+        let mut end_jumps = vec![jend];
+        for h in handlers {
+            let next_clause = if let Some(kind) = &h.kind {
+                let ki = self.name_idx(kind);
+                self.emit(Instr::MatchExc(ki), span);
+                Some(self.emit(Instr::JumpIfFalsePop(0), span))
+            } else {
+                None
+            };
+            match &h.bind {
+                Some(b) => self.store_name(b, span),
+                None => {
+                    self.emit(Instr::Pop, span);
+                }
+            }
+            self.suite(&h.body)?;
+            end_jumps.push(self.emit(Instr::Jump(0), span));
+            if let Some(nc) = next_clause {
+                let t = self.here();
+                self.patch(nc, t);
+            }
+        }
+        // No clause matched: re-raise the exception still on TOS.
+        self.emit(Instr::Raise, span);
+        let end = self.here();
+        for j in end_jumps {
+            self.patch(j, end);
+        }
+        Ok(())
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(), PyliteError> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Const(lit) => {
+                let v = match lit {
+                    Lit::None => Value::None,
+                    Lit::Bool(b) => Value::Bool(*b),
+                    Lit::Int(i) => Value::Int(*i),
+                    Lit::Float(f) => Value::Float(*f),
+                    Lit::Str(s) => Value::str(s),
+                };
+                let c = self.const_value(v);
+                self.emit(Instr::LoadConst(c), span);
+            }
+            ExprKind::Name(n) => self.load_name(n, span),
+            ExprKind::Bin { op, left, right } => {
+                self.expr(left)?;
+                self.expr(right)?;
+                self.emit(Instr::Bin(*op), span);
+            }
+            ExprKind::Unary { op, operand } => {
+                self.expr(operand)?;
+                match op {
+                    UnaryOp::Neg => self.emit(Instr::Neg, span),
+                    UnaryOp::Not => self.emit(Instr::Not, span),
+                };
+            }
+            ExprKind::Bool { op, left, right } => {
+                self.expr(left)?;
+                let j = match op {
+                    BoolOp::And => self.emit(Instr::JumpIfFalsePeek(0), span),
+                    BoolOp::Or => self.emit(Instr::JumpIfTruePeek(0), span),
+                };
+                self.emit(Instr::Pop, span);
+                self.expr(right)?;
+                let t = self.here();
+                self.patch(j, t);
+            }
+            ExprKind::Cmp { op, left, right } => {
+                self.expr(left)?;
+                self.expr(right)?;
+                self.emit(Instr::Cmp(*op), span);
+            }
+            ExprKind::Call { func, args } => {
+                self.expr(func)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(Instr::Call(args.len() as u8), span);
+            }
+            ExprKind::MethodCall { obj, name, args } => {
+                self.expr(obj)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                let ni = self.name_idx(name);
+                self.emit(
+                    Instr::CallMethod {
+                        name: ni,
+                        argc: args.len() as u8,
+                    },
+                    span,
+                );
+            }
+            ExprKind::Index { obj, index } => {
+                self.expr(obj)?;
+                self.expr(index)?;
+                self.emit(Instr::GetIndex, span);
+            }
+            ExprKind::List(items) => {
+                for i in items {
+                    self.expr(i)?;
+                }
+                self.emit(Instr::MakeList(items.len() as u16), span);
+            }
+            ExprKind::Tuple(items) => {
+                for i in items {
+                    self.expr(i)?;
+                }
+                self.emit(Instr::MakeTuple(items.len() as u16), span);
+            }
+            ExprKind::Dict(pairs) => {
+                for (k, v) in pairs {
+                    self.expr(k)?;
+                    self.expr(v)?;
+                }
+                self.emit(Instr::MakeDict(pairs.len() as u16), span);
+            }
+            ExprKind::Ternary { cond, then, orelse } => {
+                self.expr(cond)?;
+                let jf = self.emit(Instr::JumpIfFalsePop(0), span);
+                self.expr(then)?;
+                let jend = self.emit(Instr::Jump(0), span);
+                let t = self.here();
+                self.patch(jf, t);
+                self.expr(orelse)?;
+                let end = self.here();
+                self.patch(jend, end);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects names assigned anywhere in a body (without descending into
+/// nested function definitions) plus names declared `global`.
+fn collect_assigned(
+    body: &[Stmt],
+    assigned: &mut BTreeSet<String>,
+    globals_decl: &mut BTreeSet<String>,
+) {
+    for s in body {
+        match &s.kind {
+            StmtKind::Assign { target, .. } | StmtKind::AugAssign { target, .. } => match target {
+                Target::Name(n) => {
+                    assigned.insert(n.clone());
+                }
+                Target::Tuple(names) => {
+                    for n in names {
+                        assigned.insert(n.clone());
+                    }
+                }
+                Target::Index { .. } => {}
+            },
+            StmtKind::If { then, orelse, .. } => {
+                collect_assigned(then, assigned, globals_decl);
+                collect_assigned(orelse, assigned, globals_decl);
+            }
+            StmtKind::While { body, .. } => collect_assigned(body, assigned, globals_decl),
+            StmtKind::For { vars, body, .. } => {
+                for v in vars {
+                    assigned.insert(v.clone());
+                }
+                collect_assigned(body, assigned, globals_decl);
+            }
+            StmtKind::Def { name, .. } => {
+                assigned.insert(name.clone());
+            }
+            StmtKind::Try {
+                body,
+                handlers,
+                finally,
+            } => {
+                collect_assigned(body, assigned, globals_decl);
+                for h in handlers {
+                    if let Some(b) = &h.bind {
+                        assigned.insert(b.clone());
+                    }
+                    collect_assigned(&h.body, assigned, globals_decl);
+                }
+                collect_assigned(finally, assigned, globals_decl);
+            }
+            StmtKind::Global(names) => {
+                for n in names {
+                    globals_decl.insert(n.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Rc<Code> {
+        compile_module(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn module_compiles_to_code() {
+        let code = compile("x = 1\nprint(x)\n");
+        assert!(!code.instrs.is_empty());
+        assert!(code.instrs.contains(&Instr::Return));
+    }
+
+    #[test]
+    fn function_locals_vs_globals() {
+        let code = compile("g = 0\ndef f(a):\n    b = a + g\n    return b\n");
+        let func = code
+            .consts
+            .iter()
+            .find_map(|c| match c {
+                Const::Code(c) => Some(c.clone()),
+                _ => None,
+            })
+            .expect("function code present");
+        assert_eq!(func.params, vec!["a"]);
+        assert!(func.locals.contains(&"b".to_string()));
+        assert!(!func.locals.contains(&"g".to_string()));
+        assert!(func.names.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn global_declaration_forces_global_store() {
+        let code = compile("c = 0\ndef f():\n    global c\n    c = 1\n");
+        let func = code
+            .consts
+            .iter()
+            .find_map(|c| match c {
+                Const::Code(c) => Some(c.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!func.locals.contains(&"c".to_string()));
+        assert!(func
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StoreGlobal(_))));
+    }
+
+    #[test]
+    fn break_outside_loop_is_compile_error() {
+        assert!(compile_module(&parse("break\n").unwrap()).is_err());
+        assert!(compile_module(&parse("continue\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn return_at_module_level_is_compile_error() {
+        assert!(compile_module(&parse("return 1\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn return_in_finally_is_rejected() {
+        let src = "def f():\n    try:\n        pass\n    finally:\n        return 1\n";
+        assert!(compile_module(&parse(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn break_in_finally_is_rejected() {
+        let src =
+            "def f():\n    while True:\n        try:\n            pass\n        finally:\n            break\n";
+        assert!(compile_module(&parse(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn try_except_emits_setup_and_match() {
+        let code = compile("try:\n    f()\nexcept ValueError:\n    pass\n");
+        assert!(code
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::SetupExcept(_))));
+        assert!(code.instrs.iter().any(|i| matches!(i, Instr::MatchExc(_))));
+    }
+
+    #[test]
+    fn finally_is_inlined_on_normal_path() {
+        let code = compile("try:\n    x = 1\nfinally:\n    y = 2\n");
+        // `y = 2` appears twice: normal path + exception path.
+        let stores = code
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::StoreGlobal(idx) if code.names[**&idx as usize] == "y"))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn const_pool_deduplicates() {
+        let code = compile("x = 1\ny = 1\nz = 1\n");
+        let ones = code
+            .consts
+            .iter()
+            .filter(|c| matches!(c, Const::Value(Value::Int(1))))
+            .count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty() {
+        let code = compile("def f():\n    return 1\nf()\n");
+        let dis = code.disassemble();
+        assert!(dis.contains("<module>"));
+        assert!(dis.contains("code f"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for the PyLite frontend and runtime.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// Category of a [`PyliteError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Tokenizer-level error (bad character, unterminated string, ...).
+    Lex,
+    /// Parser-level error (unexpected token, bad structure, ...).
+    Parse,
+    /// Compiler-level error (e.g. `break` outside a loop).
+    Compile,
+    /// Host-side runtime configuration error (e.g. missing entry function).
+    Runtime,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Compile => "compile error",
+            ErrorKind::Runtime => "runtime error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced while lexing, parsing, compiling, or configuring a
+/// PyLite program.
+///
+/// Runtime *exceptions* inside a program are not represented by this type;
+/// they surface as part of the interpreter's
+/// [`RunOutcome`](crate::machine::RunOutcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PyliteError {
+    kind: ErrorKind,
+    message: String,
+    span: Option<Span>,
+}
+
+impl PyliteError {
+    /// Creates a new error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        PyliteError {
+            kind,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source position.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message (lowercase, no trailing punctuation).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source position, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for PyliteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} at {}: {}", self.kind, span, self.message),
+            None => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for PyliteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_when_present() {
+        let e = PyliteError::new(ErrorKind::Parse, "unexpected token").with_span(Span::new(3, 7));
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+        assert_eq!(e.kind(), ErrorKind::Parse);
+        assert_eq!(e.span(), Some(Span::new(3, 7)));
+    }
+
+    #[test]
+    fn display_without_span() {
+        let e = PyliteError::new(ErrorKind::Runtime, "no such function");
+        assert_eq!(e.to_string(), "runtime error: no such function");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PyliteError>();
+    }
+}

@@ -1,0 +1,659 @@
+//! Tokenizer for PyLite source text.
+//!
+//! Produces a flat token stream with explicit `Indent` / `Dedent` tokens,
+//! mirroring CPython's tokenizer: leading whitespace of each logical line
+//! is compared against an indentation stack. Blank lines and `#` comments
+//! are skipped.
+
+use crate::ast::Span;
+use crate::error::{ErrorKind, PyliteError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword-candidate name.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// A keyword (subset of Python's).
+    Kw(Kw),
+    /// Punctuation / operator.
+    Op(OpTok),
+    /// End of a logical line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Keywords recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Break,
+    Continue,
+    Pass,
+    Try,
+    Except,
+    Finally,
+    Raise,
+    Global,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+    Assert,
+    As,
+}
+
+impl Kw {
+    fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "return" => Kw::Return,
+            "if" => Kw::If,
+            "elif" => Kw::Elif,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "in" => Kw::In,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "pass" => Kw::Pass,
+            "try" => Kw::Try,
+            "except" => Kw::Except,
+            "finally" => Kw::Finally,
+            "raise" => Kw::Raise,
+            "global" => Kw::Global,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "True" => Kw::True,
+            "False" => Kw::False,
+            "None" => Kw::None,
+            "assert" => Kw::Assert,
+            "as" => Kw::As,
+            _ => return None,
+        })
+    }
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTok {
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    SlashSlash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    SlashSlashEq,
+    StarStarEq,
+    PercentEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes `source` into a vector of spanned tokens ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`PyliteError`] with kind [`ErrorKind::Lex`] on malformed
+/// input: inconsistent dedents, unterminated strings, bad numbers, or
+/// characters outside the language.
+pub fn tokenize(source: &str) -> Result<Vec<SpannedTok>, PyliteError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    indents: Vec<usize>,
+    toks: Vec<SpannedTok>,
+    paren_depth: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            indents: vec![0],
+            toks: Vec::new(),
+            paren_depth: 0,
+            source,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PyliteError {
+        PyliteError::new(ErrorKind::Lex, msg).with_span(Span::new(self.line, self.col))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, span: Span) {
+        self.toks.push(SpannedTok { tok, span });
+    }
+
+    fn at_line_start(&self) -> bool {
+        self.col == 1
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedTok>, PyliteError> {
+        let _ = self.source;
+        loop {
+            if self.at_line_start() && self.paren_depth == 0 {
+                if !self.handle_indentation()? {
+                    break;
+                }
+            }
+            match self.peek() {
+                None => break,
+                Some(c) => {
+                    if c == '\n' {
+                        let span = Span::new(self.line, self.col);
+                        self.bump();
+                        if self.paren_depth == 0 {
+                            // Collapse consecutive newlines.
+                            if !matches!(
+                                self.toks.last().map(|t| &t.tok),
+                                Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent) | None
+                            ) {
+                                self.push(Tok::Newline, span);
+                            }
+                        }
+                    } else if c == '#' {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else if c == ' ' || c == '\t' || c == '\r' {
+                        self.bump();
+                    } else if c.is_ascii_digit() {
+                        self.lex_number()?;
+                    } else if c == '"' || c == '\'' {
+                        self.lex_string(c)?;
+                    } else if c.is_alphabetic() || c == '_' {
+                        self.lex_name();
+                    } else {
+                        self.lex_op(c)?;
+                    }
+                }
+            }
+        }
+        // Close the final line and any open indents.
+        let span = Span::new(self.line, self.col);
+        if !matches!(
+            self.toks.last().map(|t| &t.tok),
+            Some(Tok::Newline) | Some(Tok::Dedent) | None
+        ) {
+            self.push(Tok::Newline, span);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent, span);
+        }
+        self.push(Tok::Eof, span);
+        Ok(self.toks)
+    }
+
+    /// Measures indentation of the upcoming line; emits Indent/Dedent.
+    /// Returns `false` at end of input.
+    fn handle_indentation(&mut self) -> Result<bool, PyliteError> {
+        loop {
+            let mut width = 0usize;
+            let start_pos = self.pos;
+            while let Some(c) = self.peek() {
+                match c {
+                    ' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    '\t' => {
+                        width += 8 - width % 8;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                None => return Ok(false),
+                Some('\n') => {
+                    self.bump();
+                    continue; // blank line: ignore indentation
+                }
+                Some('\r') => {
+                    self.bump();
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    let span = Span::new(self.line, (width + 1) as u32);
+                    let current = *self.indents.last().expect("indent stack never empty");
+                    if width > current {
+                        self.indents.push(width);
+                        self.push(Tok::Indent, span);
+                    } else if width < current {
+                        while *self.indents.last().expect("indent stack never empty") > width {
+                            self.indents.pop();
+                            self.push(Tok::Dedent, span);
+                        }
+                        if *self.indents.last().expect("indent stack never empty") != width {
+                            return Err(self.err(format!(
+                                "inconsistent dedent to column {} at line {}",
+                                width, self.line
+                            )));
+                        }
+                    }
+                    let _ = start_pos;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<(), PyliteError> {
+        let span = Span::new(self.line, self.col);
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|c2| c2.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|c2| c2.is_ascii_digit() || c2 == '-' || c2 == '+')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                if let Some(sign) = self.peek() {
+                    if sign == '-' || sign == '+' {
+                        text.push(sign);
+                        self.bump();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid float literal `{text}`")))?;
+            self.push(Tok::Float(v), span);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid integer literal `{text}`")))?;
+            self.push(Tok::Int(v), span);
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self, quote: char) -> Result<(), PyliteError> {
+        let span = Span::new(self.line, self.col);
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('\n') => return Err(self.err("newline inside string literal")),
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('r') => text.push('\r'),
+                    Some('\\') => text.push('\\'),
+                    Some('\'') => text.push('\''),
+                    Some('"') => text.push('"'),
+                    Some('0') => text.push('\0'),
+                    Some(other) => {
+                        text.push('\\');
+                        text.push(other);
+                    }
+                    None => return Err(self.err("unterminated escape in string literal")),
+                },
+                Some(c) if c == quote => break,
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(Tok::Str(text), span);
+        Ok(())
+    }
+
+    fn lex_name(&mut self) {
+        let span = Span::new(self.line, self.col);
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Kw::from_str(&text) {
+            Some(kw) => self.push(Tok::Kw(kw), span),
+            None => self.push(Tok::Name(text), span),
+        }
+    }
+
+    fn lex_op(&mut self, c: char) -> Result<(), PyliteError> {
+        let span = Span::new(self.line, self.col);
+        let two = |l: &Self| l.peek2();
+        let op = match c {
+            '+' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::PlusEq
+                } else {
+                    OpTok::Plus
+                }
+            }
+            '-' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::MinusEq
+                } else {
+                    OpTok::Minus
+                }
+            }
+            '*' => {
+                if two(self) == Some('*') {
+                    self.bump();
+                    if two(self) == Some('=') {
+                        self.bump();
+                        OpTok::StarStarEq
+                    } else {
+                        OpTok::StarStar
+                    }
+                } else if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::StarEq
+                } else {
+                    OpTok::Star
+                }
+            }
+            '/' => {
+                if two(self) == Some('/') {
+                    self.bump();
+                    if two(self) == Some('=') {
+                        self.bump();
+                        OpTok::SlashSlashEq
+                    } else {
+                        OpTok::SlashSlash
+                    }
+                } else if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::SlashEq
+                } else {
+                    OpTok::Slash
+                }
+            }
+            '%' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::PercentEq
+                } else {
+                    OpTok::Percent
+                }
+            }
+            '=' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::EqEq
+                } else {
+                    OpTok::Assign
+                }
+            }
+            '!' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::NotEq
+                } else {
+                    return Err(self.err("unexpected `!` (did you mean `!=`?)"));
+                }
+            }
+            '<' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::Le
+                } else {
+                    OpTok::Lt
+                }
+            }
+            '>' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    OpTok::Ge
+                } else {
+                    OpTok::Gt
+                }
+            }
+            '(' => {
+                self.paren_depth += 1;
+                OpTok::LParen
+            }
+            ')' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                OpTok::RParen
+            }
+            '[' => {
+                self.paren_depth += 1;
+                OpTok::LBracket
+            }
+            ']' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                OpTok::RBracket
+            }
+            '{' => {
+                self.paren_depth += 1;
+                OpTok::LBrace
+            }
+            '}' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                OpTok::RBrace
+            }
+            ',' => OpTok::Comma,
+            ':' => OpTok::Colon,
+            '.' => OpTok::Dot,
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        self.bump();
+        self.push(Tok::Op(op), span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_assignment() {
+        assert_eq!(
+            toks("x = 1\n"),
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op(OpTok::Assign),
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        let t = toks("if x:\n    y = 1\nz = 2\n");
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+    }
+
+    #[test]
+    fn nested_dedents_unwind_fully_at_eof() {
+        let t = toks("if a:\n    if b:\n        c = 1\n");
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_ignored() {
+        let t = toks("x = 1\n\n# comment\n   # indented comment\ny = 2\n");
+        let names: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Name(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn newlines_inside_parens_are_ignored() {
+        let t = toks("f(1,\n  2)\n");
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks("s = \"a\\nb\"\n")[2],
+            Tok::Str("a\nb".into()),
+            "escape sequence must be decoded"
+        );
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert_eq!(toks("1.5\n")[0], Tok::Float(1.5));
+        assert_eq!(toks("10\n")[0], Tok::Int(10));
+        assert_eq!(toks("1e3\n")[0], Tok::Float(1000.0));
+        assert_eq!(toks("2.5e-1\n")[0], Tok::Float(0.25));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(toks("a // b\n")[1], Tok::Op(OpTok::SlashSlash));
+        assert_eq!(toks("a ** b\n")[1], Tok::Op(OpTok::StarStar));
+        assert_eq!(toks("a != b\n")[1], Tok::Op(OpTok::NotEq));
+        assert_eq!(toks("a <= b\n")[1], Tok::Op(OpTok::Le));
+        assert_eq!(toks("a += 1\n")[1], Tok::Op(OpTok::PlusEq));
+        assert_eq!(toks("a //= 2\n")[1], Tok::Op(OpTok::SlashSlashEq));
+        assert_eq!(toks("a **= 2\n")[1], Tok::Op(OpTok::StarStarEq));
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_an_error() {
+        let src = "if a:\n        x = 1\n    y = 2\n";
+        assert!(tokenize(src).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("s = \"abc\n").is_err());
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        let t = toks("def f():\n    return None\n");
+        assert_eq!(t[0], Tok::Kw(Kw::Def));
+        assert!(t.contains(&Tok::Kw(Kw::Return)));
+        assert!(t.contains(&Tok::Kw(Kw::None)));
+    }
+
+    #[test]
+    fn bad_character_is_an_error() {
+        assert!(tokenize("x = 1 @ 2\n").is_err());
+    }
+}

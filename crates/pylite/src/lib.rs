@@ -1,0 +1,63 @@
+//! # nfi-pylite — the PyLite language substrate
+//!
+//! A deliberately small Python dialect with a lexer, parser, pretty
+//! printer, bytecode compiler, and a deterministic cooperative virtual
+//! machine. It is the *injection substrate* of the Neural Fault Injection
+//! workspace: the paper evaluates on Python programs mutated by a
+//! ProFIPy-style tool, and PyLite plays the role of that Python runtime.
+//!
+//! The VM is built for dependability experiments rather than speed:
+//!
+//! * deterministic, seed-driven preemptive scheduling of cooperative
+//!   tasks (`spawn` / `join` / `lock`) — interleavings are reproducible,
+//! * a virtual clock (`sleep` / `now`) so timeout scenarios run in
+//!   microseconds of wall time,
+//! * an Eraser-style lockset **data-race detector**,
+//! * **resource-leak** tracking (`open_handle` without `close`),
+//! * **bounded buffers** whose overflows are detected and reported,
+//! * a step budget plus deadlock detection for **hang** classification.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nfi_pylite::{Machine, MachineConfig};
+//!
+//! let source = "def double(x):\n    return x * 2\nprint(double(21))\n";
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let outcome = machine.run_source(source)?;
+//! assert_eq!(outcome.output, "42\n");
+//! assert!(outcome.clean());
+//! # Ok::<(), nfi_pylite::PyliteError>(())
+//! ```
+//!
+//! ## Parsing and printing
+//!
+//! ```
+//! let module = nfi_pylite::parse("x = 1 + 2\n")?;
+//! assert_eq!(nfi_pylite::print_module(&module), "x = 1 + 2\n");
+//! # Ok::<(), nfi_pylite::PyliteError>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+mod builtins;
+pub mod code;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod machine;
+pub mod ops;
+pub mod parser;
+pub mod printer;
+pub mod value;
+
+pub use ast::{Module, NodeId, Span, Stmt, StmtKind};
+pub use builtins::{BUILTIN_FUNCTIONS, EXCEPTION_KINDS};
+pub use error::{ErrorKind, PyliteError};
+pub use machine::{
+    ExcInfo, HangKind, LeakReport, Machine, MachineConfig, OverflowReport, RaceReport, RunOutcome,
+    RunStatus,
+};
+pub use parser::parse;
+pub use printer::{print_block, print_expr, print_module};
+pub use value::Value;

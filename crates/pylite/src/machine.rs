@@ -1,0 +1,1596 @@
+//! The PyLite virtual machine: cooperative tasks, virtual time, and
+//! dependability instrumentation.
+//!
+//! The machine is the *observability substrate* for fault injection:
+//! besides executing bytecode it detects and reports
+//!
+//! * **hangs** — a global step budget plus deadlock detection,
+//! * **data races** — an Eraser-style lockset algorithm over shared
+//!   globals and shared containers,
+//! * **resource leaks** — handles opened via `open_handle` and never
+//!   closed,
+//! * **buffer overflows** — writes past a bounded buffer's capacity,
+//!
+//! all of which the fault-injection harness (crate `nfi-inject`) turns
+//! into failure-mode classifications.
+//!
+//! Scheduling is deterministic for a given [`MachineConfig::seed`]: tasks
+//! are preempted every [`MachineConfig::quantum`] instructions and the
+//! next runnable task is chosen by a seeded RNG, so interleavings are
+//! reproducible and explorable by sweeping seeds.
+
+use crate::ast::Module;
+use crate::builtins;
+use crate::code::{Code, Const, Instr};
+use crate::compile::compile_module;
+use crate::error::{ErrorKind, PyliteError};
+use crate::ops;
+use crate::parser::parse;
+use crate::value::{ExcObj, FuncObj, HandleObj, IterObj, LockId, TaskId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Configuration for a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Maximum total instructions per run before the run is declared hung.
+    pub step_budget: u64,
+    /// Instructions a task may execute before preemption.
+    pub quantum: u32,
+    /// Seed for the deterministic scheduler and `rand_int`/`rand_float`.
+    pub seed: u64,
+    /// Whether to run the lockset race detector.
+    pub detect_races: bool,
+    /// Maximum frame depth before `RecursionError` is raised.
+    pub max_frames: usize,
+    /// Maximum bytes of `print` output retained per run.
+    pub max_output: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            step_budget: 2_000_000,
+            quantum: 16,
+            seed: 0xC0FFEE,
+            detect_races: true,
+            max_frames: 256,
+            max_output: 1 << 20,
+        }
+    }
+}
+
+/// Why a run failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HangKind {
+    /// The instruction budget was exhausted (livelock / infinite loop).
+    StepBudget,
+    /// Every live task is blocked and no timer can fire.
+    Deadlock,
+}
+
+/// Details of an uncaught exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcInfo {
+    /// Exception kind, e.g. `"TimeoutError"`.
+    pub kind: String,
+    /// Exception message.
+    pub message: String,
+    /// Source line where it escaped, when known.
+    pub line: Option<u32>,
+    /// Task in which it escaped.
+    pub task: TaskId,
+}
+
+/// Terminal status of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// The main task ran to completion.
+    Completed,
+    /// An exception escaped the main task.
+    Uncaught(ExcInfo),
+    /// The run hung (step budget or deadlock).
+    Hung(HangKind),
+}
+
+/// A detected data race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Name of the racy location (global name or container hint).
+    pub location: String,
+    /// Task that first owned the location.
+    pub first_task: TaskId,
+    /// Task whose access completed the race.
+    pub second_task: TaskId,
+    /// Source line of the completing access, when known.
+    pub line: Option<u32>,
+}
+
+/// A detected buffer overflow (write past capacity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverflowReport {
+    /// Attempted index.
+    pub index: i64,
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// Source line, when known.
+    pub line: Option<u32>,
+}
+
+/// A resource handle left open at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakReport {
+    /// Name passed to `open_handle`.
+    pub name: String,
+}
+
+/// Everything observed during one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Terminal status of the main task.
+    pub status: RunStatus,
+    /// Captured `print` output.
+    pub output: String,
+    /// Data races detected by the lockset algorithm.
+    pub races: Vec<RaceReport>,
+    /// Buffer overflows (reported even when the raised `BufferOverflowError`
+    /// was caught).
+    pub overflows: Vec<OverflowReport>,
+    /// Handles never closed.
+    pub leaks: Vec<LeakReport>,
+    /// Uncaught exceptions in *spawned* tasks (main-task escapes are in
+    /// `status`).
+    pub task_failures: Vec<ExcInfo>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Virtual seconds elapsed.
+    pub vtime: f64,
+    /// Value returned by the entry function (for `call`).
+    pub return_value: Option<Value>,
+}
+
+impl RunOutcome {
+    /// True when the run completed with no uncaught exception anywhere.
+    pub fn clean(&self) -> bool {
+        matches!(self.status, RunStatus::Completed) && self.task_failures.is_empty()
+    }
+}
+
+#[derive(Debug)]
+enum BlockKind {
+    Except { handler: u32 },
+    Finally { handler: u32 },
+}
+
+#[derive(Debug)]
+struct Block {
+    kind: BlockKind,
+    stack_depth: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    code: Rc<Code>,
+    pc: usize,
+    stack: Vec<Value>,
+    locals: Vec<Option<Value>>,
+    blocks: Vec<Block>,
+}
+
+impl Frame {
+    fn new(code: Rc<Code>) -> Self {
+        let n = code.locals.len();
+        Frame {
+            code,
+            pc: 0,
+            stack: Vec::new(),
+            locals: vec![None; n],
+            blocks: Vec::new(),
+        }
+    }
+}
+
+/// What a blocked task is waiting for.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Wait {
+    /// Virtual-time sleep until the given instant.
+    Sleep { wake_at: f64 },
+    /// Lock acquisition.
+    Lock(LockId),
+    /// Join on another task.
+    Join(TaskId),
+}
+
+#[derive(Debug)]
+enum TaskStatus {
+    Ready,
+    Blocked(Wait),
+    Done(Result<Value, Rc<ExcObj>>),
+}
+
+struct Task {
+    id: TaskId,
+    frames: Vec<Frame>,
+    status: TaskStatus,
+    current_exc: Option<Value>,
+    failure_line: Option<u32>,
+}
+
+impl Task {
+    fn dummy() -> Self {
+        Task {
+            id: usize::MAX,
+            frames: Vec::new(),
+            status: TaskStatus::Done(Ok(Value::None)),
+            current_exc: None,
+            failure_line: None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.status, TaskStatus::Done(_))
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<TaskId>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+enum AccessKey {
+    Global(String),
+    Object(usize),
+}
+
+#[derive(Debug)]
+struct AccessState {
+    owner: TaskId,
+    shared: bool,
+    written: bool,
+    modified_shared: bool,
+    lockset: BTreeSet<LockId>,
+    reported: bool,
+    /// Global step count of the most recent access (used for the
+    /// spawn-boundary ownership-transfer refinement).
+    last_step: u64,
+}
+
+pub(crate) enum BuiltinFlow {
+    /// Builtin produced a value; push it.
+    Value(Value),
+    /// Builtin raised.
+    Raise(Value),
+    /// Builtin blocks the task; the wake-up logic pushes the resume value.
+    Block(Wait),
+}
+
+enum StepFlow {
+    Normal,
+    Yield,
+    Finished,
+}
+
+/// The PyLite virtual machine. See the [module docs](self) for an overview.
+///
+/// # Examples
+///
+/// ```
+/// use nfi_pylite::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// let out = m.run_source("def f(x):\n    return x * 2\nprint(f(21))\n")?;
+/// assert_eq!(out.output, "42\n");
+/// # Ok::<(), nfi_pylite::PyliteError>(())
+/// ```
+pub struct Machine {
+    config: MachineConfig,
+    globals: HashMap<String, Value>,
+    tasks: Vec<Task>,
+    /// Locks held per task (indexed by `TaskId`; lives outside `Task`
+    /// because the running task is checked out of `tasks` during a step).
+    task_locks: Vec<BTreeSet<LockId>>,
+    /// Global step count at which each task was spawned.
+    task_spawn_step: Vec<u64>,
+    pub(crate) clock: f64,
+    pub(crate) rng: StdRng,
+    pub(crate) output: String,
+    locks: Vec<LockState>,
+    pub(crate) handles: Vec<Rc<HandleObj>>,
+    races: Vec<RaceReport>,
+    pub(crate) overflows: Vec<OverflowReport>,
+    steps: u64,
+    access: HashMap<AccessKey, AccessState>,
+    obj_names: HashMap<usize, String>,
+    pub(crate) next_handle: usize,
+    current_line: Option<u32>,
+    spawned_failures: Vec<ExcInfo>,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Machine {
+            config,
+            globals: HashMap::new(),
+            tasks: Vec::new(),
+            task_locks: Vec::new(),
+            task_spawn_step: Vec::new(),
+            clock: 0.0,
+            rng,
+            output: String::new(),
+            locks: Vec::new(),
+            handles: Vec::new(),
+            races: Vec::new(),
+            overflows: Vec::new(),
+            steps: 0,
+            access: HashMap::new(),
+            obj_names: HashMap::new(),
+            next_handle: 0,
+            current_line: None,
+            spawned_failures: Vec::new(),
+        }
+    }
+
+    /// Parses, compiles, and runs source text as a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns lex/parse/compile errors; *runtime* failures are reported
+    /// inside the [`RunOutcome`].
+    pub fn run_source(&mut self, source: &str) -> Result<RunOutcome, PyliteError> {
+        let module = parse(source)?;
+        self.run_module(&module)
+    }
+
+    /// Compiles and runs a module's top-level code. Definitions persist in
+    /// the machine's globals for later [`Machine::call`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns compile errors; runtime failures are in the [`RunOutcome`].
+    pub fn run_module(&mut self, module: &Module) -> Result<RunOutcome, PyliteError> {
+        let code = compile_module(module)?;
+        Ok(self.run_code(code))
+    }
+
+    /// Calls a previously-defined global function to completion under the
+    /// scheduler (used by the test harness to invoke entry points).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ErrorKind::Runtime`] error when `name` is not a defined
+    /// function.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<RunOutcome, PyliteError> {
+        let func = match self.globals.get(name) {
+            Some(Value::Func(f)) => f.clone(),
+            Some(other) => {
+                return Err(PyliteError::new(
+                    ErrorKind::Runtime,
+                    format!("global `{name}` is {} and not callable", other.type_name()),
+                ))
+            }
+            None => {
+                return Err(PyliteError::new(
+                    ErrorKind::Runtime,
+                    format!("no function named `{name}`"),
+                ))
+            }
+        };
+        let mut frame = Frame::new(func.code.clone());
+        if let Err(e) = bind_args(&func, args, &mut frame) {
+            return Err(PyliteError::new(ErrorKind::Runtime, e.py_str()));
+        }
+        Ok(self.run_frames(vec![frame]))
+    }
+
+    /// The value of a global variable, if defined.
+    pub fn global(&self, name: &str) -> Option<Value> {
+        self.globals.get(name).cloned()
+    }
+
+    /// Sets a global variable (used by harnesses to parameterize runs).
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        self.globals.insert(name.to_string(), value);
+    }
+
+    /// Names of globals holding user-defined functions.
+    pub fn function_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .globals
+            .iter()
+            .filter(|(_, val)| matches!(val, Value::Func(_)))
+            .map(|(k, _)| k.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn run_code(&mut self, code: Rc<Code>) -> RunOutcome {
+        self.run_frames(vec![Frame::new(code)])
+    }
+
+    fn run_frames(&mut self, frames: Vec<Frame>) -> RunOutcome {
+        // Fresh per-run state.
+        self.tasks.clear();
+        self.task_locks.clear();
+        self.task_spawn_step.clear();
+        // Lock *objects* persist across runs (they live in globals); only
+        // their held state resets, since task ids are per-run.
+        for lock in &mut self.locks {
+            lock.held_by = None;
+        }
+        self.races.clear();
+        self.overflows.clear();
+        self.access.clear();
+        self.obj_names.clear();
+        self.output.clear();
+        self.spawned_failures.clear();
+        let start_steps = self.steps;
+        let start_clock = self.clock;
+        self.steps = 0;
+        let _ = start_steps;
+        self.tasks.push(Task {
+            id: 0,
+            frames,
+            status: TaskStatus::Ready,
+            current_exc: None,
+            failure_line: None,
+        });
+        self.task_locks.push(BTreeSet::new());
+        self.task_spawn_step.push(0);
+
+        let status = self.schedule();
+
+        // Leak detection: handles opened during this run and still open.
+        let leaks: Vec<LeakReport> = self
+            .handles
+            .drain(..)
+            .filter(|h| !h.closed.get())
+            .map(|h| LeakReport {
+                name: h.name.clone(),
+            })
+            .collect();
+
+        let return_value = match &self.tasks.first().map(|t| &t.status) {
+            Some(TaskStatus::Done(Ok(v))) => Some(v.clone()),
+            _ => None,
+        };
+
+        RunOutcome {
+            status,
+            output: std::mem::take(&mut self.output),
+            races: std::mem::take(&mut self.races),
+            overflows: std::mem::take(&mut self.overflows),
+            leaks,
+            task_failures: std::mem::take(&mut self.spawned_failures),
+            steps: self.steps,
+            vtime: self.clock - start_clock,
+            return_value,
+        }
+    }
+
+    // ---- scheduler --------------------------------------------------------
+
+    fn schedule(&mut self) -> RunStatus {
+        loop {
+            if self.tasks.iter().all(|t| t.done()) {
+                return self.main_status();
+            }
+            // A task is runnable when Ready, or blocked on a condition that
+            // is now satisfied.
+            let runnable: Vec<TaskId> = self
+                .tasks
+                .iter()
+                .filter(|t| match &t.status {
+                    TaskStatus::Ready => true,
+                    TaskStatus::Blocked(w) => self.wait_satisfied(w),
+                    TaskStatus::Done(_) => false,
+                })
+                .map(|t| t.id)
+                .collect();
+            if runnable.is_empty() {
+                // Advance virtual time to the earliest sleeper, else deadlock.
+                let min_wake = self
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match &t.status {
+                        TaskStatus::Blocked(Wait::Sleep { wake_at }) => Some(*wake_at),
+                        _ => None,
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if min_wake.is_finite() {
+                    self.clock = min_wake;
+                    continue;
+                }
+                self.fail_unfinished_tasks();
+                return RunStatus::Hung(HangKind::Deadlock);
+            }
+            let pick = runnable[self.rng.gen_range(0..runnable.len())];
+            self.wake(pick);
+            let mut executed = 0u32;
+            while executed < self.config.quantum {
+                if self.steps >= self.config.step_budget {
+                    self.fail_unfinished_tasks();
+                    return RunStatus::Hung(HangKind::StepBudget);
+                }
+                self.steps += 1;
+                executed += 1;
+                match self.step(pick) {
+                    StepFlow::Normal => {
+                        if !matches!(self.tasks[pick].status, TaskStatus::Ready) {
+                            break;
+                        }
+                    }
+                    StepFlow::Yield | StepFlow::Finished => break,
+                }
+            }
+        }
+    }
+
+    fn main_status(&mut self) -> RunStatus {
+        // Collect failures in spawned tasks first.
+        for t in &self.tasks {
+            if t.id == 0 {
+                continue;
+            }
+            if let TaskStatus::Done(Err(exc)) = &t.status {
+                let info = ExcInfo {
+                    kind: exc.kind.clone(),
+                    message: exc.message.clone(),
+                    line: t.failure_line,
+                    task: t.id,
+                };
+                if !self.spawned_failures.contains(&info) {
+                    self.spawned_failures.push(info);
+                }
+            }
+        }
+        match &self.tasks[0].status {
+            TaskStatus::Done(Ok(_)) => RunStatus::Completed,
+            TaskStatus::Done(Err(exc)) => RunStatus::Uncaught(ExcInfo {
+                kind: exc.kind.clone(),
+                message: exc.message.clone(),
+                line: self.tasks[0].failure_line,
+                task: 0,
+            }),
+            _ => RunStatus::Hung(HangKind::Deadlock),
+        }
+    }
+
+    fn fail_unfinished_tasks(&mut self) {
+        self.main_status();
+    }
+
+    fn wait_satisfied(&self, w: &Wait) -> bool {
+        match w {
+            Wait::Sleep { wake_at } => self.clock >= *wake_at,
+            Wait::Lock(l) => self.locks[*l].held_by.is_none(),
+            Wait::Join(t) => self.tasks.get(*t).map(|t| t.done()).unwrap_or(true),
+        }
+    }
+
+    /// Transitions a runnable blocked task back to Ready, performing the
+    /// wake-up side effect (lock grant, join result push, ...).
+    fn wake(&mut self, tid: TaskId) {
+        let wait = match &self.tasks[tid].status {
+            TaskStatus::Blocked(w) => w.clone(),
+            _ => return,
+        };
+        match wait {
+            Wait::Sleep { .. } => {
+                self.tasks[tid].status = TaskStatus::Ready;
+                self.push_value(tid, Value::None);
+            }
+            Wait::Lock(l) => {
+                debug_assert!(self.locks[l].held_by.is_none());
+                self.locks[l].held_by = Some(tid);
+                self.task_locks[tid].insert(l);
+                self.tasks[tid].status = TaskStatus::Ready;
+                self.push_value(tid, Value::Bool(true));
+            }
+            Wait::Join(target) => {
+                let result = match &self.tasks[target].status {
+                    TaskStatus::Done(r) => r.clone(),
+                    _ => unreachable!("join wake requires finished target"),
+                };
+                self.tasks[tid].status = TaskStatus::Ready;
+                match result {
+                    Ok(v) => self.push_value(tid, v),
+                    Err(exc) => {
+                        let exc = Value::Exc(exc);
+                        self.raise_in_task(tid, exc);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_value(&mut self, tid: TaskId, v: Value) {
+        if let Some(frame) = self.tasks[tid].frames.last_mut() {
+            frame.stack.push(v);
+        }
+    }
+
+    // ---- race detection ---------------------------------------------------
+
+    pub(crate) fn note_global_store_hint(&mut self, name: &str, value: &Value) {
+        if let Some(addr) = container_addr(value) {
+            self.obj_names.entry(addr).or_insert_with(|| name.to_string());
+        }
+    }
+
+    fn record_global_access(&mut self, tid: TaskId, name: &str, is_write: bool) {
+        if !self.config.detect_races {
+            return;
+        }
+        self.record_access(AccessKey::Global(name.to_string()), tid, is_write, name);
+    }
+
+    pub(crate) fn record_object_access(&mut self, tid: TaskId, value: &Value, is_write: bool) {
+        if !self.config.detect_races {
+            return;
+        }
+        let Some(addr) = container_addr(value) else {
+            return;
+        };
+        let hint = self
+            .obj_names
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| format!("<{}@{:x}>", value.type_name(), addr));
+        self.record_access(AccessKey::Object(addr), tid, is_write, &hint);
+    }
+
+    fn record_access(&mut self, key: AccessKey, tid: TaskId, is_write: bool, hint: &str) {
+        let locks = self.task_locks[tid].clone();
+        let line = self.current_line;
+        let now = self.steps;
+        let spawn_step = self.task_spawn_step[tid];
+        // Sequential-phase reset: when every other task has finished, the
+        // program is single-threaded again (e.g. main reading results after
+        // joining workers), so accesses cannot race. Note the running task
+        // is checked out of `tasks` (its slot holds a Done dummy), hence
+        // the index comparison.
+        let others_alive = self
+            .tasks
+            .iter()
+            .enumerate()
+            .any(|(i, t)| i != tid && !t.done());
+        if !others_alive {
+            if let Some(entry) = self.access.get_mut(&key) {
+                entry.shared = false;
+                entry.owner = tid;
+                entry.written = is_write;
+                entry.lockset.clear();
+                entry.last_step = now;
+                return;
+            }
+        }
+        let entry = self.access.entry(key).or_insert_with(|| AccessState {
+            owner: tid,
+            shared: false,
+            written: is_write,
+            modified_shared: false,
+            lockset: BTreeSet::new(),
+            reported: false,
+            last_step: now,
+        });
+        if !entry.shared {
+            if entry.owner == tid {
+                entry.written |= is_write;
+                entry.last_step = now;
+                return;
+            }
+            if entry.last_step <= spawn_step {
+                // Every prior access happened before this task was spawned:
+                // initialization hand-off, not sharing. Transfer ownership.
+                entry.owner = tid;
+                entry.written = is_write;
+                entry.last_step = now;
+                return;
+            }
+            // Second concurrent task touches the location: shared regime.
+            entry.shared = true;
+            entry.lockset = locks.clone();
+            entry.modified_shared = is_write;
+        } else {
+            entry.lockset = entry.lockset.intersection(&locks).copied().collect();
+            entry.modified_shared |= is_write;
+        }
+        entry.written |= is_write;
+        entry.last_step = now;
+        if entry.modified_shared && entry.lockset.is_empty() && !entry.reported {
+            entry.reported = true;
+            self.races.push(RaceReport {
+                location: hint.to_string(),
+                first_task: entry.owner,
+                second_task: tid,
+                line,
+            });
+        }
+    }
+
+    // ---- task / builtin support (used by builtins.rs) ---------------------
+
+    pub(crate) fn spawn_task(&mut self, func: Rc<FuncObj>, args: Vec<Value>) -> Result<TaskId, Value> {
+        let mut frame = Frame::new(func.code.clone());
+        bind_args(&func, args, &mut frame)?;
+        let id = self.tasks.len();
+        self.tasks.push(Task {
+            id,
+            frames: vec![frame],
+            status: TaskStatus::Ready,
+            current_exc: None,
+            failure_line: None,
+        });
+        self.task_locks.push(BTreeSet::new());
+        self.task_spawn_step.push(self.steps);
+        Ok(id)
+    }
+
+    pub(crate) fn new_lock(&mut self) -> LockId {
+        self.locks.push(LockState::default());
+        self.locks.len() - 1
+    }
+
+    pub(crate) fn try_acquire(&mut self, tid: TaskId, lock: LockId) -> bool {
+        if self.locks[lock].held_by.is_none() {
+            self.locks[lock].held_by = Some(tid);
+            self.task_locks[tid].insert(lock);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn release_lock(&mut self, tid: TaskId, lock: LockId) -> Result<(), Value> {
+        if self.locks[lock].held_by != Some(tid) {
+            return Err(Value::exc(
+                "RuntimeError",
+                "release of a lock not held by this task",
+            ));
+        }
+        self.locks[lock].held_by = None;
+        self.task_locks[tid].remove(&lock);
+        Ok(())
+    }
+
+    pub(crate) fn lock_exists(&self, lock: LockId) -> bool {
+        lock < self.locks.len()
+    }
+
+    pub(crate) fn try_peek_free(&self, lock: LockId) -> bool {
+        self.locks[lock].held_by.is_none()
+    }
+
+    pub(crate) fn task_exists(&self, t: TaskId) -> bool {
+        t < self.tasks.len()
+    }
+
+    pub(crate) fn print_line(&mut self, line: &str) {
+        if self.output.len() < self.config.max_output {
+            self.output.push_str(line);
+            self.output.push('\n');
+        }
+    }
+
+    pub(crate) fn note_overflow(&mut self, index: i64, capacity: usize) {
+        let line = self.current_line;
+        self.overflows.push(OverflowReport {
+            index,
+            capacity,
+            line,
+        });
+    }
+
+    // ---- exception handling ------------------------------------------------
+
+    /// Raises `exc` inside a task, unwinding frames until a handler is
+    /// found. When nothing catches it, the task dies.
+    fn raise_in_task(&mut self, tid: TaskId, exc: Value) {
+        let exc_obj = match &exc {
+            Value::Exc(e) => e.clone(),
+            other => Rc::new(ExcObj::new("TypeError", format!(
+                "exceptions must be exception values, not {}",
+                other.type_name()
+            ))),
+        };
+        let exc = Value::Exc(exc_obj.clone());
+        let task = &mut self.tasks[tid];
+        loop {
+            let Some(frame) = task.frames.last_mut() else {
+                task.failure_line = self.current_line;
+                task.status = TaskStatus::Done(Err(exc_obj));
+                return;
+            };
+            if let Some(block) = frame.blocks.pop() {
+                frame.stack.truncate(block.stack_depth);
+                frame.stack.push(exc.clone());
+                match block.kind {
+                    BlockKind::Except { handler } | BlockKind::Finally { handler } => {
+                        frame.pc = handler as usize;
+                    }
+                }
+                task.current_exc = Some(exc);
+                return;
+            }
+            // No handler in this frame: release nothing (locks are
+            // task-scoped, not frame-scoped) and pop the frame.
+            task.frames.pop();
+        }
+    }
+
+    // ---- the interpreter loop ----------------------------------------------
+
+    fn step(&mut self, tid: TaskId) -> StepFlow {
+        let mut task = std::mem::replace(&mut self.tasks[tid], Task::dummy());
+        let flow = self.step_inner(&mut task);
+        self.tasks[tid] = task;
+        flow
+    }
+
+    fn step_inner(&mut self, task: &mut Task) -> StepFlow {
+        let tid = task.id;
+        let Some(frame) = task.frames.last_mut() else {
+            task.status = TaskStatus::Done(Ok(Value::None));
+            return StepFlow::Finished;
+        };
+        if frame.pc >= frame.code.instrs.len() {
+            // Fell off the end (defensive; compiler always emits Return).
+            let result = frame.stack.pop().unwrap_or(Value::None);
+            task.frames.pop();
+            if task.frames.is_empty() {
+                task.status = TaskStatus::Done(Ok(result));
+                return StepFlow::Finished;
+            }
+            task.frames.last_mut().expect("caller frame").stack.push(result);
+            return StepFlow::Normal;
+        }
+        let instr = frame.code.instrs[frame.pc];
+        self.current_line = frame.code.span_at(frame.pc).map(|s| s.line);
+        frame.pc += 1;
+
+        macro_rules! raise {
+            ($task:expr, $exc:expr) => {{
+                let exc = $exc;
+                self.raise_in_task_local($task, exc);
+                return StepFlow::Normal;
+            }};
+        }
+
+        match instr {
+            Instr::LoadConst(i) => {
+                let v = match &frame.code.consts[i as usize] {
+                    Const::Value(v) => v.clone(),
+                    Const::Code(_) => Value::None,
+                };
+                frame.stack.push(v);
+            }
+            Instr::LoadLocal(i) => match frame.locals[i as usize].clone() {
+                Some(v) => frame.stack.push(v),
+                None => {
+                    let name = frame.code.locals[i as usize].clone();
+                    raise!(
+                        task,
+                        Value::exc(
+                            "UnboundLocalError",
+                            format!("local variable `{name}` referenced before assignment")
+                        )
+                    );
+                }
+            },
+            Instr::StoreLocal(i) => {
+                let v = frame.stack.pop().expect("store requires a value");
+                frame.locals[i as usize] = Some(v);
+            }
+            Instr::LoadGlobal(i) => {
+                let name = frame.code.names[i as usize].clone();
+                match self.globals.get(&name).cloned() {
+                    Some(v) => {
+                        self.record_global_access(tid, &name, false);
+                        task.frames.last_mut().expect("frame").stack.push(v);
+                    }
+                    None => match builtins::lookup(&name) {
+                        Some(v) => frame.stack.push(v),
+                        None => raise!(
+                            task,
+                            Value::exc("NameError", format!("name `{name}` is not defined"))
+                        ),
+                    },
+                }
+            }
+            Instr::StoreGlobal(i) => {
+                let name = frame.code.names[i as usize].clone();
+                let v = frame.stack.pop().expect("store requires a value");
+                self.note_global_store_hint(&name, &v);
+                self.record_global_access(tid, &name, true);
+                self.globals.insert(name, v);
+            }
+            Instr::Bin(op) => {
+                let b = frame.stack.pop().expect("binop rhs");
+                let a = frame.stack.pop().expect("binop lhs");
+                match ops::binary(op, &a, &b) {
+                    Ok(v) => frame.stack.push(v),
+                    Err(e) => raise!(task, e),
+                }
+            }
+            Instr::Cmp(op) => {
+                let b = frame.stack.pop().expect("cmp rhs");
+                let a = frame.stack.pop().expect("cmp lhs");
+                match ops::compare(op, &a, &b) {
+                    Ok(v) => frame.stack.push(v),
+                    Err(e) => raise!(task, e),
+                }
+            }
+            Instr::Not => {
+                let v = frame.stack.pop().expect("not operand");
+                frame.stack.push(Value::Bool(!v.truthy()));
+            }
+            Instr::Neg => {
+                let v = frame.stack.pop().expect("neg operand");
+                match v {
+                    Value::Int(i) => frame.stack.push(Value::Int(-i)),
+                    Value::Float(f) => frame.stack.push(Value::Float(-f)),
+                    Value::Bool(b) => frame.stack.push(Value::Int(-(b as i64))),
+                    other => raise!(
+                        task,
+                        Value::exc(
+                            "TypeError",
+                            format!("bad operand type for unary -: {}", other.type_name())
+                        )
+                    ),
+                }
+            }
+            Instr::Jump(t) => frame.pc = t as usize,
+            Instr::JumpIfFalsePop(t) => {
+                let v = frame.stack.pop().expect("jump condition");
+                if !v.truthy() {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::JumpIfTruePop(t) => {
+                let v = frame.stack.pop().expect("jump condition");
+                if v.truthy() {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::JumpIfFalsePeek(t) => {
+                let v = frame.stack.last().expect("jump condition");
+                if !v.truthy() {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::JumpIfTruePeek(t) => {
+                let v = frame.stack.last().expect("jump condition");
+                if v.truthy() {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::MakeList(n) => {
+                let at = frame.stack.len() - n as usize;
+                let items = frame.stack.split_off(at);
+                frame.stack.push(Value::list(items));
+            }
+            Instr::MakeTuple(n) => {
+                let at = frame.stack.len() - n as usize;
+                let items = frame.stack.split_off(at);
+                frame.stack.push(Value::Tuple(Rc::new(items)));
+            }
+            Instr::MakeDict(n) => {
+                let at = frame.stack.len() - 2 * n as usize;
+                let flat = frame.stack.split_off(at);
+                let mut pairs = Vec::with_capacity(n as usize);
+                let mut it = flat.into_iter();
+                while let (Some(k), Some(v)) = (it.next(), it.next()) {
+                    pairs.push((k, v));
+                }
+                frame.stack.push(Value::dict(pairs));
+            }
+            Instr::GetIndex => {
+                let index = frame.stack.pop().expect("index");
+                let obj = frame.stack.pop().expect("object");
+                self.record_object_access(tid, &obj, false);
+                let frame = task.frames.last_mut().expect("frame");
+                match ops::get_index(&obj, &index) {
+                    Ok(v) => frame.stack.push(v),
+                    Err(e) => raise!(task, e),
+                }
+            }
+            Instr::SetIndex => {
+                let value = frame.stack.pop().expect("value");
+                let index = frame.stack.pop().expect("index");
+                let obj = frame.stack.pop().expect("object");
+                self.record_object_access(tid, &obj, true);
+                if let Value::Buffer(buf) = &obj {
+                    let result = builtins::buffer_write(self, buf, &index, value);
+                    if let Err(e) = result {
+                        raise!(task, e);
+                    }
+                } else if let Err(e) = ops::set_index(&obj, &index, value) {
+                    raise!(task, e);
+                }
+            }
+            Instr::Dup => {
+                let v = frame.stack.last().expect("dup").clone();
+                frame.stack.push(v);
+            }
+            Instr::Dup2 => {
+                let n = frame.stack.len();
+                let a = frame.stack[n - 2].clone();
+                let b = frame.stack[n - 1].clone();
+                frame.stack.push(a);
+                frame.stack.push(b);
+            }
+            Instr::Pop => {
+                frame.stack.pop();
+            }
+            Instr::Call(argc) => {
+                let at = frame.stack.len() - argc as usize;
+                let args = frame.stack.split_off(at);
+                let callee = frame.stack.pop().expect("callee");
+                return self.dispatch_call(task, callee, args);
+            }
+            Instr::CallMethod { name, argc } => {
+                let method = frame.code.names[name as usize].clone();
+                let at = frame.stack.len() - argc as usize;
+                let args = frame.stack.split_off(at);
+                let recv = frame.stack.pop().expect("receiver");
+                match builtins::call_method(self, tid, &recv, &method, args) {
+                    BuiltinFlow::Value(v) => {
+                        task.frames.last_mut().expect("frame").stack.push(v)
+                    }
+                    BuiltinFlow::Raise(e) => raise!(task, e),
+                    BuiltinFlow::Block(w) => {
+                        task.status = TaskStatus::Blocked(w);
+                        return StepFlow::Yield;
+                    }
+                }
+            }
+            Instr::Return => {
+                let result = frame.stack.pop().unwrap_or(Value::None);
+                task.frames.pop();
+                if task.frames.is_empty() {
+                    task.status = TaskStatus::Done(Ok(result));
+                    return StepFlow::Finished;
+                }
+                task.frames.last_mut().expect("caller frame").stack.push(result);
+            }
+            Instr::MakeFunction { code, n_defaults } => {
+                let at = frame.stack.len() - n_defaults as usize;
+                let defaults = frame.stack.split_off(at);
+                let code = match &frame.code.consts[code as usize] {
+                    Const::Code(c) => c.clone(),
+                    Const::Value(_) => unreachable!("MakeFunction requires a code constant"),
+                };
+                frame.stack.push(Value::Func(Rc::new(FuncObj {
+                    name: code.name.clone(),
+                    code,
+                    defaults,
+                })));
+            }
+            Instr::GetIter => {
+                let v = frame.stack.pop().expect("iterable");
+                match builtins::make_iter(&v) {
+                    Ok(it) => frame.stack.push(it),
+                    Err(e) => raise!(task, e),
+                }
+            }
+            Instr::ForIter(end) => {
+                let next = {
+                    let Some(Value::Iter(it)) = frame.stack.last() else {
+                        raise!(
+                            task,
+                            Value::exc("TypeError", "for-loop target is not an iterator")
+                        );
+                    };
+                    next_item(&mut it.borrow_mut())
+                };
+                match next {
+                    Some(v) => frame.stack.push(v),
+                    None => {
+                        frame.stack.pop();
+                        frame.pc = end as usize;
+                    }
+                }
+            }
+            Instr::UnpackTuple(n) => {
+                let v = frame.stack.pop().expect("unpack source");
+                let items: Vec<Value> = match &v {
+                    Value::Tuple(t) => t.as_ref().clone(),
+                    Value::List(l) => l.borrow().clone(),
+                    other => raise!(
+                        task,
+                        Value::exc(
+                            "TypeError",
+                            format!("cannot unpack {}", other.type_name())
+                        )
+                    ),
+                };
+                if items.len() != n as usize {
+                    raise!(
+                        task,
+                        Value::exc(
+                            "ValueError",
+                            format!("expected {n} values to unpack, got {}", items.len())
+                        )
+                    );
+                }
+                for item in items.into_iter().rev() {
+                    frame.stack.push(item);
+                }
+            }
+            Instr::Raise => {
+                let v = frame.stack.pop().expect("exception");
+                let exc = match v {
+                    Value::Exc(_) => v,
+                    Value::ExcCtor(kind) => Value::exc(kind.as_ref(), ""),
+                    other => Value::exc(
+                        "TypeError",
+                        format!("cannot raise {} value", other.type_name()),
+                    ),
+                };
+                raise!(task, exc);
+            }
+            Instr::Reraise => match task.current_exc.clone() {
+                Some(exc) => raise!(task, exc),
+                None => raise!(
+                    task,
+                    Value::exc("RuntimeError", "no active exception to re-raise")
+                ),
+            },
+            Instr::RaiseAssert => {
+                let msg = frame.stack.pop().expect("assert message");
+                raise!(task, Value::exc("AssertionError", msg.py_str()));
+            }
+            Instr::SetupExcept(handler) => {
+                let depth = frame.stack.len();
+                frame.blocks.push(Block {
+                    kind: BlockKind::Except { handler },
+                    stack_depth: depth,
+                });
+            }
+            Instr::SetupFinally(handler) => {
+                let depth = frame.stack.len();
+                frame.blocks.push(Block {
+                    kind: BlockKind::Finally { handler },
+                    stack_depth: depth,
+                });
+            }
+            Instr::PopBlock => {
+                frame.blocks.pop();
+            }
+            Instr::MatchExc(i) => {
+                let kind = frame.code.names[i as usize].clone();
+                let matched = match frame.stack.last() {
+                    Some(Value::Exc(e)) => e.matches(&kind),
+                    _ => false,
+                };
+                frame.stack.push(Value::Bool(matched));
+            }
+        }
+        StepFlow::Normal
+    }
+
+    /// Raise inside a task we currently hold `&mut` to (cannot use the
+    /// tid-indexed path because the task is checked out of the vec).
+    fn raise_in_task_local(&mut self, task: &mut Task, exc: Value) {
+        let exc_obj = match &exc {
+            Value::Exc(e) => e.clone(),
+            other => Rc::new(ExcObj::new(
+                "TypeError",
+                format!(
+                    "exceptions must be exception values, not {}",
+                    other.type_name()
+                ),
+            )),
+        };
+        let exc = Value::Exc(exc_obj.clone());
+        loop {
+            let Some(frame) = task.frames.last_mut() else {
+                task.failure_line = self.current_line;
+                task.status = TaskStatus::Done(Err(exc_obj));
+                return;
+            };
+            if let Some(block) = frame.blocks.pop() {
+                frame.stack.truncate(block.stack_depth);
+                frame.stack.push(exc.clone());
+                match block.kind {
+                    BlockKind::Except { handler } | BlockKind::Finally { handler } => {
+                        frame.pc = handler as usize;
+                    }
+                }
+                task.current_exc = Some(exc);
+                return;
+            }
+            task.frames.pop();
+        }
+    }
+
+    fn dispatch_call(&mut self, task: &mut Task, callee: Value, args: Vec<Value>) -> StepFlow {
+        match callee {
+            Value::Func(f) => {
+                if task.frames.len() >= self.config.max_frames {
+                    self.raise_in_task_local(
+                        task,
+                        Value::exc("RecursionError", "maximum recursion depth exceeded"),
+                    );
+                    return StepFlow::Normal;
+                }
+                let mut frame = Frame::new(f.code.clone());
+                match bind_args(&f, args, &mut frame) {
+                    Ok(()) => {
+                        task.frames.push(frame);
+                        StepFlow::Normal
+                    }
+                    Err(e) => {
+                        self.raise_in_task_local(task, e);
+                        StepFlow::Normal
+                    }
+                }
+            }
+            Value::Builtin(name) => match builtins::call(self, task.id, name, args) {
+                BuiltinFlow::Value(v) => {
+                    task.frames.last_mut().expect("frame").stack.push(v);
+                    StepFlow::Normal
+                }
+                BuiltinFlow::Raise(e) => {
+                    self.raise_in_task_local(task, e);
+                    StepFlow::Normal
+                }
+                BuiltinFlow::Block(w) => {
+                    task.status = TaskStatus::Blocked(w);
+                    StepFlow::Yield
+                }
+            },
+            Value::ExcCtor(kind) => {
+                let msg = args.first().map(|v| v.py_str()).unwrap_or_default();
+                task.frames
+                    .last_mut()
+                    .expect("frame")
+                    .stack
+                    .push(Value::exc(kind.as_ref(), msg));
+                StepFlow::Normal
+            }
+            other => {
+                self.raise_in_task_local(
+                    task,
+                    Value::exc(
+                        "TypeError",
+                        format!("{} is not callable", other.type_name()),
+                    ),
+                );
+                StepFlow::Normal
+            }
+        }
+    }
+}
+
+fn container_addr(v: &Value) -> Option<usize> {
+    match v {
+        Value::List(l) => Some(Rc::as_ptr(l) as usize),
+        Value::Dict(d) => Some(Rc::as_ptr(d) as usize),
+        Value::Buffer(b) => Some(Rc::as_ptr(b) as usize),
+        _ => None,
+    }
+}
+
+fn bind_args(func: &FuncObj, args: Vec<Value>, frame: &mut Frame) -> Result<(), Value> {
+    let n_params = func.code.params.len();
+    let n_required = n_params - func.defaults.len();
+    if args.len() > n_params || args.len() < n_required {
+        return Err(Value::exc(
+            "TypeError",
+            format!(
+                "{}() takes {}..{} arguments but {} were given",
+                func.name,
+                n_required,
+                n_params,
+                args.len()
+            ),
+        ));
+    }
+    let given = args.len();
+    for (i, a) in args.into_iter().enumerate() {
+        frame.locals[i] = Some(a);
+    }
+    for i in given..n_params {
+        frame.locals[i] = Some(func.defaults[i - n_required].clone());
+    }
+    Ok(())
+}
+
+fn next_item(it: &mut IterObj) -> Option<Value> {
+    match it {
+        IterObj::Range { next, stop, step } => {
+            let more = if *step > 0 { *next < *stop } else { *next > *stop };
+            if more {
+                let v = *next;
+                *next += *step;
+                Some(Value::Int(v))
+            } else {
+                None
+            }
+        }
+        IterObj::Items { items, index } => {
+            if *index < items.len() {
+                let v = items[*index].clone();
+                *index += 1;
+                Some(v)
+            } else {
+                None
+            }
+        }
+        IterObj::Chars { chars, index } => {
+            if *index < chars.len() {
+                let v = Value::str(chars[*index].to_string());
+                *index += 1;
+                Some(v)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunOutcome {
+        Machine::new(MachineConfig::default()).run_source(src).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("print(1 + 2 * 3)\nprint(10 / 4)\nprint(7 // 2, 7 % 2)\n");
+        assert_eq!(out.output, "7\n2.5\n3 1\n");
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn functions_defaults_and_recursion() {
+        let out = run(
+            "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nprint(fib(10))\n",
+        );
+        assert_eq!(out.output, "55\n");
+    }
+
+    #[test]
+    fn default_arguments() {
+        let out = run("def greet(name, greeting=\"hello\"):\n    return greeting + \" \" + name\nprint(greet(\"world\"))\nprint(greet(\"x\", \"hi\"))\n");
+        assert_eq!(out.output, "hello world\nhi x\n");
+    }
+
+    #[test]
+    fn while_loop_with_break_continue() {
+        let out = run(
+            "total = 0\ni = 0\nwhile True:\n    i += 1\n    if i > 10:\n        break\n    if i % 2 == 0:\n        continue\n    total += i\nprint(total)\n",
+        );
+        assert_eq!(out.output, "25\n");
+    }
+
+    #[test]
+    fn for_loop_over_range_and_list() {
+        let out = run("s = 0\nfor i in range(5):\n    s += i\nfor x in [10, 20]:\n    s += x\nprint(s)\n");
+        assert_eq!(out.output, "40\n");
+    }
+
+    #[test]
+    fn for_with_tuple_unpack() {
+        let out = run("d = {\"a\": 1, \"b\": 2}\nt = 0\nfor k, v in d.items():\n    t += v\nprint(t)\n");
+        assert_eq!(out.output, "3\n");
+    }
+
+    #[test]
+    fn try_except_catches_matching_kind() {
+        let out = run(
+            "try:\n    raise ValueError(\"boom\")\nexcept KeyError:\n    print(\"key\")\nexcept ValueError as e:\n    print(\"caught\", str(e))\n",
+        );
+        assert_eq!(out.output, "caught ValueError: boom\n");
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn uncaught_exception_reports_kind_and_line() {
+        let out = run("x = 1\nraise RuntimeError(\"bad\")\n");
+        match out.status {
+            RunStatus::Uncaught(info) => {
+                assert_eq!(info.kind, "RuntimeError");
+                assert_eq!(info.message, "bad");
+                assert_eq!(info.line, Some(2));
+            }
+            other => panic!("expected uncaught, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finally_runs_on_both_paths() {
+        let out = run(
+            "def f(fail):\n    try:\n        if fail:\n            raise ValueError(\"x\")\n        return \"ok\"\n    finally:\n        print(\"cleanup\")\nprint(f(False))\ntry:\n    f(True)\nexcept ValueError:\n    print(\"caught\")\n",
+        );
+        assert_eq!(out.output, "cleanup\nok\ncleanup\ncaught\n");
+    }
+
+    #[test]
+    fn bare_raise_reraises() {
+        let out = run(
+            "try:\n    try:\n        raise KeyError(\"k\")\n    except KeyError:\n        raise\nexcept KeyError:\n    print(\"outer\")\n",
+        );
+        assert_eq!(out.output, "outer\n");
+    }
+
+    #[test]
+    fn division_by_zero_is_catchable() {
+        let out = run("try:\n    x = 1 / 0\nexcept ZeroDivisionError:\n    print(\"div0\")\n");
+        assert_eq!(out.output, "div0\n");
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_budget() {
+        let mut m = Machine::new(MachineConfig {
+            step_budget: 10_000,
+            ..MachineConfig::default()
+        });
+        let out = m.run_source("while True:\n    pass\n").unwrap();
+        assert_eq!(out.status, RunStatus::Hung(HangKind::StepBudget));
+    }
+
+    #[test]
+    fn recursion_limit_raises_not_hangs() {
+        let out = run("def f():\n    return f()\ntry:\n    f()\nexcept RecursionError:\n    print(\"deep\")\n");
+        assert_eq!(out.output, "deep\n");
+    }
+
+    #[test]
+    fn globals_persist_across_call() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_source("counter = 0\ndef bump():\n    global counter\n    counter += 1\n    return counter\n")
+            .unwrap();
+        let out = m.call("bump", vec![]).unwrap();
+        assert!(out.return_value.unwrap().py_eq(&Value::Int(1)));
+        let out = m.call("bump", vec![]).unwrap();
+        assert!(out.return_value.unwrap().py_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn call_missing_function_is_host_error() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_source("x = 1\n").unwrap();
+        assert!(m.call("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn spawn_join_returns_value() {
+        let out = run(
+            "def work(n):\n    return n * 2\nt = spawn(work, 21)\nprint(join(t))\n",
+        );
+        assert_eq!(out.output, "42\n");
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn join_propagates_exception() {
+        let out = run(
+            "def bad():\n    raise ValueError(\"worker\")\nt = spawn(bad)\ntry:\n    join(t)\nexcept ValueError:\n    print(\"propagated\")\n",
+        );
+        assert_eq!(out.output, "propagated\n");
+    }
+
+    #[test]
+    fn unjoined_task_failure_is_reported() {
+        let out = run("def bad():\n    raise RuntimeError(\"lost\")\nspawn(bad)\nsleep(1)\nprint(\"done\")\n");
+        assert_eq!(out.task_failures.len(), 1);
+        assert_eq!(out.task_failures[0].kind, "RuntimeError");
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_not_wall_time() {
+        let out = run("sleep(1000)\nprint(now())\n");
+        assert!(out.vtime >= 1000.0);
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn unsynchronized_counter_race_is_detected() {
+        let src = "counter = 0\ndef work():\n    global counter\n    for i in range(50):\n        counter = counter + 1\nt1 = spawn(work)\nt2 = spawn(work)\njoin(t1)\njoin(t2)\nprint(counter)\n";
+        let out = run(src);
+        assert!(
+            !out.races.is_empty(),
+            "expected a race on `counter`, got none"
+        );
+        assert_eq!(out.races[0].location, "counter");
+    }
+
+    #[test]
+    fn lock_protected_counter_has_no_race() {
+        let src = "counter = 0\nm = lock()\ndef work():\n    global counter\n    for i in range(50):\n        m.acquire()\n        counter = counter + 1\n        m.release()\nt1 = spawn(work)\nt2 = spawn(work)\njoin(t1)\njoin(t2)\nprint(counter)\n";
+        let out = run(src);
+        assert!(out.races.is_empty(), "unexpected race: {:?}", out.races);
+        assert_eq!(out.output, "100\n");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let src = "a = lock()\nb = lock()\ndef one():\n    a.acquire()\n    sleep(1)\n    b.acquire()\ndef two():\n    b.acquire()\n    sleep(1)\n    a.acquire()\nt1 = spawn(one)\nt2 = spawn(two)\njoin(t1)\njoin(t2)\n";
+        let out = run(src);
+        assert_eq!(out.status, RunStatus::Hung(HangKind::Deadlock));
+    }
+
+    #[test]
+    fn leaked_handle_is_reported() {
+        let out = run("h = open_handle(\"conn\")\nprint(\"no close\")\n");
+        assert_eq!(out.leaks.len(), 1);
+        assert_eq!(out.leaks[0].name, "conn");
+    }
+
+    #[test]
+    fn closed_handle_is_not_a_leak() {
+        let out = run("h = open_handle(\"conn\")\nh.close()\n");
+        assert!(out.leaks.is_empty());
+    }
+
+    #[test]
+    fn buffer_overflow_is_recorded_and_raised() {
+        let out = run(
+            "b = make_buffer(2)\nb.append(1)\nb.append(2)\ntry:\n    b.append(3)\nexcept BufferOverflowError:\n    print(\"overflow\")\n",
+        );
+        assert_eq!(out.output, "overflow\n");
+        assert_eq!(out.overflows.len(), 1, "caught overflow is still recorded");
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_per_seed() {
+        let src = "log = []\ndef w(tag):\n    for i in range(5):\n        log.append(tag)\nt1 = spawn(w, \"a\")\nt2 = spawn(w, \"b\")\njoin(t1)\njoin(t2)\nprint(len(log))\n";
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            let mut m = Machine::new(MachineConfig {
+                seed: 7,
+                quantum: 3,
+                ..MachineConfig::default()
+            });
+            outs.push(m.run_source(src).unwrap().output);
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn string_methods_work() {
+        let out = run("s = \"a,b,c\"\nparts = s.split(\",\")\nprint(len(parts), parts[1])\nprint(\"-\".join(parts))\nprint(\"  x \".strip())\n");
+        assert_eq!(out.output, "3 b\na-b-c\nx\n");
+    }
+
+    #[test]
+    fn dict_and_list_methods() {
+        let out = run(
+            "d = {}\nd[\"k\"] = 1\nd[\"k\"] += 1\nprint(d.get(\"k\"), d.get(\"missing\", -1))\nl = [3, 1, 2]\nl.sort()\nprint(l)\nl.append(9)\nprint(l.pop(), len(l))\n",
+        );
+        assert_eq!(out.output, "2 -1\n[1, 2, 3]\n9 3\n");
+    }
+
+    #[test]
+    fn assert_failure_raises_assertion_error() {
+        let out = run("try:\n    assert 1 == 2, \"nope\"\nexcept AssertionError as e:\n    print(str(e))\n");
+        assert_eq!(out.output, "AssertionError: nope\n");
+    }
+
+    #[test]
+    fn unbound_local_raises() {
+        let out = run("def f():\n    x = y\n    y = 1\ntry:\n    f()\nexcept UnboundLocalError:\n    print(\"unbound\")\n");
+        assert_eq!(out.output, "unbound\n");
+    }
+
+    #[test]
+    fn ternary_and_boolean_shortcircuit() {
+        let out = run("def boom():\n    raise ValueError(\"no\")\nx = 1 if True else boom()\ny = False and boom()\nz = True or boom()\nprint(x, y, z)\n");
+        assert_eq!(out.output, "1 False True\n");
+    }
+}

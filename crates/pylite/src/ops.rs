@@ -1,0 +1,426 @@
+//! Operator semantics for PyLite values.
+//!
+//! All fallible operations return `Result<Value, Value>` where the error
+//! is a raised exception value, so the VM can route failures through its
+//! normal unwinding path.
+
+use crate::ast::{BinOp, CmpOp};
+use crate::value::Value;
+use std::rc::Rc;
+
+/// Raises `kind(msg)` as an `Err` exception value.
+pub fn raise(kind: &str, msg: impl Into<String>) -> Result<Value, Value> {
+    Err(Value::exc(kind, msg))
+}
+
+/// Applies a binary operator.
+pub fn binary(op: BinOp, a: &Value, b: &Value) -> Result<Value, Value> {
+    use Value::*;
+    match op {
+        BinOp::Add => match (a, b) {
+            (Int(x), Int(y)) => match x.checked_add(*y) {
+                Some(v) => Ok(Int(v)),
+                Option::None => raise("OverflowError", "integer addition overflow"),
+            },
+            (Str(x), Str(y)) => Ok(Value::str(format!("{x}{y}"))),
+            (List(x), List(y)) => {
+                let mut v = x.borrow().clone();
+                v.extend(y.borrow().iter().cloned());
+                Ok(Value::list(v))
+            }
+            (Tuple(x), Tuple(y)) => {
+                let mut v = x.as_ref().clone();
+                v.extend(y.iter().cloned());
+                Ok(Tuple(Rc::new(v)))
+            }
+            _ => numeric(op, a, b),
+        },
+        BinOp::Mul => match (a, b) {
+            (Int(x), Int(y)) => match x.checked_mul(*y) {
+                Some(v) => Ok(Int(v)),
+                Option::None => raise("OverflowError", "integer multiplication overflow"),
+            },
+            (Str(s), Int(n)) | (Int(n), Str(s)) => {
+                if *n <= 0 {
+                    Ok(Value::str(""))
+                } else {
+                    Ok(Value::str(s.repeat(*n as usize)))
+                }
+            }
+            (List(l), Int(n)) | (Int(n), List(l)) => {
+                let src = l.borrow();
+                let mut v = Vec::new();
+                for _ in 0..(*n).max(0) {
+                    v.extend(src.iter().cloned());
+                }
+                Ok(Value::list(v))
+            }
+            _ => numeric(op, a, b),
+        },
+        _ => match (a, b) {
+            (Int(x), Int(y)) => int_arith(op, *x, *y),
+            _ => numeric(op, a, b),
+        },
+    }
+}
+
+fn int_arith(op: BinOp, x: i64, y: i64) -> Result<Value, Value> {
+    use Value::*;
+    match op {
+        BinOp::Sub => match x.checked_sub(y) {
+            Some(v) => Ok(Int(v)),
+            Option::None => raise("OverflowError", "integer subtraction overflow"),
+        },
+        BinOp::Div => {
+            if y == 0 {
+                raise("ZeroDivisionError", "division by zero")
+            } else {
+                Ok(Float(x as f64 / y as f64))
+            }
+        }
+        BinOp::FloorDiv => {
+            if y == 0 {
+                raise("ZeroDivisionError", "integer division by zero")
+            } else {
+                Ok(Int(x.div_euclid(y)))
+            }
+        }
+        BinOp::Mod => {
+            if y == 0 {
+                raise("ZeroDivisionError", "integer modulo by zero")
+            } else {
+                Ok(Int(x.rem_euclid(y)))
+            }
+        }
+        BinOp::Pow => {
+            if y >= 0 {
+                let mut acc: i64 = 1;
+                for _ in 0..y {
+                    acc = match acc.checked_mul(x) {
+                        Some(v) => v,
+                        Option::None => return raise("OverflowError", "integer power overflow"),
+                    };
+                }
+                Ok(Int(acc))
+            } else {
+                Ok(Float((x as f64).powf(y as f64)))
+            }
+        }
+        BinOp::Add | BinOp::Mul => unreachable!("handled by binary()"),
+    }
+}
+
+fn numeric(op: BinOp, a: &Value, b: &Value) -> Result<Value, Value> {
+    let (x, y) = match (as_f64(a), as_f64(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return raise(
+                "TypeError",
+                format!(
+                    "unsupported operand types for {}: {} and {}",
+                    op.symbol(),
+                    a.type_name(),
+                    b.type_name()
+                ),
+            )
+        }
+    };
+    let v = match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => {
+            if y == 0.0 {
+                return raise("ZeroDivisionError", "float division by zero");
+            }
+            x / y
+        }
+        BinOp::FloorDiv => {
+            if y == 0.0 {
+                return raise("ZeroDivisionError", "float floor division by zero");
+            }
+            (x / y).floor()
+        }
+        BinOp::Mod => {
+            if y == 0.0 {
+                return raise("ZeroDivisionError", "float modulo by zero");
+            }
+            x.rem_euclid(y)
+        }
+        BinOp::Pow => x.powf(y),
+    };
+    Ok(Value::Float(v))
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Bool(b) => Some(*b as i64 as f64),
+        _ => None,
+    }
+}
+
+/// Applies a comparison operator.
+pub fn compare(op: CmpOp, a: &Value, b: &Value) -> Result<Value, Value> {
+    match op {
+        CmpOp::Eq => Ok(Value::Bool(a.py_eq(b))),
+        CmpOp::Ne => Ok(Value::Bool(!a.py_eq(b))),
+        CmpOp::In => contains(b, a).map(Value::Bool),
+        CmpOp::NotIn => contains(b, a).map(|r| Value::Bool(!r)),
+        _ => match a.py_cmp(b) {
+            Some(ord) => {
+                let r = match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    _ => unreachable!("eq/ne/in handled above"),
+                };
+                Ok(Value::Bool(r))
+            }
+            None => raise(
+                "TypeError",
+                format!(
+                    "`{}` not supported between {} and {}",
+                    op.symbol(),
+                    a.type_name(),
+                    b.type_name()
+                ),
+            ),
+        },
+    }
+}
+
+/// Membership test `item in container`.
+pub fn contains(container: &Value, item: &Value) -> Result<bool, Value> {
+    match container {
+        Value::List(l) => Ok(l.borrow().iter().any(|v| v.py_eq(item))),
+        Value::Tuple(t) => Ok(t.iter().any(|v| v.py_eq(item))),
+        Value::Dict(d) => Ok(d.borrow().iter().any(|(k, _)| k.py_eq(item))),
+        Value::Str(s) => match item {
+            Value::Str(sub) => Ok(s.contains(sub.as_ref())),
+            _ => Err(Value::exc(
+                "TypeError",
+                "`in <string>` requires a string operand",
+            )),
+        },
+        other => Err(Value::exc(
+            "TypeError",
+            format!("`in` not supported on {}", other.type_name()),
+        )),
+    }
+}
+
+/// Subscript read `obj[index]`.
+pub fn get_index(obj: &Value, index: &Value) -> Result<Value, Value> {
+    match obj {
+        Value::List(l) => {
+            let l = l.borrow();
+            let i = norm_index(index, l.len(), "list")?;
+            Ok(l[i].clone())
+        }
+        Value::Tuple(t) => {
+            let i = norm_index(index, t.len(), "tuple")?;
+            Ok(t[i].clone())
+        }
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let i = norm_index(index, chars.len(), "string")?;
+            Ok(Value::str(chars[i].to_string()))
+        }
+        Value::Dict(d) => {
+            let d = d.borrow();
+            match d.iter().find(|(k, _)| k.py_eq(index)) {
+                Some((_, v)) => Ok(v.clone()),
+                None => raise("KeyError", index.repr()),
+            }
+        }
+        Value::Buffer(b) => {
+            let b = b.borrow();
+            let i = match index {
+                Value::Int(i) => *i,
+                _ => return raise("TypeError", "buffer index must be an integer"),
+            };
+            if i < 0 || i as usize >= b.data.len() {
+                return raise(
+                    "IndexError",
+                    format!("buffer read index {i} out of range (len {})", b.data.len()),
+                );
+            }
+            Ok(b.data[i as usize].clone())
+        }
+        other => raise(
+            "TypeError",
+            format!("{} is not subscriptable", other.type_name()),
+        ),
+    }
+}
+
+/// Subscript write `obj[index] = value`. Buffer writes are handled by the
+/// machine directly (they feed the overflow detector).
+pub fn set_index(obj: &Value, index: &Value, value: Value) -> Result<(), Value> {
+    match obj {
+        Value::List(l) => {
+            let mut l = l.borrow_mut();
+            let len = l.len();
+            let i = norm_index(index, len, "list")?;
+            l[i] = value;
+            Ok(())
+        }
+        Value::Dict(d) => {
+            let mut d = d.borrow_mut();
+            if let Some(slot) = d.iter_mut().find(|(k, _)| k.py_eq(index)) {
+                slot.1 = value;
+            } else {
+                d.push((index.clone(), value));
+            }
+            Ok(())
+        }
+        other => Err(Value::exc(
+            "TypeError",
+            format!("{} does not support item assignment", other.type_name()),
+        )),
+    }
+}
+
+/// Normalizes a (possibly negative) index into `0..len`.
+fn norm_index(index: &Value, len: usize, what: &str) -> Result<usize, Value> {
+    let i = match index {
+        Value::Int(i) => *i,
+        Value::Bool(b) => *b as i64,
+        _ => {
+            return Err(Value::exc(
+                "TypeError",
+                format!("{what} index must be an integer, not {}", index.type_name()),
+            ))
+        }
+    };
+    let adjusted = if i < 0 { i + len as i64 } else { i };
+    if adjusted < 0 || adjusted as usize >= len {
+        return Err(Value::exc(
+            "IndexError",
+            format!("{what} index {i} out of range (len {len})"),
+        ));
+    }
+    Ok(adjusted as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert!(binary(BinOp::Add, &int(2), &int(3)).unwrap().py_eq(&int(5)));
+        assert!(binary(BinOp::FloorDiv, &int(7), &int(2))
+            .unwrap()
+            .py_eq(&int(3)));
+        assert!(binary(BinOp::Mod, &int(-7), &int(3))
+            .unwrap()
+            .py_eq(&int(2)), "python-style euclidean modulo");
+        assert!(binary(BinOp::Pow, &int(2), &int(10))
+            .unwrap()
+            .py_eq(&int(1024)));
+    }
+
+    #[test]
+    fn true_division_yields_float() {
+        let v = binary(BinOp::Div, &int(7), &int(2)).unwrap();
+        assert!(v.py_eq(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn division_by_zero_raises() {
+        let err = binary(BinOp::Div, &int(1), &int(0)).unwrap_err();
+        match err {
+            Value::Exc(e) => assert_eq!(e.kind, "ZeroDivisionError"),
+            _ => panic!("expected exception"),
+        }
+    }
+
+    #[test]
+    fn overflow_raises_instead_of_wrapping() {
+        let err = binary(BinOp::Add, &int(i64::MAX), &int(1)).unwrap_err();
+        match err {
+            Value::Exc(e) => assert_eq!(e.kind, "OverflowError"),
+            _ => panic!("expected exception"),
+        }
+    }
+
+    #[test]
+    fn string_and_list_concat() {
+        let v = binary(BinOp::Add, &Value::str("ab"), &Value::str("cd")).unwrap();
+        assert!(v.py_eq(&Value::str("abcd")));
+        let v = binary(
+            BinOp::Add,
+            &Value::list(vec![int(1)]),
+            &Value::list(vec![int(2)]),
+        )
+        .unwrap();
+        assert!(v.py_eq(&Value::list(vec![int(1), int(2)])));
+    }
+
+    #[test]
+    fn string_repetition() {
+        let v = binary(BinOp::Mul, &Value::str("ab"), &int(3)).unwrap();
+        assert!(v.py_eq(&Value::str("ababab")));
+        let v = binary(BinOp::Mul, &Value::str("ab"), &int(-1)).unwrap();
+        assert!(v.py_eq(&Value::str("")));
+    }
+
+    #[test]
+    fn type_error_on_mixed_operands() {
+        assert!(binary(BinOp::Add, &int(1), &Value::str("x")).is_err());
+        assert!(binary(BinOp::Sub, &Value::str("a"), &Value::str("b")).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(compare(CmpOp::Lt, &int(1), &int(2)).unwrap().truthy());
+        assert!(compare(CmpOp::Ge, &Value::Float(2.0), &int(2))
+            .unwrap()
+            .truthy());
+        assert!(compare(CmpOp::Lt, &int(1), &Value::str("a")).is_err());
+    }
+
+    #[test]
+    fn membership() {
+        let l = Value::list(vec![int(1), int(2)]);
+        assert!(compare(CmpOp::In, &int(2), &l).unwrap().truthy());
+        assert!(compare(CmpOp::NotIn, &int(3), &l).unwrap().truthy());
+        let s = Value::str("hello");
+        assert!(compare(CmpOp::In, &Value::str("ell"), &s).unwrap().truthy());
+    }
+
+    #[test]
+    fn list_indexing_with_negative_index() {
+        let l = Value::list(vec![int(1), int(2), int(3)]);
+        assert!(get_index(&l, &int(-1)).unwrap().py_eq(&int(3)));
+        assert!(get_index(&l, &int(3)).is_err());
+    }
+
+    #[test]
+    fn dict_get_and_set() {
+        let d = Value::dict(vec![(Value::str("a"), int(1))]);
+        assert!(get_index(&d, &Value::str("a")).unwrap().py_eq(&int(1)));
+        set_index(&d, &Value::str("b"), int(2)).unwrap();
+        assert!(get_index(&d, &Value::str("b")).unwrap().py_eq(&int(2)));
+        let err = get_index(&d, &Value::str("zzz")).unwrap_err();
+        match err {
+            Value::Exc(e) => assert_eq!(e.kind, "KeyError"),
+            _ => panic!("expected KeyError"),
+        }
+    }
+
+    #[test]
+    fn string_indexing() {
+        let s = Value::str("abc");
+        assert!(get_index(&s, &int(1)).unwrap().py_eq(&Value::str("b")));
+        assert!(get_index(&s, &int(-1)).unwrap().py_eq(&Value::str("c")));
+    }
+}

@@ -1,0 +1,998 @@
+//! Recursive-descent parser for PyLite.
+//!
+//! Grammar (indentation-sensitive, a strict subset of Python):
+//!
+//! ```text
+//! module     := stmt*
+//! stmt       := simple_stmt NEWLINE | compound_stmt
+//! simple     := assign | aug_assign | return | raise | global | pass
+//!             | break | continue | assert | expr
+//! compound   := if | while | for | def | try
+//! expr       := ternary
+//! ternary    := or_expr ['if' or_expr 'else' ternary]
+//! or_expr    := and_expr ('or' and_expr)*
+//! and_expr   := not_expr ('and' not_expr)*
+//! not_expr   := 'not' not_expr | comparison
+//! comparison := arith (cmp_op arith)?          -- non-chained
+//! arith      := term (('+'|'-') term)*
+//! term       := factor (('*'|'/'|'//'|'%') factor)*
+//! factor     := ('-') factor | power
+//! power      := postfix ['**' factor]
+//! postfix    := atom (call | index | attr)*
+//! atom       := NAME | literal | '(' expr [',' ...] ')' | '[' ... ']' | '{' ... '}'
+//! ```
+
+use crate::ast::*;
+use crate::error::{ErrorKind, PyliteError};
+use crate::lexer::{tokenize, Kw, OpTok, SpannedTok, Tok};
+
+/// Parses PyLite source text into a [`Module`] with dense pre-order node ids.
+///
+/// # Errors
+///
+/// Returns a [`PyliteError`] of kind `Lex` or `Parse` describing the first
+/// problem encountered, with its source position.
+///
+/// # Examples
+///
+/// ```
+/// let module = nfi_pylite::parse("def f(x):\n    return x + 1\n")?;
+/// assert_eq!(module.def_names(), vec!["f".to_string()]);
+/// # Ok::<(), nfi_pylite::PyliteError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Module, PyliteError> {
+    let toks = tokenize(source)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_id: 0,
+    };
+    let mut body = Vec::new();
+    while !p.at(&Tok::Eof) {
+        body.push(p.stmt()?);
+    }
+    let mut module = Module { body };
+    module.renumber();
+    Ok(module)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn cur(&self) -> &SpannedTok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        &self.cur().tok == t
+    }
+
+    fn at_op(&self, op: OpTok) -> bool {
+        matches!(&self.cur().tok, Tok::Op(o) if *o == op)
+    }
+
+    fn at_kw(&self, kw: Kw) -> bool {
+        matches!(&self.cur().tok, Tok::Kw(k) if *k == kw)
+    }
+
+    fn bump(&mut self) -> SpannedTok {
+        let t = self.cur().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: OpTok) -> bool {
+        if self.at_op(op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: OpTok, what: &str) -> Result<(), PyliteError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.cur().tok)))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), PyliteError> {
+        if self.at(&Tok::Newline) {
+            self.bump();
+            Ok(())
+        } else if self.at(&Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected end of line, found {:?}",
+                self.cur().tok
+            )))
+        }
+    }
+
+    fn expect_name(&mut self, what: &str) -> Result<String, PyliteError> {
+        match &self.cur().tok {
+            Tok::Name(n) => {
+                let n = n.clone();
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PyliteError {
+        PyliteError::new(ErrorKind::Parse, msg).with_span(self.cur().span)
+    }
+
+    fn id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn mk_expr(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr {
+            id: self.id(),
+            span,
+            kind,
+        }
+    }
+
+    fn mk_stmt(&mut self, span: Span, kind: StmtKind) -> Stmt {
+        Stmt {
+            id: self.id(),
+            span,
+            kind,
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        match &self.cur().tok {
+            Tok::Kw(Kw::If) => self.if_stmt(),
+            Tok::Kw(Kw::While) => self.while_stmt(),
+            Tok::Kw(Kw::For) => self.for_stmt(),
+            Tok::Kw(Kw::Def) => self.def_stmt(),
+            Tok::Kw(Kw::Try) => self.try_stmt(),
+            _ => {
+                let s = self.simple_stmt(span)?;
+                self.expect_newline()?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn simple_stmt(&mut self, span: Span) -> Result<Stmt, PyliteError> {
+        if self.eat_kw(Kw::Return) {
+            let value = if self.at(&Tok::Newline) || self.at(&Tok::Eof) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            return Ok(self.mk_stmt(span, StmtKind::Return(value)));
+        }
+        if self.eat_kw(Kw::Raise) {
+            let value = if self.at(&Tok::Newline) || self.at(&Tok::Eof) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            return Ok(self.mk_stmt(span, StmtKind::Raise(value)));
+        }
+        if self.eat_kw(Kw::Global) {
+            let mut names = vec![self.expect_name("name after `global`")?];
+            while self.eat_op(OpTok::Comma) {
+                names.push(self.expect_name("name after `,`")?);
+            }
+            return Ok(self.mk_stmt(span, StmtKind::Global(names)));
+        }
+        if self.eat_kw(Kw::Pass) {
+            return Ok(self.mk_stmt(span, StmtKind::Pass));
+        }
+        if self.eat_kw(Kw::Break) {
+            return Ok(self.mk_stmt(span, StmtKind::Break));
+        }
+        if self.eat_kw(Kw::Continue) {
+            return Ok(self.mk_stmt(span, StmtKind::Continue));
+        }
+        if self.eat_kw(Kw::Assert) {
+            let cond = self.expr()?;
+            let msg = if self.eat_op(OpTok::Comma) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(self.mk_stmt(span, StmtKind::Assert { cond, msg }));
+        }
+        // expression, assignment, or augmented assignment
+        let first = self.expr()?;
+        if self.at_op(OpTok::Comma) {
+            // tuple-unpacking assignment: a, b = expr
+            let mut names = vec![match first.kind {
+                ExprKind::Name(ref n) => n.clone(),
+                _ => return Err(self.err("only names can appear in tuple assignment")),
+            }];
+            while self.eat_op(OpTok::Comma) {
+                names.push(self.expect_name("name in tuple assignment")?);
+            }
+            self.expect_op(OpTok::Assign, "`=` after tuple target")?;
+            let value = self.expr()?;
+            return Ok(self.mk_stmt(
+                span,
+                StmtKind::Assign {
+                    target: Target::Tuple(names),
+                    value,
+                },
+            ));
+        }
+        if self.at_op(OpTok::Assign) {
+            self.bump();
+            let value = self.expr()?;
+            let target = self.expr_to_target(first)?;
+            return Ok(self.mk_stmt(span, StmtKind::Assign { target, value }));
+        }
+        let aug = match &self.cur().tok {
+            Tok::Op(OpTok::PlusEq) => Some(BinOp::Add),
+            Tok::Op(OpTok::MinusEq) => Some(BinOp::Sub),
+            Tok::Op(OpTok::StarEq) => Some(BinOp::Mul),
+            Tok::Op(OpTok::SlashEq) => Some(BinOp::Div),
+            Tok::Op(OpTok::SlashSlashEq) => Some(BinOp::FloorDiv),
+            Tok::Op(OpTok::StarStarEq) => Some(BinOp::Pow),
+            Tok::Op(OpTok::PercentEq) => Some(BinOp::Mod),
+            _ => None,
+        };
+        if let Some(op) = aug {
+            self.bump();
+            let value = self.expr()?;
+            let target = self.expr_to_target(first)?;
+            return Ok(self.mk_stmt(span, StmtKind::AugAssign { target, op, value }));
+        }
+        Ok(self.mk_stmt(span, StmtKind::Expr(first)))
+    }
+
+    fn expr_to_target(&self, e: Expr) -> Result<Target, PyliteError> {
+        match e.kind {
+            ExprKind::Name(n) => Ok(Target::Name(n)),
+            ExprKind::Index { obj, index } => Ok(Target::Index {
+                obj: *obj,
+                index: *index,
+            }),
+            _ => Err(PyliteError::new(
+                ErrorKind::Parse,
+                "invalid assignment target",
+            )
+            .with_span(e.span)),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, PyliteError> {
+        self.expect_op(OpTok::Colon, "`:`")?;
+        if self.at(&Tok::Newline) {
+            self.bump();
+            if !self.at(&Tok::Indent) {
+                return Err(self.err("expected an indented block"));
+            }
+            self.bump();
+            let mut body = Vec::new();
+            while !self.at(&Tok::Dedent) && !self.at(&Tok::Eof) {
+                body.push(self.stmt()?);
+            }
+            if self.at(&Tok::Dedent) {
+                self.bump();
+            }
+            Ok(body)
+        } else {
+            // single-line suite: `if x: y = 1`
+            let span = self.cur().span;
+            let s = self.simple_stmt(span)?;
+            self.expect_newline()?;
+            Ok(vec![s])
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        self.bump(); // if / elif
+        let cond = self.expr()?;
+        let then = self.block()?;
+        let orelse = if self.at_kw(Kw::Elif) {
+            vec![self.if_stmt()?] // reuse: elif parses like a nested if
+        } else if self.eat_kw(Kw::Else) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(self.mk_stmt(span, StmtKind::If { cond, then, orelse }))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        self.bump();
+        let cond = self.expr()?;
+        let body = self.block()?;
+        Ok(self.mk_stmt(span, StmtKind::While { cond, body }))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        self.bump();
+        let mut vars = vec![self.expect_name("loop variable")?];
+        while self.eat_op(OpTok::Comma) {
+            vars.push(self.expect_name("loop variable")?);
+        }
+        if !self.eat_kw(Kw::In) {
+            return Err(self.err("expected `in` in for statement"));
+        }
+        let iter = self.expr()?;
+        let body = self.block()?;
+        Ok(self.mk_stmt(span, StmtKind::For { vars, iter, body }))
+    }
+
+    fn def_stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        self.bump();
+        let name = self.expect_name("function name")?;
+        self.expect_op(OpTok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        let mut defaults = Vec::new();
+        while !self.at_op(OpTok::RParen) {
+            let p = self.expect_name("parameter name")?;
+            params.push(p);
+            if self.eat_op(OpTok::Assign) {
+                defaults.push(self.expr()?);
+            } else if !defaults.is_empty() {
+                return Err(self.err("non-default parameter after default parameter"));
+            }
+            if !self.eat_op(OpTok::Comma) {
+                break;
+            }
+        }
+        self.expect_op(OpTok::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(self.mk_stmt(
+            span,
+            StmtKind::Def {
+                name,
+                params,
+                defaults,
+                body,
+            },
+        ))
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt, PyliteError> {
+        let span = self.cur().span;
+        self.bump();
+        let body = self.block()?;
+        let mut handlers = Vec::new();
+        while self.at_kw(Kw::Except) {
+            self.bump();
+            let (kind, bind) = if self.at_op(OpTok::Colon) {
+                (None, None)
+            } else {
+                let kind = self.expect_name("exception kind")?;
+                let bind = if self.eat_kw(Kw::As) {
+                    Some(self.expect_name("binding name after `as`")?)
+                } else {
+                    None
+                };
+                (Some(kind), bind)
+            };
+            let hbody = self.block()?;
+            handlers.push(Handler {
+                kind,
+                bind,
+                body: hbody,
+            });
+        }
+        let finally = if self.eat_kw(Kw::Finally) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        if handlers.is_empty() && finally.is_empty() {
+            return Err(self.err("try statement needs at least one except or finally clause"));
+        }
+        Ok(self.mk_stmt(
+            span,
+            StmtKind::Try {
+                body,
+                handlers,
+                finally,
+            },
+        ))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, PyliteError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let value = self.or_expr()?;
+        if self.at_kw(Kw::If) {
+            self.bump();
+            let cond = self.or_expr()?;
+            if !self.eat_kw(Kw::Else) {
+                return Err(self.err("expected `else` in conditional expression"));
+            }
+            let orelse = self.ternary()?;
+            return Ok(self.mk_expr(
+                span,
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then: Box::new(value),
+                    orelse: Box::new(orelse),
+                },
+            ));
+        }
+        Ok(value)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Kw::Or) {
+            let right = self.and_expr()?;
+            left = self.mk_expr(
+                span,
+                ExprKind::Bool {
+                    op: BoolOp::Or,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            );
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Kw::And) {
+            let right = self.not_expr()?;
+            left = self.mk_expr(
+                span,
+                ExprKind::Bool {
+                    op: BoolOp::And,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            );
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        if self.eat_kw(Kw::Not) {
+            let operand = self.not_expr()?;
+            return Ok(self.mk_expr(
+                span,
+                ExprKind::Unary {
+                    op: UnaryOp::Not,
+                    operand: Box::new(operand),
+                },
+            ));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let left = self.arith()?;
+        let op = match &self.cur().tok {
+            Tok::Op(OpTok::EqEq) => Some(CmpOp::Eq),
+            Tok::Op(OpTok::NotEq) => Some(CmpOp::Ne),
+            Tok::Op(OpTok::Lt) => Some(CmpOp::Lt),
+            Tok::Op(OpTok::Le) => Some(CmpOp::Le),
+            Tok::Op(OpTok::Gt) => Some(CmpOp::Gt),
+            Tok::Op(OpTok::Ge) => Some(CmpOp::Ge),
+            Tok::Kw(Kw::In) => Some(CmpOp::In),
+            Tok::Kw(Kw::Not) => {
+                // `not in`
+                if matches!(
+                    self.toks.get(self.pos + 1).map(|t| &t.tok),
+                    Some(Tok::Kw(Kw::In))
+                ) {
+                    self.bump();
+                    Some(CmpOp::NotIn)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.arith()?;
+            return Ok(self.mk_expr(
+                span,
+                ExprKind::Cmp {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            ));
+        }
+        Ok(left)
+    }
+
+    fn arith(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let mut left = self.term()?;
+        loop {
+            let op = match &self.cur().tok {
+                Tok::Op(OpTok::Plus) => BinOp::Add,
+                Tok::Op(OpTok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.term()?;
+            left = self.mk_expr(
+                span,
+                ExprKind::Bin {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            );
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let mut left = self.factor()?;
+        loop {
+            let op = match &self.cur().tok {
+                Tok::Op(OpTok::Star) => BinOp::Mul,
+                Tok::Op(OpTok::Slash) => BinOp::Div,
+                Tok::Op(OpTok::SlashSlash) => BinOp::FloorDiv,
+                Tok::Op(OpTok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.factor()?;
+            left = self.mk_expr(
+                span,
+                ExprKind::Bin {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            );
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        if self.eat_op(OpTok::Minus) {
+            let operand = self.factor()?;
+            // Fold negated numeric literals so `-714` round-trips as a
+            // constant rather than `Neg(714)`.
+            match &operand.kind {
+                ExprKind::Const(Lit::Int(v)) => {
+                    let folded = v.wrapping_neg();
+                    return Ok(self.mk_expr(span, ExprKind::Const(Lit::Int(folded))));
+                }
+                ExprKind::Const(Lit::Float(v)) => {
+                    let folded = -*v;
+                    return Ok(self.mk_expr(span, ExprKind::Const(Lit::Float(folded))));
+                }
+                _ => {}
+            }
+            return Ok(self.mk_expr(
+                span,
+                ExprKind::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(operand),
+                },
+            ));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let base = self.postfix()?;
+        if self.eat_op(OpTok::StarStar) {
+            let exp = self.factor()?; // right-associative
+            return Ok(self.mk_expr(
+                span,
+                ExprKind::Bin {
+                    op: BinOp::Pow,
+                    left: Box::new(base),
+                    right: Box::new(exp),
+                },
+            ));
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, PyliteError> {
+        let mut e = self.atom()?;
+        loop {
+            let span = self.cur().span;
+            if self.eat_op(OpTok::LParen) {
+                let mut args = Vec::new();
+                while !self.at_op(OpTok::RParen) {
+                    args.push(self.expr()?);
+                    if !self.eat_op(OpTok::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(OpTok::RParen, "`)`")?;
+                e = self.mk_expr(
+                    span,
+                    ExprKind::Call {
+                        func: Box::new(e),
+                        args,
+                    },
+                );
+            } else if self.eat_op(OpTok::LBracket) {
+                let index = self.expr()?;
+                self.expect_op(OpTok::RBracket, "`]`")?;
+                e = self.mk_expr(
+                    span,
+                    ExprKind::Index {
+                        obj: Box::new(e),
+                        index: Box::new(index),
+                    },
+                );
+            } else if self.eat_op(OpTok::Dot) {
+                let name = self.expect_name("method name after `.`")?;
+                self.expect_op(OpTok::LParen, "`(` (PyLite attributes are method calls)")?;
+                let mut args = Vec::new();
+                while !self.at_op(OpTok::RParen) {
+                    args.push(self.expr()?);
+                    if !self.eat_op(OpTok::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(OpTok::RParen, "`)`")?;
+                e = self.mk_expr(
+                    span,
+                    ExprKind::MethodCall {
+                        obj: Box::new(e),
+                        name,
+                        args,
+                    },
+                );
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, PyliteError> {
+        let span = self.cur().span;
+        let tok = self.cur().tok.clone();
+        match tok {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::Int(v))))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::Float(v))))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::Str(s))))
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::Bool(true))))
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::Bool(false))))
+            }
+            Tok::Kw(Kw::None) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Const(Lit::None)))
+            }
+            Tok::Name(n) => {
+                self.bump();
+                Ok(self.mk_expr(span, ExprKind::Name(n)))
+            }
+            Tok::Op(OpTok::LParen) => {
+                self.bump();
+                if self.at_op(OpTok::RParen) {
+                    self.bump();
+                    return Ok(self.mk_expr(span, ExprKind::Tuple(Vec::new())));
+                }
+                let first = self.expr()?;
+                if self.at_op(OpTok::Comma) {
+                    let mut items = vec![first];
+                    while self.eat_op(OpTok::Comma) {
+                        if self.at_op(OpTok::RParen) {
+                            break;
+                        }
+                        items.push(self.expr()?);
+                    }
+                    self.expect_op(OpTok::RParen, "`)`")?;
+                    Ok(self.mk_expr(span, ExprKind::Tuple(items)))
+                } else {
+                    self.expect_op(OpTok::RParen, "`)`")?;
+                    Ok(first)
+                }
+            }
+            Tok::Op(OpTok::LBracket) => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.at_op(OpTok::RBracket) {
+                    items.push(self.expr()?);
+                    if !self.eat_op(OpTok::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(OpTok::RBracket, "`]`")?;
+                Ok(self.mk_expr(span, ExprKind::List(items)))
+            }
+            Tok::Op(OpTok::LBrace) => {
+                self.bump();
+                let mut pairs = Vec::new();
+                while !self.at_op(OpTok::RBrace) {
+                    let k = self.expr()?;
+                    self.expect_op(OpTok::Colon, "`:` in dict literal")?;
+                    let v = self.expr()?;
+                    pairs.push((k, v));
+                    if !self.eat_op(OpTok::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(OpTok::RBrace, "`}`")?;
+                Ok(self.mk_expr(span, ExprKind::Dict(pairs)))
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Module {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn parses_assignment_and_expression_statement() {
+        let m = p("x = 1\nf(x)\n");
+        assert_eq!(m.body.len(), 2);
+        assert!(matches!(m.body[0].kind, StmtKind::Assign { .. }));
+        assert!(matches!(m.body[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn operator_precedence_mul_binds_tighter_than_add() {
+        let m = p("y = 1 + 2 * 3\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            if let ExprKind::Bin { op, right, .. } = &value.kind {
+                assert_eq!(*op, BinOp::Add);
+                assert!(matches!(
+                    right.kind,
+                    ExprKind::Bin {
+                        op: BinOp::Mul,
+                        ..
+                    }
+                ));
+                return;
+            }
+        }
+        panic!("unexpected shape");
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let m = p("y = 2 ** 3 ** 2\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            if let ExprKind::Bin { op, right, .. } = &value.kind {
+                assert_eq!(*op, BinOp::Pow);
+                assert!(matches!(
+                    right.kind,
+                    ExprKind::Bin {
+                        op: BinOp::Pow,
+                        ..
+                    }
+                ));
+                return;
+            }
+        }
+        panic!("unexpected shape");
+    }
+
+    #[test]
+    fn parses_if_elif_else() {
+        let m = p("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+        if let StmtKind::If { orelse, .. } = &m.body[0].kind {
+            assert_eq!(orelse.len(), 1);
+            assert!(matches!(orelse[0].kind, StmtKind::If { .. }));
+        } else {
+            panic!("expected if");
+        }
+    }
+
+    #[test]
+    fn parses_def_with_defaults() {
+        let m = p("def f(a, b=2, c=3):\n    return a + b + c\n");
+        if let StmtKind::Def {
+            params, defaults, ..
+        } = &m.body[0].kind
+        {
+            assert_eq!(params.len(), 3);
+            assert_eq!(defaults.len(), 2);
+        } else {
+            panic!("expected def");
+        }
+    }
+
+    #[test]
+    fn rejects_default_before_positional() {
+        assert!(parse("def f(a=1, b):\n    pass\n").is_err());
+    }
+
+    #[test]
+    fn parses_try_except_finally() {
+        let m = p(
+            "try:\n    risky()\nexcept ValueError as e:\n    handle(e)\nexcept:\n    other()\nfinally:\n    cleanup()\n",
+        );
+        if let StmtKind::Try {
+            handlers, finally, ..
+        } = &m.body[0].kind
+        {
+            assert_eq!(handlers.len(), 2);
+            assert_eq!(handlers[0].kind.as_deref(), Some("ValueError"));
+            assert_eq!(handlers[0].bind.as_deref(), Some("e"));
+            assert!(handlers[1].kind.is_none());
+            assert_eq!(finally.len(), 1);
+        } else {
+            panic!("expected try");
+        }
+    }
+
+    #[test]
+    fn try_without_clauses_is_error() {
+        assert!(parse("try:\n    x = 1\n").is_err());
+    }
+
+    #[test]
+    fn parses_for_with_tuple_unpack() {
+        let m = p("for k, v in d.items():\n    print(k, v)\n");
+        if let StmtKind::For { vars, .. } = &m.body[0].kind {
+            assert_eq!(vars, &vec!["k".to_string(), "v".to_string()]);
+        } else {
+            panic!("expected for");
+        }
+    }
+
+    #[test]
+    fn parses_method_calls_and_indexing() {
+        let m = p("x = d.get(\"k\")[0]\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            assert!(matches!(value.kind, ExprKind::Index { .. }));
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn parses_dict_and_list_literals() {
+        let m = p("d = {\"a\": 1, \"b\": 2}\nl = [1, 2, 3]\nt = (1, 2)\n");
+        assert_eq!(m.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_ternary() {
+        let m = p("x = 1 if cond else 2\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            assert!(matches!(value.kind, ExprKind::Ternary { .. }));
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn parses_not_in() {
+        let m = p("x = a not in b\n");
+        if let StmtKind::Assign { value, .. } = &m.body[0].kind {
+            assert!(matches!(
+                value.kind,
+                ExprKind::Cmp {
+                    op: CmpOp::NotIn,
+                    ..
+                }
+            ));
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn parses_single_line_suite() {
+        let m = p("if x: y = 1\n");
+        if let StmtKind::If { then, .. } = &m.body[0].kind {
+            assert_eq!(then.len(), 1);
+        } else {
+            panic!("expected if");
+        }
+    }
+
+    #[test]
+    fn parses_tuple_assignment() {
+        let m = p("a, b = f()\n");
+        assert!(matches!(
+            m.body[0].kind,
+            StmtKind::Assign {
+                target: Target::Tuple(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_augmented_assignment() {
+        let m = p("x += 1\nd[\"k\"] -= 2\n");
+        assert!(matches!(
+            m.body[0].kind,
+            StmtKind::AugAssign { op: BinOp::Add, .. }
+        ));
+        assert!(matches!(
+            m.body[1].kind,
+            StmtKind::AugAssign {
+                op: BinOp::Sub,
+                target: Target::Index { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_assignment_target_is_error() {
+        assert!(parse("1 = x\n").is_err());
+        assert!(parse("f() = x\n").is_err());
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let err = parse("x = ,\n").unwrap_err();
+        assert!(err.span().is_some());
+    }
+
+    #[test]
+    fn global_statement() {
+        let m = p("def f():\n    global a, b\n    a = 1\n");
+        if let StmtKind::Def { body, .. } = &m.body[0].kind {
+            assert!(matches!(&body[0].kind, StmtKind::Global(names) if names.len() == 2));
+        } else {
+            panic!("expected def");
+        }
+    }
+}

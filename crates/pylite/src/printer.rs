@@ -1,0 +1,462 @@
+//! Pretty-printer: AST → canonical PyLite source.
+//!
+//! The printer emits 4-space indentation and minimal parentheses guided by
+//! operator precedence, so that `parse(print(ast))` is structurally equal
+//! to `ast` (property-tested in the crate test suite).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole module as source text.
+///
+/// # Examples
+///
+/// ```
+/// let m = nfi_pylite::parse("x  =  1+2\n")?;
+/// assert_eq!(nfi_pylite::print_module(&m), "x = 1 + 2\n");
+/// # Ok::<(), nfi_pylite::PyliteError>(())
+/// ```
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for stmt in &module.body {
+        print_stmt(&mut out, stmt, 0);
+    }
+    out
+}
+
+/// Renders a statement list at the given indent depth (used to display
+/// generated fault snippets).
+pub fn print_block(stmts: &[Stmt], indent: usize) -> String {
+    let mut out = String::new();
+    if stmts.is_empty() {
+        writeln!(out, "{}pass", pad(indent)).expect("string write cannot fail");
+        return out;
+    }
+    for stmt in stmts {
+        print_stmt(&mut out, stmt, indent);
+    }
+    out
+}
+
+/// Renders a single expression as source text.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+fn pad(indent: usize) -> String {
+    "    ".repeat(indent)
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
+    let p = pad(indent);
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            let _ = writeln!(out, "{p}{}", print_expr(e));
+        }
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "{p}{} = {}", print_target(target), print_expr(value));
+        }
+        StmtKind::AugAssign { target, op, value } => {
+            let _ = writeln!(
+                out,
+                "{p}{} {}= {}",
+                print_target(target),
+                op.symbol(),
+                print_expr(value)
+            );
+        }
+        StmtKind::If { cond, then, orelse } => {
+            let _ = writeln!(out, "{p}if {}:", print_expr(cond));
+            write_suite(out, then, indent + 1);
+            if !orelse.is_empty() {
+                // Render `else: if ...` chains as `elif`.
+                if orelse.len() == 1 {
+                    if let StmtKind::If { .. } = &orelse[0].kind {
+                        let mut nested = String::new();
+                        print_stmt(&mut nested, &orelse[0], indent);
+                        let nested = nested.replacen(&format!("{p}if "), &format!("{p}elif "), 1);
+                        out.push_str(&nested);
+                        return;
+                    }
+                }
+                let _ = writeln!(out, "{p}else:");
+                write_suite(out, orelse, indent + 1);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "{p}while {}:", print_expr(cond));
+            write_suite(out, body, indent + 1);
+        }
+        StmtKind::For { vars, iter, body } => {
+            let _ = writeln!(out, "{p}for {} in {}:", vars.join(", "), print_expr(iter));
+            write_suite(out, body, indent + 1);
+        }
+        StmtKind::Def {
+            name,
+            params,
+            defaults,
+            body,
+        } => {
+            let n_required = params.len() - defaults.len();
+            let rendered: Vec<String> = params
+                .iter()
+                .enumerate()
+                .map(|(i, param)| {
+                    if i >= n_required {
+                        format!("{param}={}", print_expr(&defaults[i - n_required]))
+                    } else {
+                        param.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{p}def {name}({}):", rendered.join(", "));
+            write_suite(out, body, indent + 1);
+        }
+        StmtKind::Return(value) => match value {
+            Some(v) => {
+                let _ = writeln!(out, "{p}return {}", print_expr(v));
+            }
+            None => {
+                let _ = writeln!(out, "{p}return");
+            }
+        },
+        StmtKind::Raise(value) => match value {
+            Some(v) => {
+                let _ = writeln!(out, "{p}raise {}", print_expr(v));
+            }
+            None => {
+                let _ = writeln!(out, "{p}raise");
+            }
+        },
+        StmtKind::Try {
+            body,
+            handlers,
+            finally,
+        } => {
+            let _ = writeln!(out, "{p}try:");
+            write_suite(out, body, indent + 1);
+            for h in handlers {
+                match (&h.kind, &h.bind) {
+                    (Some(k), Some(b)) => {
+                        let _ = writeln!(out, "{p}except {k} as {b}:");
+                    }
+                    (Some(k), None) => {
+                        let _ = writeln!(out, "{p}except {k}:");
+                    }
+                    _ => {
+                        let _ = writeln!(out, "{p}except:");
+                    }
+                }
+                write_suite(out, &h.body, indent + 1);
+            }
+            if !finally.is_empty() {
+                let _ = writeln!(out, "{p}finally:");
+                write_suite(out, finally, indent + 1);
+            }
+        }
+        StmtKind::Global(names) => {
+            let _ = writeln!(out, "{p}global {}", names.join(", "));
+        }
+        StmtKind::Break => {
+            let _ = writeln!(out, "{p}break");
+        }
+        StmtKind::Continue => {
+            let _ = writeln!(out, "{p}continue");
+        }
+        StmtKind::Pass => {
+            let _ = writeln!(out, "{p}pass");
+        }
+        StmtKind::Assert { cond, msg } => match msg {
+            Some(m) => {
+                let _ = writeln!(out, "{p}assert {}, {}", print_expr(cond), print_expr(m));
+            }
+            None => {
+                let _ = writeln!(out, "{p}assert {}", print_expr(cond));
+            }
+        },
+    }
+}
+
+fn write_suite(out: &mut String, stmts: &[Stmt], indent: usize) {
+    if stmts.is_empty() {
+        let _ = writeln!(out, "{}pass", pad(indent));
+        return;
+    }
+    for s in stmts {
+        print_stmt(out, s, indent);
+    }
+}
+
+fn print_target(t: &Target) -> String {
+    match t {
+        Target::Name(n) => n.clone(),
+        Target::Index { obj, index } => {
+            format!("{}[{}]", print_expr(obj), print_expr(index))
+        }
+        Target::Tuple(names) => names.join(", "),
+    }
+}
+
+/// Operator precedence levels; higher binds tighter.
+fn prec(kind: &ExprKind) -> u8 {
+    match kind {
+        ExprKind::Ternary { .. } => 1,
+        ExprKind::Bool { op: BoolOp::Or, .. } => 2,
+        ExprKind::Bool {
+            op: BoolOp::And, ..
+        } => 3,
+        ExprKind::Unary {
+            op: UnaryOp::Not, ..
+        } => 4,
+        ExprKind::Cmp { .. } => 5,
+        ExprKind::Bin { op, .. } => match op {
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => 7,
+            BinOp::Pow => 9,
+        },
+        ExprKind::Unary {
+            op: UnaryOp::Neg, ..
+        } => 8,
+        // Negative numeric literals print with a leading minus, so they
+        // bind exactly like a unary negation.
+        ExprKind::Const(Lit::Int(v)) if *v < 0 => 8,
+        ExprKind::Const(Lit::Float(v)) if *v < 0.0 => 8,
+        _ => 10,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, min_prec: u8) {
+    let my_prec = prec(&e.kind);
+    let needs_parens = my_prec < min_prec;
+    if needs_parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::Const(lit) => write_lit(out, lit),
+        ExprKind::Name(n) => out.push_str(n),
+        ExprKind::Bin { op, left, right } => {
+            // Left-associative: right child needs strictly higher precedence.
+            // Pow is right-associative: mirror image.
+            let (lp, rp) = if *op == BinOp::Pow {
+                (my_prec + 1, my_prec)
+            } else {
+                (my_prec, my_prec + 1)
+            };
+            write_expr(out, left, lp);
+            let _ = write!(out, " {} ", op.symbol());
+            write_expr(out, right, rp);
+        }
+        ExprKind::Unary { op, operand } => match op {
+            UnaryOp::Neg => {
+                out.push('-');
+                write_expr(out, operand, my_prec);
+            }
+            UnaryOp::Not => {
+                out.push_str("not ");
+                write_expr(out, operand, my_prec);
+            }
+        },
+        ExprKind::Bool { op, left, right } => {
+            let word = match op {
+                BoolOp::And => "and",
+                BoolOp::Or => "or",
+            };
+            write_expr(out, left, my_prec);
+            let _ = write!(out, " {word} ");
+            write_expr(out, right, my_prec + 1);
+        }
+        ExprKind::Cmp { op, left, right } => {
+            write_expr(out, left, my_prec + 1);
+            let _ = write!(out, " {} ", op.symbol());
+            write_expr(out, right, my_prec + 1);
+        }
+        ExprKind::Call { func, args } => {
+            write_expr(out, func, 10);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        ExprKind::MethodCall { obj, name, args } => {
+            write_expr(out, obj, 10);
+            let _ = write!(out, ".{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        ExprKind::Index { obj, index } => {
+            write_expr(out, obj, 10);
+            out.push('[');
+            write_expr(out, index, 0);
+            out.push(']');
+        }
+        ExprKind::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push(']');
+        }
+        ExprKind::Tuple(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            if items.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        ExprKind::Dict(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, k, 0);
+                out.push_str(": ");
+                write_expr(out, v, 0);
+            }
+            out.push('}');
+        }
+        ExprKind::Ternary { cond, then, orelse } => {
+            write_expr(out, then, my_prec + 1);
+            out.push_str(" if ");
+            write_expr(out, cond, my_prec + 1);
+            out.push_str(" else ");
+            write_expr(out, orelse, my_prec);
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+fn write_lit(out: &mut String, lit: &Lit) {
+    match lit {
+        Lit::None => out.push_str("None"),
+        Lit::Bool(true) => out.push_str("True"),
+        Lit::Bool(false) => out.push_str("False"),
+        Lit::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Lit::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Lit::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    '\0' => out.push_str("\\0"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let m1 = parse(src).unwrap();
+        let printed = print_module(&m1);
+        let m2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reprint failed to parse: {e}\n---\n{printed}"));
+        assert_eq!(m1, m2, "round-trip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_basic_constructs() {
+        roundtrip("x = 1\ny = x + 2 * 3\nprint(y)\n");
+        roundtrip("def f(a, b=1):\n    if a > b:\n        return a\n    return b\n");
+        roundtrip("for i in range(10):\n    if i % 2 == 0:\n        continue\n    total += i\n");
+        roundtrip("try:\n    f()\nexcept ValueError as e:\n    print(e)\nfinally:\n    done()\n");
+        roundtrip("while not done:\n    step()\n");
+    }
+
+    #[test]
+    fn roundtrip_precedence_parens() {
+        roundtrip("x = (1 + 2) * 3\n");
+        roundtrip("y = -(a + b)\n");
+        roundtrip("z = not (a and b)\n");
+        roundtrip("w = (a or b) and c\n");
+        roundtrip("v = 2 ** (3 ** 2)\n");
+        roundtrip("u = (2 ** 3) ** 2\n");
+        roundtrip("t = a - (b - c)\n");
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        roundtrip("d = {\"a\": [1, 2], \"b\": (3, 4)}\n");
+        roundtrip("s = (1,)\n");
+        roundtrip("e = ()\n");
+        roundtrip("n = d[\"a\"][0]\n");
+    }
+
+    #[test]
+    fn roundtrip_strings_with_escapes() {
+        roundtrip("s = \"line1\\nline2\\t\\\"quoted\\\"\"\n");
+    }
+
+    #[test]
+    fn elif_chain_is_preserved() {
+        let src = "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n";
+        let m = parse(src).unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("elif b:"), "got:\n{printed}");
+        roundtrip(src);
+    }
+
+    #[test]
+    fn empty_suite_prints_pass() {
+        let m = parse("if x:\n    pass\n").unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("pass"));
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        let m = parse("x = 2.0\n").unwrap();
+        assert_eq!(print_module(&m), "x = 2.0\n");
+    }
+
+    #[test]
+    fn ternary_roundtrip() {
+        roundtrip("x = 1 if a > 2 else 3\n");
+        roundtrip("y = (1 if a else 2) if b else 3\n");
+    }
+
+    #[test]
+    fn print_block_of_empty_is_pass() {
+        assert_eq!(print_block(&[], 1), "    pass\n");
+    }
+}

@@ -1,0 +1,459 @@
+//! Runtime values for the PyLite virtual machine.
+
+use crate::code::Code;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a VM task (cooperative thread).
+pub type TaskId = usize;
+
+/// Identifier of a lock object.
+pub type LockId = usize;
+
+/// Identifier of a resource handle.
+pub type HandleId = usize;
+
+/// A compiled function object.
+#[derive(Debug)]
+pub struct FuncObj {
+    /// Function name (for tracebacks).
+    pub name: String,
+    /// Compiled body.
+    pub code: Rc<Code>,
+    /// Default values for trailing parameters.
+    pub defaults: Vec<Value>,
+}
+
+/// A raised exception: a kind (e.g. `"TimeoutError"`) plus a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExcObj {
+    /// Exception kind name, e.g. `"ValueError"`.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ExcObj {
+    /// Creates a new exception payload.
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        ExcObj {
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Whether this exception matches an `except <kind>` clause.
+    ///
+    /// `Exception` matches everything, mirroring Python's base-class catch.
+    pub fn matches(&self, kind: &str) -> bool {
+        kind == "Exception" || self.kind == kind
+    }
+}
+
+/// A bounded buffer with a fixed capacity; writing past the capacity is a
+/// buffer overflow (detected and reported by the machine).
+#[derive(Debug)]
+pub struct BufferObj {
+    /// Backing storage.
+    pub data: Vec<Value>,
+    /// Maximum number of elements.
+    pub capacity: usize,
+}
+
+/// An acquired resource handle (file/connection stand-in); failing to call
+/// `close()` before program end is reported as a resource leak.
+#[derive(Debug)]
+pub struct HandleObj {
+    /// Unique id.
+    pub id: HandleId,
+    /// Resource name passed to `open_handle`.
+    pub name: String,
+    /// Whether `close()` has been called.
+    pub closed: std::cell::Cell<bool>,
+    /// Data written to the handle.
+    pub written: RefCell<Vec<Value>>,
+}
+
+/// Iterator state used by `for` loops.
+#[derive(Debug)]
+pub enum IterObj {
+    /// Iteration over a range.
+    Range {
+        /// Next value to yield.
+        next: i64,
+        /// Exclusive end.
+        stop: i64,
+        /// Step (non-zero).
+        step: i64,
+    },
+    /// Iteration over a snapshot of list/tuple elements.
+    Items {
+        /// Remaining items (already reversed for pop efficiency? no: index).
+        items: Vec<Value>,
+        /// Next index.
+        index: usize,
+    },
+    /// Iteration over string characters.
+    Chars {
+        /// All characters.
+        chars: Vec<char>,
+        /// Next index.
+        index: usize,
+    },
+}
+
+/// A PyLite runtime value.
+///
+/// Reference types (`List`, `Dict`, `Buffer`, `Handle`) share state via
+/// `Rc<RefCell<..>>`, matching Python aliasing semantics. The VM is
+/// single-threaded; concurrency is cooperative inside the machine.
+#[derive(Clone)]
+pub enum Value {
+    /// `None`
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Mutable list.
+    List(Rc<RefCell<Vec<Value>>>),
+    /// Mutable insertion-ordered dictionary.
+    Dict(Rc<RefCell<Vec<(Value, Value)>>>),
+    /// Immutable tuple.
+    Tuple(Rc<Vec<Value>>),
+    /// User-defined function.
+    Func(Rc<FuncObj>),
+    /// Built-in function, identified by name.
+    Builtin(&'static str),
+    /// Exception constructor (e.g. the global `ValueError`); calling it
+    /// with a message produces an [`Value::Exc`].
+    ExcCtor(Rc<str>),
+    /// Exception instance.
+    Exc(Rc<ExcObj>),
+    /// Lock object.
+    Lock(LockId),
+    /// Task join-handle returned by `spawn`.
+    Task(TaskId),
+    /// Bounded buffer.
+    Buffer(Rc<RefCell<BufferObj>>),
+    /// Resource handle.
+    Handle(Rc<HandleObj>),
+    /// Live iterator (internal; produced by `GetIter`).
+    Iter(Rc<RefCell<IterObj>>),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.repr())
+    }
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Creates a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Creates a dict value from key/value pairs (later keys overwrite).
+    pub fn dict(pairs: Vec<(Value, Value)>) -> Value {
+        let mut d: Vec<(Value, Value)> = Vec::new();
+        for (k, v) in pairs {
+            if let Some(slot) = d.iter_mut().find(|(ek, _)| ek.py_eq(&k)) {
+                slot.1 = v;
+            } else {
+                d.push((k, v));
+            }
+        }
+        Value::Dict(Rc::new(RefCell::new(d)))
+    }
+
+    /// Creates an exception value.
+    pub fn exc(kind: impl Into<String>, msg: impl Into<String>) -> Value {
+        Value::Exc(Rc::new(ExcObj::new(kind, msg)))
+    }
+
+    /// The Python-style type name of the value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "NoneType",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Dict(_) => "dict",
+            Value::Tuple(_) => "tuple",
+            Value::Func(_) => "function",
+            Value::Builtin(_) => "builtin",
+            Value::ExcCtor(_) => "exception_type",
+            Value::Exc(_) => "exception",
+            Value::Lock(_) => "lock",
+            Value::Task(_) => "task",
+            Value::Buffer(_) => "buffer",
+            Value::Handle(_) => "handle",
+            Value::Iter(_) => "iterator",
+        }
+    }
+
+    /// Python truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+            Value::Tuple(t) => !t.is_empty(),
+            _ => true,
+        }
+    }
+
+    /// Python `==` (structural for containers, numeric across int/float).
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::None, Value::None) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
+                (*a as i64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
+            }
+            (Value::Dict(a), Value::Dict(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.iter()
+                            .find(|(k2, _)| k.py_eq(k2))
+                            .is_some_and(|(_, v2)| v.py_eq(v2))
+                    })
+            }
+            (Value::Exc(a), Value::Exc(b)) => a == b,
+            (Value::Lock(a), Value::Lock(b)) => a == b,
+            (Value::Task(a), Value::Task(b)) => a == b,
+            (Value::Handle(a), Value::Handle(b)) => a.id == b.id,
+            _ => false,
+        }
+    }
+
+    /// Python `<` style ordering for sortable values.
+    pub fn py_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::List(a), Value::List(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.py_cmp(y)? {
+                        Ordering::Equal => continue,
+                        ord => return Some(ord),
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.py_cmp(y)? {
+                        Ordering::Equal => continue,
+                        ord => return Some(ord),
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            _ => None,
+        }
+    }
+
+    /// `str()` conversion: human-friendly, no quotes on strings.
+    pub fn py_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Exc(e) => format!("{}: {}", e.kind, e.message),
+            other => other.repr(),
+        }
+    }
+
+    /// `repr()` conversion.
+    pub fn repr(&self) -> String {
+        match self {
+            Value::None => "None".to_string(),
+            Value::Bool(true) => "True".to_string(),
+            Value::Bool(false) => "False".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Str(s) => format!("{s:?}"),
+            Value::List(l) => {
+                let inner: Vec<String> = l.borrow().iter().map(|v| v.repr()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Dict(d) => {
+                let inner: Vec<String> = d
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", k.repr(), v.repr()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Value::Tuple(t) => {
+                let inner: Vec<String> = t.iter().map(|v| v.repr()).collect();
+                if t.len() == 1 {
+                    format!("({},)", inner[0])
+                } else {
+                    format!("({})", inner.join(", "))
+                }
+            }
+            Value::Func(f) => format!("<function {}>", f.name),
+            Value::Builtin(name) => format!("<builtin {name}>"),
+            Value::ExcCtor(kind) => format!("<exception type {kind}>"),
+            Value::Exc(e) => format!("{}({:?})", e.kind, e.message),
+            Value::Lock(id) => format!("<lock {id}>"),
+            Value::Task(id) => format!("<task {id}>"),
+            Value::Buffer(b) => {
+                let b = b.borrow();
+                format!("<buffer {}/{}>", b.data.len(), b.capacity)
+            }
+            Value::Handle(h) => format!(
+                "<handle {} {}>",
+                h.name,
+                if h.closed.get() { "closed" } else { "open" }
+            ),
+            Value::Iter(_) => "<iterator>".to_string(),
+        }
+    }
+
+    /// Length for sized containers.
+    pub fn py_len(&self) -> Option<usize> {
+        match self {
+            Value::Str(s) => Some(s.chars().count()),
+            Value::List(l) => Some(l.borrow().len()),
+            Value::Dict(d) => Some(d.borrow().len()),
+            Value::Tuple(t) => Some(t.len()),
+            Value::Buffer(b) => Some(b.borrow().data.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_python() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+        assert!(Value::list(vec![Value::None]).truthy());
+        assert!(!Value::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn numeric_equality_across_types() {
+        assert!(Value::Int(2).py_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).py_eq(&Value::Float(2.5)));
+        assert!(Value::Bool(true).py_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn container_equality_is_structural() {
+        let a = Value::list(vec![Value::Int(1), Value::str("x")]);
+        let b = Value::list(vec![Value::Int(1), Value::str("x")]);
+        assert!(a.py_eq(&b));
+        let d1 = Value::dict(vec![(Value::str("k"), Value::Int(1))]);
+        let d2 = Value::dict(vec![(Value::str("k"), Value::Int(1))]);
+        assert!(d1.py_eq(&d2));
+    }
+
+    #[test]
+    fn dict_constructor_deduplicates_keys() {
+        let d = Value::dict(vec![
+            (Value::str("k"), Value::Int(1)),
+            (Value::str("k"), Value::Int(2)),
+        ]);
+        if let Value::Dict(d) = &d {
+            assert_eq!(d.borrow().len(), 1);
+            assert!(d.borrow()[0].1.py_eq(&Value::Int(2)));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        assert_eq!(
+            Value::Int(1).py_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("a").py_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
+        assert!(Value::Int(1).py_cmp(&Value::str("a")).is_none());
+    }
+
+    #[test]
+    fn repr_formats() {
+        assert_eq!(Value::Float(2.0).repr(), "2.0");
+        assert_eq!(Value::str("hi").repr(), "\"hi\"");
+        assert_eq!(Value::str("hi").py_str(), "hi");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::Int(2)]).repr(),
+            "[1, 2]"
+        );
+        assert_eq!(
+            Value::Tuple(Rc::new(vec![Value::Int(1)])).repr(),
+            "(1,)"
+        );
+    }
+
+    #[test]
+    fn exception_matching() {
+        let e = ExcObj::new("TimeoutError", "db timeout");
+        assert!(e.matches("TimeoutError"));
+        assert!(e.matches("Exception"));
+        assert!(!e.matches("ValueError"));
+    }
+
+    #[test]
+    fn len_of_containers() {
+        assert_eq!(Value::str("abc").py_len(), Some(3));
+        assert_eq!(Value::list(vec![Value::None]).py_len(), Some(1));
+        assert_eq!(Value::Int(3).py_len(), None);
+    }
+}

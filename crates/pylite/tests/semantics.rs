@@ -1,0 +1,236 @@
+//! Table-driven semantics battery for the PyLite VM: every case runs a
+//! small program and checks its printed output, pinning down the exact
+//! Python-subset behaviour the fault-injection experiments rely on.
+
+use nfi_pylite::{Machine, MachineConfig, RunStatus};
+
+/// Runs a program and returns its output, asserting clean completion.
+fn out(src: &str) -> String {
+    let mut m = Machine::new(MachineConfig::default());
+    let o = m.run_source(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    assert!(
+        matches!(o.status, RunStatus::Completed),
+        "program failed: {:?}\n{src}\noutput so far: {}",
+        o.status,
+        o.output
+    );
+    o.output
+}
+
+/// Runs a program expecting an uncaught exception of the given kind.
+fn raises(src: &str, kind: &str) {
+    let mut m = Machine::new(MachineConfig::default());
+    let o = m.run_source(src).unwrap();
+    match o.status {
+        RunStatus::Uncaught(info) => assert_eq!(info.kind, kind, "{src}"),
+        other => panic!("expected {kind}, got {other:?}\n{src}"),
+    }
+}
+
+macro_rules! cases {
+    ($name:ident: $($src:expr => $expected:expr),+ $(,)?) => {
+        #[test]
+        fn $name() {
+            $(assert_eq!(out($src), $expected, "program: {}", $src);)+
+        }
+    };
+}
+
+cases! { arithmetic:
+    "print(2 + 3 * 4)\n" => "14\n",
+    "print((2 + 3) * 4)\n" => "20\n",
+    "print(2 ** 3 ** 2)\n" => "512\n",
+    "print(-2 ** 2)\n" => "-4\n",
+    "print(7 // 2, -7 // 2)\n" => "3 -4\n",
+    "print(7 % 3, -7 % 3)\n" => "1 2\n",
+    "print(10 / 4)\n" => "2.5\n",
+    "print(1.5 + 1.5)\n" => "3.0\n",
+    "print(abs(-5), abs(2.5))\n" => "5 2.5\n",
+}
+
+cases! { comparisons_and_booleans:
+    "print(1 < 2, 2 <= 2, 3 > 4, 4 >= 5)\n" => "True True False False\n",
+    "print(1 == 1.0, \"a\" == \"a\", [1] == [1])\n" => "True True True\n",
+    "print(not True, not 0, not \"\")\n" => "False True True\n",
+    "print(True and 5, False and 5, True or 9, 0 or 9)\n" => "5 False True 9\n",
+    "print(1 if 2 > 1 else 0)\n" => "1\n",
+    "print(2 in [1, 2], 3 not in [1, 2])\n" => "True True\n",
+    "print(\"ell\" in \"hello\", \"k\" in {\"k\": 1})\n" => "True True\n",
+}
+
+cases! { strings:
+    "print(\"a\" + \"b\" * 3)\n" => "abbb\n",
+    "print(len(\"hello\"), \"hello\"[0], \"hello\"[-1])\n" => "5 h o\n",
+    "s = \"a,b,,c\"\nprint(s.split(\",\"))\n" => "[\"a\", \"b\", \"\", \"c\"]\n",
+    "print(\"x\".join([\"1\", \"2\", \"3\"]))\n" => "1x2x3\n",
+    "print(\"AbC\".upper(), \"AbC\".lower())\n" => "ABC abc\n",
+    "print(\"  pad  \".strip())\n" => "pad\n",
+    "print(\"hello\".startswith(\"he\"), \"hello\".endswith(\"lo\"))\n" => "True True\n",
+    "print(\"banana\".count(\"an\"), \"banana\".replace(\"a\", \"o\"))\n" => "2 bonono\n",
+    "print(str(42) + \"!\")\n" => "42!\n",
+}
+
+cases! { lists:
+    "l = [3, 1, 2]\nl.append(4)\nprint(l, len(l))\n" => "[3, 1, 2, 4] 4\n",
+    "l = [1, 2, 3]\nprint(l.pop(), l.pop(0), l)\n" => "3 1 [2]\n",
+    "l = [1, 3]\nl.insert(1, 2)\nprint(l)\n" => "[1, 2, 3]\n",
+    "l = [2, 1, 3]\nl.sort()\nprint(l)\nl.reverse()\nprint(l)\n" => "[1, 2, 3]\n[3, 2, 1]\n",
+    "l = [1, 2, 2, 3]\nprint(l.count(2), l.index(3))\n" => "2 3\n",
+    "l = [1]\nl.extend([2, 3])\nprint(l + [4])\n" => "[1, 2, 3, 4]\n",
+    "a = [1, 2]\nb = a\nb.append(3)\nprint(a)\n" => "[1, 2, 3]\n",
+    "a = [1, 2]\nb = a.copy()\nb.append(3)\nprint(a, b)\n" => "[1, 2] [1, 2, 3]\n",
+    "print([0] * 3, [1, 2][-1])\n" => "[0, 0, 0] 2\n",
+    "print(sorted([3, 1, 2]), min([5, 2]), max(7, 9), sum([1, 2, 3]))\n" => "[1, 2, 3] 2 9 6\n",
+}
+
+cases! { dicts:
+    "d = {\"a\": 1}\nd[\"b\"] = 2\nprint(d[\"a\"], d[\"b\"], len(d))\n" => "1 2 2\n",
+    "d = {\"a\": 1}\nprint(d.get(\"a\"), d.get(\"z\"), d.get(\"z\", 9))\n" => "1 None 9\n",
+    "d = {\"a\": 1, \"b\": 2}\nprint(d.keys(), d.values())\n" => "[\"a\", \"b\"] [1, 2]\n",
+    "d = {\"a\": 1}\nd.update({\"b\": 2, \"a\": 3})\nprint(d)\n" => "{\"a\": 3, \"b\": 2}\n",
+    "d = {\"a\": 1}\nprint(d.pop(\"a\"), d.pop(\"z\", -1), len(d))\n" => "1 -1 0\n",
+    "d = {}\nprint(d.setdefault(\"k\", 5), d.setdefault(\"k\", 9))\n" => "5 5\n",
+    "d = {1: \"one\", 2.5: \"half\"}\nprint(d[1], d[2.5])\n" => "one half\n",
+}
+
+cases! { tuples_and_unpacking:
+    "t = (1, 2, 3)\nprint(t[0], t[-1], len(t))\n" => "1 3 3\n",
+    "a, b = (1, 2)\nprint(a, b)\n" => "1 2\n",
+    "a, b, c = [1, 2, 3]\nprint(c, b, a)\n" => "3 2 1\n",
+    "for k, v in {\"x\": 1}.items():\n    print(k, v)\n" => "x 1\n",
+    "print((1,))\nprint(())\n" => "(1,)\n()\n",
+}
+
+cases! { control_flow:
+    "i = 0\nwhile i < 3:\n    print(i)\n    i += 1\n" => "0\n1\n2\n",
+    "for i in range(2, 8, 2):\n    print(i)\n" => "2\n4\n6\n",
+    "for i in range(3):\n    if i == 1:\n        continue\n    print(i)\n" => "0\n2\n",
+    "for i in range(10):\n    if i == 2:\n        break\n    print(i)\n" => "0\n1\n",
+    "x = 5\nif x > 10:\n    print(\"big\")\nelif x > 3:\n    print(\"mid\")\nelse:\n    print(\"small\")\n" => "mid\n",
+    "for c in \"abc\":\n    print(c)\n" => "a\nb\nc\n",
+    "total = 0\nfor i, v in enumerate([10, 20]):\n    total += i * v\nprint(total)\n" => "20\n",
+}
+
+cases! { functions:
+    "def f(a, b=10):\n    return a + b\nprint(f(1), f(1, 2))\n" => "11 3\n",
+    "def outer():\n    def inner():\n        return 42\n    return inner()\nprint(outer())\n" => "42\n",
+    "def f():\n    pass\nprint(f())\n" => "None\n",
+    "def fact(n):\n    if n <= 1:\n        return 1\n    return n * fact(n - 1)\nprint(fact(6))\n" => "720\n",
+    "def apply(f, x):\n    return f(x)\ndef double(v):\n    return v * 2\nprint(apply(double, 21))\n" => "42\n",
+    "x = 1\ndef shadow():\n    x = 2\n    return x\nprint(shadow(), x)\n" => "2 1\n",
+    "x = 1\ndef mutate():\n    global x\n    x = 2\nmutate()\nprint(x)\n" => "2\n",
+}
+
+cases! { exceptions:
+    "try:\n    raise ValueError(\"v\")\nexcept ValueError as e:\n    print(e.kind(), e.message())\n" => "ValueError v\n",
+    "try:\n    [1][5]\nexcept IndexError:\n    print(\"idx\")\n" => "idx\n",
+    "try:\n    {\"a\": 1}[\"b\"]\nexcept KeyError:\n    print(\"key\")\n" => "key\n",
+    "try:\n    1 + \"s\"\nexcept TypeError:\n    print(\"type\")\n" => "type\n",
+    "try:\n    int(\"nope\")\nexcept ValueError:\n    print(\"parse\")\n" => "parse\n",
+    "def f():\n    try:\n        raise KeyError(\"k\")\n    finally:\n        print(\"fin\")\ntry:\n    f()\nexcept KeyError:\n    print(\"caught\")\n" => "fin\ncaught\n",
+    "try:\n    try:\n        raise ValueError(\"inner\")\n    except KeyError:\n        print(\"wrong\")\nexcept ValueError:\n    print(\"outer\")\n" => "outer\n",
+    "try:\n    raise TimeoutError(\"t\")\nexcept Exception as e:\n    print(\"base catch\", e.kind())\n" => "base catch TimeoutError\n",
+}
+
+cases! { conversions:
+    "print(int(\"42\"), int(3.9), int(True))\n" => "42 3 1\n",
+    "print(float(\"2.5\"), float(3))\n" => "2.5 3.0\n",
+    "print(bool([]), bool([0]), bool(None))\n" => "False True False\n",
+    "print(type(1), type(1.0), type(\"s\"), type([]), type({}), type(None))\n" => "int float str list dict NoneType\n",
+    "print(repr(\"x\"), repr([1, \"a\"]))\n" => "\"x\" [1, \"a\"]\n",
+}
+
+#[test]
+fn error_kinds_are_precise() {
+    raises("x = 1 / 0\n", "ZeroDivisionError");
+    raises("x = [1][9]\n", "IndexError");
+    raises("x = {}[\"k\"]\n", "KeyError");
+    raises("x = 1 + \"a\"\n", "TypeError");
+    raises("x = nonexistent\n", "NameError");
+    raises("def f():\n    return x9\n    x9 = 1\nf()\n", "UnboundLocalError");
+    raises("assert False\n", "AssertionError");
+    raises("def f(a):\n    return a\nf()\n", "TypeError");
+    raises("def f(a):\n    return a\nf(1, 2)\n", "TypeError");
+    raises("raise\n", "RuntimeError");
+    raises("x = 9223372036854775807 + 1\n", "OverflowError");
+}
+
+#[test]
+fn concurrency_semantics() {
+    // Spawned tasks interleave but joins establish completion order.
+    assert_eq!(
+        out("def w(n):\n    return n * n\nts = []\nfor i in range(4):\n    ts.append(spawn(w, i))\nvals = []\nfor t in ts:\n    vals.append(join(t))\nprint(vals)\n"),
+        "[0, 1, 4, 9]\n"
+    );
+    // Locks serialize critical sections.
+    assert_eq!(
+        out("m = lock()\nlog = []\ndef crit(tag):\n    m.acquire()\n    log.append(tag)\n    log.append(tag)\n    m.release()\nt1 = spawn(crit, \"a\")\nt2 = spawn(crit, \"b\")\njoin(t1)\njoin(t2)\nfirst = log[0]\nassert log[1] == first\nprint(\"serialized\")\n"),
+        "serialized\n"
+    );
+}
+
+#[test]
+fn virtual_time_semantics() {
+    let mut m = Machine::new(MachineConfig::default());
+    let o = m
+        .run_source("start = now()\nsleep(5)\nsleep(2.5)\nelapsed = now() - start\nassert elapsed >= 7.5\nprint(\"ok\")\n")
+        .unwrap();
+    assert_eq!(o.output, "ok\n");
+    assert!(o.vtime >= 7.5);
+    // Parallel sleepers overlap: total virtual time ~ max, not sum.
+    let mut m = Machine::new(MachineConfig::default());
+    let o = m
+        .run_source("def nap():\n    sleep(10)\nt1 = spawn(nap)\nt2 = spawn(nap)\njoin(t1)\njoin(t2)\nprint(\"done\")\n")
+        .unwrap();
+    assert!(
+        o.vtime < 15.0,
+        "parallel sleeps should overlap, vtime {}",
+        o.vtime
+    );
+}
+
+#[test]
+fn buffers_and_handles() {
+    assert_eq!(
+        out("b = make_buffer(3)\nb.append(10)\nb.write(2, 30)\nprint(b.read(0), b.read(2), b.size(), b.capacity())\n"),
+        "10 30 3 3\n"
+    );
+    assert_eq!(
+        out("h = open_handle(\"f\")\nh.write(1)\nh.write(2)\nprint(h.read_all(), h.name(), h.is_closed())\nh.close()\nprint(h.is_closed())\n"),
+        "[1, 2] f False\nTrue\n"
+    );
+}
+
+#[test]
+fn deep_call_chains_and_wide_data() {
+    // A call chain near (but under) the recursion limit.
+    assert_eq!(
+        out("def down(n):\n    if n == 0:\n        return 0\n    return down(n - 1)\nprint(down(200))\n"),
+        "0\n"
+    );
+    // Wide list construction and aggregation.
+    assert_eq!(
+        out("total = 0\nl = []\nfor i in range(500):\n    l.append(i)\nfor v in l:\n    total += v\nprint(total, len(l))\n"),
+        "124750 500\n"
+    );
+}
+
+#[test]
+fn iteration_snapshots_allow_mutation() {
+    // Iterating a list snapshot while appending to the original must
+    // terminate (GetIter snapshots).
+    assert_eq!(
+        out("l = [1, 2, 3]\nfor v in l:\n    l.append(v)\nprint(len(l))\n"),
+        "6\n"
+    );
+}
+
+#[test]
+fn output_of_failed_runs_is_preserved() {
+    let mut m = Machine::new(MachineConfig::default());
+    let o = m
+        .run_source("print(\"before\")\nraise RuntimeError(\"x\")\nprint(\"after\")\n")
+        .unwrap();
+    assert_eq!(o.output, "before\n");
+    assert!(matches!(o.status, RunStatus::Uncaught(_)));
+}

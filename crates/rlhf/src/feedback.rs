@@ -1,0 +1,54 @@
+//! Feedback data types exchanged between testers and the trainer.
+
+/// One piece of tester feedback on a generated fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feedback {
+    /// Rating on a 1–5 scale.
+    pub rating: f32,
+    /// Whether the tester accepts the fault as-is.
+    pub accepted: bool,
+    /// Natural-language critique when not fully satisfied.
+    pub critique: Option<String>,
+}
+
+impl Feedback {
+    /// Creates feedback, clamping the rating into `[1, 5]` and deriving
+    /// acceptance from the 4.0 threshold.
+    pub fn from_rating(rating: f32, critique: Option<String>) -> Self {
+        let rating = rating.clamp(1.0, 5.0);
+        Feedback {
+            rating,
+            accepted: rating >= 4.0,
+            critique,
+        }
+    }
+}
+
+/// A pairwise preference between two candidates' feature vectors
+/// (Bradley–Terry training datum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferencePair {
+    /// Features of the preferred candidate.
+    pub winner: Vec<f32>,
+    /// Features of the rejected candidate.
+    pub loser: Vec<f32>,
+    /// Rating margin between the two (for weighting / diagnostics).
+    pub margin: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_is_clamped_and_acceptance_thresholded() {
+        let f = Feedback::from_rating(7.0, None);
+        assert_eq!(f.rating, 5.0);
+        assert!(f.accepted);
+        let f = Feedback::from_rating(3.9, Some("needs retry".into()));
+        assert!(!f.accepted);
+        assert_eq!(f.critique.as_deref(), Some("needs retry"));
+        let f = Feedback::from_rating(-3.0, None);
+        assert_eq!(f.rating, 1.0);
+    }
+}

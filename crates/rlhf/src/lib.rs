@@ -1,0 +1,46 @@
+//! # nfi-rlhf — Reinforcement Learning from Human Feedback
+//!
+//! The RLHF mechanism of the paper's §III-B3: testers review generated
+//! faults, their feedback trains a **reward model**, and the reward
+//! signal fine-tunes the generator's sampling **policy**.
+//!
+//! Components:
+//!
+//! * [`tester::SimulatedTester`] — a deterministic oracle with a hidden
+//!   [`tester::TargetProfile`] standing in for the human tester: it
+//!   rates candidates (1–5), accepts/rejects, emits natural-language
+//!   critiques from a template grammar ("introduce a retry mechanism
+//!   instead of just logging the error"), and yields preference pairs.
+//! * [`reward::RewardModel`] — a Bradley–Terry pairwise reward model
+//!   (MLP over candidate features) trained on those preferences.
+//! * [`trainer::RlhfTrainer`] — the iterative loop: generate → collect
+//!   feedback → fit reward model → REINFORCE-update the policy; per-
+//!   iteration alignment statistics feed experiment E1.
+//!
+//! ```
+//! use nfi_llm::{FaultLlm, LlmConfig};
+//! use nfi_rlhf::tester::{SimulatedTester, TargetProfile};
+//! use nfi_rlhf::trainer::{RlhfConfig, RlhfTrainer};
+//!
+//! let module = nfi_pylite::parse("def handle(req):\n    return 1\n")?;
+//! let spec = nfi_nlp::analyze(
+//!     "simulate a timeout failure in handle with an unhandled exception",
+//!     Some(&module),
+//! );
+//! let mut llm = FaultLlm::untrained(LlmConfig::default());
+//! let tester = SimulatedTester::new(TargetProfile::wants_retry(), 1);
+//! let mut trainer = RlhfTrainer::new(RlhfConfig { iterations: 4, ..RlhfConfig::default() });
+//! let stats = trainer.run(&mut llm, &[(spec, module)], &tester);
+//! assert_eq!(stats.len(), 4);
+//! # Ok::<(), nfi_pylite::PyliteError>(())
+//! ```
+
+pub mod feedback;
+pub mod reward;
+pub mod tester;
+pub mod trainer;
+
+pub use feedback::{Feedback, PreferencePair};
+pub use reward::RewardModel;
+pub use tester::{SimulatedTester, TargetProfile};
+pub use trainer::{IterationStats, PolicyOptimizer, RlhfConfig, RlhfTrainer};

@@ -1,0 +1,134 @@
+//! The Bradley–Terry reward model.
+//!
+//! An MLP `r(features) -> scalar` trained on preference pairs with the
+//! pairwise logistic loss `-ln σ(r(winner) − r(loser))` — the standard
+//! reward-model objective from the RLHF literature (Ouyang et al. 2022),
+//! shrunk to candidate-feature scale.
+
+use crate::feedback::PreferencePair;
+use nfi_llm::FEATURE_DIM;
+use nfi_neural::mlp::{Activation, Mlp, MlpAdam};
+use nfi_neural::sigmoid;
+
+/// The learned reward model.
+pub struct RewardModel {
+    net: Mlp,
+    opt: MlpAdam,
+}
+
+impl RewardModel {
+    /// Creates an untrained reward model.
+    pub fn new(seed: u64) -> Self {
+        let net = Mlp::new(&[FEATURE_DIM, 16, 1], Activation::Tanh, seed);
+        let opt = MlpAdam::new(&net, 0.01);
+        RewardModel { net, opt }
+    }
+
+    /// Predicted reward for a candidate feature vector.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        self.net.scalar(features)
+    }
+
+    /// Trains on preference pairs for the given number of epochs;
+    /// returns the average pairwise loss of the final epoch.
+    pub fn train(&mut self, pairs: &[PreferencePair], epochs: usize) -> f32 {
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            last = self.train_epoch(pairs);
+        }
+        last
+    }
+
+    fn train_epoch(&mut self, pairs: &[PreferencePair]) -> f32 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for pair in pairs {
+            let rw = self.net.scalar(&pair.winner);
+            let rl = self.net.scalar(&pair.loser);
+            let p = sigmoid(rw - rl);
+            total += -(p.max(1e-7)).ln();
+            // dL/drw = -(1-p), dL/drl = (1-p)
+            let g = 1.0 - p;
+            let gw = self.net.backward(&pair.winner, &[-g]);
+            let gl = self.net.backward(&pair.loser, &[g]);
+            let mut acc = self.net.zero_gradients();
+            Mlp::accumulate(&mut acc, &gw);
+            Mlp::accumulate(&mut acc, &gl);
+            self.net.apply_adam(&acc, &mut self.opt);
+        }
+        total / pairs.len() as f32
+    }
+
+    /// Accuracy on held-out pairs (fraction where the winner scores
+    /// higher).
+    pub fn accuracy(&self, pairs: &[PreferencePair]) -> f32 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let correct = pairs
+            .iter()
+            .filter(|p| self.predict(&p.winner) > self.predict(&p.loser))
+            .count();
+        correct as f32 / pairs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pairs where feature 5 (retry) decides the preference.
+    fn retry_pairs(n: usize) -> Vec<PreferencePair> {
+        (0..n)
+            .map(|i| {
+                let mut winner = vec![0.0; FEATURE_DIM];
+                let mut loser = vec![0.0; FEATURE_DIM];
+                winner[5] = 1.0;
+                winner[11] = 1.0;
+                loser[11] = 1.0;
+                // Distractor feature varies but carries no signal.
+                winner[6] = (i % 2) as f32;
+                loser[6] = ((i + 1) % 2) as f32;
+                PreferencePair {
+                    winner,
+                    loser,
+                    margin: 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_the_deciding_feature() {
+        let mut rm = RewardModel::new(4);
+        let pairs = retry_pairs(24);
+        let before = rm.accuracy(&pairs);
+        rm.train(&pairs, 30);
+        let after = rm.accuracy(&pairs);
+        assert_eq!(after, 1.0, "accuracy {before} -> {after}");
+        let mut with_retry = vec![0.0; FEATURE_DIM];
+        with_retry[5] = 1.0;
+        with_retry[11] = 1.0;
+        let mut without = vec![0.0; FEATURE_DIM];
+        without[11] = 1.0;
+        assert!(rm.predict(&with_retry) > rm.predict(&without));
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let mut rm = RewardModel::new(4);
+        let pairs = retry_pairs(24);
+        let first = rm.train(&pairs, 1);
+        let last = rm.train(&pairs, 30);
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_pairs_are_safe() {
+        let mut rm = RewardModel::new(1);
+        assert_eq!(rm.train(&[], 5), 0.0);
+        assert_eq!(rm.accuracy(&[]), 0.0);
+    }
+}

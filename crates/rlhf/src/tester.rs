@@ -1,0 +1,324 @@
+//! The simulated tester: a deterministic oracle standing in for the
+//! human in the RLHF loop.
+//!
+//! A [`TargetProfile`] encodes what the (hidden) tester actually wants
+//! from generated faults. Ratings, acceptance, critiques, and preference
+//! pairs are all derived from how well a candidate satisfies the
+//! profile, plus a small seeded noise term — reproducible human feedback
+//! for experiments E1/E8.
+
+use crate::feedback::{Feedback, PreferencePair};
+use nfi_llm::{Candidate, GeneratedFault};
+use nfi_sfi::FaultClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// The tester's hidden preferences.
+#[derive(Debug, Clone, Default)]
+pub struct TargetProfile {
+    /// Faults should include a retry/recovery path.
+    pub wants_retry: bool,
+    /// Handlers should log the failure.
+    pub wants_logging: bool,
+    /// The exception should escape (crash-style testing).
+    pub prefers_propagate: bool,
+    /// Faults should fire intermittently.
+    pub wants_intermittent: bool,
+    /// A specific exception kind is expected.
+    pub wants_exception_kind: Option<String>,
+    /// A specific fault class is expected.
+    pub wants_class: Option<FaultClass>,
+    /// Requested retry attempts (with `wants_retry`).
+    pub retry_attempts: Option<u32>,
+}
+
+impl TargetProfile {
+    /// The running-example profile: the tester wants a retry mechanism
+    /// rather than log-and-continue.
+    pub fn wants_retry() -> Self {
+        TargetProfile {
+            wants_retry: true,
+            ..TargetProfile::default()
+        }
+    }
+
+    /// A crash-oriented profile: exceptions must propagate.
+    pub fn wants_crashes() -> Self {
+        TargetProfile {
+            prefers_propagate: true,
+            ..TargetProfile::default()
+        }
+    }
+}
+
+/// The simulated tester.
+pub struct SimulatedTester {
+    profile: TargetProfile,
+    rng: RefCell<StdRng>,
+    /// Noise amplitude on ratings (0 = fully deterministic).
+    pub noise: f32,
+}
+
+impl SimulatedTester {
+    /// Creates a tester with the given hidden profile and seed.
+    pub fn new(profile: TargetProfile, seed: u64) -> Self {
+        SimulatedTester {
+            profile,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            noise: 0.25,
+        }
+    }
+
+    /// The hidden profile (visible to experiment code, never to the
+    /// generator).
+    pub fn profile(&self) -> &TargetProfile {
+        &self.profile
+    }
+
+    fn satisfaction(&self, c: &CandidateView<'_>) -> f32 {
+        let p = &self.profile;
+        let mut score = 3.0f32;
+        if p.wants_retry {
+            score += if c.has_retry { 1.0 } else { -1.0 };
+        }
+        if p.wants_logging {
+            score += if c.logs { 0.5 } else { -0.5 };
+        }
+        if p.prefers_propagate {
+            score += if c.effect_crash { 0.9 } else { -0.9 };
+        }
+        if p.wants_intermittent {
+            score += if c.probabilistic { 0.8 } else { -0.8 };
+        }
+        if let Some(kind) = &p.wants_exception_kind {
+            score += if c.exception_kind == kind.as_str() {
+                0.7
+            } else {
+                -0.7
+            };
+        }
+        if let Some(class) = p.wants_class {
+            score += if c.class == class { 0.7 } else { -0.7 };
+        }
+        // Spec fidelity matters to every tester.
+        score += 0.5 * c.spec_class_match;
+        score += 0.3 * c.trigger_honored;
+        score
+    }
+
+    fn noisy(&self, score: f32) -> f32 {
+        let n: f32 = self.rng.borrow_mut().gen_range(-1.0..1.0) * self.noise;
+        (score + n).clamp(1.0, 5.0)
+    }
+
+    /// Rates a generated fault and produces a critique when unsatisfied.
+    pub fn review(&self, fault: &GeneratedFault) -> Feedback {
+        let view = CandidateView::from_fault(fault);
+        let rating = self.noisy(self.satisfaction(&view));
+        let critique = if rating >= 4.0 {
+            None
+        } else {
+            Some(self.critique(&view))
+        };
+        Feedback::from_rating(rating, critique)
+    }
+
+    /// Rates a raw candidate (used during batch policy training).
+    pub fn rate_candidate(&self, c: &Candidate, spec_class_match: f32) -> f32 {
+        let view = CandidateView::from_candidate(c, spec_class_match);
+        self.noisy(self.satisfaction(&view))
+    }
+
+    /// Builds a preference pair between two candidates (winner first);
+    /// returns `None` when the tester has no real preference.
+    pub fn prefer(
+        &self,
+        a: &Candidate,
+        a_match: f32,
+        b: &Candidate,
+        b_match: f32,
+    ) -> Option<PreferencePair> {
+        let ra = self.rate_candidate(a, a_match);
+        let rb = self.rate_candidate(b, b_match);
+        let margin = (ra - rb).abs();
+        if margin < 0.2 {
+            return None;
+        }
+        let (w, l) = if ra > rb { (a, b) } else { (b, a) };
+        Some(PreferencePair {
+            winner: w.features.clone(),
+            loser: l.features.clone(),
+            margin,
+        })
+    }
+
+    /// Emits a natural-language critique for the most pressing
+    /// unsatisfied preference, phrased like a human note (parseable by
+    /// `nfi_nlp::parse_critique`).
+    fn critique(&self, c: &CandidateView<'_>) -> String {
+        let p = &self.profile;
+        let mut rng = self.rng.borrow_mut();
+        if p.wants_retry && !c.has_retry {
+            let n = p.retry_attempts.unwrap_or(3);
+            let options = [
+                "introduce a retry mechanism instead of just logging the error".to_string(),
+                format!("add a retry path, retry {n} times before giving up"),
+                "the handler should try again rather than only log".to_string(),
+            ];
+            return options[rng.gen_range(0..options.len())].clone();
+        }
+        if p.prefers_propagate && !c.effect_crash {
+            let options = [
+                "let the exception propagate to the caller",
+                "do not catch it here, the error should bubble up",
+            ];
+            return options[rng.gen_range(0..options.len())].to_string();
+        }
+        if p.wants_intermittent && !c.probabilistic {
+            return "make it intermittent, around 50% of requests".to_string();
+        }
+        if let Some(kind) = &p.wants_exception_kind {
+            if c.exception_kind != kind.as_str() {
+                return format!("raise a {kind} instead");
+            }
+        }
+        if p.wants_logging && !c.logs {
+            return "log the error where it is handled".to_string();
+        }
+        "this does not quite match the scenario I described".to_string()
+    }
+}
+
+/// Uniform view over faults/candidates for rating.
+struct CandidateView<'a> {
+    has_retry: bool,
+    logs: bool,
+    effect_crash: bool,
+    probabilistic: bool,
+    exception_kind: &'a str,
+    class: FaultClass,
+    spec_class_match: f32,
+    trigger_honored: f32,
+}
+
+impl<'a> CandidateView<'a> {
+    fn from_fault(f: &'a GeneratedFault) -> Self {
+        CandidateView {
+            has_retry: f.params.retries.map(|r| r > 0).unwrap_or(false)
+                && f.pattern.contains("retry"),
+            logs: f.params.logs,
+            effect_crash: f.features.get(7).copied().unwrap_or(0.0) > 0.5,
+            probabilistic: f.params.probability.is_some(),
+            exception_kind: &f.params.exception_kind,
+            class: f.class,
+            spec_class_match: f.features.first().copied().unwrap_or(0.0),
+            trigger_honored: f.features.get(9).copied().unwrap_or(0.0),
+        }
+    }
+
+    fn from_candidate(c: &'a Candidate, spec_class_match: f32) -> Self {
+        CandidateView {
+            has_retry: c.params.retries.map(|r| r > 0).unwrap_or(false)
+                && c.pattern.contains("retry"),
+            logs: c.params.logs,
+            effect_crash: c.effect_crash,
+            probabilistic: c.params.probability.is_some(),
+            exception_kind: &c.params.exception_kind,
+            class: c.class,
+            spec_class_match,
+            trigger_honored: c.trigger_honored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_llm::{FaultLlm, LlmConfig};
+
+    fn scenario() -> (nfi_nlp::FaultSpec, nfi_pylite::Module) {
+        let m = nfi_pylite::parse("def handle(req):\n    return 1\n").unwrap();
+        let spec = nfi_nlp::analyze(
+            "simulate a timeout causing an unhandled exception in handle",
+            Some(&m),
+        );
+        (spec, m)
+    }
+
+    #[test]
+    fn retry_profile_prefers_retry_candidates() {
+        let (spec, m) = scenario();
+        let llm = FaultLlm::untrained(LlmConfig::default());
+        let cands = llm.candidates(&spec, &m);
+        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
+        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 3);
+        tester.noise = 0.0;
+        assert!(tester.rate_candidate(retry, 1.0) > tester.rate_candidate(plain, 1.0));
+    }
+
+    #[test]
+    fn crash_profile_prefers_unhandled() {
+        let (spec, m) = scenario();
+        let llm = FaultLlm::untrained(LlmConfig::default());
+        let cands = llm.candidates(&spec, &m);
+        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
+        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let mut tester = SimulatedTester::new(TargetProfile::wants_crashes(), 3);
+        tester.noise = 0.0;
+        assert!(tester.rate_candidate(plain, 1.0) > tester.rate_candidate(retry, 1.0));
+    }
+
+    #[test]
+    fn critique_for_missing_retry_is_parseable() {
+        let (spec, m) = scenario();
+        let mut llm = FaultLlm::untrained(LlmConfig::default());
+        let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 3);
+        tester.noise = 0.0;
+        // Force review of a non-retry generation.
+        let fault = loop {
+            let f = llm.generate(&spec, &m).unwrap();
+            if !f.pattern.contains("retry") {
+                break f;
+            }
+        };
+        let feedback = tester.review(&fault);
+        assert!(!feedback.accepted);
+        let critique = feedback.critique.expect("critique present");
+        let intents = nfi_nlp::parse_critique(&critique);
+        assert!(
+            intents
+                .iter()
+                .any(|i| matches!(i, nfi_nlp::CritiqueIntent::AddRetry { .. })),
+            "critique {critique:?} parsed to {intents:?}"
+        );
+    }
+
+    #[test]
+    fn preference_pairs_have_consistent_winner() {
+        let (spec, m) = scenario();
+        let llm = FaultLlm::untrained(LlmConfig::default());
+        let cands = llm.candidates(&spec, &m);
+        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
+        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 3);
+        tester.noise = 0.0;
+        let pair = tester.prefer(plain, 1.0, retry, 1.0).expect("clear preference");
+        assert_eq!(pair.winner, retry.features);
+        assert_eq!(pair.loser, plain.features);
+        assert!(pair.margin > 0.0);
+    }
+
+    #[test]
+    fn ratings_are_reproducible_per_seed() {
+        let (spec, m) = scenario();
+        let llm = FaultLlm::untrained(LlmConfig::default());
+        let cands = llm.candidates(&spec, &m);
+        let rate = |seed| {
+            let tester = SimulatedTester::new(TargetProfile::wants_retry(), seed);
+            tester.rate_candidate(&cands[0], 1.0)
+        };
+        assert_eq!(rate(9), rate(9));
+    }
+}

@@ -1,0 +1,232 @@
+//! # nfi-sfi — programmable software fault injection
+//!
+//! A ProFIPy-style (Cotroneo et al., DSN'20) programmable fault-injection
+//! tool over PyLite ASTs. It fills two roles from the paper:
+//!
+//! 1. **Dataset factory** (§IV-1): systematically inject faults into seed
+//!    codebases, documenting "both the fault conditions and the resultant
+//!    code changes" — consumed by `nfi-dataset` to fine-tune the LLM.
+//! 2. **Conventional-SFI baseline** (§V): the fixed, predefined fault
+//!    model that the neural approach is compared against in the
+//!    efficiency / coverage / representativeness experiments.
+//!
+//! The operator library follows the G-SWFIT / ODC tradition (omission,
+//! wrong value, wrong algorithm, exception handling) and extends it with
+//! the "complex scenarios" the paper calls out as missing from existing
+//! tools: race conditions, resource leaks, timing faults, and buffer
+//! overflows.
+//!
+//! ```
+//! use nfi_sfi::{registry, FaultClass};
+//!
+//! let module = nfi_pylite::parse(
+//!     "def f(x):\n    if x > 0:\n        log(x)\n    return x\n",
+//! )?;
+//! let ops = registry();
+//! // At least one operator finds an applicable site in this module.
+//! assert!(ops.iter().any(|op| !op.find_sites(&module).is_empty()));
+//! assert!(ops.iter().any(|op| op.class() == FaultClass::Omission));
+//! # Ok::<(), nfi_pylite::PyliteError>(())
+//! ```
+
+use nfi_pylite::ast::NodeId;
+use nfi_pylite::Module;
+use std::fmt;
+
+pub mod campaign;
+mod operators;
+
+pub use campaign::{Campaign, CampaignReport, FaultPlan};
+pub use operators::registry;
+
+/// High-level class of an injected fault, aligned with the fault types
+/// the paper's §IV-1 dataset covers ("logic errors, race conditions,
+/// memory leaks, and buffer overflows", plus interface/timing classes
+/// from the ODC tradition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Missing statement / call / branch (G-SWFIT MFC, MIA, MIEB, ...).
+    Omission,
+    /// Wrong value, parameter, operator, or boundary (WVAV, WPFV, ...).
+    WrongValue,
+    /// Broken exception handling (swallowed, wrong kind, spurious raise).
+    ExceptionHandling,
+    /// Race conditions from missing synchronization.
+    Concurrency,
+    /// Resource leaks (unclosed handles) and double releases.
+    ResourceLeak,
+    /// Writes past buffer capacity.
+    BufferOverflow,
+    /// Delays and timeouts from slow or stalled dependencies.
+    Timing,
+    /// Wrong interaction with another component's interface.
+    Interface,
+}
+
+impl FaultClass {
+    /// All classes, in stable order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Omission,
+        FaultClass::WrongValue,
+        FaultClass::ExceptionHandling,
+        FaultClass::Concurrency,
+        FaultClass::ResourceLeak,
+        FaultClass::BufferOverflow,
+        FaultClass::Timing,
+        FaultClass::Interface,
+    ];
+
+    /// Stable lowercase identifier.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultClass::Omission => "omission",
+            FaultClass::WrongValue => "wrong_value",
+            FaultClass::ExceptionHandling => "exception_handling",
+            FaultClass::Concurrency => "concurrency",
+            FaultClass::ResourceLeak => "resource_leak",
+            FaultClass::BufferOverflow => "buffer_overflow",
+            FaultClass::Timing => "timing",
+            FaultClass::Interface => "interface",
+        }
+    }
+
+    /// Parses a class from its [`FaultClass::key`].
+    pub fn from_key(key: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().copied().find(|c| c.key() == key)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A concrete location where an operator can inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Node id of the statement being targeted (pre-mutation numbering).
+    pub stmt_id: NodeId,
+    /// Enclosing function, when not at module level.
+    pub function: Option<String>,
+    /// Source line of the statement.
+    pub line: u32,
+    /// Operator-specific detail (e.g. the name of the removed call).
+    pub detail: String,
+}
+
+/// The result of applying an operator at a site: a mutated module plus
+/// provenance.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// Operator that produced the mutation.
+    pub operator: &'static str,
+    /// Fault class of the mutation.
+    pub class: FaultClass,
+    /// Where it was injected.
+    pub site: Site,
+    /// The mutated module (node ids renumbered).
+    pub module: Module,
+    /// Human-readable description of the fault condition ("documented
+    /// fault conditions" per §IV-1).
+    pub description: String,
+}
+
+/// A fault operator: scans for applicable sites and rewrites the AST.
+///
+/// Implementations live in this crate; the trait is object-safe so the
+/// registry can hold a heterogeneous operator set.
+pub trait FaultOperator: Send + Sync {
+    /// Short unique mnemonic (e.g. `"MFC"`).
+    fn name(&self) -> &'static str;
+
+    /// Fault class of the mutations this operator produces.
+    fn class(&self) -> FaultClass;
+
+    /// One-line description of the fault model.
+    fn doc(&self) -> &'static str;
+
+    /// All sites in `module` where this operator applies.
+    fn find_sites(&self, module: &Module) -> Vec<Site>;
+
+    /// Applies the operator at `site`, returning the mutated module.
+    ///
+    /// Returns `None` when the site no longer exists in `module` (e.g.
+    /// stale ids after another mutation).
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module>;
+
+    /// A natural-language description of the fault injected at `site`.
+    fn describe(&self, site: &Site) -> String;
+}
+
+/// The classic predefined fault model of conventional SFI tools: code
+/// omission / wrong-value / exception operators only. The paper's §II-1
+/// argues such models "fall short in simulating complex scenarios such as
+/// race conditions" — which is exactly what this subset cannot express.
+pub fn conventional_operator_names() -> Vec<&'static str> {
+    registry()
+        .iter()
+        .filter(|op| {
+            matches!(
+                op.class(),
+                FaultClass::Omission
+                    | FaultClass::WrongValue
+                    | FaultClass::ExceptionHandling
+                    | FaultClass::Interface
+            )
+        })
+        .map(|op| op.name())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_keys_roundtrip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_key(c.key()), Some(c));
+        }
+        assert_eq!(FaultClass::from_key("nope"), None);
+    }
+
+    #[test]
+    fn registry_has_unique_names_and_all_classes() {
+        let ops = registry();
+        assert!(ops.len() >= 18, "expected a rich operator set");
+        let mut names: Vec<_> = ops.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "operator names must be unique");
+        for class in FaultClass::ALL {
+            assert!(
+                ops.iter().any(|o| o.class() == class),
+                "no operator covers {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn conventional_subset_excludes_complex_classes() {
+        let conventional = conventional_operator_names();
+        assert!(!conventional.is_empty());
+        let ops = registry();
+        for op in ops.iter() {
+            let in_subset = conventional.contains(&op.name());
+            let complex = matches!(
+                op.class(),
+                FaultClass::Concurrency
+                    | FaultClass::ResourceLeak
+                    | FaultClass::BufferOverflow
+                    | FaultClass::Timing
+            );
+            assert_eq!(
+                in_subset, !complex,
+                "operator {} misclassified for the baseline",
+                op.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,1493 @@
+//! The fault-operator library.
+//!
+//! Operators are grouped by [`FaultClass`]:
+//!
+//! | Class | Operators |
+//! |---|---|
+//! | omission | MFC, MIA, MIEB, MVIV, MLPA, MRS |
+//! | wrong_value | WVAV, WAEP, WLEC, OBOE |
+//! | interface | WPFV, SDC |
+//! | exception_handling | EHS, EHW, DFR |
+//! | concurrency | LRA, LRM |
+//! | resource_leak | RLK |
+//! | buffer_overflow | BCS, BWO |
+//! | timing | TDL, STL |
+//!
+//! Sites inside `test_*` functions are never offered: faults go into the
+//! production code, and the embedded test suites act as the oracle.
+
+use crate::{FaultClass, FaultOperator, Site};
+use nfi_pylite::analysis::{rewrite_blocks, visit_exprs_stmt, visit_exprs_stmt_mut};
+use nfi_pylite::ast::{build, Expr, ExprKind, Lit, Module, NodeId, Stmt, StmtKind};
+
+/// Builds the full operator registry.
+pub fn registry() -> Vec<Box<dyn FaultOperator>> {
+    vec![
+        Box::new(Mfc),
+        Box::new(Mia),
+        Box::new(Mieb),
+        Box::new(Mviv),
+        Box::new(Mlpa),
+        Box::new(Mrs),
+        Box::new(Wvav),
+        Box::new(Waep),
+        Box::new(Wlec),
+        Box::new(Oboe),
+        Box::new(Wpfv),
+        Box::new(Sdc),
+        Box::new(Ehs),
+        Box::new(Ehw),
+        Box::new(Dfr),
+        Box::new(Lra),
+        Box::new(Lrm),
+        Box::new(Rlk),
+        Box::new(Bcs),
+        Box::new(Bwo),
+        Box::new(Tdl),
+        Box::new(Stl),
+    ]
+}
+
+/// Finds an operator by mnemonic.
+pub fn by_name(name: &str) -> Option<Box<dyn FaultOperator>> {
+    registry().into_iter().find(|op| op.name() == name)
+}
+
+// ---- shared helpers --------------------------------------------------------
+
+fn walk_fn_ctx<'a>(
+    body: &'a [Stmt],
+    func: Option<&'a str>,
+    f: &mut dyn FnMut(&'a Stmt, Option<&'a str>),
+) {
+    for s in body {
+        f(s, func);
+        match &s.kind {
+            StmtKind::Def { name, body, .. } => walk_fn_ctx(body, Some(name), f),
+            StmtKind::If { then, orelse, .. } => {
+                walk_fn_ctx(then, func, f);
+                walk_fn_ctx(orelse, func, f);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                walk_fn_ctx(body, func, f)
+            }
+            StmtKind::Try {
+                body,
+                handlers,
+                finally,
+            } => {
+                walk_fn_ctx(body, func, f);
+                for h in handlers {
+                    walk_fn_ctx(&h.body, func, f);
+                }
+                walk_fn_ctx(finally, func, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scans for sites, skipping statements inside `test_*` functions.
+fn scan_sites(module: &Module, pred: &mut dyn FnMut(&Stmt) -> Option<String>) -> Vec<Site> {
+    let mut sites = Vec::new();
+    walk_fn_ctx(&module.body, None, &mut |stmt, func| {
+        if func.is_some_and(|f| f.starts_with("test_")) {
+            return;
+        }
+        if let Some(detail) = pred(stmt) {
+            sites.push(Site {
+                stmt_id: stmt.id,
+                function: func.map(str::to_string),
+                line: stmt.span.line,
+                detail,
+            });
+        }
+    });
+    sites
+}
+
+/// Clones the module and removes the statement with the given id,
+/// inserting `pass` when its block would become empty.
+fn remove_stmt(module: &Module, id: NodeId) -> Option<Module> {
+    splice_stmt(module, id, Vec::new())
+}
+
+/// Clones the module and replaces the statement with the given id by the
+/// given statements (empty = removal).
+fn splice_stmt(module: &Module, id: NodeId, with: Vec<Stmt>) -> Option<Module> {
+    let mut m = module.clone();
+    let mut done = false;
+    rewrite_blocks(&mut m, &mut |block| {
+        if done {
+            return;
+        }
+        if let Some(pos) = block.iter().position(|s| s.id == id) {
+            block.splice(pos..=pos, with.clone());
+            if block.is_empty() {
+                block.push(build::pass());
+            }
+            done = true;
+        }
+    });
+    if done {
+        m.renumber();
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Clones the module and inserts a statement before the one with the
+/// given id.
+fn insert_before(module: &Module, id: NodeId, stmt: Stmt) -> Option<Module> {
+    let mut m = module.clone();
+    let mut done = false;
+    rewrite_blocks(&mut m, &mut |block| {
+        if done {
+            return;
+        }
+        if let Some(pos) = block.iter().position(|s| s.id == id) {
+            block.insert(pos, stmt.clone());
+            done = true;
+        }
+    });
+    if done {
+        m.renumber();
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Clones the module and mutates the statement with the given id in
+/// place; `f` returns whether the mutation applied.
+fn modify_stmt(module: &Module, id: NodeId, f: &mut dyn FnMut(&mut Stmt) -> bool) -> Option<Module> {
+    let mut m = module.clone();
+    let mut done = false;
+    m.walk_stmts_mut(&mut |s| {
+        if !done && s.id == id {
+            done = f(s);
+        }
+    });
+    if done {
+        m.renumber();
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// The callee name of a direct call expression statement.
+fn call_stmt_name(stmt: &Stmt) -> Option<String> {
+    if let StmtKind::Expr(e) = &stmt.kind {
+        match &e.kind {
+            ExprKind::Call { func, .. } => {
+                if let ExprKind::Name(n) = &func.kind {
+                    return Some(n.clone());
+                }
+            }
+            ExprKind::MethodCall { obj, name, .. } => {
+                if let ExprKind::Name(o) = &obj.kind {
+                    return Some(format!("{o}.{name}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A method-call expression statement `recv.method(...)` on a plain name.
+fn method_call_stmt(stmt: &Stmt) -> Option<(String, String)> {
+    if let StmtKind::Expr(e) = &stmt.kind {
+        if let ExprKind::MethodCall { obj, name, .. } = &e.kind {
+            if let ExprKind::Name(o) = &obj.kind {
+                return Some((o.clone(), name.clone()));
+            }
+        }
+    }
+    None
+}
+
+fn perturb_lit(lit: &Lit) -> Option<Lit> {
+    match lit {
+        Lit::Int(0) => Some(Lit::Int(1)),
+        Lit::Int(i) => Some(Lit::Int(i + 1)),
+        Lit::Float(f) => Some(Lit::Float(f * 2.0 + 1.0)),
+        Lit::Bool(b) => Some(Lit::Bool(!b)),
+        Lit::Str(s) if !s.is_empty() => Some(Lit::Str(String::new())),
+        _ => None,
+    }
+}
+
+fn lit_repr(lit: &Lit) -> String {
+    match lit {
+        Lit::None => "None".to_string(),
+        Lit::Bool(true) => "True".to_string(),
+        Lit::Bool(false) => "False".to_string(),
+        Lit::Int(i) => i.to_string(),
+        Lit::Float(f) => format!("{f}"),
+        Lit::Str(s) => format!("{s:?}"),
+    }
+}
+
+// ---- omission operators ----------------------------------------------------
+
+/// MFC — missing function call.
+struct Mfc;
+
+impl FaultOperator for Mfc {
+    fn name(&self) -> &'static str {
+        "MFC"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "remove a function-call statement (missing function call)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| call_stmt_name(s))
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        remove_stmt(module, site.stmt_id)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "remove the call to {} so its side effects never happen",
+            site.detail
+        )
+    }
+}
+
+/// MIA — missing if construct around statements.
+struct Mia;
+
+impl FaultOperator for Mia {
+    fn name(&self) -> &'static str {
+        "MIA"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "remove an if guard, unconditionally executing its body"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::If { orelse, cond, .. } if orelse.is_empty() => {
+                Some(nfi_pylite::print_expr(cond))
+            }
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        let mut body = None;
+        module.walk_stmts(&mut |s| {
+            if s.id == site.stmt_id {
+                if let StmtKind::If { then, .. } = &s.kind {
+                    body = Some(then.clone());
+                }
+            }
+        });
+        splice_stmt(module, site.stmt_id, body?)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "drop the guard `if {}` so the guarded code always runs",
+            site.detail
+        )
+    }
+}
+
+/// MIEB — missing else branch.
+struct Mieb;
+
+impl FaultOperator for Mieb {
+    fn name(&self) -> &'static str {
+        "MIEB"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "remove the else branch of a conditional"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::If { orelse, .. } if !orelse.is_empty() => Some(format!(
+                "{} statement(s) in the else branch",
+                orelse.len()
+            )),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::If { orelse, .. } = &mut s.kind {
+                if !orelse.is_empty() {
+                    orelse.clear();
+                    return true;
+                }
+            }
+            false
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("remove the else branch ({})", site.detail)
+    }
+}
+
+/// MVIV — missing variable initialization with a value.
+struct Mviv;
+
+impl FaultOperator for Mviv {
+    fn name(&self) -> &'static str {
+        "MVIV"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "remove a constant variable initialization"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Assign {
+                target: nfi_pylite::ast::Target::Name(n),
+                value,
+            } if matches!(value.kind, ExprKind::Const(_)) => Some(n.clone()),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        remove_stmt(module, site.stmt_id)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("remove the initialization of variable `{}`", site.detail)
+    }
+}
+
+/// MLPA — missing small part of the algorithm (an update statement).
+struct Mlpa;
+
+impl FaultOperator for Mlpa {
+    fn name(&self) -> &'static str {
+        "MLPA"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "remove an augmented-assignment update step"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::AugAssign { target, .. } => match target {
+                nfi_pylite::ast::Target::Name(n) => Some(n.clone()),
+                _ => Some("<subscript>".to_string()),
+            },
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        remove_stmt(module, site.stmt_id)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("skip the update of `{}` (missing algorithm step)", site.detail)
+    }
+}
+
+/// MRS — missing return statement.
+struct Mrs;
+
+impl FaultOperator for Mrs {
+    fn name(&self) -> &'static str {
+        "MRS"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Omission
+    }
+    fn doc(&self) -> &'static str {
+        "drop a return value (function silently returns None)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Return(Some(e)) => Some(nfi_pylite::print_expr(e)),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        splice_stmt(module, site.stmt_id, vec![build::return_(None)])
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("return None instead of `{}`", site.detail)
+    }
+}
+
+// ---- wrong-value operators ---------------------------------------------------
+
+/// WVAV — wrong value assigned to a variable.
+struct Wvav;
+
+impl FaultOperator for Wvav {
+    fn name(&self) -> &'static str {
+        "WVAV"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::WrongValue
+    }
+    fn doc(&self) -> &'static str {
+        "perturb a constant on the right-hand side of an assignment"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Assign { value, .. } => first_perturbable(value).map(|l| lit_repr(&l)),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::Assign { value, .. } = &mut s.kind {
+                perturb_first_const(value)
+            } else {
+                false
+            }
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("assign a wrong value (perturbing constant {})", site.detail)
+    }
+}
+
+fn first_perturbable(e: &Expr) -> Option<Lit> {
+    let mut found = None;
+    nfi_pylite::analysis::visit_expr(e, &mut |x| {
+        if found.is_some() {
+            return;
+        }
+        if let ExprKind::Const(lit) = &x.kind {
+            if perturb_lit(lit).is_some() {
+                found = Some(lit.clone());
+            }
+        }
+    });
+    found
+}
+
+fn perturb_first_const(e: &mut Expr) -> bool {
+    let mut done = false;
+    nfi_pylite::analysis::visit_expr_mut(e, &mut |x| {
+        if done {
+            return;
+        }
+        if let ExprKind::Const(lit) = &mut x.kind {
+            if let Some(new) = perturb_lit(lit) {
+                *lit = new;
+                done = true;
+            }
+        }
+    });
+    done
+}
+
+/// WAEP — wrong arithmetic operator in an expression.
+struct Waep;
+
+fn swap_binop(op: nfi_pylite::ast::BinOp) -> nfi_pylite::ast::BinOp {
+    use nfi_pylite::ast::BinOp::*;
+    match op {
+        Add => Sub,
+        Sub => Add,
+        Mul => Add,
+        Div => Mul,
+        FloorDiv => Div,
+        Mod => FloorDiv,
+        Pow => Mul,
+    }
+}
+
+impl FaultOperator for Waep {
+    fn name(&self) -> &'static str {
+        "WAEP"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::WrongValue
+    }
+    fn doc(&self) -> &'static str {
+        "replace an arithmetic operator with a neighbouring one"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            let mut found = None;
+            visit_exprs_stmt(s, &mut |e| {
+                if found.is_some() {
+                    return;
+                }
+                if let ExprKind::Bin { op, .. } = &e.kind {
+                    found = Some(format!("{} -> {}", op.symbol(), swap_binop(*op).symbol()));
+                }
+            });
+            found
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            let mut done = false;
+            visit_exprs_stmt_mut(s, &mut |e| {
+                if done {
+                    return;
+                }
+                if let ExprKind::Bin { op, .. } = &mut e.kind {
+                    *op = swap_binop(*op);
+                    done = true;
+                }
+            });
+            done
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("use the wrong arithmetic operator ({})", site.detail)
+    }
+}
+
+/// WLEC — wrong logical expression in a condition (negation).
+struct Wlec;
+
+impl FaultOperator for Wlec {
+    fn name(&self) -> &'static str {
+        "WLEC"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::WrongValue
+    }
+    fn doc(&self) -> &'static str {
+        "negate a branch or loop condition"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::If { cond, .. } => Some(nfi_pylite::print_expr(cond)),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::If { cond, .. } = &mut s.kind {
+                let old = cond.clone();
+                *cond = build::not(old);
+                true
+            } else {
+                false
+            }
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("invert the condition `{}`", site.detail)
+    }
+}
+
+/// OBOE — off-by-one boundary in a comparison.
+struct Oboe;
+
+impl FaultOperator for Oboe {
+    fn name(&self) -> &'static str {
+        "OBOE"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::WrongValue
+    }
+    fn doc(&self) -> &'static str {
+        "relax or tighten a comparison boundary (< vs <=)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        use nfi_pylite::ast::CmpOp;
+        scan_sites(module, &mut |s| {
+            let relevant = matches!(
+                s.kind,
+                StmtKind::If { .. } | StmtKind::While { .. } | StmtKind::Return(_)
+            );
+            if !relevant {
+                return None;
+            }
+            let mut found = None;
+            visit_exprs_stmt(s, &mut |e| {
+                if found.is_some() {
+                    return;
+                }
+                if let ExprKind::Cmp { op, .. } = &e.kind {
+                    if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                        found = Some(format!("{} -> {}", op.symbol(), op.relax().symbol()));
+                    }
+                }
+            });
+            found
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        use nfi_pylite::ast::CmpOp;
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            let mut done = false;
+            visit_exprs_stmt_mut(s, &mut |e| {
+                if done {
+                    return;
+                }
+                if let ExprKind::Cmp { op, .. } = &mut e.kind {
+                    if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                        *op = op.relax();
+                        done = true;
+                    }
+                }
+            });
+            done
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("introduce an off-by-one boundary ({})", site.detail)
+    }
+}
+
+// ---- interface operators -----------------------------------------------------
+
+/// WPFV — wrong parameter value passed to a call.
+struct Wpfv;
+
+impl FaultOperator for Wpfv {
+    fn name(&self) -> &'static str {
+        "WPFV"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Interface
+    }
+    fn doc(&self) -> &'static str {
+        "perturb a constant argument of a call"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            let mut found = None;
+            visit_exprs_stmt(s, &mut |e| {
+                if found.is_some() {
+                    return;
+                }
+                let args = match &e.kind {
+                    ExprKind::Call { args, .. } => args,
+                    ExprKind::MethodCall { args, .. } => args,
+                    _ => return,
+                };
+                for a in args {
+                    if let ExprKind::Const(lit) = &a.kind {
+                        if perturb_lit(lit).is_some() {
+                            found = Some(lit_repr(lit));
+                            return;
+                        }
+                    }
+                }
+            });
+            found
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            let mut done = false;
+            visit_exprs_stmt_mut(s, &mut |e| {
+                if done {
+                    return;
+                }
+                let args = match &mut e.kind {
+                    ExprKind::Call { args, .. } => args,
+                    ExprKind::MethodCall { args, .. } => args,
+                    _ => return,
+                };
+                for a in args {
+                    if let ExprKind::Const(lit) = &mut a.kind {
+                        if let Some(new) = perturb_lit(lit) {
+                            *lit = new;
+                            done = true;
+                            return;
+                        }
+                    }
+                }
+            });
+            done
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("pass a wrong argument value (perturbing {})", site.detail)
+    }
+}
+
+/// SDC — spurious duplicated call.
+struct Sdc;
+
+impl FaultOperator for Sdc {
+    fn name(&self) -> &'static str {
+        "SDC"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Interface
+    }
+    fn doc(&self) -> &'static str {
+        "duplicate a call statement (double-submit / double-charge)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| call_stmt_name(s))
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        let mut original = None;
+        module.walk_stmts(&mut |s| {
+            if s.id == site.stmt_id {
+                original = Some(s.clone());
+            }
+        });
+        let stmt = original?;
+        insert_before(module, site.stmt_id, stmt)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("call {} twice instead of once", site.detail)
+    }
+}
+
+// ---- exception-handling operators ---------------------------------------------
+
+/// EHS — exception handler swallowed (recovery logic removed).
+struct Ehs;
+
+impl FaultOperator for Ehs {
+    fn name(&self) -> &'static str {
+        "EHS"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::ExceptionHandling
+    }
+    fn doc(&self) -> &'static str {
+        "replace an except-handler body with pass (swallow the error)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Try { handlers, .. } => handlers
+                .iter()
+                .find(|h| !matches!(h.body.as_slice(), [one] if one.kind == StmtKind::Pass))
+                .map(|h| h.kind.clone().unwrap_or_else(|| "Exception".to_string())),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::Try { handlers, .. } = &mut s.kind {
+                for h in handlers.iter_mut() {
+                    if !matches!(h.body.as_slice(), [one] if one.kind == StmtKind::Pass) {
+                        h.body = vec![build::pass()];
+                        h.bind = None;
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "swallow {} exceptions without any recovery logic",
+            site.detail
+        )
+    }
+}
+
+/// EHW — wrong exception kind caught.
+struct Ehw;
+
+impl FaultOperator for Ehw {
+    fn name(&self) -> &'static str {
+        "EHW"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::ExceptionHandling
+    }
+    fn doc(&self) -> &'static str {
+        "catch the wrong exception kind"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Try { handlers, .. } => handlers
+                .iter()
+                .find_map(|h| h.kind.clone())
+                .map(|k| k.to_string()),
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::Try { handlers, .. } = &mut s.kind {
+                for h in handlers.iter_mut() {
+                    if let Some(kind) = &h.kind {
+                        let replacement = if kind == "KeyError" {
+                            "IndexError"
+                        } else {
+                            "KeyError"
+                        };
+                        h.kind = Some(replacement.to_string());
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "catch the wrong exception kind instead of {}",
+            site.detail
+        )
+    }
+}
+
+/// DFR — dependency failure raise (spurious TimeoutError at entry).
+struct Dfr;
+
+impl FaultOperator for Dfr {
+    fn name(&self) -> &'static str {
+        "DFR"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::ExceptionHandling
+    }
+    fn doc(&self) -> &'static str {
+        "raise TimeoutError at function entry (failing dependency)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        module
+            .body
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Def { name, .. } if !name.starts_with("test_") => Some(Site {
+                    stmt_id: s.id,
+                    function: Some(name.clone()),
+                    line: s.span.line,
+                    detail: name.clone(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            if let StmtKind::Def { body, .. } = &mut s.kind {
+                body.insert(
+                    0,
+                    build::raise("TimeoutError", "injected dependency timeout"),
+                );
+                true
+            } else {
+                false
+            }
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "make {} fail with a TimeoutError as if a dependency timed out",
+            site.detail
+        )
+    }
+}
+
+// ---- concurrency operators -----------------------------------------------------
+
+fn lock_calls_in_function(module: &Module, function: &str, method: &str) -> Vec<(NodeId, String)> {
+    let mut out = Vec::new();
+    walk_fn_ctx(&module.body, None, &mut |s, func| {
+        if func != Some(function) {
+            return;
+        }
+        if let Some((obj, m)) = method_call_stmt(s) {
+            if m == method {
+                out.push((s.id, obj));
+            }
+        }
+    });
+    out
+}
+
+/// LRA — lock removal (acquire *and* release), opening a race window.
+struct Lra;
+
+impl FaultOperator for Lra {
+    fn name(&self) -> &'static str {
+        "LRA"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Concurrency
+    }
+    fn doc(&self) -> &'static str {
+        "remove a lock acquire/release pair (race condition)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            method_call_stmt(s)
+                .filter(|(_, m)| m == "acquire")
+                .map(|(obj, _)| obj)
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        let function = site.function.clone()?;
+        let lock_name = site.detail.clone();
+        // Remove the acquire at the site plus every release of the same
+        // lock in the same function (including those in finally blocks).
+        let releases = lock_calls_in_function(module, &function, "release");
+        let mut m = remove_stmt(module, site.stmt_id)?;
+        // Ids were renumbered; rescan for matching releases by shape.
+        let _ = releases;
+        loop {
+            let next = {
+                let mut found = None;
+                walk_fn_ctx(&m.body, None, &mut |s, func| {
+                    if found.is_some() || func != Some(function.as_str()) {
+                        return;
+                    }
+                    if let Some((obj, method)) = method_call_stmt(s) {
+                        if method == "release" && obj == lock_name {
+                            found = Some(s.id);
+                        }
+                    }
+                });
+                found
+            };
+            match next {
+                Some(id) => m = remove_stmt(&m, id)?,
+                None => break,
+            }
+        }
+        Some(m)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "access shared state without acquiring lock `{}` (race window)",
+            site.detail
+        )
+    }
+}
+
+/// LRM — lock release missing (deadlock under contention).
+struct Lrm;
+
+impl FaultOperator for Lrm {
+    fn name(&self) -> &'static str {
+        "LRM"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Concurrency
+    }
+    fn doc(&self) -> &'static str {
+        "remove a lock release (deadlock under contention)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            method_call_stmt(s)
+                .filter(|(_, m)| m == "release")
+                .map(|(obj, _)| obj)
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        remove_stmt(module, site.stmt_id)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("never release lock `{}` after acquiring it", site.detail)
+    }
+}
+
+// ---- resource operators ----------------------------------------------------------
+
+/// RLK — resource leak (missing close).
+struct Rlk;
+
+impl FaultOperator for Rlk {
+    fn name(&self) -> &'static str {
+        "RLK"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::ResourceLeak
+    }
+    fn doc(&self) -> &'static str {
+        "remove a handle close() call (resource leak)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            method_call_stmt(s)
+                .filter(|(_, m)| m == "close")
+                .map(|(obj, _)| obj)
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        remove_stmt(module, site.stmt_id)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("leak the resource `{}` by never closing it", site.detail)
+    }
+}
+
+// ---- buffer operators -------------------------------------------------------------
+
+/// BCS — buffer capacity shrink.
+struct Bcs;
+
+impl FaultOperator for Bcs {
+    fn name(&self) -> &'static str {
+        "BCS"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::BufferOverflow
+    }
+    fn doc(&self) -> &'static str {
+        "allocate a buffer smaller than intended"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            let mut found = None;
+            visit_exprs_stmt(s, &mut |e| {
+                if found.is_some() {
+                    return;
+                }
+                if let ExprKind::Call { func, args } = &e.kind {
+                    if matches!(&func.kind, ExprKind::Name(n) if n == "make_buffer") {
+                        if let Some(Expr {
+                            kind: ExprKind::Const(Lit::Int(n)),
+                            ..
+                        }) = args.first()
+                        {
+                            if *n > 1 {
+                                found = Some(n.to_string());
+                            }
+                        }
+                    }
+                }
+            });
+            found
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            let mut done = false;
+            visit_exprs_stmt_mut(s, &mut |e| {
+                if done {
+                    return;
+                }
+                if let ExprKind::Call { func, args } = &mut e.kind {
+                    if matches!(&func.kind, ExprKind::Name(n) if n == "make_buffer") {
+                        if let Some(arg) = args.first_mut() {
+                            if let ExprKind::Const(Lit::Int(n)) = &mut arg.kind {
+                                if *n > 1 {
+                                    *n /= 2;
+                                    done = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            done
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "allocate the buffer with half its intended capacity ({})",
+            site.detail
+        )
+    }
+}
+
+/// BWO — buffer write without bounds check (guard removal).
+struct Bwo;
+
+impl FaultOperator for Bwo {
+    fn name(&self) -> &'static str {
+        "BWO"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::BufferOverflow
+    }
+    fn doc(&self) -> &'static str {
+        "remove a capacity/size guard around buffer writes"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            if let StmtKind::If { cond, .. } = &s.kind {
+                let mut mentions = false;
+                nfi_pylite::analysis::visit_expr(cond, &mut |e| {
+                    if let ExprKind::MethodCall { name, .. } = &e.kind {
+                        if name == "capacity" || name == "size" {
+                            mentions = true;
+                        }
+                    }
+                });
+                if mentions {
+                    return Some(nfi_pylite::print_expr(cond));
+                }
+            }
+            None
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        let mut body = None;
+        module.walk_stmts(&mut |s| {
+            if s.id == site.stmt_id {
+                if let StmtKind::If { then, orelse, .. } = &s.kind {
+                    let mut all = then.clone();
+                    all.extend(orelse.iter().cloned());
+                    body = Some(all);
+                }
+            }
+        });
+        splice_stmt(module, site.stmt_id, body?)
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "write to the buffer without checking `{}` (bounds check removed)",
+            site.detail
+        )
+    }
+}
+
+// ---- timing operators ---------------------------------------------------------------
+
+/// TDL — timing delay inserted before a call.
+struct Tdl;
+
+impl FaultOperator for Tdl {
+    fn name(&self) -> &'static str {
+        "TDL"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Timing
+    }
+    fn doc(&self) -> &'static str {
+        "insert a long delay before a call (slow dependency)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| match &s.kind {
+            StmtKind::Expr(_) => call_stmt_name(s),
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Call { func, .. } => match &func.kind {
+                    ExprKind::Name(n) => Some(n.clone()),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        insert_before(
+            module,
+            site.stmt_id,
+            build::expr_stmt(build::call("sleep", vec![build::float(60.0)])),
+        )
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!("delay 60 seconds before calling {}", site.detail)
+    }
+}
+
+/// STL — stretched sleep (existing delay multiplied).
+struct Stl;
+
+impl FaultOperator for Stl {
+    fn name(&self) -> &'static str {
+        "STL"
+    }
+    fn class(&self) -> FaultClass {
+        FaultClass::Timing
+    }
+    fn doc(&self) -> &'static str {
+        "multiply an existing sleep duration by 100 (stalled dependency)"
+    }
+    fn find_sites(&self, module: &Module) -> Vec<Site> {
+        scan_sites(module, &mut |s| {
+            let mut found = None;
+            visit_exprs_stmt(s, &mut |e| {
+                if found.is_some() {
+                    return;
+                }
+                if let ExprKind::Call { func, args } = &e.kind {
+                    if matches!(&func.kind, ExprKind::Name(n) if n == "sleep") {
+                        if let Some(Expr {
+                            kind: ExprKind::Const(lit),
+                            ..
+                        }) = args.first()
+                        {
+                            found = Some(lit_repr(lit));
+                        }
+                    }
+                }
+            });
+            found
+        })
+    }
+    fn apply(&self, module: &Module, site: &Site) -> Option<Module> {
+        modify_stmt(module, site.stmt_id, &mut |s| {
+            let mut done = false;
+            visit_exprs_stmt_mut(s, &mut |e| {
+                if done {
+                    return;
+                }
+                if let ExprKind::Call { func, args } = &mut e.kind {
+                    if matches!(&func.kind, ExprKind::Name(n) if n == "sleep") {
+                        if let Some(arg) = args.first_mut() {
+                            match &mut arg.kind {
+                                ExprKind::Const(Lit::Int(n)) => {
+                                    *n *= 100;
+                                    done = true;
+                                }
+                                ExprKind::Const(Lit::Float(f)) => {
+                                    *f *= 100.0;
+                                    done = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            });
+            done
+        })
+    }
+    fn describe(&self, site: &Site) -> String {
+        format!(
+            "stretch the sleep of {} seconds by 100x (stalled dependency)",
+            site.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::{parse, print_module};
+
+    const SRC: &str = "\
+limit = 10
+def guard(x):
+    if x > limit:
+        raise ValueError(\"too big\")
+    return x
+
+def work(items):
+    total = 0
+    for item in items:
+        total += guard(item)
+    log(total)
+    return total
+";
+
+    fn module() -> Module {
+        parse(SRC).unwrap()
+    }
+
+    fn apply_first(op: &dyn FaultOperator, m: &Module) -> Module {
+        let sites = op.find_sites(m);
+        assert!(!sites.is_empty(), "{} found no sites", op.name());
+        op.apply(m, &sites[0]).expect("apply succeeds")
+    }
+
+    #[test]
+    fn every_applied_mutation_reparses() {
+        let m = module();
+        for op in registry() {
+            for site in op.find_sites(&m) {
+                if let Some(mutated) = op.apply(&m, &site) {
+                    let printed = print_module(&mutated);
+                    parse(&printed).unwrap_or_else(|e| {
+                        panic!("{} at {:?} produced unparseable code: {e}\n{printed}",
+                            op.name(), site)
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_actually_change_the_module() {
+        let m = module();
+        for op in registry() {
+            for site in op.find_sites(&m) {
+                if let Some(mutated) = op.apply(&m, &site) {
+                    assert_ne!(
+                        print_module(&m),
+                        print_module(&mutated),
+                        "{} produced an identical module",
+                        op.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mfc_removes_call() {
+        let m = module();
+        let mutated = apply_first(&Mfc, &m);
+        assert!(!print_module(&mutated).contains("log(total)"));
+    }
+
+    #[test]
+    fn mia_unconditionally_raises() {
+        let m = module();
+        let mutated = apply_first(&Mia, &m);
+        let printed = print_module(&mutated);
+        assert!(!printed.contains("if x > limit"));
+        assert!(printed.contains("raise ValueError"));
+    }
+
+    #[test]
+    fn wlec_negates_condition() {
+        let m = module();
+        let mutated = apply_first(&Wlec, &m);
+        // `not` binds looser than the comparison, so no parens are needed.
+        assert!(print_module(&mutated).contains("if not x > limit:"));
+    }
+
+    #[test]
+    fn oboe_relaxes_comparison() {
+        let m = module();
+        let mutated = apply_first(&Oboe, &m);
+        assert!(print_module(&mutated).contains("x >= limit"));
+    }
+
+    #[test]
+    fn mviv_removes_initialization() {
+        let m = module();
+        let mutated = apply_first(&Mviv, &m);
+        assert!(!print_module(&mutated).contains("limit = 10"));
+    }
+
+    #[test]
+    fn mrs_returns_none() {
+        let m = module();
+        let sites = Mrs.find_sites(&m);
+        assert_eq!(sites.len(), 2);
+        let mutated = Mrs.apply(&m, &sites[0]).unwrap();
+        let printed = print_module(&mutated);
+        assert!(printed.contains("return\n"), "{printed}");
+    }
+
+    #[test]
+    fn sdc_duplicates_call() {
+        let m = module();
+        let mutated = apply_first(&Sdc, &m);
+        let printed = print_module(&mutated);
+        assert_eq!(printed.matches("log(total)").count(), 2);
+    }
+
+    #[test]
+    fn dfr_raises_at_entry() {
+        let m = module();
+        let sites = Dfr.find_sites(&m);
+        assert_eq!(sites.len(), 2, "one per non-test function");
+        let mutated = Dfr.apply(&m, &sites[0]).unwrap();
+        let printed = print_module(&mutated);
+        assert!(printed.contains("raise TimeoutError(\"injected dependency timeout\")"));
+    }
+
+    #[test]
+    fn exception_operators_on_try_blocks() {
+        let src = "\
+def fetch(k, d):
+    try:
+        return d[k]
+    except KeyError as e:
+        log(e)
+        return None
+";
+        let m = parse(src).unwrap();
+        let swallowed = apply_first(&Ehs, &m);
+        let printed = print_module(&swallowed);
+        assert!(!printed.contains("log(e)"));
+        assert!(printed.contains("pass"));
+
+        let wrong = apply_first(&Ehw, &m);
+        assert!(print_module(&wrong).contains("except IndexError"));
+    }
+
+    #[test]
+    fn lock_operators_strip_synchronization() {
+        let p = nfi_corpus_like_locked_source();
+        let m = parse(&p).unwrap();
+        let sites = Lra.find_sites(&m);
+        assert_eq!(sites.len(), 1);
+        let mutated = Lra.apply(&m, &sites[0]).unwrap();
+        let printed = print_module(&mutated);
+        assert!(!printed.contains("m.acquire()"), "{printed}");
+        assert!(!printed.contains("m.release()"), "{printed}");
+
+        let rel_sites = Lrm.find_sites(&m);
+        assert_eq!(rel_sites.len(), 1);
+        let mutated = Lrm.apply(&m, &rel_sites[0]).unwrap();
+        let printed = print_module(&mutated);
+        assert!(printed.contains("m.acquire()"));
+        assert!(!printed.contains("m.release()"));
+    }
+
+    fn nfi_corpus_like_locked_source() -> String {
+        "m = lock()\ncounter = 0\ndef bump():\n    global counter\n    m.acquire()\n    counter = counter + 1\n    m.release()\n".to_string()
+    }
+
+    #[test]
+    fn rlk_removes_close() {
+        let src = "def save(x):\n    h = open_handle(\"f\")\n    h.write(x)\n    h.close()\n";
+        let m = parse(src).unwrap();
+        let mutated = apply_first(&Rlk, &m);
+        assert!(!print_module(&mutated).contains("h.close()"));
+    }
+
+    #[test]
+    fn buffer_operators() {
+        let src = "b = make_buffer(8)\ndef put(v):\n    if b.size() < b.capacity():\n        b.append(v)\n";
+        let m = parse(src).unwrap();
+        let shrunk = apply_first(&Bcs, &m);
+        assert!(print_module(&shrunk).contains("make_buffer(4)"));
+        let unguarded = apply_first(&Bwo, &m);
+        let printed = print_module(&unguarded);
+        assert!(!printed.contains("if b.size()"), "{printed}");
+        assert!(printed.contains("b.append(v)"));
+    }
+
+    #[test]
+    fn timing_operators() {
+        let src = "def fetch():\n    sleep(0.1)\n    return query()\ndef top():\n    r = fetch()\n    return r\n";
+        let m = parse(src).unwrap();
+        let delayed = apply_first(&Tdl, &m);
+        assert!(print_module(&delayed).contains("sleep(60.0)"));
+        let stretched = apply_first(&Stl, &m);
+        assert!(print_module(&stretched).contains("sleep(10.0)"));
+    }
+
+    #[test]
+    fn sites_in_test_functions_are_skipped() {
+        let src = "def test_x():\n    helper(1)\ndef helper(v):\n    log(v)\n";
+        let m = parse(src).unwrap();
+        let sites = Mfc.find_sites(&m);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].function.as_deref(), Some("helper"));
+    }
+
+    #[test]
+    fn apply_with_stale_site_returns_none() {
+        let m = module();
+        let site = Site {
+            stmt_id: NodeId(9999),
+            function: None,
+            line: 0,
+            detail: String::new(),
+        };
+        assert!(Mfc.apply(&m, &site).is_none());
+        assert!(Wvav.apply(&m, &site).is_none());
+    }
+
+    #[test]
+    fn describe_mentions_detail() {
+        let m = module();
+        for op in registry() {
+            for site in op.find_sites(&m).into_iter().take(1) {
+                let d = op.describe(&site);
+                assert!(!d.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The comparative analysis the paper's §V promises: coverage, effort,
+//! and representativeness of neural vs. conventional fault injection
+//! (experiments E2/E3/E4 in one binary).
+//!
+//! Run with: `cargo run --release --example comparative_study`
+
+use nfi_bench::experiments::{
+    e2_table, e3_table, e4_table, run_e2, run_e3, run_e4,
+};
+use nfi_bench::render_table;
+
+fn main() {
+    let rows = run_e2(32);
+    let (headers, data) = e2_table(&rows);
+    println!("{}", render_table("coverage (E2)", &headers, &data));
+
+    let rows = run_e3(16, 6);
+    let (headers, data) = e3_table(&rows);
+    println!("{}", render_table("tester effort (E3)", &headers, &data));
+
+    let rows = run_e4(200, 9);
+    let (headers, data) = e4_table(&rows);
+    println!("{}", render_table("representativeness (E4)", &headers, &data));
+}

@@ -1,0 +1,45 @@
+//! The paper's running example (§III-A), end to end.
+//!
+//! A tester wants `process_transaction` to fail with a database timeout.
+//! Round 1 generates a caught-but-mishandled TimeoutError; the tester
+//! answers "introduce a retry mechanism instead of just logging the
+//! error"; round 2 produces the retry variant — exactly the interaction
+//! the paper walks through.
+//!
+//! Run with: `cargo run --example ecommerce_timeout`
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+use neural_fault_injection::core::session::run_session;
+use neural_fault_injection::rlhf::{SimulatedTester, TargetProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = neural_fault_injection::corpus::by_name("ecommerce").expect("corpus");
+    let module = program.module()?;
+
+    let description = "Simulate a scenario where a database transaction fails due to a \
+                       timeout, causing an unhandled exception within the process \
+                       transaction function.";
+
+    println!("tester: {description}\n");
+
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 42);
+    tester.noise = 0.0;
+
+    let result = run_session(&mut injector, description, &module, &tester, 8)?;
+    for round in &result.rounds {
+        println!("=== round {} — pattern {} ===", round.round + 1, round.fault.pattern);
+        println!("{}", round.fault.snippet);
+        println!("rating: {:.1}  accepted: {}", round.feedback.rating, round.feedback.accepted);
+        if let Some(critique) = &round.feedback.critique {
+            println!("tester: \"{critique}\"");
+        }
+        println!();
+    }
+    println!(
+        "session {} after {} round(s)",
+        if result.accepted { "converged" } else { "hit the round budget" },
+        result.rounds.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: describe a fault in natural language, get executable
+//! faulty code, see how the target's test suite reacts.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "\
+def checkout(cart):
+    total = 0
+    for item in cart:
+        total += item
+    return total
+
+def test_checkout():
+    assert checkout([1, 2, 3]) == 6
+";
+
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let report = injector.inject(
+        "Simulate a database timeout causing an unhandled exception in checkout.",
+        source,
+    )?;
+
+    println!("--- structured fault spec ---");
+    println!("class      : {:?}", report.spec.class);
+    println!("target     : {:?}", report.spec.target_function);
+    println!("exception  : {:?}", report.spec.exception_kind);
+    println!();
+    println!("--- generated faulty code ({} / {}) ---", report.fault.pattern, report.fault.class);
+    println!("{}", report.fault.snippet);
+    println!("rationale  : {}", report.fault.rationale);
+    println!();
+    println!("--- test outcome ---");
+    for t in &report.experiment.tests {
+        println!("{:<20} -> {}", t.name, t.mode);
+    }
+    println!("overall    : {}", report.experiment.overall);
+    println!("activated  : {}", report.experiment.activated);
+    println!("detected   : {}", report.experiment.detected);
+    Ok(())
+}

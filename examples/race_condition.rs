@@ -1,0 +1,39 @@
+//! Injecting the fault the paper's intro dreams about: "introduce a race
+//! condition between processes A and B when condition C is met".
+//!
+//! The conventional predefined fault model cannot express this request
+//! (no concurrency operators); the neural pipeline synthesizes
+//! unsynchronized writers and the PyLite machine's lockset detector
+//! catches the race at test time.
+//!
+//! Run with: `cargo run --example race_condition`
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+use neural_fault_injection::sfi::Campaign;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = neural_fault_injection::corpus::by_name("kvcache").expect("corpus");
+    let module = program.module()?;
+    let description =
+        "Introduce a race condition in cache_put: two concurrent workers update shared \
+         state without holding the lock.";
+
+    // The conventional tool cannot express this scenario.
+    let conventional = Campaign::conventional(&module);
+    let expressible = conventional
+        .plans()
+        .iter()
+        .any(|p| p.class == neural_fault_injection::sfi::FaultClass::Concurrency);
+    println!("conventional predefined model can express it: {expressible}");
+
+    // The neural pipeline can.
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let report = injector.inject_module(description, &module)?;
+    println!("\ngenerated ({} / {}):\n{}", report.fault.pattern, report.fault.class, report.fault.snippet);
+    println!("--- test outcome ---");
+    for t in &report.experiment.tests {
+        println!("{:<28} -> {}", t.name, t.mode);
+    }
+    println!("overall: {}", report.experiment.overall);
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! RLHF fine-tuning in action: the tester's hidden preferences shape the
+//! generator over feedback iterations (experiment E1 in miniature).
+//!
+//! Run with: `cargo run --example rlhf_training`
+
+use neural_fault_injection::llm::{FaultLlm, LlmConfig};
+use neural_fault_injection::rlhf::{RlhfConfig, RlhfTrainer, SimulatedTester, TargetProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build NL scenarios over a few corpus programs.
+    let mut scenarios = Vec::new();
+    for name in ["ecommerce", "banking", "sessions", "jobqueue"] {
+        let program = neural_fault_injection::corpus::by_name(name).expect("corpus");
+        let module = program.module()?;
+        let target = program.target_functions().into_iter().next().unwrap();
+        let spec = neural_fault_injection::nlp::analyze(
+            &format!("simulate a timeout causing an unhandled exception in {target}"),
+            Some(&module),
+        );
+        scenarios.push((spec, module));
+    }
+
+    let mut llm = FaultLlm::untrained(LlmConfig::default());
+    let tester = SimulatedTester::new(TargetProfile::wants_retry(), 7);
+    let mut trainer = RlhfTrainer::new(RlhfConfig {
+        iterations: 12,
+        ..RlhfConfig::default()
+    });
+    println!("iter  mean_rating  acceptance  mean_reward  reward_acc");
+    for s in trainer.run(&mut llm, &scenarios, &tester) {
+        println!(
+            "{:>4}  {:>11.2}  {:>10.2}  {:>11.2}  {:>10.2}",
+            s.iteration, s.mean_rating, s.acceptance, s.mean_reward, s.reward_accuracy
+        );
+    }
+    println!("\npolicy weights after training: {:?}", llm.policy().weights());
+    Ok(())
+}

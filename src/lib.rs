@@ -1,0 +1,55 @@
+//! # neural-fault-injection
+//!
+//! A full Rust reproduction of **"Neural Fault Injection: Generating
+//! Software Faults from Natural Language"** (Cotroneo & Liguori, DSN
+//! 2024): describe a fault scenario in natural language, get executable
+//! faulty code integrated into the target program, iterate with
+//! reviewer feedback (RLHF), and observe the resulting failure modes.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`pylite`] | mini-Python substrate: parser, printer, deterministic VM with race/leak/overflow/hang detectors |
+//! | [`corpus`] | 12 seed programs with embedded test suites |
+//! | [`sfi`] | programmable fault injection (22 operators) + conventional baseline |
+//! | [`nlp`] | NL fault descriptions → structured `FaultSpec` |
+//! | [`neural`] | from-scratch micro NN library (MLP, n-gram LM, TF-IDF) |
+//! | [`llm`] | retrieval-augmented neural fault generator |
+//! | [`rlhf`] | simulated tester, reward model, policy-gradient trainer |
+//! | [`inject`] | integration + test harness + failure-mode classifier |
+//! | [`dataset`] | SFI-driven fine-tuning dataset factory |
+//! | [`core`] | the end-to-end Fig. 1 pipeline and review session |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+//!
+//! let source = "\
+//! def process_transaction(details):
+//!     return True
+//! def test_ok():
+//!     assert process_transaction({})
+//! ";
+//! let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+//! let report = injector.inject(
+//!     "Simulate a database timeout causing an unhandled exception in \
+//!      the process transaction function.",
+//!     source,
+//! )?;
+//! println!("generated fault:\n{}", report.fault.snippet);
+//! println!("failure mode: {}", report.experiment.overall);
+//! # Ok::<(), neural_fault_injection::core::pipeline::PipelineError>(())
+//! ```
+
+pub use nfi_core as core;
+pub use nfi_corpus as corpus;
+pub use nfi_dataset as dataset;
+pub use nfi_inject as inject;
+pub use nfi_llm as llm;
+pub use nfi_neural as neural;
+pub use nfi_nlp as nlp;
+pub use nfi_pylite as pylite;
+pub use nfi_rlhf as rlhf;
+pub use nfi_sfi as sfi;

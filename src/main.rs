@@ -1,0 +1,361 @@
+//! `nfi` — the neural fault injection command-line tool.
+//!
+//! ```text
+//! nfi corpus list                         list the seed programs
+//! nfi corpus show <name>                  print a seed program
+//! nfi run --file <path>                   run a PyLite file + its test_* suite
+//! nfi inject --program <name> --describe "<fault>"   one-shot injection
+//! nfi session --program <name> --describe "<fault>" [--profile retry|crash] [--rounds N]
+//! nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
+//! nfi experiments [e1|e2|...|e8|all] [--quick]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the offline dependency set has no
+//! CLI crate); every subcommand prints usage on `--help`.
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+use neural_fault_injection::core::session::run_session;
+use neural_fault_injection::inject::run_suite;
+use neural_fault_injection::pylite::MachineConfig;
+use neural_fault_injection::rlhf::{SimulatedTester, TargetProfile};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nfi — neural fault injection (DSN'24 reproduction)
+
+USAGE:
+  nfi corpus list
+  nfi corpus show <name>
+  nfi run --file <path>
+  nfi inject (--program <name> | --file <path>) --describe \"<fault scenario>\"
+  nfi session (--program <name> | --file <path>) --describe \"<fault scenario>\"
+              [--profile retry|crash] [--rounds N]
+  nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
+  nfi explore (--program <name> | --file <path>) --describe \"<fault>\" [--seeds N]
+  nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `args` into positional arguments and `--flag [value]` options.
+fn parse_flags(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .map(String::as_str)
+                .filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    flags.insert(name, v);
+                    i += 2;
+                }
+                None => {
+                    flags.insert(name, "true");
+                    i += 1;
+                }
+            }
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn load_source(flags: &HashMap<&str, &str>) -> Result<String, String> {
+    if let Some(name) = flags.get("program") {
+        let program = neural_fault_injection::corpus::by_name(name)
+            .ok_or_else(|| format!("unknown corpus program `{name}` (try `nfi corpus list`)"))?;
+        Ok(program.source.to_string())
+    } else if let Some(path) = flags.get("file") {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    } else {
+        Err("need --program <name> or --file <path>".to_string())
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".to_string());
+    };
+    let rest = &args[1..];
+    let (positional, flags) = parse_flags(rest);
+    match command.as_str() {
+        "corpus" => cmd_corpus(&positional),
+        "run" => cmd_run(&flags),
+        "inject" => cmd_inject(&flags),
+        "session" => cmd_session(&flags),
+        "dataset" => cmd_dataset(&flags),
+        "explore" => cmd_explore(&flags),
+        "experiments" => cmd_experiments(&positional, &flags),
+        "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_corpus(positional: &[&str]) -> Result<(), String> {
+    match positional {
+        ["list"] | [] => {
+            println!("{:<14} {:<16} tests  description", "name", "domain");
+            for p in neural_fault_injection::corpus::all() {
+                println!(
+                    "{:<14} {:<16} {:<6} {}",
+                    p.name,
+                    p.domain,
+                    p.test_names().len(),
+                    p.description
+                );
+            }
+            Ok(())
+        }
+        ["show", name] => {
+            let p = neural_fault_injection::corpus::by_name(name)
+                .ok_or_else(|| format!("unknown program `{name}`"))?;
+            println!("{}", p.source);
+            Ok(())
+        }
+        _ => Err("usage: nfi corpus [list|show <name>]".to_string()),
+    }
+}
+
+fn cmd_run(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let source = load_source(flags)?;
+    let module = neural_fault_injection::pylite::parse(&source).map_err(|e| e.to_string())?;
+    let report = run_suite(&module, &MachineConfig::default());
+    if report.tests.is_empty() {
+        // No tests: just run the module body.
+        let mut machine =
+            neural_fault_injection::pylite::Machine::new(MachineConfig::default());
+        let out = machine.run_module(&module).map_err(|e| e.to_string())?;
+        print!("{}", out.output);
+        println!("status: {:?}", out.status);
+        return Ok(());
+    }
+    for t in &report.tests {
+        println!(
+            "{:<30} {}",
+            t.name,
+            if t.passed() { "ok" } else { "FAILED" }
+        );
+    }
+    println!("{} passed, {} failed", report.passed(), report.failed());
+    Ok(())
+}
+
+fn cmd_inject(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let source = load_source(flags)?;
+    let description = flags
+        .get("describe")
+        .ok_or("need --describe \"<fault scenario>\"")?;
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let report = injector
+        .inject(description, &source)
+        .map_err(|e| e.to_string())?;
+    println!("spec: class={:?} target={:?} exception={:?}",
+        report.spec.class, report.spec.target_function, report.spec.exception_kind);
+    println!("\npattern: {} ({} candidates considered)", report.fault.pattern, report.fault.n_candidates);
+    println!("rationale: {}\n", report.fault.rationale);
+    println!("{}", report.fault.snippet);
+    println!("--- test outcome ---");
+    for t in &report.experiment.tests {
+        println!("{:<30} -> {}", t.name, t.mode);
+    }
+    println!(
+        "overall: {}  activated: {}  detected: {}",
+        report.experiment.overall, report.experiment.activated, report.experiment.detected
+    );
+    Ok(())
+}
+
+fn cmd_session(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let source = load_source(flags)?;
+    let description = flags
+        .get("describe")
+        .ok_or("need --describe \"<fault scenario>\"")?;
+    let rounds: usize = flags
+        .get("rounds")
+        .map(|v| v.parse().map_err(|_| "bad --rounds"))
+        .transpose()?
+        .unwrap_or(6);
+    let profile = match flags.get("profile").copied().unwrap_or("retry") {
+        "retry" => TargetProfile::wants_retry(),
+        "crash" => TargetProfile::wants_crashes(),
+        other => return Err(format!("unknown profile `{other}` (retry|crash)")),
+    };
+    let module = neural_fault_injection::pylite::parse(&source).map_err(|e| e.to_string())?;
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let mut tester = SimulatedTester::new(profile, 42);
+    tester.noise = 0.0;
+    let result =
+        run_session(&mut injector, description, &module, &tester, rounds).map_err(|e| e.to_string())?;
+    for round in &result.rounds {
+        println!("=== round {} — {} ===", round.round + 1, round.fault.pattern);
+        println!("{}", round.fault.snippet);
+        println!(
+            "rating {:.1}  accepted {}",
+            round.feedback.rating, round.feedback.accepted
+        );
+        if let Some(c) = &round.feedback.critique {
+            println!("tester: \"{c}\"");
+        }
+        println!();
+    }
+    println!(
+        "{} after {} round(s)",
+        if result.accepted { "accepted" } else { "not accepted" },
+        result.rounds.len()
+    );
+    Ok(())
+}
+
+fn cmd_dataset(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let cap: usize = flags
+        .get("cap")
+        .map(|v| v.parse().map_err(|_| "bad --cap"))
+        .transpose()?
+        .unwrap_or(60);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(7);
+    let mut ds = neural_fault_injection::dataset::generate(
+        neural_fault_injection::corpus::all(),
+        &neural_fault_injection::dataset::DatasetConfig {
+            per_program_cap: cap,
+            seed,
+        },
+    );
+    if flags.contains_key("incidents") {
+        for p in neural_fault_injection::corpus::all() {
+            ds.records
+                .extend(neural_fault_injection::dataset::incidents::incident_training_records(p));
+        }
+    }
+    println!("generated {} records", ds.records.len());
+    for (class, count) in ds.class_counts() {
+        println!("  {class:<20} {count}");
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(
+            path,
+            neural_fault_injection::dataset::jsonl::encode_all(&ds.records),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_explore(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let source = load_source(flags)?;
+    let description = flags
+        .get("describe")
+        .ok_or("need --describe \"<fault scenario>\"")?;
+    let n_seeds: u64 = flags
+        .get("seeds")
+        .map(|v| v.parse().map_err(|_| "bad --seeds"))
+        .transpose()?
+        .unwrap_or(8);
+    let module = neural_fault_injection::pylite::parse(&source).map_err(|e| e.to_string())?;
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let report = injector
+        .inject_module(description, &module)
+        .map_err(|e| e.to_string())?;
+    println!("pattern: {}\n", report.fault.pattern);
+    println!(
+        "{}",
+        neural_fault_injection::inject::render_diff(
+            &neural_fault_injection::pylite::print_module(&module),
+            &neural_fault_injection::pylite::print_module(&report.faulty_module),
+            2,
+        )
+    );
+    let seeds: Vec<u64> = (0..n_seeds).collect();
+    let exploration = neural_fault_injection::inject::explore_schedules(
+        &module,
+        &report.faulty_module,
+        &MachineConfig::default(),
+        &seeds,
+    );
+    println!("--- schedule exploration over {n_seeds} seeds ---");
+    for (seed, mode) in &exploration.per_seed {
+        println!("seed {seed:<3} -> {mode}");
+    }
+    println!(
+        "overall: {}  activation ratio: {:.2}  schedule-sensitive: {}",
+        exploration.overall,
+        exploration.activation_ratio(),
+        exploration.schedule_sensitive()
+    );
+    Ok(())
+}
+
+fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use nfi_bench::experiments::*;
+    use nfi_bench::render_table;
+    let quick = flags.contains_key("quick");
+    let which = positional.first().copied().unwrap_or("all");
+    let want = |name: &str| which == "all" || which == name;
+    if want("e1") {
+        let rows = run_e1(if quick { 8 } else { 24 }, if quick { 6 } else { 12 }, &[1, 2]);
+        let (h, d) = e1_table(&rows);
+        println!("{}", render_table("E1: RLHF alignment", &h, &d));
+    }
+    if want("e2") {
+        let rows = run_e2(if quick { 24 } else { 0 });
+        let (h, d) = e2_table(&rows);
+        println!("{}", render_table("E2: fault-class coverage", &h, &d));
+    }
+    if want("e3") {
+        let rows = run_e3(if quick { 16 } else { 48 }, 6);
+        let (h, d) = e3_table(&rows);
+        println!("{}", render_table("E3: tester effort", &h, &d));
+    }
+    if want("e4") {
+        let rows = run_e4(if quick { 100 } else { 500 }, 9);
+        let (h, d) = e4_table(&rows);
+        println!("{}", render_table("E4: representativeness", &h, &d));
+    }
+    if want("e5") {
+        let funnel = run_e5(if quick { 24 } else { 0 });
+        let (h, d) = e5_table(&funnel);
+        println!("{}", render_table("E5: injection funnel", &h, &d));
+    }
+    if want("e6") {
+        let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 128, 256, 512, 1024] };
+        let rows = run_e6(sizes, if quick { 30 } else { 100 }, 3);
+        let (h, d) = e6_table(&rows);
+        println!("{}", render_table("E6: fine-tuning curve", &h, &d));
+    }
+    if want("e7") {
+        let row = run_e7(if quick { 12 } else { 0 });
+        let (h, d) = e7_table(&row);
+        println!("{}", render_table("E7: throughput", &h, &d));
+    }
+    if want("e8") {
+        let rows = run_e8(if quick { 8 } else { 24 }, if quick { 5 } else { 10 });
+        let (h, d) = e8_table(&rows);
+        println!("{}", render_table("E8: ablations", &h, &d));
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the full Fig. 1 pipeline against real corpus
+//! programs, one scenario per fault class, checking that each class
+//! produces its characteristic failure mode.
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+use neural_fault_injection::inject::FailureMode;
+use neural_fault_injection::llm::{FaultLlm, LlmConfig};
+use neural_fault_injection::pylite::MachineConfig;
+use neural_fault_injection::sfi::FaultClass;
+
+fn machine() -> MachineConfig {
+    MachineConfig {
+        step_budget: 200_000,
+        ..MachineConfig::default()
+    }
+}
+
+/// Generates a fault of the requested class and runs the differential
+/// experiment, returning the overall mode.
+fn inject_class(program: &str, description: &str, class: FaultClass) -> FailureMode {
+    let program = neural_fault_injection::corpus::by_name(program).unwrap();
+    let module = program.module().unwrap();
+    let spec = neural_fault_injection::nlp::analyze(description, Some(&module));
+    let llm = FaultLlm::untrained(LlmConfig::default());
+    let cands = llm.candidates(&spec, &module);
+    let cand = cands
+        .iter()
+        .find(|c| c.class == class)
+        .unwrap_or_else(|| panic!("no {class} candidate for: {description}"));
+    let report =
+        neural_fault_injection::inject::run_experiment(&module, &cand.module, &machine());
+    report.overall
+}
+
+#[test]
+fn timing_crash_fault_manifests_as_crash() {
+    let mode = inject_class(
+        "sessions",
+        "simulate a timeout causing an unhandled exception in create_session",
+        FaultClass::Timing,
+    );
+    // Either the unhandled raise pattern (crash) or the delay pattern
+    // (session-expiry assertion -> wrong output) is a valid timing
+    // manifestation; both must be *observable*.
+    assert_ne!(mode, FailureMode::NoEffect, "timing fault must activate");
+}
+
+#[test]
+fn race_fault_is_detected_as_data_race() {
+    let mode = inject_class(
+        "metrics",
+        "introduce a race condition in record: concurrent workers update shared state without a lock",
+        FaultClass::Concurrency,
+    );
+    assert_eq!(mode, FailureMode::DataRace);
+}
+
+#[test]
+fn leak_fault_is_detected_as_resource_leak() {
+    let mode = inject_class(
+        "textindex",
+        "leak a connection handle in add_document by never closing it",
+        FaultClass::ResourceLeak,
+    );
+    assert_eq!(mode, FailureMode::ResourceLeak);
+}
+
+#[test]
+fn overflow_fault_is_detected() {
+    let mode = inject_class(
+        "orderbook",
+        "write past the buffer capacity bounds inside place_bid, overflowing it",
+        FaultClass::BufferOverflow,
+    );
+    assert!(
+        matches!(mode, FailureMode::CrashUnhandled(_) | FailureMode::BufferOverflow),
+        "got {mode}"
+    );
+}
+
+#[test]
+fn conventional_baseline_cannot_express_complex_classes_anywhere() {
+    for program in neural_fault_injection::corpus::all() {
+        let module = program.module().unwrap();
+        let campaign = neural_fault_injection::sfi::Campaign::conventional(&module);
+        for plan in campaign.plans() {
+            assert!(
+                !matches!(
+                    plan.class,
+                    FaultClass::Concurrency
+                        | FaultClass::Timing
+                        | FaultClass::ResourceLeak
+                        | FaultClass::BufferOverflow
+                ),
+                "{}: conventional plan with complex class {:?}",
+                program.name,
+                plan.class
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_handles_every_corpus_program() {
+    let mut injector = NeuralFaultInjector::new(PipelineConfig {
+        machine: machine(),
+        llm: LlmConfig::default(),
+    });
+    for program in neural_fault_injection::corpus::all() {
+        let target = program
+            .target_functions()
+            .into_iter()
+            .next()
+            .expect("target exists");
+        let report = injector
+            .inject(
+                &format!("simulate a timeout failure with an unhandled exception in {target}"),
+                program.source,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        // The faulty module must still be valid PyLite.
+        let printed = neural_fault_injection::pylite::print_module(&report.faulty_module);
+        neural_fault_injection::pylite::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: faulty module unparseable: {e}", program.name));
+    }
+}
+
+#[test]
+fn fine_tuned_generator_ranks_relevant_records_first() {
+    let ds = neural_fault_injection::dataset::generate(
+        neural_fault_injection::corpus::all(),
+        &neural_fault_injection::dataset::DatasetConfig {
+            per_program_cap: 25,
+            seed: 2,
+        },
+    );
+    let mut llm = FaultLlm::untrained(LlmConfig::default());
+    llm.fine_tune(ds.to_training_records());
+    let hits = llm
+        .corpus()
+        .retrieve("a race condition: shared state updated without acquiring the lock", 5);
+    assert!(!hits.is_empty());
+    assert_eq!(
+        hits[0].0.class,
+        FaultClass::Concurrency,
+        "top hit should be a concurrency record, got {:?}",
+        hits[0].0
+    );
+}

@@ -1,0 +1,278 @@
+//! Property-based tests over the core invariants:
+//!
+//! * print → parse round-trips for arbitrary generated ASTs,
+//! * fault operators always produce printable, reparseable modules,
+//! * JSONL encode/decode round-trips for arbitrary record contents,
+//! * policy distributions are valid probabilities,
+//! * the PyLite machine is deterministic per seed.
+
+use neural_fault_injection::llm::{Candidate, GenParams, Policy, FEATURE_DIM};
+use neural_fault_injection::pylite::ast::{build, BinOp, CmpOp, Expr, Module, Stmt};
+use neural_fault_injection::pylite::{parse, print_module, Machine, MachineConfig};
+use neural_fault_injection::sfi::FaultClass;
+use proptest::prelude::*;
+
+// ---- AST strategies ---------------------------------------------------------
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing.
+    "[a-z][a-z0-9_]{0,4}".prop_map(|s| format!("v_{s}"))
+}
+
+fn lit_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(build::int),
+        (0u32..4000).prop_map(|v| build::float(v as f64 / 4.0)),
+        "[a-zA-Z0-9 _.,!?-]{0,8}".prop_map(|s| build::str_(&s)),
+        any::<bool>().prop_map(build::bool_),
+        Just(build::none()),
+        name_strategy().prop_map(|n| build::name(&n)),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::FloorDiv),
+        Just(BinOp::Mod),
+        Just(BinOp::Pow),
+    ]
+}
+
+fn cmpop_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::In),
+        Just(CmpOp::NotIn),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    lit_expr().prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (binop_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| build::bin(op, l, r)),
+            (cmpop_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| build::cmp(op, l, r)),
+            inner.clone().prop_map(build::not),
+            (name_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| build::call(&f, args)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|items| {
+                build::call("len", vec![Expr::from_items(items)])
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(o, i)| build::index(o, i)),
+            (inner.clone(), name_strategy(), prop::collection::vec(inner, 0..2))
+                .prop_map(|(o, m, args)| build::method(o, &m, args)),
+        ]
+    })
+}
+
+// Helper to build list expressions from items (keeps strategy tidy).
+trait FromItems {
+    fn from_items(items: Vec<Expr>) -> Expr;
+}
+impl FromItems for Expr {
+    fn from_items(items: Vec<Expr>) -> Expr {
+        Expr {
+            id: Default::default(),
+            span: Default::default(),
+            kind: neural_fault_injection::pylite::ast::ExprKind::List(items),
+        }
+    }
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (name_strategy(), expr_strategy()).prop_map(|(n, e)| build::assign(&n, e)),
+        expr_strategy().prop_map(build::expr_stmt),
+        (name_strategy(), binop_strategy(), expr_strategy())
+            .prop_map(|(n, op, e)| build::aug_assign(&n, op, e)),
+        Just(build::pass()),
+        expr_strategy().prop_map(|e| build::return_(Some(e))),
+        Just(build::raise("ValueError", "prop")),
+    ];
+    leaf.prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(inner.clone(), 1..3),
+             prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(c, t, e)| build::if_(c, t, e)),
+            (prop::collection::vec(inner.clone(), 1..3),
+             prop::collection::vec(inner.clone(), 1..2))
+                .prop_map(|(body, h)| build::try_(
+                    body,
+                    vec![build::handler(Some("ValueError"), Some("e"), h)],
+                    vec![],
+                )),
+            (name_strategy(), expr_strategy(), prop::collection::vec(inner, 1..3))
+                .prop_map(|(v, it, body)| build::for_(vec![&v], it, body)),
+        ]
+    })
+}
+
+fn module_strategy() -> impl Strategy<Value = Module> {
+    prop::collection::vec(stmt_strategy(), 1..5).prop_map(|mut body| {
+        // Wrap statements with `return` into a function so they compile.
+        let has_return = |s: &Stmt| {
+            matches!(
+                s.kind,
+                neural_fault_injection::pylite::ast::StmtKind::Return(_)
+            )
+        };
+        let (returns, rest): (Vec<Stmt>, Vec<Stmt>) = body.drain(..).partition(|s| {
+            let mut found = has_return(s);
+            if !found {
+                // Nested returns also need wrapping; conservatively wrap ifs.
+                let mut count = 0;
+                let module = Module { body: vec![s.clone()] };
+                module.walk_stmts(&mut |x| {
+                    if has_return(x) {
+                        count += 1;
+                    }
+                });
+                found = count > 0;
+            }
+            found
+        });
+        let mut out = rest;
+        if !returns.is_empty() {
+            out.push(build::def("v_wrapped", vec![], returns));
+        }
+        if out.is_empty() {
+            out.push(build::pass());
+        }
+        let mut m = Module { body: out };
+        m.renumber();
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_roundtrip(module in module_strategy()) {
+        let printed = print_module(&module);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed module must reparse: {e}\n{printed}"));
+        prop_assert_eq!(&module, &reparsed, "round-trip mismatch:\n{}", printed);
+    }
+
+    #[test]
+    fn printing_is_idempotent(module in module_strategy()) {
+        let once = print_module(&module);
+        let twice = print_module(&parse(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn operators_preserve_parseability(module in module_strategy()) {
+        for op in neural_fault_injection::sfi::registry() {
+            for site in op.find_sites(&module).into_iter().take(2) {
+                if let Some(mutated) = op.apply(&module, &site) {
+                    let printed = print_module(&mutated);
+                    prop_assert!(
+                        parse(&printed).is_ok(),
+                        "{} broke the module:\n{}",
+                        op.name(),
+                        printed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_is_deterministic_per_seed(module in module_strategy(), seed in 0u64..50) {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig {
+                seed,
+                step_budget: 30_000,
+                ..MachineConfig::default()
+            });
+            let out = m.run_module(&module).expect("compiles");
+            (format!("{:?}", out.status), out.output, out.steps)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn jsonl_roundtrip(
+        id in "[a-z0-9:_-]{1,20}",
+        desc in ".{0,60}",
+        before in ".{0,40}",
+        line in 0u32..10_000,
+        has_fn in any::<bool>(),
+    ) {
+        let record = neural_fault_injection::dataset::DatasetRecord {
+            id,
+            program: "p".into(),
+            operator: "MFC".into(),
+            class: FaultClass::Omission,
+            description: desc,
+            function: has_fn.then(|| "f".to_string()),
+            line,
+            code_before: before.clone(),
+            code_after: format!("{before}!"),
+        };
+        let encoded = neural_fault_injection::dataset::jsonl::encode(&record);
+        let decoded = neural_fault_injection::dataset::jsonl::decode(&encoded)
+            .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?;
+        prop_assert_eq!(record, decoded);
+    }
+
+    #[test]
+    fn policy_distribution_is_a_probability(
+        features in prop::collection::vec(
+            prop::collection::vec(-2.0f32..2.0, FEATURE_DIM),
+            1..6,
+        ),
+        temperature in 0.1f32..3.0,
+    ) {
+        let policy = Policy::new(temperature);
+        let cands: Vec<Candidate> = features
+            .into_iter()
+            .map(|f| Candidate {
+                pattern: "p".into(),
+                class: FaultClass::Timing,
+                module: Module::new(),
+                target_function: None,
+                snippet: String::new(),
+                rationale: String::new(),
+                params: GenParams::default(),
+                effect_crash: false,
+                effect_matches_spec: false,
+                trigger_honored: 1.0,
+                features: f,
+            })
+            .collect();
+        let dist = policy.distribution(&cands);
+        let sum: f32 = dist.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
+        prop_assert!(dist.iter().all(|p| *p >= 0.0 && *p <= 1.0));
+    }
+
+    #[test]
+    fn js_distance_is_bounded_and_symmetric(
+        counts_a in prop::collection::vec(0usize..50, 8),
+        counts_b in prop::collection::vec(0usize..50, 8),
+    ) {
+        use std::collections::BTreeMap;
+        let to_counts = |v: &[usize]| -> BTreeMap<FaultClass, usize> {
+            FaultClass::ALL.iter().copied().zip(v.iter().copied()).collect()
+        };
+        let a = neural_fault_injection::core::metrics::distribution(&to_counts(&counts_a));
+        let b = neural_fault_injection::core::metrics::distribution(&to_counts(&counts_b));
+        let d_ab = neural_fault_injection::core::metrics::js_distance(&a, &b);
+        let d_ba = neural_fault_injection::core::metrics::js_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d_ab));
+    }
+}

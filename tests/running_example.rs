@@ -1,0 +1,97 @@
+//! Reproduction of the paper's §III-A running example, end to end:
+//! the `process_transaction` timeout scenario, the first-round
+//! caught-but-mishandled generation, the tester's retry critique, and
+//! the second-round retry generation.
+
+use neural_fault_injection::core::pipeline::{NeuralFaultInjector, PipelineConfig};
+use neural_fault_injection::core::session::run_session;
+use neural_fault_injection::rlhf::{SimulatedTester, TargetProfile};
+
+const DESCRIPTION: &str = "Simulate a scenario where a database transaction fails due to a \
+     timeout, causing an unhandled exception within the process transaction function.";
+
+/// The paper's placeholder target: `process_transaction` with an empty
+/// body.
+const PLACEHOLDER: &str = "def process_transaction(transaction_details):\n    pass\n";
+
+#[test]
+fn spec_extraction_matches_the_paper() {
+    let module = neural_fault_injection::pylite::parse(PLACEHOLDER).unwrap();
+    let spec = neural_fault_injection::nlp::analyze(DESCRIPTION, Some(&module));
+    // §III-B1: "it identifies key components (e.g. 'database service'
+    // and 'timeout' ...)".
+    assert_eq!(spec.target_function.as_deref(), Some("process_transaction"));
+    assert_eq!(spec.exception_kind.as_deref(), Some("TimeoutError"));
+    assert!(spec.keywords.iter().any(|k| k == "database"));
+    assert!(spec.keywords.iter().any(|k| k == "timeout"));
+}
+
+#[test]
+fn first_round_generation_has_the_papers_shape() {
+    let module = neural_fault_injection::pylite::parse(PLACEHOLDER).unwrap();
+    let spec = neural_fault_injection::nlp::analyze(DESCRIPTION, Some(&module));
+    let llm = neural_fault_injection::llm::FaultLlm::untrained(Default::default());
+    let cands = llm.candidates(&spec, &module);
+    let mishandled = cands
+        .iter()
+        .find(|c| c.pattern == "raise_mishandled")
+        .expect("the paper's first-round pattern is synthesized");
+    // The paper's generated snippet: raise TimeoutError("Database
+    // transaction timeout") caught and only printed.
+    assert!(mishandled
+        .snippet
+        .contains("raise TimeoutError(\"Database transaction timeout\")"));
+    assert!(mishandled.snippet.contains("except TimeoutError"));
+    assert!(mishandled.snippet.contains("Transaction failed:"));
+    assert!(
+        !mishandled.snippet.contains("retry"),
+        "first round lacks recovery logic"
+    );
+}
+
+#[test]
+fn full_session_converges_to_the_retry_variant() {
+    let program = neural_fault_injection::corpus::by_name("ecommerce").unwrap();
+    let module = program.module().unwrap();
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 42);
+    tester.noise = 0.0;
+
+    let result = run_session(&mut injector, DESCRIPTION, &module, &tester, 8).unwrap();
+    assert!(result.accepted, "the session must converge");
+    let last = result.final_fault().unwrap();
+    // §III-A second round: "a more sophisticated fault simulation"
+    // containing a retry mechanism.
+    assert!(last.pattern.contains("retry"));
+    assert!(last.snippet.contains("Attempting to retry transaction"));
+
+    // Every rejected round carried an NL critique, and at least one of
+    // them was the retry request.
+    let critiques: Vec<&str> = result
+        .rounds
+        .iter()
+        .filter_map(|r| r.feedback.critique.as_deref())
+        .collect();
+    if result.rounds.len() > 1 {
+        assert!(
+            critiques.iter().any(|c| c.contains("retry")),
+            "critiques: {critiques:?}"
+        );
+    }
+}
+
+#[test]
+fn accepted_fault_integrates_and_activates_on_the_real_program() {
+    let program = neural_fault_injection::corpus::by_name("ecommerce").unwrap();
+    let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
+    let report = injector
+        .inject(DESCRIPTION, program.source)
+        .expect("pipeline runs");
+    // The injected fault must be observable: process_transaction now
+    // misbehaves under at least one embedded test.
+    assert!(
+        report.experiment.activated,
+        "fault {} did not activate: {:?}",
+        report.fault.pattern, report.experiment.overall
+    );
+}
