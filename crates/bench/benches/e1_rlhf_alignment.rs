@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let (headers, data) = e1_table(&rows);
     println!(
         "{}",
-        render_table("E1: RLHF alignment (rating/acceptance vs iteration)", &headers, &data)
+        render_table(
+            "E1: RLHF alignment (rating/acceptance vs iteration)",
+            &headers,
+            &data
+        )
     );
     let mut g = c.benchmark_group("e1");
     g.sample_size(10);

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let (headers, data) = e2_table(&rows);
     println!(
         "{}",
-        render_table("E2: fault-class coverage (neural vs conventional)", &headers, &data)
+        render_table(
+            "E2: fault-class coverage (neural vs conventional)",
+            &headers,
+            &data
+        )
     );
     let mut g = c.benchmark_group("e2");
     g.sample_size(10);

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let (headers, data) = e3_table(&rows);
     println!(
         "{}",
-        render_table("E3: tester effort (interactions per realized fault)", &headers, &data)
+        render_table(
+            "E3: tester effort (interactions per realized fault)",
+            &headers,
+            &data
+        )
     );
     let mut g = c.benchmark_group("e3");
     g.sample_size(10);

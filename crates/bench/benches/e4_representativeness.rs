@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let (headers, data) = e4_table(&rows);
     println!(
         "{}",
-        render_table("E4: representativeness (JS distance to field profile)", &headers, &data)
+        render_table(
+            "E4: representativeness (JS distance to field profile)",
+            &headers,
+            &data
+        )
     );
     let mut g = c.benchmark_group("e4");
     g.sample_size(10);

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let (headers, data) = e5_table(&funnel);
     println!(
         "{}",
-        render_table("E5: injection success funnel + failure modes", &headers, &data)
+        render_table(
+            "E5: injection success funnel + failure modes",
+            &headers,
+            &data
+        )
     );
     let mut g = c.benchmark_group("e5");
     g.sample_size(10);

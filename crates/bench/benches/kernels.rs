@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the hot kernels: batched vs.
+//! per-example LM training, GEMM vs. matvec, campaign plan application.
+//!
+//! Run with `cargo bench -p nfi-bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfi_neural::lm::{code_tokens, LmConfig, NgramLm, DEFAULT_BATCH};
+use nfi_neural::tensor::Matrix;
+use nfi_sfi::Campaign;
+
+fn snippet_corpus() -> Vec<Vec<String>> {
+    nfi_corpus::all()
+        .iter()
+        .map(|p| code_tokens(p.source))
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let x = Matrix::xavier(64, 48, 1);
+    let w = Matrix::xavier(128, 48, 2);
+    c.bench_function("tensor/matmul_nt 64x48 * 128x48", |b| {
+        b.iter(|| black_box(x.matmul_nt(&w)))
+    });
+    c.bench_function("tensor/matvec x64 loop", |b| {
+        b.iter(|| {
+            for e in 0..64 {
+                black_box(w.matvec(x.row(e)));
+            }
+        })
+    });
+}
+
+fn bench_lm_training(c: &mut Criterion) {
+    let corpus = snippet_corpus();
+    c.bench_function("lm/train_epoch per-example", |b| {
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        b.iter(|| black_box(lm.train_epoch(&corpus, 0.05)))
+    });
+    c.bench_function("lm/train_epoch_batched", |b| {
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        let ids = lm.encode_corpus(&corpus);
+        b.iter(|| black_box(lm.train_epoch_batched(&ids, 0.05, DEFAULT_BATCH)))
+    });
+}
+
+fn bench_campaign_apply(c: &mut Criterion) {
+    let module = nfi_corpus::by_name("ecommerce").unwrap().module().unwrap();
+    let campaign = Campaign::full(&module);
+    c.bench_function("campaign/apply all plans", |b| {
+        b.iter(|| {
+            for plan in campaign.plans() {
+                black_box(campaign.apply(plan));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_lm_training,
+    bench_campaign_apply
+);
+criterion_main!(kernels);

@@ -1,7 +1,18 @@
 //! Drivers for experiments E1–E8 (see DESIGN.md §3 for the mapping from
 //! the paper's claims to these measurements).
+//!
+//! Every driver with independent work units (per seed, per scenario,
+//! per dataset size, per ablation variant) fans them across the
+//! [`nfi_core::exec`] engine. Work units derive all their state from
+//! their index — per-scenario injectors and testers are seeded by
+//! position, never threaded through a shared RNG — so every `run_*`
+//! function returns *identical* rows for any thread count, including
+//! the sequential `threads = 1` engine. The `run_*` entry points use
+//! [`ExecConfig::default`] (available parallelism); `run_*_with` takes
+//! an explicit engine configuration.
 
 use crate::scenarios::{build_scenarios, Scenario};
+use nfi_core::exec::{self, ExecConfig};
 use nfi_core::metrics::{self, EffortModel};
 use nfi_core::pipeline::{NeuralFaultInjector, PipelineConfig};
 use nfi_core::session::run_session;
@@ -55,10 +66,21 @@ pub struct E1Row {
 
 /// Runs E1: alignment vs. feedback iterations, for several seeds.
 pub fn run_e1(scenario_cap: usize, iterations: usize, seeds: &[u64]) -> Vec<E1Row> {
+    run_e1_with(ExecConfig::default(), scenario_cap, iterations, seeds)
+}
+
+/// [`run_e1`] on an explicit execution engine: seeds fan across the
+/// worker pool (each seed's RLHF run is self-contained), rows are
+/// flattened in seed order.
+pub fn run_e1_with(
+    exec: ExecConfig,
+    scenario_cap: usize,
+    iterations: usize,
+    seeds: &[u64],
+) -> Vec<E1Row> {
     let scenarios = build_scenarios(scenario_cap);
     let pairs = spec_scenarios(&scenarios);
-    let mut rows = Vec::new();
-    for &seed in seeds {
+    let per_seed = exec::par_map(exec, seeds, |&seed| {
         let mut llm = FaultLlm::untrained(LlmConfig {
             seed,
             ..LlmConfig::default()
@@ -69,17 +91,19 @@ pub fn run_e1(scenario_cap: usize, iterations: usize, seeds: &[u64]) -> Vec<E1Ro
             seed,
             ..RlhfConfig::default()
         });
-        for s in trainer.run(&mut llm, &pairs, &tester) {
-            rows.push(E1Row {
+        trainer
+            .run(&mut llm, &pairs, &tester)
+            .into_iter()
+            .map(|s| E1Row {
                 seed,
                 iteration: s.iteration,
                 mean_rating: s.mean_rating,
                 acceptance: s.acceptance,
                 mean_reward: s.mean_reward,
-            });
-        }
-    }
-    rows
+            })
+            .collect::<Vec<_>>()
+    });
+    per_seed.into_iter().flatten().collect()
 }
 
 /// Formats E1 rows for table rendering.
@@ -119,45 +143,57 @@ pub struct E2Row {
 
 /// Runs E2: per-class coverage, neural vs. conventional SFI.
 pub fn run_e2(scenario_cap: usize) -> Vec<E2Row> {
+    run_e2_with(ExecConfig::default(), scenario_cap)
+}
+
+/// [`run_e2`] on an explicit execution engine: scenarios fan across the
+/// pool against one shared (immutable) generator, per-scenario flags
+/// fold into the per-class rows in scenario order.
+pub fn run_e2_with(exec: ExecConfig, scenario_cap: usize) -> Vec<E2Row> {
     let scenarios = build_scenarios(scenario_cap);
     let llm = FaultLlm::untrained(LlmConfig::default());
     let machine = experiment_machine();
-    let mut per_class: BTreeMap<FaultClass, E2Row> = BTreeMap::new();
-    for s in &scenarios {
+    let flags = exec::par_map(exec, &scenarios, |s| {
         let module = s.program.module().expect("corpus parses");
         let spec = nfi_nlp::analyze(&s.description, Some(&module));
-        let row = per_class.entry(s.intended).or_insert(E2Row {
-            class: s.intended,
+
+        let cands = llm.candidates(&spec, &module);
+        let matching: Vec<_> = cands.iter().filter(|c| c.class == s.intended).collect();
+        let neural_expressible = !matching.is_empty();
+        let neural_activated = if let Some(best) = matching.iter().max_by(|a, b| {
+            llm.policy()
+                .score(&a.features)
+                .partial_cmp(&llm.policy().score(&b.features))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            run_experiment(&module, &best.module, &machine).activated
+        } else {
+            false
+        };
+
+        let conventional = Campaign::conventional(&module);
+        let conventional_expressible = conventional.plans().iter().any(|p| p.class == s.intended);
+        (
+            s.intended,
+            neural_expressible,
+            neural_activated,
+            conventional_expressible,
+        )
+    });
+
+    let mut per_class: BTreeMap<FaultClass, E2Row> = BTreeMap::new();
+    for (intended, neural_expressible, neural_activated, conventional_expressible) in flags {
+        let row = per_class.entry(intended).or_insert(E2Row {
+            class: intended,
             scenarios: 0,
             neural_expressible: 0,
             neural_activated: 0,
             conventional_expressible: 0,
         });
         row.scenarios += 1;
-
-        let cands = llm.candidates(&spec, &module);
-        let matching: Vec<_> = cands.iter().filter(|c| c.class == s.intended).collect();
-        if !matching.is_empty() {
-            row.neural_expressible += 1;
-            let best = matching
-                .iter()
-                .max_by(|a, b| {
-                    llm.policy()
-                        .score(&a.features)
-                        .partial_cmp(&llm.policy().score(&b.features))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("nonempty");
-            let report = run_experiment(&module, &best.module, &machine);
-            if report.activated {
-                row.neural_activated += 1;
-            }
-        }
-
-        let conventional = Campaign::conventional(&module);
-        if conventional.plans().iter().any(|p| p.class == s.intended) {
-            row.conventional_expressible += 1;
-        }
+        row.neural_expressible += neural_expressible as usize;
+        row.neural_activated += neural_activated as usize;
+        row.conventional_expressible += conventional_expressible as usize;
     }
     per_class.into_values().collect()
 }
@@ -205,43 +241,43 @@ pub struct E3Row {
 
 /// Runs E3: tester-effort comparison over the scenario suite.
 pub fn run_e3(scenario_cap: usize, max_rounds: usize) -> Vec<E3Row> {
+    run_e3_with(ExecConfig::default(), scenario_cap, max_rounds)
+}
+
+/// [`run_e3`] on an explicit execution engine. Each scenario runs its
+/// own review session with a position-seeded tester (the reviewer pool
+/// model: one reviewer per scenario), so sessions are independent and
+/// fan across the pool with thread-count-invariant results.
+pub fn run_e3_with(exec: ExecConfig, scenario_cap: usize, max_rounds: usize) -> Vec<E3Row> {
     let scenarios = build_scenarios(scenario_cap);
     let effort = EffortModel::default();
-    // A satisfiable reviewer: wants logged handlers and spec fidelity —
-    // preferences a spec-faithful generation can meet within a round or
-    // two (the effort comparison is about workflow, not tester pickiness).
-    let mut tester = SimulatedTester::new(
-        TargetProfile {
-            wants_logging: true,
-            ..TargetProfile::default()
-        },
-        11,
-    );
-    tester.noise = 0.0;
 
-    let mut neural_interactions = 0usize;
-    let mut neural_realized = 0usize;
-    let mut conventional_interactions = 0usize;
-    let mut conventional_realized = 0usize;
-
-    for s in &scenarios {
+    let per_scenario = exec::par_map_indexed(exec, scenarios.len(), |i| {
+        let s = &scenarios[i];
         let module = s.program.module().expect("corpus parses");
+        // A satisfiable reviewer: wants logged handlers and spec fidelity
+        // — preferences a spec-faithful generation can meet within a
+        // round or two (the effort comparison is about workflow, not
+        // tester pickiness).
+        let mut tester = SimulatedTester::new(
+            TargetProfile {
+                wants_logging: true,
+                ..TargetProfile::default()
+            },
+            11 + i as u64,
+        );
+        tester.noise = 0.0;
+
         // Neural: one description + review rounds until acceptance.
         let mut injector = NeuralFaultInjector::new(PipelineConfig {
             machine: experiment_machine(),
             llm: LlmConfig::default(),
         });
-        match run_session(&mut injector, &s.description, &module, &tester, max_rounds) {
-            Ok(result) => {
-                neural_interactions += effort.neural(result.rounds.len());
-                if result.accepted {
-                    neural_realized += 1;
-                }
-            }
-            Err(_) => {
-                neural_interactions += effort.neural(max_rounds);
-            }
-        }
+        let (n_inter, n_real) =
+            match run_session(&mut injector, &s.description, &module, &tester, max_rounds) {
+                Ok(result) => (effort.neural(result.rounds.len()), result.accepted as usize),
+                Err(_) => (effort.neural(max_rounds), 0),
+            };
 
         // Conventional: operator + site triage + config, when expressible.
         let campaign = Campaign::conventional(&module);
@@ -250,13 +286,26 @@ pub fn run_e3(scenario_cap: usize, max_rounds: usize) -> Vec<E3Row> {
             .iter()
             .filter(|p| p.class == s.intended)
             .count();
-        if matching > 0 {
-            conventional_interactions += effort.conventional(matching);
-            conventional_realized += 1;
+        let (c_inter, c_real) = if matching > 0 {
+            (effort.conventional(matching), 1)
         } else {
-            conventional_interactions +=
-                effort.conventional_unrealizable(nfi_sfi::registry().len());
-        }
+            (
+                effort.conventional_unrealizable(nfi_sfi::registry().len()),
+                0,
+            )
+        };
+        (n_inter, n_real, c_inter, c_real)
+    });
+
+    let mut neural_interactions = 0usize;
+    let mut neural_realized = 0usize;
+    let mut conventional_interactions = 0usize;
+    let mut conventional_realized = 0usize;
+    for (n_inter, n_real, c_inter, c_real) in per_scenario {
+        neural_interactions += n_inter;
+        neural_realized += n_real;
+        conventional_interactions += c_inter;
+        conventional_realized += c_real;
     }
 
     let mk = |approach, realized: usize, interactions: usize| E3Row {
@@ -272,7 +321,11 @@ pub fn run_e3(scenario_cap: usize, max_rounds: usize) -> Vec<E3Row> {
     };
     vec![
         mk("neural", neural_realized, neural_interactions),
-        mk("conventional", conventional_realized, conventional_interactions),
+        mk(
+            "conventional",
+            conventional_realized,
+            conventional_interactions,
+        ),
     ]
 }
 
@@ -422,13 +475,29 @@ pub struct E5Funnel {
 
 /// Runs E5: the generation → integration → activation funnel.
 pub fn run_e5(scenario_cap: usize) -> E5Funnel {
+    run_e5_with(ExecConfig::default(), scenario_cap)
+}
+
+/// Per-scenario funnel stage flags (internal to E5).
+#[derive(Default)]
+struct E5Stage {
+    generated: bool,
+    parsed: bool,
+    integrated: bool,
+    activated: bool,
+    detected: bool,
+    mode: Option<String>,
+}
+
+/// [`run_e5`] on an explicit execution engine: scenarios fan across the
+/// pool (each already owned an index-seeded generator), stage flags fold
+/// into the funnel in scenario order.
+pub fn run_e5_with(exec: ExecConfig, scenario_cap: usize) -> E5Funnel {
     let scenarios = build_scenarios(scenario_cap);
     let machine = experiment_machine();
-    let mut funnel = E5Funnel {
-        attempted: scenarios.len(),
-        ..E5Funnel::default()
-    };
-    for (i, s) in scenarios.iter().enumerate() {
+    let stages = exec::par_map_indexed(exec, scenarios.len(), |i| {
+        let s = &scenarios[i];
+        let mut stage = E5Stage::default();
         let module = s.program.module().expect("corpus parses");
         let spec = nfi_nlp::analyze(&s.description, Some(&module));
         let mut llm = FaultLlm::untrained(LlmConfig {
@@ -436,25 +505,37 @@ pub fn run_e5(scenario_cap: usize) -> E5Funnel {
             ..LlmConfig::default()
         });
         let Some(fault) = llm.generate(&spec, &module) else {
-            continue;
+            return stage;
         };
-        funnel.generated += 1;
+        stage.generated = true;
         if nfi_pylite::parse(&fault.snippet).is_err() {
-            continue;
+            return stage;
         }
-        funnel.parsed += 1;
+        stage.parsed = true;
         let Ok(faulty) = nfi_inject::integrate_snippet(&module, &fault.snippet) else {
-            continue;
+            return stage;
         };
-        funnel.integrated += 1;
+        stage.integrated = true;
         let report = run_experiment(&module, &faulty, &machine);
-        if report.activated {
-            funnel.activated += 1;
+        stage.activated = report.activated;
+        stage.detected = report.detected;
+        stage.mode = Some(report.overall.key().to_string());
+        stage
+    });
+
+    let mut funnel = E5Funnel {
+        attempted: scenarios.len(),
+        ..E5Funnel::default()
+    };
+    for stage in stages {
+        funnel.generated += stage.generated as usize;
+        funnel.parsed += stage.parsed as usize;
+        funnel.integrated += stage.integrated as usize;
+        funnel.activated += stage.activated as usize;
+        funnel.detected += stage.detected as usize;
+        if let Some(mode) = stage.mode {
+            *funnel.modes.entry(mode).or_insert(0) += 1;
         }
-        if report.detected {
-            funnel.detected += 1;
-        }
-        *funnel.modes.entry(report.overall.key().to_string()).or_insert(0) += 1;
     }
     funnel
 }
@@ -471,14 +552,30 @@ pub fn e5_table(f: &E5Funnel) -> (Vec<&'static str>, Vec<Vec<String>>) {
     };
     let mut data = vec![
         vec!["attempted".into(), f.attempted.to_string(), "1.000".into()],
-        vec!["generated".into(), f.generated.to_string(), frac(f.generated)],
+        vec![
+            "generated".into(),
+            f.generated.to_string(),
+            frac(f.generated),
+        ],
         vec!["parsed".into(), f.parsed.to_string(), frac(f.parsed)],
-        vec!["integrated".into(), f.integrated.to_string(), frac(f.integrated)],
-        vec!["activated".into(), f.activated.to_string(), frac(f.activated)],
+        vec![
+            "integrated".into(),
+            f.integrated.to_string(),
+            frac(f.integrated),
+        ],
+        vec![
+            "activated".into(),
+            f.activated.to_string(),
+            frac(f.activated),
+        ],
         vec!["detected".into(), f.detected.to_string(), frac(f.detected)],
     ];
     for (mode, count) in &f.modes {
-        data.push(vec![format!("mode:{mode}"), count.to_string(), frac(*count)]);
+        data.push(vec![
+            format!("mode:{mode}"),
+            count.to_string(),
+            frac(*count),
+        ]);
     }
     (headers, data)
 }
@@ -498,6 +595,13 @@ pub struct E6Row {
 
 /// Runs E6: LM perplexity and retrieval accuracy vs. dataset size.
 pub fn run_e6(sizes: &[usize], eval_n: usize, seed: u64) -> Vec<E6Row> {
+    run_e6_with(ExecConfig::default(), sizes, eval_n, seed)
+}
+
+/// [`run_e6`] on an explicit execution engine: dataset sizes fan across
+/// the pool, each size fine-tuning its own generator from the shared
+/// training pool.
+pub fn run_e6_with(exec: ExecConfig, sizes: &[usize], eval_n: usize, seed: u64) -> Vec<E6Row> {
     let max = sizes.iter().copied().max().unwrap_or(64);
     let per_program = (max + eval_n) / nfi_corpus::all().len() + 2;
     let ds = nfi_dataset::generate(
@@ -513,10 +617,10 @@ pub fn run_e6(sizes: &[usize], eval_n: usize, seed: u64) -> Vec<E6Row> {
         .split_off(train_pool.len().saturating_sub(eval_n))
         .into_iter()
         .collect();
-    let eval_sequences: Vec<Vec<String>> = eval.iter().map(|r| code_tokens(&r.code_after)).collect();
+    let eval_sequences: Vec<Vec<String>> =
+        eval.iter().map(|r| code_tokens(&r.code_after)).collect();
 
-    let mut rows = Vec::new();
-    for &size in sizes {
+    exec::par_map(exec, sizes, |&size| {
         let take = size.min(train_pool.len());
         let records: Vec<_> = train_pool[..take].iter().map(|r| r.to_training()).collect();
         let mut llm = FaultLlm::untrained(LlmConfig {
@@ -536,7 +640,7 @@ pub fn run_e6(sizes: &[usize], eval_n: usize, seed: u64) -> Vec<E6Row> {
                 }
             }
         }
-        rows.push(E6Row {
+        E6Row {
             size: take,
             eval_perplexity: ppl,
             retrieval_accuracy: if eval.is_empty() {
@@ -544,9 +648,8 @@ pub fn run_e6(sizes: &[usize], eval_n: usize, seed: u64) -> Vec<E6Row> {
             } else {
                 correct as f64 / eval.len() as f64
             },
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Formats E6 rows.
@@ -586,27 +689,44 @@ pub struct E7Row {
 
 /// Runs E7: per-stage latency and end-to-end throughput.
 pub fn run_e7(scenario_cap: usize) -> E7Row {
+    run_e7_with(ExecConfig::default(), scenario_cap)
+}
+
+/// [`run_e7`] on an explicit execution engine: each scenario runs a
+/// fresh index-seeded injector, fanned across the pool. Scenario
+/// outcomes (success count, generated faults) are thread-count
+/// invariant; wall-clock throughput scales with the worker count.
+pub fn run_e7_with(exec: ExecConfig, scenario_cap: usize) -> E7Row {
     let scenarios = build_scenarios(scenario_cap);
-    let mut injector = NeuralFaultInjector::new(PipelineConfig {
-        machine: experiment_machine(),
-        llm: LlmConfig::default(),
+    let started = std::time::Instant::now();
+    let timings = exec::par_map_indexed(exec, scenarios.len(), |i| {
+        let s = &scenarios[i];
+        let mut injector = NeuralFaultInjector::new(PipelineConfig {
+            machine: experiment_machine(),
+            llm: LlmConfig {
+                seed: i as u64,
+                ..LlmConfig::default()
+            },
+        });
+        let module = s.program.module().expect("corpus parses");
+        injector
+            .inject_module(&s.description, &module)
+            .ok()
+            .map(|report| report.timings)
     });
+    let elapsed = started.elapsed().as_secs_f64();
+
     let mut row = E7Row {
         scenarios: 0,
         ..E7Row::default()
     };
-    let started = std::time::Instant::now();
-    for s in &scenarios {
-        let module = s.program.module().expect("corpus parses");
-        if let Ok(report) = injector.inject_module(&s.description, &module) {
-            row.scenarios += 1;
-            row.nlp_us += report.timings.nlp_us as f64;
-            row.generate_us += report.timings.generate_us as f64;
-            row.integrate_us += report.timings.integrate_us as f64;
-            row.test_us += report.timings.test_us as f64;
-        }
+    for t in timings.into_iter().flatten() {
+        row.scenarios += 1;
+        row.nlp_us += t.nlp_us as f64;
+        row.generate_us += t.generate_us as f64;
+        row.integrate_us += t.integrate_us as f64;
+        row.test_us += t.test_us as f64;
     }
-    let elapsed = started.elapsed().as_secs_f64();
     if row.scenarios > 0 {
         let n = row.scenarios as f64;
         row.nlp_us /= n;
@@ -626,10 +746,7 @@ pub fn e7_table(r: &E7Row) -> (Vec<&'static str>, Vec<Vec<String>>) {
         vec!["generate".into(), format!("{:.1}", r.generate_us)],
         vec!["integrate".into(), format!("{:.1}", r.integrate_us)],
         vec!["test".into(), format!("{:.1}", r.test_us)],
-        vec![
-            "throughput/s".into(),
-            format!("{:.1}", r.throughput_per_s),
-        ],
+        vec!["throughput/s".into(), format!("{:.1}", r.throughput_per_s)],
     ];
     (headers, data)
 }
@@ -655,6 +772,12 @@ pub struct E8Row {
 /// * `no_nlp_spec` — structured spec stripped to raw text before
 ///   generation (no class, no target).
 pub fn run_e8(scenario_cap: usize, iterations: usize) -> Vec<E8Row> {
+    run_e8_with(ExecConfig::default(), scenario_cap, iterations)
+}
+
+/// [`run_e8`] on an explicit execution engine: the four self-contained
+/// ablation variants fan across the pool.
+pub fn run_e8_with(exec: ExecConfig, scenario_cap: usize, iterations: usize) -> Vec<E8Row> {
     let scenarios = build_scenarios(scenario_cap);
     let pairs = spec_scenarios(&scenarios);
     let stripped: Vec<(FaultSpec, Module)> = pairs
@@ -675,97 +798,76 @@ pub fn run_e8(scenario_cap: usize, iterations: usize) -> Vec<E8Row> {
         (r, a)
     };
 
-    let mut rows = Vec::new();
-
-    // full
-    {
+    let variants: [&'static str; 4] = ["full", "no_rlhf", "direct_rating", "no_nlp_spec"];
+    exec::par_map(exec, &variants, |&variant| {
         let mut llm = FaultLlm::untrained(LlmConfig::default());
         let tester = SimulatedTester::new(TargetProfile::wants_retry(), 5);
-        let mut trainer = RlhfTrainer::new(RlhfConfig {
-            iterations,
-            ..RlhfConfig::default()
-        });
-        let stats = trainer.run(&mut llm, &pairs, &tester);
-        let (r, a) = final2(&stats);
-        rows.push(E8Row {
-            variant: "full",
-            final_rating: r,
-            final_acceptance: a,
-        });
-    }
-    // no_rlhf
-    {
-        let mut llm = FaultLlm::untrained(LlmConfig::default());
-        let tester = SimulatedTester::new(TargetProfile::wants_retry(), 5);
-        let mut trainer = RlhfTrainer::new(RlhfConfig {
-            iterations,
-            policy_lr: 0.0,
-            ..RlhfConfig::default()
-        });
-        let stats = trainer.run(&mut llm, &pairs, &tester);
-        let (r, a) = final2(&stats);
-        rows.push(E8Row {
-            variant: "no_rlhf",
-            final_rating: r,
-            final_acceptance: a,
-        });
-    }
-    // direct_rating: REINFORCE on raw ratings, no reward model.
-    {
-        let mut llm = FaultLlm::untrained(LlmConfig::default());
-        let tester = SimulatedTester::new(TargetProfile::wants_retry(), 5);
-        let mut rng = StdRng::seed_from_u64(0x5EED);
-        let mut stats = Vec::new();
-        for iteration in 0..iterations {
-            let mut ratings = Vec::new();
-            let mut accepted = 0usize;
-            for (spec, module) in &pairs {
-                let cands = llm.candidates(spec, module);
-                if cands.is_empty() {
-                    continue;
-                }
-                let u: f32 = rng.gen();
-                let (idx, _) = llm.policy().choose(&cands, u);
-                let rating = tester.rate_candidate(&cands[idx], cands[idx].features[0]);
-                ratings.push(rating as f64);
-                if rating >= 4.0 {
-                    accepted += 1;
-                }
-                llm.policy_mut()
-                    .reinforce(&cands, idx, (rating - 3.0) / 2.0, 0.15);
+        let stats = match variant {
+            // The complete RLHF loop.
+            "full" => {
+                let mut trainer = RlhfTrainer::new(RlhfConfig {
+                    iterations,
+                    ..RlhfConfig::default()
+                });
+                trainer.run(&mut llm, &pairs, &tester)
             }
-            stats.push(nfi_rlhf::IterationStats {
-                iteration,
-                mean_rating: ratings.iter().sum::<f64>() / ratings.len().max(1) as f64,
-                acceptance: accepted as f64 / ratings.len().max(1) as f64,
-                mean_reward: 0.0,
-                reward_accuracy: 0.0,
-            });
+            // Policy never updated.
+            "no_rlhf" => {
+                let mut trainer = RlhfTrainer::new(RlhfConfig {
+                    iterations,
+                    policy_lr: 0.0,
+                    ..RlhfConfig::default()
+                });
+                trainer.run(&mut llm, &pairs, &tester)
+            }
+            // REINFORCE on raw ratings, no reward model.
+            "direct_rating" => {
+                let mut rng = StdRng::seed_from_u64(0x5EED);
+                let mut stats = Vec::new();
+                for iteration in 0..iterations {
+                    let mut ratings = Vec::new();
+                    let mut accepted = 0usize;
+                    for (spec, module) in &pairs {
+                        let cands = llm.candidates(spec, module);
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        let u: f32 = rng.gen();
+                        let (idx, _) = llm.policy().choose(&cands, u);
+                        let rating = tester.rate_candidate(&cands[idx], cands[idx].features[0]);
+                        ratings.push(rating as f64);
+                        if rating >= 4.0 {
+                            accepted += 1;
+                        }
+                        llm.policy_mut()
+                            .reinforce(&cands, idx, (rating - 3.0) / 2.0, 0.15);
+                    }
+                    stats.push(nfi_rlhf::IterationStats {
+                        iteration,
+                        mean_rating: ratings.iter().sum::<f64>() / ratings.len().max(1) as f64,
+                        acceptance: accepted as f64 / ratings.len().max(1) as f64,
+                        mean_reward: 0.0,
+                        reward_accuracy: 0.0,
+                    });
+                }
+                stats
+            }
+            // Structured spec stripped to raw text before generation.
+            _ => {
+                let mut trainer = RlhfTrainer::new(RlhfConfig {
+                    iterations,
+                    ..RlhfConfig::default()
+                });
+                trainer.run(&mut llm, &stripped, &tester)
+            }
+        };
+        let (r, a) = final2(&stats);
+        E8Row {
+            variant,
+            final_rating: r,
+            final_acceptance: a,
         }
-        let (r, a) = final2(&stats);
-        rows.push(E8Row {
-            variant: "direct_rating",
-            final_rating: r,
-            final_acceptance: a,
-        });
-    }
-    // no_nlp_spec
-    {
-        let mut llm = FaultLlm::untrained(LlmConfig::default());
-        let tester = SimulatedTester::new(TargetProfile::wants_retry(), 5);
-        let mut trainer = RlhfTrainer::new(RlhfConfig {
-            iterations,
-            ..RlhfConfig::default()
-        });
-        let stats = trainer.run(&mut llm, &stripped, &tester);
-        let (r, a) = final2(&stats);
-        rows.push(E8Row {
-            variant: "no_nlp_spec",
-            final_rating: r,
-            final_acceptance: a,
-        });
-    }
-    rows
+    })
 }
 
 /// Formats E8 rows.

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod scenarios;
+pub mod throughput;
 
 pub use scenarios::{build_scenarios, Scenario};
 

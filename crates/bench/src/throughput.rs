@@ -1,0 +1,275 @@
+//! Throughput benchmarks for the parallel execution engine and the
+//! batched neural kernels — the drivers behind `scripts/bench.sh` and
+//! the `nfi bench` subcommand (`BENCH_e7.json`).
+//!
+//! Three measurements:
+//!
+//! * **campaign**: plans/sec applying + differentially testing every
+//!   plan of the full corpus-wide campaign, sequential vs. the parallel
+//!   engine (same [`CampaignRunReport`]s are asserted equal);
+//! * **lm**: tokens/sec of LM training, per-example SGD kernels vs. the
+//!   batched GEMM kernels, both at `threads = 1` (batching-only gain);
+//! * **e7**: end-to-end pipeline scenarios/sec, sequential vs. parallel.
+
+use crate::experiments::{run_e7_with, E7Row};
+use nfi_core::exec::{self, CampaignRunReport, ExecConfig};
+use nfi_llm::LlmConfig;
+use nfi_neural::lm::{code_tokens, LmConfig, NgramLm, DEFAULT_BATCH};
+use nfi_sfi::Campaign;
+use std::time::Instant;
+
+/// Campaign throughput: sequential vs. parallel plans/sec.
+#[derive(Debug, Clone)]
+pub struct CampaignBench {
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Total plans executed (per engine run).
+    pub plans: usize,
+    /// Sequential wall time (seconds).
+    pub sequential_secs: f64,
+    /// Parallel wall time (seconds).
+    pub parallel_secs: f64,
+    /// Whether sequential and parallel aggregate reports were identical.
+    pub reports_identical: bool,
+}
+
+impl CampaignBench {
+    /// Sequential plans/sec.
+    pub fn sequential_plans_per_s(&self) -> f64 {
+        self.plans as f64 / self.sequential_secs.max(1e-9)
+    }
+
+    /// Parallel plans/sec.
+    pub fn parallel_plans_per_s(&self) -> f64 {
+        self.plans as f64 / self.parallel_secs.max(1e-9)
+    }
+
+    /// Parallel speedup over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// Runs the full campaign of every corpus program under both engines.
+/// `plan_cap` bounds plans per program (0 = unlimited).
+pub fn bench_campaign(plan_cap: usize, threads: usize) -> CampaignBench {
+    let machine = crate::experiments::experiment_machine();
+    let campaigns: Vec<Campaign> = nfi_corpus::all()
+        .iter()
+        .map(|p| Campaign::full(&p.module().expect("corpus parses")))
+        .collect();
+    let plan_count = |c: &Campaign| {
+        if plan_cap == 0 {
+            c.plans().len()
+        } else {
+            c.plans().len().min(plan_cap)
+        }
+    };
+
+    let run_all = |config: ExecConfig| -> (Vec<CampaignRunReport>, f64) {
+        let started = Instant::now();
+        let reports = campaigns
+            .iter()
+            .map(|c| {
+                let n = plan_count(c);
+                exec::run_campaign_plans(c, &c.plans()[..n], &machine, config).report
+            })
+            .collect();
+        (reports, started.elapsed().as_secs_f64())
+    };
+
+    let (seq_reports, sequential_secs) = run_all(ExecConfig::sequential());
+    let (par_reports, parallel_secs) = run_all(ExecConfig::with_threads(threads));
+
+    CampaignBench {
+        threads,
+        plans: campaigns.iter().map(plan_count).sum(),
+        sequential_secs,
+        parallel_secs,
+        reports_identical: seq_reports == par_reports,
+    }
+}
+
+/// LM training throughput: per-example kernels vs. batched GEMM kernels.
+#[derive(Debug, Clone)]
+pub struct LmBench {
+    /// Tokens per epoch.
+    pub tokens: usize,
+    /// Epochs trained per path.
+    pub epochs: usize,
+    /// Per-example path wall time (seconds).
+    pub per_example_secs: f64,
+    /// Batched path wall time (seconds).
+    pub batched_secs: f64,
+    /// Final epoch NLL of the per-example path.
+    pub per_example_nll: f64,
+    /// Final epoch NLL of the batched path.
+    pub batched_nll: f64,
+}
+
+impl LmBench {
+    /// Per-example tokens/sec.
+    pub fn per_example_tokens_per_s(&self) -> f64 {
+        (self.tokens * self.epochs) as f64 / self.per_example_secs.max(1e-9)
+    }
+
+    /// Batched tokens/sec.
+    pub fn batched_tokens_per_s(&self) -> f64 {
+        (self.tokens * self.epochs) as f64 / self.batched_secs.max(1e-9)
+    }
+
+    /// Batched speedup over per-example (single-threaded both sides).
+    pub fn speedup(&self) -> f64 {
+        self.per_example_secs / self.batched_secs.max(1e-9)
+    }
+}
+
+/// Trains the token LM on an SFI-generated snippet corpus with both
+/// kernel paths (identical init, identical data, `threads = 1`).
+pub fn bench_lm(per_program_cap: usize, epochs: usize) -> LmBench {
+    let ds = nfi_dataset::generate(
+        nfi_corpus::all(),
+        &nfi_dataset::DatasetConfig {
+            per_program_cap,
+            seed: 7,
+        },
+    );
+    let sequences: Vec<Vec<String>> = ds
+        .records
+        .iter()
+        .map(|r| code_tokens(&r.code_after))
+        .collect();
+    let tokens: usize = sequences.iter().map(Vec::len).sum();
+    let config = LmConfig::default();
+
+    let mut per_example_lm = NgramLm::new(&sequences, config.clone());
+    let started = Instant::now();
+    let mut per_example_nll = 0.0;
+    for _ in 0..epochs {
+        per_example_nll = per_example_lm.train_epoch(&sequences, LlmConfig::default().lm_lr);
+    }
+    let per_example_secs = started.elapsed().as_secs_f64();
+
+    let mut batched_lm = NgramLm::new(&sequences, config);
+    let started = Instant::now();
+    let ids = batched_lm.encode_corpus(&sequences);
+    let mut batched_nll = 0.0;
+    for _ in 0..epochs {
+        batched_nll =
+            batched_lm.train_epoch_batched(&ids, LlmConfig::default().lm_lr, DEFAULT_BATCH);
+    }
+    let batched_secs = started.elapsed().as_secs_f64();
+
+    LmBench {
+        tokens,
+        epochs,
+        per_example_secs,
+        batched_secs,
+        per_example_nll,
+        batched_nll,
+    }
+}
+
+/// E7 pipeline throughput, sequential vs. parallel.
+#[derive(Debug, Clone)]
+pub struct E7Bench {
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Sequential E7 row.
+    pub sequential: E7Row,
+    /// Parallel E7 row.
+    pub parallel: E7Row,
+}
+
+impl E7Bench {
+    /// Parallel speedup in scenarios/sec.
+    pub fn speedup(&self) -> f64 {
+        self.parallel.throughput_per_s / self.sequential.throughput_per_s.max(1e-9)
+    }
+}
+
+/// Runs E7 under both engines.
+pub fn bench_e7(scenario_cap: usize, threads: usize) -> E7Bench {
+    E7Bench {
+        threads,
+        sequential: run_e7_with(ExecConfig::sequential(), scenario_cap),
+        parallel: run_e7_with(ExecConfig::with_threads(threads), scenario_cap),
+    }
+}
+
+/// Renders the three benchmarks as the `BENCH_e7.json` document.
+pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench) -> String {
+    format!(
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        campaign.threads,
+        campaign.plans,
+        campaign.sequential_plans_per_s(),
+        campaign.parallel_plans_per_s(),
+        campaign.speedup(),
+        campaign.reports_identical,
+        lm.tokens,
+        lm.per_example_tokens_per_s(),
+        lm.batched_tokens_per_s(),
+        lm.speedup(),
+        e7.sequential.scenarios,
+        e7.sequential.throughput_per_s,
+        e7.parallel.throughput_per_s,
+        e7.speedup(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_bench_reports_match_across_engines() {
+        let b = bench_campaign(4, 4);
+        assert!(b.plans > 0);
+        assert!(b.reports_identical, "parallel engine changed results");
+    }
+
+    #[test]
+    fn lm_bench_paths_both_learn() {
+        let b = bench_lm(3, 2);
+        assert!(b.tokens > 0);
+        assert!(b.per_example_nll.is_finite());
+        assert!(b.batched_nll.is_finite());
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let campaign = CampaignBench {
+            threads: 4,
+            plans: 100,
+            sequential_secs: 2.0,
+            parallel_secs: 0.5,
+            reports_identical: true,
+        };
+        let lm = LmBench {
+            tokens: 1000,
+            epochs: 3,
+            per_example_secs: 1.0,
+            batched_secs: 0.4,
+            per_example_nll: 2.0,
+            batched_nll: 2.1,
+        };
+        let e7 = E7Bench {
+            threads: 4,
+            sequential: E7Row {
+                scenarios: 10,
+                throughput_per_s: 5.0,
+                ..E7Row::default()
+            },
+            parallel: E7Row {
+                scenarios: 10,
+                throughput_per_s: 20.0,
+                ..E7Row::default()
+            },
+        };
+        let json = to_json(&campaign, &lm, &e7);
+        assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,59 @@
+//! Ignored-by-default profiling harness: batched vs. per-example LM
+//! training across synthetic vocabulary sizes, with a component split
+//! (forward-only, gradients-only). Run with:
+//! `cargo test --release -p nfi-bench --test microprof -- --ignored --nocapture`
+
+use nfi_neural::lm::{LmConfig, NgramLm, BOS, DEFAULT_BATCH};
+use std::time::Instant;
+
+#[test]
+#[ignore = "profiling harness, run manually with --nocapture"]
+fn profile_vocab_scaling() {
+    for vocab in [200usize, 800] {
+        let n_tok = 8000usize;
+        let seq: Vec<String> = (0..n_tok).map(|i| format!("tok{}", i % vocab)).collect();
+        let corpus = vec![seq];
+        let mut lm = NgramLm::new(&corpus, LmConfig::default());
+        let ids = lm.encode_corpus(&corpus);
+
+        let t = Instant::now();
+        lm.train_epoch(&corpus, 0.05);
+        let per_ex = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        lm.train_epoch_batched(&ids, 0.05, DEFAULT_BATCH);
+        let batched = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        lm.nll_ids(&ids);
+        let fwd = t.elapsed().as_secs_f64();
+
+        let c = LmConfig::default().context;
+        let mut ctxs: Vec<u32> = Vec::new();
+        let mut targets: Vec<u32> = Vec::new();
+        let mut ctx = vec![BOS as u32; c];
+        for &tt in &ids[0] {
+            ctxs.extend_from_slice(&ctx);
+            targets.push(tt);
+            ctx.remove(0);
+            ctx.push(tt);
+        }
+        let t = Instant::now();
+        for (cc, tc) in ctxs
+            .chunks(DEFAULT_BATCH * c)
+            .zip(targets.chunks(DEFAULT_BATCH))
+        {
+            std::hint::black_box(lm.batch_gradients(cc, tc));
+        }
+        let grads_only = t.elapsed().as_secs_f64();
+
+        println!(
+            "V={vocab}: per-ex {:.1}ms, batched {:.1}ms ({:.2}x), fwd(nll) {:.1}ms, grads-only(alloc) {:.1}ms",
+            per_ex * 1e3,
+            batched * 1e3,
+            per_ex / batched,
+            fwd * 1e3,
+            grads_only * 1e3
+        );
+    }
+}

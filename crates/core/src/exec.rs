@@ -1,0 +1,288 @@
+//! The parallel campaign execution engine.
+//!
+//! Fault-injection campaigns are embarrassingly parallel — every plan
+//! application and every harness run is independent — yet the original
+//! drivers executed them serially. This module fans that work across a
+//! rayon work-stealing pool while keeping one hard guarantee:
+//!
+//! > **Results are bitwise identical for every thread count.**
+//!
+//! Three rules make that hold:
+//!
+//! 1. every unit of work derives its inputs (seed, plan, scenario) from
+//!    its *index*, never from shared mutable state,
+//! 2. outputs are collected in input order (the pool reorders execution,
+//!    not results),
+//! 3. aggregation folds over that ordered collection with commutative
+//!    counters ([`CampaignRunReport`] uses `BTreeMap` counts), so the
+//!    reduction is order-independent anyway.
+//!
+//! `threads = 1` therefore reproduces the sequential behaviour exactly,
+//! and `threads = N` reproduces `threads = 1`. The parity suite in
+//! `tests/parallel_parity.rs` enforces this.
+
+use nfi_inject::{run_experiment, FailureMode};
+use nfi_pylite::MachineConfig;
+use nfi_sfi::{Campaign, FaultPlan};
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Configuration for the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads. `1` runs inline on the caller thread (exactly the
+    /// old sequential behaviour); the default is the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Strictly sequential execution.
+    pub fn sequential() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// A fixed worker count (`0` is clamped to `1`).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// Ordered parallel map: applies `f` to every item, returning results in
+/// input order. With `threads = 1` this is a plain sequential iterator —
+/// no pool, no thread spawn, byte-for-byte the old code path.
+pub fn par_map<T: Sync, R: Send>(
+    config: ExecConfig,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    par_map_indexed(config, items.len(), |i| f(&items[i]))
+}
+
+/// Ordered parallel map over indices `0..n`, for work units that derive
+/// everything from their index (per-seed experiment runs, per-scenario
+/// injectors).
+pub fn par_map_indexed<R: Send>(
+    config: ExecConfig,
+    n: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    if config.threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let pool = pool_for(config.threads);
+    pool.install(|| (0..n).into_par_iter().map(f).collect())
+}
+
+/// Process-wide pool cache, one pool per requested width — repeated
+/// engine calls (one per campaign, per experiment driver) reuse a pool
+/// instead of rebuilding one, which matters once the vendored rayon
+/// shim is swapped for upstream rayon (whose pools own OS threads).
+fn pool_for(threads: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut pools = pools.lock().expect("pool cache lock");
+    Arc::clone(pools.entry(threads).or_insert_with(|| {
+        Arc::new(
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool"),
+        )
+    }))
+}
+
+/// Outcome of one plan in a campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOutcome {
+    /// Operator mnemonic.
+    pub operator: &'static str,
+    /// Fault-class key.
+    pub class: &'static str,
+    /// Whether the plan still applied (site present).
+    pub applied: bool,
+    /// Whether the fault had an observable effect under test.
+    pub activated: bool,
+    /// Whether the embedded suite detected it.
+    pub detected: bool,
+    /// Most severe failure mode, when the plan applied.
+    pub mode: Option<FailureMode>,
+}
+
+/// Order-independent aggregate of a campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignRunReport {
+    /// Plans executed.
+    pub total: usize,
+    /// Plans that still applied.
+    pub applied: usize,
+    /// Applied plans with observable effect.
+    pub activated: usize,
+    /// Applied plans the suite detected.
+    pub detected: usize,
+    /// Applied plans per fault-class key.
+    pub per_class: BTreeMap<&'static str, usize>,
+    /// Applied plans per operator mnemonic.
+    pub per_operator: BTreeMap<&'static str, usize>,
+    /// Failure-mode frequency (by mode key).
+    pub modes: BTreeMap<String, usize>,
+}
+
+impl CampaignRunReport {
+    /// Folds one outcome into the aggregate (commutative counters, so
+    /// fold order cannot change the result).
+    fn absorb(&mut self, outcome: &PlanOutcome) {
+        self.total += 1;
+        if !outcome.applied {
+            return;
+        }
+        self.applied += 1;
+        if outcome.activated {
+            self.activated += 1;
+        }
+        if outcome.detected {
+            self.detected += 1;
+        }
+        *self.per_class.entry(outcome.class).or_insert(0) += 1;
+        *self.per_operator.entry(outcome.operator).or_insert(0) += 1;
+        if let Some(mode) = &outcome.mode {
+            *self.modes.entry(mode.key().to_string()).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Full result of [`run_campaign`]: ordered per-plan outcomes plus the
+/// aggregate report.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One outcome per executed plan, in plan order.
+    pub outcomes: Vec<PlanOutcome>,
+    /// The aggregate.
+    pub report: CampaignRunReport,
+}
+
+/// Applies every given plan of a campaign and runs the differential test
+/// harness on each mutant, fanned across the configured worker pool.
+///
+/// The module is shared by `Arc` — workers never clone the AST — and
+/// each plan's machine is constructed fresh from `machine`, so outcomes
+/// depend only on (module, plan, machine config) and are identical for
+/// every thread count.
+pub fn run_campaign_plans(
+    campaign: &Campaign,
+    plans: &[FaultPlan],
+    machine: &MachineConfig,
+    config: ExecConfig,
+) -> CampaignRun {
+    let module = campaign.module_arc();
+    let outcomes = par_map(config, plans, |plan| {
+        let class = plan.class.key();
+        match campaign.apply(plan) {
+            Some(fault) => {
+                let report = run_experiment(&module, &fault.module, machine);
+                PlanOutcome {
+                    operator: plan.operator,
+                    class,
+                    applied: true,
+                    activated: report.activated,
+                    detected: report.detected,
+                    mode: Some(report.overall),
+                }
+            }
+            None => PlanOutcome {
+                operator: plan.operator,
+                class,
+                applied: false,
+                activated: false,
+                detected: false,
+                mode: None,
+            },
+        }
+    });
+    let mut report = CampaignRunReport::default();
+    for outcome in &outcomes {
+        report.absorb(outcome);
+    }
+    CampaignRun { outcomes, report }
+}
+
+/// [`run_campaign_plans`] over a campaign's full enumeration.
+pub fn run_campaign(
+    campaign: &Campaign,
+    machine: &MachineConfig,
+    config: ExecConfig,
+) -> CampaignRun {
+    run_campaign_plans(campaign, campaign.plans(), machine, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    fn campaign() -> Campaign {
+        let module = parse(
+            "m = lock()\ntotal = 0\ndef add(v):\n    global total\n    m.acquire()\n    total = total + v\n    m.release()\n    return total\ndef test_add():\n    assert add(1) == 1\n",
+        )
+        .unwrap();
+        Campaign::full(&module)
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        assert!(ExecConfig::default().threads >= 1);
+        assert_eq!(ExecConfig::sequential().threads, 1);
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let seq = par_map(ExecConfig::sequential(), &items, |x| x * 3);
+        let par = par_map(ExecConfig::with_threads(8), &items, |x| x * 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq[33], 99);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential() {
+        let seq = par_map_indexed(ExecConfig::sequential(), 50, |i| i * i);
+        let par = par_map_indexed(ExecConfig::with_threads(4), 50, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn campaign_run_aggregates_consistently() {
+        let c = campaign();
+        let run = run_campaign(&c, &MachineConfig::default(), ExecConfig::sequential());
+        assert_eq!(run.report.total, c.plans().len());
+        assert_eq!(run.outcomes.len(), c.plans().len());
+        assert!(run.report.applied > 0);
+        let by_class: usize = run.report.per_class.values().sum();
+        assert_eq!(by_class, run.report.applied);
+    }
+
+    #[test]
+    fn campaign_run_is_thread_count_invariant() {
+        let c = campaign();
+        let machine = MachineConfig::default();
+        let seq = run_campaign(&c, &machine, ExecConfig::sequential());
+        let par = run_campaign(&c, &machine, ExecConfig::with_threads(8));
+        assert_eq!(seq.outcomes, par.outcomes);
+        assert_eq!(seq.report, par.report);
+    }
+}

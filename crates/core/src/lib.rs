@@ -34,10 +34,12 @@
 //! # Ok::<(), nfi_core::pipeline::PipelineError>(())
 //! ```
 
+pub mod exec;
 pub mod metrics;
 pub mod pipeline;
 pub mod session;
 
+pub use exec::{CampaignRun, CampaignRunReport, ExecConfig};
 pub use metrics::{field_profile, js_distance, EffortModel};
 pub use pipeline::{InjectionReport, NeuralFaultInjector, PipelineConfig, PipelineError};
 pub use session::{run_session, SessionResult, SessionRound};

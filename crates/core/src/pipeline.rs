@@ -260,7 +260,10 @@ def test_ok():
         let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
         injector.fine_tune(ds.to_training_records());
         let report = injector
-            .inject("simulate a timeout failure in process_transaction", ECOMMERCE)
+            .inject(
+                "simulate a timeout failure in process_transaction",
+                ECOMMERCE,
+            )
             .unwrap();
         assert!(report.fault.n_candidates > 0);
     }

@@ -6,8 +6,8 @@
 
 use crate::pipeline::{NeuralFaultInjector, PipelineError};
 use nfi_llm::{refine_spec, GeneratedFault};
-use nfi_rlhf::{Feedback, SimulatedTester};
 use nfi_pylite::Module;
+use nfi_rlhf::{Feedback, SimulatedTester};
 
 /// One round of the session.
 #[derive(Debug, Clone)]
@@ -165,10 +165,12 @@ def process_transaction(details):
         let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
         // A tester that can never be satisfied: wants an exception kind
         // the spec never requests.
-        let mut profile = TargetProfile::default();
-        profile.wants_exception_kind = Some("PermissionError".into());
-        profile.prefers_propagate = true;
-        profile.wants_intermittent = true;
+        let profile = TargetProfile {
+            wants_exception_kind: Some("PermissionError".into()),
+            prefers_propagate: true,
+            wants_intermittent: true,
+            ..TargetProfile::default()
+        };
         let mut tester = SimulatedTester::new(profile, 3);
         tester.noise = 0.0;
         let result = run_session(

@@ -1,0 +1,59 @@
+m = lock()
+balances = {}
+balances["alice"] = 100
+balances["bob"] = 100
+trail = []
+
+def record(amount):
+    trail.append(amount)
+
+def deposit(account, amount):
+    m.acquire()
+    balances[account] = balances[account] + amount
+    record(amount)
+    m.release()
+
+def withdraw(account, amount):
+    m.acquire()
+    have = balances[account]
+    if have < amount:
+        m.release()
+        raise ValueError("insufficient funds")
+    balances[account] = have - amount
+    record(0 - amount)
+    m.release()
+
+def transfer(src, dst, amount):
+    withdraw(src, amount)
+    deposit(dst, amount)
+
+def shuttle(rounds):
+    for i in range(rounds):
+        transfer("alice", "bob", 1)
+        transfer("bob", "alice", 1)
+
+def test_concurrent_transfers_preserve_total():
+    t1 = spawn(shuttle, 5)
+    t2 = spawn(shuttle, 5)
+    join(t1)
+    join(t2)
+    assert balances["alice"] + balances["bob"] == 200
+
+def test_withdraw_guards_balance():
+    ok = False
+    try:
+        withdraw("alice", 1000)
+    except ValueError as e:
+        ok = True
+    assert ok
+    assert balances["alice"] == 100
+
+def test_deposit_updates_balance():
+    deposit("bob", 25)
+    assert balances["bob"] == 125
+    assert len(trail) == 1
+
+def test_transfer_moves_funds():
+    transfer("alice", "bob", 40)
+    assert balances["alice"] == 60
+    assert balances["bob"] == 140

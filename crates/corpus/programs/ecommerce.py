@@ -1,0 +1,71 @@
+inventory = {}
+inventory["widget"] = 10
+inventory["gadget"] = 4
+audit = []
+
+def validate_order(details):
+    qty = details.get("qty", 0)
+    item = details.get("item", "")
+    if qty <= 0:
+        raise ValueError("quantity must be positive")
+    if item not in inventory:
+        raise KeyError("unknown item")
+    return qty
+
+def reserve_stock(item, qty):
+    left = inventory[item]
+    if left < qty:
+        raise ValueError("insufficient stock")
+    inventory[item] = left - qty
+    return left - qty
+
+def charge_payment(details, qty):
+    price = details.get("price", 5)
+    total = price * qty
+    audit.append(total)
+    return total
+
+def process_transaction(details):
+    qty = validate_order(details)
+    reserve_stock(details["item"], qty)
+    total = charge_payment(details, qty)
+    return total
+
+def test_process_ok():
+    d = {}
+    d["item"] = "widget"
+    d["qty"] = 2
+    d["price"] = 7
+    assert process_transaction(d) == 14
+    assert inventory["widget"] == 8
+
+def test_validate_rejects_bad_qty():
+    d = {}
+    d["item"] = "widget"
+    d["qty"] = 0
+    ok = False
+    try:
+        process_transaction(d)
+    except ValueError as e:
+        ok = True
+    assert ok
+
+def test_unknown_item_raises():
+    d = {}
+    d["item"] = "nope"
+    d["qty"] = 1
+    ok = False
+    try:
+        process_transaction(d)
+    except KeyError as e:
+        ok = True
+    assert ok
+
+def test_audit_records_totals():
+    d = {}
+    d["item"] = "gadget"
+    d["qty"] = 1
+    d["price"] = 3
+    process_transaction(d)
+    assert len(audit) == 1
+    assert audit[0] == 3

@@ -1,0 +1,51 @@
+def open_store(name):
+    return open_handle(name)
+
+def put(h, key, value):
+    h.write(key)
+    h.write(value)
+    return h
+
+def entry_count(h):
+    data = h.read_all()
+    return len(data) // 2
+
+def close_store(h):
+    if not h.is_closed():
+        h.close()
+    return True
+
+def save_all(name, entries):
+    h = open_store(name)
+    n = 0
+    for e in entries:
+        put(h, n, e)
+        n = n + 1
+    close_store(h)
+    return n
+
+def test_save_all_closes():
+    assert save_all("db", [5, 6, 7]) == 3
+
+def test_put_then_count():
+    h = open_store("tmp")
+    put(h, 1, 10)
+    put(h, 2, 20)
+    assert entry_count(h) == 2
+    close_store(h)
+
+def test_double_close_is_safe():
+    h = open_store("x")
+    close_store(h)
+    assert close_store(h)
+    assert h.is_closed()
+
+def test_write_to_closed_raises():
+    h = open_store("y")
+    close_store(h)
+    ok = False
+    try:
+        h.write(1)
+    except IOError as e:
+        ok = True
+    assert ok

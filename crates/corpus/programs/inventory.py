@@ -1,0 +1,52 @@
+stock = {}
+stock["bolt"] = 50
+stock["nut"] = 30
+reservations = []
+
+def available(item):
+    return stock.get(item, 0)
+
+def log_reservation(item, qty):
+    entry = []
+    entry.append(item)
+    entry.append(qty)
+    reservations.append(entry)
+
+def reserve(item, qty):
+    have = available(item)
+    if qty <= 0:
+        raise ValueError("bad quantity")
+    if have < qty:
+        raise ValueError("not enough stock")
+    stock[item] = have - qty
+    log_reservation(item, qty)
+    return have - qty
+
+def release(item, qty):
+    stock[item] = stock.get(item, 0) + qty
+    return stock[item]
+
+def test_reserve_decrements():
+    assert reserve("bolt", 10) == 40
+    assert len(reservations) == 1
+
+def test_release_restores():
+    reserve("nut", 5)
+    assert release("nut", 5) == 30
+
+def test_overdraw_rejected():
+    ok = False
+    try:
+        reserve("bolt", 100)
+    except ValueError as e:
+        ok = True
+    assert ok
+    assert stock["bolt"] == 50
+
+def test_zero_quantity_rejected():
+    ok = False
+    try:
+        reserve("nut", 0)
+    except ValueError as e:
+        ok = True
+    assert ok

@@ -1,0 +1,51 @@
+m = lock()
+pending = []
+done = []
+
+def enqueue(job):
+    m.acquire()
+    pending.append(job)
+    m.release()
+    return len(pending)
+
+def take():
+    m.acquire()
+    if len(pending) == 0:
+        m.release()
+        return -1
+    job = pending.pop(0)
+    m.release()
+    return job
+
+def process(job):
+    return job * 2
+
+def worker():
+    while True:
+        job = take()
+        if job == -1:
+            break
+        result = process(job)
+        m.acquire()
+        done.append(result)
+        m.release()
+
+def test_workers_drain_queue():
+    for i in range(6):
+        enqueue(i + 1)
+    t1 = spawn(worker)
+    t2 = spawn(worker)
+    join(t1)
+    join(t2)
+    assert len(done) == 6
+    assert len(pending) == 0
+
+def test_take_on_empty_returns_sentinel():
+    assert take() == -1
+
+def test_process_doubles():
+    assert process(21) == 42
+
+def test_enqueue_reports_depth():
+    assert enqueue(7) == 1
+    assert enqueue(9) == 2

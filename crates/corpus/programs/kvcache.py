@@ -1,0 +1,62 @@
+capacity = 3
+store = {}
+order = []
+stats = {}
+stats["hits"] = 0
+stats["misses"] = 0
+
+def touch(key):
+    if key in order:
+        order.remove(key)
+    order.append(key)
+
+def evict_oldest():
+    if len(order) > capacity:
+        oldest = order.pop(0)
+        store.pop(oldest)
+        return oldest
+    return ""
+
+def put(key, value):
+    store[key] = value
+    touch(key)
+    evict_oldest()
+    return len(store)
+
+def get(key):
+    if key in store:
+        stats["hits"] = stats["hits"] + 1
+        touch(key)
+        return store[key]
+    stats["misses"] = stats["misses"] + 1
+    return -1
+
+def hit_rate():
+    total = stats["hits"] + stats["misses"]
+    if total == 0:
+        return 0
+    return stats["hits"] / total
+
+def test_put_then_get():
+    put("a", 1)
+    assert get("a") == 1
+    assert stats["hits"] == 1
+
+def test_lru_evicts_oldest():
+    put("a", 1)
+    put("b", 2)
+    put("c", 3)
+    get("a")
+    put("d", 4)
+    assert get("b") == -1
+    assert get("a") == 1
+
+def test_miss_counts():
+    assert get("ghost") == -1
+    assert stats["misses"] == 1
+
+def test_hit_rate_tracks():
+    put("x", 9)
+    get("x")
+    get("nope")
+    assert hit_rate() == 0.5

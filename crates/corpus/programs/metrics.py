@@ -1,0 +1,49 @@
+series = []
+
+def record(v):
+    series.append(v)
+    return len(series)
+
+def mean(xs):
+    if len(xs) == 0:
+        return 0
+    return sum(xs) / len(xs)
+
+def peak(xs):
+    if len(xs) == 0:
+        return 0
+    return max(xs)
+
+def percentile(xs, p):
+    if len(xs) == 0:
+        return 0
+    ordered = sorted(xs)
+    idx = (len(ordered) - 1) * p // 100
+    return ordered[idx]
+
+def summarize(xs):
+    report = {}
+    report["mean"] = mean(xs)
+    report["peak"] = peak(xs)
+    report["p50"] = percentile(xs, 50)
+    return report
+
+def test_mean_and_peak():
+    r = summarize([2, 4, 6])
+    assert r["mean"] == 4
+    assert r["peak"] == 6
+
+def test_percentile_median():
+    assert percentile([9, 1, 5], 50) == 5
+    assert percentile([4], 99) == 4
+
+def test_empty_series_is_zero():
+    assert mean([]) == 0
+    assert peak([]) == 0
+    assert percentile([], 50) == 0
+
+def test_record_appends():
+    record(3)
+    record(7)
+    assert len(series) == 2
+    assert peak(series) == 7

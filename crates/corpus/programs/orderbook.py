@@ -1,0 +1,67 @@
+bids = []
+asks = []
+fills = []
+
+def log_fill(price, qty):
+    entry = []
+    entry.append(price)
+    entry.append(qty)
+    fills.append(entry)
+
+def best_bid():
+    best = 0
+    for b in bids:
+        if b[0] > best:
+            best = b[0]
+    return best
+
+def match_ask(price, qty):
+    i = 0
+    while i < len(bids):
+        bid = bids[i]
+        if bid[0] >= price and bid[1] == qty:
+            bids.pop(i)
+            log_fill(bid[0], qty)
+            return True
+        i = i + 1
+    return False
+
+def place_bid(price, qty):
+    order = []
+    order.append(price)
+    order.append(qty)
+    bids.append(order)
+    return len(bids)
+
+def place_ask(price, qty):
+    if match_ask(price, qty):
+        return True
+    order = []
+    order.append(price)
+    order.append(qty)
+    asks.append(order)
+    return False
+
+def test_crossing_ask_fills():
+    place_bid(101, 5)
+    assert place_ask(100, 5)
+    assert len(fills) == 1
+    assert len(bids) == 0
+
+def test_non_crossing_ask_rests():
+    place_bid(99, 5)
+    assert not place_ask(100, 5)
+    assert len(asks) == 1
+    assert len(bids) == 1
+
+def test_best_bid_tracks_highest():
+    place_bid(98, 1)
+    place_bid(103, 1)
+    place_bid(100, 1)
+    assert best_bid() == 103
+
+def test_fill_records_bid_price():
+    place_bid(105, 2)
+    place_ask(104, 2)
+    assert fills[0][0] == 105
+    assert fills[0][1] == 2

@@ -1,0 +1,66 @@
+m = lock()
+queue = []
+limit = 4
+consumed = []
+
+def push(item):
+    while True:
+        m.acquire()
+        if len(queue) < limit:
+            queue.append(item)
+            m.release()
+            return True
+        m.release()
+        sleep(1)
+
+def pull():
+    while True:
+        m.acquire()
+        if len(queue) > 0:
+            item = queue.pop(0)
+            m.release()
+            return item
+        m.release()
+        sleep(1)
+
+def transform(item):
+    return item * item
+
+def producer(n):
+    for i in range(n):
+        push(i + 1)
+
+def consumer(n):
+    for i in range(n):
+        item = pull()
+        m.acquire()
+        consumed.append(transform(item))
+        m.release()
+
+def test_pipeline_moves_all_items():
+    t1 = spawn(producer, 6)
+    t2 = spawn(consumer, 6)
+    join(t1)
+    join(t2)
+    assert len(consumed) == 6
+    assert len(queue) == 0
+
+def test_backpressure_bounds_queue():
+    t1 = spawn(producer, 8)
+    t2 = spawn(consumer, 8)
+    join(t1)
+    join(t2)
+    assert len(queue) <= limit
+    assert len(consumed) == 8
+
+def test_transform_squares():
+    assert transform(5) == 25
+
+def test_consumed_in_order():
+    t1 = spawn(producer, 3)
+    t2 = spawn(consumer, 3)
+    join(t1)
+    join(t2)
+    assert consumed[0] == 1
+    assert consumed[1] == 4
+    assert consumed[2] == 9

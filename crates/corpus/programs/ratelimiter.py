@@ -1,0 +1,49 @@
+rate = 2
+burst = 4
+state = {}
+state["tokens"] = 4
+state["last"] = 0.0
+
+def refill():
+    t = now()
+    elapsed = t - state["last"]
+    state["last"] = t
+    tokens = state["tokens"] + elapsed * rate
+    if tokens > burst:
+        tokens = burst
+    state["tokens"] = tokens
+    return tokens
+
+def allow():
+    refill()
+    if state["tokens"] >= 1:
+        state["tokens"] = state["tokens"] - 1
+        return True
+    return False
+
+def drain():
+    n = 0
+    while allow():
+        n = n + 1
+    return n
+
+def test_burst_then_deny():
+    n = 0
+    for i in range(6):
+        if allow():
+            n = n + 1
+    assert n == 4
+
+def test_refill_after_wait():
+    drain()
+    assert not allow()
+    sleep(1)
+    assert allow()
+
+def test_tokens_capped_at_burst():
+    sleep(100)
+    assert refill() == 4
+
+def test_drain_empties_bucket():
+    assert drain() == 4
+    assert not allow()

@@ -1,0 +1,55 @@
+ttl = 10
+sessions = {}
+
+def put_session(sid, user):
+    entry = []
+    entry.append(user)
+    entry.append(now() + ttl)
+    sessions[sid] = entry
+
+def get_session(sid):
+    entry = sessions.get(sid, None)
+    if entry == None:
+        return ""
+    if now() > entry[1]:
+        return ""
+    return entry[0]
+
+def session_count():
+    n = 0
+    for sid in sessions.keys():
+        if get_session(sid) != "":
+            n = n + 1
+    return n
+
+def evict_expired():
+    removed = 0
+    for sid in sessions.keys():
+        if get_session(sid) == "":
+            sessions.pop(sid)
+            removed = removed + 1
+    return removed
+
+def test_put_get():
+    put_session("s1", "alice")
+    assert get_session("s1") == "alice"
+
+def test_expiry():
+    put_session("s2", "bob")
+    sleep(11)
+    assert get_session("s2") == ""
+
+def test_count_skips_expired():
+    put_session("a", "u1")
+    sleep(11)
+    put_session("b", "u2")
+    assert session_count() == 1
+
+def test_evict_removes_expired():
+    put_session("a", "u1")
+    sleep(11)
+    assert evict_expired() == 1
+    assert len(sessions) == 0
+
+def test_missing_session_empty():
+    assert get_session("nope") == ""

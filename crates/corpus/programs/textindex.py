@@ -1,0 +1,46 @@
+index = {}
+docs = []
+
+def tokenize(text):
+    return text.split(" ")
+
+def add_doc(text):
+    doc_id = len(docs)
+    docs.append(text)
+    for w in tokenize(text):
+        postings = index.setdefault(w, [])
+        if doc_id not in postings:
+            postings.append(doc_id)
+    return doc_id
+
+def lookup(word):
+    return index.get(word, [])
+
+def search_and(a, b):
+    hits = []
+    for d in lookup(a):
+        if d in lookup(b):
+            hits.append(d)
+    return hits
+
+def test_add_and_lookup():
+    assert add_doc("rust is fast") == 0
+    assert len(lookup("rust")) == 1
+    assert len(lookup("absent")) == 0
+
+def test_and_query_intersects():
+    add_doc("parallel fault injection")
+    add_doc("fault model coverage")
+    add_doc("parallel coverage tools")
+    hits = search_and("fault", "parallel")
+    assert len(hits) == 1
+    assert hits[0] == 0
+
+def test_duplicate_words_index_once():
+    d = add_doc("echo echo echo")
+    postings = lookup("echo")
+    assert len(postings) == 1
+    assert postings[0] == d
+
+def test_tokenize_splits_words():
+    assert len(tokenize("a b c")) == 3

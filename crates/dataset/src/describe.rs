@@ -34,7 +34,9 @@ pub fn render(operator: &str, site: &Site, program: &str, rng: &mut StdRng) -> S
             format!("Simulate a missing initialization of {d} {loc}."),
         ],
         "MLPA" => vec![
-            format!("Skip the update step of {d} {loc} (a small part of the algorithm is missing)."),
+            format!(
+                "Skip the update step of {d} {loc} (a small part of the algorithm is missing)."
+            ),
             format!("The accumulator {d} is not updated {loc}."),
         ],
         "MRS" => vec![
@@ -78,11 +80,15 @@ pub fn render(operator: &str, site: &Site, program: &str, rng: &mut StdRng) -> S
             format!("Simulate a dependency timeout: {d} raises a TimeoutError {loc}."),
         ],
         "LRA" => vec![
-            format!("Access shared state without acquiring lock `{d}` {loc}, opening a race condition."),
+            format!(
+                "Access shared state without acquiring lock `{d}` {loc}, opening a race condition."
+            ),
             format!("Remove the `{d}` lock acquire/release pair {loc} (race window)."),
         ],
         "LRM" => vec![
-            format!("Never release lock `{d}` after acquiring it {loc} (deadlock under contention)."),
+            format!(
+                "Never release lock `{d}` after acquiring it {loc} (deadlock under contention)."
+            ),
             format!("The release of lock `{d}` is missing {loc}."),
         ],
         "RLK" => vec![
@@ -131,10 +137,7 @@ mod tests {
         for op in ["MFC", "MIA", "EHS", "LRA", "RLK", "TDL"] {
             let text = render(op, &site(), "ecommerce", &mut rng);
             assert!(text.contains("ecommerce"), "{op}: {text}");
-            assert!(
-                text.contains("process_transaction"),
-                "{op}: {text}"
-            );
+            assert!(text.contains("process_transaction"), "{op}: {text}");
         }
     }
 
@@ -152,7 +155,9 @@ mod tests {
     #[test]
     fn phrasing_varies_with_rng_state() {
         let mut rng = StdRng::seed_from_u64(2);
-        let texts: Vec<String> = (0..8).map(|_| render("MFC", &site(), "p", &mut rng)).collect();
+        let texts: Vec<String> = (0..8)
+            .map(|_| render("MFC", &site(), "p", &mut rng))
+            .collect();
         let unique: std::collections::BTreeSet<_> = texts.iter().collect();
         assert!(unique.len() > 1, "expected phrasing variety: {texts:?}");
     }

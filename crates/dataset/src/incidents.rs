@@ -200,6 +200,9 @@ mod tests {
         assert!(ds.records.len() > before);
         // The merged dataset still serializes.
         let text = crate::jsonl::encode_all(&ds.records);
-        assert_eq!(crate::jsonl::decode_all(&text).unwrap().len(), ds.records.len());
+        assert_eq!(
+            crate::jsonl::decode_all(&text).unwrap().len(),
+            ds.records.len()
+        );
     }
 }

@@ -147,7 +147,14 @@ fn parse_flat_object(s: &str) -> Result<BTreeMap<String, JsonValue>, String> {
             Some(c) if c.is_ascii_digit() || c == '-' => {
                 let start = i;
                 while peek(&chars, i)
-                    .map(|c| c.is_ascii_digit() || c == '-' || c == '.' || c == 'e' || c == 'E' || c == '+')
+                    .map(|c| {
+                        c.is_ascii_digit()
+                            || c == '-'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c == '+'
+                    })
                     .unwrap_or(false)
                 {
                     i += 1;
@@ -185,7 +192,11 @@ fn expect(chars: &[char], i: &mut usize, c: char) -> Result<(), String> {
         *i += 1;
         Ok(())
     } else {
-        Err(format!("expected `{c}` at {}, found {:?}", i, peek(chars, *i)))
+        Err(format!(
+            "expected `{c}` at {}, found {:?}",
+            i,
+            peek(chars, *i)
+        ))
     }
 }
 
@@ -209,7 +220,10 @@ fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
                     Some('\\') => out.push('\\'),
                     Some('/') => out.push('/'),
                     Some('u') => {
-                        let hex: String = chars.get(*i + 1..*i + 5).map(|s| s.iter().collect()).unwrap_or_default();
+                        let hex: String = chars
+                            .get(*i + 1..*i + 5)
+                            .map(|s| s.iter().collect())
+                            .unwrap_or_default();
                         let code = u32::from_str_radix(&hex, 16)
                             .map_err(|_| format!("bad \\u escape `{hex}`"))?;
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
@@ -264,7 +278,13 @@ mod tests {
 
     #[test]
     fn roundtrip_whole_dataset() {
-        let records = vec![record(), DatasetRecord { id: "x".into(), ..record() }];
+        let records = vec![
+            record(),
+            DatasetRecord {
+                id: "x".into(),
+                ..record()
+            },
+        ];
         let text = encode_all(&records);
         assert_eq!(decode_all(&text).unwrap(), records);
     }

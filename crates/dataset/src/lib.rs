@@ -118,11 +118,18 @@ impl Dataset {
 
     /// Converts all records for LLM fine-tuning.
     pub fn to_training_records(&self) -> Vec<TrainingRecord> {
-        self.records.iter().map(DatasetRecord::to_training).collect()
+        self.records
+            .iter()
+            .map(DatasetRecord::to_training)
+            .collect()
     }
 
     /// Seeded shuffle + split into (train, eval) by fraction.
-    pub fn split(&self, train_fraction: f64, seed: u64) -> (Vec<DatasetRecord>, Vec<DatasetRecord>) {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> (Vec<DatasetRecord>, Vec<DatasetRecord>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut all = self.records.clone();
         all.shuffle(&mut rng);
@@ -151,14 +158,12 @@ pub fn generate(programs: &[SeedProgram], config: &DatasetConfig) -> Dataset {
             };
             let region_before = region_source(&module, plan.site.function.as_deref());
             let region_after = region_source(&fault.module, plan.site.function.as_deref());
-            let description = describe::render(
-                plan.operator,
-                &plan.site,
-                program.name,
-                &mut rng,
-            );
+            let description = describe::render(plan.operator, &plan.site, program.name, &mut rng);
             records.push(DatasetRecord {
-                id: format!("{}:{}:{}:{}", program.name, plan.operator, plan.site.line, i),
+                id: format!(
+                    "{}:{}:{}:{}",
+                    program.name, plan.operator, plan.site.line, i
+                ),
                 program: program.name.to_string(),
                 operator: plan.operator.to_string(),
                 class: plan.class,
@@ -188,7 +193,13 @@ mod tests {
 
     fn small_dataset() -> Dataset {
         let programs = [*nfi_corpus::by_name("kvcache").unwrap()];
-        generate(&programs, &DatasetConfig { per_program_cap: 30, seed: 7 })
+        generate(
+            &programs,
+            &DatasetConfig {
+                per_program_cap: 30,
+                seed: 7,
+            },
+        )
     }
 
     #[test]
@@ -218,7 +229,10 @@ mod tests {
     fn full_corpus_covers_many_classes() {
         let ds = generate(
             nfi_corpus::all(),
-            &DatasetConfig { per_program_cap: 40, seed: 3 },
+            &DatasetConfig {
+                per_program_cap: 40,
+                seed: 3,
+            },
         );
         let counts = ds.class_counts();
         assert!(

@@ -61,7 +61,9 @@ pub fn explore_schedules(
         if report.activated {
             activating.push(seed);
         }
-        *mode_counts.entry(report.overall.key().to_string()).or_insert(0) += 1;
+        *mode_counts
+            .entry(report.overall.key().to_string())
+            .or_insert(0) += 1;
         per_seed.push((seed, report.overall));
     }
     let modes: Vec<FailureMode> = per_seed.iter().map(|(_, m)| m.clone()).collect();
@@ -139,7 +141,8 @@ def test_total():
 
     #[test]
     fn deterministic_fault_is_schedule_insensitive() {
-        let pristine = parse("def f():\n    return 1\ndef test_f():\n    assert f() == 1\n").unwrap();
+        let pristine =
+            parse("def f():\n    return 1\ndef test_f():\n    assert f() == 1\n").unwrap();
         let faulty = parse("def f():\n    return 2\ndef test_f():\n    assert f() == 1\n").unwrap();
         let report = explore_schedules(&pristine, &faulty, &config(), &[1, 2, 3, 4]);
         assert!(!report.schedule_sensitive(), "{:?}", report.mode_counts);

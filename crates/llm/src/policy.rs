@@ -150,7 +150,7 @@ impl Policy {
     /// `∇_w log π(chosen)` for the linear softmax policy.
     fn log_prob_gradient(&self, candidates: &[Candidate], chosen: usize) -> Vec<f32> {
         let probs = self.distribution(candidates);
-        let mut expected = vec![0.0f32; FEATURE_DIM];
+        let mut expected = [0.0f32; FEATURE_DIM];
         for (c, p) in candidates.iter().zip(probs.iter()) {
             for (e, f) in expected.iter_mut().zip(c.features.iter()) {
                 *e += p * f;

@@ -70,7 +70,8 @@ mod tests {
     #[test]
     fn running_example_refinement_adds_retry() {
         let spec = base_spec();
-        let intents = parse_critique("introduce a retry mechanism instead of just logging the error");
+        let intents =
+            parse_critique("introduce a retry mechanism instead of just logging the error");
         let refined = refine_spec(&spec, &intents);
         assert!(refined
             .quantities

@@ -44,9 +44,15 @@ pub fn synthesize(spec: &FaultSpec, module: &Module, params: &GenParams) -> Vec<
             FaultClass::ExceptionHandling
         };
         // Spec-driven patterns, the "creative" half of the generator.
-        out.extend(raise_unhandled(spec, module, params, guard, target, kind_class));
-        out.extend(raise_mishandled(spec, module, params, guard, target, kind_class));
-        out.extend(raise_with_retry(spec, module, params, guard, target, kind_class));
+        out.extend(raise_unhandled(
+            spec, module, params, guard, target, kind_class,
+        ));
+        out.extend(raise_mishandled(
+            spec, module, params, guard, target, kind_class,
+        ));
+        out.extend(raise_with_retry(
+            spec, module, params, guard, target, kind_class,
+        ));
         out.extend(delay_entry(spec, module, params, guard, target));
         out.extend(leak_handle(spec, module, params, guard, target));
         out.extend(overflow_write(spec, module, params, guard, target));
@@ -190,7 +196,11 @@ fn honored(spec: &FaultSpec, params: &GenParams, guard: Option<&Expr>) -> f32 {
 
 /// Inserts statements at the top of the named function, returning the
 /// mutated module and the printed function.
-fn prepend_in_function(module: &Module, target: &str, stmts: Vec<Stmt>) -> Option<(Module, String)> {
+fn prepend_in_function(
+    module: &Module,
+    target: &str,
+    stmts: Vec<Stmt>,
+) -> Option<(Module, String)> {
     let mut m = module.clone();
     let def = m.find_def_mut(target)?;
     if let StmtKind::Def { body, .. } = &mut def.kind {
@@ -352,11 +362,7 @@ fn raise_with_retry(
     let stmts = vec![
         build::assign("nfi_attempts", build::int(0)),
         build::while_(
-            build::cmp(
-                CmpOp::Lt,
-                build::name("nfi_attempts"),
-                build::int(retries),
-            ),
+            build::cmp(CmpOp::Lt, build::name("nfi_attempts"), build::int(retries)),
             loop_body,
         ),
     ];
@@ -502,8 +508,14 @@ fn race_writers(
         ),
     );
     let stmts = vec![
-        build::assign("nfi_t1", build::call("spawn", vec![build::name("nfi_racer")])),
-        build::assign("nfi_t2", build::call("spawn", vec![build::name("nfi_racer")])),
+        build::assign(
+            "nfi_t1",
+            build::call("spawn", vec![build::name("nfi_racer")]),
+        ),
+        build::assign(
+            "nfi_t2",
+            build::call("spawn", vec![build::name("nfi_racer")]),
+        ),
         build::expr_stmt(build::call("join", vec![build::name("nfi_t1")])),
         build::expr_stmt(build::call("join", vec![build::name("nfi_t2")])),
     ];
@@ -578,7 +590,9 @@ mod tests {
     #[test]
     fn every_candidate_module_reparses_and_runs_module_body() {
         let m = module();
-        let s = spec("simulate a database timeout causing an unhandled exception in process_transaction");
+        let s = spec(
+            "simulate a database timeout causing an unhandled exception in process_transaction",
+        );
         let params = crate::params::derive(&s);
         let cands = synthesize(&s, &m, &params);
         assert!(cands.len() >= 5, "got {} candidates", cands.len());
@@ -607,7 +621,9 @@ mod tests {
             .iter()
             .find(|c| c.pattern == "raise_mishandled")
             .unwrap();
-        assert!(c.snippet.contains("raise TimeoutError(\"Database transaction timeout\")"));
+        assert!(c
+            .snippet
+            .contains("raise TimeoutError(\"Database transaction timeout\")"));
         assert!(c.snippet.contains("except TimeoutError as nfi_e:"));
         assert!(c.snippet.contains("Transaction failed:"));
     }
@@ -637,7 +653,11 @@ mod tests {
             .iter()
             .find(|c| c.pattern == "raise_unhandled")
             .unwrap();
-        assert!(c.snippet.contains("if rand_float() < 0.5:"), "{}", c.snippet);
+        assert!(
+            c.snippet.contains("if rand_float() < 0.5:"),
+            "{}",
+            c.snippet
+        );
         assert!(!c.effect_crash, "gated fault does not always crash");
     }
 
@@ -650,7 +670,9 @@ mod tests {
         let c = cands.iter().find(|c| c.pattern == "race_writers").unwrap();
         let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
         machine.run_module(&c.module).unwrap();
-        let out = machine.call("process_transaction", vec![nfi_pylite::Value::None]).unwrap();
+        let out = machine
+            .call("process_transaction", vec![nfi_pylite::Value::None])
+            .unwrap();
         assert!(
             !out.races.is_empty(),
             "expected a detected race, races: {:?}, status {:?}",
@@ -727,9 +749,16 @@ mod guard_tests {
         let mut machine = nfi_pylite::Machine::new(nfi_pylite::MachineConfig::default());
         machine.run_module(&c.module).unwrap();
         let ok = machine
-            .call("checkout", vec![nfi_pylite::Value::list(vec![nfi_pylite::Value::Int(1)])])
+            .call(
+                "checkout",
+                vec![nfi_pylite::Value::list(vec![nfi_pylite::Value::Int(1)])],
+            )
             .unwrap();
-        assert!(ok.clean(), "non-empty cart must not trigger: {:?}", ok.status);
+        assert!(
+            ok.clean(),
+            "non-empty cart must not trigger: {:?}",
+            ok.status
+        );
         let boom = machine
             .call("checkout", vec![nfi_pylite::Value::list(vec![])])
             .unwrap();

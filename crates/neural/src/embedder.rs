@@ -1,9 +1,11 @@
 //! TF-IDF text encoder used for retrieval over the fine-tuning corpus.
 
+use crate::intern::Interner;
 use crate::tensor::cosine;
-use std::collections::HashMap;
 
-/// A fitted TF-IDF vectorizer.
+/// A fitted TF-IDF vectorizer. The vocabulary is an [`Interner`]: tokens
+/// are interned to dense `u32` ids in a single fit pass (no per-token
+/// `String` clones), and embedding only hashes each query token once.
 ///
 /// # Examples
 ///
@@ -20,7 +22,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TfIdf {
-    vocab: HashMap<String, usize>,
+    vocab: Interner,
     idf: Vec<f32>,
 }
 
@@ -28,21 +30,22 @@ impl TfIdf {
     /// Fits vocabulary and inverse document frequencies on a corpus of
     /// tokenized documents.
     pub fn fit(docs: &[Vec<String>]) -> Self {
-        let mut vocab: HashMap<String, usize> = HashMap::new();
+        let mut vocab = Interner::new();
         let mut doc_freq: Vec<usize> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
         for doc in docs {
-            let mut seen: Vec<usize> = Vec::new();
+            seen.clear();
             for tok in doc {
-                let id = *vocab.entry(tok.clone()).or_insert_with(|| {
+                let id = vocab.intern(tok);
+                if id as usize == doc_freq.len() {
                     doc_freq.push(0);
-                    doc_freq.len() - 1
-                });
+                }
                 if !seen.contains(&id) {
                     seen.push(id);
                 }
             }
-            for id in seen {
-                doc_freq[id] += 1;
+            for &id in &seen {
+                doc_freq[id as usize] += 1;
             }
         }
         let n = docs.len().max(1) as f32;
@@ -58,23 +61,39 @@ impl TfIdf {
         self.idf.len()
     }
 
-    /// Embeds a tokenized document as a dense TF-IDF vector
-    /// (out-of-vocabulary tokens are ignored).
-    pub fn embed(&self, tokens: &[String]) -> Vec<f32> {
+    /// Interned id of a token, when in vocabulary.
+    pub fn token_id(&self, token: &str) -> Option<u32> {
+        self.vocab.get(token)
+    }
+
+    /// Interns a tokenized document to ids, dropping OOV tokens but
+    /// reporting the original token count (TF normalization uses it).
+    pub fn encode(&self, tokens: &[String]) -> (Vec<u32>, usize) {
+        let ids = tokens.iter().filter_map(|t| self.vocab.get(t)).collect();
+        (ids, tokens.len())
+    }
+
+    /// Embeds pre-encoded token ids as a dense TF-IDF vector.
+    pub fn embed_ids(&self, ids: &[u32], token_count: usize) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim()];
-        if tokens.is_empty() {
+        if token_count == 0 {
             return v;
         }
-        for tok in tokens {
-            if let Some(&id) = self.vocab.get(tok) {
-                v[id] += 1.0;
-            }
+        for &id in ids {
+            v[id as usize] += 1.0;
         }
-        let len = tokens.len() as f32;
+        let len = token_count as f32;
         for (x, idf) in v.iter_mut().zip(self.idf.iter()) {
             *x = (*x / len) * idf;
         }
         v
+    }
+
+    /// Embeds a tokenized document as a dense TF-IDF vector
+    /// (out-of-vocabulary tokens are ignored).
+    pub fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let (ids, count) = self.encode(tokens);
+        self.embed_ids(&ids, count)
     }
 
     /// Cosine similarity between two tokenized documents.
@@ -130,8 +149,8 @@ mod tests {
             doc("the leak failed"),
         ];
         let t = TfIdf::fit(&docs);
-        let the_id = t.vocab["the"];
-        let timeout_id = t.vocab["timeout"];
+        let the_id = t.token_id("the").unwrap() as usize;
+        let timeout_id = t.token_id("timeout").unwrap() as usize;
         assert!(t.idf[timeout_id] > t.idf[the_id]);
     }
 

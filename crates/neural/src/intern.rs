@@ -1,0 +1,94 @@
+//! String interning: map tokens to dense `u32` ids in one pass.
+//!
+//! The LM, the TF-IDF embedder, and the NLP lexicon all repeatedly keyed
+//! `HashMap<String, usize>` by owned strings, cloning every token on the
+//! way in. An [`Interner`] pays the hash + clone once per *distinct*
+//! token; afterwards everything downstream (training loops, retrieval,
+//! classification) works on `u32` ids.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense string ↔ `u32` id table. The map key and the id-indexed
+/// table share one `Arc<str>` allocation per distinct token.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Id for `token`, inserting it if new. Allocates only on first
+    /// sight (one shared `Arc<str>`).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        let shared: Arc<str> = Arc::from(token);
+        self.map.insert(Arc::clone(&shared), id);
+        self.strings.push(shared);
+        id
+    }
+
+    /// Id for `token` if already interned.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// The string behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Interns every token of a sequence.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = Interner::new();
+        let a = i.intern("timeout");
+        let b = i.intern("retry");
+        let a2 = i.intern("timeout");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "retry");
+        assert_eq!(i.get("retry"), Some(1));
+        assert_eq!(i.get("absent"), None);
+    }
+
+    #[test]
+    fn intern_all_maps_sequences() {
+        let mut i = Interner::new();
+        let toks: Vec<String> = ["a", "b", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(i.intern_all(&toks), vec![0, 1, 0]);
+    }
+}

@@ -30,10 +30,37 @@
 //! ```
 
 pub mod embedder;
+pub mod intern;
 pub mod lm;
 pub mod mlp;
 pub mod optim;
 pub mod tensor;
+
+/// Fast `exp` for the batched kernels: Cephes-style range reduction +
+/// 6th-order polynomial, accurate to ~2e-7 relative on the float range.
+/// Branch-free (clamp/floor/bit-assembly), so the compiler vectorizes
+/// it across a logits row — unlike libm `expf`, which is the dominant
+/// cost of full-vocabulary softmax at training time. The batched
+/// LM path uses this; the per-example reference path keeps libm `exp`,
+/// and the parity suite bounds the difference at 1e-5.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let x = x.clamp(-87.0, 87.0);
+    let n = (LOG2E * x + 0.5).floor();
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let mut p = 1.987_569_1e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_6e-1;
+    p = p * r + 5.000_000_3e-1;
+    let poly = p * r * r + r + 1.0;
+    let two_n = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    poly * two_n
+}
 
 /// Numerically stable softmax over a slice.
 pub fn softmax(xs: &[f32]) -> Vec<f32> {
@@ -120,6 +147,22 @@ mod tests {
         assert_eq!(sample_index(&p, 0.3), 1);
         assert_eq!(sample_index(&p, 0.99), 2);
         assert_eq!(sample_index(&p, 1.0), 2, "clamped to last index");
+    }
+
+    #[test]
+    fn exp_approx_tracks_libm_exp() {
+        for i in -2000..2000 {
+            let x = i as f32 * 0.01; // [-20, 20]
+            let exact = x.exp();
+            let approx = exp_approx(x);
+            let rel = ((approx - exact) / exact.max(f32::MIN_POSITIVE)).abs();
+            assert!(
+                rel < 1e-6,
+                "x={x}: approx {approx} vs exact {exact} (rel {rel})"
+            );
+        }
+        assert!(exp_approx(-200.0) > 0.0, "clamped, not denormal-zero");
+        assert!(exp_approx(200.0).is_finite());
     }
 
     #[test]

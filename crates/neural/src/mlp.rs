@@ -68,7 +68,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two dimensions are given.
     pub fn new(dims: &[usize], act: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for (i, w) in dims.windows(2).enumerate() {
@@ -136,6 +139,84 @@ impl Mlp {
             cur = z;
         }
         outs
+    }
+
+    /// Batched forward pass over `x: B×in`, returning `B×out` — one GEMM
+    /// per layer instead of one matvec per example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the input dimension.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        self.forward_batch_cached(x)
+            .pop()
+            .expect("at least one layer")
+    }
+
+    /// Batched forward returning every layer's post-activation output,
+    /// last entry = network output.
+    fn forward_batch_cached(&self, x: &Matrix) -> Vec<Matrix> {
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "batched input dimension mismatch"
+        );
+        let n_layers = self.weights.len();
+        let mut outs: Vec<Matrix> = Vec::with_capacity(n_layers);
+        for (i, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
+            let input = outs.last().unwrap_or(x);
+            let mut z = input.matmul_nt(w);
+            z.add_row_bias(b);
+            if i != n_layers - 1 {
+                for v in z.data_mut().iter_mut() {
+                    *v = self.act.apply(*v);
+                }
+            }
+            outs.push(z);
+        }
+        outs
+    }
+
+    /// Batched backprop: `grad_out: B×out` rows are dL/d output per
+    /// example; returns gradients *summed* over the batch (equal to
+    /// accumulating [`Mlp::backward`] per example).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn backward_batch(&self, x: &Matrix, grad_out: &Matrix) -> Gradients {
+        assert_eq!(x.rows(), grad_out.rows(), "batch size mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.output_dim(),
+            "output dimension mismatch"
+        );
+        let outs = self.forward_batch_cached(x);
+        let n = self.weights.len();
+        let mut grads = self.zero_gradients();
+
+        let mut delta = grad_out.clone();
+        for layer in (0..n).rev() {
+            let input: &Matrix = if layer == 0 { x } else { &outs[layer - 1] };
+            grads.weights[layer].add_matmul_tn(1.0, &delta, input);
+            for (g, d) in grads.biases[layer].iter_mut().zip(delta.col_sums()) {
+                *g += d;
+            }
+            if layer > 0 {
+                let mut prev = delta.matmul_nn(&self.weights[layer]);
+                for e in 0..prev.rows() {
+                    for (p, y) in prev
+                        .row_mut(e)
+                        .iter_mut()
+                        .zip(outs[layer - 1].row(e).iter())
+                    {
+                        *p *= self.act.derivative_from_output(*y);
+                    }
+                }
+                delta = prev;
+            }
+        }
+        grads
     }
 
     /// Backpropagates `grad_out` (dL/d output) for input `x`, returning
@@ -330,10 +411,7 @@ mod tests {
         }
         for (x, y) in xs.iter().zip(ys.iter()) {
             let out = net.scalar(x);
-            assert!(
-                (out - y).abs() < 0.25,
-                "xor({x:?}) = {out}, expected {y}"
-            );
+            assert!((out - y).abs() < 0.25, "xor({x:?}) = {out}, expected {y}");
         }
     }
 
@@ -363,6 +441,55 @@ mod tests {
             last_loss < first_loss.unwrap() * 0.1,
             "loss failed to drop: {first_loss:?} -> {last_loss}"
         );
+    }
+
+    #[test]
+    fn batched_forward_matches_per_example() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Tanh, 11);
+        let rows = [
+            vec![0.1, -0.2, 0.3],
+            vec![0.5, 0.0, -0.4],
+            vec![-0.9, 0.8, 0.2],
+        ];
+        let x = Matrix::from_vec(3, 3, rows.iter().flatten().copied().collect());
+        let batched = net.forward_batch(&x);
+        for (e, row) in rows.iter().enumerate() {
+            let per_example = net.forward(row);
+            for (a, b) in batched.row(e).iter().zip(per_example.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "row {e}: batched {a} vs per-example {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_summed_per_example() {
+        let net = Mlp::new(&[4, 6, 2], Activation::Tanh, 13);
+        let rows = [
+            [0.3, -0.2, 0.5, 0.1],
+            [0.0, 0.9, -0.5, 0.4],
+            [-0.7, 0.2, 0.2, -0.1],
+        ];
+        let grad_rows = [[1.0, -0.5], [0.25, 0.75], [-1.0, 0.5]];
+        let x = Matrix::from_vec(3, 4, rows.iter().flatten().copied().collect());
+        let g = Matrix::from_vec(3, 2, grad_rows.iter().flatten().copied().collect());
+        let batched = net.backward_batch(&x, &g);
+        let mut reference = net.zero_gradients();
+        for (row, grad) in rows.iter().zip(grad_rows.iter()) {
+            Mlp::accumulate(&mut reference, &net.backward(row, grad));
+        }
+        for (a, b) in batched.weights.iter().zip(reference.weights.iter()) {
+            for (x, y) in a.data().iter().zip(b.data().iter()) {
+                assert!((x - y).abs() < 1e-5, "weight grad {x} vs {y}");
+            }
+        }
+        for (a, b) in batched.biases.iter().zip(reference.biases.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5, "bias grad {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub fn compile_when(clause: &str, symbols: &[String]) -> Option<Expr> {
     // <sym> contains "<word>" — take the word after `contains`.
     if let Some(pos) = rest.iter().position(|t| *t == "contains") {
         if let Some(word) = rest.get(pos + 1) {
-            return Some(build::cmp(
-                CmpOp::In,
-                build::str_(word),
-                build::name(&sym),
-            ));
+            return Some(build::cmp(CmpOp::In, build::str_(word), build::name(&sym)));
         }
     }
     None

@@ -40,10 +40,11 @@ pub fn match_symbols(tokens: &[String], index: &ModuleIndex) -> (Option<String>,
         }
     }
     for name in globals.into_iter().chain(params) {
-        if matches_name(tokens, name) && !symbols.contains(&name.to_string()) {
-            if Some(name.to_string()) != target_function {
-                symbols.push(name.to_string());
-            }
+        if matches_name(tokens, name)
+            && !symbols.contains(&name.to_string())
+            && Some(name.to_string()) != target_function
+        {
+            symbols.push(name.to_string());
         }
     }
     (target_function, symbols)
@@ -53,7 +54,7 @@ pub fn match_symbols(tokens: &[String], index: &ModuleIndex) -> (Option<String>,
 /// verbatim or as a consecutive word span.
 fn matches_name(tokens: &[String], name: &str) -> bool {
     let lower = name.to_lowercase();
-    if tokens.iter().any(|t| *t == lower) {
+    if tokens.contains(&lower) {
         return true;
     }
     let parts: Vec<&str> = lower.split('_').filter(|p| !p.is_empty()).collect();
@@ -87,10 +88,7 @@ mod tests {
 
     #[test]
     fn multi_word_span_fuses_to_snake_case() {
-        let (f, _) = match_symbols(
-            &tokens("inside the process transaction function"),
-            &index(),
-        );
+        let (f, _) = match_symbols(&tokens("inside the process transaction function"), &index());
         assert_eq!(f.as_deref(), Some("process_transaction"));
     }
 

@@ -4,9 +4,17 @@
 //! best and second-best classes are both reported so hybrid descriptions
 //! ("a timeout causing an unhandled exception") keep their causal
 //! structure.
+//!
+//! The lexicon is compiled once into an interned index
+//! ([`nfi_neural::intern::Interner`] keyed by stemmed keyword): scoring
+//! a description is one hash lookup per stem instead of re-building and
+//! re-stemming the whole keyword table per call — this sits on the E7
+//! NLP-stage hot path.
 
 use crate::{stem, EffectHint};
+use nfi_neural::intern::Interner;
 use nfi_sfi::FaultClass;
+use std::sync::OnceLock;
 
 /// Weighted keyword lexicon per fault class. Entries are stemmed at
 /// match time so surface variants (locking / locks / locked) hit.
@@ -122,22 +130,109 @@ fn lexicon() -> Vec<(FaultClass, Vec<(&'static str, f32)>)> {
     ]
 }
 
+/// The lexicon compiled to an interned index: stemmed keyword →
+/// `(class, weight)` hits, plus the effect-hint table.
+struct LexIndex {
+    /// Stemmed keyword → dense id.
+    interner: Interner,
+    /// Per keyword id: classes it scores for.
+    class_weights: Vec<Vec<(FaultClass, f32)>>,
+    /// Per keyword id: effect-hint priority it triggers (lower wins).
+    effect_rank: Vec<Option<u8>>,
+    /// Classes in declaration order (tie-break order of `classify`).
+    class_order: Vec<FaultClass>,
+}
+
+/// Effect hints by priority rank, mirroring [`effect_hint`]'s old
+/// if-else chain.
+const EFFECT_PRIORITY: [(EffectHint, &[&str]); 5] = [
+    (
+        EffectHint::Crash,
+        &["crash", "unhandled", "uncaught", "abort", "panic"],
+    ),
+    (
+        EffectHint::Hang,
+        &["hang", "freeze", "stuck", "deadlock", "forever"],
+    ),
+    (EffectHint::Leak, &["leak", "exhaust"]),
+    (
+        EffectHint::WrongOutput,
+        &["corrupt", "wrong", "incorrect", "silently"],
+    ),
+    (EffectHint::Slow, &["slow", "delay", "latency"]),
+];
+
+fn lex_index() -> &'static LexIndex {
+    static INDEX: OnceLock<LexIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut interner = Interner::new();
+        let mut class_weights: Vec<Vec<(FaultClass, f32)>> = Vec::new();
+        let mut effect_rank: Vec<Option<u8>> = Vec::new();
+        let mut class_order = Vec::new();
+        let slot = |interner: &mut Interner,
+                    class_weights: &mut Vec<Vec<(FaultClass, f32)>>,
+                    effect_rank: &mut Vec<Option<u8>>,
+                    word: &str|
+         -> usize {
+            let id = interner.intern(&stem(word)) as usize;
+            if id == class_weights.len() {
+                class_weights.push(Vec::new());
+                effect_rank.push(None);
+            }
+            id
+        };
+        for (class, words) in lexicon() {
+            class_order.push(class);
+            for (word, weight) in words {
+                let id = slot(&mut interner, &mut class_weights, &mut effect_rank, word);
+                class_weights[id].push((class, weight));
+            }
+        }
+        for (rank, (_, words)) in EFFECT_PRIORITY.iter().enumerate() {
+            for word in *words {
+                let id = slot(&mut interner, &mut class_weights, &mut effect_rank, word);
+                let rank = rank as u8;
+                effect_rank[id] = Some(effect_rank[id].map_or(rank, |r| r.min(rank)));
+            }
+        }
+        LexIndex {
+            interner,
+            class_weights,
+            effect_rank,
+            class_order,
+        }
+    })
+}
+
 /// Classifies stemmed tokens; returns (best, second, confidence).
 pub fn classify(stems: &[String]) -> (Option<FaultClass>, Option<FaultClass>, f32) {
-    let mut scores: Vec<(FaultClass, f32)> = Vec::new();
-    for (class, words) in lexicon() {
-        let mut score = 0.0;
-        for (word, weight) in words {
-            let stemmed = stem(word);
-            let hits = stems.iter().filter(|s| **s == stemmed).count();
-            score += weight * hits as f32;
+    let index = lex_index();
+    let mut by_class: Vec<(FaultClass, f32)> = index
+        .class_order
+        .iter()
+        .map(|class| (*class, 0.0f32))
+        .collect();
+    for s in stems {
+        let Some(id) = index.interner.get(s) else {
+            continue;
+        };
+        for (class, weight) in &index.class_weights[id as usize] {
+            let entry = by_class
+                .iter_mut()
+                .find(|(c, _)| c == class)
+                .expect("class present in order table");
+            entry.1 += weight;
         }
-        // "off by one" trigram boosts WrongValue.
-        if class == FaultClass::WrongValue && has_trigram(stems, "off", "by", "one") {
-            score += 3.0;
-        }
-        scores.push((class, score));
     }
+    // "off by one" trigram boosts WrongValue.
+    if has_trigram(stems, "off", "by", "one") {
+        let entry = by_class
+            .iter_mut()
+            .find(|(c, _)| *c == FaultClass::WrongValue)
+            .expect("WrongValue in order table");
+        entry.1 += 3.0;
+    }
+    let mut scores = by_class;
     scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let (best_class, best) = scores[0];
     let (second_class, second) = scores[1];
@@ -145,7 +240,11 @@ pub fn classify(stems: &[String]) -> (Option<FaultClass>, Option<FaultClass>, f3
         return (None, None, 0.0);
     }
     let confidence = ((best - second) / best).max(0.05);
-    let secondary = if second > 0.0 { Some(second_class) } else { None };
+    let secondary = if second > 0.0 {
+        Some(second_class)
+    } else {
+        None
+    };
     (Some(best_class), secondary, confidence)
 }
 
@@ -155,26 +254,16 @@ fn has_trigram(stems: &[String], a: &str, b: &str, c: &str) -> bool {
         .any(|w| w[0] == a && w[1] == b && w[2] == c)
 }
 
-/// Effect-hint extraction, in priority order.
+/// Effect-hint extraction, in priority order (one interned lookup per
+/// stem; lowest priority rank wins, same as the old if-else chain).
 pub fn effect_hint(stems: &[String]) -> Option<EffectHint> {
-    let any = |words: &[&str]| {
-        words
-            .iter()
-            .any(|w| stems.iter().any(|s| s == &stem(w)))
-    };
-    if any(&["crash", "unhandled", "uncaught", "abort", "panic"]) {
-        Some(EffectHint::Crash)
-    } else if any(&["hang", "freeze", "stuck", "deadlock", "forever"]) {
-        Some(EffectHint::Hang)
-    } else if any(&["leak", "exhaust"]) {
-        Some(EffectHint::Leak)
-    } else if any(&["corrupt", "wrong", "incorrect", "silently"]) {
-        Some(EffectHint::WrongOutput)
-    } else if any(&["slow", "delay", "latency"]) {
-        Some(EffectHint::Slow)
-    } else {
-        None
-    }
+    let index = lex_index();
+    let best = stems
+        .iter()
+        .filter_map(|s| index.interner.get(s))
+        .filter_map(|id| index.effect_rank[id as usize])
+        .min()?;
+    Some(EFFECT_PRIORITY[best as usize].0)
 }
 
 /// Infers the exception kind involved, when the description implies one.
@@ -218,10 +307,47 @@ pub fn exception_kind(description: &str, stems: &[String]) -> Option<String> {
 /// Common function words ignored when building retrieval keywords.
 pub fn is_stopword(stemmed: &str) -> bool {
     const STOP: &[&str] = &[
-        "a", "an", "the", "of", "to", "in", "on", "at", "by", "for", "with", "and", "or", "so",
-        "it", "its", "is", "are", "was", "be", "been", "that", "this", "these", "those", "where",
-        "which", "within", "into", "due", "caus", "function", "scenario", "simulate", "introduce",
-        "make", "should", "would", "will", "can", "may",
+        "a",
+        "an",
+        "the",
+        "of",
+        "to",
+        "in",
+        "on",
+        "at",
+        "by",
+        "for",
+        "with",
+        "and",
+        "or",
+        "so",
+        "it",
+        "its",
+        "is",
+        "are",
+        "was",
+        "be",
+        "been",
+        "that",
+        "this",
+        "these",
+        "those",
+        "where",
+        "which",
+        "within",
+        "into",
+        "due",
+        "caus",
+        "function",
+        "scenario",
+        "simulate",
+        "introduce",
+        "make",
+        "should",
+        "would",
+        "will",
+        "can",
+        "may",
     ];
     STOP.contains(&stemmed)
 }
@@ -238,14 +364,29 @@ mod tests {
     #[test]
     fn each_class_has_a_clear_example() {
         let cases = [
-            ("a timeout while waiting for the slow database", FaultClass::Timing),
-            ("a race condition on the shared lock", FaultClass::Concurrency),
+            (
+                "a timeout while waiting for the slow database",
+                FaultClass::Timing,
+            ),
+            (
+                "a race condition on the shared lock",
+                FaultClass::Concurrency,
+            ),
             ("leak the unclosed socket handle", FaultClass::ResourceLeak),
-            ("overflow the bounded buffer capacity", FaultClass::BufferOverflow),
-            ("swallow the exception in the handler", FaultClass::ExceptionHandling),
+            (
+                "overflow the bounded buffer capacity",
+                FaultClass::BufferOverflow,
+            ),
+            (
+                "swallow the exception in the handler",
+                FaultClass::ExceptionHandling,
+            ),
             ("omit the missing validation step", FaultClass::Omission),
             ("assign a corrupt incorrect value", FaultClass::WrongValue),
-            ("pass a duplicate argument to the api", FaultClass::Interface),
+            (
+                "pass a duplicate argument to the api",
+                FaultClass::Interface,
+            ),
         ];
         for (text, expected) in cases {
             let (best, _, conf) = classify(&stems_of(text));
@@ -276,7 +417,10 @@ mod tests {
 
     #[test]
     fn exception_kind_explicit_name_wins() {
-        let k = exception_kind("raise a ZeroDivisionError here", &stems_of("raise a ZeroDivisionError here"));
+        let k = exception_kind(
+            "raise a ZeroDivisionError here",
+            &stems_of("raise a ZeroDivisionError here"),
+        );
         assert_eq!(k.as_deref(), Some("ZeroDivisionError"));
     }
 

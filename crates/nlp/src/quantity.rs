@@ -34,9 +34,7 @@ pub fn extract(text: &str) -> Vec<Quantity> {
         if chars[i].is_ascii_digit() {
             let start = i;
             let mut seen_dot = false;
-            while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot)) {
                 if chars[i] == '.' {
                     // Only treat as decimal point when a digit follows.
                     if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
@@ -109,47 +107,92 @@ mod tests {
     fn seconds_and_decimals() {
         let q = extract("wait 1.5 seconds then 30 s");
         assert_eq!(q.len(), 2);
-        assert_eq!(q[0], Quantity { value: 1.5, unit: Unit::Seconds });
-        assert_eq!(q[1], Quantity { value: 30.0, unit: Unit::Seconds });
+        assert_eq!(
+            q[0],
+            Quantity {
+                value: 1.5,
+                unit: Unit::Seconds
+            }
+        );
+        assert_eq!(
+            q[1],
+            Quantity {
+                value: 30.0,
+                unit: Unit::Seconds
+            }
+        );
     }
 
     #[test]
     fn minutes_normalize_to_seconds() {
         let q = extract("after 2 minutes");
-        assert_eq!(q[0], Quantity { value: 120.0, unit: Unit::Seconds });
+        assert_eq!(
+            q[0],
+            Quantity {
+                value: 120.0,
+                unit: Unit::Seconds
+            }
+        );
     }
 
     #[test]
     fn percent_sign_and_word() {
         assert_eq!(
             extract("fail 25% of requests")[0],
-            Quantity { value: 25.0, unit: Unit::Percent }
+            Quantity {
+                value: 25.0,
+                unit: Unit::Percent
+            }
         );
         assert_eq!(
             extract("fail 10 percent of requests")[0],
-            Quantity { value: 10.0, unit: Unit::Percent }
+            Quantity {
+                value: 10.0,
+                unit: Unit::Percent
+            }
         );
     }
 
     #[test]
     fn counts() {
         let q = extract("retry 3 times across 5 attempts");
-        assert_eq!(q[0], Quantity { value: 3.0, unit: Unit::Count });
-        assert_eq!(q[1], Quantity { value: 5.0, unit: Unit::Count });
+        assert_eq!(
+            q[0],
+            Quantity {
+                value: 3.0,
+                unit: Unit::Count
+            }
+        );
+        assert_eq!(
+            q[1],
+            Quantity {
+                value: 5.0,
+                unit: Unit::Count
+            }
+        );
     }
 
     #[test]
     fn bare_numbers_have_no_unit() {
         assert_eq!(
             extract("use version 7 now")[0],
-            Quantity { value: 7.0, unit: Unit::None }
+            Quantity {
+                value: 7.0,
+                unit: Unit::None
+            }
         );
     }
 
     #[test]
     fn number_at_end_of_sentence() {
         let q = extract("set the limit to 8.");
-        assert_eq!(q[0], Quantity { value: 8.0, unit: Unit::None });
+        assert_eq!(
+            q[0],
+            Quantity {
+                value: 8.0,
+                unit: Unit::None
+            }
+        );
     }
 
     #[test]

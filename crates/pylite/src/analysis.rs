@@ -75,10 +75,8 @@ impl ModuleIndex {
                 StmtKind::Assign {
                     target: Target::Name(n),
                     ..
-                } => {
-                    if !index.globals.contains(n) {
-                        index.globals.push(n.clone());
-                    }
+                } if !index.globals.contains(n) => {
+                    index.globals.push(n.clone());
                 }
                 _ => {}
             }
@@ -244,75 +242,6 @@ pub fn visit_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse;
-
-    const SRC: &str = "\
-inventory = {}
-def add_item(name, qty):
-    if qty < 0:
-        raise ValueError(\"negative\")
-    inventory[name] = qty
-
-def total():
-    t = 0
-    for k, v in inventory.items():
-        t += v
-    return t
-
-def test_add():
-    add_item(\"a\", 3)
-    assert total() == 3
-";
-
-    #[test]
-    fn index_finds_functions_and_globals() {
-        let m = parse(SRC).unwrap();
-        let idx = ModuleIndex::build(&m);
-        assert_eq!(idx.function_names(), vec!["add_item", "total", "test_add"]);
-        assert!(idx.globals.contains(&"inventory".to_string()));
-    }
-
-    #[test]
-    fn function_info_captures_structure() {
-        let m = parse(SRC).unwrap();
-        let idx = ModuleIndex::build(&m);
-        let add = idx.function("add_item").unwrap();
-        assert_eq!(add.params, vec!["name", "qty"]);
-        assert!(add.has_raise);
-        assert!(!add.has_loop);
-        let total = idx.function("total").unwrap();
-        assert!(total.has_loop);
-        assert!(!total.has_raise);
-    }
-
-    #[test]
-    fn call_graph_edges() {
-        let m = parse(SRC).unwrap();
-        let idx = ModuleIndex::build(&m);
-        let t = idx.function("test_add").unwrap();
-        assert!(t.calls.contains(&"add_item".to_string()));
-        assert!(t.calls.contains(&"total".to_string()));
-    }
-
-    #[test]
-    fn test_functions_by_convention() {
-        let m = parse(SRC).unwrap();
-        let idx = ModuleIndex::build(&m);
-        assert_eq!(idx.test_functions(), vec!["test_add"]);
-    }
-
-    #[test]
-    fn referenced_names_include_globals_and_params() {
-        let m = parse(SRC).unwrap();
-        let idx = ModuleIndex::build(&m);
-        assert!(idx.referenced.contains("inventory"));
-        assert!(idx.referenced.contains("qty"));
-    }
-}
-
 /// Mutable variant of [`visit_exprs_stmt`]: invokes `f` on every
 /// expression directly contained in a statement.
 pub fn visit_exprs_stmt_mut(stmt: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
@@ -467,4 +396,73 @@ pub fn enclosing_function(module: &Module, id: NodeId) -> Option<String> {
         }
     });
     result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = "\
+inventory = {}
+def add_item(name, qty):
+    if qty < 0:
+        raise ValueError(\"negative\")
+    inventory[name] = qty
+
+def total():
+    t = 0
+    for k, v in inventory.items():
+        t += v
+    return t
+
+def test_add():
+    add_item(\"a\", 3)
+    assert total() == 3
+";
+
+    #[test]
+    fn index_finds_functions_and_globals() {
+        let m = parse(SRC).unwrap();
+        let idx = ModuleIndex::build(&m);
+        assert_eq!(idx.function_names(), vec!["add_item", "total", "test_add"]);
+        assert!(idx.globals.contains(&"inventory".to_string()));
+    }
+
+    #[test]
+    fn function_info_captures_structure() {
+        let m = parse(SRC).unwrap();
+        let idx = ModuleIndex::build(&m);
+        let add = idx.function("add_item").unwrap();
+        assert_eq!(add.params, vec!["name", "qty"]);
+        assert!(add.has_raise);
+        assert!(!add.has_loop);
+        let total = idx.function("total").unwrap();
+        assert!(total.has_loop);
+        assert!(!total.has_raise);
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let m = parse(SRC).unwrap();
+        let idx = ModuleIndex::build(&m);
+        let t = idx.function("test_add").unwrap();
+        assert!(t.calls.contains(&"add_item".to_string()));
+        assert!(t.calls.contains(&"total".to_string()));
+    }
+
+    #[test]
+    fn test_functions_by_convention() {
+        let m = parse(SRC).unwrap();
+        let idx = ModuleIndex::build(&m);
+        assert_eq!(idx.test_functions(), vec!["test_add"]);
+    }
+
+    #[test]
+    fn referenced_names_include_globals_and_params() {
+        let m = parse(SRC).unwrap();
+        let idx = ModuleIndex::build(&m);
+        assert!(idx.referenced.contains("inventory"));
+        assert!(idx.referenced.contains("qty"));
+    }
 }

@@ -904,11 +904,7 @@ mod tests {
     fn renumber_assigns_dense_preorder_ids() {
         let mut m = Module {
             body: vec![
-                build::def(
-                    "f",
-                    vec!["a"],
-                    vec![build::return_(Some(build::name("a")))],
-                ),
+                build::def("f", vec!["a"], vec![build::return_(Some(build::name("a")))]),
                 build::expr_stmt(build::call("f", vec![build::int(1)])),
             ],
         };

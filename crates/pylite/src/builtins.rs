@@ -148,7 +148,10 @@ pub(crate) fn call(m: &mut Machine, tid: TaskId, name: &str, args: Vec<Value>) -
             },
             [other] => raise(
                 "TypeError",
-                format!("int() argument must be numeric or string, not {}", other.type_name()),
+                format!(
+                    "int() argument must be numeric or string, not {}",
+                    other.type_name()
+                ),
             ),
             _ => arity_error("int", "1", args.len()),
         },
@@ -165,7 +168,10 @@ pub(crate) fn call(m: &mut Machine, tid: TaskId, name: &str, args: Vec<Value>) -
             },
             [other] => raise(
                 "TypeError",
-                format!("float() argument must be numeric or string, not {}", other.type_name()),
+                format!(
+                    "float() argument must be numeric or string, not {}",
+                    other.type_name()
+                ),
             ),
             _ => arity_error("float", "1", args.len()),
         },
@@ -201,12 +207,7 @@ pub(crate) fn call(m: &mut Machine, tid: TaskId, name: &str, args: Vec<Value>) -
                             best = v.clone();
                         }
                     }
-                    None => {
-                        return raise(
-                            "TypeError",
-                            format!("{name}() got incomparable values"),
-                        )
-                    }
+                    None => return raise("TypeError", format!("{name}() got incomparable values")),
                 }
             }
             BuiltinFlow::Value(best)
@@ -288,7 +289,10 @@ pub(crate) fn call(m: &mut Machine, tid: TaskId, name: &str, args: Vec<Value>) -
                 },
                 other => raise(
                     "TypeError",
-                    format!("spawn() first argument must be a function, not {}", other.type_name()),
+                    format!(
+                        "spawn() first argument must be a function, not {}",
+                        other.type_name()
+                    ),
                 ),
             }
         }
@@ -324,7 +328,12 @@ pub(crate) fn call(m: &mut Machine, tid: TaskId, name: &str, args: Vec<Value>) -
         "make_buffer" => {
             let cap = match args.as_slice() {
                 [Value::Int(i)] if *i >= 0 => *i as usize,
-                _ => return raise("ValueError", "make_buffer() expects a non-negative capacity"),
+                _ => {
+                    return raise(
+                        "ValueError",
+                        "make_buffer() expects a non-negative capacity",
+                    )
+                }
             };
             BuiltinFlow::Value(Value::Buffer(Rc::new(RefCell::new(BufferObj {
                 data: Vec::new(),
@@ -520,7 +529,10 @@ fn list_method(
         ("copy", []) => BuiltinFlow::Value(Value::list(l.borrow().clone())),
         _ => raise(
             "TypeError",
-            format!("list has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "list has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }
@@ -554,12 +566,12 @@ fn dict_method(
                 .unwrap_or_else(|| default.clone());
             BuiltinFlow::Value(v)
         }
-        ("keys", []) => {
-            BuiltinFlow::Value(Value::list(d.borrow().iter().map(|(k, _)| k.clone()).collect()))
-        }
-        ("values", []) => {
-            BuiltinFlow::Value(Value::list(d.borrow().iter().map(|(_, v)| v.clone()).collect()))
-        }
+        ("keys", []) => BuiltinFlow::Value(Value::list(
+            d.borrow().iter().map(|(k, _)| k.clone()).collect(),
+        )),
+        ("values", []) => BuiltinFlow::Value(Value::list(
+            d.borrow().iter().map(|(_, v)| v.clone()).collect(),
+        )),
         ("items", []) => BuiltinFlow::Value(Value::list(
             d.borrow()
                 .iter()
@@ -610,19 +622,22 @@ fn dict_method(
         }
         _ => raise(
             "TypeError",
-            format!("dict has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "dict has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }
 
 fn str_method(s: &Rc<str>, method: &str, args: Vec<Value>) -> BuiltinFlow {
     match (method, args.as_slice()) {
-        ("split", []) => BuiltinFlow::Value(Value::list(
-            s.split_whitespace().map(Value::str).collect(),
-        )),
-        ("split", [Value::Str(sep)]) => BuiltinFlow::Value(Value::list(
-            s.split(sep.as_ref()).map(Value::str).collect(),
-        )),
+        ("split", []) => {
+            BuiltinFlow::Value(Value::list(s.split_whitespace().map(Value::str).collect()))
+        }
+        ("split", [Value::Str(sep)]) => {
+            BuiltinFlow::Value(Value::list(s.split(sep.as_ref()).map(Value::str).collect()))
+        }
         ("join", [Value::List(items)]) => {
             let mut parts = Vec::new();
             for v in items.borrow().iter() {
@@ -719,7 +734,10 @@ fn buffer_method(
         }
         _ => raise(
             "TypeError",
-            format!("buffer has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "buffer has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }
@@ -743,7 +761,10 @@ fn handle_method(h: &Rc<HandleObj>, method: &str, args: Vec<Value>) -> BuiltinFl
         ("read_all", []) => BuiltinFlow::Value(Value::list(h.written.borrow().clone())),
         _ => raise(
             "TypeError",
-            format!("handle has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "handle has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }
@@ -773,7 +794,10 @@ fn lock_method(
         ("locked", []) => BuiltinFlow::Value(Value::Bool(!m.try_peek_free(lock))),
         _ => raise(
             "TypeError",
-            format!("lock has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "lock has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }
@@ -784,7 +808,10 @@ fn exc_method(e: &Rc<ExcObj>, method: &str, args: Vec<Value>) -> BuiltinFlow {
         ("message", []) => BuiltinFlow::Value(Value::str(e.message.as_str())),
         _ => raise(
             "TypeError",
-            format!("exception has no method `{method}` with {} arguments", args.len()),
+            format!(
+                "exception has no method `{method}` with {} arguments",
+                args.len()
+            ),
         ),
     }
 }

@@ -337,11 +337,7 @@ impl Compiler {
                 if self.is_module {
                     return Err(self.err(span, "return outside function"));
                 }
-                if self
-                    .scopes
-                    .iter()
-                    .any(|s| matches!(s, Scope::InFinally))
-                {
+                if self.scopes.iter().any(|s| matches!(s, Scope::InFinally)) {
                     return Err(self.err(span, "return inside finally suite is not supported"));
                 }
                 match value {
@@ -414,15 +410,10 @@ impl Compiler {
             }
             StmtKind::Break | StmtKind::Continue => {
                 let is_break = matches!(stmt.kind, StmtKind::Break);
-                if self
-                    .scopes
-                    .iter()
-                    .any(|s| matches!(s, Scope::InFinally))
-                {
-                    return Err(self.err(
-                        span,
-                        "break/continue inside finally suite is not supported",
-                    ));
+                if self.scopes.iter().any(|s| matches!(s, Scope::InFinally)) {
+                    return Err(
+                        self.err(span, "break/continue inside finally suite is not supported")
+                    );
                 }
                 // Unwind compiler scopes down to the nearest loop: pop try
                 // blocks, inlining their finally suites.
@@ -810,7 +801,7 @@ mod tests {
         let stores = code
             .instrs
             .iter()
-            .filter(|i| matches!(i, Instr::StoreGlobal(idx) if code.names[**&idx as usize] == "y"))
+            .filter(|i| matches!(i, Instr::StoreGlobal(idx) if code.names[*idx as usize] == "y"))
             .count();
         assert_eq!(stores, 2);
     }

@@ -209,10 +209,8 @@ impl<'a> Lexer<'a> {
     fn run(mut self) -> Result<Vec<SpannedTok>, PyliteError> {
         let _ = self.source;
         loop {
-            if self.at_line_start() && self.paren_depth == 0 {
-                if !self.handle_indentation()? {
-                    break;
-                }
+            if self.at_line_start() && self.paren_depth == 0 && !self.handle_indentation()? {
+                break;
             }
             match self.peek() {
                 None => break,

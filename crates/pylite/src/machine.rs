@@ -624,7 +624,9 @@ impl Machine {
 
     pub(crate) fn note_global_store_hint(&mut self, name: &str, value: &Value) {
         if let Some(addr) = container_addr(value) {
-            self.obj_names.entry(addr).or_insert_with(|| name.to_string());
+            self.obj_names
+                .entry(addr)
+                .or_insert_with(|| name.to_string());
         }
     }
 
@@ -721,7 +723,11 @@ impl Machine {
 
     // ---- task / builtin support (used by builtins.rs) ---------------------
 
-    pub(crate) fn spawn_task(&mut self, func: Rc<FuncObj>, args: Vec<Value>) -> Result<TaskId, Value> {
+    pub(crate) fn spawn_task(
+        &mut self,
+        func: Rc<FuncObj>,
+        args: Vec<Value>,
+    ) -> Result<TaskId, Value> {
         let mut frame = Frame::new(func.code.clone());
         bind_args(&func, args, &mut frame)?;
         let id = self.tasks.len();
@@ -799,10 +805,13 @@ impl Machine {
     fn raise_in_task(&mut self, tid: TaskId, exc: Value) {
         let exc_obj = match &exc {
             Value::Exc(e) => e.clone(),
-            other => Rc::new(ExcObj::new("TypeError", format!(
-                "exceptions must be exception values, not {}",
-                other.type_name()
-            ))),
+            other => Rc::new(ExcObj::new(
+                "TypeError",
+                format!(
+                    "exceptions must be exception values, not {}",
+                    other.type_name()
+                ),
+            )),
         };
         let exc = Value::Exc(exc_obj.clone());
         let task = &mut self.tasks[tid];
@@ -852,7 +861,11 @@ impl Machine {
                 task.status = TaskStatus::Done(Ok(result));
                 return StepFlow::Finished;
             }
-            task.frames.last_mut().expect("caller frame").stack.push(result);
+            task.frames
+                .last_mut()
+                .expect("caller frame")
+                .stack
+                .push(result);
             return StepFlow::Normal;
         }
         let instr = frame.code.instrs[frame.pc];
@@ -1045,9 +1058,7 @@ impl Machine {
                 let args = frame.stack.split_off(at);
                 let recv = frame.stack.pop().expect("receiver");
                 match builtins::call_method(self, tid, &recv, &method, args) {
-                    BuiltinFlow::Value(v) => {
-                        task.frames.last_mut().expect("frame").stack.push(v)
-                    }
+                    BuiltinFlow::Value(v) => task.frames.last_mut().expect("frame").stack.push(v),
                     BuiltinFlow::Raise(e) => raise!(task, e),
                     BuiltinFlow::Block(w) => {
                         task.status = TaskStatus::Blocked(w);
@@ -1062,7 +1073,11 @@ impl Machine {
                     task.status = TaskStatus::Done(Ok(result));
                     return StepFlow::Finished;
                 }
-                task.frames.last_mut().expect("caller frame").stack.push(result);
+                task.frames
+                    .last_mut()
+                    .expect("caller frame")
+                    .stack
+                    .push(result);
             }
             Instr::MakeFunction { code, n_defaults } => {
                 let at = frame.stack.len() - n_defaults as usize;
@@ -1109,10 +1124,7 @@ impl Machine {
                     Value::List(l) => l.borrow().clone(),
                     other => raise!(
                         task,
-                        Value::exc(
-                            "TypeError",
-                            format!("cannot unpack {}", other.type_name())
-                        )
+                        Value::exc("TypeError", format!("cannot unpack {}", other.type_name()))
                     ),
                 };
                 if items.len() != n as usize {
@@ -1311,7 +1323,11 @@ fn bind_args(func: &FuncObj, args: Vec<Value>, frame: &mut Frame) -> Result<(), 
 fn next_item(it: &mut IterObj) -> Option<Value> {
     match it {
         IterObj::Range { next, stop, step } => {
-            let more = if *step > 0 { *next < *stop } else { *next > *stop };
+            let more = if *step > 0 {
+                *next < *stop
+            } else {
+                *next > *stop
+            };
             if more {
                 let v = *next;
                 *next += *step;
@@ -1346,7 +1362,9 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> RunOutcome {
-        Machine::new(MachineConfig::default()).run_source(src).unwrap()
+        Machine::new(MachineConfig::default())
+            .run_source(src)
+            .unwrap()
     }
 
     #[test]
@@ -1380,13 +1398,16 @@ mod tests {
 
     #[test]
     fn for_loop_over_range_and_list() {
-        let out = run("s = 0\nfor i in range(5):\n    s += i\nfor x in [10, 20]:\n    s += x\nprint(s)\n");
+        let out = run(
+            "s = 0\nfor i in range(5):\n    s += i\nfor x in [10, 20]:\n    s += x\nprint(s)\n",
+        );
         assert_eq!(out.output, "40\n");
     }
 
     #[test]
     fn for_with_tuple_unpack() {
-        let out = run("d = {\"a\": 1, \"b\": 2}\nt = 0\nfor k, v in d.items():\n    t += v\nprint(t)\n");
+        let out =
+            run("d = {\"a\": 1, \"b\": 2}\nt = 0\nfor k, v in d.items():\n    t += v\nprint(t)\n");
         assert_eq!(out.output, "3\n");
     }
 
@@ -1453,8 +1474,10 @@ mod tests {
     #[test]
     fn globals_persist_across_call() {
         let mut m = Machine::new(MachineConfig::default());
-        m.run_source("counter = 0\ndef bump():\n    global counter\n    counter += 1\n    return counter\n")
-            .unwrap();
+        m.run_source(
+            "counter = 0\ndef bump():\n    global counter\n    counter += 1\n    return counter\n",
+        )
+        .unwrap();
         let out = m.call("bump", vec![]).unwrap();
         assert!(out.return_value.unwrap().py_eq(&Value::Int(1)));
         let out = m.call("bump", vec![]).unwrap();
@@ -1470,9 +1493,7 @@ mod tests {
 
     #[test]
     fn spawn_join_returns_value() {
-        let out = run(
-            "def work(n):\n    return n * 2\nt = spawn(work, 21)\nprint(join(t))\n",
-        );
+        let out = run("def work(n):\n    return n * 2\nt = spawn(work, 21)\nprint(join(t))\n");
         assert_eq!(out.output, "42\n");
         assert!(out.clean());
     }
@@ -1487,7 +1508,9 @@ mod tests {
 
     #[test]
     fn unjoined_task_failure_is_reported() {
-        let out = run("def bad():\n    raise RuntimeError(\"lost\")\nspawn(bad)\nsleep(1)\nprint(\"done\")\n");
+        let out = run(
+            "def bad():\n    raise RuntimeError(\"lost\")\nspawn(bad)\nsleep(1)\nprint(\"done\")\n",
+        );
         assert_eq!(out.task_failures.len(), 1);
         assert_eq!(out.task_failures[0].kind, "RuntimeError");
     }
@@ -1578,7 +1601,9 @@ mod tests {
 
     #[test]
     fn assert_failure_raises_assertion_error() {
-        let out = run("try:\n    assert 1 == 2, \"nope\"\nexcept AssertionError as e:\n    print(str(e))\n");
+        let out = run(
+            "try:\n    assert 1 == 2, \"nope\"\nexcept AssertionError as e:\n    print(str(e))\n",
+        );
         assert_eq!(out.output, "AssertionError: nope\n");
     }
 

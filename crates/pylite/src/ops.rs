@@ -320,9 +320,12 @@ mod tests {
         assert!(binary(BinOp::FloorDiv, &int(7), &int(2))
             .unwrap()
             .py_eq(&int(3)));
-        assert!(binary(BinOp::Mod, &int(-7), &int(3))
-            .unwrap()
-            .py_eq(&int(2)), "python-style euclidean modulo");
+        assert!(
+            binary(BinOp::Mod, &int(-7), &int(3))
+                .unwrap()
+                .py_eq(&int(2)),
+            "python-style euclidean modulo"
+        );
         assert!(binary(BinOp::Pow, &int(2), &int(10))
             .unwrap()
             .py_eq(&int(1024)));

@@ -120,10 +120,7 @@ impl Parser {
         } else if self.at(&Tok::Eof) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected end of line, found {:?}",
-                self.cur().tok
-            )))
+            Err(self.err(format!("expected end of line, found {:?}", self.cur().tok)))
         }
     }
 
@@ -277,11 +274,9 @@ impl Parser {
                 obj: *obj,
                 index: *index,
             }),
-            _ => Err(PyliteError::new(
-                ErrorKind::Parse,
-                "invalid assignment target",
-            )
-            .with_span(e.span)),
+            _ => Err(
+                PyliteError::new(ErrorKind::Parse, "invalid assignment target").with_span(e.span),
+            ),
         }
     }
 
@@ -797,13 +792,7 @@ mod tests {
         if let StmtKind::Assign { value, .. } = &m.body[0].kind {
             if let ExprKind::Bin { op, right, .. } = &value.kind {
                 assert_eq!(*op, BinOp::Add);
-                assert!(matches!(
-                    right.kind,
-                    ExprKind::Bin {
-                        op: BinOp::Mul,
-                        ..
-                    }
-                ));
+                assert!(matches!(right.kind, ExprKind::Bin { op: BinOp::Mul, .. }));
                 return;
             }
         }
@@ -816,13 +805,7 @@ mod tests {
         if let StmtKind::Assign { value, .. } = &m.body[0].kind {
             if let ExprKind::Bin { op, right, .. } = &value.kind {
                 assert_eq!(*op, BinOp::Pow);
-                assert!(matches!(
-                    right.kind,
-                    ExprKind::Bin {
-                        op: BinOp::Pow,
-                        ..
-                    }
-                ));
+                assert!(matches!(right.kind, ExprKind::Bin { op: BinOp::Pow, .. }));
                 return;
             }
         }

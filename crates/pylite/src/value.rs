@@ -228,12 +228,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
-            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
-                (*a as i64) == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => (*a as i64) == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
@@ -436,10 +432,7 @@ mod tests {
             Value::list(vec![Value::Int(1), Value::Int(2)]).repr(),
             "[1, 2]"
         );
-        assert_eq!(
-            Value::Tuple(Rc::new(vec![Value::Int(1)])).repr(),
-            "(1,)"
-        );
+        assert_eq!(Value::Tuple(Rc::new(vec![Value::Int(1)])).repr(), "(1,)");
     }
 
     #[test]

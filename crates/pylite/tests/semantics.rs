@@ -147,7 +147,10 @@ fn error_kinds_are_precise() {
     raises("x = {}[\"k\"]\n", "KeyError");
     raises("x = 1 + \"a\"\n", "TypeError");
     raises("x = nonexistent\n", "NameError");
-    raises("def f():\n    return x9\n    x9 = 1\nf()\n", "UnboundLocalError");
+    raises(
+        "def f():\n    return x9\n    x9 = 1\nf()\n",
+        "UnboundLocalError",
+    );
     raises("assert False\n", "AssertionError");
     raises("def f(a):\n    return a\nf()\n", "TypeError");
     raises("def f(a):\n    return a\nf(1, 2)\n", "TypeError");

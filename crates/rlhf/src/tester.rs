@@ -251,8 +251,14 @@ mod tests {
         let (spec, m) = scenario();
         let llm = FaultLlm::untrained(LlmConfig::default());
         let cands = llm.candidates(&spec, &m);
-        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
-        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let retry = cands
+            .iter()
+            .find(|c| c.pattern == "raise_with_retry")
+            .unwrap();
+        let plain = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
         let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 3);
         tester.noise = 0.0;
         assert!(tester.rate_candidate(retry, 1.0) > tester.rate_candidate(plain, 1.0));
@@ -263,8 +269,14 @@ mod tests {
         let (spec, m) = scenario();
         let llm = FaultLlm::untrained(LlmConfig::default());
         let cands = llm.candidates(&spec, &m);
-        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
-        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let retry = cands
+            .iter()
+            .find(|c| c.pattern == "raise_with_retry")
+            .unwrap();
+        let plain = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
         let mut tester = SimulatedTester::new(TargetProfile::wants_crashes(), 3);
         tester.noise = 0.0;
         assert!(tester.rate_candidate(plain, 1.0) > tester.rate_candidate(retry, 1.0));
@@ -300,11 +312,19 @@ mod tests {
         let (spec, m) = scenario();
         let llm = FaultLlm::untrained(LlmConfig::default());
         let cands = llm.candidates(&spec, &m);
-        let retry = cands.iter().find(|c| c.pattern == "raise_with_retry").unwrap();
-        let plain = cands.iter().find(|c| c.pattern == "raise_unhandled").unwrap();
+        let retry = cands
+            .iter()
+            .find(|c| c.pattern == "raise_with_retry")
+            .unwrap();
+        let plain = cands
+            .iter()
+            .find(|c| c.pattern == "raise_unhandled")
+            .unwrap();
         let mut tester = SimulatedTester::new(TargetProfile::wants_retry(), 3);
         tester.noise = 0.0;
-        let pair = tester.prefer(plain, 1.0, retry, 1.0).expect("clear preference");
+        let pair = tester
+            .prefer(plain, 1.0, retry, 1.0)
+            .expect("clear preference");
         assert_eq!(pair.winner, retry.features);
         assert_eq!(pair.loser, plain.features);
         assert!(pair.margin > 0.0);

@@ -220,9 +220,18 @@ mod tests {
 
     fn scenarios() -> Vec<(FaultSpec, Module)> {
         let sources = [
-            ("def handle(req):\n    return 1\n", "simulate a timeout causing an unhandled exception in handle"),
-            ("def fetch(url):\n    return url\n", "simulate a timeout failure with an error in fetch"),
-            ("def store(v):\n    return v\n", "simulate a timeout exception inside store"),
+            (
+                "def handle(req):\n    return 1\n",
+                "simulate a timeout causing an unhandled exception in handle",
+            ),
+            (
+                "def fetch(url):\n    return url\n",
+                "simulate a timeout failure with an error in fetch",
+            ),
+            (
+                "def store(v):\n    return v\n",
+                "simulate a timeout exception inside store",
+            ),
         ];
         sources
             .iter()

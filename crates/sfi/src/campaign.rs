@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One planned injection: an operator applied at a site.
 #[derive(Debug, Clone)]
@@ -43,7 +44,7 @@ pub struct CampaignReport {
 /// # Ok::<(), nfi_pylite::PyliteError>(())
 /// ```
 pub struct Campaign {
-    module: Module,
+    module: Arc<Module>,
     plans: Vec<FaultPlan>,
 }
 
@@ -77,7 +78,7 @@ impl Campaign {
             }
         }
         Campaign {
-            module: module.clone(),
+            module: Arc::new(module.clone()),
             plans,
         }
     }
@@ -92,13 +93,31 @@ impl Campaign {
         &self.module
     }
 
+    /// The module behind a cheap shared pointer (what the parallel
+    /// execution engine clones instead of the whole AST).
+    pub fn module_arc(&self) -> Arc<Module> {
+        Arc::clone(&self.module)
+    }
+
     /// A seeded random sample of at most `n` plans (without replacement).
+    ///
+    /// Only indices are shuffled; plans are cloned for the picked `n`,
+    /// not for the whole enumeration.
     pub fn sample(&self, n: usize, seed: u64) -> Vec<FaultPlan> {
+        self.sample_indices(n, seed)
+            .into_iter()
+            .map(|i| self.plans[i].clone())
+            .collect()
+    }
+
+    /// Indices of a seeded random sample of at most `n` plans (without
+    /// replacement), avoiding any plan clones.
+    pub fn sample_indices(&self, n: usize, seed: u64) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut picked: Vec<FaultPlan> = self.plans.clone();
-        picked.shuffle(&mut rng);
-        picked.truncate(n);
-        picked
+        let mut indices: Vec<usize> = (0..self.plans.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(n);
+        indices
     }
 
     /// Applies a plan, producing the mutated module plus provenance.

@@ -223,7 +223,8 @@ mod tests {
                     | FaultClass::Timing
             );
             assert_eq!(
-                in_subset, !complex,
+                in_subset,
+                !complex,
                 "operator {} misclassified for the baseline",
                 op.name()
             );

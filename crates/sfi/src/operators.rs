@@ -48,9 +48,20 @@ pub fn registry() -> Vec<Box<dyn FaultOperator>> {
     ]
 }
 
-/// Finds an operator by mnemonic.
-pub fn by_name(name: &str) -> Option<Box<dyn FaultOperator>> {
-    registry().into_iter().find(|op| op.name() == name)
+/// The registry behind a process-wide cache; lookups via [`by_name`]
+/// never allocate, which matters in the campaign engine's per-plan hot
+/// loop.
+fn registry_cached() -> &'static [Box<dyn FaultOperator>] {
+    static REGISTRY: std::sync::OnceLock<Vec<Box<dyn FaultOperator>>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(registry)
+}
+
+/// Finds an operator by mnemonic (allocation-free, cached registry).
+pub fn by_name(name: &str) -> Option<&'static dyn FaultOperator> {
+    registry_cached()
+        .iter()
+        .find(|op| op.name() == name)
+        .map(Box::as_ref)
 }
 
 // ---- shared helpers --------------------------------------------------------
@@ -68,9 +79,7 @@ fn walk_fn_ctx<'a>(
                 walk_fn_ctx(then, func, f);
                 walk_fn_ctx(orelse, func, f);
             }
-            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                walk_fn_ctx(body, func, f)
-            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk_fn_ctx(body, func, f),
             StmtKind::Try {
                 body,
                 handlers,
@@ -161,7 +170,11 @@ fn insert_before(module: &Module, id: NodeId, stmt: Stmt) -> Option<Module> {
 
 /// Clones the module and mutates the statement with the given id in
 /// place; `f` returns whether the mutation applied.
-fn modify_stmt(module: &Module, id: NodeId, f: &mut dyn FnMut(&mut Stmt) -> bool) -> Option<Module> {
+fn modify_stmt(
+    module: &Module,
+    id: NodeId,
+    f: &mut dyn FnMut(&mut Stmt) -> bool,
+) -> Option<Module> {
     let mut m = module.clone();
     let mut done = false;
     m.walk_stmts_mut(&mut |s| {
@@ -315,10 +328,9 @@ impl FaultOperator for Mieb {
     }
     fn find_sites(&self, module: &Module) -> Vec<Site> {
         scan_sites(module, &mut |s| match &s.kind {
-            StmtKind::If { orelse, .. } if !orelse.is_empty() => Some(format!(
-                "{} statement(s) in the else branch",
-                orelse.len()
-            )),
+            StmtKind::If { orelse, .. } if !orelse.is_empty() => {
+                Some(format!("{} statement(s) in the else branch", orelse.len()))
+            }
             _ => None,
         })
     }
@@ -394,7 +406,10 @@ impl FaultOperator for Mlpa {
         remove_stmt(module, site.stmt_id)
     }
     fn describe(&self, site: &Site) -> String {
-        format!("skip the update of `{}` (missing algorithm step)", site.detail)
+        format!(
+            "skip the update of `{}` (missing algorithm step)",
+            site.detail
+        )
     }
 }
 
@@ -833,10 +848,7 @@ impl FaultOperator for Ehw {
         })
     }
     fn describe(&self, site: &Site) -> String {
-        format!(
-            "catch the wrong exception kind instead of {}",
-            site.detail
-        )
+        format!("catch the wrong exception kind instead of {}", site.detail)
     }
 }
 
@@ -1294,8 +1306,11 @@ def work(items):
                 if let Some(mutated) = op.apply(&m, &site) {
                     let printed = print_module(&mutated);
                     parse(&printed).unwrap_or_else(|e| {
-                        panic!("{} at {:?} produced unparseable code: {e}\n{printed}",
-                            op.name(), site)
+                        panic!(
+                            "{} at {:?} produced unparseable code: {e}\n{printed}",
+                            op.name(),
+                            site
+                        )
                     });
                 }
             }

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example comparative_study`
 
-use nfi_bench::experiments::{
-    e2_table, e3_table, e4_table, run_e2, run_e3, run_e4,
-};
+use nfi_bench::experiments::{e2_table, e3_table, e4_table, run_e2, run_e3, run_e4};
 use nfi_bench::render_table;
 
 fn main() {
@@ -20,5 +18,8 @@ fn main() {
 
     let rows = run_e4(200, 9);
     let (headers, data) = e4_table(&rows);
-    println!("{}", render_table("representativeness (E4)", &headers, &data));
+    println!(
+        "{}",
+        render_table("representativeness (E4)", &headers, &data)
+    );
 }

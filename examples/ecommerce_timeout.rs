@@ -28,9 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = run_session(&mut injector, description, &module, &tester, 8)?;
     for round in &result.rounds {
-        println!("=== round {} — pattern {} ===", round.round + 1, round.fault.pattern);
+        println!(
+            "=== round {} — pattern {} ===",
+            round.round + 1,
+            round.fault.pattern
+        );
         println!("{}", round.fault.snippet);
-        println!("rating: {:.1}  accepted: {}", round.feedback.rating, round.feedback.accepted);
+        println!(
+            "rating: {:.1}  accepted: {}",
+            round.feedback.rating, round.feedback.accepted
+        );
         if let Some(critique) = &round.feedback.critique {
             println!("tester: \"{critique}\"");
         }
@@ -38,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "session {} after {} round(s)",
-        if result.accepted { "converged" } else { "hit the round budget" },
+        if result.accepted {
+            "converged"
+        } else {
+            "hit the round budget"
+        },
         result.rounds.len()
     );
     Ok(())

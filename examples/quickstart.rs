@@ -28,7 +28,10 @@ def test_checkout():
     println!("target     : {:?}", report.spec.target_function);
     println!("exception  : {:?}", report.spec.exception_kind);
     println!();
-    println!("--- generated faulty code ({} / {}) ---", report.fault.pattern, report.fault.class);
+    println!(
+        "--- generated faulty code ({} / {}) ---",
+        report.fault.pattern, report.fault.class
+    );
     println!("{}", report.fault.snippet);
     println!("rationale  : {}", report.fault.rationale);
     println!();

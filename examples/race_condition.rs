@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The neural pipeline can.
     let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
     let report = injector.inject_module(description, &module)?;
-    println!("\ngenerated ({} / {}):\n{}", report.fault.pattern, report.fault.class, report.fault.snippet);
+    println!(
+        "\ngenerated ({} / {}):\n{}",
+        report.fault.pattern, report.fault.class, report.fault.snippet
+    );
     println!("--- test outcome ---");
     for t in &report.experiment.tests {
         println!("{:<28} -> {}", t.name, t.mode);

@@ -33,6 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.iteration, s.mean_rating, s.acceptance, s.mean_reward, s.reward_accuracy
         );
     }
-    println!("\npolicy weights after training: {:?}", llm.policy().weights());
+    println!(
+        "\npolicy weights after training: {:?}",
+        llm.policy().weights()
+    );
     Ok(())
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# E7 throughput bench: builds the release binary, runs the campaign /
+# LM-kernel / pipeline throughput drivers, and emits BENCH_e7.json.
+#
+# Usage: scripts/bench.sh [--quick] [--threads N] [--out PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+cargo build --release --bin nfi
+exec ./target/release/nfi bench "${ARGS[@]}"

@@ -7,7 +7,8 @@
 //! nfi inject --program <name> --describe "<fault>"   one-shot injection
 //! nfi session --program <name> --describe "<fault>" [--profile retry|crash] [--rounds N]
 //! nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
-//! nfi experiments [e1|e2|...|e8|all] [--quick]
+//! nfi experiments [e1|e2|...|e8|all] [--quick] [--threads N]
+//! nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no
@@ -33,7 +34,8 @@ USAGE:
               [--profile retry|crash] [--rounds N]
   nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
   nfi explore (--program <name> | --file <path>) --describe \"<fault>\" [--seeds N]
-  nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick]
+  nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
+  nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +106,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "dataset" => cmd_dataset(&flags),
         "explore" => cmd_explore(&flags),
         "experiments" => cmd_experiments(&positional, &flags),
+        "bench" => cmd_bench(&flags),
         "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -143,8 +146,7 @@ fn cmd_run(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let report = run_suite(&module, &MachineConfig::default());
     if report.tests.is_empty() {
         // No tests: just run the module body.
-        let mut machine =
-            neural_fault_injection::pylite::Machine::new(MachineConfig::default());
+        let mut machine = neural_fault_injection::pylite::Machine::new(MachineConfig::default());
         let out = machine.run_module(&module).map_err(|e| e.to_string())?;
         print!("{}", out.output);
         println!("status: {:?}", out.status);
@@ -170,9 +172,14 @@ fn cmd_inject(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let report = injector
         .inject(description, &source)
         .map_err(|e| e.to_string())?;
-    println!("spec: class={:?} target={:?} exception={:?}",
-        report.spec.class, report.spec.target_function, report.spec.exception_kind);
-    println!("\npattern: {} ({} candidates considered)", report.fault.pattern, report.fault.n_candidates);
+    println!(
+        "spec: class={:?} target={:?} exception={:?}",
+        report.spec.class, report.spec.target_function, report.spec.exception_kind
+    );
+    println!(
+        "\npattern: {} ({} candidates considered)",
+        report.fault.pattern, report.fault.n_candidates
+    );
     println!("rationale: {}\n", report.fault.rationale);
     println!("{}", report.fault.snippet);
     println!("--- test outcome ---");
@@ -205,10 +212,14 @@ fn cmd_session(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let mut injector = NeuralFaultInjector::new(PipelineConfig::default());
     let mut tester = SimulatedTester::new(profile, 42);
     tester.noise = 0.0;
-    let result =
-        run_session(&mut injector, description, &module, &tester, rounds).map_err(|e| e.to_string())?;
+    let result = run_session(&mut injector, description, &module, &tester, rounds)
+        .map_err(|e| e.to_string())?;
     for round in &result.rounds {
-        println!("=== round {} — {} ===", round.round + 1, round.fault.pattern);
+        println!(
+            "=== round {} — {} ===",
+            round.round + 1,
+            round.fault.pattern
+        );
         println!("{}", round.fault.snippet);
         println!(
             "rating {:.1}  accepted {}",
@@ -221,7 +232,11 @@ fn cmd_session(flags: &HashMap<&str, &str>) -> Result<(), String> {
     }
     println!(
         "{} after {} round(s)",
-        if result.accepted { "accepted" } else { "not accepted" },
+        if result.accepted {
+            "accepted"
+        } else {
+            "not accepted"
+        },
         result.rounds.len()
     );
     Ok(())
@@ -310,24 +325,40 @@ fn cmd_explore(flags: &HashMap<&str, &str>) -> Result<(), String> {
     Ok(())
 }
 
+fn exec_config(flags: &HashMap<&str, &str>) -> Result<nfi_core::exec::ExecConfig, String> {
+    match flags.get("threads") {
+        Some(v) => {
+            let threads: usize = v.parse().map_err(|_| "bad --threads")?;
+            Ok(nfi_core::exec::ExecConfig::with_threads(threads))
+        }
+        None => Ok(nfi_core::exec::ExecConfig::default()),
+    }
+}
+
 fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     use nfi_bench::experiments::*;
     use nfi_bench::render_table;
     let quick = flags.contains_key("quick");
+    let exec = exec_config(flags)?;
     let which = positional.first().copied().unwrap_or("all");
     let want = |name: &str| which == "all" || which == name;
     if want("e1") {
-        let rows = run_e1(if quick { 8 } else { 24 }, if quick { 6 } else { 12 }, &[1, 2]);
+        let rows = run_e1_with(
+            exec,
+            if quick { 8 } else { 24 },
+            if quick { 6 } else { 12 },
+            &[1, 2],
+        );
         let (h, d) = e1_table(&rows);
         println!("{}", render_table("E1: RLHF alignment", &h, &d));
     }
     if want("e2") {
-        let rows = run_e2(if quick { 24 } else { 0 });
+        let rows = run_e2_with(exec, if quick { 24 } else { 0 });
         let (h, d) = e2_table(&rows);
         println!("{}", render_table("E2: fault-class coverage", &h, &d));
     }
     if want("e3") {
-        let rows = run_e3(if quick { 16 } else { 48 }, 6);
+        let rows = run_e3_with(exec, if quick { 16 } else { 48 }, 6);
         let (h, d) = e3_table(&rows);
         println!("{}", render_table("E3: tester effort", &h, &d));
     }
@@ -337,25 +368,79 @@ fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(
         println!("{}", render_table("E4: representativeness", &h, &d));
     }
     if want("e5") {
-        let funnel = run_e5(if quick { 24 } else { 0 });
+        let funnel = run_e5_with(exec, if quick { 24 } else { 0 });
         let (h, d) = e5_table(&funnel);
         println!("{}", render_table("E5: injection funnel", &h, &d));
     }
     if want("e6") {
-        let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 128, 256, 512, 1024] };
-        let rows = run_e6(sizes, if quick { 30 } else { 100 }, 3);
+        let sizes: &[usize] = if quick {
+            &[32, 128]
+        } else {
+            &[64, 128, 256, 512, 1024]
+        };
+        let rows = run_e6_with(exec, sizes, if quick { 30 } else { 100 }, 3);
         let (h, d) = e6_table(&rows);
         println!("{}", render_table("E6: fine-tuning curve", &h, &d));
     }
     if want("e7") {
-        let row = run_e7(if quick { 12 } else { 0 });
+        let row = run_e7_with(exec, if quick { 12 } else { 0 });
         let (h, d) = e7_table(&row);
         println!("{}", render_table("E7: throughput", &h, &d));
     }
     if want("e8") {
-        let rows = run_e8(if quick { 8 } else { 24 }, if quick { 5 } else { 10 });
+        let rows = run_e8_with(exec, if quick { 8 } else { 24 }, if quick { 5 } else { 10 });
         let (h, d) = e8_table(&rows);
         println!("{}", render_table("E8: ablations", &h, &d));
     }
+    Ok(())
+}
+
+fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use nfi_bench::throughput::{bench_campaign, bench_e7, bench_lm, to_json};
+    let quick = flags.contains_key("quick");
+    // Shared --threads parsing; ExecConfig clamps 0 to 1, so the printed
+    // and recorded thread count always matches what actually ran.
+    let threads = exec_config(flags)?.threads;
+    let plan_cap: usize = flags
+        .get("plans")
+        .map(|v| v.parse().map_err(|_| "bad --plans"))
+        .transpose()?
+        .unwrap_or(if quick { 8 } else { 0 });
+
+    println!("benching campaign engine ({threads} threads)...");
+    let campaign = bench_campaign(plan_cap, threads);
+    println!(
+        "  {} plans: {:.1} plans/s sequential, {:.1} plans/s parallel ({:.2}x), reports identical: {}",
+        campaign.plans,
+        campaign.sequential_plans_per_s(),
+        campaign.parallel_plans_per_s(),
+        campaign.speedup(),
+        campaign.reports_identical,
+    );
+
+    println!("benching LM training kernels (threads = 1 both paths)...");
+    let lm = bench_lm(if quick { 4 } else { 12 }, if quick { 2 } else { 3 });
+    println!(
+        "  {} tokens/epoch: {:.0} tokens/s per-example, {:.0} tokens/s batched ({:.2}x)",
+        lm.tokens,
+        lm.per_example_tokens_per_s(),
+        lm.batched_tokens_per_s(),
+        lm.speedup(),
+    );
+
+    println!("benching E7 pipeline throughput...");
+    let e7 = bench_e7(if quick { 24 } else { 0 }, threads);
+    println!(
+        "  {} scenarios: {:.2}/s sequential, {:.2}/s parallel ({:.2}x)",
+        e7.sequential.scenarios,
+        e7.sequential.throughput_per_s,
+        e7.parallel.throughput_per_s,
+        e7.speedup(),
+    );
+
+    let json = to_json(&campaign, &lm, &e7);
+    let path = flags.get("out").copied().unwrap_or("BENCH_e7.json");
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
     Ok(())
 }

@@ -27,8 +27,7 @@ fn inject_class(program: &str, description: &str, class: FaultClass) -> FailureM
         .iter()
         .find(|c| c.class == class)
         .unwrap_or_else(|| panic!("no {class} candidate for: {description}"));
-    let report =
-        neural_fault_injection::inject::run_experiment(&module, &cand.module, &machine());
+    let report = neural_fault_injection::inject::run_experiment(&module, &cand.module, &machine());
     report.overall
 }
 
@@ -73,7 +72,10 @@ fn overflow_fault_is_detected() {
         FaultClass::BufferOverflow,
     );
     assert!(
-        matches!(mode, FailureMode::CrashUnhandled(_) | FailureMode::BufferOverflow),
+        matches!(
+            mode,
+            FailureMode::CrashUnhandled(_) | FailureMode::BufferOverflow
+        ),
         "got {mode}"
     );
 }
@@ -136,9 +138,10 @@ fn fine_tuned_generator_ranks_relevant_records_first() {
     );
     let mut llm = FaultLlm::untrained(LlmConfig::default());
     llm.fine_tune(ds.to_training_records());
-    let hits = llm
-        .corpus()
-        .retrieve("a race condition: shared state updated without acquiring the lock", 5);
+    let hits = llm.corpus().retrieve(
+        "a race condition: shared state updated without acquiring the lock",
+        5,
+    );
     assert!(!hits.is_empty());
     assert_eq!(
         hits[0].0.class,

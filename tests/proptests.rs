@@ -5,182 +5,290 @@
 //! * JSONL encode/decode round-trips for arbitrary record contents,
 //! * policy distributions are valid probabilities,
 //! * the PyLite machine is deterministic per seed.
+//!
+//! The original suite used the `proptest` crate; this build environment
+//! is offline, so the same properties run over a hand-rolled seeded
+//! generator (one deterministic random module per case seed). Shrinking
+//! is traded for reproducibility: a failing case prints its seed, and
+//! rerunning the test replays it exactly.
 
 use neural_fault_injection::llm::{Candidate, GenParams, Policy, FEATURE_DIM};
-use neural_fault_injection::pylite::ast::{build, BinOp, CmpOp, Expr, Module, Stmt};
+use neural_fault_injection::pylite::ast::{build, BinOp, CmpOp, Expr, ExprKind, Module, Stmt};
 use neural_fault_injection::pylite::{parse, print_module, Machine, MachineConfig};
 use neural_fault_injection::sfi::FaultClass;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-// ---- AST strategies ---------------------------------------------------------
+const CASES: u64 = 96;
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    // Avoid keywords by prefixing.
-    "[a-z][a-z0-9_]{0,4}".prop_map(|s| format!("v_{s}"))
+// ---- AST generators ---------------------------------------------------------
+
+fn gen_name(rng: &mut StdRng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::from("v_");
+    s.push(HEAD[rng.gen_range(0..HEAD.len())] as char);
+    for _ in 0..rng.gen_range(0..4usize) {
+        s.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+    }
+    s
 }
 
-fn lit_expr() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(build::int),
-        (0u32..4000).prop_map(|v| build::float(v as f64 / 4.0)),
-        "[a-zA-Z0-9 _.,!?-]{0,8}".prop_map(|s| build::str_(&s)),
-        any::<bool>().prop_map(build::bool_),
-        Just(build::none()),
-        name_strategy().prop_map(|n| build::name(&n)),
-    ]
+fn gen_text(rng: &mut StdRng, max_len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.,!?-";
+    (0..rng.gen_range(0..max_len + 1))
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
 }
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::FloorDiv),
-        Just(BinOp::Mod),
-        Just(BinOp::Pow),
-    ]
+/// Arbitrary text for codec round-trips: includes JSON-escape-relevant
+/// characters (quotes, backslashes, control chars, newlines) and
+/// non-ASCII, mirroring the old proptest `.{0,60}` strategy.
+fn gen_text_any(rng: &mut StdRng, max_len: usize) -> String {
+    const CHARS: &[char] = &[
+        'a',
+        'b',
+        'z',
+        'A',
+        'Z',
+        '0',
+        '9',
+        ' ',
+        '_',
+        '.',
+        ',',
+        '!',
+        '?',
+        '-',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{1}',
+        '\u{1f}',
+        '{',
+        '}',
+        '[',
+        ']',
+        ':',
+        'é',
+        'ß',
+        '日',
+        '本',
+        '\u{1F980}',
+    ];
+    (0..rng.gen_range(0..max_len + 1))
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())])
+        .collect()
 }
 
-fn cmpop_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::In),
-        Just(CmpOp::NotIn),
-    ]
-}
-
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    lit_expr().prop_recursive(3, 32, 4, |inner| {
-        prop_oneof![
-            (binop_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| build::bin(op, l, r)),
-            (cmpop_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| build::cmp(op, l, r)),
-            inner.clone().prop_map(build::not),
-            (name_strategy(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(f, args)| build::call(&f, args)),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(|items| {
-                build::call("len", vec![Expr::from_items(items)])
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(o, i)| build::index(o, i)),
-            (inner.clone(), name_strategy(), prop::collection::vec(inner, 0..2))
-                .prop_map(|(o, m, args)| build::method(o, &m, args)),
-        ]
-    })
-}
-
-// Helper to build list expressions from items (keeps strategy tidy).
-trait FromItems {
-    fn from_items(items: Vec<Expr>) -> Expr;
-}
-impl FromItems for Expr {
-    fn from_items(items: Vec<Expr>) -> Expr {
-        Expr {
-            id: Default::default(),
-            span: Default::default(),
-            kind: neural_fault_injection::pylite::ast::ExprKind::List(items),
-        }
+fn gen_lit(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..6u32) {
+        0 => build::int(rng.gen_range(-1000i64..1000)),
+        1 => build::float(rng.gen_range(0u32..4000) as f64 / 4.0),
+        2 => build::str_(&gen_text(rng, 8)),
+        3 => build::bool_(rng.gen::<f32>() < 0.5),
+        4 => build::none(),
+        _ => build::name(&gen_name(rng)),
     }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (name_strategy(), expr_strategy()).prop_map(|(n, e)| build::assign(&n, e)),
-        expr_strategy().prop_map(build::expr_stmt),
-        (name_strategy(), binop_strategy(), expr_strategy())
-            .prop_map(|(n, op, e)| build::aug_assign(&n, op, e)),
-        Just(build::pass()),
-        expr_strategy().prop_map(|e| build::return_(Some(e))),
-        Just(build::raise("ValueError", "prop")),
-    ];
-    leaf.prop_recursive(2, 16, 3, |inner| {
-        prop_oneof![
-            (expr_strategy(), prop::collection::vec(inner.clone(), 1..3),
-             prop::collection::vec(inner.clone(), 0..2))
-                .prop_map(|(c, t, e)| build::if_(c, t, e)),
-            (prop::collection::vec(inner.clone(), 1..3),
-             prop::collection::vec(inner.clone(), 1..2))
-                .prop_map(|(body, h)| build::try_(
-                    body,
-                    vec![build::handler(Some("ValueError"), Some("e"), h)],
-                    vec![],
-                )),
-            (name_strategy(), expr_strategy(), prop::collection::vec(inner, 1..3))
-                .prop_map(|(v, it, body)| build::for_(vec![&v], it, body)),
-        ]
-    })
+fn gen_binop(rng: &mut StdRng) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::FloorDiv,
+        BinOp::Mod,
+        BinOp::Pow,
+    ][rng.gen_range(0..7usize)]
 }
 
-fn module_strategy() -> impl Strategy<Value = Module> {
-    prop::collection::vec(stmt_strategy(), 1..5).prop_map(|mut body| {
-        // Wrap statements with `return` into a function so they compile.
-        let has_return = |s: &Stmt| {
-            matches!(
-                s.kind,
-                neural_fault_injection::pylite::ast::StmtKind::Return(_)
+fn gen_cmpop(rng: &mut StdRng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::In,
+        CmpOp::NotIn,
+    ][rng.gen_range(0..8usize)]
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth == 0 {
+        return gen_lit(rng);
+    }
+    match rng.gen_range(0..8u32) {
+        0 => build::bin(
+            gen_binop(rng),
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        1 => build::cmp(
+            gen_cmpop(rng),
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        2 => build::not(gen_expr(rng, depth - 1)),
+        3 => {
+            let args = (0..rng.gen_range(0..3usize))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect();
+            build::call(&gen_name(rng), args)
+        }
+        4 => {
+            let items = (0..rng.gen_range(0..3usize))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect();
+            build::call("len", vec![list_expr(items)])
+        }
+        5 => build::index(gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)),
+        6 => {
+            let args = (0..rng.gen_range(0..2usize))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect();
+            build::method(gen_expr(rng, depth - 1), &gen_name(rng), args)
+        }
+        _ => gen_lit(rng),
+    }
+}
+
+fn list_expr(items: Vec<Expr>) -> Expr {
+    Expr {
+        id: Default::default(),
+        span: Default::default(),
+        kind: ExprKind::List(items),
+    }
+}
+
+fn gen_leaf_stmt(rng: &mut StdRng) -> Stmt {
+    match rng.gen_range(0..6u32) {
+        0 => build::assign(&gen_name(rng), gen_expr(rng, 2)),
+        1 => build::expr_stmt(gen_expr(rng, 2)),
+        2 => build::aug_assign(&gen_name(rng), gen_binop(rng), gen_expr(rng, 2)),
+        3 => build::pass(),
+        4 => build::return_(Some(gen_expr(rng, 2))),
+        _ => build::raise("ValueError", "prop"),
+    }
+}
+
+fn gen_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
+    if depth == 0 {
+        return gen_leaf_stmt(rng);
+    }
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let then: Vec<Stmt> = (0..rng.gen_range(1..3usize))
+                .map(|_| gen_stmt(rng, depth - 1))
+                .collect();
+            let els: Vec<Stmt> = (0..rng.gen_range(0..2usize))
+                .map(|_| gen_stmt(rng, depth - 1))
+                .collect();
+            build::if_(gen_expr(rng, 2), then, els)
+        }
+        1 => {
+            let body: Vec<Stmt> = (0..rng.gen_range(1..3usize))
+                .map(|_| gen_stmt(rng, depth - 1))
+                .collect();
+            let handler_body: Vec<Stmt> = (0..rng.gen_range(1..2usize))
+                .map(|_| gen_stmt(rng, depth - 1))
+                .collect();
+            build::try_(
+                body,
+                vec![build::handler(Some("ValueError"), Some("e"), handler_body)],
+                vec![],
             )
-        };
-        let (returns, rest): (Vec<Stmt>, Vec<Stmt>) = body.drain(..).partition(|s| {
-            let mut found = has_return(s);
-            if !found {
-                // Nested returns also need wrapping; conservatively wrap ifs.
-                let mut count = 0;
-                let module = Module { body: vec![s.clone()] };
-                module.walk_stmts(&mut |x| {
-                    if has_return(x) {
-                        count += 1;
-                    }
-                });
-                found = count > 0;
-            }
-            found
-        });
-        let mut out = rest;
-        if !returns.is_empty() {
-            out.push(build::def("v_wrapped", vec![], returns));
         }
-        if out.is_empty() {
-            out.push(build::pass());
+        2 => {
+            let var = gen_name(rng);
+            let body: Vec<Stmt> = (0..rng.gen_range(1..3usize))
+                .map(|_| gen_stmt(rng, depth - 1))
+                .collect();
+            build::for_(vec![&var], gen_expr(rng, 2), body)
         }
-        let mut m = Module { body: out };
-        m.renumber();
-        m
-    })
+        _ => gen_leaf_stmt(rng),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_module(rng: &mut StdRng) -> Module {
+    let mut body: Vec<Stmt> = (0..rng.gen_range(1..5usize))
+        .map(|_| gen_stmt(rng, 2))
+        .collect();
+    // Wrap statements containing `return` into a function so they compile.
+    let has_return = |s: &Stmt| {
+        let mut count = 0;
+        let probe = Module {
+            body: vec![s.clone()],
+        };
+        probe.walk_stmts(&mut |x| {
+            if matches!(
+                x.kind,
+                neural_fault_injection::pylite::ast::StmtKind::Return(_)
+            ) {
+                count += 1;
+            }
+        });
+        count > 0
+    };
+    let (returns, rest): (Vec<Stmt>, Vec<Stmt>) = body.drain(..).partition(has_return);
+    let mut out = rest;
+    if !returns.is_empty() {
+        out.push(build::def("v_wrapped", vec![], returns));
+    }
+    if out.is_empty() {
+        out.push(build::pass());
+    }
+    let mut m = Module { body: out };
+    m.renumber();
+    m
+}
 
-    #[test]
-    fn print_parse_roundtrip(module in module_strategy()) {
+// ---- properties -------------------------------------------------------------
+
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let module = gen_module(&mut rng);
         let printed = print_module(&module);
         let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("printed module must reparse: {e}\n{printed}"));
-        prop_assert_eq!(&module, &reparsed, "round-trip mismatch:\n{}", printed);
+            .unwrap_or_else(|e| panic!("case {case}: printed module must reparse: {e}\n{printed}"));
+        assert_eq!(
+            module, reparsed,
+            "case {case} round-trip mismatch:\n{printed}"
+        );
     }
+}
 
-    #[test]
-    fn printing_is_idempotent(module in module_strategy()) {
+#[test]
+fn printing_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(1 << 32));
+        let module = gen_module(&mut rng);
         let once = print_module(&module);
         let twice = print_module(&parse(&once).expect("parses"));
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    #[test]
-    fn operators_preserve_parseability(module in module_strategy()) {
+#[test]
+fn operators_preserve_parseability() {
+    for case in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(2 << 32));
+        let module = gen_module(&mut rng);
         for op in neural_fault_injection::sfi::registry() {
             for site in op.find_sites(&module).into_iter().take(2) {
                 if let Some(mutated) = op.apply(&module, &site) {
                     let printed = print_module(&mutated);
-                    prop_assert!(
+                    assert!(
                         parse(&printed).is_ok(),
-                        "{} broke the module:\n{}",
+                        "case {case}: {} broke the module:\n{}",
                         op.name(),
                         printed
                     );
@@ -188,9 +296,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn machine_is_deterministic_per_seed(module in module_strategy(), seed in 0u64..50) {
+#[test]
+fn machine_is_deterministic_per_seed() {
+    for case in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(3 << 32));
+        let module = gen_module(&mut rng);
+        let seed = rng.gen_range(0u64..50);
         let run = |seed| {
             let mut m = Machine::new(MachineConfig {
                 seed,
@@ -200,46 +313,48 @@ proptest! {
             let out = m.run_module(&module).expect("compiles");
             (format!("{:?}", out.status), out.output, out.steps)
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed), "case {case}");
     }
+}
 
-    #[test]
-    fn jsonl_roundtrip(
-        id in "[a-z0-9:_-]{1,20}",
-        desc in ".{0,60}",
-        before in ".{0,40}",
-        line in 0u32..10_000,
-        has_fn in any::<bool>(),
-    ) {
+#[test]
+fn jsonl_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(4 << 32));
+        let id: String = {
+            const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:_-";
+            (0..rng.gen_range(1..21usize))
+                .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+                .collect()
+        };
+        let before = gen_text_any(&mut rng, 40);
         let record = neural_fault_injection::dataset::DatasetRecord {
             id,
             program: "p".into(),
             operator: "MFC".into(),
             class: FaultClass::Omission,
-            description: desc,
-            function: has_fn.then(|| "f".to_string()),
-            line,
+            description: gen_text_any(&mut rng, 60),
+            function: rng.gen::<f32>().lt(&0.5).then(|| "f".to_string()),
+            line: rng.gen_range(0u32..10_000),
             code_before: before.clone(),
             code_after: format!("{before}!"),
         };
         let encoded = neural_fault_injection::dataset::jsonl::encode(&record);
         let decoded = neural_fault_injection::dataset::jsonl::decode(&encoded)
-            .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?;
-        prop_assert_eq!(record, decoded);
+            .unwrap_or_else(|e| panic!("case {case} decode: {e}"));
+        assert_eq!(record, decoded, "case {case}");
     }
+}
 
-    #[test]
-    fn policy_distribution_is_a_probability(
-        features in prop::collection::vec(
-            prop::collection::vec(-2.0f32..2.0, FEATURE_DIM),
-            1..6,
-        ),
-        temperature in 0.1f32..3.0,
-    ) {
+#[test]
+fn policy_distribution_is_a_probability() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(5 << 32));
+        let n = rng.gen_range(1..6usize);
+        let temperature = rng.gen_range(0.1f32..3.0);
         let policy = Policy::new(temperature);
-        let cands: Vec<Candidate> = features
-            .into_iter()
-            .map(|f| Candidate {
+        let cands: Vec<Candidate> = (0..n)
+            .map(|_| Candidate {
                 pattern: "p".into(),
                 class: FaultClass::Timing,
                 module: Module::new(),
@@ -250,29 +365,38 @@ proptest! {
                 effect_crash: false,
                 effect_matches_spec: false,
                 trigger_honored: 1.0,
-                features: f,
+                features: (0..FEATURE_DIM)
+                    .map(|_| rng.gen_range(-2.0f32..2.0))
+                    .collect(),
             })
             .collect();
         let dist = policy.distribution(&cands);
         let sum: f32 = dist.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
-        prop_assert!(dist.iter().all(|p| *p >= 0.0 && *p <= 1.0));
+        assert!((sum - 1.0).abs() < 1e-4, "case {case}: sum {sum}");
+        assert!(
+            dist.iter().all(|p| (0.0..=1.0).contains(p)),
+            "case {case}: {dist:?}"
+        );
     }
+}
 
-    #[test]
-    fn js_distance_is_bounded_and_symmetric(
-        counts_a in prop::collection::vec(0usize..50, 8),
-        counts_b in prop::collection::vec(0usize..50, 8),
-    ) {
-        use std::collections::BTreeMap;
-        let to_counts = |v: &[usize]| -> BTreeMap<FaultClass, usize> {
-            FaultClass::ALL.iter().copied().zip(v.iter().copied()).collect()
+#[test]
+fn js_distance_is_bounded_and_symmetric() {
+    use std::collections::BTreeMap;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case.wrapping_add(6 << 32));
+        let gen_counts = |rng: &mut StdRng| -> BTreeMap<FaultClass, usize> {
+            FaultClass::ALL
+                .iter()
+                .copied()
+                .map(|c| (c, rng.gen_range(0..50usize)))
+                .collect()
         };
-        let a = neural_fault_injection::core::metrics::distribution(&to_counts(&counts_a));
-        let b = neural_fault_injection::core::metrics::distribution(&to_counts(&counts_b));
+        let a = neural_fault_injection::core::metrics::distribution(&gen_counts(&mut rng));
+        let b = neural_fault_injection::core::metrics::distribution(&gen_counts(&mut rng));
         let d_ab = neural_fault_injection::core::metrics::js_distance(&a, &b);
         let d_ba = neural_fault_injection::core::metrics::js_distance(&b, &a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-9);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&d_ab));
+        assert!((d_ab - d_ba).abs() < 1e-9, "case {case}");
+        assert!((0.0..=1.0 + 1e-9).contains(&d_ab), "case {case}: {d_ab}");
     }
 }

@@ -1,0 +1,352 @@
+//! Offline-vendored subset of the `rayon` API.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors the slice of rayon it uses: `ThreadPoolBuilder` /
+//! `ThreadPool::install`, and `par_iter().map(..).collect::<Vec<_>>()`
+//! over slices and `usize` ranges. Execution is scoped `std::thread`
+//! workers pulling indices from a shared atomic counter (the same
+//! work-stealing-ish dynamic schedule rayon gives for irregular task
+//! costs); results are written back by index, so collected order always
+//! equals input order regardless of worker count. Swapping in upstream
+//! rayon later is a one-line Cargo.toml change.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Default parallelism: the machine's available hardware threads.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Worker count in effect for the calling thread (set by
+/// [`ThreadPool::install`], defaulting to hardware parallelism).
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (hardware) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Caps worker count; `0` means hardware parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool (infallible in this implementation).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A logical pool: workers are spawned scoped per parallel call, so the
+/// pool itself is just the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's width governing any `par_iter` calls
+    /// made inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.threads));
+        let out = op();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// An indexed parallel computation: `len` independent tasks addressed by
+/// index. All adapters compose down to this.
+pub trait IndexedParallel: Sync {
+    /// Per-task output.
+    type Out: Send;
+
+    /// Task count.
+    fn len(&self) -> usize;
+
+    /// Whether there are no tasks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Computes task `i`.
+    fn run(&self, i: usize) -> Self::Out;
+}
+
+/// Executes an indexed computation across `current_num_threads()`
+/// workers, preserving input order in the output.
+fn execute<P: IndexedParallel>(job: &P) -> Vec<P::Out> {
+    let n = job.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(|i| job.run(i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, P::Out)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, job.run(i)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            buckets.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut indexed: Vec<(usize, P::Out)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+/// The parallel-iterator surface: `map` and `collect`.
+pub trait ParallelIterator: IndexedParallel + Sized {
+    /// Maps each task's output.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Out) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs the computation and collects ordered results.
+    fn collect<C: FromParallelIterator<Self::Out>>(self) -> C {
+        C::from_ordered(execute(&self))
+    }
+
+    /// Runs the computation for its effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Out) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+impl<P: IndexedParallel + Sized> ParallelIterator for P {}
+
+/// Collection from an ordered parallel result.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallel for SliceParIter<'a, T> {
+    type Out = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn run(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over `0..n`.
+pub struct RangeParIter {
+    start: usize,
+    end: usize,
+}
+
+impl IndexedParallel for RangeParIter {
+    type Out = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn run(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedParallel for Map<I, F>
+where
+    I: IndexedParallel,
+    F: Fn(I::Out) -> R + Sync,
+    R: Send,
+{
+    type Out = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn run(&self, i: usize) -> R {
+        (self.f)(self.base.run(i))
+    }
+}
+
+/// `.par_iter()` on slices (and anything derefing to a slice).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Out = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `.into_par_iter()` for owned index ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Out = Self::Item>;
+
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_works() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn install_governs_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let v: Vec<usize> = (0..1000).collect();
+        let work = |x: &usize| x.wrapping_mul(2654435761) % 97;
+        let seq: Vec<usize> = {
+            let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            pool.install(|| v.par_iter().map(work).collect())
+        };
+        let par: Vec<usize> = {
+            let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+            pool.install(|| v.par_iter().map(work).collect())
+        };
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
