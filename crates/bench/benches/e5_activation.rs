@@ -19,7 +19,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5");
     g.sample_size(10);
     g.bench_function("funnel_8_scenarios", |b| {
-        b.iter(|| run_e5(8));
+        b.iter(|| {
+            // The driver memoizes experiments process-wide; clear so
+            // every sample measures driver work, not cache replay.
+            nfi_inject::ExperimentCache::global().clear();
+            run_e5(8)
+        });
     });
     g.finish();
 }

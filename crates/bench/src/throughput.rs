@@ -12,24 +12,36 @@
 //! * **e7**: end-to-end pipeline scenarios/sec, sequential vs. parallel.
 
 use crate::experiments::{run_e7_with, E7Row};
+use nfi_core::cache::{CacheStats, MutantCache};
 use nfi_core::exec::{self, CampaignRunReport, ExecConfig};
+use nfi_inject::memo::ExperimentCache;
 use nfi_llm::LlmConfig;
 use nfi_neural::lm::{code_tokens, LmConfig, NgramLm, DEFAULT_BATCH};
 use nfi_sfi::Campaign;
 use std::time::Instant;
 
-/// Campaign throughput: sequential vs. parallel plans/sec.
+/// Campaign throughput: sequential vs. parallel plans/sec, plus the
+/// content-addressed-cache gain on a repeated (warm) run.
 #[derive(Debug, Clone)]
 pub struct CampaignBench {
     /// Worker threads used for the parallel run.
     pub threads: usize,
     /// Total plans executed (per engine run).
     pub plans: usize,
-    /// Sequential wall time (seconds).
+    /// Sequential wall time (seconds): caches cleared first, so this is
+    /// the cold run that fills them.
     pub sequential_secs: f64,
-    /// Parallel wall time (seconds).
+    /// Parallel wall time (seconds), caches bypassed — a pure engine
+    /// comparison against the sequential run.
     pub parallel_secs: f64,
-    /// Whether sequential and parallel aggregate reports were identical.
+    /// Wall time of a repeated run with the caches warm (seconds) —
+    /// what a rerun of the same E-driver pays.
+    pub warm_secs: f64,
+    /// Mutant-cache counters over the cold + warm runs.
+    pub mutant_cache: CacheStats,
+    /// Experiment-memo counters over the cold + warm runs.
+    pub experiment_cache: CacheStats,
+    /// Whether all three runs produced identical aggregate reports.
     pub reports_identical: bool,
 }
 
@@ -44,14 +56,33 @@ impl CampaignBench {
         self.plans as f64 / self.parallel_secs.max(1e-9)
     }
 
+    /// Warm (cache-hit) plans/sec on the repeated run.
+    pub fn warm_plans_per_s(&self) -> f64 {
+        self.plans as f64 / self.warm_secs.max(1e-9)
+    }
+
     /// Parallel speedup over sequential.
     pub fn speedup(&self) -> f64 {
         self.sequential_secs / self.parallel_secs.max(1e-9)
     }
+
+    /// Warm-rerun speedup over the cold sequential run.
+    pub fn warm_speedup(&self) -> f64 {
+        self.sequential_secs / self.warm_secs.max(1e-9)
+    }
 }
 
-/// Runs the full campaign of every corpus program under both engines.
-/// `plan_cap` bounds plans per program (0 = unlimited).
+/// Runs the full campaign of every corpus program under both engines,
+/// then once more with warm caches. `plan_cap` bounds plans per
+/// program (0 = unlimited).
+///
+/// Three runs, three measurements:
+///
+/// 1. **sequential, cold** — caches cleared, then filled by this run;
+/// 2. **parallel, uncached** — the engine comparison stays honest (no
+///    replaying the sequential run's results);
+/// 3. **warm rerun** — same work again through the caches, which is
+///    exactly what repeated E-driver runs and sibling shards see.
 pub fn bench_campaign(plan_cap: usize, threads: usize) -> CampaignBench {
     let machine = crate::experiments::experiment_machine();
     let campaigns: Vec<Campaign> = nfi_corpus::all()
@@ -78,15 +109,21 @@ pub fn bench_campaign(plan_cap: usize, threads: usize) -> CampaignBench {
         (reports, started.elapsed().as_secs_f64())
     };
 
+    MutantCache::global().clear();
+    ExperimentCache::global().clear();
     let (seq_reports, sequential_secs) = run_all(ExecConfig::sequential());
-    let (par_reports, parallel_secs) = run_all(ExecConfig::with_threads(threads));
+    let (par_reports, parallel_secs) = run_all(ExecConfig::with_threads(threads).cached(false));
+    let (warm_reports, warm_secs) = run_all(ExecConfig::with_threads(threads));
 
     CampaignBench {
         threads,
         plans: campaigns.iter().map(plan_count).sum(),
         sequential_secs,
         parallel_secs,
-        reports_identical: seq_reports == par_reports,
+        warm_secs,
+        mutant_cache: MutantCache::global().stats(),
+        experiment_cache: ExperimentCache::global().stats(),
+        reports_identical: seq_reports == par_reports && seq_reports == warm_reports,
     }
 }
 
@@ -200,12 +237,18 @@ pub fn bench_e7(scenario_cap: usize, threads: usize) -> E7Bench {
 /// Renders the three benchmarks as the `BENCH_e7.json` document.
 pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
         campaign.parallel_plans_per_s(),
         campaign.speedup(),
+        campaign.warm_plans_per_s(),
+        campaign.warm_speedup(),
+        campaign.mutant_cache.hit_rate(),
+        campaign.mutant_cache.hits,
+        campaign.mutant_cache.misses,
+        campaign.experiment_cache.hit_rate(),
         campaign.reports_identical,
         lm.tokens,
         lm.per_example_tokens_per_s(),
@@ -227,6 +270,13 @@ mod tests {
         let b = bench_campaign(4, 4);
         assert!(b.plans > 0);
         assert!(b.reports_identical, "parallel engine changed results");
+        // The warm rerun must have replayed every plan from the caches.
+        assert!(
+            b.mutant_cache.hits >= b.plans as u64,
+            "warm rerun missed the mutant cache: {:?}",
+            b.mutant_cache
+        );
+        assert!(b.mutant_cache.hit_rate() > 0.0);
     }
 
     #[test]
@@ -244,6 +294,17 @@ mod tests {
             plans: 100,
             sequential_secs: 2.0,
             parallel_secs: 0.5,
+            warm_secs: 0.1,
+            mutant_cache: CacheStats {
+                hits: 100,
+                misses: 100,
+                entries: 100,
+            },
+            experiment_cache: CacheStats {
+                hits: 90,
+                misses: 100,
+                entries: 100,
+            },
             reports_identical: true,
         };
         let lm = LmBench {
@@ -269,6 +330,8 @@ mod tests {
         };
         let json = to_json(&campaign, &lm, &e7);
         assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"warm_speedup\": 20.00"));
+        assert!(json.contains("\"mutant_cache_hit_rate\": 0.500"));
         assert!(json.contains("\"reports_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

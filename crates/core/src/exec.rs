@@ -21,9 +21,11 @@
 //! and `threads = N` reproduces `threads = 1`. The parity suite in
 //! `tests/parallel_parity.rs` enforces this.
 
+use crate::cache::MutantCache;
+use nfi_inject::memo::ExperimentCache;
 use nfi_inject::{run_experiment, FailureMode};
-use nfi_pylite::MachineConfig;
-use nfi_sfi::{Campaign, FaultPlan};
+use nfi_pylite::{fingerprint, MachineConfig, Module};
+use nfi_sfi::{apply_plan, Campaign, FaultPlan, Shard};
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::BTreeMap;
@@ -36,6 +38,17 @@ pub struct ExecConfig {
     /// old sequential behaviour); the default is the machine's available
     /// parallelism.
     pub threads: usize,
+    /// The strided slice of the campaign this engine executes. The
+    /// default [`Shard::FULL`] runs everything; `i/n` runs plan indices
+    /// with `index % n == i`, so `n` cooperating processes partition a
+    /// plan without coordinating.
+    pub shard: Shard,
+    /// Whether plan application and experiment runs go through the
+    /// process-wide content-addressed caches ([`MutantCache`],
+    /// [`ExperimentCache`]). Caching never changes results — keys are
+    /// content hashes and both operations are deterministic — it only
+    /// skips recomputing them.
+    pub use_cache: bool,
 }
 
 impl Default for ExecConfig {
@@ -44,6 +57,8 @@ impl Default for ExecConfig {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            shard: Shard::FULL,
+            use_cache: true,
         }
     }
 }
@@ -51,14 +66,28 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// Strictly sequential execution.
     pub fn sequential() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            ..ExecConfig::default()
+        }
     }
 
     /// A fixed worker count (`0` is clamped to `1`).
     pub fn with_threads(threads: usize) -> Self {
         ExecConfig {
             threads: threads.max(1),
+            ..ExecConfig::default()
         }
+    }
+
+    /// This configuration restricted to one shard of the plan.
+    pub fn sharded(self, shard: Shard) -> Self {
+        ExecConfig { shard, ..self }
+    }
+
+    /// This configuration with the content-addressed caches toggled.
+    pub fn cached(self, use_cache: bool) -> Self {
+        ExecConfig { use_cache, ..self }
     }
 }
 
@@ -169,10 +198,83 @@ impl CampaignRunReport {
 /// aggregate report.
 #[derive(Debug, Clone)]
 pub struct CampaignRun {
-    /// One outcome per executed plan, in plan order.
+    /// Global plan index of each outcome (contiguous for a full run,
+    /// strided for a shard — the merge key of the campaign service).
+    pub indices: Vec<usize>,
+    /// One outcome per executed plan, in plan-index order.
     pub outcomes: Vec<PlanOutcome>,
     /// The aggregate.
     pub report: CampaignRunReport,
+}
+
+/// Applies one plan to a module and runs the differential experiment,
+/// optionally through the process-wide mutant and experiment caches.
+/// This is the engine's unit of work: outcomes depend only on
+/// (module, plan, machine config), never on shared mutable state.
+pub fn execute_plan(
+    module: &Module,
+    module_fp: u64,
+    plan: &FaultPlan,
+    machine: &MachineConfig,
+    use_cache: bool,
+) -> PlanOutcome {
+    let class = plan.class.key();
+    let not_applied = PlanOutcome {
+        operator: plan.operator,
+        class,
+        applied: false,
+        activated: false,
+        detected: false,
+        mode: None,
+    };
+    let report = if use_cache {
+        match MutantCache::global().apply(module, module_fp, plan) {
+            Some(mutant) => ExperimentCache::global().run_keyed(
+                module,
+                &mutant.fault.module,
+                module_fp,
+                mutant.module_fp,
+                machine,
+            ),
+            None => return not_applied,
+        }
+    } else {
+        match apply_plan(module, plan) {
+            Some(fault) => run_experiment(module, &fault.module, machine),
+            None => return not_applied,
+        }
+    };
+    PlanOutcome {
+        operator: plan.operator,
+        class,
+        applied: true,
+        activated: report.activated,
+        detected: report.detected,
+        mode: Some(report.overall),
+    }
+}
+
+/// Shared core of the campaign runners: executes `(index, plan)` pairs
+/// across the worker pool and folds the aggregate.
+fn run_worklist(
+    module: &Module,
+    worklist: &[(usize, &FaultPlan)],
+    machine: &MachineConfig,
+    config: ExecConfig,
+) -> CampaignRun {
+    let module_fp = fingerprint(module);
+    let outcomes = par_map(config, worklist, |(_, plan)| {
+        execute_plan(module, module_fp, plan, machine, config.use_cache)
+    });
+    let mut report = CampaignRunReport::default();
+    for outcome in &outcomes {
+        report.absorb(outcome);
+    }
+    CampaignRun {
+        indices: worklist.iter().map(|(i, _)| *i).collect(),
+        outcomes,
+        report,
+    }
 }
 
 /// Applies every given plan of a campaign and runs the differential test
@@ -181,7 +283,9 @@ pub struct CampaignRun {
 /// The module is shared by `Arc` — workers never clone the AST — and
 /// each plan's machine is constructed fresh from `machine`, so outcomes
 /// depend only on (module, plan, machine config) and are identical for
-/// every thread count.
+/// every thread count. `config.shard` restricts execution to the
+/// strided subset of plan indices; `config.use_cache` routes mutants
+/// and experiments through the content-addressed caches.
 pub fn run_campaign_plans(
     campaign: &Campaign,
     plans: &[FaultPlan],
@@ -189,35 +293,31 @@ pub fn run_campaign_plans(
     config: ExecConfig,
 ) -> CampaignRun {
     let module = campaign.module_arc();
-    let outcomes = par_map(config, plans, |plan| {
-        let class = plan.class.key();
-        match campaign.apply(plan) {
-            Some(fault) => {
-                let report = run_experiment(&module, &fault.module, machine);
-                PlanOutcome {
-                    operator: plan.operator,
-                    class,
-                    applied: true,
-                    activated: report.activated,
-                    detected: report.detected,
-                    mode: Some(report.overall),
-                }
-            }
-            None => PlanOutcome {
-                operator: plan.operator,
-                class,
-                applied: false,
-                activated: false,
-                detected: false,
-                mode: None,
-            },
-        }
-    });
-    let mut report = CampaignRunReport::default();
-    for outcome in &outcomes {
-        report.absorb(outcome);
-    }
-    CampaignRun { outcomes, report }
+    let worklist: Vec<(usize, &FaultPlan)> = plans
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| config.shard.covers(*i))
+        .collect();
+    run_worklist(&module, &worklist, machine, config)
+}
+
+/// [`run_campaign_plans`] addressing plans by index into the campaign's
+/// enumeration — the zero-clone path for sampled subsets
+/// ([`Campaign::sample_indices`]) and plan-IR shards.
+pub fn run_campaign_indices(
+    campaign: &Campaign,
+    indices: &[usize],
+    machine: &MachineConfig,
+    config: ExecConfig,
+) -> CampaignRun {
+    let module = campaign.module_arc();
+    let plans = campaign.plans();
+    let worklist: Vec<(usize, &FaultPlan)> = indices
+        .iter()
+        .filter(|&&i| config.shard.covers(i))
+        .map(|&i| (i, &plans[i]))
+        .collect();
+    run_worklist(&module, &worklist, machine, config)
 }
 
 /// [`run_campaign_plans`] over a campaign's full enumeration.
@@ -284,5 +384,48 @@ mod tests {
         let par = run_campaign(&c, &machine, ExecConfig::with_threads(8));
         assert_eq!(seq.outcomes, par.outcomes);
         assert_eq!(seq.report, par.report);
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_are_identical() {
+        let c = campaign();
+        let machine = MachineConfig::default();
+        let cold = run_campaign(&c, &machine, ExecConfig::sequential().cached(false));
+        let warm = run_campaign(&c, &machine, ExecConfig::sequential().cached(true));
+        let replay = run_campaign(&c, &machine, ExecConfig::sequential().cached(true));
+        assert_eq!(cold.outcomes, warm.outcomes);
+        assert_eq!(warm.outcomes, replay.outcomes);
+        assert_eq!(cold.report, replay.report);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_full_run() {
+        let c = campaign();
+        let machine = MachineConfig::default();
+        let full = run_campaign(&c, &machine, ExecConfig::sequential());
+        assert_eq!(full.indices, (0..c.plans().len()).collect::<Vec<_>>());
+        let mut merged: Vec<(usize, PlanOutcome)> = Vec::new();
+        for index in 0..3 {
+            let config = ExecConfig::sequential().sharded(Shard { index, count: 3 });
+            let run = run_campaign(&c, &machine, config);
+            assert_eq!(run.indices.len(), run.outcomes.len());
+            merged.extend(run.indices.into_iter().zip(run.outcomes));
+        }
+        merged.sort_by_key(|(i, _)| *i);
+        let outcomes: Vec<PlanOutcome> = merged.into_iter().map(|(_, o)| o).collect();
+        assert_eq!(outcomes, full.outcomes, "3-way shard union != full run");
+    }
+
+    #[test]
+    fn indexed_execution_matches_plan_execution() {
+        let c = campaign();
+        let machine = MachineConfig::default();
+        let indices = c.sample_indices(5, 42);
+        let by_index = run_campaign_indices(&c, &indices, &machine, ExecConfig::sequential());
+        assert_eq!(by_index.indices, indices);
+        let full = run_campaign(&c, &machine, ExecConfig::sequential());
+        for (i, outcome) in by_index.indices.iter().zip(by_index.outcomes.iter()) {
+            assert_eq!(outcome, &full.outcomes[*i]);
+        }
     }
 }

@@ -34,12 +34,16 @@
 //! # Ok::<(), nfi_core::pipeline::PipelineError>(())
 //! ```
 
+pub mod cache;
 pub mod exec;
 pub mod metrics;
 pub mod pipeline;
+pub mod service;
 pub mod session;
 
+pub use cache::{CacheStats, CachedMutant, MutantCache};
 pub use exec::{CampaignRun, CampaignRunReport, ExecConfig};
 pub use metrics::{field_profile, js_distance, EffortModel};
 pub use pipeline::{InjectionReport, NeuralFaultInjector, PipelineConfig, PipelineError};
+pub use service::{exec_spec, merge, plan_campaign, ShardOutcome, ShardRun};
 pub use session::{run_session, SessionResult, SessionRound};

@@ -1,30 +1,15 @@
 //! Hand-rolled JSONL serialization for dataset records.
 //!
 //! `serde_json` is not in the offline dependency allowlist, so records
-//! are written with a small purpose-built encoder and read back with a
-//! minimal flat-object parser (strings / integers / null — exactly what
-//! [`DatasetRecord`] needs). Round-tripping is property-tested.
+//! are written and read back with the workspace's shared flat JSON
+//! codec ([`nfi_sfi::jsontext`] — the same one behind campaign plan
+//! files and shard documents), specialized here to [`DatasetRecord`].
+//! Round-tripping is property-tested.
 
 use crate::DatasetRecord;
+pub use nfi_sfi::jsontext::escape;
+use nfi_sfi::jsontext::{parse_flat_object, JsonValue};
 use nfi_sfi::FaultClass;
-use std::collections::BTreeMap;
-
-/// Escapes a string for JSON.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 /// Encodes one record as a single JSON line (no trailing newline).
 pub fn encode(r: &DatasetRecord) -> String {
@@ -111,134 +96,6 @@ pub fn decode_all(text: &str) -> Result<Vec<DatasetRecord>, String> {
         out.push(decode(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
     Ok(out)
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(f64),
-    Null,
-}
-
-/// Parses a flat (non-nested) JSON object of string/number/null values.
-fn parse_flat_object(s: &str) -> Result<BTreeMap<String, JsonValue>, String> {
-    let chars: Vec<char> = s.trim().chars().collect();
-    let mut i = 0usize;
-    let mut out = BTreeMap::new();
-    expect(&chars, &mut i, '{')?;
-    skip_ws(&chars, &mut i);
-    if peek(&chars, i) == Some('}') {
-        return Ok(out);
-    }
-    loop {
-        skip_ws(&chars, &mut i);
-        let key = parse_string(&chars, &mut i)?;
-        skip_ws(&chars, &mut i);
-        expect(&chars, &mut i, ':')?;
-        skip_ws(&chars, &mut i);
-        let value = match peek(&chars, i) {
-            Some('"') => JsonValue::Str(parse_string(&chars, &mut i)?),
-            Some('n') => {
-                for expected in ['n', 'u', 'l', 'l'] {
-                    expect(&chars, &mut i, expected)?;
-                }
-                JsonValue::Null
-            }
-            Some(c) if c.is_ascii_digit() || c == '-' => {
-                let start = i;
-                while peek(&chars, i)
-                    .map(|c| {
-                        c.is_ascii_digit()
-                            || c == '-'
-                            || c == '.'
-                            || c == 'e'
-                            || c == 'E'
-                            || c == '+'
-                    })
-                    .unwrap_or(false)
-                {
-                    i += 1;
-                }
-                let text: String = chars[start..i].iter().collect();
-                JsonValue::Num(text.parse().map_err(|_| format!("bad number `{text}`"))?)
-            }
-            other => return Err(format!("unexpected value start {other:?} at {i}")),
-        };
-        out.insert(key, value);
-        skip_ws(&chars, &mut i);
-        match peek(&chars, i) {
-            Some(',') => {
-                i += 1;
-            }
-            Some('}') => break,
-            other => return Err(format!("expected `,` or `}}`, found {other:?}")),
-        }
-    }
-    Ok(out)
-}
-
-fn peek(chars: &[char], i: usize) -> Option<char> {
-    chars.get(i).copied()
-}
-
-fn skip_ws(chars: &[char], i: &mut usize) {
-    while peek(chars, *i).map(|c| c.is_whitespace()).unwrap_or(false) {
-        *i += 1;
-    }
-}
-
-fn expect(chars: &[char], i: &mut usize, c: char) -> Result<(), String> {
-    if peek(chars, *i) == Some(c) {
-        *i += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected `{c}` at {}, found {:?}",
-            i,
-            peek(chars, *i)
-        ))
-    }
-}
-
-fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
-    expect(chars, i, '"')?;
-    let mut out = String::new();
-    loop {
-        match peek(chars, *i) {
-            None => return Err("unterminated string".to_string()),
-            Some('"') => {
-                *i += 1;
-                return Ok(out);
-            }
-            Some('\\') => {
-                *i += 1;
-                match peek(chars, *i) {
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    Some('r') => out.push('\r'),
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('u') => {
-                        let hex: String = chars
-                            .get(*i + 1..*i + 5)
-                            .map(|s| s.iter().collect())
-                            .unwrap_or_default();
-                        let code = u32::from_str_radix(&hex, 16)
-                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                        *i += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *i += 1;
-            }
-            Some(c) => {
-                out.push(c);
-                *i += 1;
-            }
-        }
-    }
 }
 
 #[cfg(test)]

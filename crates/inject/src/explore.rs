@@ -6,8 +6,9 @@
 //! reproducibly (a lightweight systematic-concurrency-testing loop).
 
 use crate::classify::{most_severe, FailureMode};
-use crate::experiment::{run_experiment, ExperimentReport};
-use nfi_pylite::{MachineConfig, Module};
+use crate::experiment::ExperimentReport;
+use crate::memo::ExperimentCache;
+use nfi_pylite::{fingerprint, MachineConfig, Module};
 use std::collections::BTreeMap;
 
 /// Aggregated result of a multi-seed exploration.
@@ -43,12 +44,21 @@ impl ExplorationReport {
 
 /// Runs the differential experiment under each scheduler seed and
 /// aggregates the outcomes.
+///
+/// Experiments route through the process-wide [`ExperimentCache`]: the
+/// modules are fingerprinted once per exploration, and a seed already
+/// explored for this (pristine, faulty) pair — by an earlier sweep or
+/// an overlapping driver — is replayed from the memo instead of
+/// re-executed.
 pub fn explore_schedules(
     pristine: &Module,
     faulty: &Module,
     base: &MachineConfig,
     seeds: &[u64],
 ) -> ExplorationReport {
+    let cache = ExperimentCache::global();
+    let pristine_fp = fingerprint(pristine);
+    let faulty_fp = fingerprint(faulty);
     let mut per_seed = Vec::new();
     let mut activating = Vec::new();
     let mut mode_counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -57,7 +67,8 @@ pub fn explore_schedules(
             seed,
             ..base.clone()
         };
-        let report: ExperimentReport = run_experiment(pristine, faulty, &config);
+        let report: ExperimentReport =
+            cache.run_keyed(pristine, faulty, pristine_fp, faulty_fp, &config);
         if report.activated {
             activating.push(seed);
         }

@@ -38,6 +38,7 @@ pub mod diff;
 pub mod experiment;
 pub mod explore;
 pub mod harness;
+pub mod memo;
 pub mod patch;
 
 pub use classify::FailureMode;
@@ -45,4 +46,5 @@ pub use diff::{change_counts, diff_lines, render_diff, DiffLine};
 pub use experiment::{run_experiment, ExperimentReport, TestComparison};
 pub use explore::{explore_schedules, ExplorationReport};
 pub use harness::{run_suite, SuiteReport, TestResult};
+pub use memo::{run_experiment_memo, CacheStats, ExperimentCache, Memo};
 pub use patch::{integrate_snippet, replace_function, PatchError};

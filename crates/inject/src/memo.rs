@@ -1,0 +1,239 @@
+//! Experiment memoization: content-addressed caching of differential
+//! experiment runs.
+//!
+//! [`run_experiment`] is deterministic — the machine's scheduler, race
+//! detector, and virtual clock are all seed-driven — so its result is a
+//! pure function of (pristine module, faulty module, machine config).
+//! Repeated drivers (schedule exploration sweeps, E-driver reruns, the
+//! sequential-then-parallel benchmark pairs) therefore keep re-running
+//! byte-identical experiments. This module memoizes them behind a
+//! process-wide content-addressed cache keyed by
+//! `(fingerprint(pristine), fingerprint(faulty), machine.fingerprint())`.
+//!
+//! Because the key is content-addressed, memoization can never change a
+//! result — a hit returns exactly what the miss computed — so cached and
+//! uncached runs are bit-identical by construction.
+
+use crate::experiment::{run_experiment, ExperimentReport};
+use nfi_pylite::{fingerprint, MachineConfig, Module};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hit/miss counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A generic hit-counting memo table: the shared scaffolding behind
+/// [`ExperimentCache`] and `nfi_core`'s mutant cache. Values are
+/// computed outside the lock — concurrent misses on the same key
+/// duplicate work once but never block the whole pool on one compute.
+pub struct Memo<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + std::hash::Hash, V: Clone> Memo<K, V> {
+    /// An empty memo table.
+    pub fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing and recording it
+    /// on a miss.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(value) = self.map.lock().expect("memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return value.clone();
+        }
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("memo lock")
+            .insert(key, value.clone());
+        value
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("memo lock").len(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters (cold-start benches).
+    pub fn clear(&self) {
+        self.map.lock().expect("memo lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<K: Eq + std::hash::Hash, V: Clone> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+/// A memo table for differential experiments.
+pub struct ExperimentCache {
+    memo: Memo<(u64, u64, u64), ExperimentReport>,
+}
+
+impl ExperimentCache {
+    /// An empty cache (tests; the shared one is [`ExperimentCache::global`]).
+    pub fn new() -> ExperimentCache {
+        ExperimentCache { memo: Memo::new() }
+    }
+
+    /// The process-wide cache.
+    pub fn global() -> &'static ExperimentCache {
+        static GLOBAL: OnceLock<ExperimentCache> = OnceLock::new();
+        GLOBAL.get_or_init(ExperimentCache::new)
+    }
+
+    /// Runs (or replays) the experiment for pre-computed module
+    /// fingerprints — the hot-loop entry point for campaign executors
+    /// that already fingerprint the pristine module once per campaign.
+    pub fn run_keyed(
+        &self,
+        pristine: &Module,
+        faulty: &Module,
+        pristine_fp: u64,
+        faulty_fp: u64,
+        config: &MachineConfig,
+    ) -> ExperimentReport {
+        self.memo
+            .get_or_insert_with((pristine_fp, faulty_fp, config.fingerprint()), || {
+                run_experiment(pristine, faulty, config)
+            })
+    }
+
+    /// Runs (or replays) the experiment, fingerprinting both modules.
+    pub fn run(
+        &self,
+        pristine: &Module,
+        faulty: &Module,
+        config: &MachineConfig,
+    ) -> ExperimentReport {
+        self.run_keyed(
+            pristine,
+            faulty,
+            fingerprint(pristine),
+            fingerprint(faulty),
+            config,
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+
+    /// Drops every entry and zeroes the counters (cold-start benches).
+    pub fn clear(&self) {
+        self.memo.clear();
+    }
+}
+
+impl Default for ExperimentCache {
+    fn default() -> Self {
+        ExperimentCache::new()
+    }
+}
+
+/// [`run_experiment`] through the process-wide memo table.
+pub fn run_experiment_memo(
+    pristine: &Module,
+    faulty: &Module,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    ExperimentCache::global().run(pristine, faulty, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    const BASE: &str = "\
+def price(qty):
+    return qty * 10
+def test_price():
+    assert price(2) == 20
+";
+
+    #[test]
+    fn memoized_report_matches_direct_run() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace("* 10", "* 11")).unwrap();
+        let config = MachineConfig::default();
+        let cache = ExperimentCache::new();
+        let memo = cache.run(&pristine, &faulty, &config);
+        let direct = run_experiment(&pristine, &faulty, &config);
+        assert_eq!(memo.activated, direct.activated);
+        assert_eq!(memo.detected, direct.detected);
+        assert_eq!(memo.overall, direct.overall);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn second_lookup_hits_and_replays_identically() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace("* 10", "* 12")).unwrap();
+        let config = MachineConfig::default();
+        let cache = ExperimentCache::new();
+        let first = cache.run(&pristine, &faulty, &config);
+        let second = cache.run(&pristine, &faulty, &config);
+        assert_eq!(first.overall, second.overall);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn different_machine_seeds_are_distinct_entries() {
+        let pristine = parse(BASE).unwrap();
+        let faulty = parse(&BASE.replace("* 10", "* 13")).unwrap();
+        let cache = ExperimentCache::new();
+        cache.run(&pristine, &faulty, &MachineConfig::default());
+        cache.run(
+            &pristine,
+            &faulty,
+            &MachineConfig {
+                seed: 99,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(cache.stats().misses, 2);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -7,47 +7,77 @@
 
 use nfi_pylite::analysis::ModuleIndex;
 
-/// Matches tokens against the module's symbols.
-///
-/// Returns `(target_function, other_symbols)`: the first *function*
-/// matched is the injection target; every other matched symbol (globals,
-/// parameters, further functions) lands in the symbol list.
-pub fn match_symbols(tokens: &[String], index: &ModuleIndex) -> (Option<String>, Vec<String>) {
-    let mut functions: Vec<&str> = index.functions.iter().map(|f| f.name.as_str()).collect();
-    // Longer names first so "retry_transaction" wins over "transaction".
-    functions.sort_by_key(|n| std::cmp::Reverse(n.len()));
+/// The module's symbols pre-sorted for span matching — built **once**
+/// per module and reused across every description analyzed against it.
+/// This is the batched-NLP analogue of the interned lexicon: the
+/// per-call work that [`match_symbols`] used to redo (collecting and
+/// length-sorting functions / globals / params) happens at construction.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    /// Function names, longest first.
+    functions: Vec<String>,
+    /// Global names, longest first.
+    globals: Vec<String>,
+    /// Parameter names, longest first.
+    params: Vec<String>,
+}
 
-    let mut globals: Vec<&str> = index.globals.iter().map(String::as_str).collect();
-    globals.sort_by_key(|n| std::cmp::Reverse(n.len()));
+impl SymbolTable {
+    /// Collects and sorts the index's symbols.
+    pub fn build(index: &ModuleIndex) -> SymbolTable {
+        // Longer names first so "retry_transaction" wins over
+        // "transaction".
+        let longest_first = |mut names: Vec<String>| {
+            names.sort_by_key(|n| std::cmp::Reverse(n.len()));
+            names
+        };
+        SymbolTable {
+            functions: longest_first(index.functions.iter().map(|f| f.name.clone()).collect()),
+            globals: longest_first(index.globals.to_vec()),
+            params: longest_first(
+                index
+                    .functions
+                    .iter()
+                    .flat_map(|f| f.params.iter().cloned())
+                    .collect(),
+            ),
+        }
+    }
 
-    let mut params: Vec<&str> = index
-        .functions
-        .iter()
-        .flat_map(|f| f.params.iter().map(String::as_str))
-        .collect();
-    params.sort_by_key(|n| std::cmp::Reverse(n.len()));
+    /// Matches tokens against the table.
+    ///
+    /// Returns `(target_function, other_symbols)`: the first *function*
+    /// matched is the injection target; every other matched symbol
+    /// (globals, parameters, further functions) lands in the symbol
+    /// list.
+    pub fn match_symbols(&self, tokens: &[String]) -> (Option<String>, Vec<String>) {
+        let mut target_function = None;
+        let mut symbols = Vec::new();
 
-    let mut target_function = None;
-    let mut symbols = Vec::new();
-
-    for name in functions {
-        if matches_name(tokens, name) {
-            if target_function.is_none() {
-                target_function = Some(name.to_string());
-            } else if !symbols.contains(&name.to_string()) {
-                symbols.push(name.to_string());
+        for name in &self.functions {
+            if matches_name(tokens, name) {
+                if target_function.is_none() {
+                    target_function = Some(name.clone());
+                } else if !symbols.contains(name) {
+                    symbols.push(name.clone());
+                }
             }
         }
-    }
-    for name in globals.into_iter().chain(params) {
-        if matches_name(tokens, name)
-            && !symbols.contains(&name.to_string())
-            && Some(name.to_string()) != target_function
-        {
-            symbols.push(name.to_string());
+        for name in self.globals.iter().chain(&self.params) {
+            if matches_name(tokens, name)
+                && !symbols.contains(name)
+                && target_function.as_ref() != Some(name)
+            {
+                symbols.push(name.clone());
+            }
         }
+        (target_function, symbols)
     }
-    (target_function, symbols)
+}
+
+#[cfg(test)]
+fn match_symbols(tokens: &[String], index: &ModuleIndex) -> (Option<String>, Vec<String>) {
+    SymbolTable::build(index).match_symbols(tokens)
 }
 
 /// Whether `name` (a snake_case identifier) appears in the tokens either

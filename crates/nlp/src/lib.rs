@@ -157,46 +157,84 @@ pub fn stem(word: &str) -> String {
     w.to_string()
 }
 
+/// A reusable NLP engine bound to one target module (or none).
+///
+/// [`analyze`] rebuilds the module's symbol index on every call; when a
+/// whole batch of descriptions targets the same code — the E7 pipeline,
+/// dataset generation, campaign scenario suites — that work is pure
+/// overhead. An `Analyzer` hoists it: the [`entity::SymbolTable`] is
+/// built once at construction, and each [`Analyzer::analyze`] call only
+/// does the per-description work (tokenize, stem, classify, match).
+///
+/// Guaranteed equivalent: `Analyzer::new(code).analyze(d)` returns
+/// exactly `analyze(d, code)` for every description `d`.
+pub struct Analyzer {
+    symbols: Option<entity::SymbolTable>,
+}
+
+impl Analyzer {
+    /// Builds the engine, indexing `code`'s symbols once.
+    pub fn new(code: Option<&Module>) -> Analyzer {
+        Analyzer {
+            symbols: code.map(|m| entity::SymbolTable::build(&ModuleIndex::build(m))),
+        }
+    }
+
+    /// Analyzes one description against the pre-indexed module.
+    pub fn analyze(&self, description: &str) -> FaultSpec {
+        let toks = tokens(description);
+        let stems: Vec<String> = toks.iter().map(|t| stem(t)).collect();
+
+        let (class, secondary_class, confidence) = lexicon::classify(&stems);
+        let quantities = quantity::extract(description);
+        let effect = lexicon::effect_hint(&stems);
+        let exception_kind = lexicon::exception_kind(description, &stems);
+        let trigger = extract_trigger(description, &toks, &quantities);
+
+        let (target_function, target_symbols) = match &self.symbols {
+            Some(table) => table.match_symbols(&toks),
+            None => (None, Vec::new()),
+        };
+
+        let keywords: Vec<String> = stems
+            .iter()
+            .filter(|s| !lexicon::is_stopword(s))
+            .cloned()
+            .collect();
+
+        FaultSpec {
+            raw: description.to_string(),
+            class,
+            secondary_class,
+            confidence,
+            target_function,
+            target_symbols,
+            exception_kind,
+            trigger,
+            effect,
+            quantities,
+            keywords,
+        }
+    }
+}
+
 /// Analyzes a fault description against an optional target module,
 /// producing the structured [`FaultSpec`]. This is the NLP engine's
 /// public entry point.
 pub fn analyze(description: &str, code: Option<&Module>) -> FaultSpec {
-    let toks = tokens(description);
-    let stems: Vec<String> = toks.iter().map(|t| stem(t)).collect();
+    Analyzer::new(code).analyze(description)
+}
 
-    let (class, secondary_class, confidence) = lexicon::classify(&stems);
-    let quantities = quantity::extract(description);
-    let effect = lexicon::effect_hint(&stems);
-    let exception_kind = lexicon::exception_kind(description, &stems);
-    let trigger = extract_trigger(description, &toks, &quantities);
-
-    let (target_function, target_symbols) = match code {
-        Some(m) => {
-            let index = ModuleIndex::build(m);
-            entity::match_symbols(&toks, &index)
-        }
-        None => (None, Vec::new()),
-    };
-
-    let keywords: Vec<String> = stems
+/// Analyzes a batch of descriptions against one target module,
+/// amortizing the symbol-index construction (and the lexicon's interned
+/// index, which is process-wide already) across the whole batch.
+/// Element `i` of the result equals `analyze(descriptions[i], code)`.
+pub fn analyze_batch<S: AsRef<str>>(descriptions: &[S], code: Option<&Module>) -> Vec<FaultSpec> {
+    let analyzer = Analyzer::new(code);
+    descriptions
         .iter()
-        .filter(|s| !lexicon::is_stopword(s))
-        .cloned()
-        .collect();
-
-    FaultSpec {
-        raw: description.to_string(),
-        class,
-        secondary_class,
-        confidence,
-        target_function,
-        target_symbols,
-        exception_kind,
-        trigger,
-        effect,
-        quantities,
-        keywords,
-    }
+        .map(|d| analyzer.analyze(d.as_ref()))
+        .collect()
 }
 
 fn extract_trigger(description: &str, toks: &[String], quantities: &[Quantity]) -> Trigger {
@@ -363,5 +401,24 @@ mod tests {
         assert_eq!(spec.class, None);
         assert_eq!(spec.trigger, Trigger::Always);
         assert!(spec.keywords.is_empty());
+    }
+
+    #[test]
+    fn batch_analysis_equals_per_item_analysis() {
+        let module = ecommerce();
+        let descriptions = [
+            "Simulate a timeout in the process transaction function.",
+            "Leak the database connection handle by never closing it.",
+            "Introduce a race condition on the shared counter.",
+            "",
+            "Retry 3 times with a 1.5 second delay in retry_transaction.",
+        ];
+        for code in [Some(&module), None] {
+            let batch = analyze_batch(&descriptions, code);
+            assert_eq!(batch.len(), descriptions.len());
+            for (d, got) in descriptions.iter().zip(&batch) {
+                assert_eq!(got, &analyze(d, code), "diverged on {d:?}");
+            }
+        }
     }
 }

@@ -1,0 +1,93 @@
+//! Stable content fingerprints for modules and machine configurations.
+//!
+//! The campaign service and the mutant/experiment caches key their
+//! entries by *what* is being executed: the printed module source, the
+//! machine configuration, a fault plan. All of them reduce to
+//! [`fnv1a`], a dependency-free 64-bit FNV-1a hash whose value is part
+//! of the plan-file format — it must stay stable across runs, hosts,
+//! and thread counts (never use [`std::hash::Hash`], whose output is
+//! unspecified between releases).
+
+use crate::machine::MachineConfig;
+use crate::printer::print_module;
+use crate::Module;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// 64-bit FNV-1a over raw bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash with more bytes (for multi-field keys).
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Content fingerprint of a module: FNV-1a over its printed source.
+///
+/// Two modules that print identically are semantically identical for
+/// injection purposes (the printer is the canonical form — parse ∘
+/// print is the identity on printed output), so this is a sound cache
+/// key for mutant and experiment memoization.
+pub fn fingerprint(module: &Module) -> u64 {
+    fnv1a(print_module(module).as_bytes())
+}
+
+impl MachineConfig {
+    /// Stable fingerprint over every field that affects execution.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_extend(h, &self.step_budget.to_le_bytes());
+        h = fnv1a_extend(h, &self.quantum.to_le_bytes());
+        h = fnv1a_extend(h, &self.seed.to_le_bytes());
+        h = fnv1a_extend(h, &[self.detect_races as u8]);
+        h = fnv1a_extend(h, &self.max_frames.to_le_bytes());
+        h = fnv1a_extend(h, &self.max_output.to_le_bytes());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn module_fingerprint_tracks_content_not_identity() {
+        let a = parse("x = 1\ny = 2\n").unwrap();
+        let b = parse("x = 1\ny = 2\n").unwrap();
+        let c = parse("x = 1\ny = 3\n").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn machine_fingerprint_tracks_every_field() {
+        let base = MachineConfig::default();
+        assert_eq!(base.fingerprint(), MachineConfig::default().fingerprint());
+        let seeded = MachineConfig {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), seeded.fingerprint());
+        let budget = MachineConfig {
+            step_budget: base.step_budget + 1,
+            ..base
+        };
+        assert_ne!(MachineConfig::default().fingerprint(), budget.fingerprint());
+    }
+}

@@ -44,6 +44,7 @@ mod builtins;
 pub mod code;
 pub mod compile;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod machine;
 pub mod ops;
@@ -54,6 +55,7 @@ pub mod value;
 pub use ast::{Module, NodeId, Span, Stmt, StmtKind};
 pub use builtins::{BUILTIN_FUNCTIONS, EXCEPTION_KINDS};
 pub use error::{ErrorKind, PyliteError};
+pub use fingerprint::{fingerprint, fnv1a};
 pub use machine::{
     ExcInfo, HangKind, LeakReport, Machine, MachineConfig, OverflowReport, RaceReport, RunOutcome,
     RunStatus,

@@ -99,14 +99,15 @@ impl Campaign {
         Arc::clone(&self.module)
     }
 
-    /// A seeded random sample of at most `n` plans (without replacement).
-    ///
-    /// Only indices are shuffled; plans are cloned for the picked `n`,
-    /// not for the whole enumeration.
-    pub fn sample(&self, n: usize, seed: u64) -> Vec<FaultPlan> {
+    /// A seeded random sample of at most `n` plans (without
+    /// replacement), as borrowed views into the enumeration — no plan
+    /// is ever cloned. Callers that need owned plans can clone
+    /// individually; callers driving the execution engine should prefer
+    /// [`Campaign::sample_indices`] and index-based execution.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<&FaultPlan> {
         self.sample_indices(n, seed)
             .into_iter()
-            .map(|i| self.plans[i].clone())
+            .map(|i| &self.plans[i])
             .collect()
     }
 
@@ -124,15 +125,7 @@ impl Campaign {
     ///
     /// Returns `None` when the plan is stale (site vanished).
     pub fn apply(&self, plan: &FaultPlan) -> Option<InjectedFault> {
-        let op = operators::by_name(plan.operator)?;
-        let module = op.apply(&self.module, &plan.site)?;
-        Some(InjectedFault {
-            operator: plan.operator,
-            class: plan.class,
-            site: plan.site.clone(),
-            module,
-            description: op.describe(&plan.site),
-        })
+        apply_plan(&self.module, plan)
     }
 
     /// Aggregate statistics over the enumerated plans.
@@ -145,6 +138,25 @@ impl Campaign {
         }
         report
     }
+}
+
+/// Applies a plan against any module, producing the mutated module plus
+/// provenance — [`Campaign::apply`] without the campaign. This is the
+/// primitive the plan-IR executor and the mutant cache build on: a plan
+/// decoded from a [`crate::plan::CampaignSpec`] can be applied to the
+/// re-parsed module directly.
+///
+/// Returns `None` when the operator is unknown or the site is stale.
+pub fn apply_plan(module: &Module, plan: &FaultPlan) -> Option<InjectedFault> {
+    let op = operators::by_name(plan.operator)?;
+    let mutated = op.apply(module, &plan.site)?;
+    Some(InjectedFault {
+        operator: plan.operator,
+        class: plan.class,
+        site: plan.site.clone(),
+        module: mutated,
+        description: op.describe(&plan.site),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! Minimal flat JSON text codec shared across the workspace.
+//!
+//! The offline dependency set has no `serde_json`, so every text
+//! format in the workspace — campaign plan files ([`crate::plan`]),
+//! campaign shard/report documents (`nfi_core::service`), and the
+//! dataset JSONL (`nfi_dataset::jsonl`) — is built on this one
+//! purpose-built codec: an escaper for writing and a flat-object
+//! parser (strings / numbers / booleans / null, no nesting) for
+//! reading. Keeping a single implementation keeps the escaping rules
+//! — and therefore the byte-stable encodings the shard-merge
+//! guarantees depend on — identical everywhere.
+
+use std::collections::BTreeMap;
+
+/// Escapes a string for JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A scalar value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    Str(String),
+    /// A number (all JSON numbers parse as `f64`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a flat (non-nested) JSON object of scalar values.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn parse_flat_object(s: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let chars: Vec<char> = s.trim().chars().collect();
+    let mut i = 0usize;
+    let mut out = BTreeMap::new();
+    expect(&chars, &mut i, '{')?;
+    skip_ws(&chars, &mut i);
+    if peek(&chars, i) == Some('}') {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&chars, &mut i);
+        let key = parse_string(&chars, &mut i)?;
+        skip_ws(&chars, &mut i);
+        expect(&chars, &mut i, ':')?;
+        skip_ws(&chars, &mut i);
+        let value = match peek(&chars, i) {
+            Some('"') => JsonValue::Str(parse_string(&chars, &mut i)?),
+            Some('n') => {
+                expect_word(&chars, &mut i, "null")?;
+                JsonValue::Null
+            }
+            Some('t') => {
+                expect_word(&chars, &mut i, "true")?;
+                JsonValue::Bool(true)
+            }
+            Some('f') => {
+                expect_word(&chars, &mut i, "false")?;
+                JsonValue::Bool(false)
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                while peek(&chars, i)
+                    .map(|c| {
+                        c.is_ascii_digit()
+                            || c == '-'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c == '+'
+                    })
+                    .unwrap_or(false)
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                JsonValue::Num(text.parse().map_err(|_| format!("bad number `{text}`"))?)
+            }
+            other => return Err(format!("unexpected value start {other:?} at {i}")),
+        };
+        out.insert(key, value);
+        skip_ws(&chars, &mut i);
+        match peek(&chars, i) {
+            Some(',') => {
+                i += 1;
+            }
+            Some('}') => break,
+            other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn peek(chars: &[char], i: usize) -> Option<char> {
+    chars.get(i).copied()
+}
+
+fn skip_ws(chars: &[char], i: &mut usize) {
+    while peek(chars, *i).map(|c| c.is_whitespace()).unwrap_or(false) {
+        *i += 1;
+    }
+}
+
+fn expect(chars: &[char], i: &mut usize, c: char) -> Result<(), String> {
+    if peek(chars, *i) == Some(c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{c}` at {}, found {:?}",
+            i,
+            peek(chars, *i)
+        ))
+    }
+}
+
+fn expect_word(chars: &[char], i: &mut usize, word: &str) -> Result<(), String> {
+    for c in word.chars() {
+        expect(chars, i, c)?;
+    }
+    Ok(())
+}
+
+fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
+    expect(chars, i, '"')?;
+    let mut out = String::new();
+    loop {
+        match peek(chars, *i) {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *i += 1;
+                match peek(chars, *i) {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*i + 1..*i + 5)
+                            .map(|s| s.iter().collect())
+                            .unwrap_or_default();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *i += 1;
+            }
+            Some(c) => {
+                out.push(c);
+                *i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_scalar_kinds() {
+        let obj =
+            parse_flat_object("{\"s\":\"a\\nb\",\"n\":-1.5,\"t\":true,\"f\":false,\"z\":null}")
+                .unwrap();
+        assert_eq!(obj["s"].as_str(), Some("a\nb"));
+        assert_eq!(obj["n"].as_num(), Some(-1.5));
+        assert_eq!(obj["t"].as_bool(), Some(true));
+        assert_eq!(obj["f"].as_bool(), Some(false));
+        assert_eq!(obj["z"], JsonValue::Null);
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let nasty = "quote \" slash \\ newline \n tab \t ctrl \u{1}";
+        let line = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let obj = parse_flat_object(&line).unwrap();
+        assert_eq!(obj["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_objects() {
+        assert!(parse_flat_object("not json").is_err());
+        assert!(parse_flat_object("{\"k\":tru}").is_err());
+        assert!(parse_flat_object("{\"k\":1 \"j\":2}").is_err());
+    }
+}

@@ -34,10 +34,13 @@ use nfi_pylite::Module;
 use std::fmt;
 
 pub mod campaign;
+pub mod jsontext;
 mod operators;
+pub mod plan;
 
-pub use campaign::{Campaign, CampaignReport, FaultPlan};
-pub use operators::registry;
+pub use campaign::{apply_plan, Campaign, CampaignReport, FaultPlan};
+pub use operators::{by_name, registry};
+pub use plan::{plan_hash, CampaignSpec, Shard, WorkUnit};
 
 /// High-level class of an injected fault, aligned with the fault types
 /// the paper's §IV-1 dataset covers ("logic errors, race conditions,

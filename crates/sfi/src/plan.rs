@@ -1,0 +1,410 @@
+//! The campaign plan IR: a serializable, module-independent
+//! representation of *what to inject*, decoupled from *how it
+//! executes*.
+//!
+//! A [`Campaign`] enumerates [`FaultPlan`]s against one in-memory
+//! module; those plans borrow `&'static` operator names and are tied to
+//! the process that built them. The plan IR lifts that enumeration into
+//! plain data:
+//!
+//! * a [`WorkUnit`] is one injection — operator key, [`Site`], and the
+//!   scheduler seed to run it under — addressable by its stable index
+//!   in the enumeration;
+//! * a [`CampaignSpec`] is the whole campaign — program name, the
+//!   program source itself (so a spec is self-contained across hosts),
+//!   the module fingerprint it was enumerated against, and the units.
+//!
+//! Specs have a stable JSONL text encoding ([`CampaignSpec::encode`] /
+//! [`CampaignSpec::decode`]): generate a plan once, split it into
+//! [`Shard`]s, execute the shards anywhere (other processes, other
+//! hosts), and merge the results — the executor side lives in
+//! `nfi_core::service`.
+
+use crate::jsontext::{escape, parse_flat_object, JsonValue};
+use crate::{operators, Campaign, FaultClass, FaultPlan, Site};
+use nfi_pylite::ast::NodeId;
+use nfi_pylite::fingerprint::{fnv1a, fnv1a_extend};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stable content hash of a fault plan: operator key plus every site
+/// field. Two plans with equal hashes request the same mutation of the
+/// same module — the mutant-cache key half that doesn't depend on the
+/// module itself.
+pub fn plan_hash(plan: &FaultPlan) -> u64 {
+    let mut h = fnv1a(plan.operator.as_bytes());
+    h = fnv1a_extend(h, &plan.site.stmt_id.0.to_le_bytes());
+    if let Some(f) = &plan.site.function {
+        h = fnv1a_extend(h, b"\x01");
+        h = fnv1a_extend(h, f.as_bytes());
+    } else {
+        h = fnv1a_extend(h, b"\x00");
+    }
+    h = fnv1a_extend(h, &plan.site.line.to_le_bytes());
+    fnv1a_extend(h, plan.site.detail.as_bytes())
+}
+
+/// One shard of a plan: this process executes unit indices `i` with
+/// `i % count == index` (a strided partition, so shards stay balanced
+/// even when plan cost varies along the enumeration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total shard count.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The trivial shard covering everything.
+    pub const FULL: Shard = Shard { index: 0, count: 1 };
+
+    /// Parses `"i/n"` (e.g. `"0/2"`), validating `i < n` and `n > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (i, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard `{text}` is not of the form i/n"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("shard index `{i}` is not a number"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("shard count `{n}` is not a number"))?;
+        if count == 0 {
+            return Err("shard count must be positive".to_string());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for /{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard covers global unit index `i`.
+    pub fn covers(self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+
+    /// Whether this is the full (unsharded) run.
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::FULL
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One planned injection as plain data: operator key + site + the
+/// scheduler seed for the experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Stable index in the campaign enumeration (the sharding key).
+    pub index: usize,
+    /// Operator mnemonic, resolvable via the operator registry.
+    pub operator: String,
+    /// Fault class of the operator.
+    pub class: FaultClass,
+    /// Target site.
+    pub site: Site,
+    /// Scheduler seed for the differential experiment.
+    pub seed: u64,
+}
+
+impl WorkUnit {
+    /// Captures an in-memory plan as a work unit.
+    pub fn from_plan(index: usize, plan: &FaultPlan, seed: u64) -> WorkUnit {
+        WorkUnit {
+            index,
+            operator: plan.operator.to_string(),
+            class: plan.class,
+            site: plan.site.clone(),
+            seed,
+        }
+    }
+
+    /// Resolves the unit back into an executable [`FaultPlan`] through
+    /// the operator registry. Returns `None` for an unknown operator
+    /// key (a plan from a newer registry, say).
+    pub fn to_plan(&self) -> Option<FaultPlan> {
+        let op = operators::by_name(&self.operator)?;
+        Some(FaultPlan {
+            operator: op.name(),
+            class: op.class(),
+            site: self.site.clone(),
+        })
+    }
+
+    /// Encodes the unit as one JSON line.
+    pub fn encode(&self) -> String {
+        let function = match &self.site.function {
+            Some(f) => format!("\"{}\"", escape(f)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"unit\",\"index\":{},\"operator\":\"{}\",\"class\":\"{}\",\"stmt_id\":{},\"function\":{},\"line\":{},\"detail\":\"{}\",\"seed\":{}}}",
+            self.index,
+            escape(&self.operator),
+            self.class.key(),
+            self.site.stmt_id.0,
+            function,
+            self.site.line,
+            escape(&self.site.detail),
+            self.seed,
+        )
+    }
+
+    /// Decodes a unit from its JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn decode(line: &str) -> Result<WorkUnit, String> {
+        let fields = parse_flat_object(line)?;
+        let unit = WorkUnit {
+            index: get_num(&fields, "index")? as usize,
+            operator: get_str(&fields, "operator")?,
+            class: {
+                let key = get_str(&fields, "class")?;
+                FaultClass::from_key(&key).ok_or_else(|| format!("unknown fault class `{key}`"))?
+            },
+            site: Site {
+                stmt_id: NodeId(get_num(&fields, "stmt_id")? as u32),
+                function: match fields.get("function") {
+                    Some(JsonValue::Str(s)) => Some(s.clone()),
+                    Some(JsonValue::Null) | None => None,
+                    other => return Err(format!("field `function` invalid: {other:?}")),
+                },
+                line: get_num(&fields, "line")? as u32,
+                detail: get_str(&fields, "detail")?,
+            },
+            seed: get_num(&fields, "seed")? as u64,
+        };
+        Ok(unit)
+    }
+}
+
+fn get_str(fields: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, String> {
+    match fields.get(key) {
+        Some(JsonValue::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!("field `{key}` is not a string: {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn get_num(fields: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, String> {
+    match fields.get(key) {
+        Some(JsonValue::Num(n)) => Ok(*n),
+        Some(other) => Err(format!("field `{key}` is not a number: {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// A whole campaign as plain data: self-contained (the program source
+/// rides along) and executable anywhere the operator registry exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Program name (provenance; corpus name or file stem).
+    pub program: String,
+    /// The program source the campaign was enumerated against.
+    pub source: String,
+    /// Fingerprint of the parsed module ([`nfi_pylite::fingerprint`]),
+    /// validated at execution time against the re-parsed source.
+    pub module_fp: u64,
+    /// The enumerated units, in stable index order.
+    pub units: Vec<WorkUnit>,
+}
+
+impl CampaignSpec {
+    /// Captures a campaign's full enumeration, stamping every unit with
+    /// `seed` as its experiment scheduler seed.
+    pub fn from_campaign(program: &str, campaign: &Campaign, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            program: program.to_string(),
+            source: nfi_pylite::print_module(campaign.module()),
+            module_fp: nfi_pylite::fingerprint(campaign.module()),
+            units: campaign
+                .plans()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| WorkUnit::from_plan(i, p, seed))
+                .collect(),
+        }
+    }
+
+    /// Unit indices covered by `shard`, in index order.
+    pub fn shard_unit_indices(&self, shard: Shard) -> Vec<usize> {
+        (0..self.units.len()).filter(|&i| shard.covers(i)).collect()
+    }
+
+    /// Encodes the spec as a JSONL document: one header line, then one
+    /// line per unit.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\":\"campaign_spec\",\"program\":\"{}\",\"module_fp\":\"{:016x}\",\"units\":{},\"source\":\"{}\"}}\n",
+            escape(&self.program),
+            self.module_fp,
+            self.units.len(),
+            escape(&self.source),
+        );
+        for unit in &self.units {
+            out.push_str(&unit.encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes a JSONL plan document.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first undecodable line with its number, a missing
+    /// header, or a unit-count mismatch.
+    pub fn decode(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec: Option<CampaignSpec> = None;
+        let mut declared_units = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |e: String| format!("line {}: {e}", i + 1);
+            if line.contains("\"kind\":\"campaign_spec\"") {
+                if spec.is_some() {
+                    return Err(format!(
+                        "line {}: second campaign_spec header (concatenated documents?)",
+                        i + 1
+                    ));
+                }
+                let fields = parse_flat_object(line).map_err(err)?;
+                let fp_hex = get_str(&fields, "module_fp").map_err(err)?;
+                declared_units = get_num(&fields, "units").map_err(err)? as usize;
+                spec = Some(CampaignSpec {
+                    program: get_str(&fields, "program").map_err(err)?,
+                    source: get_str(&fields, "source").map_err(err)?,
+                    module_fp: u64::from_str_radix(&fp_hex, 16)
+                        .map_err(|_| format!("line {}: bad module_fp `{fp_hex}`", i + 1))?,
+                    units: Vec::new(),
+                });
+            } else if line.contains("\"kind\":\"unit\"") {
+                let unit = WorkUnit::decode(line).map_err(err)?;
+                spec.as_mut()
+                    .ok_or_else(|| format!("line {}: unit before header", i + 1))?
+                    .units
+                    .push(unit);
+            } else {
+                return Err(format!("line {}: unknown record kind", i + 1));
+            }
+        }
+        let spec = spec.ok_or("no campaign_spec header found")?;
+        if spec.units.len() != declared_units {
+            return Err(format!(
+                "header declares {declared_units} units, found {}",
+                spec.units.len()
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfi_pylite::parse;
+
+    fn campaign() -> Campaign {
+        let module = parse(
+            "m = lock()\ntotal = 0\ndef add(v):\n    global total\n    m.acquire()\n    total = total + v\n    m.release()\n    return total\ndef test_add():\n    assert add(1) == 1\n",
+        )
+        .unwrap();
+        Campaign::full(&module)
+    }
+
+    #[test]
+    fn spec_roundtrips_through_text() {
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 7);
+        let decoded = CampaignSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(spec, decoded);
+        assert_eq!(decoded.units.len(), c.plans().len());
+    }
+
+    #[test]
+    fn units_resolve_back_to_identical_plans() {
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 0);
+        for (unit, plan) in spec.units.iter().zip(c.plans()) {
+            let resolved = unit.to_plan().expect("registry resolves");
+            assert_eq!(resolved.operator, plan.operator);
+            assert_eq!(resolved.class, plan.class);
+            assert_eq!(resolved.site, plan.site);
+            assert_eq!(plan_hash(&resolved), plan_hash(plan));
+        }
+    }
+
+    #[test]
+    fn plan_hash_distinguishes_operator_and_site() {
+        let c = campaign();
+        let plans = c.plans();
+        let mut hashes: Vec<u64> = plans.iter().map(plan_hash).collect();
+        hashes.sort_unstable();
+        let before = hashes.len();
+        hashes.dedup();
+        assert_eq!(hashes.len(), before, "plan hashes must be unique");
+    }
+
+    #[test]
+    fn shards_partition_the_unit_indices() {
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 0);
+        let n = spec.units.len();
+        for count in [1usize, 2, 3, 5] {
+            let mut seen = Vec::new();
+            for index in 0..count {
+                seen.extend(spec.shard_unit_indices(Shard { index, count }));
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "count={count}");
+        }
+    }
+
+    #[test]
+    fn shard_parsing_validates() {
+        assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
+        assert!(Shard::parse("1/1").unwrap_err().contains("out of range"));
+        assert!(Shard::parse("x/2").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert_eq!(Shard::FULL.to_string(), "0/1");
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_documents() {
+        assert!(CampaignSpec::decode("").is_err(), "empty");
+        assert!(
+            CampaignSpec::decode("{\"kind\":\"unit\"}").is_err(),
+            "unit before header"
+        );
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 0);
+        let encoded = spec.encode();
+        let mut truncated: Vec<&str> = encoded.lines().collect();
+        truncated.pop();
+        let text = truncated.join("\n");
+        assert!(CampaignSpec::decode(&text).unwrap_err().contains("units"));
+        let concatenated = format!("{encoded}{encoded}");
+        assert!(CampaignSpec::decode(&concatenated)
+            .unwrap_err()
+            .contains("second campaign_spec header"));
+    }
+}

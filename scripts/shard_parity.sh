@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Shard-merge parity check: for every corpus program, plan a campaign,
+# execute it as two shards, merge them, and require the merged document
+# to be byte-identical to the unsharded threads=1 run.
+#
+# Usage: scripts/shard_parity.sh [program ...]   (default: all programs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NFI=./target/release/nfi
+[ -x "$NFI" ] || cargo build --release --bin nfi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if [ "$#" -gt 0 ]; then
+  PROGRAMS=("$@")
+else
+  # First column of `nfi corpus list`, minus the header row.
+  mapfile -t PROGRAMS < <("$NFI" corpus list | tail -n +2 | awk '{print $1}')
+fi
+
+for program in "${PROGRAMS[@]}"; do
+  plan="$WORK/$program.plan.jsonl"
+  "$NFI" campaign plan --program "$program" --out "$plan" >/dev/null
+  "$NFI" campaign exec --plan "$plan" --threads 1 --out "$WORK/$program.full.jsonl" >/dev/null
+  "$NFI" campaign exec --plan "$plan" --threads 1 --shard 0/2 --out "$WORK/$program.s0.jsonl" >/dev/null
+  "$NFI" campaign exec --plan "$plan" --threads 1 --shard 1/2 --out "$WORK/$program.s1.jsonl" >/dev/null
+  "$NFI" campaign merge "$WORK/$program.s0.jsonl" "$WORK/$program.s1.jsonl" \
+    --out "$WORK/$program.merged.jsonl" >/dev/null
+  if ! diff -q "$WORK/$program.full.jsonl" "$WORK/$program.merged.jsonl" >/dev/null; then
+    echo "FAIL: $program — merged shards differ from the unsharded run" >&2
+    diff "$WORK/$program.full.jsonl" "$WORK/$program.merged.jsonl" >&2 || true
+    exit 1
+  fi
+  echo "ok: $program ($(grep -c '"kind":"outcome"' "$WORK/$program.full.jsonl") plans)"
+done
+echo "shard parity: all programs byte-identical"

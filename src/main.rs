@@ -34,6 +34,9 @@ USAGE:
               [--profile retry|crash] [--rounds N]
   nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
   nfi explore (--program <name> | --file <path>) --describe \"<fault>\" [--seeds N]
+  nfi campaign plan (--program <name> | --file <path>) [--seed N] [--out PATH]
+  nfi campaign exec --plan PATH [--shard i/n] [--threads N] [--no-cache] [--out PATH]
+  nfi campaign merge <run.jsonl>... [--out PATH]
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
   nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 ";
@@ -105,6 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "session" => cmd_session(&flags),
         "dataset" => cmd_dataset(&flags),
         "explore" => cmd_explore(&flags),
+        "campaign" => cmd_campaign(&positional, &flags),
         "experiments" => cmd_experiments(&positional, &flags),
         "bench" => cmd_bench(&flags),
         "--help" | "help" => {
@@ -325,13 +329,109 @@ fn cmd_explore(flags: &HashMap<&str, &str>) -> Result<(), String> {
     Ok(())
 }
 
+/// The one shared `--threads` parser: every subcommand that takes the
+/// flag goes through here, so they all reject `0` and non-numeric
+/// values with the same error naming the flag (no per-command drift).
 fn exec_config(flags: &HashMap<&str, &str>) -> Result<nfi_core::exec::ExecConfig, String> {
     match flags.get("threads") {
         Some(v) => {
-            let threads: usize = v.parse().map_err(|_| "bad --threads")?;
+            let threads: usize = v
+                .parse()
+                .map_err(|_| format!("--threads expects a positive integer, got `{v}`"))?;
+            if threads == 0 {
+                return Err("--threads must be at least 1, got `0`".to_string());
+            }
             Ok(nfi_core::exec::ExecConfig::with_threads(threads))
         }
         None => Ok(nfi_core::exec::ExecConfig::default()),
+    }
+}
+
+/// Writes `text` to `--out PATH` when given (announcing the path), or
+/// to stdout otherwise.
+fn write_doc(flags: &HashMap<&str, &str>, text: &str) -> Result<(), String> {
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// The sharded campaign workflow: `plan` enumerates once into a
+/// portable JSONL spec, `exec` runs any `--shard i/n` of it (anywhere —
+/// the spec carries the program source), `merge` unions shard runs back
+/// into the one canonical document. Merging is associative and the
+/// merged document is byte-identical to an unsharded `exec`.
+fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use neural_fault_injection::core::service;
+    use neural_fault_injection::sfi::{CampaignSpec, Shard};
+    match positional.first().copied() {
+        Some("plan") => {
+            let source = load_source(flags)?;
+            let program = flags
+                .get("program")
+                .copied()
+                .or_else(|| flags.get("file").map(|p| p.rsplit('/').next().unwrap_or(p)))
+                .unwrap_or("campaign");
+            let seed: u64 = flags
+                .get("seed")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--seed expects an integer, got `{v}`"))
+                })
+                .transpose()?
+                .unwrap_or(MachineConfig::default().seed);
+            let spec = service::plan_campaign(program, &source, seed)?;
+            eprintln!("planned {} units for {program}", spec.units.len());
+            write_doc(flags, &spec.encode())
+        }
+        Some("exec") => {
+            let path = flags.get("plan").ok_or("need --plan <path>")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = CampaignSpec::decode(&text).map_err(|e| format!("{path}: {e}"))?;
+            let shard = match flags.get("shard") {
+                Some(s) => Shard::parse(s).map_err(|e| format!("--shard: {e}"))?,
+                None => Shard::FULL,
+            };
+            let config = exec_config(flags)?
+                .sharded(shard)
+                .cached(!flags.contains_key("no-cache"));
+            let run = service::exec_spec(&spec, &MachineConfig::default(), config)?;
+            eprintln!(
+                "executed shard {shard}: {} of {} units",
+                run.outcomes.len(),
+                run.total
+            );
+            write_doc(flags, &run.encode())
+        }
+        Some("merge") => {
+            let files = &positional[1..];
+            if files.is_empty() {
+                return Err("usage: nfi campaign merge <run.jsonl>... [--out PATH]".to_string());
+            }
+            let mut runs = Vec::new();
+            for path in files {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                runs.push(service::ShardRun::decode(&text).map_err(|e| format!("{path}: {e}"))?);
+            }
+            let merged = service::merge(&runs)?;
+            eprintln!(
+                "merged {} run(s): {} of {} units covered",
+                runs.len(),
+                merged.outcomes.len(),
+                merged.total
+            );
+            write_doc(flags, &merged.encode())
+        }
+        _ => Err("usage: nfi campaign [plan|exec|merge]".to_string()),
     }
 }
 
@@ -416,6 +516,12 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         campaign.parallel_plans_per_s(),
         campaign.speedup(),
         campaign.reports_identical,
+    );
+    println!(
+        "  warm rerun: {:.1} plans/s ({:.2}x over cold), mutant-cache hit rate {:.1}%",
+        campaign.warm_plans_per_s(),
+        campaign.warm_speedup(),
+        campaign.mutant_cache.hit_rate() * 100.0,
     );
 
     println!("benching LM training kernels (threads = 1 both paths)...");

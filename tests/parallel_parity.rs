@@ -45,10 +45,14 @@ fn sampled_campaign_subset_runs_identically() {
         .module()
         .unwrap();
     let campaign = Campaign::full(&module);
-    let sample = campaign.sample(10, 42);
-    let seq = exec::run_campaign_plans(&campaign, &sample, &machine(), ExecConfig::sequential());
-    let par = exec::run_campaign_plans(&campaign, &sample, &machine(), ExecConfig::with_threads(6));
+    // Sampling hands out indices (no plan clones); execution addresses
+    // the campaign's enumeration directly.
+    let sample = campaign.sample_indices(10, 42);
+    let seq = exec::run_campaign_indices(&campaign, &sample, &machine(), ExecConfig::sequential());
+    let par =
+        exec::run_campaign_indices(&campaign, &sample, &machine(), ExecConfig::with_threads(6));
     assert_eq!(seq.outcomes, par.outcomes);
+    assert_eq!(seq.indices, par.indices);
     assert_eq!(seq.report.total, 10.min(campaign.plans().len()));
 }
 
