@@ -207,6 +207,111 @@ pub fn bench_lm(per_program_cap: usize, epochs: usize) -> LmBench {
     }
 }
 
+/// Incremental-store throughput: a cold orchestrated run (fills the
+/// store) vs. a warm one (replays everything), with the store's
+/// replay/execute counts — the numbers behind `nfi campaign run
+/// --state-dir`.
+#[derive(Debug, Clone)]
+pub struct StoreBench {
+    /// Programs orchestrated.
+    pub programs: usize,
+    /// Total campaign units across them.
+    pub units: usize,
+    /// Cold run wall time (seconds): empty store, everything executes.
+    pub cold_secs: f64,
+    /// Warm run wall time (seconds): everything replays from disk.
+    pub warm_secs: f64,
+    /// Units executed on the cold run.
+    pub cold_executed: usize,
+    /// Units replayed from the store on the warm run.
+    pub warm_replayed: usize,
+    /// Units executed on the warm run (0 when sources are unchanged).
+    pub warm_executed: usize,
+    /// Whether every warm document was byte-identical to its cold one.
+    pub documents_identical: bool,
+}
+
+impl StoreBench {
+    /// Cold units/sec.
+    pub fn cold_units_per_s(&self) -> f64 {
+        self.units as f64 / self.cold_secs.max(1e-9)
+    }
+
+    /// Warm (replayed-from-disk) units/sec.
+    pub fn warm_units_per_s(&self) -> f64 {
+        self.units as f64 / self.warm_secs.max(1e-9)
+    }
+
+    /// Warm speedup over cold.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_secs / self.warm_secs.max(1e-9)
+    }
+
+    /// Store hit fraction of the warm run in `[0, 1]`.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.warm_replayed as f64 / self.units as f64
+        }
+    }
+}
+
+/// Orchestrates the first `max_programs` corpus programs (0 = all)
+/// into a throwaway state dir twice — cold, then warm — and reports
+/// the incremental-store counters. The in-memory caches are cleared
+/// between runs so the warm numbers measure the *disk* store alone.
+pub fn bench_store(max_programs: usize) -> StoreBench {
+    let dir = std::env::temp_dir().join(format!("nfi-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let orch = nfi_core::Orchestrator::new(&dir).expect("store bench state dir");
+    let programs: Vec<_> = nfi_corpus::all()
+        .iter()
+        .take(if max_programs == 0 {
+            usize::MAX
+        } else {
+            max_programs
+        })
+        .collect();
+
+    let run_all = || -> (usize, usize, usize, Vec<String>, f64) {
+        MutantCache::global().clear();
+        ExperimentCache::global().clear();
+        let started = Instant::now();
+        let (mut units, mut replayed, mut executed) = (0, 0, 0);
+        let mut docs = Vec::new();
+        for p in &programs {
+            let r = orch.run_program(p.name, p.source).expect("store bench run");
+            units += r.units;
+            replayed += r.replayed;
+            executed += r.executed;
+            docs.push(r.run.encode());
+        }
+        (
+            units,
+            replayed,
+            executed,
+            docs,
+            started.elapsed().as_secs_f64(),
+        )
+    };
+
+    let (units, _, cold_executed, cold_docs, cold_secs) = run_all();
+    let (_, warm_replayed, warm_executed, warm_docs, warm_secs) = run_all();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreBench {
+        programs: programs.len(),
+        units,
+        cold_secs,
+        warm_secs,
+        cold_executed,
+        warm_replayed,
+        warm_executed,
+        documents_identical: cold_docs == warm_docs,
+    }
+}
+
 /// E7 pipeline throughput, sequential vs. parallel.
 #[derive(Debug, Clone)]
 pub struct E7Bench {
@@ -234,10 +339,10 @@ pub fn bench_e7(scenario_cap: usize, threads: usize) -> E7Bench {
     }
 }
 
-/// Renders the three benchmarks as the `BENCH_e7.json` document.
-pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench) -> String {
+/// Renders the four benchmarks as the `BENCH_e7.json` document.
+pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench, store: &StoreBench) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -258,6 +363,16 @@ pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench) -> String {
         e7.sequential.throughput_per_s,
         e7.parallel.throughput_per_s,
         e7.speedup(),
+        store.programs,
+        store.units,
+        store.cold_units_per_s(),
+        store.warm_units_per_s(),
+        store.warm_speedup(),
+        store.cold_executed,
+        store.warm_replayed,
+        store.warm_executed,
+        store.warm_hit_rate(),
+        store.documents_identical,
     )
 }
 
@@ -265,8 +380,17 @@ pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench) -> String {
 mod tests {
     use super::*;
 
+    /// Both cache-clearing benches mutate the process-wide caches;
+    /// tests driving them must serialize on this lock or one test's
+    /// `clear()` lands mid-measurement of the other.
+    fn global_cache_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn campaign_bench_reports_match_across_engines() {
+        let _guard = global_cache_guard();
         let b = bench_campaign(4, 4);
         assert!(b.plans > 0);
         assert!(b.reports_identical, "parallel engine changed results");
@@ -299,11 +423,13 @@ mod tests {
                 hits: 100,
                 misses: 100,
                 entries: 100,
+                ..CacheStats::default()
             },
             experiment_cache: CacheStats {
                 hits: 90,
                 misses: 100,
                 entries: 100,
+                ..CacheStats::default()
             },
             reports_identical: true,
         };
@@ -328,11 +454,37 @@ mod tests {
                 ..E7Row::default()
             },
         };
-        let json = to_json(&campaign, &lm, &e7);
+        let store = StoreBench {
+            programs: 2,
+            units: 60,
+            cold_secs: 1.2,
+            warm_secs: 0.012,
+            cold_executed: 60,
+            warm_replayed: 60,
+            warm_executed: 0,
+            documents_identical: true,
+        };
+        let json = to_json(&campaign, &lm, &e7, &store);
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"warm_speedup\": 20.00"));
         assert!(json.contains("\"mutant_cache_hit_rate\": 0.500"));
         assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"store_hit_rate\": 1.000"));
+        assert!(json.contains("\"warm_executed\": 0"));
+        assert!(json.contains("\"documents_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn store_bench_warm_run_replays_everything() {
+        let _guard = global_cache_guard();
+        let b = bench_store(2);
+        assert_eq!(b.programs, 2);
+        assert!(b.units > 0);
+        assert_eq!(b.cold_executed, b.units);
+        assert_eq!(b.warm_executed, 0, "warm run must execute no units");
+        assert_eq!(b.warm_replayed, b.units);
+        assert!(b.documents_identical, "warm documents diverged from cold");
+        assert_eq!(b.warm_hit_rate(), 1.0);
     }
 }

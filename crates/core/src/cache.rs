@@ -25,7 +25,7 @@ use nfi_pylite::Module;
 use nfi_sfi::{apply_plan, plan_hash, FaultPlan, InjectedFault};
 use std::sync::{Arc, OnceLock};
 
-pub use nfi_inject::memo::CacheStats;
+pub use nfi_inject::memo::{CacheStats, DEFAULT_CACHE_CAPACITY};
 
 /// A memoized mutant: the applied fault plus the mutated module's own
 /// fingerprint, computed once at miss time so warm hits never re-print
@@ -47,16 +47,28 @@ pub struct MutantCache {
 }
 
 impl MutantCache {
-    /// An empty cache (tests; the shared one is [`MutantCache::global`]).
+    /// An empty unbounded cache (tests; the shared one is
+    /// [`MutantCache::global`]).
     pub fn new() -> MutantCache {
         MutantCache { memo: Memo::new() }
     }
 
+    /// An empty cache holding at most `capacity` mutants, evicting
+    /// least-recently-used beyond it.
+    pub fn bounded(capacity: usize) -> MutantCache {
+        MutantCache {
+            memo: Memo::bounded(capacity),
+        }
+    }
+
     /// The process-wide cache the execution engine and campaign service
-    /// share.
+    /// share — bounded at [`DEFAULT_CACHE_CAPACITY`] entries so
+    /// long-lived campaign streams cannot grow it past memory (far
+    /// above what the corpus benches populate, so hit rates are
+    /// unchanged; evictions surface in [`CacheStats::evictions`]).
     pub fn global() -> &'static MutantCache {
         static GLOBAL: OnceLock<MutantCache> = OnceLock::new();
-        GLOBAL.get_or_init(MutantCache::new)
+        GLOBAL.get_or_init(|| MutantCache::bounded(DEFAULT_CACHE_CAPACITY))
     }
 
     /// Applies (or replays) `plan` against `module`, whose fingerprint
@@ -143,5 +155,29 @@ mod tests {
         cache.apply(&a, fingerprint(&a), plan);
         cache.apply(&b, fingerprint(&b), plan);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let m = module();
+        let fp = fingerprint(&m);
+        let campaign = Campaign::full(&m);
+        let plans = campaign.plans();
+        assert!(plans.len() > 2, "corpus module should enumerate > 2 plans");
+        let cache = MutantCache::bounded(2);
+        for plan in plans {
+            cache.apply(&m, fp, plan);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, Some(2));
+        assert_eq!(stats.evictions as usize, plans.len() - 2);
+        // Evicted entries recompute to the same mutant.
+        let direct = campaign.apply(&plans[0]).expect("applies");
+        let replay = cache.apply(&m, fp, &plans[0]).expect("applies");
+        assert_eq!(
+            nfi_pylite::print_module(&replay.fault.module),
+            nfi_pylite::print_module(&direct.module)
+        );
     }
 }

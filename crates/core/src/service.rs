@@ -24,7 +24,9 @@
 //! through the content-addressed mutant/experiment caches.
 
 use crate::exec::{self, CampaignRunReport, ExecConfig, PlanOutcome};
-use nfi_sfi::jsontext::{escape, parse_flat_object, JsonValue};
+use nfi_sfi::jsontext::{
+    escape, get_bool, get_hex_u64, get_opt_str, get_str, get_usize, parse_flat_object,
+};
 use nfi_sfi::{Campaign, CampaignSpec, FaultPlan};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -100,36 +102,23 @@ impl ShardOutcome {
         )
     }
 
-    fn decode(line: &str) -> Result<ShardOutcome, String> {
+    /// Decodes one canonical outcome line, keeping the line text
+    /// verbatim (what the incremental store replays).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn decode(line: &str) -> Result<ShardOutcome, String> {
         let fields = parse_flat_object(line)?;
-        let get_str = |k: &str| -> Result<String, String> {
-            match fields.get(k) {
-                Some(JsonValue::Str(s)) => Ok(s.clone()),
-                other => Err(format!("field `{k}` invalid: {other:?}")),
-            }
-        };
-        let get_bool = |k: &str| -> Result<bool, String> {
-            fields
-                .get(k)
-                .and_then(JsonValue::as_bool)
-                .ok_or_else(|| format!("field `{k}` is not a boolean"))
-        };
         Ok(ShardOutcome {
-            index: fields
-                .get("index")
-                .and_then(JsonValue::as_num)
-                .ok_or("field `index` is not a number")? as usize,
+            index: get_usize(&fields, "index")?,
             line: line.to_string(),
-            operator: get_str("operator")?,
-            class: get_str("class")?,
-            applied: get_bool("applied")?,
-            activated: get_bool("activated")?,
-            detected: get_bool("detected")?,
-            mode: match fields.get("mode") {
-                Some(JsonValue::Str(s)) => Some(s.clone()),
-                Some(JsonValue::Null) | None => None,
-                other => return Err(format!("field `mode` invalid: {other:?}")),
-            },
+            operator: get_str(&fields, "operator")?,
+            class: get_str(&fields, "class")?,
+            applied: get_bool(&fields, "applied")?,
+            activated: get_bool(&fields, "activated")?,
+            detected: get_bool(&fields, "detected")?,
+            mode: get_opt_str(&fields, "mode")?,
         })
     }
 }
@@ -209,29 +198,13 @@ impl ShardRun {
                     ));
                 }
                 let fields = parse_flat_object(line).map_err(err)?;
-                let fp_hex = match fields.get("module_fp") {
-                    Some(JsonValue::Str(s)) => s.clone(),
-                    other => return Err(format!("line {}: bad module_fp {other:?}", i + 1)),
-                };
                 run = Some(ShardRun {
-                    program: match fields.get("program") {
-                        Some(JsonValue::Str(s)) => s.clone(),
-                        other => return Err(format!("line {}: bad program {other:?}", i + 1)),
-                    },
-                    module_fp: u64::from_str_radix(&fp_hex, 16)
-                        .map_err(|_| format!("line {}: bad module_fp `{fp_hex}`", i + 1))?,
-                    total: fields
-                        .get("total")
-                        .and_then(JsonValue::as_num)
-                        .ok_or_else(|| format!("line {}: bad total", i + 1))?
-                        as usize,
+                    program: get_str(&fields, "program").map_err(err)?,
+                    module_fp: get_hex_u64(&fields, "module_fp").map_err(err)?,
+                    total: get_usize(&fields, "total").map_err(err)?,
                     outcomes: Vec::new(),
                 });
-                covered = fields
-                    .get("covered")
-                    .and_then(JsonValue::as_num)
-                    .ok_or_else(|| format!("line {}: bad covered", i + 1))?
-                    as usize;
+                covered = get_usize(&fields, "covered").map_err(err)?;
             } else if line.contains("\"kind\":\"outcome\"") {
                 let outcome = ShardOutcome::decode(line).map_err(err)?;
                 run.as_mut()
@@ -272,6 +245,23 @@ pub fn exec_spec(
     machine: &nfi_pylite::MachineConfig,
     config: ExecConfig,
 ) -> Result<ShardRun, String> {
+    exec_units(spec, machine, config, |_| true)
+}
+
+/// [`exec_spec`] restricted to units `accept` selects (on top of
+/// `config.shard`'s stride) — the orchestrator's entry point for
+/// executing exactly the units the incremental store could not replay,
+/// which are rarely a contiguous or strided slice.
+///
+/// # Errors
+///
+/// Same contract as [`exec_spec`].
+pub fn exec_units(
+    spec: &CampaignSpec,
+    machine: &nfi_pylite::MachineConfig,
+    config: ExecConfig,
+    accept: impl Fn(&nfi_sfi::WorkUnit) -> bool,
+) -> Result<ShardRun, String> {
     let module = nfi_pylite::parse(&spec.source)
         .map_err(|e| format!("cannot parse plan source for {}: {e}", spec.program))?;
     let module_fp = nfi_pylite::fingerprint(&module);
@@ -285,7 +275,7 @@ pub fn exec_spec(
     let worklist: Vec<&nfi_sfi::WorkUnit> = spec
         .units
         .iter()
-        .filter(|u| config.shard.covers(u.index))
+        .filter(|u| config.shard.covers(u.index) && accept(u))
         .collect();
     let plans: Vec<(usize, FaultPlan, u64)> = worklist
         .iter()

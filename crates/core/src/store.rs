@@ -1,0 +1,627 @@
+//! The incremental campaign store and the host-level orchestrator.
+//!
+//! The paper's workflow is iterative — regenerate faults, re-run the
+//! campaign, compare — so re-executing experiments whose inputs did
+//! not change is pure waste. This module persists campaign outcomes on
+//! disk, content-addressed, and puts an orchestrator on top of the
+//! plan IR that only executes what the store cannot replay:
+//!
+//! ```text
+//! state dir
+//! └── store/<module_fp>-<machine_fp>.jsonl    one segment per content key
+//!       {"kind":"campaign_store", ...}         header
+//!       {"kind":"stored","unit":K,"outcome":L} one line per unit
+//! ```
+//!
+//! Addressing is content-only, never name-based:
+//!
+//! * the **segment** key is (module fingerprint, machine-config
+//!   fingerprint) — edit one source line or change a scheduler knob
+//!   and the old segment simply stops matching;
+//! * the **line** key is [`WorkUnit::store_key`] (plan hash extended
+//!   with the experiment seed) — stable across processes and hosts, so
+//!   a segment written by one worker replays in any other.
+//!
+//! Replayed outcome lines are re-emitted **verbatim** (the same
+//! guarantee [`service::merge`] gives shard documents), so a warm
+//! incremental run's merged document is byte-identical to a cold one.
+//! Corrupt store lines — truncation, garbling, editor accidents — are
+//! reported as warnings and the affected units fall back to
+//! re-execution; the store can never change a result, only skip
+//! recomputing it.
+//!
+//! [`Orchestrator`] is the multi-run, multi-worker entry point behind
+//! `nfi campaign run --state-dir`: plan, replay what the store covers,
+//! stripe the misses across workers (in-process threads today — each
+//! produces and hands back an encoded shard document, the same
+//! artifact a spawned `nfi campaign exec` process would), merge, and
+//! write the segment back.
+
+use crate::exec::ExecConfig;
+use crate::service::{self, ShardOutcome, ShardRun};
+use nfi_pylite::MachineConfig;
+use nfi_sfi::jsontext::{escape, get_hex_u64, get_str, get_usize, parse_flat_object, JsonValue};
+use nfi_sfi::{CampaignSpec, WorkUnit};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// A content-addressed on-disk store of campaign outcome lines.
+pub struct CampaignStore {
+    root: PathBuf,
+}
+
+/// One loaded store segment: outcome lines by unit store key, plus
+/// every corruption the loader tolerated (each one falls back to
+/// re-execution).
+#[derive(Debug, Default)]
+pub struct LoadedSegment {
+    /// Verbatim outcome lines, keyed by [`WorkUnit::store_key`].
+    pub lines: HashMap<u64, String>,
+    /// Human-readable reports of skipped/corrupt lines.
+    pub errors: Vec<String>,
+}
+
+impl CampaignStore {
+    /// Opens (creating if needed) the store under `state_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Reports an uncreatable directory.
+    pub fn open(state_dir: impl AsRef<Path>) -> Result<CampaignStore, String> {
+        let root = state_dir.as_ref().join("store");
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create store dir {}: {e}", root.display()))?;
+        Ok(CampaignStore { root })
+    }
+
+    /// Path of the segment holding `(module_fp, machine_fp)` outcomes.
+    pub fn segment_path(&self, module_fp: u64, machine_fp: u64) -> PathBuf {
+        self.root
+            .join(format!("{module_fp:016x}-{machine_fp:016x}.jsonl"))
+    }
+
+    /// Loads the segment for `(module_fp, machine_fp)`. A missing
+    /// segment is simply empty; a corrupt line (truncated, garbled,
+    /// mismatched fingerprints, duplicate key) is reported in
+    /// [`LoadedSegment::errors`] and skipped, so the caller re-executes
+    /// those units instead of panicking or replaying garbage.
+    pub fn load(&self, module_fp: u64, machine_fp: u64) -> LoadedSegment {
+        let path = self.segment_path(module_fp, machine_fp);
+        let mut seg = LoadedSegment::default();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return seg,
+            Err(e) => {
+                seg.errors
+                    .push(format!("cannot read store segment {}: {e}", path.display()));
+                return seg;
+            }
+        };
+        let mut declared: Option<usize> = None;
+        // Keys seen more than once are poisoned outright: conflicting
+        // payloads mean neither can be trusted, and a third occurrence
+        // must not sneak the key back in.
+        let mut poisoned: HashSet<u64> = HashSet::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let report = |e: String| format!("{}:{}: {e}", path.display(), i + 1);
+            if line.contains("\"kind\":\"campaign_store\"") {
+                match Self::decode_header(line, module_fp, machine_fp) {
+                    Ok(count) => declared = Some(count),
+                    Err(e) => seg.errors.push(report(e)),
+                }
+            } else if line.contains("\"kind\":\"stored\"") {
+                match Self::decode_stored(line) {
+                    Ok((key, outcome)) => {
+                        if poisoned.contains(&key) || seg.lines.insert(key, outcome).is_some() {
+                            seg.errors
+                                .push(report(format!("duplicate unit key {key:016x}")));
+                            seg.lines.remove(&key);
+                            poisoned.insert(key);
+                        }
+                    }
+                    Err(e) => seg.errors.push(report(e)),
+                }
+            } else {
+                seg.errors.push(report("unknown record kind".to_string()));
+            }
+        }
+        match declared {
+            Some(count) if count != seg.lines.len() => seg.errors.push(format!(
+                "{}: header declares {count} stored lines, found {} intact (truncated?)",
+                path.display(),
+                seg.lines.len()
+            )),
+            Some(_) => {}
+            None => seg.errors.push(format!(
+                "{}: no campaign_store header (truncated?)",
+                path.display()
+            )),
+        }
+        seg
+    }
+
+    fn decode_header(line: &str, module_fp: u64, machine_fp: u64) -> Result<usize, String> {
+        let fields = parse_flat_object(line)?;
+        if get_hex_u64(&fields, "module_fp")? != module_fp
+            || get_hex_u64(&fields, "machine_fp")? != machine_fp
+        {
+            return Err("store header fingerprints do not match the segment name".to_string());
+        }
+        get_usize(&fields, "lines")
+    }
+
+    /// Decodes the (key, verbatim outcome line) of one stored record.
+    /// The outcome payload is *not* parsed here — [`Orchestrator`]
+    /// decodes it exactly once at replay time and degrades a garbled
+    /// payload to re-execution there, so the warm path never parses a
+    /// line twice.
+    fn decode_stored(line: &str) -> Result<(u64, String), String> {
+        let fields = parse_flat_object(line)?;
+        Ok((get_hex_u64(&fields, "unit")?, get_str(&fields, "outcome")?))
+    }
+
+    /// Persists a complete (or partial) run of `spec` as the segment
+    /// for `(spec.module_fp, machine_fp)`, replacing any previous
+    /// segment atomically (write-then-rename). Segments of the same
+    /// program under the same machine config but a *different* module
+    /// fingerprint are pruned — they can never match again once the
+    /// source changed.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures and outcomes that don't belong to `spec`.
+    pub fn save(&self, spec: &CampaignSpec, machine_fp: u64, run: &ShardRun) -> Result<(), String> {
+        let key_by_index: HashMap<usize, u64> = spec
+            .units
+            .iter()
+            .map(|u| (u.index, u.store_key()))
+            .collect();
+        let mut doc = format!(
+            "{{\"kind\":\"campaign_store\",\"program\":\"{}\",\"module_fp\":\"{:016x}\",\"machine_fp\":\"{:016x}\",\"lines\":{}}}\n",
+            escape(&spec.program),
+            spec.module_fp,
+            machine_fp,
+            run.outcomes.len(),
+        );
+        for o in &run.outcomes {
+            let key = key_by_index
+                .get(&o.index)
+                .ok_or_else(|| format!("outcome index {} is not in the spec", o.index))?;
+            doc.push_str(&format!(
+                "{{\"kind\":\"stored\",\"unit\":\"{key:016x}\",\"outcome\":\"{}\"}}\n",
+                escape(&o.line)
+            ));
+        }
+        let path = self.segment_path(spec.module_fp, machine_fp);
+        let tmp = path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, doc).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot move segment into place: {e}"))?;
+        self.prune_stale(&spec.program, spec.module_fp, machine_fp);
+        Ok(())
+    }
+
+    /// Removes segments recorded for `program` under `machine_fp` whose
+    /// module fingerprint differs from `keep_fp` (the source changed;
+    /// those outcomes can never be replayed again). Best-effort: prune
+    /// failures are ignored — a stale segment is wasted disk, not a
+    /// correctness problem.
+    fn prune_stale(&self, program: &str, keep_fp: u64, machine_fp: u64) {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let keep = self.segment_path(keep_fp, machine_fp);
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path == keep || path.extension().is_none_or(|e| e != "jsonl") {
+                continue;
+            }
+            let header = match std::fs::File::open(&path).map(first_line) {
+                Ok(Some(line)) => line,
+                _ => continue,
+            };
+            let Ok(fields) = parse_flat_object(&header) else {
+                continue;
+            };
+            let same_program = fields.get("program").and_then(JsonValue::as_str) == Some(program);
+            let same_machine = fields.get("machine_fp").and_then(JsonValue::as_str)
+                == Some(format!("{machine_fp:016x}").as_str());
+            if same_program && same_machine {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Reads the first line of an open file (header sniffing for prune).
+fn first_line(file: std::fs::File) -> Option<String> {
+    use std::io::{BufRead, BufReader};
+    let mut line = String::new();
+    BufReader::new(file).read_line(&mut line).ok()?;
+    let trimmed = line.trim_end_matches('\n');
+    (!trimmed.is_empty()).then(|| trimmed.to_string())
+}
+
+/// What one incremental program run did: how much the store replayed,
+/// how much had to execute, and the merged canonical document.
+#[derive(Debug)]
+pub struct IncrementalRun {
+    /// Program name from the spec.
+    pub program: String,
+    /// Total units in the campaign.
+    pub units: usize,
+    /// Units replayed verbatim from the store.
+    pub replayed: usize,
+    /// Units executed this run (store misses + corrupt lines).
+    pub executed: usize,
+    /// Store corruption reports (each fell back to re-execution).
+    pub store_errors: Vec<String>,
+    /// The merged run — byte-identical to an unsharded cold run.
+    pub run: ShardRun,
+}
+
+/// The host-level campaign orchestrator: plan → replay from the store
+/// → dispatch misses to workers → collect shard documents → merge →
+/// persist. See the module docs for the trust argument.
+pub struct Orchestrator {
+    /// The backing store.
+    pub store: CampaignStore,
+    /// Worker count for miss execution (in-process workers; clamped to
+    /// at least 1 and at most the miss count).
+    pub workers: usize,
+    /// Machine configuration every experiment runs under (its
+    /// fingerprint is half the segment address).
+    pub machine: MachineConfig,
+    /// Engine configuration *within* one worker (threads, caches).
+    pub config: ExecConfig,
+    /// Scheduler seed stamped on planned units.
+    pub seed: u64,
+}
+
+impl Orchestrator {
+    /// An orchestrator with sequential single-worker defaults over the
+    /// store at `state_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CampaignStore::open`] failures.
+    pub fn new(state_dir: impl AsRef<Path>) -> Result<Orchestrator, String> {
+        Ok(Orchestrator {
+            store: CampaignStore::open(state_dir)?,
+            workers: 1,
+            machine: MachineConfig::default(),
+            config: ExecConfig::sequential(),
+            seed: MachineConfig::default().seed,
+        })
+    }
+
+    /// Plans `source` and runs it incrementally ([`Self::run_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// Reports an unparseable source or a failed execution/merge/save.
+    pub fn run_program(&self, program: &str, source: &str) -> Result<IncrementalRun, String> {
+        let spec = service::plan_campaign(program, source, self.seed)?;
+        self.run_spec(&spec)
+    }
+
+    /// Runs one spec incrementally: units whose outcome line is in the
+    /// store are replayed verbatim and re-emitted; only the rest
+    /// execute, striped across the workers. The merged document is
+    /// byte-identical to an unsharded cold run and is written back as
+    /// the new store segment.
+    ///
+    /// # Errors
+    ///
+    /// Reports execution, merge, and store-write failures. Store
+    /// *corruption* is not an error — it degrades to re-execution and
+    /// is reported in [`IncrementalRun::store_errors`].
+    pub fn run_spec(&self, spec: &CampaignSpec) -> Result<IncrementalRun, String> {
+        let machine_fp = self.machine.fingerprint();
+        let mut segment = self.store.load(spec.module_fp, machine_fp);
+        let mut replayed = Vec::new();
+        let mut missing = HashSet::new();
+        for unit in &spec.units {
+            match segment.lines.get(&unit.store_key()) {
+                Some(line) => match ShardOutcome::decode(line) {
+                    // A replayed payload must still describe this unit
+                    // — index, operator, and class are all cheap to
+                    // cross-check, so a garbled-but-decodable payload
+                    // degrades to re-execution like any other
+                    // corruption instead of silently changing a result.
+                    Ok(o)
+                        if o.index == unit.index
+                            && o.operator == unit.operator
+                            && o.class == unit.class.key() =>
+                    {
+                        replayed.push(o)
+                    }
+                    Ok(o) => {
+                        segment.errors.push(format!(
+                            "stored outcome for unit {} describes ({}, {}, {}), expected \
+                             ({}, {}, {}); re-executing",
+                            unit.index,
+                            o.index,
+                            o.operator,
+                            o.class,
+                            unit.index,
+                            unit.operator,
+                            unit.class.key(),
+                        ));
+                        missing.insert(unit.index);
+                    }
+                    Err(e) => {
+                        segment
+                            .errors
+                            .push(format!("unit {}: {e}; re-executing", unit.index));
+                        missing.insert(unit.index);
+                    }
+                },
+                None => {
+                    missing.insert(unit.index);
+                }
+            }
+        }
+        let mut runs = vec![ShardRun {
+            program: spec.program.clone(),
+            module_fp: spec.module_fp,
+            total: spec.units.len(),
+            outcomes: replayed,
+        }];
+        let executed = missing.len();
+        if !missing.is_empty() {
+            runs.extend(self.dispatch(spec, &missing)?);
+        }
+        let merged = service::merge(&runs)?;
+        self.store.save(spec, machine_fp, &merged)?;
+        Ok(IncrementalRun {
+            program: spec.program.clone(),
+            units: spec.units.len(),
+            replayed: spec.units.len() - executed,
+            executed,
+            store_errors: segment.errors,
+            run: merged,
+        })
+    }
+
+    /// Stripes `missing` unit indices round-robin across the workers
+    /// and executes each stripe on its own in-process worker thread.
+    /// Every worker hands back an *encoded* shard document — the same
+    /// artifact a spawned `nfi campaign exec --shard` process would —
+    /// which the orchestrator decodes and merges, so swapping threads
+    /// for processes on a multi-core host changes no data flow.
+    fn dispatch(
+        &self,
+        spec: &CampaignSpec,
+        missing: &HashSet<usize>,
+    ) -> Result<Vec<ShardRun>, String> {
+        let mut indices: Vec<usize> = missing.iter().copied().collect();
+        indices.sort_unstable();
+        let workers = self.workers.clamp(1, indices.len());
+        let stripes: Vec<HashSet<usize>> = (0..workers)
+            .map(|w| {
+                indices
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .copied()
+                    .collect::<HashSet<usize>>()
+            })
+            .collect();
+        let docs: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter()
+                .map(|stripe| {
+                    scope.spawn(move || {
+                        service::exec_units(spec, &self.machine, self.config, |u: &WorkUnit| {
+                            stripe.contains(&u.index)
+                        })
+                        .map(|run| run.encode())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| "worker panicked".to_string())?)
+                .collect::<Result<Vec<String>, String>>()
+        })?;
+        docs.iter()
+            .map(|doc| ShardRun::decode(doc).map_err(|e| format!("worker document: {e}")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "\
+m = lock()
+total = 0
+def add(v):
+    global total
+    m.acquire()
+    total = total + v
+    m.release()
+    return total
+def test_add():
+    assert add(1) == 1
+";
+
+    fn state_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nfi-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cold_then_warm_run_replays_everything_byte_identically() {
+        let dir = state_dir("warm");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(cold.replayed, 0);
+        assert_eq!(cold.executed, cold.units);
+        assert!(cold.store_errors.is_empty());
+        let warm = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(warm.executed, 0, "warm run must execute no units");
+        assert_eq!(warm.replayed, warm.units);
+        assert_eq!(warm.run.encode(), cold.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_document_matches_the_plain_service_run() {
+        let dir = state_dir("parity");
+        let orch = Orchestrator::new(&dir).unwrap();
+        orch.run_program("demo", SOURCE).unwrap();
+        let warm = orch.run_program("demo", SOURCE).unwrap();
+        let spec = service::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
+        assert_eq!(warm.run.encode(), direct.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_worker_dispatch_is_byte_identical_to_single_worker() {
+        let dir_a = state_dir("w1");
+        let dir_b = state_dir("w4");
+        let one = Orchestrator::new(&dir_a).unwrap();
+        let four = Orchestrator {
+            workers: 4,
+            ..Orchestrator::new(&dir_b).unwrap()
+        };
+        let a = one.run_program("demo", SOURCE).unwrap();
+        let b = four.run_program("demo", SOURCE).unwrap();
+        assert_eq!(a.run.encode(), b.run.encode());
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn source_edit_invalidates_the_segment_and_prunes_the_old_one() {
+        let dir = state_dir("edit");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let first = orch.run_program("demo", SOURCE).unwrap();
+        let edited = SOURCE.replace("total + v", "total + v + 0");
+        let second = orch.run_program("demo", &edited).unwrap();
+        assert_eq!(second.replayed, 0, "edited source must not replay");
+        assert_eq!(second.executed, second.units);
+        let machine_fp = orch.machine.fingerprint();
+        let old = orch.store.segment_path(first.run.module_fp, machine_fp);
+        assert!(!old.exists(), "stale segment should be pruned");
+        // And the edited program is now warm.
+        let third = orch.run_program("demo", &edited).unwrap();
+        assert_eq!(third.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_lines_are_reported_and_re_executed() {
+        let dir = state_dir("corrupt");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        // Garble one stored line and truncate the tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let n = lines.len();
+        lines[1] = lines[1].replace("\"kind\":\"stored\"", "\"kind\":\"stor");
+        lines.truncate(n - 1);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let repaired = orch.run_program("demo", SOURCE).unwrap();
+        assert!(
+            !repaired.store_errors.is_empty(),
+            "corruption must be reported"
+        );
+        assert_eq!(
+            repaired.executed, 2,
+            "exactly the garbled and truncated units re-execute"
+        );
+        assert_eq!(repaired.replayed, repaired.units - 2);
+        assert_eq!(
+            repaired.run.encode(),
+            cold.run.encode(),
+            "repair must be byte-identical to the cold run"
+        );
+        // The repaired segment is fully warm again.
+        let warm = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(warm.executed, 0);
+        assert!(warm.store_errors.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decodable_payload_describing_the_wrong_plan_is_not_replayed() {
+        let dir = state_dir("wrongplan");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        // Swap one payload's operator for another valid-looking key:
+        // the line still parses and its index still matches, but it no
+        // longer describes the unit it is filed under.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let target = lines
+            .iter()
+            .position(|l| l.contains("operator"))
+            .expect("a stored line");
+        let op_start = lines[target]
+            .find("\\\"operator\\\":\\\"")
+            .expect("escaped operator field")
+            + "\\\"operator\\\":\\\"".len();
+        let op_end = op_start + lines[target][op_start..].find('\\').unwrap();
+        lines[target].replace_range(op_start..op_end, "BOGUS");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let repaired = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(repaired.executed, 1, "the mismatched unit re-executes");
+        assert!(repaired
+            .store_errors
+            .iter()
+            .any(|e| e.contains("BOGUS") && e.contains("expected")));
+        assert_eq!(repaired.run.encode(), cold.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicated_unit_keys_stay_poisoned_past_a_third_occurrence() {
+        let dir = state_dir("dup");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        // Append the first stored line twice more: three occurrences of
+        // one key. None of them may be replayed.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let dup = text.lines().nth(1).unwrap().to_string();
+        std::fs::write(&path, format!("{text}{dup}\n{dup}\n")).unwrap();
+        let rerun = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(rerun.executed, 1, "the poisoned unit must re-execute");
+        assert!(rerun
+            .store_errors
+            .iter()
+            .any(|e| e.contains("duplicate unit key")));
+        assert_eq!(rerun.run.encode(), cold.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wholly_garbled_segment_degrades_to_a_cold_run() {
+        let dir = state_dir("garbage");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        std::fs::write(&path, "not json at all\n\u{0}\u{1}\u{2}\n").unwrap();
+        let rerun = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(rerun.executed, rerun.units);
+        assert!(!rerun.store_errors.is_empty());
+        assert_eq!(rerun.run.encode(), cold.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::DatasetRecord;
 pub use nfi_sfi::jsontext::escape;
-use nfi_sfi::jsontext::{parse_flat_object, JsonValue};
+use nfi_sfi::jsontext::{get_opt_str, get_str, get_u64, parse_flat_object};
 use nfi_sfi::FaultClass;
 
 /// Encodes one record as a single JSON line (no trailing newline).
@@ -48,37 +48,20 @@ pub fn encode_all(records: &[DatasetRecord]) -> String {
 /// Returns a message describing the first structural problem.
 pub fn decode(line: &str) -> Result<DatasetRecord, String> {
     let fields = parse_flat_object(line)?;
-    let get = |k: &str| -> Result<&JsonValue, String> {
-        fields.get(k).ok_or_else(|| format!("missing field `{k}`"))
-    };
-    let string = |k: &str| -> Result<String, String> {
-        match get(k)? {
-            JsonValue::Str(s) => Ok(s.clone()),
-            other => Err(format!("field `{k}` is not a string: {other:?}")),
-        }
-    };
-    let class_key = string("class")?;
+    let class_key = get_str(&fields, "class")?;
     let class = FaultClass::from_key(&class_key)
         .ok_or_else(|| format!("unknown fault class `{class_key}`"))?;
-    let function = match get("function")? {
-        JsonValue::Null => None,
-        JsonValue::Str(s) => Some(s.clone()),
-        other => return Err(format!("field `function` invalid: {other:?}")),
-    };
-    let line_no = match get("line")? {
-        JsonValue::Num(n) => *n as u32,
-        other => return Err(format!("field `line` is not a number: {other:?}")),
-    };
     Ok(DatasetRecord {
-        id: string("id")?,
-        program: string("program")?,
-        operator: string("operator")?,
+        id: get_str(&fields, "id")?,
+        program: get_str(&fields, "program")?,
+        operator: get_str(&fields, "operator")?,
         class,
-        description: string("description")?,
-        function,
-        line: line_no,
-        code_before: string("code_before")?,
-        code_after: string("code_after")?,
+        description: get_str(&fields, "description")?,
+        function: get_opt_str(&fields, "function")?,
+        line: u32::try_from(get_u64(&fields, "line")?)
+            .map_err(|_| "field `line` does not fit in u32".to_string())?,
+        code_before: get_str(&fields, "code_before")?,
+        code_after: get_str(&fields, "code_after")?,
     })
 }
 

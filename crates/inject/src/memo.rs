@@ -29,6 +29,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entry capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
 }
 
 impl CacheStats {
@@ -43,39 +47,112 @@ impl CacheStats {
     }
 }
 
+/// The default entry cap for the process-wide caches: far above what
+/// the corpus-wide benches populate (a few thousand entries), so their
+/// hit rates are unchanged, while still bounding a long-lived service
+/// that streams campaigns through one process.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+/// One memoized value plus the logical clock of its last use — the
+/// recency key of the LRU eviction policy.
+struct MemoEntry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// Interior table state: entries plus the monotonic use-clock. Behind
+/// one mutex so a hit can bump `last_used` in place.
+struct MemoMap<K, V> {
+    map: HashMap<K, MemoEntry<V>>,
+    clock: u64,
+}
+
 /// A generic hit-counting memo table: the shared scaffolding behind
 /// [`ExperimentCache`] and `nfi_core`'s mutant cache. Values are
 /// computed outside the lock — concurrent misses on the same key
 /// duplicate work once but never block the whole pool on one compute.
+///
+/// A table built with [`Memo::bounded`] caps its entry count: once
+/// full, inserting a new key evicts the least-recently-used entry
+/// (exact LRU by a logical use-clock; eviction scans for the minimum,
+/// which is fine at the access rates of these caches — evictions only
+/// start once campaigns outgrow the default capacity).
 pub struct Memo<K, V> {
-    map: Mutex<HashMap<K, V>>,
+    inner: Mutex<MemoMap<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: Option<usize>,
 }
 
-impl<K: Eq + std::hash::Hash, V: Clone> Memo<K, V> {
-    /// An empty memo table.
+impl<K: Eq + std::hash::Hash + Clone, V: Clone> Memo<K, V> {
+    /// An empty, unbounded memo table.
     pub fn new() -> Memo<K, V> {
+        Memo::with_capacity(None)
+    }
+
+    /// An empty memo table holding at most `capacity` entries
+    /// (clamped to at least 1), evicting least-recently-used beyond it.
+    pub fn bounded(capacity: usize) -> Memo<K, V> {
+        Memo::with_capacity(Some(capacity.max(1)))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Memo<K, V> {
         Memo {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(MemoMap {
+                map: HashMap::new(),
+                clock: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity,
         }
     }
 
     /// Returns the memoized value for `key`, computing and recording it
-    /// on a miss.
+    /// on a miss. On a bounded table a miss that would exceed the cap
+    /// evicts the least-recently-used entry first.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
-        if let Some(value) = self.map.lock().expect("memo lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return value.clone();
+        {
+            let mut inner = self.inner.lock().expect("memo lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.value.clone();
+            }
         }
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .expect("memo lock")
-            .insert(key, value.clone());
+        let mut inner = self.inner.lock().expect("memo lock");
+        if let Some(cap) = self.capacity {
+            // `>=` because the new key is about to land; a concurrent
+            // duplicate compute of the same key overwrites in place and
+            // must not evict anything.
+            while inner.map.len() >= cap && !inner.map.contains_key(&key) {
+                let Some(oldest) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(
+            key,
+            MemoEntry {
+                value: value.clone(),
+                last_used: clock,
+            },
+        );
         value
     }
 
@@ -84,19 +161,24 @@ impl<K: Eq + std::hash::Hash, V: Clone> Memo<K, V> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("memo lock").len(),
+            entries: self.inner.lock().expect("memo lock").map.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity,
         }
     }
 
     /// Drops every entry and zeroes the counters (cold-start benches).
     pub fn clear(&self) {
-        self.map.lock().expect("memo lock").clear();
+        let mut inner = self.inner.lock().expect("memo lock");
+        inner.map.clear();
+        inner.clock = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
-impl<K: Eq + std::hash::Hash, V: Clone> Default for Memo<K, V> {
+impl<K: Eq + std::hash::Hash + Clone, V: Clone> Default for Memo<K, V> {
     fn default() -> Self {
         Memo::new()
     }
@@ -108,15 +190,27 @@ pub struct ExperimentCache {
 }
 
 impl ExperimentCache {
-    /// An empty cache (tests; the shared one is [`ExperimentCache::global`]).
+    /// An empty unbounded cache (tests; the shared one is
+    /// [`ExperimentCache::global`]).
     pub fn new() -> ExperimentCache {
         ExperimentCache { memo: Memo::new() }
     }
 
-    /// The process-wide cache.
+    /// An empty cache holding at most `capacity` reports, evicting
+    /// least-recently-used beyond it.
+    pub fn bounded(capacity: usize) -> ExperimentCache {
+        ExperimentCache {
+            memo: Memo::bounded(capacity),
+        }
+    }
+
+    /// The process-wide cache, bounded at [`DEFAULT_CACHE_CAPACITY`]
+    /// entries so unboundedly long campaign streams cannot exhaust
+    /// memory (the cap is far above what the corpus benches populate,
+    /// so their hit rates are unaffected).
     pub fn global() -> &'static ExperimentCache {
         static GLOBAL: OnceLock<ExperimentCache> = OnceLock::new();
-        GLOBAL.get_or_init(ExperimentCache::new)
+        GLOBAL.get_or_init(|| ExperimentCache::bounded(DEFAULT_CACHE_CAPACITY))
     }
 
     /// Runs (or replays) the experiment for pre-computed module
@@ -235,5 +329,63 @@ def test_price():
         assert_eq!(cache.stats().misses, 2);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn bounded_memo_evicts_least_recently_used() {
+        let memo: Memo<u64, u64> = Memo::bounded(3);
+        for k in 0..3 {
+            memo.get_or_insert_with(k, || k * 10);
+        }
+        // Touch 0 and 2 so key 1 is the least recently used.
+        memo.get_or_insert_with(0, || unreachable!());
+        memo.get_or_insert_with(2, || unreachable!());
+        memo.get_or_insert_with(3, || 30);
+        let stats = memo.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, Some(3));
+        // Key 1 was evicted (recomputes); 0, 2, 3 are still resident.
+        let mut recomputed = false;
+        memo.get_or_insert_with(1, || {
+            recomputed = true;
+            10
+        });
+        assert!(recomputed, "LRU key should have been evicted");
+        // Re-inserting 1 evicted the then-LRU key 0; the most recently
+        // used keys {2, 3, 1} are resident.
+        for k in [2u64, 3, 1] {
+            memo.get_or_insert_with(k, || panic!("key {k} should be resident"));
+        }
+        assert_eq!(memo.stats().evictions, 2);
+    }
+
+    #[test]
+    fn unbounded_memo_never_evicts() {
+        let memo: Memo<u64, u64> = Memo::new();
+        for k in 0..1000 {
+            memo.get_or_insert_with(k, || k);
+        }
+        let stats = memo.stats();
+        assert_eq!((stats.entries, stats.evictions), (1000, 0));
+        assert_eq!(stats.capacity, None);
+    }
+
+    #[test]
+    fn bounded_experiment_cache_stays_within_capacity() {
+        let pristine = parse(BASE).unwrap();
+        let cache = ExperimentCache::bounded(2);
+        for factor in [11, 12, 13, 14] {
+            let faulty = parse(&BASE.replace("* 10", &format!("* {factor}"))).unwrap();
+            cache.run(&pristine, &faulty, &MachineConfig::default());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        // A replay of a resident entry is still a hit.
+        let faulty = parse(&BASE.replace("* 10", "* 14")).unwrap();
+        cache.run(&pristine, &faulty, &MachineConfig::default());
+        assert_eq!(cache.stats().hits, 1);
     }
 }

@@ -13,6 +13,12 @@
 use std::collections::BTreeMap;
 
 /// Escapes a string for JSON.
+///
+/// Control characters become `\uXXXX` escapes; characters outside the
+/// Basic Multilingual Plane become UTF-16 surrogate *pairs* (JSON's
+/// `\uXXXX` escape carries a UTF-16 code unit, not a code point), so
+/// every escaped document is plain ASCII-safe JSON that any conforming
+/// reader — including [`parse_flat_object`] — decodes back verbatim.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -23,6 +29,12 @@ pub fn escape(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) > 0xFFFF => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units).iter() {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -34,8 +46,12 @@ pub fn escape(s: &str) -> String {
 pub enum JsonValue {
     /// A string.
     Str(String),
-    /// A number (all JSON numbers parse as `f64`).
+    /// A non-integer number (anything written with `.`/`e`/`E`).
     Num(f64),
+    /// An integer, kept exact — `u64` fingerprints and seeds round-trip
+    /// losslessly instead of being squeezed through an `f64` (which
+    /// silently corrupts values above 2^53).
+    Int(i128),
     /// A boolean.
     Bool(bool),
     /// `null`.
@@ -51,10 +67,21 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is any number (integers widen to
+    /// `f64`, lossily above 2^53 — use [`JsonValue::as_u64`] where
+    /// exactness matters).
     pub fn as_num(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer payload, if this is an integer in `u64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
             _ => None,
         }
     }
@@ -66,6 +93,84 @@ impl JsonValue {
             _ => None,
         }
     }
+}
+
+/// A parsed flat JSON object.
+pub type JsonObject = BTreeMap<String, JsonValue>;
+
+/// Required string field of a parsed object.
+///
+/// # Errors
+///
+/// Reports a missing or mistyped field.
+pub fn get_str(fields: &JsonObject, key: &str) -> Result<String, String> {
+    match fields.get(key) {
+        Some(JsonValue::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!("field `{key}` is not a string: {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Nullable string field (`null` and absent both read as `None`).
+///
+/// # Errors
+///
+/// Reports a non-string, non-null value.
+pub fn get_opt_str(fields: &JsonObject, key: &str) -> Result<Option<String>, String> {
+    match fields.get(key) {
+        Some(JsonValue::Str(s)) => Ok(Some(s.clone())),
+        Some(JsonValue::Null) | None => Ok(None),
+        Some(other) => Err(format!("field `{key}` invalid: {other:?}")),
+    }
+}
+
+/// Required boolean field of a parsed object.
+///
+/// # Errors
+///
+/// Reports a missing or mistyped field.
+pub fn get_bool(fields: &JsonObject, key: &str) -> Result<bool, String> {
+    match fields.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("field `{key}` is not a boolean: {other:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Required exact unsigned integer field (never routed through `f64`).
+///
+/// # Errors
+///
+/// Reports a missing, mistyped, fractional, or out-of-range field.
+pub fn get_u64(fields: &JsonObject, key: &str) -> Result<u64, String> {
+    match fields.get(key) {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` is not an unsigned integer: {v:?}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// [`get_u64`] narrowed to `usize` (counts and indices).
+///
+/// # Errors
+///
+/// Same contract as [`get_u64`].
+pub fn get_usize(fields: &JsonObject, key: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(fields, key)?)
+        .map_err(|_| format!("field `{key}` does not fit in usize"))
+}
+
+/// Required fingerprint field: a `u64` written as a zero-padded hex
+/// *string* (the workspace convention for content hashes, predating
+/// exact integers — kept for document stability).
+///
+/// # Errors
+///
+/// Reports a missing, mistyped, or non-hex field.
+pub fn get_hex_u64(fields: &JsonObject, key: &str) -> Result<u64, String> {
+    let hex = get_str(fields, key)?;
+    u64::from_str_radix(&hex, 16).map_err(|_| format!("field `{key}` is not hex: `{hex}`"))
 }
 
 /// Parses a flat (non-nested) JSON object of scalar values.
@@ -118,7 +223,13 @@ pub fn parse_flat_object(s: &str) -> Result<BTreeMap<String, JsonValue>, String>
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                JsonValue::Num(text.parse().map_err(|_| format!("bad number `{text}`"))?)
+                // Integer-looking numbers stay exact (i128 covers the
+                // full u64 range); everything else parses as f64.
+                if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+                    JsonValue::Int(text.parse().map_err(|_| format!("bad number `{text}`"))?)
+                } else {
+                    JsonValue::Num(text.parse().map_err(|_| format!("bad number `{text}`"))?)
+                }
             }
             other => return Err(format!("unexpected value start {other:?} at {i}")),
         };
@@ -165,6 +276,18 @@ fn expect_word(chars: &[char], i: &mut usize, word: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// Reads the four hex digits of a `\uXXXX` escape starting at `start`.
+fn read_hex4(chars: &[char], start: usize) -> Result<u32, String> {
+    let hex: String = chars
+        .get(start..start + 4)
+        .map(|s| s.iter().collect())
+        .unwrap_or_default();
+    if hex.len() != 4 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("bad \\u escape `{hex}`"));
+    }
+    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
+}
+
 fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
     expect(chars, i, '"')?;
     let mut out = String::new();
@@ -185,14 +308,44 @@ fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
                     Some('\\') => out.push('\\'),
                     Some('/') => out.push('/'),
                     Some('u') => {
-                        let hex: String = chars
-                            .get(*i + 1..*i + 5)
-                            .map(|s| s.iter().collect())
-                            .unwrap_or_default();
-                        let code = u32::from_str_radix(&hex, 16)
-                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        let code = read_hex4(chars, *i + 1)?;
                         *i += 4;
+                        match code {
+                            // High surrogate: JSON encodes astral code
+                            // points as a UTF-16 pair of \u escapes, so
+                            // the low half must follow immediately.
+                            0xD800..=0xDBFF => {
+                                if peek(chars, *i + 1) != Some('\\')
+                                    || peek(chars, *i + 2) != Some('u')
+                                {
+                                    return Err(format!(
+                                        "unpaired high surrogate \\u{code:04x} (expected a \
+                                         \\uDC00-\\uDFFF low surrogate next)"
+                                    ));
+                                }
+                                let low = read_hex4(chars, *i + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04x} followed by \\u{low:04x}, \
+                                         which is not a low surrogate"
+                                    ));
+                                }
+                                *i += 6;
+                                let astral = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(astral).ok_or_else(|| {
+                                    format!("surrogate pair decodes to invalid scalar {astral:#x}")
+                                })?);
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "unpaired low surrogate \\u{code:04x} (no preceding high \
+                                     surrogate)"
+                                ));
+                            }
+                            _ => out.push(char::from_u32(code).ok_or_else(|| {
+                                format!("\\u{code:04x} is not a valid scalar value")
+                            })?),
+                        }
                     }
                     other => return Err(format!("bad escape {other:?}")),
                 }
@@ -231,9 +384,84 @@ mod tests {
     }
 
     #[test]
+    fn integers_round_trip_exactly_even_above_f64_precision() {
+        let obj = parse_flat_object(&format!(
+            "{{\"seed\":{},\"odd\":{},\"neg\":-7,\"frac\":2.0}}",
+            u64::MAX,
+            (1u64 << 53) + 1,
+        ))
+        .unwrap();
+        assert_eq!(obj["seed"].as_u64(), Some(u64::MAX));
+        assert_eq!(obj["odd"].as_u64(), Some((1u64 << 53) + 1));
+        assert_eq!(get_u64(&obj, "seed").unwrap(), u64::MAX);
+        // Negative and fractional values are not unsigned integers...
+        assert_eq!(obj["neg"], JsonValue::Int(-7));
+        assert!(get_u64(&obj, "neg").is_err());
+        assert!(get_u64(&obj, "frac").is_err());
+        // ...but everything numeric still widens through as_num.
+        assert_eq!(obj["neg"].as_num(), Some(-7.0));
+        assert_eq!(obj["frac"].as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn typed_accessors_report_missing_and_mistyped_fields() {
+        let obj = parse_flat_object("{\"s\":\"x\",\"n\":3,\"b\":true,\"z\":null}").unwrap();
+        assert_eq!(get_str(&obj, "s").unwrap(), "x");
+        assert_eq!(get_usize(&obj, "n").unwrap(), 3);
+        assert!(get_bool(&obj, "b").unwrap());
+        assert_eq!(get_opt_str(&obj, "z").unwrap(), None);
+        assert_eq!(get_opt_str(&obj, "absent").unwrap(), None);
+        assert!(get_str(&obj, "absent").unwrap_err().contains("missing"));
+        assert!(get_str(&obj, "n").unwrap_err().contains("not a string"));
+        assert!(get_bool(&obj, "s").unwrap_err().contains("not a boolean"));
+        assert!(get_u64(&obj, "b").unwrap_err().contains("unsigned"));
+        let hexed = parse_flat_object("{\"fp\":\"00ff\",\"bad\":\"xyz\"}").unwrap();
+        assert_eq!(get_hex_u64(&hexed, "fp").unwrap(), 0xff);
+        assert!(get_hex_u64(&hexed, "bad").unwrap_err().contains("hex"));
+    }
+
+    #[test]
     fn rejects_malformed_objects() {
         assert!(parse_flat_object("not json").is_err());
         assert!(parse_flat_object("{\"k\":tru}").is_err());
         assert!(parse_flat_object("{\"k\":1 \"j\":2}").is_err());
+    }
+
+    #[test]
+    fn escape_emits_surrogate_pairs_for_astral_chars() {
+        assert_eq!(escape("\u{1F600}"), "\\ud83d\\ude00");
+        assert_eq!(escape("a\u{10000}b"), "a\\ud800\\udc00b");
+        // BMP characters stay literal (byte-stable existing encodings).
+        assert_eq!(escape("é\u{2028}"), "é\u{2028}");
+    }
+
+    #[test]
+    fn decodes_utf16_surrogate_pairs() {
+        let obj = parse_flat_object("{\"k\":\"\\ud83d\\ude00\"}").unwrap();
+        assert_eq!(obj["k"].as_str(), Some("\u{1F600}"));
+        // Round trip through our own escaper.
+        let line = format!(
+            "{{\"k\":\"{}\"}}",
+            escape("grin \u{1F600} / plane2 \u{20000}")
+        );
+        let back = parse_flat_object(&line).unwrap();
+        assert_eq!(
+            back["k"].as_str(),
+            Some("grin \u{1F600} / plane2 \u{20000}")
+        );
+        // Raw (unescaped) astral characters in the input also survive.
+        let raw = parse_flat_object("{\"k\":\"\u{1F680}\"}").unwrap();
+        assert_eq!(raw["k"].as_str(), Some("\u{1F680}"));
+    }
+
+    #[test]
+    fn rejects_lone_and_malformed_surrogates() {
+        let err = |s: &str| parse_flat_object(s).unwrap_err();
+        assert!(err("{\"k\":\"\\ud83d\"}").contains("unpaired high surrogate"));
+        assert!(err("{\"k\":\"\\ud83d tail\"}").contains("unpaired high surrogate"));
+        assert!(err("{\"k\":\"\\ude00\"}").contains("unpaired low surrogate"));
+        assert!(err("{\"k\":\"\\ud83d\\u0041\"}").contains("not a low surrogate"));
+        assert!(err("{\"k\":\"\\uzzzz\"}").contains("bad \\u escape"));
+        assert!(err("{\"k\":\"\\ud8\"}").contains("bad \\u escape"));
     }
 }

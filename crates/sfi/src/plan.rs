@@ -20,11 +20,12 @@
 //! hosts), and merge the results — the executor side lives in
 //! `nfi_core::service`.
 
-use crate::jsontext::{escape, parse_flat_object, JsonValue};
+use crate::jsontext::{
+    escape, get_hex_u64, get_opt_str, get_str, get_u64, get_usize, parse_flat_object,
+};
 use crate::{operators, Campaign, FaultClass, FaultPlan, Site};
 use nfi_pylite::ast::NodeId;
 use nfi_pylite::fingerprint::{fnv1a, fnv1a_extend};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A stable content hash of a fault plan: operator key plus every site
@@ -32,16 +33,22 @@ use std::fmt;
 /// same module — the mutant-cache key half that doesn't depend on the
 /// module itself.
 pub fn plan_hash(plan: &FaultPlan) -> u64 {
-    let mut h = fnv1a(plan.operator.as_bytes());
-    h = fnv1a_extend(h, &plan.site.stmt_id.0.to_le_bytes());
-    if let Some(f) = &plan.site.function {
+    site_hash(fnv1a(plan.operator.as_bytes()), &plan.site)
+}
+
+/// Folds every [`Site`] field into `h` — the shared tail of
+/// [`plan_hash`] and [`WorkUnit::store_key`], so the two stay
+/// field-for-field in sync.
+fn site_hash(mut h: u64, site: &Site) -> u64 {
+    h = fnv1a_extend(h, &site.stmt_id.0.to_le_bytes());
+    if let Some(f) = &site.function {
         h = fnv1a_extend(h, b"\x01");
         h = fnv1a_extend(h, f.as_bytes());
     } else {
         h = fnv1a_extend(h, b"\x00");
     }
-    h = fnv1a_extend(h, &plan.site.line.to_le_bytes());
-    fnv1a_extend(h, plan.site.detail.as_bytes())
+    h = fnv1a_extend(h, &site.line.to_le_bytes());
+    fnv1a_extend(h, site.detail.as_bytes())
 }
 
 /// One shard of a plan: this process executes unit indices `i` with
@@ -134,6 +141,19 @@ impl WorkUnit {
         }
     }
 
+    /// The unit's stable content key for the incremental campaign
+    /// store: [`plan_hash`] of the mutation this unit requests,
+    /// extended with the scheduler seed its experiment runs under.
+    /// Computable from the serialized form alone (no operator-registry
+    /// resolution), identical across processes and hosts, and equal
+    /// for two units exactly when replaying one's stored outcome is
+    /// valid for the other (given equal module + machine fingerprints,
+    /// which the store addresses separately).
+    pub fn store_key(&self) -> u64 {
+        let h = site_hash(fnv1a(self.operator.as_bytes()), &self.site);
+        fnv1a_extend(h, &self.seed.to_le_bytes())
+    }
+
     /// Resolves the unit back into an executable [`FaultPlan`] through
     /// the operator registry. Returns `None` for an unknown operator
     /// key (a plan from a newer registry, say).
@@ -173,41 +193,27 @@ impl WorkUnit {
     pub fn decode(line: &str) -> Result<WorkUnit, String> {
         let fields = parse_flat_object(line)?;
         let unit = WorkUnit {
-            index: get_num(&fields, "index")? as usize,
+            index: get_usize(&fields, "index")?,
             operator: get_str(&fields, "operator")?,
             class: {
                 let key = get_str(&fields, "class")?;
                 FaultClass::from_key(&key).ok_or_else(|| format!("unknown fault class `{key}`"))?
             },
             site: Site {
-                stmt_id: NodeId(get_num(&fields, "stmt_id")? as u32),
-                function: match fields.get("function") {
-                    Some(JsonValue::Str(s)) => Some(s.clone()),
-                    Some(JsonValue::Null) | None => None,
-                    other => return Err(format!("field `function` invalid: {other:?}")),
-                },
-                line: get_num(&fields, "line")? as u32,
+                stmt_id: NodeId(
+                    u32::try_from(get_u64(&fields, "stmt_id")?)
+                        .map_err(|_| "field `stmt_id` does not fit in u32".to_string())?,
+                ),
+                function: get_opt_str(&fields, "function")?,
+                line: u32::try_from(get_u64(&fields, "line")?)
+                    .map_err(|_| "field `line` does not fit in u32".to_string())?,
                 detail: get_str(&fields, "detail")?,
             },
-            seed: get_num(&fields, "seed")? as u64,
+            // Exact: the seed is a full-range u64 and must never be
+            // squeezed through an f64 (2^53 silently truncates).
+            seed: get_u64(&fields, "seed")?,
         };
         Ok(unit)
-    }
-}
-
-fn get_str(fields: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, String> {
-    match fields.get(key) {
-        Some(JsonValue::Str(s)) => Ok(s.clone()),
-        Some(other) => Err(format!("field `{key}` is not a string: {other:?}")),
-        None => Err(format!("missing field `{key}`")),
-    }
-}
-
-fn get_num(fields: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, String> {
-    match fields.get(key) {
-        Some(JsonValue::Num(n)) => Ok(*n),
-        Some(other) => Err(format!("field `{key}` is not a number: {other:?}")),
-        None => Err(format!("missing field `{key}`")),
     }
 }
 
@@ -287,13 +293,11 @@ impl CampaignSpec {
                     ));
                 }
                 let fields = parse_flat_object(line).map_err(err)?;
-                let fp_hex = get_str(&fields, "module_fp").map_err(err)?;
-                declared_units = get_num(&fields, "units").map_err(err)? as usize;
+                declared_units = get_usize(&fields, "units").map_err(err)?;
                 spec = Some(CampaignSpec {
                     program: get_str(&fields, "program").map_err(err)?,
                     source: get_str(&fields, "source").map_err(err)?,
-                    module_fp: u64::from_str_radix(&fp_hex, 16)
-                        .map_err(|_| format!("line {}: bad module_fp `{fp_hex}`", i + 1))?,
+                    module_fp: get_hex_u64(&fields, "module_fp").map_err(err)?,
                     units: Vec::new(),
                 });
             } else if line.contains("\"kind\":\"unit\"") {
@@ -361,6 +365,49 @@ mod tests {
         let before = hashes.len();
         hashes.dedup();
         assert_eq!(hashes.len(), before, "plan hashes must be unique");
+    }
+
+    #[test]
+    fn seeds_above_f64_precision_round_trip_exactly() {
+        let c = campaign();
+        // 2^53 + 1 is the first u64 an f64 cannot represent; u64::MAX
+        // is the worst case. Both must survive the text round trip.
+        for seed in [(1u64 << 53) + 1, u64::MAX] {
+            let spec = CampaignSpec::from_campaign("demo", &c, seed);
+            let decoded = CampaignSpec::decode(&spec.encode()).unwrap();
+            assert_eq!(decoded, spec);
+            for unit in &decoded.units {
+                assert_eq!(unit.seed, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn store_keys_are_unique_stable_and_seed_sensitive() {
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 7);
+        let mut keys: Vec<u64> = spec.units.iter().map(WorkUnit::store_key).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "unit store keys must be unique");
+        // Stable across a text round trip (the store replays by key).
+        let decoded = CampaignSpec::decode(&spec.encode()).unwrap();
+        for (a, b) in spec.units.iter().zip(&decoded.units) {
+            assert_eq!(a.store_key(), b.store_key());
+        }
+        // A different experiment seed is a different key.
+        let reseeded = CampaignSpec::from_campaign("demo", &c, 8);
+        for (a, b) in spec.units.iter().zip(&reseeded.units) {
+            assert_ne!(a.store_key(), b.store_key());
+        }
+        // And the key agrees with plan_hash on the mutation half.
+        let unit = &spec.units[0];
+        let plan = unit.to_plan().unwrap();
+        assert_eq!(
+            unit.store_key(),
+            fnv1a_extend(plan_hash(&plan), &unit.seed.to_le_bytes())
+        );
     }
 
     #[test]

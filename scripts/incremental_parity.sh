@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Incremental-store parity check:
+#
+#   1. cold-run a small program set through `nfi campaign run` — every
+#      unit executes;
+#   2. warm re-run with unchanged sources — zero units execute and the
+#      merged documents are byte-identical to the cold run's;
+#   3. edit one program (one appended line), re-run — only that
+#      program's units re-execute, and its document is byte-identical
+#      to a from-scratch run of the edited source.
+#
+# Usage: scripts/incremental_parity.sh [program ...]
+#        (default: ecommerce banking jobqueue; the first named program
+#         is the one that gets edited)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NFI=./target/release/nfi
+[ -x "$NFI" ] || cargo build --release --bin nfi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if [ "$#" -gt 0 ]; then
+  PROGRAMS=("$@")
+else
+  PROGRAMS=(ecommerce banking jobqueue)
+fi
+EDITED="${PROGRAMS[0]}"
+
+mkdir -p "$WORK/src"
+FILES=()
+for p in "${PROGRAMS[@]}"; do
+  "$NFI" corpus show "$p" > "$WORK/src/$p.py"
+  FILES+=("$WORK/src/$p.py")
+done
+
+# `run program=<name> ... <field>=<n> ...` -> the numeric field value.
+field() { # field <log> <program> <field>
+  awk -v p="run program=$2" -v f="$3" \
+    '$0 ~ p { for (i = 1; i <= NF; i++) if (split($i, kv, "=") == 2 && kv[1] == f) print kv[2] }' \
+    "$1"
+}
+
+echo "== cold run =="
+"$NFI" campaign run --state-dir "$WORK/state" --workers 2 "${FILES[@]}" | tee "$WORK/cold.log"
+mkdir -p "$WORK/cold-docs"
+for p in "${PROGRAMS[@]}"; do
+  [ "$(field "$WORK/cold.log" "$p" replayed)" = 0 ] \
+    || { echo "FAIL: $p cold run replayed units from an empty store" >&2; exit 1; }
+  [ "$(field "$WORK/cold.log" "$p" executed)" -gt 0 ] \
+    || { echo "FAIL: $p cold run executed nothing" >&2; exit 1; }
+  cp "$WORK/state/runs/$p.jsonl" "$WORK/cold-docs/$p.jsonl"
+done
+
+echo "== warm re-run (unchanged sources) =="
+"$NFI" campaign run --state-dir "$WORK/state" --workers 2 "${FILES[@]}" | tee "$WORK/warm.log"
+for p in "${PROGRAMS[@]}"; do
+  [ "$(field "$WORK/warm.log" "$p" executed)" = 0 ] \
+    || { echo "FAIL: $p warm run re-executed units with unchanged sources" >&2; exit 1; }
+  if ! diff -q "$WORK/cold-docs/$p.jsonl" "$WORK/state/runs/$p.jsonl" >/dev/null; then
+    echo "FAIL: $p warm document differs from the cold run" >&2
+    diff "$WORK/cold-docs/$p.jsonl" "$WORK/state/runs/$p.jsonl" >&2 || true
+    exit 1
+  fi
+done
+
+echo "== edit $EDITED, incremental re-run =="
+echo "edited_marker = 1" >> "$WORK/src/$EDITED.py"
+"$NFI" campaign run --state-dir "$WORK/state" --workers 2 "${FILES[@]}" | tee "$WORK/edit.log"
+for p in "${PROGRAMS[@]}"; do
+  units=$(field "$WORK/edit.log" "$p" units)
+  executed=$(field "$WORK/edit.log" "$p" executed)
+  if [ "$p" = "$EDITED" ]; then
+    [ "$executed" = "$units" ] \
+      || { echo "FAIL: edited $p executed $executed of $units units" >&2; exit 1; }
+  else
+    [ "$executed" = 0 ] \
+      || { echo "FAIL: untouched $p re-executed $executed units after editing $EDITED" >&2; exit 1; }
+  fi
+done
+
+echo "== from-scratch parity of the edited corpus =="
+"$NFI" campaign run --state-dir "$WORK/scratch" "${FILES[@]}" >/dev/null
+for p in "${PROGRAMS[@]}"; do
+  if ! diff -q "$WORK/scratch/runs/$p.jsonl" "$WORK/state/runs/$p.jsonl" >/dev/null; then
+    echo "FAIL: $p incremental document differs from a from-scratch run" >&2
+    diff "$WORK/scratch/runs/$p.jsonl" "$WORK/state/runs/$p.jsonl" >&2 || true
+    exit 1
+  fi
+done
+
+echo "incremental parity: warm run executed 0 units; only $EDITED re-executed after its edit; all documents byte-identical"

@@ -37,6 +37,8 @@ USAGE:
   nfi campaign plan (--program <name> | --file <path>) [--seed N] [--out PATH]
   nfi campaign exec --plan PATH [--shard i/n] [--threads N] [--no-cache] [--out PATH]
   nfi campaign merge <run.jsonl>... [--out PATH]
+  nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N]
+                   [--out-dir DIR] [--program <name> | --file <path> | <file>...]
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
   nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 ";
@@ -363,6 +365,29 @@ fn write_doc(flags: &HashMap<&str, &str>, text: &str) -> Result<(), String> {
     }
 }
 
+/// Program name for a file-path target: its stem. The one derivation
+/// every campaign subcommand shares, so `plan`, `exec`, and `run` head
+/// their documents with identical program names for the same file.
+fn file_stem_name(path: &str) -> &str {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+}
+
+/// The one shared `--seed` parser (plan and run must agree, since the
+/// seed is stamped into every work unit and thus every store key).
+fn parse_seed(flags: &HashMap<&str, &str>) -> Result<u64, String> {
+    flags
+        .get("seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--seed expects an integer, got `{v}`"))
+        })
+        .transpose()
+        .map(|seed| seed.unwrap_or(MachineConfig::default().seed))
+}
+
 /// The sharded campaign workflow: `plan` enumerates once into a
 /// portable JSONL spec, `exec` runs any `--shard i/n` of it (anywhere —
 /// the spec carries the program source), `merge` unions shard runs back
@@ -377,17 +402,9 @@ fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), 
             let program = flags
                 .get("program")
                 .copied()
-                .or_else(|| flags.get("file").map(|p| p.rsplit('/').next().unwrap_or(p)))
+                .or_else(|| flags.get("file").map(|p| file_stem_name(p)))
                 .unwrap_or("campaign");
-            let seed: u64 = flags
-                .get("seed")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| format!("--seed expects an integer, got `{v}`"))
-                })
-                .transpose()?
-                .unwrap_or(MachineConfig::default().seed);
-            let spec = service::plan_campaign(program, &source, seed)?;
+            let spec = service::plan_campaign(program, &source, parse_seed(flags)?)?;
             eprintln!("planned {} units for {program}", spec.units.len());
             write_doc(flags, &spec.encode())
         }
@@ -431,8 +448,106 @@ fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), 
             );
             write_doc(flags, &merged.encode())
         }
-        _ => Err("usage: nfi campaign [plan|exec|merge]".to_string()),
+        Some("run") => cmd_campaign_run(&positional[1..], flags),
+        _ => Err("usage: nfi campaign [plan|exec|merge|run]".to_string()),
     }
+}
+
+/// The incremental orchestrator: plan every target, replay unchanged
+/// units from the `--state-dir` store, execute only the rest across
+/// `--workers` in-process workers, merge, and persist. The merged
+/// document per program lands in `--out-dir` (default
+/// `<state-dir>/runs`) and is byte-identical to a from-scratch
+/// unsharded `--threads 1` run — a warm re-run with unchanged sources
+/// executes zero work units.
+fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use neural_fault_injection::core::Orchestrator;
+    let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+    let workers: usize = flags
+        .get("workers")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| format!("--workers expects a positive integer, got `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let orch = Orchestrator {
+        workers,
+        seed: parse_seed(flags)?,
+        config: exec_config(flags)?,
+        ..Orchestrator::new(state_dir)?
+    };
+
+    // Targets: positional files, else --program/--file, else all corpus.
+    let mut targets: Vec<(String, String)> = Vec::new();
+    if !files.is_empty() {
+        for path in files {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            targets.push((file_stem_name(path).to_string(), source));
+        }
+    } else if flags.contains_key("program") || flags.contains_key("file") {
+        let source = load_source(flags)?;
+        let name = flags
+            .get("program")
+            .copied()
+            .or_else(|| flags.get("file").map(|p| file_stem_name(p)))
+            .unwrap_or("campaign");
+        targets.push((name.to_string(), source));
+    } else {
+        for p in neural_fault_injection::corpus::all() {
+            targets.push((p.name.to_string(), p.source.to_string()));
+        }
+    }
+
+    // Program names key the store and the run documents; two targets
+    // sharing a name would overwrite each other's documents and
+    // perpetually prune each other's store segments.
+    let mut seen_names = std::collections::HashSet::new();
+    for (name, _) in &targets {
+        if !seen_names.insert(name.as_str()) {
+            return Err(format!(
+                "two targets resolve to the program name `{name}`; rename one \
+                 file or run them against separate state dirs"
+            ));
+        }
+    }
+
+    let out_dir = flags
+        .get("out-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(state_dir).join("runs"));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+
+    let (mut units, mut replayed, mut executed) = (0usize, 0usize, 0usize);
+    for (name, source) in &targets {
+        let result = orch.run_program(name, source)?;
+        for warning in &result.store_errors {
+            eprintln!("warning: {warning}");
+        }
+        let doc_path = out_dir.join(format!("{name}.jsonl"));
+        std::fs::write(&doc_path, result.run.encode())
+            .map_err(|e| format!("cannot write {}: {e}", doc_path.display()))?;
+        println!(
+            "run program={name} units={} replayed={} executed={} store_errors={}",
+            result.units,
+            result.replayed,
+            result.executed,
+            result.store_errors.len(),
+        );
+        units += result.units;
+        replayed += result.replayed;
+        executed += result.executed;
+    }
+    println!(
+        "campaign run: {} program(s), {units} units, {replayed} replayed, {executed} executed ({} workers)",
+        targets.len(),
+        workers,
+    );
+    Ok(())
 }
 
 fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
@@ -496,7 +611,7 @@ fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(
 }
 
 fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
-    use nfi_bench::throughput::{bench_campaign, bench_e7, bench_lm, to_json};
+    use nfi_bench::throughput::{bench_campaign, bench_e7, bench_lm, bench_store, to_json};
     let quick = flags.contains_key("quick");
     // Shared --threads parsing; ExecConfig clamps 0 to 1, so the printed
     // and recorded thread count always matches what actually ran.
@@ -544,7 +659,21 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         e7.speedup(),
     );
 
-    let json = to_json(&campaign, &lm, &e7);
+    println!("benching incremental campaign store (cold vs warm)...");
+    let store = bench_store(if quick { 3 } else { 0 });
+    println!(
+        "  {} program(s), {} units: {:.1} units/s cold, {:.1} units/s warm replay ({:.2}x), {} of {} replayed, documents identical: {}",
+        store.programs,
+        store.units,
+        store.cold_units_per_s(),
+        store.warm_units_per_s(),
+        store.warm_speedup(),
+        store.warm_replayed,
+        store.units,
+        store.documents_identical,
+    );
+
+    let json = to_json(&campaign, &lm, &e7, &store);
     let path = flags.get("out").copied().unwrap_or("BENCH_e7.json");
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("wrote {path}");

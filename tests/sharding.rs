@@ -70,6 +70,44 @@ fn three_way_split_merges_associatively_to_the_unsharded_report() {
 }
 
 #[test]
+fn shard_parse_rejects_degenerate_forms() {
+    // Zero denominators, out-of-range numerators, and non-numeric
+    // components must all be descriptive errors, never panics.
+    assert!(Shard::parse("0/0").unwrap_err().contains("positive"));
+    assert!(Shard::parse("1/0").unwrap_err().contains("positive"));
+    assert!(Shard::parse("2/2").unwrap_err().contains("out of range"));
+    assert!(Shard::parse("9/3").unwrap_err().contains("out of range"));
+    assert!(Shard::parse("x/2").unwrap_err().contains("not a number"));
+    assert!(Shard::parse("0/y").unwrap_err().contains("not a number"));
+    assert!(Shard::parse("-1/2").unwrap_err().contains("not a number"));
+    assert!(Shard::parse("1.5/2").unwrap_err().contains("not a number"));
+    assert!(Shard::parse("12").unwrap_err().contains("i/n"));
+    assert!(Shard::parse("").unwrap_err().contains("i/n"));
+    assert!(Shard::parse("/").unwrap_err().contains("not a number"));
+    assert_eq!(Shard::parse("0/1").unwrap(), Shard::FULL);
+}
+
+#[test]
+fn merging_with_an_empty_shard_document_is_the_identity() {
+    let spec = spec_for("ecommerce");
+    let n = spec.units.len();
+    let full = service::exec_spec(&spec, &machine(), ExecConfig::sequential()).unwrap();
+    // Shard n/(n+1) covers no unit index in 0..n, so its run document
+    // is a bare header with zero outcomes.
+    let empty = exec_shard(&spec, n, n + 1);
+    assert!(empty.outcomes.is_empty());
+    let empty_doc = empty.encode();
+    assert_eq!(empty_doc.lines().count(), 1, "header only");
+    // It survives a text round trip and merges as the identity.
+    let decoded = service::ShardRun::decode(&empty_doc).unwrap();
+    let merged = service::merge(&[full.clone(), decoded]).unwrap();
+    assert_eq!(merged.encode(), full.encode());
+    // Identity holds in either merge order.
+    let merged = service::merge(&[exec_shard(&spec, n, n + 1), full.clone()]).unwrap();
+    assert_eq!(merged.encode(), full.encode());
+}
+
+#[test]
 fn plan_documents_round_trip_through_text_before_execution() {
     let spec = spec_for("ecommerce");
     let reloaded = CampaignSpec::decode(&spec.encode()).unwrap();
