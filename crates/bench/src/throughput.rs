@@ -2,14 +2,17 @@
 //! batched neural kernels — the drivers behind `scripts/bench.sh` and
 //! the `nfi bench` subcommand (`BENCH_e7.json`).
 //!
-//! Three measurements:
+//! Five measurements:
 //!
 //! * **campaign**: plans/sec applying + differentially testing every
 //!   plan of the full corpus-wide campaign, sequential vs. the parallel
 //!   engine (same [`CampaignRunReport`]s are asserted equal);
 //! * **lm**: tokens/sec of LM training, per-example SGD kernels vs. the
 //!   batched GEMM kernels, both at `threads = 1` (batching-only gain);
-//! * **e7**: end-to-end pipeline scenarios/sec, sequential vs. parallel.
+//! * **e7**: end-to-end pipeline scenarios/sec, sequential vs. parallel;
+//! * **store**: incremental-store units/sec, cold vs. warm replay;
+//! * **serve**: requests/sec and end-to-end units/sec through the
+//!   `nfi serve` daemon, cold vs. store-warm.
 
 use crate::experiments::{run_e7_with, E7Row};
 use nfi_core::cache::{CacheStats, MutantCache};
@@ -312,6 +315,175 @@ pub fn bench_store(max_programs: usize) -> StoreBench {
     }
 }
 
+/// Daemon throughput: request-handling rate of the HTTP front end and
+/// end-to-end campaign units/sec *through* `nfi serve` — a cold run
+/// (store empty, workers execute) vs. a store-warm one (everything
+/// replays) — the numbers behind the `"serve"` section of
+/// `BENCH_e7.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Metrics requests answered in the rate burst.
+    pub requests: usize,
+    /// Wall time of the rate burst (seconds), one keep-alive connection.
+    pub requests_secs: f64,
+    /// Programs submitted per round.
+    pub programs: usize,
+    /// Campaign units per round.
+    pub units: usize,
+    /// Submit-to-done wall time of the cold round (seconds).
+    pub cold_secs: f64,
+    /// Submit-to-done wall time of the store-warm round (seconds).
+    pub warm_secs: f64,
+    /// Units the warm round replayed from the store.
+    pub warm_replayed: usize,
+    /// Units the warm round executed (0 when sources are unchanged).
+    pub warm_executed: usize,
+    /// Whether every warm document was byte-identical to its cold one.
+    pub documents_identical: bool,
+}
+
+impl ServeBench {
+    /// Metrics requests/sec over one keep-alive connection.
+    pub fn requests_per_s(&self) -> f64 {
+        self.requests as f64 / self.requests_secs.max(1e-9)
+    }
+
+    /// Cold end-to-end units/sec through the daemon.
+    pub fn cold_units_per_s(&self) -> f64 {
+        self.units as f64 / self.cold_secs.max(1e-9)
+    }
+
+    /// Store-warm end-to-end units/sec through the daemon.
+    pub fn warm_units_per_s(&self) -> f64 {
+        self.units as f64 / self.warm_secs.max(1e-9)
+    }
+
+    /// Warm speedup over cold.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_secs / self.warm_secs.max(1e-9)
+    }
+}
+
+/// Benches a daemon on an ephemeral port over a throwaway state dir:
+/// a burst of `/v1/metrics` requests for the front-end rate, then the
+/// first `max_programs` corpus programs (0 = all) submitted and polled
+/// to completion twice — cold, then store-warm — with every document
+/// byte-compared across rounds. `mode` selects the worker transport;
+/// `nfi bench` passes spawn mode (the benched binary *is* `nfi`),
+/// library tests pass in-process.
+pub fn bench_serve(
+    max_programs: usize,
+    workers: usize,
+    mode: nfi_serve::worker::WorkerMode,
+) -> ServeBench {
+    use nfi_serve::client::Client;
+    use nfi_sfi::jsontext::{get_usize, parse_flat_object};
+    let dir = std::env::temp_dir().join(format!("nfi-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = nfi_serve::ServeConfig {
+        workers,
+        mode,
+        ..nfi_serve::ServeConfig::new(&dir)
+    };
+    let server = nfi_serve::Server::bind("127.0.0.1:0", config).expect("serve bench bind");
+    let handle = server.spawn().expect("serve bench spawn");
+    let addr = handle.addr;
+
+    // Front-end request rate: metrics answers never touch the queue.
+    let requests = 500;
+    let mut client = Client::connect(addr).expect("serve bench client");
+    let started = Instant::now();
+    for _ in 0..requests {
+        let reply = client.send("GET", "/v1/metrics", None).expect("metrics");
+        assert_eq!(reply.status, 200);
+    }
+    let requests_secs = started.elapsed().as_secs_f64();
+
+    let programs: Vec<&str> = nfi_corpus::all()
+        .iter()
+        .take(if max_programs == 0 {
+            usize::MAX
+        } else {
+            max_programs
+        })
+        .map(|p| p.name)
+        .collect();
+
+    // All submit/poll/fetch traffic of a round shares one keep-alive
+    // connection, and every status body is decoded with the workspace
+    // JSON codec — no per-poll connections, no string-splitting.
+    let run_round = || -> (usize, usize, usize, Vec<String>, f64) {
+        MutantCache::global().clear();
+        ExperimentCache::global().clear();
+        let mut client = Client::connect(addr).expect("serve bench round client");
+        let started = Instant::now();
+        let ids: Vec<u64> = programs
+            .iter()
+            .map(|name| {
+                let body = format!("{{\"program\":\"{name}\"}}");
+                let reply = client
+                    .send("POST", "/v1/campaigns", Some(body.as_bytes()))
+                    .expect("submit");
+                assert_eq!(reply.status, 202, "{}", reply.text());
+                let fields = parse_flat_object(&reply.text()).expect("submit reply json");
+                get_usize(&fields, "id").expect("job id") as u64
+            })
+            .collect();
+        let (mut units, mut replayed, mut executed) = (0usize, 0usize, 0usize);
+        let mut docs = Vec::new();
+        for id in ids {
+            let status = loop {
+                let reply = client
+                    .send("GET", &format!("/v1/campaigns/{id}"), None)
+                    .expect("status");
+                let fields = parse_flat_object(&reply.text()).expect("status json");
+                let state = fields
+                    .get("status")
+                    .and_then(nfi_sfi::jsontext::JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                if state == "done" {
+                    break fields;
+                }
+                assert_ne!(state, "failed", "bench job failed: {}", reply.text());
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
+            units += get_usize(&status, "units").expect("units");
+            replayed += get_usize(&status, "replayed").expect("replayed");
+            executed += get_usize(&status, "executed").expect("executed");
+            let doc = client
+                .send("GET", &format!("/v1/campaigns/{id}/document"), None)
+                .expect("document");
+            assert_eq!(doc.status, 200);
+            docs.push(doc.text());
+        }
+        (
+            units,
+            replayed,
+            executed,
+            docs,
+            started.elapsed().as_secs_f64(),
+        )
+    };
+
+    let (units, _, _, cold_docs, cold_secs) = run_round();
+    let (_, warm_replayed, warm_executed, warm_docs, warm_secs) = run_round();
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServeBench {
+        requests,
+        requests_secs,
+        programs: programs.len(),
+        units,
+        cold_secs,
+        warm_secs,
+        warm_replayed,
+        warm_executed,
+        documents_identical: cold_docs == warm_docs,
+    }
+}
+
 /// E7 pipeline throughput, sequential vs. parallel.
 #[derive(Debug, Clone)]
 pub struct E7Bench {
@@ -339,10 +511,16 @@ pub fn bench_e7(scenario_cap: usize, threads: usize) -> E7Bench {
     }
 }
 
-/// Renders the four benchmarks as the `BENCH_e7.json` document.
-pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench, store: &StoreBench) -> String {
+/// Renders the five benchmarks as the `BENCH_e7.json` document.
+pub fn to_json(
+    campaign: &CampaignBench,
+    lm: &LmBench,
+    e7: &E7Bench,
+    store: &StoreBench,
+    serve: &ServeBench,
+) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -373,6 +551,15 @@ pub fn to_json(campaign: &CampaignBench, lm: &LmBench, e7: &E7Bench, store: &Sto
         store.warm_executed,
         store.warm_hit_rate(),
         store.documents_identical,
+        serve.requests_per_s(),
+        serve.programs,
+        serve.units,
+        serve.cold_units_per_s(),
+        serve.warm_units_per_s(),
+        serve.warm_speedup(),
+        serve.warm_replayed,
+        serve.warm_executed,
+        serve.documents_identical,
     )
 }
 
@@ -464,7 +651,18 @@ mod tests {
             warm_executed: 0,
             documents_identical: true,
         };
-        let json = to_json(&campaign, &lm, &e7, &store);
+        let serve = ServeBench {
+            requests: 100,
+            requests_secs: 0.05,
+            programs: 2,
+            units: 60,
+            cold_secs: 1.5,
+            warm_secs: 0.05,
+            warm_replayed: 60,
+            warm_executed: 0,
+            documents_identical: true,
+        };
+        let json = to_json(&campaign, &lm, &e7, &store, &serve);
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"warm_speedup\": 20.00"));
         assert!(json.contains("\"mutant_cache_hit_rate\": 0.500"));
@@ -472,7 +670,23 @@ mod tests {
         assert!(json.contains("\"store_hit_rate\": 1.000"));
         assert!(json.contains("\"warm_executed\": 0"));
         assert!(json.contains("\"documents_identical\": true"));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"requests_per_s\": 2000.0"));
+        assert!(json.contains("\"warm_speedup\": 30.00"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn serve_bench_round_trips_identically_and_replays_warm() {
+        let _guard = global_cache_guard();
+        // In-process workers: this test binary is not the `nfi` binary.
+        let b = bench_serve(1, 2, nfi_serve::worker::WorkerMode::InProcess);
+        assert_eq!(b.programs, 1);
+        assert!(b.units > 0);
+        assert!(b.requests > 0);
+        assert!(b.documents_identical, "warm daemon changed a document");
+        assert_eq!(b.warm_executed, 0, "warm round must replay everything");
+        assert_eq!(b.warm_replayed, b.units);
     }
 
     #[test]

@@ -1,8 +1,109 @@
-//! Campaign metrics for the comparative evaluation: coverage,
-//! representativeness, and tester effort.
+//! Campaign metrics, in two senses:
+//!
+//! * the **evaluation** metrics of the paper's comparative study —
+//!   coverage, representativeness (Jensen–Shannon distance to a field
+//!   fault profile), and tester effort;
+//! * the **operational** metrics of the long-running service —
+//!   [`RuntimeSnapshot`] gathers the process-wide cache counters, the
+//!   job-queue gauges, and the incremental-store totals into the one
+//!   JSON document `GET /v1/metrics` serves.
 
+use crate::cache::CacheStats;
 use nfi_sfi::FaultClass;
 use std::collections::BTreeMap;
+
+/// Job-queue gauges and counters of a serving daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs waiting in the queue right now.
+    pub depth: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs finished successfully since startup.
+    pub completed: u64,
+    /// Jobs that ended in an error since startup.
+    pub failed: u64,
+}
+
+/// Incremental-store totals across every job a daemon has run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreTotals {
+    /// Campaign work units planned across all completed jobs.
+    pub units: u64,
+    /// Units replayed verbatim from the on-disk store.
+    pub replayed: u64,
+    /// Units that had to execute (store misses + corrupt lines).
+    pub executed: u64,
+}
+
+impl StoreTotals {
+    /// Store hit fraction in `[0, 1]` (0 when nothing ran yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.replayed as f64 / self.units as f64
+        }
+    }
+}
+
+/// A point-in-time operational snapshot: cache, store, and queue stats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeSnapshot {
+    /// Process-wide mutant-cache counters.
+    pub mutant_cache: CacheStats,
+    /// Process-wide experiment-cache counters.
+    pub experiment_cache: CacheStats,
+    /// Job-queue gauges (zeroed outside a daemon).
+    pub queue: QueueStats,
+    /// Store replay/execute totals (zeroed outside a daemon).
+    pub store: StoreTotals,
+}
+
+impl RuntimeSnapshot {
+    /// Captures the process-wide cache counters alongside the
+    /// caller-tracked queue and store numbers.
+    pub fn capture(queue: QueueStats, store: StoreTotals) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            mutant_cache: crate::cache::MutantCache::global().stats(),
+            experiment_cache: nfi_inject::memo::ExperimentCache::global().stats(),
+            queue,
+            store,
+        }
+    }
+
+    /// Renders the snapshot as a small stable JSON document.
+    pub fn render_json(&self) -> String {
+        let cache = |s: &CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3},\"entries\":{},\"evictions\":{},\"capacity\":{}}}",
+                s.hits,
+                s.misses,
+                s.hit_rate(),
+                s.entries,
+                s.evictions,
+                s.capacity
+                    .map_or("null".to_string(), |c| c.to_string()),
+            )
+        };
+        format!(
+            "{{\"queue\":{{\"depth\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
+            self.queue.depth,
+            self.queue.running,
+            self.queue.submitted,
+            self.queue.completed,
+            self.queue.failed,
+            self.store.units,
+            self.store.replayed,
+            self.store.executed,
+            self.store.hit_rate(),
+            cache(&self.mutant_cache),
+            cache(&self.experiment_cache),
+        )
+    }
+}
 
 /// A synthetic *field fault profile*: the share of each fault class
 /// among faults observed in deployed systems.
@@ -171,5 +272,48 @@ mod tests {
     fn empty_distribution_is_all_zero() {
         let d = distribution(&BTreeMap::new());
         assert!(d.values().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn runtime_snapshot_renders_parseable_sections() {
+        let snap = RuntimeSnapshot {
+            mutant_cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 1,
+                evictions: 0,
+                capacity: Some(64),
+            },
+            experiment_cache: CacheStats::default(),
+            queue: QueueStats {
+                depth: 2,
+                running: 1,
+                submitted: 7,
+                completed: 4,
+                failed: 0,
+            },
+            store: StoreTotals {
+                units: 100,
+                replayed: 75,
+                executed: 25,
+            },
+        };
+        let json = snap.render_json();
+        assert!(json.contains("\"depth\":2"));
+        assert!(json.contains("\"submitted\":7"));
+        assert!(json.contains("\"hit_rate\":0.750"));
+        assert!(json.contains("\"capacity\":64"));
+        assert!(json.contains("\"capacity\":null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn capture_reads_the_global_caches() {
+        let snap = RuntimeSnapshot::capture(QueueStats::default(), StoreTotals::default());
+        assert_eq!(snap.queue, QueueStats::default());
+        assert!(
+            snap.mutant_cache.capacity.is_some(),
+            "global cache is bounded"
+        );
     }
 }

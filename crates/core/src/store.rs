@@ -32,10 +32,12 @@
 //!
 //! [`Orchestrator`] is the multi-run, multi-worker entry point behind
 //! `nfi campaign run --state-dir`: plan, replay what the store covers,
-//! stripe the misses across workers (in-process threads today — each
-//! produces and hands back an encoded shard document, the same
-//! artifact a spawned `nfi campaign exec` process would), merge, and
-//! write the segment back.
+//! stripe the misses across workers, merge, and write the segment
+//! back. Workers exchange *encoded shard documents*, and the dispatch
+//! step is pluggable ([`Orchestrator::run_spec_with`]): the default
+//! uses in-process threads, while the `nfi serve` daemon passes a
+//! dispatcher that spawns `nfi campaign exec --shard i/n` child
+//! processes — same artifacts, same merge, byte-identical documents.
 
 use crate::exec::ExecConfig;
 use crate::service::{self, ShardOutcome, ShardRun};
@@ -203,6 +205,93 @@ impl CampaignStore {
         Ok(())
     }
 
+    /// Lists every segment in the store with its decoded header, plus
+    /// files that *should* be segments but have no readable header
+    /// (crashed writes, editor accidents) as [`SegmentInfo::orphan`]s.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let ext = path.extension().and_then(|e| e.to_str());
+            if ext == Some("tmp") {
+                out.push(SegmentInfo::orphan(path, bytes, "leftover temp file"));
+                continue;
+            }
+            if ext != Some("jsonl") {
+                continue;
+            }
+            let header = std::fs::File::open(&path).ok().and_then(first_line);
+            let parsed = header.as_deref().map(parse_flat_object);
+            match parsed {
+                Some(Ok(fields)) => match (
+                    fields.get("program").and_then(JsonValue::as_str),
+                    get_hex_u64(&fields, "module_fp"),
+                    get_hex_u64(&fields, "machine_fp"),
+                ) {
+                    (Some(program), Ok(module_fp), Ok(machine_fp)) => out.push(SegmentInfo {
+                        path,
+                        bytes,
+                        program: Some(program.to_string()),
+                        module_fp: Some(module_fp),
+                        machine_fp: Some(machine_fp),
+                        note: None,
+                    }),
+                    _ => out.push(SegmentInfo::orphan(path, bytes, "incomplete store header")),
+                },
+                _ => out.push(SegmentInfo::orphan(path, bytes, "unreadable store header")),
+            }
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    /// Garbage-collects the store against `live` program names: removes
+    /// every segment whose header names a program outside the set, and
+    /// every orphan (headerless file, leftover temp file). This is the
+    /// manual companion to the automatic per-save pruning, which only
+    /// ever sees programs that are still being run — segments of
+    /// *deleted* programs linger until this sweeps them.
+    ///
+    /// With `dry_run` nothing is removed; the report lists what would
+    /// go. Removal failures are reported in [`GcReport::errors`] and do
+    /// not abort the sweep.
+    pub fn gc(&self, live: &HashSet<&str>, dry_run: bool) -> GcReport {
+        let mut report = GcReport {
+            dry_run,
+            ..GcReport::default()
+        };
+        for seg in self.segments() {
+            let reason = match &seg.program {
+                Some(p) if live.contains(p.as_str()) => {
+                    report.kept += 1;
+                    continue;
+                }
+                Some(p) => format!("program `{p}` is no longer present"),
+                None => format!(
+                    "orphan: {}",
+                    seg.note.as_deref().unwrap_or("no valid store header")
+                ),
+            };
+            if !dry_run {
+                if let Err(e) = std::fs::remove_file(&seg.path) {
+                    report
+                        .errors
+                        .push(format!("cannot remove {}: {e}", seg.path.display()));
+                    continue;
+                }
+            }
+            report.removed.push((seg, reason));
+        }
+        report
+    }
+
     /// Removes segments recorded for `program` under `machine_fp` whose
     /// module fingerprint differs from `keep_fp` (the source changed;
     /// those outcomes can never be replayed again). Best-effort: prune
@@ -232,6 +321,57 @@ impl CampaignStore {
                 let _ = std::fs::remove_file(&path);
             }
         }
+    }
+}
+
+/// One store segment (or a file posing as one) as seen by
+/// [`CampaignStore::segments`] / [`CampaignStore::gc`].
+#[derive(Debug, Clone)]
+pub struct SegmentInfo {
+    /// File path under the store root.
+    pub path: PathBuf,
+    /// On-disk size in bytes.
+    pub bytes: u64,
+    /// Program named by the header (`None` for orphans).
+    pub program: Option<String>,
+    /// Module fingerprint from the header (`None` for orphans).
+    pub module_fp: Option<u64>,
+    /// Machine fingerprint from the header (`None` for orphans).
+    pub machine_fp: Option<u64>,
+    /// Why this file is an orphan (`None` for intact segments).
+    pub note: Option<String>,
+}
+
+impl SegmentInfo {
+    fn orphan(path: PathBuf, bytes: u64, note: &str) -> SegmentInfo {
+        SegmentInfo {
+            path,
+            bytes,
+            program: None,
+            module_fp: None,
+            machine_fp: None,
+            note: Some(note.to_string()),
+        }
+    }
+}
+
+/// What a [`CampaignStore::gc`] sweep did (or, dry-run, would do).
+#[derive(Debug, Default)]
+pub struct GcReport {
+    /// Removed (or removable) segments with the reason each one went.
+    pub removed: Vec<(SegmentInfo, String)>,
+    /// Segments kept because their program is live.
+    pub kept: usize,
+    /// Whether this was a listing-only pass.
+    pub dry_run: bool,
+    /// Removal failures (sweep continued past them).
+    pub errors: Vec<String>,
+}
+
+impl GcReport {
+    /// Total bytes the removed segments occupied.
+    pub fn bytes_removed(&self) -> u64 {
+        self.removed.iter().map(|(s, _)| s.bytes).sum()
     }
 }
 
@@ -319,6 +459,28 @@ impl Orchestrator {
     /// *corruption* is not an error — it degrades to re-execution and
     /// is reported in [`IncrementalRun::store_errors`].
     pub fn run_spec(&self, spec: &CampaignSpec) -> Result<IncrementalRun, String> {
+        self.run_spec_with(spec, |spec, missing| self.dispatch(spec, missing))
+    }
+
+    /// [`Self::run_spec`] with a caller-supplied dispatcher for the
+    /// store misses: `dispatch` receives the spec and the sorted global
+    /// indices of the units the store could not replay, and must return
+    /// shard runs that together cover exactly those indices (each with
+    /// `total` equal to the full spec's unit count). `nfi-serve` passes
+    /// a dispatcher that stripes the misses over spawned `nfi campaign
+    /// exec --shard i/n` child processes; the default [`Self::run_spec`]
+    /// uses in-process worker threads. Replay, merge, and segment
+    /// persistence are identical either way — which is what makes a
+    /// served document byte-identical to an offline `campaign run`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run_spec`]; dispatcher errors propagate.
+    pub fn run_spec_with(
+        &self,
+        spec: &CampaignSpec,
+        dispatch: impl FnOnce(&CampaignSpec, &[usize]) -> Result<Vec<ShardRun>, String>,
+    ) -> Result<IncrementalRun, String> {
         let machine_fp = self.machine.fingerprint();
         let mut segment = self.store.load(spec.module_fp, machine_fp);
         let mut replayed = Vec::new();
@@ -372,7 +534,9 @@ impl Orchestrator {
         }];
         let executed = missing.len();
         if !missing.is_empty() {
-            runs.extend(self.dispatch(spec, &missing)?);
+            let mut indices: Vec<usize> = missing.iter().copied().collect();
+            indices.sort_unstable();
+            runs.extend(dispatch(spec, &indices)?);
         }
         let merged = service::merge(&runs)?;
         self.store.save(spec, machine_fp, &merged)?;
@@ -386,19 +550,14 @@ impl Orchestrator {
         })
     }
 
-    /// Stripes `missing` unit indices round-robin across the workers
-    /// and executes each stripe on its own in-process worker thread.
-    /// Every worker hands back an *encoded* shard document — the same
-    /// artifact a spawned `nfi campaign exec --shard` process would —
-    /// which the orchestrator decodes and merges, so swapping threads
-    /// for processes on a multi-core host changes no data flow.
-    fn dispatch(
-        &self,
-        spec: &CampaignSpec,
-        missing: &HashSet<usize>,
-    ) -> Result<Vec<ShardRun>, String> {
-        let mut indices: Vec<usize> = missing.iter().copied().collect();
-        indices.sort_unstable();
+    /// The default dispatcher: stripes the missing unit indices
+    /// round-robin across the workers and executes each stripe on its
+    /// own in-process worker thread. Every worker hands back an
+    /// *encoded* shard document — the same artifact the spawned
+    /// `nfi campaign exec --shard` processes of `nfi serve` hand back —
+    /// which the orchestrator decodes and merges, so the two worker
+    /// transports are interchangeable without any data-flow change.
+    fn dispatch(&self, spec: &CampaignSpec, indices: &[usize]) -> Result<Vec<ShardRun>, String> {
         let workers = self.workers.clamp(1, indices.len());
         let stripes: Vec<HashSet<usize>> = (0..workers)
             .map(|w| {
@@ -608,6 +767,93 @@ def test_add():
             .any(|e| e.contains("duplicate unit key")));
         assert_eq!(rerun.run.encode(), cold.run.encode());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_dead_programs_and_orphans_but_keeps_live_segments() {
+        let dir = state_dir("gc");
+        let orch = Orchestrator::new(&dir).unwrap();
+        orch.run_program("alive", SOURCE).unwrap();
+        // A different source, or the two programs would share one
+        // (module fp, machine fp) segment address.
+        let dead_source = format!("{SOURCE}dead_marker = 1\n");
+        orch.run_program("dead", &dead_source).unwrap();
+        // An orphan with no parseable header and a leftover temp file.
+        let store_root = dir.join("store");
+        std::fs::write(store_root.join("feedbeef.jsonl"), "not a header\n").unwrap();
+        std::fs::write(store_root.join("feedbeef.jsonl.tmp"), "half-written").unwrap();
+
+        let live: HashSet<&str> = ["alive"].into_iter().collect();
+        let dry = orch.store.gc(&live, true);
+        assert!(dry.dry_run);
+        assert_eq!(
+            dry.removed.len(),
+            3,
+            "dead + orphan + tmp: {:?}",
+            dry.removed
+        );
+        assert_eq!(dry.kept, 1);
+        assert!(dry.bytes_removed() > 0);
+        // Dry run removed nothing.
+        assert_eq!(orch.store.segments().len(), 4);
+
+        let swept = orch.store.gc(&live, false);
+        assert_eq!(swept.removed.len(), 3);
+        assert!(swept.errors.is_empty(), "{:?}", swept.errors);
+        assert!(swept
+            .removed
+            .iter()
+            .any(|(s, reason)| s.program.as_deref() == Some("dead")
+                && reason.contains("no longer present")));
+        let left = orch.store.segments();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].program.as_deref(), Some("alive"));
+        // The survivor still replays warm.
+        let warm = orch.run_program("alive", SOURCE).unwrap();
+        assert_eq!(warm.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_spec_with_accepts_an_external_dispatcher() {
+        let dir = state_dir("extdispatch");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let spec = service::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        // A dispatcher that executes the misses through a *subset spec*
+        // striped two ways — the exact artifact flow the serve daemon
+        // uses with spawned `nfi campaign exec --shard i/n` children.
+        let result = orch
+            .run_spec_with(&spec, |spec, missing| {
+                assert_eq!(missing.len(), spec.units.len(), "cold run misses all");
+                assert!(missing.windows(2).all(|w| w[0] < w[1]), "sorted");
+                let sub = spec.subset(missing);
+                let mut runs = Vec::new();
+                for index in 0..2 {
+                    let config =
+                        ExecConfig::sequential().sharded(nfi_sfi::Shard { index, count: 2 });
+                    let doc = service::exec_spec(&sub, &orch.machine, config)
+                        .unwrap()
+                        .encode();
+                    // Decoded from the wire document, total re-widened to
+                    // the full spec as the serve worker pool does.
+                    let mut run = ShardRun::decode(&doc).unwrap();
+                    run.total = spec.units.len();
+                    runs.push(run);
+                }
+                Ok(runs)
+            })
+            .unwrap();
+        assert_eq!(result.executed, result.units);
+        // Byte-identical to the plain in-process orchestrated run.
+        let plain_dir = state_dir("extdispatch-plain");
+        let plain = Orchestrator::new(&plain_dir).unwrap();
+        let direct = plain.run_program("demo", SOURCE).unwrap();
+        assert_eq!(result.run.encode(), direct.run.encode());
+        // And the segment it persisted replays fully warm.
+        let warm = orch.run_program("demo", SOURCE).unwrap();
+        assert_eq!(warm.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&plain_dir);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! A minimal blocking HTTP/1.1 client for exercising the daemon —
+//! used by the integration tests and `bench_serve`, not shipped as a
+//! public API promise. Speaks exactly the subset the server does:
+//! `Content-Length` bodies, keep-alive, no chunking.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).to_string()
+    }
+
+    /// First value of the named header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with a 30-second I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Reports connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("bad address: {e}"))?
+            .next()
+            .ok_or("address resolves to nothing")?;
+        let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures and malformed responses.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> Result<Reply, String> {
+        self.write_request(method, path, body)?;
+        self.read_reply()
+    }
+
+    /// Writes a request without reading the response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures.
+    pub fn write_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(), String> {
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: nfi\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer
+            .write_all(head.as_bytes())
+            .and_then(|()| self.writer.write_all(body))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))
+    }
+
+    /// Sends raw bytes verbatim (malformed-request tests).
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures.
+    pub fn write_raw(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.writer
+            .write_all(bytes)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))
+    }
+
+    /// Half-closes the write side (EOF-mid-request tests).
+    pub fn shutdown_write(&self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+    }
+
+    /// Reads one response off the connection.
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures and malformed responses.
+    pub fn read_reply(&mut self) -> Result<Reply, String> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("malformed status line `{}`", line.trim_end()));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| format!("malformed status `{status}`"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read failed: {e}"))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("body read failed: {e}"))?;
+        Ok(Reply {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot request on a fresh connection.
+///
+/// # Errors
+///
+/// Same contract as [`Client::send`].
+pub fn request_once(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<Reply, String> {
+    Client::connect(addr)?.send(method, path, body)
+}

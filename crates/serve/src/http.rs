@@ -1,0 +1,499 @@
+//! A hand-rolled HTTP/1.1 request/response codec over blocking I/O.
+//!
+//! The offline dependency set has no tokio/hyper, and the campaign API
+//! needs none of either: requests are small JSON/JSONL bodies, responses
+//! are documents the service already has in memory. This codec keeps
+//! the protocol surface deliberately tiny and *bounded*:
+//!
+//! * request line and each header line ≤ [`MAX_LINE`] bytes, at most
+//!   [`MAX_HEADERS`] headers — anything larger is answered `413` before
+//!   the server buffers unbounded attacker-controlled data;
+//! * bodies require `Content-Length` (chunked transfer is answered
+//!   `501`) and are capped by the caller-chosen limit, again `413`;
+//! * malformed syntax — a truncated request line, a header without a
+//!   colon, a body shorter than its declared length — is answered `400`
+//!   with a diagnostic naming what was wrong.
+//!
+//! Keep-alive follows HTTP/1.1 defaults: connections persist (and may
+//! pipeline requests) until the client sends `Connection: close`, the
+//! stream reaches EOF, or an error response closes it.
+
+use std::io::{BufRead, Read, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Default body cap (campaign specs for the corpus are ~100 KiB).
+pub const DEFAULT_MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method token (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request target with any query string stripped.
+    pub path: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively
+    /// against the lowercased stored names).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. Each protocol-level variant maps to
+/// the response the server must send before closing the connection;
+/// [`HttpError::Closed`] and [`HttpError::Io`] have no response — the
+/// peer is gone.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first byte of a request (keep-alive end).
+    Closed,
+    /// Malformed syntax — answered `400` with the diagnostic.
+    BadRequest(String),
+    /// A bound was exceeded — answered `413` with the diagnostic.
+    TooLarge(String),
+    /// A protocol feature this codec does not speak — answered `501`.
+    NotImplemented(String),
+    /// Transport failure mid-request.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The error response to send, when the peer is still there to
+    /// receive one. All error responses close the connection: after a
+    /// framing error the stream position is unknowable.
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::BadRequest(msg) => Some(Response::error(400, msg)),
+            HttpError::TooLarge(msg) => Some(Response::error(413, msg)),
+            HttpError::NotImplemented(msg) => Some(Response::error(501, msg)),
+        }
+    }
+}
+
+/// Reads one line (ending `\n`, optional `\r`) of at most `max` bytes.
+/// Returns `None` on immediate EOF.
+fn read_line(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut limited = reader.take(max as u64 + 1);
+    limited.read_until(b'\n', &mut buf).map_err(HttpError::Io)?;
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.len() > max {
+        return Err(HttpError::TooLarge(format!(
+            "line exceeds the {max}-byte limit"
+        )));
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(HttpError::BadRequest(
+            "truncated line: connection ended before the newline".to_string(),
+        ));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("line is not valid UTF-8".to_string()))
+}
+
+/// Reads one request from the connection. `max_body` bounds the body;
+/// the line/header bounds are the module constants.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on clean EOF before a request starts; the
+/// protocol variants (each carrying its diagnostic) otherwise.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    // Request line. A lone blank line between pipelined requests is
+    // tolerated (robustness; some clients send a stray CRLF).
+    let line = loop {
+        match read_line(reader, MAX_LINE)? {
+            None => return Err(HttpError::Closed),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{line}` (expected `METHOD TARGET HTTP/1.x`)"
+            )))
+        }
+    };
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!(
+            "malformed method token `{method}`"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target `{target}` is not an absolute path"
+        )));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, MAX_LINE)? {
+            None => {
+                return Err(HttpError::BadRequest(
+                    "connection ended inside the header block".to_string(),
+                ))
+            }
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header line `{line}` has no colon")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::NotImplemented(
+            "chunked transfer encoding is not supported; send Content-Length".to_string(),
+        ));
+    }
+
+    // Body.
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("Content-Length `{v}` is not a number")))?,
+    };
+    if length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut request = request;
+    if length > 0 {
+        request.body = vec![0u8; length];
+        reader.read_exact(&mut request.body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                HttpError::BadRequest(format!(
+                    "body ended before the declared Content-Length of {length} bytes"
+                ))
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+    Ok(request)
+}
+
+/// One response to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Allow` on 405).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether the server must close the connection after this
+    /// response regardless of what the client asked.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A JSONL (newline-delimited JSON) document response.
+    pub fn jsonl(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/x-ndjson",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An error response: JSON `{"error": ...}` carrying the
+    /// diagnostic, connection-closing for request-framing statuses.
+    pub fn error(status: u16, message: &str) -> Response {
+        let close = matches!(status, 400 | 413 | 431 | 501 | 503);
+        Response {
+            close,
+            ..Response::json(
+                status,
+                format!("{{\"error\":\"{}\"}}", nfi_sfi::jsontext::escape(message)),
+            )
+        }
+    }
+
+    /// `405 Method Not Allowed` naming the methods the path supports.
+    pub fn method_not_allowed(allow: &'static str, method: &str, path: &str) -> Response {
+        let mut resp = Response::error(
+            405,
+            &format!("method {method} is not supported on {path} (allow: {allow})"),
+        );
+        resp.extra_headers.push(("Allow", allow.to_string()));
+        resp
+    }
+
+    /// The standard reason phrase of this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response. `keep_alive` reflects what the
+    /// *connection* decided (client wishes and error policy combined);
+    /// the written `Connection` header is what actually happens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(if keep_alive && !self.close {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn parses_a_get_with_headers_and_query() {
+        let req =
+            parse(b"GET /v1/metrics?verbose=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_bare_lf_lines() {
+        let req = parse(b"POST /v1/campaigns HTTP/1.1\nContent-Length: 5\n\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_reads_as_closed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn truncated_request_line_is_bad_request() {
+        let err = parse(b"GET /v1/met").unwrap_err();
+        match err {
+            HttpError::BadRequest(msg) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_diagnosed() {
+        for (raw, needle) in [
+            (&b"GET\r\n\r\n"[..], "malformed request line"),
+            (b"GET /x HTTP/1.1 extra\r\n\r\n", "malformed request line"),
+            (b"get /x HTTP/1.1\r\n\r\n", "malformed method token"),
+            (b"GET x HTTP/1.1\r\n\r\n", "not an absolute path"),
+            (b"GET /x SPDY/3\r\n\r\n", "unsupported protocol version"),
+            (b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n", "no colon"),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+                "not a number",
+            ),
+        ] {
+            match parse(raw) {
+                Err(HttpError::BadRequest(msg)) => {
+                    assert!(msg.contains(needle), "`{msg}` missing `{needle}`")
+                }
+                other => panic!("{needle}: expected BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_too_large() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        match parse(raw.as_bytes()) {
+            Err(HttpError::TooLarge(msg)) => assert!(msg.contains("limit"), "{msg}"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_is_too_large() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(raw.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn declared_body_over_the_cap_is_too_large_before_reading_it() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&raw[..]), 10).unwrap_err();
+        match err {
+            HttpError::TooLarge(msg) => assert!(msg.contains("99 bytes"), "{msg}"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_shorter_than_declared_is_bad_request() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        match err {
+            HttpError::BadRequest(msg) => assert!(msg.contains("Content-Length"), "{msg}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_transfer_is_not_implemented() {
+        let err = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::NotImplemented(_)));
+        assert_eq!(err.response().unwrap().status, 501);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let a = read_request(&mut reader, DEFAULT_MAX_BODY).unwrap();
+        let b = read_request(&mut reader, DEFAULT_MAX_BODY).unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(matches!(
+            read_request(&mut reader, DEFAULT_MAX_BODY),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn error_responses_map_statuses_and_close() {
+        let bad = HttpError::BadRequest("x".into()).response().unwrap();
+        assert_eq!((bad.status, bad.close), (400, true));
+        let large = HttpError::TooLarge("x".into()).response().unwrap();
+        assert_eq!((large.status, large.close), (413, true));
+        assert!(HttpError::Closed.response().is_none());
+        assert!(HttpError::Io(std::io::Error::other("x"))
+            .response()
+            .is_none());
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_string())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::method_not_allowed("GET", "PATCH", "/v1/metrics")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET\r\n"));
+        assert!(
+            text.contains("Connection: keep-alive\r\n"),
+            "405 keeps the connection"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The campaign job table: every submission the daemon has accepted,
+//! its lifecycle state, and (once finished) its merged document.
+//!
+//! Jobs move `Queued → Running → Done | Failed`; the table is the one
+//! shared structure the HTTP handlers (submit/status/document) and the
+//! scheduler thread both touch, so everything lives behind one mutex
+//! and the lock is never held across planning or execution.
+
+use nfi_sfi::jsontext::escape;
+use nfi_sfi::CampaignSpec;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Most finished (done/failed) jobs retained, documents included.
+/// Beyond this the oldest finished jobs are dropped wholesale — their
+/// status and document answer 404 afterwards — which bounds a
+/// long-running daemon's memory; queued and running jobs are never
+/// dropped. Re-submitting a dropped campaign is cheap: its outcomes
+/// still replay from the on-disk store.
+pub const RETAINED_FINISHED_JOBS: usize = 256;
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for the scheduler.
+    Queued,
+    /// The scheduler is executing it.
+    Running,
+    /// Finished; the document is available.
+    Done,
+    /// Ended in an error (the diagnostic rides along).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Stable API key of this state.
+    pub fn key(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One accepted campaign job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Daemon-unique id (also the URL path component).
+    pub id: u64,
+    /// Program name from the spec.
+    pub program: String,
+    /// Units in the planned campaign.
+    pub units: usize,
+    /// Units replayed from the store (0 until finished).
+    pub replayed: usize,
+    /// Units executed by workers (0 until finished).
+    pub executed: usize,
+    /// Store-corruption warnings the run tolerated.
+    pub store_errors: usize,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// The merged outcome document, present once `Done` — byte-identical
+    /// to an offline `nfi campaign run` over the same state dir. Shared
+    /// behind an `Arc` so snapshots never copy document bytes under the
+    /// table lock.
+    pub document: Option<Arc<String>>,
+    /// The planned spec, present until the scheduler takes it.
+    spec: Option<CampaignSpec>,
+}
+
+impl Job {
+    /// Renders the status body of `GET /v1/campaigns/:id`.
+    pub fn render_status(&self) -> String {
+        let error = match &self.status {
+            JobStatus::Failed(msg) => format!("\"{}\"", escape(msg)),
+            _ => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"program\":\"{}\",\"status\":\"{}\",\"units\":{},\"replayed\":{},\"executed\":{},\"store_errors\":{},\"error\":{}}}",
+            self.id,
+            escape(&self.program),
+            self.status.key(),
+            self.units,
+            self.replayed,
+            self.executed,
+            self.store_errors,
+            error,
+        )
+    }
+}
+
+/// The shared job table.
+#[derive(Default)]
+pub struct JobTable {
+    inner: Mutex<Table>,
+}
+
+#[derive(Default)]
+struct Table {
+    jobs: HashMap<u64, Job>,
+    next_id: u64,
+}
+
+impl Table {
+    /// Drops the oldest finished jobs beyond
+    /// [`RETAINED_FINISHED_JOBS`]; queued/running jobs are untouched.
+    fn evict_finished(&mut self) {
+        let mut finished: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.status, JobStatus::Done | JobStatus::Failed(_)))
+            .map(|j| j.id)
+            .collect();
+        if finished.len() <= RETAINED_FINISHED_JOBS {
+            return;
+        }
+        finished.sort_unstable();
+        for id in &finished[..finished.len() - RETAINED_FINISHED_JOBS] {
+            self.jobs.remove(id);
+        }
+    }
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Accepts a planned spec as a new queued job, returning its id.
+    pub fn submit(&self, spec: CampaignSpec) -> u64 {
+        let mut table = self.lock();
+        table.next_id += 1;
+        let id = table.next_id;
+        table.jobs.insert(
+            id,
+            Job {
+                id,
+                program: spec.program.clone(),
+                units: spec.units.len(),
+                replayed: 0,
+                executed: 0,
+                store_errors: 0,
+                status: JobStatus::Queued,
+                document: None,
+                spec: Some(spec),
+            },
+        );
+        id
+    }
+
+    /// Snapshot of one job (handlers render from the copy, outside the
+    /// lock). The copy is cheap by construction: the document is an
+    /// `Arc` bump and the pending spec — the other potentially large
+    /// payload — is omitted (only the scheduler's [`Self::start`] may
+    /// take it).
+    pub fn get(&self, id: u64) -> Option<Job> {
+        self.lock().jobs.get(&id).map(|job| Job {
+            program: job.program.clone(),
+            status: job.status.clone(),
+            document: job.document.clone(),
+            spec: None,
+            ..*job
+        })
+    }
+
+    /// The rendered status body of one job — built under the lock, so
+    /// a status poll never deep-copies a finished job's document.
+    pub fn status_json(&self, id: u64) -> Option<String> {
+        self.lock().jobs.get(&id).map(Job::render_status)
+    }
+
+    /// Marks the job running and hands its spec to the scheduler.
+    /// Returns `None` if the id is unknown or the spec was already
+    /// taken (a second scheduler would be a bug — the queue hands each
+    /// id out once).
+    pub fn start(&self, id: u64) -> Option<CampaignSpec> {
+        let mut table = self.lock();
+        let job = table.jobs.get_mut(&id)?;
+        let spec = job.spec.take()?;
+        job.status = JobStatus::Running;
+        Some(spec)
+    }
+
+    /// Records a finished run.
+    pub fn finish(
+        &self,
+        id: u64,
+        replayed: usize,
+        executed: usize,
+        store_errors: usize,
+        document: String,
+    ) {
+        let mut table = self.lock();
+        if let Some(job) = table.jobs.get_mut(&id) {
+            job.replayed = replayed;
+            job.executed = executed;
+            job.store_errors = store_errors;
+            job.document = Some(Arc::new(document));
+            job.status = JobStatus::Done;
+        }
+        table.evict_finished();
+    }
+
+    /// Records a failed run.
+    pub fn fail(&self, id: u64, message: String) {
+        let mut table = self.lock();
+        if let Some(job) = table.jobs.get_mut(&id) {
+            job.status = JobStatus::Failed(message);
+        }
+        table.evict_finished();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Table> {
+        // A poisoned table means a handler panicked mid-update; the
+        // data is still a consistent map of jobs, so serving beats
+        // taking the whole daemon down.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        let module =
+            nfi_pylite::parse("def f():\n    return 1\ndef test_f():\n    assert f() == 1\n")
+                .unwrap();
+        let campaign = nfi_sfi::Campaign::full(&module);
+        CampaignSpec::from_campaign("demo", &campaign, 7)
+    }
+
+    #[test]
+    fn jobs_progress_queued_running_done() {
+        let table = JobTable::new();
+        let id = table.submit(spec());
+        assert_eq!(table.get(id).unwrap().status, JobStatus::Queued);
+        let taken = table.start(id).expect("spec available");
+        assert_eq!(taken.program, "demo");
+        assert_eq!(table.get(id).unwrap().status, JobStatus::Running);
+        assert!(table.start(id).is_none(), "spec is handed out once");
+        table.finish(id, 3, 2, 0, "doc\n".to_string());
+        let job = table.get(id).unwrap();
+        assert_eq!(job.status, JobStatus::Done);
+        assert_eq!((job.replayed, job.executed), (3, 2));
+        assert_eq!(job.document.unwrap().as_str(), "doc\n");
+    }
+
+    #[test]
+    fn ids_are_unique_and_unknown_ids_are_none() {
+        let table = JobTable::new();
+        let a = table.submit(spec());
+        let b = table.submit(spec());
+        assert_ne!(a, b);
+        assert!(table.get(999).is_none());
+        assert!(table.start(999).is_none());
+    }
+
+    #[test]
+    fn finished_jobs_beyond_the_retention_cap_are_dropped_oldest_first() {
+        let table = JobTable::new();
+        // One job stays running the whole time: never evicted.
+        let running = table.submit(spec());
+        table.start(running);
+        let mut finished_ids = Vec::new();
+        for _ in 0..RETAINED_FINISHED_JOBS + 5 {
+            let id = table.submit(spec());
+            table.start(id);
+            table.finish(id, 0, 1, 0, "doc\n".to_string());
+            finished_ids.push(id);
+        }
+        for dropped in &finished_ids[..5] {
+            assert!(
+                table.get(*dropped).is_none(),
+                "job {dropped} should be gone"
+            );
+            assert!(table.status_json(*dropped).is_none());
+        }
+        for kept in &finished_ids[5..] {
+            assert!(table.get(*kept).is_some(), "job {kept} should be retained");
+        }
+        assert_eq!(
+            table.get(running).unwrap().status,
+            JobStatus::Running,
+            "running jobs are never evicted"
+        );
+    }
+
+    #[test]
+    fn status_renders_error_only_when_failed() {
+        let table = JobTable::new();
+        let id = table.submit(spec());
+        assert!(table
+            .get(id)
+            .unwrap()
+            .render_status()
+            .contains("\"error\":null"));
+        table.fail(id, "boom \"quoted\"".to_string());
+        let rendered = table.get(id).unwrap().render_status();
+        assert!(rendered.contains("\"status\":\"failed\""));
+        assert!(rendered.contains("boom \\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,369 @@
+//! # nfi-serve — fault injection as a service
+//!
+//! The long-running front end over the campaign machinery: a
+//! dependency-free HTTP/1.1 daemon (`nfi serve`) that accepts campaign
+//! jobs, executes them through the incremental store with **spawned
+//! `nfi campaign exec --shard i/n` child processes** as workers, and
+//! serves back merged outcome documents that are byte-identical to an
+//! offline `nfi campaign run --state-dir` over the same state dir.
+//!
+//! ```text
+//!           POST /v1/campaigns          GET /v1/campaigns/:id[/document]
+//!                 │                                   ▲
+//!   ┌─────────────▼───────────────────────────────────┴──┐
+//!   │ accept loop → per-connection threads → router      │
+//!   │        [`jobs::JobTable`]    [`queue::JobQueue`]   │
+//!   └───────────────────────┬────────────────────────────┘
+//!                 scheduler thread (one; jobs run FIFO)
+//!                           │ replay hits from nfi_core::store
+//!                           ▼
+//!        [`worker::WorkerPool`] ── spawns ──▶ nfi campaign exec --shard 0/n
+//!                           │                 nfi campaign exec --shard 1/n ...
+//!                           ▼
+//!          merge → persist segment → document in the job table
+//! ```
+//!
+//! Module map: [`http`] (bounded request/response codec), [`router`]
+//! (API handlers), [`jobs`] (job table), [`queue`] (FIFO + condvar),
+//! [`worker`] (process-level worker pool), [`client`] (test client).
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod router;
+pub mod worker;
+
+use jobs::JobTable;
+use nfi_core::{CampaignStore, Orchestrator, QueueStats, RuntimeSnapshot, StoreTotals};
+use queue::JobQueue;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use worker::{WorkerMode, WorkerPool};
+
+/// Most concurrent connections before the daemon answers `503`.
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Incremental-store state directory (shared with offline runs).
+    pub state_dir: PathBuf,
+    /// Workers per job (child processes, or threads in-process).
+    pub workers: usize,
+    /// How store misses execute.
+    pub mode: WorkerMode,
+    /// Request-body cap in bytes.
+    pub max_body: usize,
+    /// Default scheduler seed for submissions that don't name one.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Defaults: one worker, in-process mode (callers that can spawn
+    /// should set [`WorkerMode::current_exe`]), the codec's body cap.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            state_dir: state_dir.into(),
+            workers: 1,
+            mode: WorkerMode::InProcess,
+            max_body: http::DEFAULT_MAX_BODY,
+            seed: nfi_pylite::MachineConfig::default().seed,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    running: AtomicUsize,
+    units: AtomicU64,
+    replayed: AtomicU64,
+    executed: AtomicU64,
+    connections: AtomicUsize,
+}
+
+/// Everything the handler threads and the scheduler share.
+pub struct ServerState {
+    /// Daemon configuration.
+    pub config: ServeConfig,
+    /// The job table.
+    pub jobs: JobTable,
+    /// The job queue.
+    pub queue: JobQueue,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(config: ServeConfig) -> ServerState {
+        ServerState {
+            config,
+            jobs: JobTable::new(),
+            queue: JobQueue::new(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Records an accepted submission (the router calls this).
+    pub fn note_submitted(&self) {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `GET /v1/metrics` document: process-wide cache counters plus
+    /// this daemon's queue gauges and store totals.
+    pub fn metrics_json(&self) -> String {
+        let c = &self.counters;
+        let queue = QueueStats {
+            depth: self.queue.depth(),
+            running: c.running.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+        };
+        let store = StoreTotals {
+            units: c.units.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+            executed: c.executed.load(Ordering::Relaxed),
+        };
+        RuntimeSnapshot::capture(queue, store).render_json()
+    }
+}
+
+/// A bound daemon, not yet serving.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` and opens (creating if needed) the state dir, so
+    /// both failure modes surface before the daemon reports ready.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unbindable address or an uncreatable state dir.
+    pub fn bind(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        config: ServeConfig,
+    ) -> Result<Server, String> {
+        CampaignStore::open(&config.state_dir)?;
+        let listener =
+            TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState::new(config)),
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Reports a socket whose address cannot be read back.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))
+    }
+
+    /// Shared state (metrics, direct job inspection in tests).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shut down: starts the scheduler thread, then
+    /// accepts connections, one handler thread each.
+    ///
+    /// # Errors
+    ///
+    /// Reports accept-loop setup failures.
+    pub fn run(self) -> Result<(), String> {
+        let scheduler = {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("nfi-serve-scheduler".into())
+                .spawn(move || scheduler_loop(&state))
+                .map_err(|e| format!("cannot start scheduler: {e}"))?
+        };
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Accept failures (EMFILE under fd pressure, transient
+                // resets) repeat instantly; back off instead of
+                // busy-spinning the 1-core host.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            };
+            let state = Arc::clone(&self.state);
+            if state.counters.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                let mut stream = stream;
+                let _ = http::Response::error(503, "connection limit reached")
+                    .write_to(&mut stream, false);
+                state.counters.connections.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let spawned = std::thread::Builder::new()
+                .name("nfi-serve-conn".into())
+                .spawn(move || {
+                    handle_connection(&state, stream);
+                    state.counters.connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            if spawned.is_err() {
+                self.state
+                    .counters
+                    .connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        // Drain: no new pushes, scheduler finishes accepted jobs.
+        self.state.queue.shutdown();
+        let _ = scheduler.join();
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread, returning a handle to
+    /// its address and state (tests and benches).
+    ///
+    /// # Errors
+    ///
+    /// Reports the same setup failures as [`Server::run`].
+    pub fn spawn(self) -> Result<ServeHandle, String> {
+        let addr = self.local_addr()?;
+        let state = self.state();
+        let thread = std::thread::Builder::new()
+            .name("nfi-serve-accept".into())
+            .spawn(move || self.run())
+            .map_err(|e| format!("cannot start server thread: {e}"))?;
+        Ok(ServeHandle {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A running background daemon ([`Server::spawn`]).
+pub struct ServeHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: Option<std::thread::JoinHandle<Result<(), String>>>,
+}
+
+impl ServeHandle {
+    /// Shared state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops the daemon: the queue drains its accepted jobs, the accept
+    /// loop is woken and exits, and the serving thread is joined.
+    pub fn stop(mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.shutdown();
+        // Wake the blocking accept call.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The scheduler: pops job ids FIFO, runs each through the worker pool
+/// and the shared incremental store, records the outcome.
+fn scheduler_loop(state: &ServerState) {
+    let pool = WorkerPool {
+        mode: state.config.mode.clone(),
+        workers: state.config.workers,
+        work_dir: state.config.state_dir.join("tmp"),
+    };
+    let orch = Orchestrator::new(&state.config.state_dir).map(|orch| Orchestrator {
+        workers: state.config.workers,
+        seed: state.config.seed,
+        ..orch
+    });
+    while let Some(id) = state.queue.pop() {
+        let Some(spec) = state.jobs.start(id) else {
+            continue;
+        };
+        let c = &state.counters;
+        c.running.fetch_add(1, Ordering::Relaxed);
+        let result = orch
+            .as_ref()
+            .map_err(Clone::clone)
+            .and_then(|orch| pool.run_job(orch, id, &spec));
+        match result {
+            Ok(run) => {
+                c.completed.fetch_add(1, Ordering::Relaxed);
+                c.units.fetch_add(run.units as u64, Ordering::Relaxed);
+                c.replayed.fetch_add(run.replayed as u64, Ordering::Relaxed);
+                c.executed.fetch_add(run.executed as u64, Ordering::Relaxed);
+                state.jobs.finish(
+                    id,
+                    run.replayed,
+                    run.executed,
+                    run.store_errors.len(),
+                    run.run.encode(),
+                );
+            }
+            Err(message) => {
+                c.failed.fetch_add(1, Ordering::Relaxed);
+                state.jobs.fail(id, message);
+            }
+        }
+        c.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection: read request, route, respond, repeat until
+/// the client closes, asks to close, errors, or idles out.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Idle keep-alive connections release their thread after 30s.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = writer;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, state.config.max_body) {
+            Ok(request) => {
+                let response = router::handle(state, &request);
+                let keep_alive = !request.wants_close() && !response.close;
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(response) = error.response() {
+                    let _ = response.write_to(&mut writer, false);
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal blocking FIFO job queue (mutex + condvar).
+//!
+//! The daemon runs one scheduler thread, so the queue doubles as the
+//! serialization point for state-dir writes: jobs execute strictly in
+//! submission order and two jobs can never race on the same store
+//! segment. Parallelism lives *inside* a job — the worker pool stripes
+//! its store misses over child processes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The shared FIFO of queued job ids.
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<u64>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> JobQueue {
+        JobQueue::default()
+    }
+
+    /// Enqueues a job id. Returns `false` (dropping the id) after
+    /// shutdown.
+    pub fn push(&self, id: u64) -> bool {
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return false;
+        }
+        inner.queue.push_back(id);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a job id is available (`Some`) or the queue is shut
+    /// down (`None`). Pending ids drain before `None` is reported, so a
+    /// graceful shutdown finishes accepted work.
+    pub fn pop(&self) -> Option<u64> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                return Some(id);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Stops accepting pushes and wakes every blocked `pop`.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = JobQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(JobQueue::new());
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(q.push(7));
+        assert_eq!(popper.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn shutdown_drains_pending_then_reports_none() {
+        let q = JobQueue::new();
+        q.push(1);
+        q.shutdown();
+        assert!(!q.push(2), "pushes rejected after shutdown");
+        assert_eq!(q.pop(), Some(1), "pending work drains first");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shutdown_wakes_a_blocked_pop() {
+        let q = Arc::new(JobQueue::new());
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

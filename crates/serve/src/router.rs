@@ -1,0 +1,178 @@
+//! Routing and handlers of the campaign job API.
+//!
+//! ```text
+//! POST /v1/campaigns               submit a job (source or CampaignSpec)
+//! GET  /v1/campaigns/:id           job status + counters
+//! GET  /v1/campaigns/:id/document  merged outcome JSONL (when done)
+//! GET  /v1/metrics                 cache / store / queue snapshot
+//! GET  /healthz                    liveness probe
+//! ```
+//!
+//! Handlers never block on campaign work: submit plans the campaign
+//! (cheap — parse + operator enumeration), enqueues, and returns `202`;
+//! execution happens on the scheduler thread, and the document endpoint
+//! answers `409` until it lands.
+
+use crate::http::{Request, Response};
+use crate::jobs::JobStatus;
+use crate::ServerState;
+use nfi_sfi::jsontext::{escape, get_opt_str, get_opt_u64, get_str, parse_flat_object};
+use nfi_sfi::CampaignSpec;
+
+/// Dispatches one request to its handler.
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    let path = req.path.as_str();
+    match path {
+        "/healthz" => match req.method.as_str() {
+            "GET" => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+            _ => Response::method_not_allowed("GET", &req.method, path),
+        },
+        "/v1/metrics" => match req.method.as_str() {
+            "GET" => Response::json(200, state.metrics_json()),
+            _ => Response::method_not_allowed("GET", &req.method, path),
+        },
+        "/v1/campaigns" => match req.method.as_str() {
+            "POST" => submit(state, &req.body),
+            _ => Response::method_not_allowed("POST", &req.method, path),
+        },
+        _ => match path.strip_prefix("/v1/campaigns/") {
+            Some(rest) => campaign_route(state, req, rest),
+            None => Response::error(404, &format!("no route for {path}")),
+        },
+    }
+}
+
+/// Routes `/v1/campaigns/:id[/document]`.
+fn campaign_route(state: &ServerState, req: &Request, rest: &str) -> Response {
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("campaign id `{id_text}` is not a number"));
+    };
+    match (req.method.as_str(), tail) {
+        ("GET", None) => status(state, id),
+        ("GET", Some("document")) => document(state, id),
+        (_, None) => Response::method_not_allowed("GET", &req.method, &req.path),
+        (_, Some("document")) => Response::method_not_allowed("GET", &req.method, &req.path),
+        (_, Some(other)) => Response::error(
+            404,
+            &format!("no route for campaign sub-resource `{other}`"),
+        ),
+    }
+}
+
+/// `POST /v1/campaigns`: plan and enqueue.
+fn submit(state: &ServerState, body: &[u8]) -> Response {
+    let spec = match parse_submission(body, state.config.seed) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let program = spec.program.clone();
+    let units = spec.units.len();
+    let id = state.jobs.submit(spec);
+    state.note_submitted();
+    if !state.queue.push(id) {
+        state.jobs.fail(id, "daemon is shutting down".to_string());
+        return Response::error(503, "daemon is shutting down");
+    }
+    Response::json(
+        202,
+        format!(
+            "{{\"id\":{id},\"program\":\"{}\",\"status\":\"queued\",\"units\":{units}}}",
+            escape(&program),
+        ),
+    )
+}
+
+/// Decodes a submission body into a planned spec. Two accepted shapes:
+///
+/// * a full `campaign_spec` JSONL document (what `nfi campaign plan`
+///   emits) — used verbatim after validating that its source still
+///   parses to the recorded fingerprint;
+/// * a flat submit object `{"program": name}` (a corpus program) or
+///   `{"program": name, "source": "..."}` with an optional `"seed"` —
+///   planned here under `default_seed` (the daemon's `--seed`) when the
+///   body names none, so serve and `nfi campaign run --seed` stay
+///   byte-identical on the same state dir.
+///
+/// # Errors
+///
+/// Returns the parse diagnostic the 400 response carries.
+fn parse_submission(body: &[u8], default_seed: u64) -> Result<CampaignSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(
+            "empty body: send {\"program\":...} or a campaign_spec JSONL document".to_string(),
+        );
+    }
+    if trimmed
+        .lines()
+        .next()
+        .is_some_and(|l| l.contains("\"kind\":\"campaign_spec\""))
+    {
+        let spec =
+            CampaignSpec::decode(trimmed).map_err(|e| format!("campaign_spec document: {e}"))?;
+        let module = nfi_pylite::parse(&spec.source)
+            .map_err(|e| format!("campaign_spec source does not parse: {e}"))?;
+        if nfi_pylite::fingerprint(&module) != spec.module_fp {
+            return Err(format!(
+                "campaign_spec fingerprint mismatch for {}: the spec was planned from \
+                 different source",
+                spec.program
+            ));
+        }
+        return Ok(spec);
+    }
+    let fields = parse_flat_object(trimmed).map_err(|e| {
+        format!(
+            "submit object: {e} (send {{\"program\":name[,\"source\":...,\"seed\":n]}} \
+             or a campaign_spec JSONL document)"
+        )
+    })?;
+    let program = get_str(&fields, "program")?;
+    let source = match get_opt_str(&fields, "source")? {
+        Some(source) => source,
+        None => nfi_corpus::by_name(&program)
+            .ok_or_else(|| format!("unknown corpus program `{program}` and no \"source\" given"))?
+            .source
+            .to_string(),
+    };
+    let seed = get_opt_u64(&fields, "seed")?.unwrap_or(default_seed);
+    nfi_core::plan_campaign(&program, &source, seed)
+}
+
+/// `GET /v1/campaigns/:id`.
+fn status(state: &ServerState, id: u64) -> Response {
+    match state.jobs.status_json(id) {
+        Some(rendered) => Response::json(200, rendered),
+        None => Response::error(404, &format!("no campaign job {id}")),
+    }
+}
+
+/// `GET /v1/campaigns/:id/document`.
+fn document(state: &ServerState, id: u64) -> Response {
+    let Some(job) = state.jobs.get(id) else {
+        return Response::error(404, &format!("no campaign job {id}"));
+    };
+    match &job.status {
+        // The body copy out of the shared Arc happens here, outside
+        // the job-table lock.
+        JobStatus::Done => Response::jsonl(
+            200,
+            job.document
+                .map(|d| d.as_str().to_string())
+                .unwrap_or_default(),
+        ),
+        JobStatus::Failed(msg) => Response::error(409, &format!("job {id} failed: {msg}")),
+        other => Response::error(
+            409,
+            &format!(
+                "job {id} is {}; poll /v1/campaigns/{id} until done",
+                other.key()
+            ),
+        ),
+    }
+}

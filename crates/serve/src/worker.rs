@@ -1,0 +1,227 @@
+//! The worker pool: executes a job's store misses, either by spawning
+//! `nfi campaign exec --shard i/n` child processes (the daemon's mode)
+//! or in-process (tests and single-binary fallback).
+//!
+//! Process workers are the transport PR 3 left open: the orchestrator
+//! already exchanged *encoded shard documents* with its in-process
+//! workers, so promoting them to child processes only changes how the
+//! bytes move — the spec subset travels as a plan file, each child
+//! writes its shard document to a file, the pool decodes and hands the
+//! runs back to [`nfi_core::Orchestrator::run_spec_with`] for the same
+//! merge-and-persist path an offline `nfi campaign run` takes. That
+//! shared tail is what makes a served document byte-identical to the
+//! offline one.
+
+use nfi_core::service::ShardRun;
+use nfi_core::{IncrementalRun, Orchestrator};
+use nfi_sfi::CampaignSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// How store misses execute.
+#[derive(Debug, Clone)]
+pub enum WorkerMode {
+    /// In-process worker threads (what `nfi campaign run` does).
+    InProcess,
+    /// Spawned `nfi campaign exec` child processes at the given binary.
+    Spawn {
+        /// Path of the `nfi` binary to spawn.
+        nfi: PathBuf,
+    },
+}
+
+impl WorkerMode {
+    /// Spawn mode pointing at the currently running binary — the
+    /// daemon's default, since `nfi serve` *is* the `nfi` binary.
+    ///
+    /// # Errors
+    ///
+    /// Reports a platform that cannot resolve its own executable path.
+    pub fn current_exe() -> Result<WorkerMode, String> {
+        std::env::current_exe()
+            .map(|nfi| WorkerMode::Spawn { nfi })
+            .map_err(|e| format!("cannot resolve the running binary: {e}"))
+    }
+}
+
+/// A pool of `workers` execution slots over a scratch directory for
+/// plan/shard-document exchange files.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Execution mode.
+    pub mode: WorkerMode,
+    /// Worker count (child processes or threads) per job.
+    pub workers: usize,
+    /// Scratch directory for the exchange files of spawned workers.
+    pub work_dir: PathBuf,
+}
+
+impl WorkerPool {
+    /// Runs one planned job through `orch` incrementally: replay from
+    /// the store, execute the misses on this pool's workers, merge,
+    /// persist the segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator and worker failures.
+    pub fn run_job(
+        &self,
+        orch: &Orchestrator,
+        job_id: u64,
+        spec: &CampaignSpec,
+    ) -> Result<IncrementalRun, String> {
+        match &self.mode {
+            WorkerMode::InProcess => orch.run_spec(spec),
+            WorkerMode::Spawn { nfi } => orch.run_spec_with(spec, |spec, missing| {
+                self.spawn_dispatch(nfi, job_id, spec, missing)
+            }),
+        }
+    }
+
+    /// Stripes `missing` over spawned `nfi campaign exec --shard i/n`
+    /// children: the miss subset is written once as a self-contained
+    /// plan file (units keep their global indices), every child
+    /// executes one stride of it and writes its shard document, and the
+    /// decoded documents come back re-widened to the full spec's unit
+    /// count so they merge with the replayed run.
+    fn spawn_dispatch(
+        &self,
+        nfi: &Path,
+        job_id: u64,
+        spec: &CampaignSpec,
+        missing: &[usize],
+    ) -> Result<Vec<ShardRun>, String> {
+        std::fs::create_dir_all(&self.work_dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.work_dir.display()))?;
+        let plan_path = self.work_dir.join(format!("job-{job_id}.plan.jsonl"));
+        std::fs::write(&plan_path, spec.subset(missing).encode())
+            .map_err(|e| format!("cannot write {}: {e}", plan_path.display()))?;
+        let workers = self.workers.clamp(1, missing.len());
+
+        let mut children = Vec::new();
+        let mut failures = Vec::new();
+        for index in 0..workers {
+            let out_path = self
+                .work_dir
+                .join(format!("job-{job_id}.shard-{index}-{workers}.jsonl"));
+            // One engine thread per child: the parallelism lives in the
+            // process fan-out, not nested thread pools.
+            let spawned = Command::new(nfi)
+                .args(["campaign", "exec", "--threads", "1", "--shard"])
+                .arg(format!("{index}/{workers}"))
+                .arg("--plan")
+                .arg(&plan_path)
+                .arg("--out")
+                .arg(&out_path)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .spawn();
+            match spawned {
+                Ok(child) => children.push((index, out_path, child)),
+                Err(e) => failures.push(format!(
+                    "cannot spawn worker {index}/{workers} ({}): {e}",
+                    nfi.display()
+                )),
+            }
+        }
+
+        let mut runs = Vec::new();
+        for (index, out_path, child) in children {
+            let worker = format!("worker {index}/{workers}");
+            match child.wait_with_output() {
+                Err(e) => failures.push(format!("{worker} did not exit cleanly: {e}")),
+                Ok(output) if !output.status.success() => {
+                    let stderr = String::from_utf8_lossy(&output.stderr);
+                    failures.push(format!(
+                        "{worker} exited with {}: {}",
+                        output.status,
+                        stderr.lines().next_back().unwrap_or("(no diagnostics)"),
+                    ));
+                }
+                Ok(_) => match std::fs::read_to_string(&out_path)
+                    .map_err(|e| format!("cannot read {}: {e}", out_path.display()))
+                    .and_then(|doc| ShardRun::decode(&doc).map_err(|e| format!("document: {e}")))
+                {
+                    Ok(mut run) => {
+                        // The child saw only the miss subset; re-widen
+                        // its coverage denominator to the full spec so
+                        // the runs merge with the replayed outcomes.
+                        run.total = spec.units.len();
+                        runs.push(run);
+                    }
+                    Err(e) => failures.push(format!("{worker} {e}")),
+                },
+            }
+            let _ = std::fs::remove_file(&out_path);
+        }
+        let _ = std::fs::remove_file(&plan_path);
+        if !failures.is_empty() {
+            return Err(failures.join("; "));
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "\
+def add(a, b):
+    return a + b
+def test_add():
+    assert add(1, 2) == 3
+";
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nfi-worker-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_process_pool_matches_the_plain_orchestrator() {
+        let dir = scratch("inproc");
+        let pool = WorkerPool {
+            mode: WorkerMode::InProcess,
+            workers: 2,
+            work_dir: dir.join("tmp"),
+        };
+        let orch = Orchestrator {
+            workers: 2,
+            ..Orchestrator::new(&dir).unwrap()
+        };
+        let spec = nfi_core::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        let served = pool.run_job(&orch, 1, &spec).unwrap();
+
+        let plain_dir = scratch("inproc-plain");
+        let plain = Orchestrator::new(&plain_dir).unwrap();
+        let direct = plain.run_program("demo", SOURCE).unwrap();
+        assert_eq!(served.run.encode(), direct.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&plain_dir);
+    }
+
+    #[test]
+    fn unspawnable_worker_binary_reports_not_panics() {
+        let dir = scratch("nobin");
+        let pool = WorkerPool {
+            mode: WorkerMode::Spawn {
+                nfi: dir.join("no-such-binary"),
+            },
+            workers: 2,
+            work_dir: dir.join("tmp"),
+        };
+        let orch = Orchestrator::new(&dir).unwrap();
+        let spec = nfi_core::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        let err = pool.run_job(&orch, 1, &spec).unwrap_err();
+        assert!(err.contains("cannot spawn worker"), "{err}");
+        // Nothing half-finished was persisted: a later in-process run
+        // over the same state dir is a full cold run.
+        let followup = Orchestrator::new(&dir).unwrap().run_spec(&spec).unwrap();
+        assert_eq!(followup.executed, followup.units);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,386 @@
+//! End-to-end daemon tests over a real loopback socket: submit, poll,
+//! fetch, metrics, and the HTTP edge cases the codec must survive.
+//!
+//! These run the worker pool in-process (this test binary cannot spawn
+//! `nfi campaign exec`); the process-worker path is exercised by the
+//! workspace-level `tests/serve_e2e.rs`, which has the real binary.
+
+use nfi_serve::client::{request_once, Client};
+use nfi_serve::worker::WorkerMode;
+use nfi_serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SOURCE: &str = "\
+def double(x):
+    return x * 2
+def test_double():
+    assert double(2) == 4
+";
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfi-daemon-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(tag: &str) -> (nfi_serve::ServeHandle, PathBuf) {
+    let dir = state_dir(tag);
+    let config = ServeConfig {
+        workers: 2,
+        mode: WorkerMode::InProcess,
+        ..ServeConfig::new(&dir)
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    (server.spawn().expect("spawn"), dir)
+}
+
+/// Polls a job until done/failed, returning its final status body.
+fn await_job(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = request_once(addr, "GET", &format!("/v1/campaigns/{id}"), None).unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let text = reply.text();
+        if text.contains("\"status\":\"done\"") || text.contains("\"status\":\"failed\"") {
+            return text;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished: {text}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let reply = request_once(addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let text = reply.text();
+    let id = text
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|t| t.split([',', '}']).next())
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("no id in {text}"));
+    assert!(text.contains("\"status\":\"queued\""));
+    id
+}
+
+#[test]
+fn submitted_source_serves_a_document_identical_to_an_offline_run() {
+    let (handle, dir) = start("parity");
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+    let id = submit(addr, &body);
+    let status = await_job(addr, id);
+    assert!(status.contains("\"status\":\"done\""), "{status}");
+    assert!(status.contains("\"error\":null"));
+    let doc = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+    assert_eq!(doc.status, 200);
+    assert_eq!(doc.header("content-type"), Some("application/x-ndjson"));
+
+    // Byte-identical to an offline orchestrated run on a fresh state
+    // dir (the daemon's dir already has the segment; a fresh one proves
+    // from-scratch equality, not just replay equality).
+    let offline_dir = state_dir("parity-offline");
+    let orch = nfi_core::Orchestrator::new(&offline_dir).unwrap();
+    let offline = orch.run_program("demo", SOURCE).unwrap();
+    assert_eq!(doc.text(), offline.run.encode());
+
+    // A resubmission is warm: everything replays from the store.
+    let id2 = submit(addr, &body);
+    let status2 = await_job(addr, id2);
+    assert!(status2.contains("\"executed\":0"), "{status2}");
+    let doc2 = request_once(addr, "GET", &format!("/v1/campaigns/{id2}/document"), None).unwrap();
+    assert_eq!(doc2.body, doc.body, "warm document must be byte-identical");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&offline_dir);
+}
+
+#[test]
+fn daemon_seed_applies_to_submissions_that_name_none() {
+    let dir = state_dir("seed");
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::InProcess,
+        seed: 99,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    let escaped = nfi_sfi::jsontext::escape(SOURCE);
+    let id = submit(
+        addr,
+        &format!("{{\"program\":\"demo\",\"source\":\"{escaped}\"}}"),
+    );
+    await_job(addr, id);
+    let served = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+
+    // Byte-identical to an offline run under the same --seed...
+    let offline_dir = state_dir("seed-offline");
+    let orch = nfi_core::Orchestrator {
+        seed: 99,
+        ..nfi_core::Orchestrator::new(&offline_dir).unwrap()
+    };
+    let offline = orch.run_program("demo", SOURCE).unwrap();
+    assert_eq!(served.text(), offline.run.encode());
+
+    // ...and an explicit per-submission seed still wins.
+    let id2 = submit(
+        addr,
+        &format!("{{\"program\":\"demo\",\"source\":\"{escaped}\",\"seed\":7}}"),
+    );
+    await_job(addr, id2);
+    let served7 =
+        request_once(addr, "GET", &format!("/v1/campaigns/{id2}/document"), None).unwrap();
+    let offline7_dir = state_dir("seed7-offline");
+    let orch7 = nfi_core::Orchestrator {
+        seed: 7,
+        ..nfi_core::Orchestrator::new(&offline7_dir).unwrap()
+    };
+    let offline7 = orch7.run_program("demo", SOURCE).unwrap();
+    assert_eq!(served7.text(), offline7.run.encode());
+
+    handle.stop();
+    for d in [&dir, &offline_dir, &offline7_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn planned_spec_documents_submit_as_is() {
+    let (handle, dir) = start("spec");
+    let addr = handle.addr;
+    let spec = nfi_core::plan_campaign("demo", SOURCE, 7).unwrap();
+    let id = submit(addr, &spec.encode());
+    let status = await_job(addr, id);
+    assert!(status.contains("\"status\":\"done\""), "{status}");
+
+    // A tampered fingerprint is rejected at submit time with a
+    // diagnostic, not accepted and failed later.
+    let mut tampered = spec.clone();
+    tampered.module_fp ^= 1;
+    let bad = tampered.encode();
+    let reply = request_once(addr, "POST", "/v1/campaigns", Some(bad.as_bytes())).unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.text());
+    assert!(
+        reply.text().contains("fingerprint mismatch"),
+        "{}",
+        reply.text()
+    );
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_submissions_are_400_with_a_diagnostic() {
+    let (handle, dir) = start("badsubmit");
+    let addr = handle.addr;
+    for (body, needle) in [
+        ("", "empty body"),
+        ("not json", "submit object"),
+        ("{\"source\":\"x = 1\"}", "missing field `program`"),
+        (
+            "{\"program\":\"no-such-program\"}",
+            "unknown corpus program",
+        ),
+        (
+            "{\"program\":\"demo\",\"source\":\"def broken(\"}",
+            "cannot parse",
+        ),
+        (
+            "{\"program\":\"demo\",\"source\":\"x = 1\",\"seed\":\"x\"}",
+            "unsigned integer",
+        ),
+        ("{\"kind\":\"campaign_spec\"}", "campaign_spec document"),
+    ] {
+        let reply = request_once(addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+        assert_eq!(reply.status, 400, "body `{body}` → {}", reply.text());
+        assert!(
+            reply.text().contains(needle),
+            "body `{body}` → `{}` missing `{needle}`",
+            reply.text()
+        );
+    }
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_routes_ids_and_methods_map_to_404_405_409() {
+    let (handle, dir) = start("routes");
+    let addr = handle.addr;
+    let case = |method: &str, path: &str| {
+        let reply = request_once(addr, method, path, None).unwrap();
+        (reply.status, reply.text())
+    };
+    assert_eq!(case("GET", "/nope").0, 404);
+    assert_eq!(case("GET", "/v1/campaigns/999").0, 404);
+    assert_eq!(case("GET", "/v1/campaigns/999/document").0, 404);
+    assert_eq!(case("GET", "/v1/campaigns/abc").0, 400);
+    assert_eq!(case("GET", "/v1/campaigns/1/nope").0, 404);
+    let (status, text) = case("DELETE", "/v1/metrics");
+    assert_eq!(status, 405, "{text}");
+    let reply = request_once(addr, "GET", "/v1/campaigns", None).unwrap();
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("POST"));
+    // A finished-later document is 409 while queued/running: submit and
+    // race the scheduler — either it is still pending (409) or already
+    // done (200); both are correct, anything else is a bug.
+    let id = submit(
+        addr,
+        &format!(
+            "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+            nfi_sfi::jsontext::escape(SOURCE)
+        ),
+    );
+    let doc = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+    assert!(
+        doc.status == 409 || doc.status == 200,
+        "{} {}",
+        doc.status,
+        doc.text()
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keep_alive_pipelining_and_close_semantics() {
+    let (handle, dir) = start("pipeline");
+    let addr = handle.addr;
+    let mut client = Client::connect(addr).unwrap();
+    // Two pipelined requests on one connection, answered in order.
+    client.write_request("GET", "/healthz", None).unwrap();
+    client.write_request("GET", "/v1/metrics", None).unwrap();
+    let first = client.read_reply().unwrap();
+    let second = client.read_reply().unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first.text().contains("\"status\":\"ok\""));
+    assert_eq!(second.status, 200);
+    assert!(second.text().contains("\"queue\""));
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    // A third request on the same connection still works.
+    let third = client.send("GET", "/healthz", None).unwrap();
+    assert_eq!(third.status, 200);
+    // Connection: close is honored.
+    let mut closing = Client::connect(addr).unwrap();
+    closing
+        .write_raw(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let reply = closing.read_reply().unwrap();
+    assert_eq!(reply.header("connection"), Some("close"));
+    assert!(closing.read_reply().is_err(), "server closed the stream");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn codec_violations_get_protocol_error_statuses_over_the_wire() {
+    let (handle, dir) = start("codec");
+    let addr = handle.addr;
+
+    // Truncated request line: bytes then EOF.
+    let client = Client::connect(addr).unwrap();
+    let mut client = client;
+    client.write_raw(b"GET /v1/met").unwrap();
+    client.shutdown_write();
+    let reply = client.read_reply().unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply.text().contains("truncated"), "{}", reply.text());
+
+    // Unsupported method token.
+    let reply = request_once(addr, "BREW", "/v1/metrics", None).unwrap();
+    assert_eq!(reply.status, 405, "{}", reply.text());
+
+    // Body over the daemon's cap → 413 with the limit named.
+    let mut big = Client::connect(addr).unwrap();
+    big.write_raw(
+        format!(
+            "POST /v1/campaigns HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            nfi_serve::http::DEFAULT_MAX_BODY + 1
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let reply = big.read_reply().unwrap();
+    assert_eq!(reply.status, 413);
+    assert!(reply.text().contains("exceeds"), "{}", reply.text());
+    assert_eq!(reply.header("connection"), Some("close"));
+
+    // Oversized header line → 413.
+    let mut wide = Client::connect(addr).unwrap();
+    wide.write_raw(
+        format!(
+            "GET /healthz HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "v".repeat(nfi_serve::http::MAX_LINE)
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(wide.read_reply().unwrap().status, 413);
+
+    // Chunked transfer → 501.
+    let mut chunked = Client::connect(addr).unwrap();
+    chunked
+        .write_raw(b"POST /v1/campaigns HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    assert_eq!(chunked.read_reply().unwrap().status, 501);
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_track_queue_and_store_counters() {
+    let (handle, dir) = start("metrics");
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+    let id = submit(addr, &body);
+    await_job(addr, id);
+    let id2 = submit(addr, &body);
+    await_job(addr, id2);
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("\"submitted\":2"), "{text}");
+    assert!(text.contains("\"completed\":2"), "{text}");
+    assert!(text.contains("\"failed\":0"), "{text}");
+    assert!(text.contains("\"mutant_cache\""), "{text}");
+    // The second job replayed everything: executed < units over the
+    // two runs, and replayed > 0.
+    assert!(!text.contains("\"replayed\":0,"), "{text}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jobs_accepted_before_shutdown_finish_before_stop_returns() {
+    let (handle, dir) = start("drain");
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+    let id = submit(addr, &body);
+    let state = std::sync::Arc::clone(handle.state());
+    handle.stop();
+    let job = state.jobs.get(id).expect("job survives shutdown");
+    assert_eq!(
+        job.status.key(),
+        "done",
+        "accepted work drains before stop returns"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

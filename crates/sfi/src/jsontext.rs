@@ -151,6 +151,22 @@ pub fn get_u64(fields: &JsonObject, key: &str) -> Result<u64, String> {
     }
 }
 
+/// Optional exact unsigned integer field (`null` and absent both read
+/// as `None`) — submit bodies over HTTP carry optional seeds.
+///
+/// # Errors
+///
+/// Reports a present value that is not an unsigned integer.
+pub fn get_opt_u64(fields: &JsonObject, key: &str) -> Result<Option<u64>, String> {
+    match fields.get(key) {
+        Some(JsonValue::Null) | None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is not an unsigned integer: {v:?}")),
+    }
+}
+
 /// [`get_u64`] narrowed to `usize` (counts and indices).
 ///
 /// # Errors
@@ -415,6 +431,10 @@ mod tests {
         assert!(get_str(&obj, "n").unwrap_err().contains("not a string"));
         assert!(get_bool(&obj, "s").unwrap_err().contains("not a boolean"));
         assert!(get_u64(&obj, "b").unwrap_err().contains("unsigned"));
+        assert_eq!(get_opt_u64(&obj, "n").unwrap(), Some(3));
+        assert_eq!(get_opt_u64(&obj, "z").unwrap(), None);
+        assert_eq!(get_opt_u64(&obj, "absent").unwrap(), None);
+        assert!(get_opt_u64(&obj, "s").unwrap_err().contains("unsigned"));
         let hexed = parse_flat_object("{\"fp\":\"00ff\",\"bad\":\"xyz\"}").unwrap();
         assert_eq!(get_hex_u64(&hexed, "fp").unwrap(), 0xff);
         assert!(get_hex_u64(&hexed, "bad").unwrap_err().contains("hex"));

@@ -254,6 +254,28 @@ impl CampaignSpec {
         (0..self.units.len()).filter(|&i| shard.covers(i)).collect()
     }
 
+    /// The spec restricted to the units whose **global** index is in
+    /// `indices` — same program, source, and fingerprint, so any
+    /// executor accepts it, and the surviving units keep their global
+    /// indices, so their outcome lines merge back into the full run
+    /// untouched. This is how an orchestrator hands an arbitrary
+    /// store-miss set to `nfi campaign exec --shard i/n` child
+    /// processes: encode the subset once, stride it `i/n` ways.
+    pub fn subset(&self, indices: &[usize]) -> CampaignSpec {
+        let wanted: std::collections::HashSet<usize> = indices.iter().copied().collect();
+        CampaignSpec {
+            program: self.program.clone(),
+            source: self.source.clone(),
+            module_fp: self.module_fp,
+            units: self
+                .units
+                .iter()
+                .filter(|u| wanted.contains(&u.index))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Encodes the spec as a JSONL document: one header line, then one
     /// line per unit.
     pub fn encode(&self) -> String {
@@ -423,6 +445,25 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, (0..n).collect::<Vec<_>>(), "count={count}");
         }
+    }
+
+    #[test]
+    fn subset_keeps_global_indices_and_roundtrips() {
+        let c = campaign();
+        let spec = CampaignSpec::from_campaign("demo", &c, 7);
+        let picked: Vec<usize> = spec.units.iter().map(|u| u.index).step_by(3).collect();
+        let sub = spec.subset(&picked);
+        assert_eq!(sub.program, spec.program);
+        assert_eq!(sub.module_fp, spec.module_fp);
+        assert_eq!(sub.units.len(), picked.len());
+        for (unit, want) in sub.units.iter().zip(&picked) {
+            assert_eq!(unit.index, *want, "global indices survive the subset");
+        }
+        // A subset document is a valid spec in its own right.
+        let decoded = CampaignSpec::decode(&sub.encode()).unwrap();
+        assert_eq!(decoded, sub);
+        // Unknown indices are simply absent, never invented.
+        assert!(spec.subset(&[usize::MAX]).units.is_empty());
     }
 
     #[test]

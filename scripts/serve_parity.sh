@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Serve-parity check: documents served by the `nfi serve` daemon (with
+# its spawned `nfi campaign exec --shard i/n` process workers) must be
+# byte-identical to an offline `nfi campaign run --state-dir` of the
+# same binary.
+#
+#   1. start the daemon on an ephemeral port;
+#   2. submit two corpus programs over HTTP, poll both to completion
+#      (failing on any non-2xx along the way);
+#   3. fetch each document and byte-diff it against the offline run;
+#   4. resubmit one program — the store-warm job must execute 0 units
+#      and serve the same bytes.
+#
+# Usage: scripts/serve_parity.sh [program ...]   (default: banking jobqueue)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NFI=./target/release/nfi
+[ -x "$NFI" ] || cargo build --release --bin nfi
+
+if [ "$#" -gt 0 ]; then
+  PROGRAMS=("$@")
+else
+  PROGRAMS=(banking jobqueue)
+fi
+
+WORK=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# `curl -f` would hide response bodies; check status codes explicitly.
+req() { # req <method> <path> [data] -> body (status checked)
+  local method=$1 path=$2 data=${3-}
+  local out status
+  out=$(curl -sS -X "$method" ${data:+-d "$data"} \
+    -w $'\n%{http_code}' "http://$ADDR$path")
+  status=${out##*$'\n'}
+  body=${out%$'\n'*}
+  case "$status" in
+    2*) printf '%s' "$body" ;;
+    *) echo "FAIL: $method $path -> HTTP $status: $body" >&2; exit 1 ;;
+  esac
+}
+
+json_field() { # json_field <json> <field> -> value (numbers/strings)
+  printf '%s' "$1" | grep -o "\"$2\":[^,}]*" | head -1 | cut -d: -f2- | tr -d '"'
+}
+
+echo "== start daemon =="
+"$NFI" serve --state-dir "$WORK/served" --addr 127.0.0.1:0 --workers 2 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(grep -o 'http://[0-9.:]*' "$WORK/serve.log" | head -1 | sed 's|http://||') || true
+  [ -n "${ADDR:-}" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "${ADDR:-}" ] || { echo "FAIL: daemon never reported an address" >&2; exit 1; }
+echo "daemon at $ADDR"
+req GET /healthz >/dev/null
+
+declare -A JOB_ID
+for p in "${PROGRAMS[@]}"; do
+  echo "== submit $p =="
+  reply=$(req POST /v1/campaigns "{\"program\":\"$p\"}")
+  JOB_ID[$p]=$(json_field "$reply" id)
+  [ -n "${JOB_ID[$p]}" ] || { echo "FAIL: no job id in $reply" >&2; exit 1; }
+done
+
+await() { # await <id> -> final status JSON
+  local id=$1 status text
+  for _ in $(seq 1 600); do
+    text=$(req GET "/v1/campaigns/$id")
+    status=$(json_field "$text" status)
+    case "$status" in
+      done) printf '%s' "$text"; return 0 ;;
+      failed) echo "FAIL: job $id failed: $text" >&2; exit 1 ;;
+      *) sleep 0.5 ;;
+    esac
+  done
+  echo "FAIL: job $id never finished: $text" >&2
+  exit 1
+}
+
+for p in "${PROGRAMS[@]}"; do
+  echo "== await + fetch $p =="
+  await "${JOB_ID[$p]}" >/dev/null
+  req GET "/v1/campaigns/${JOB_ID[$p]}/document" > "$WORK/$p.served.jsonl"
+done
+
+echo "== offline parity =="
+for p in "${PROGRAMS[@]}"; do
+  "$NFI" campaign run --state-dir "$WORK/offline" --workers 2 --program "$p" >/dev/null
+done
+for p in "${PROGRAMS[@]}"; do
+  if ! diff -q "$WORK/$p.served.jsonl" "$WORK/offline/runs/$p.jsonl" >/dev/null; then
+    echo "FAIL: served $p document differs from offline campaign run" >&2
+    diff "$WORK/$p.served.jsonl" "$WORK/offline/runs/$p.jsonl" >&2 || true
+    exit 1
+  fi
+done
+
+echo "== store-warm resubmission of ${PROGRAMS[0]} =="
+reply=$(req POST /v1/campaigns "{\"program\":\"${PROGRAMS[0]}\"}")
+warm_id=$(json_field "$reply" id)
+warm=$(await "$warm_id")
+[ "$(json_field "$warm" executed)" = 0 ] \
+  || { echo "FAIL: warm job executed units: $warm" >&2; exit 1; }
+req GET "/v1/campaigns/$warm_id/document" > "$WORK/warm.jsonl"
+diff -q "$WORK/warm.jsonl" "$WORK/${PROGRAMS[0]}.served.jsonl" >/dev/null \
+  || { echo "FAIL: warm served document differs" >&2; exit 1; }
+
+metrics=$(req GET /v1/metrics)
+echo "metrics: $metrics"
+echo "serve parity: ${#PROGRAMS[@]} program(s) byte-identical served vs offline; warm resubmission executed 0 units"

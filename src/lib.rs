@@ -52,4 +52,5 @@ pub use nfi_neural as neural;
 pub use nfi_nlp as nlp;
 pub use nfi_pylite as pylite;
 pub use nfi_rlhf as rlhf;
+pub use nfi_serve as serve;
 pub use nfi_sfi as sfi;

@@ -7,6 +7,8 @@
 //! nfi inject --program <name> --describe "<fault>"   one-shot injection
 //! nfi session --program <name> --describe "<fault>" [--profile retry|crash] [--rounds N]
 //! nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
+//! nfi serve --state-dir <dir> [--addr IP:PORT]    fault injection as a service
+//! nfi store gc --state-dir <dir> [--dry-run]      prune dead store segments
 //! nfi experiments [e1|e2|...|e8|all] [--quick] [--threads N]
 //! nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 //! ```
@@ -39,6 +41,9 @@ USAGE:
   nfi campaign merge <run.jsonl>... [--out PATH]
   nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N]
                    [--out-dir DIR] [--program <name> | --file <path> | <file>...]
+  nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--seed N]
+  nfi store gc --state-dir <dir> [--dry-run]
+               (--corpus | --program <name> | --file <path> | <file>...)
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
   nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
 ";
@@ -111,6 +116,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "dataset" => cmd_dataset(&flags),
         "explore" => cmd_explore(&flags),
         "campaign" => cmd_campaign(&positional, &flags),
+        "serve" => cmd_serve(&flags),
+        "store" => cmd_store(&positional, &flags),
         "experiments" => cmd_experiments(&positional, &flags),
         "bench" => cmd_bench(&flags),
         "--help" | "help" => {
@@ -349,6 +356,45 @@ fn exec_config(flags: &HashMap<&str, &str>) -> Result<nfi_core::exec::ExecConfig
     }
 }
 
+/// The one shared `--workers` parser (`campaign run` and `serve` must
+/// agree): rejects `0` and non-numeric values with the same error
+/// style as the `--threads` parser, defaulting to 1.
+fn parse_workers(flags: &HashMap<&str, &str>) -> Result<usize, String> {
+    flags
+        .get("workers")
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| format!("--workers expects a positive integer, got `{v}`"))
+        })
+        .transpose()
+        .map(|w| w.unwrap_or(1))
+}
+
+/// The one shared listen-address parser: `--addr ip:port` (strictly a
+/// socket address; port `0` binds an ephemeral port, printed at
+/// startup) or `--port n` as loopback shorthand. Nonsense — a
+/// portless `--addr`, `--port 0`, both flags at once — is rejected up
+/// front in the `--threads` error style.
+fn parse_addr(flags: &HashMap<&str, &str>) -> Result<std::net::SocketAddr, String> {
+    match (flags.get("addr"), flags.get("port")) {
+        (Some(_), Some(_)) => Err("--addr already carries a port; drop --port".to_string()),
+        (Some(a), None) => a
+            .parse()
+            .map_err(|_| format!("--addr expects ip:port (e.g. 127.0.0.1:8080), got `{a}`")),
+        (None, Some(p)) => {
+            let port: u16 = p
+                .parse()
+                .ok()
+                .filter(|&p| p > 0)
+                .ok_or_else(|| format!("--port expects a port number 1-65535, got `{p}`"))?;
+            Ok(std::net::SocketAddr::from(([127, 0, 0, 1], port)))
+        }
+        (None, None) => Ok(std::net::SocketAddr::from(([127, 0, 0, 1], 8080))),
+    }
+}
+
 /// Writes `text` to `--out PATH` when given (announcing the path), or
 /// to stdout otherwise.
 fn write_doc(flags: &HashMap<&str, &str>, text: &str) -> Result<(), String> {
@@ -453,34 +499,15 @@ fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), 
     }
 }
 
-/// The incremental orchestrator: plan every target, replay unchanged
-/// units from the `--state-dir` store, execute only the rest across
-/// `--workers` in-process workers, merge, and persist. The merged
-/// document per program lands in `--out-dir` (default
-/// `<state-dir>/runs`) and is byte-identical to a from-scratch
-/// unsharded `--threads 1` run — a warm re-run with unchanged sources
-/// executes zero work units.
-fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    use neural_fault_injection::core::Orchestrator;
-    let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
-    let workers: usize = flags
-        .get("workers")
-        .map(|v| {
-            v.parse()
-                .ok()
-                .filter(|&w| w > 0)
-                .ok_or_else(|| format!("--workers expects a positive integer, got `{v}`"))
-        })
-        .transpose()?
-        .unwrap_or(1);
-    let orch = Orchestrator {
-        workers,
-        seed: parse_seed(flags)?,
-        config: exec_config(flags)?,
-        ..Orchestrator::new(state_dir)?
-    };
-
-    // Targets: positional files, else --program/--file, else all corpus.
+/// Resolves the campaign targets: positional files, else
+/// `--program`/`--file`, else the whole corpus. Shared by `campaign
+/// run` (which executes them) and `store gc` (which keeps their
+/// segments live), so both commands agree on what a target's program
+/// name is.
+fn resolve_targets(
+    files: &[&str],
+    flags: &HashMap<&str, &str>,
+) -> Result<Vec<(String, String)>, String> {
     let mut targets: Vec<(String, String)> = Vec::new();
     if !files.is_empty() {
         for path in files {
@@ -514,6 +541,27 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
             ));
         }
     }
+    Ok(targets)
+}
+
+/// The incremental orchestrator: plan every target, replay unchanged
+/// units from the `--state-dir` store, execute only the rest across
+/// `--workers` in-process workers, merge, and persist. The merged
+/// document per program lands in `--out-dir` (default
+/// `<state-dir>/runs`) and is byte-identical to a from-scratch
+/// unsharded `--threads 1` run — a warm re-run with unchanged sources
+/// executes zero work units.
+fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use neural_fault_injection::core::Orchestrator;
+    let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+    let workers = parse_workers(flags)?;
+    let orch = Orchestrator {
+        workers,
+        seed: parse_seed(flags)?,
+        config: exec_config(flags)?,
+        ..Orchestrator::new(state_dir)?
+    };
+    let targets = resolve_targets(files, flags)?;
 
     let out_dir = flags
         .get("out-dir")
@@ -548,6 +596,113 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
         workers,
     );
     Ok(())
+}
+
+/// `nfi serve`: the fault-injection-as-a-service daemon. Jobs submitted
+/// over HTTP replay from the shared `--state-dir` store and stripe
+/// their misses over spawned `nfi campaign exec --shard i/n` child
+/// processes — served documents are byte-identical to an offline
+/// `nfi campaign run --state-dir` over the same directory.
+fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use nfi_serve::{worker::WorkerMode, ServeConfig, Server};
+    let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+    let addr = parse_addr(flags)?;
+    let workers = parse_workers(flags)?;
+    let config = ServeConfig {
+        workers,
+        mode: WorkerMode::current_exe()?,
+        seed: parse_seed(flags)?,
+        ..ServeConfig::new(state_dir)
+    };
+    let server = Server::bind(addr, config)?;
+    let local = server.local_addr()?;
+    println!(
+        "nfi serve: listening on http://{local} (state dir {state_dir}, {workers} process \
+         worker(s) per job)"
+    );
+    println!("  POST /v1/campaigns | GET /v1/campaigns/:id[/document] | GET /v1/metrics");
+    server.run()
+}
+
+/// `nfi store`: state-dir maintenance. `gc` prunes segments whose
+/// program is not among the targets (the same target resolution as
+/// `campaign run`: positional files, `--program`/`--file`, or the
+/// whole corpus) plus orphaned files; `--dry-run` only lists.
+fn cmd_store(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use neural_fault_injection::core::CampaignStore;
+    match positional.first().copied() {
+        Some("gc") => {
+            let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+            // The generic flag parser would silently consume a
+            // positional target that follows a valueless flag
+            // (`--corpus extra.py` swallows `extra.py`) — on a command
+            // that deletes data, refuse instead of guessing.
+            for flag in ["corpus", "dry-run"] {
+                if let Some(value) = flags.get(flag) {
+                    if *value != "true" {
+                        return Err(format!(
+                            "--{flag} takes no value, but `{value}` followed it; list \
+                             target files before the flags"
+                        ));
+                    }
+                }
+            }
+            let store = CampaignStore::open(state_dir)?;
+            // The live set must be named explicitly: defaulting to the
+            // built-in corpus would silently delete the segments of
+            // every custom-named program (serve submissions, --file
+            // runs) — destructive from a bare invocation.
+            let files = &positional[1..];
+            if files.is_empty()
+                && !flags.contains_key("program")
+                && !flags.contains_key("file")
+                && !flags.contains_key("corpus")
+            {
+                return Err(
+                    "store gc needs the live set named explicitly: positional files, \
+                     --program <name> / --file <path>, or --corpus to keep only the \
+                     built-in corpus programs (everything else is removed)"
+                        .to_string(),
+                );
+            }
+            let targets = resolve_targets(files, flags)?;
+            let live: std::collections::HashSet<&str> =
+                targets.iter().map(|(name, _)| name.as_str()).collect();
+            let dry_run = flags.contains_key("dry-run");
+            let report = store.gc(&live, dry_run);
+            let verb = if dry_run { "would remove" } else { "removed" };
+            for (seg, reason) in &report.removed {
+                println!(
+                    "{verb} {} ({} bytes): {reason}",
+                    seg.path.display(),
+                    seg.bytes
+                );
+            }
+            for warning in &report.errors {
+                eprintln!("warning: {warning}");
+            }
+            println!(
+                "store gc: {} segment(s) {verb} ({} bytes), {} kept, {} live program(s)",
+                report.removed.len(),
+                report.bytes_removed(),
+                report.kept,
+                live.len(),
+            );
+            if report.errors.is_empty() {
+                Ok(())
+            } else {
+                // Scripts rely on the exit code: a partial sweep is a
+                // failure, not a warning.
+                Err(format!(
+                    "store gc could not remove {} segment(s); see warnings above",
+                    report.errors.len()
+                ))
+            }
+        }
+        _ => Err("usage: nfi store gc --state-dir <dir> [--dry-run] \
+             (--corpus | --program <name> | --file <path> | <file>...)"
+            .to_string()),
+    }
 }
 
 fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
@@ -611,7 +766,9 @@ fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(
 }
 
 fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
-    use nfi_bench::throughput::{bench_campaign, bench_e7, bench_lm, bench_store, to_json};
+    use nfi_bench::throughput::{
+        bench_campaign, bench_e7, bench_lm, bench_serve, bench_store, to_json,
+    };
     let quick = flags.contains_key("quick");
     // Shared --threads parsing; ExecConfig clamps 0 to 1, so the printed
     // and recorded thread count always matches what actually ran.
@@ -673,7 +830,24 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         store.documents_identical,
     );
 
-    let json = to_json(&campaign, &lm, &e7, &store);
+    println!("benching the serve daemon (cold vs store-warm, process workers)...");
+    let serve = bench_serve(
+        if quick { 3 } else { 0 },
+        parse_workers(flags)?,
+        nfi_serve::worker::WorkerMode::current_exe()?,
+    );
+    println!(
+        "  {:.0} requests/s; {} program(s), {} units end-to-end: {:.1} units/s cold, {:.1} units/s store-warm ({:.2}x), documents identical: {}",
+        serve.requests_per_s(),
+        serve.programs,
+        serve.units,
+        serve.cold_units_per_s(),
+        serve.warm_units_per_s(),
+        serve.warm_speedup(),
+        serve.documents_identical,
+    );
+
+    let json = to_json(&campaign, &lm, &e7, &store, &serve);
     let path = flags.get("out").copied().unwrap_or("BENCH_e7.json");
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("wrote {path}");

@@ -1,0 +1,284 @@
+//! End-to-end daemon test through the real `nfi` binary: `nfi serve`
+//! runs with its default **spawned `nfi campaign exec` process
+//! workers** (the serve crate's own tests can only exercise in-process
+//! mode — this is the one place the full process tree exists), and the
+//! served document is byte-diffed against an offline `nfi campaign
+//! run` of the same binary. Also covers the strict CLI flag
+//! validation, which lives in the binary.
+
+use neural_fault_injection::serve::client::{request_once, Client};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const NFI: &str = env!("CARGO_BIN_EXE_nfi");
+
+const SOURCE: &str = "\
+m = lock()
+total = 0
+def add(v):
+    global total
+    m.acquire()
+    total = total + v
+    m.release()
+    return total
+def test_add():
+    assert add(1) == 1
+";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfi-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running daemon child that is killed on drop (test panics must not
+/// leak listeners).
+struct Daemon {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open for the daemon's lifetime — dropping
+    // it would EPIPE the daemon's own startup prints.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn start(state_dir: &std::path::Path, workers: usize) -> Daemon {
+        let mut child = Command::new(NFI)
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
+            .arg(workers.to_string())
+            .arg("--state-dir")
+            .arg(state_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nfi serve");
+        // The daemon prints its resolved ephemeral address at startup.
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut banner = String::new();
+        reader.read_line(&mut banner).expect("daemon banner line");
+        let addr = banner
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in banner `{banner}`"))
+            .to_string();
+        Daemon {
+            child,
+            addr,
+            _stdout: reader,
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn await_done(addr: &str, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let reply = request_once(addr, "GET", &format!("/v1/campaigns/{id}"), None).unwrap();
+        let text = reply.text();
+        if text.contains("\"status\":\"done\"") {
+            return text;
+        }
+        assert!(
+            !text.contains("\"status\":\"failed\""),
+            "job {id} failed: {text}"
+        );
+        assert!(Instant::now() < deadline, "job {id} never finished: {text}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn served_documents_from_process_workers_match_offline_campaign_run() {
+    let dir = scratch("parity");
+    let daemon = Daemon::start(&dir.join("served"), 2);
+
+    // Submit the demo source twice: cold, then store-warm.
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        neural_fault_injection::sfi::jsontext::escape(SOURCE)
+    );
+    let reply = request_once(&daemon.addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let cold_status = await_done(&daemon.addr, 1);
+    assert!(cold_status.contains("\"replayed\":0"), "{cold_status}");
+
+    let reply = request_once(&daemon.addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let warm_status = await_done(&daemon.addr, 2);
+    assert!(
+        warm_status.contains("\"executed\":0"),
+        "warm job must replay everything: {warm_status}"
+    );
+
+    let mut client = Client::connect(&daemon.addr).unwrap();
+    let cold = client
+        .send("GET", "/v1/campaigns/1/document", None)
+        .unwrap();
+    let warm = client
+        .send("GET", "/v1/campaigns/2/document", None)
+        .unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(
+        cold.body, warm.body,
+        "warm and cold served documents differ"
+    );
+
+    // Offline run of the same binary over a fresh state dir.
+    let demo_py = dir.join("demo.py");
+    std::fs::write(&demo_py, SOURCE).unwrap();
+    let offline_state = dir.join("offline");
+    let status = Command::new(NFI)
+        .args(["campaign", "run", "--workers", "2", "--state-dir"])
+        .arg(&offline_state)
+        .arg(&demo_py)
+        .stdout(Stdio::null())
+        .status()
+        .expect("offline campaign run");
+    assert!(status.success());
+    let offline_doc = std::fs::read(offline_state.join("runs/demo.jsonl")).unwrap();
+    assert_eq!(
+        cold.body, offline_doc,
+        "served document differs from offline `nfi campaign run`"
+    );
+
+    // The daemon's workers left no exchange files behind.
+    let leftovers: Vec<_> = std::fs::read_dir(dir.join("served/tmp"))
+        .map(|entries| entries.flatten().map(|e| e.path()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "leftover worker files: {leftovers:?}");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_flag_validation_rejects_nonsense_up_front() {
+    let run = |args: &[&str]| -> (bool, String) {
+        let output = Command::new(NFI).args(args).output().expect("run nfi");
+        (
+            output.status.success(),
+            String::from_utf8_lossy(&output.stderr).to_string(),
+        )
+    };
+    for (args, needle) in [
+        (
+            &["serve", "--state-dir", "/tmp/x", "--workers", "0"][..],
+            "--workers expects a positive integer, got `0`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--workers", "two"],
+            "--workers expects a positive integer, got `two`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--port", "0"],
+            "--port expects a port number 1-65535, got `0`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--port", "99999"],
+            "--port expects a port number 1-65535, got `99999`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--addr", "localhost"],
+            "--addr expects ip:port",
+        ),
+        (
+            &[
+                "serve",
+                "--state-dir",
+                "/tmp/x",
+                "--addr",
+                "127.0.0.1:1",
+                "--port",
+                "2",
+            ],
+            "--addr already carries a port",
+        ),
+        (&["serve"], "need --state-dir"),
+        (
+            &["campaign", "run", "--state-dir", "/tmp/x", "--workers", "0"],
+            "--workers expects a positive integer, got `0`",
+        ),
+        (&["store", "gc"], "need --state-dir"),
+        (
+            &["store", "gc", "--state-dir", "/tmp/x"],
+            "store gc needs the live set named explicitly",
+        ),
+        (&["store"], "usage: nfi store gc"),
+    ] {
+        let (ok, stderr) = run(args);
+        assert!(!ok, "{args:?} should fail");
+        assert!(
+            stderr.contains(needle),
+            "{args:?} → `{stderr}` missing `{needle}`"
+        );
+    }
+}
+
+#[test]
+fn store_gc_over_the_binary_prunes_only_dead_programs() {
+    let dir = scratch("gc");
+    let write_program = |name: &str, extra: &str| {
+        let path = dir.join(format!("{name}.py"));
+        std::fs::write(&path, format!("{SOURCE}{extra}")).unwrap();
+        path
+    };
+    let keep = write_program("keep", "");
+    let drop_py = write_program("dropme", "marker = 1\n");
+    let state = dir.join("state");
+    for path in [&keep, &drop_py] {
+        let status = Command::new(NFI)
+            .args(["campaign", "run", "--state-dir"])
+            .arg(&state)
+            .arg(path)
+            .stdout(Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success());
+    }
+    let segments = || std::fs::read_dir(state.join("store")).unwrap().count();
+    assert_eq!(segments(), 2);
+
+    // Dry run touches nothing.
+    let output = Command::new(NFI)
+        .args(["store", "gc", "--dry-run", "--state-dir"])
+        .arg(&state)
+        .arg(&keep)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("would remove"), "{stdout}");
+    assert!(stdout.contains("dropme"), "{stdout}");
+    assert_eq!(segments(), 2);
+
+    // The sweep removes exactly the dead program's segment.
+    let output = Command::new(NFI)
+        .args(["store", "gc", "--state-dir"])
+        .arg(&state)
+        .arg(&keep)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert_eq!(segments(), 1);
+    // The survivor still replays warm through the binary.
+    let output = Command::new(NFI)
+        .args(["campaign", "run", "--state-dir"])
+        .arg(&state)
+        .arg(&keep)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("executed=0"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
