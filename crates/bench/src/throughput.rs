@@ -328,6 +328,8 @@ pub struct ServeBench {
     pub requests_secs: f64,
     /// Programs submitted per round.
     pub programs: usize,
+    /// Scheduler lanes the benched daemon ran.
+    pub lanes: usize,
     /// Campaign units per round.
     pub units: usize,
     /// Submit-to-done wall time of the cold round (seconds).
@@ -366,14 +368,16 @@ impl ServeBench {
 
 /// Benches a daemon on an ephemeral port over a throwaway state dir:
 /// a burst of `/v1/metrics` requests for the front-end rate, then the
-/// first `max_programs` corpus programs (0 = all) submitted and polled
-/// to completion twice — cold, then store-warm — with every document
-/// byte-compared across rounds. `mode` selects the worker transport;
-/// `nfi bench` passes spawn mode (the benched binary *is* `nfi`),
-/// library tests pass in-process.
+/// first `max_programs` corpus programs (0 = all) submitted in one
+/// burst across `lanes` scheduler lanes and polled to completion
+/// twice — cold, then store-warm — with every document byte-compared
+/// across rounds. `mode` selects the worker transport; `nfi bench`
+/// passes spawn mode (the benched binary *is* `nfi`), library tests
+/// pass in-process.
 pub fn bench_serve(
     max_programs: usize,
     workers: usize,
+    lanes: usize,
     mode: nfi_serve::worker::WorkerMode,
 ) -> ServeBench {
     use nfi_serve::client::Client;
@@ -382,6 +386,7 @@ pub fn bench_serve(
     let _ = std::fs::remove_dir_all(&dir);
     let config = nfi_serve::ServeConfig {
         workers,
+        lanes,
         mode,
         ..nfi_serve::ServeConfig::new(&dir)
     };
@@ -475,6 +480,7 @@ pub fn bench_serve(
         requests,
         requests_secs,
         programs: programs.len(),
+        lanes,
         units,
         cold_secs,
         warm_secs,
@@ -520,7 +526,7 @@ pub fn to_json(
     serve: &ServeBench,
 ) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -553,6 +559,7 @@ pub fn to_json(
         store.documents_identical,
         serve.requests_per_s(),
         serve.programs,
+        serve.lanes,
         serve.units,
         serve.cold_units_per_s(),
         serve.warm_units_per_s(),
@@ -655,6 +662,7 @@ mod tests {
             requests: 100,
             requests_secs: 0.05,
             programs: 2,
+            lanes: 2,
             units: 60,
             cold_secs: 1.5,
             warm_secs: 0.05,
@@ -671,6 +679,7 @@ mod tests {
         assert!(json.contains("\"warm_executed\": 0"));
         assert!(json.contains("\"documents_identical\": true"));
         assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"lanes\": 2"));
         assert!(json.contains("\"requests_per_s\": 2000.0"));
         assert!(json.contains("\"warm_speedup\": 30.00"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -680,8 +689,10 @@ mod tests {
     fn serve_bench_round_trips_identically_and_replays_warm() {
         let _guard = global_cache_guard();
         // In-process workers: this test binary is not the `nfi` binary.
-        let b = bench_serve(1, 2, nfi_serve::worker::WorkerMode::InProcess);
-        assert_eq!(b.programs, 1);
+        // Two lanes: the round submits in a burst, so the lanes race.
+        let b = bench_serve(2, 2, 2, nfi_serve::worker::WorkerMode::InProcess);
+        assert_eq!(b.programs, 2);
+        assert_eq!(b.lanes, 2);
         assert!(b.units > 0);
         assert!(b.requests > 0);
         assert!(b.documents_identical, "warm daemon changed a document");

@@ -45,11 +45,12 @@ pub mod store;
 pub use cache::{CacheStats, CachedMutant, MutantCache};
 pub use exec::{CampaignRun, CampaignRunReport, ExecConfig};
 pub use metrics::{
-    field_profile, js_distance, EffortModel, QueueStats, RuntimeSnapshot, StoreTotals,
+    field_profile, js_distance, EffortModel, JournalStats, QueueStats, RuntimeSnapshot, StoreTotals,
 };
 pub use pipeline::{InjectionReport, NeuralFaultInjector, PipelineConfig, PipelineError};
 pub use service::{exec_spec, exec_units, merge, plan_campaign, ShardOutcome, ShardRun};
 pub use session::{run_session, SessionResult, SessionRound};
 pub use store::{
-    CampaignStore, GcReport, IncrementalRun, LoadedSegment, Orchestrator, SegmentInfo,
+    CampaignStore, GcReport, IncrementalRun, LoadedSegment, Orchestrator, SegmentGuard,
+    SegmentInfo, SegmentLocks,
 };

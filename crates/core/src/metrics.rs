@@ -17,6 +17,8 @@ use std::collections::BTreeMap;
 pub struct QueueStats {
     /// Jobs waiting in the queue right now.
     pub depth: usize,
+    /// Concurrent scheduler lanes draining the queue.
+    pub lanes: usize,
     /// Jobs currently executing.
     pub running: usize,
     /// Jobs accepted since startup.
@@ -25,6 +27,22 @@ pub struct QueueStats {
     pub completed: u64,
     /// Jobs that ended in an error since startup.
     pub failed: u64,
+}
+
+/// Job-journal counters of a serving daemon: how much the crash-safe
+/// journal has recorded this run and what its startup replay recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since startup.
+    pub appended: u64,
+    /// Unfinished jobs the startup replay re-enqueued.
+    pub recovered_queued: u64,
+    /// Finished jobs the startup replay restored.
+    pub recovered_finished: u64,
+    /// Journal lines the startup replay skipped as corrupt.
+    pub corrupt_lines: u64,
+    /// Journal compactions performed (startup + threshold-triggered).
+    pub compactions: u64,
 }
 
 /// Incremental-store totals across every job a daemon has run.
@@ -60,17 +78,24 @@ pub struct RuntimeSnapshot {
     pub queue: QueueStats,
     /// Store replay/execute totals (zeroed outside a daemon).
     pub store: StoreTotals,
+    /// Job-journal counters (zeroed outside a daemon).
+    pub journal: JournalStats,
 }
 
 impl RuntimeSnapshot {
     /// Captures the process-wide cache counters alongside the
-    /// caller-tracked queue and store numbers.
-    pub fn capture(queue: QueueStats, store: StoreTotals) -> RuntimeSnapshot {
+    /// caller-tracked queue, store, and journal numbers.
+    pub fn capture(
+        queue: QueueStats,
+        store: StoreTotals,
+        journal: JournalStats,
+    ) -> RuntimeSnapshot {
         RuntimeSnapshot {
             mutant_cache: crate::cache::MutantCache::global().stats(),
             experiment_cache: nfi_inject::memo::ExperimentCache::global().stats(),
             queue,
             store,
+            journal,
         }
     }
 
@@ -89,8 +114,9 @@ impl RuntimeSnapshot {
             )
         };
         format!(
-            "{{\"queue\":{{\"depth\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
+            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
             self.queue.depth,
+            self.queue.lanes,
             self.queue.running,
             self.queue.submitted,
             self.queue.completed,
@@ -99,6 +125,11 @@ impl RuntimeSnapshot {
             self.store.replayed,
             self.store.executed,
             self.store.hit_rate(),
+            self.journal.appended,
+            self.journal.recovered_queued,
+            self.journal.recovered_finished,
+            self.journal.corrupt_lines,
+            self.journal.compactions,
             cache(&self.mutant_cache),
             cache(&self.experiment_cache),
         )
@@ -287,6 +318,7 @@ mod tests {
             experiment_cache: CacheStats::default(),
             queue: QueueStats {
                 depth: 2,
+                lanes: 4,
                 running: 1,
                 submitted: 7,
                 completed: 4,
@@ -297,19 +329,33 @@ mod tests {
                 replayed: 75,
                 executed: 25,
             },
+            journal: JournalStats {
+                appended: 11,
+                recovered_queued: 2,
+                recovered_finished: 3,
+                corrupt_lines: 1,
+                compactions: 1,
+            },
         };
         let json = snap.render_json();
         assert!(json.contains("\"depth\":2"));
+        assert!(json.contains("\"lanes\":4"));
         assert!(json.contains("\"submitted\":7"));
         assert!(json.contains("\"hit_rate\":0.750"));
         assert!(json.contains("\"capacity\":64"));
         assert!(json.contains("\"capacity\":null"));
+        assert!(json.contains("\"journal\":{\"appended\":11"));
+        assert!(json.contains("\"recovered_queued\":2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
     fn capture_reads_the_global_caches() {
-        let snap = RuntimeSnapshot::capture(QueueStats::default(), StoreTotals::default());
+        let snap = RuntimeSnapshot::capture(
+            QueueStats::default(),
+            StoreTotals::default(),
+            JournalStats::default(),
+        );
         assert_eq!(snap.queue, QueueStats::default());
         assert!(
             snap.mutant_cache.capacity.is_some(),

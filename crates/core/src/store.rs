@@ -38,6 +38,13 @@
 //! uses in-process threads, while the `nfi serve` daemon passes a
 //! dispatcher that spawns `nfi campaign exec --shard i/n` child
 //! processes — same artifacts, same merge, byte-identical documents.
+//!
+//! The store has **one writer per segment at a time**: every
+//! orchestrated run serializes its load → execute → save cycle behind
+//! the segment's [`SegmentLocks`] entry, so the `nfi serve` scheduler
+//! lanes (and a concurrent offline `campaign run` on the same state
+//! dir) can execute independent programs in parallel without ever
+//! interleaving on one segment.
 
 use crate::exec::ExecConfig;
 use crate::service::{self, ShardOutcome, ShardRun};
@@ -46,6 +53,8 @@ use nfi_sfi::jsontext::{escape, get_hex_u64, get_str, get_usize, parse_flat_obje
 use nfi_sfi::{CampaignSpec, WorkUnit};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A content-addressed on-disk store of campaign outcome lines.
 pub struct CampaignStore {
@@ -198,7 +207,17 @@ impl CampaignStore {
             ));
         }
         let path = self.segment_path(spec.module_fp, machine_fp);
-        let tmp = path.with_extension("jsonl.tmp");
+        // The temp name is writer-unique (pid + counter): two programs
+        // with identical source share a segment *address*, and a fixed
+        // temp name would let their concurrent saves interleave bytes.
+        // With unique temps each rename publishes one internally
+        // consistent segment; last writer wins.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "jsonl.{}-{}.tmp",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, doc).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path).map_err(|e| format!("cannot move segment into place: {e}"))?;
         self.prune_stale(&spec.program, spec.module_fp, machine_fp);
@@ -324,6 +343,117 @@ impl CampaignStore {
     }
 }
 
+/// Advisory per-(program, machine-fingerprint) segment locks.
+///
+/// Store writers follow load → execute → save; two writers
+/// interleaving that cycle on one program's segment would double-run
+/// work at best and prune each other's freshly saved segments at
+/// worst. Every orchestrated run therefore holds the segment's lock
+/// for the whole cycle, at two levels:
+///
+/// * an **in-process keyed mutex** — the concurrent scheduler lanes of
+///   one `nfi serve` daemon share an orchestrator and thus this table;
+/// * an **advisory `flock`ed lock file** under `<state_dir>/locks/` —
+///   separate processes on the same state dir (a daemon plus
+///   concurrent offline `campaign run`s) serialize here. The kernel
+///   releases `flock`s when their holder dies, so a crashed or
+///   SIGKILLed daemon can never wedge the store. (Two *daemons* never
+///   share a state dir at all — `nfi serve` holds an exclusive
+///   daemon-level lock, because the job journal and worker exchange
+///   dir are single-owner resources.)
+///
+/// The key is (program, machine fingerprint), not the segment's
+/// (module fingerprint, machine fingerprint) address: saving a segment
+/// also prunes the *other* module fingerprints of the same program, so
+/// the program is the true write-conflict unit. Two differently named
+/// programs with identical source share a segment address but not a
+/// lock; their saves stay safe because each save writes a unique temp
+/// file and renames it into place atomically (last writer wins, both
+/// outcomes byte-identical).
+///
+/// Reads need no lock: segment replacement is write-then-rename, so a
+/// reader always sees a complete old or complete new segment.
+pub struct SegmentLocks {
+    root: PathBuf,
+    held: Mutex<HashSet<u64>>,
+    released: Condvar,
+}
+
+impl SegmentLocks {
+    /// The lock table rooted at `<state_dir>/locks` (created lazily on
+    /// first acquire).
+    pub fn open(state_dir: impl AsRef<Path>) -> SegmentLocks {
+        SegmentLocks {
+            root: state_dir.as_ref().join("locks"),
+            held: Mutex::new(HashSet::new()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// The lock key of `(program, machine_fp)` (fnv1a-64, also the
+    /// lock file's name).
+    fn key(program: &str, machine_fp: u64) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut absorb = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        absorb(program.as_bytes());
+        absorb(&machine_fp.to_le_bytes());
+        hash
+    }
+
+    /// Blocks until this process and this machine agree the caller is
+    /// the only writer of `(program, machine_fp)`, then returns the
+    /// guard that holds both levels until dropped.
+    ///
+    /// The file level is best-effort: a filesystem without `flock`
+    /// support degrades to in-process-only locking rather than
+    /// failing the run (the lock is advisory either way).
+    pub fn acquire(&self, program: &str, machine_fp: u64) -> SegmentGuard<'_> {
+        let key = Self::key(program, machine_fp);
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        while held.contains(&key) {
+            held = self.released.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        held.insert(key);
+        drop(held);
+        let file = std::fs::create_dir_all(&self.root).ok().and_then(|()| {
+            std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(self.root.join(format!("{key:016x}.lock")))
+                .ok()
+        });
+        let file = file.filter(|f| f.lock().is_ok());
+        SegmentGuard {
+            locks: self,
+            key,
+            _file: file,
+        }
+    }
+}
+
+/// A held segment lock ([`SegmentLocks::acquire`]); both levels release
+/// on drop (the `flock` when the file handle closes).
+pub struct SegmentGuard<'a> {
+    locks: &'a SegmentLocks,
+    key: u64,
+    _file: Option<std::fs::File>,
+}
+
+impl Drop for SegmentGuard<'_> {
+    fn drop(&mut self) {
+        let mut held = self.locks.held.lock().unwrap_or_else(|e| e.into_inner());
+        held.remove(&self.key);
+        self.locks.released.notify_all();
+    }
+}
+
 /// One store segment (or a file posing as one) as seen by
 /// [`CampaignStore::segments`] / [`CampaignStore::gc`].
 #[derive(Debug, Clone)]
@@ -408,6 +538,11 @@ pub struct IncrementalRun {
 pub struct Orchestrator {
     /// The backing store.
     pub store: CampaignStore,
+    /// Per-(program, machine-fp) segment locks every run holds for its
+    /// load → execute → save cycle. Callers running concurrent lanes
+    /// must share one orchestrator (the in-process level of the lock
+    /// lives here); separate processes meet at the lock files.
+    pub locks: SegmentLocks,
     /// Worker count for miss execution (in-process workers; clamped to
     /// at least 1 and at most the miss count).
     pub workers: usize,
@@ -429,7 +564,8 @@ impl Orchestrator {
     /// Propagates [`CampaignStore::open`] failures.
     pub fn new(state_dir: impl AsRef<Path>) -> Result<Orchestrator, String> {
         Ok(Orchestrator {
-            store: CampaignStore::open(state_dir)?,
+            store: CampaignStore::open(&state_dir)?,
+            locks: SegmentLocks::open(&state_dir),
             workers: 1,
             machine: MachineConfig::default(),
             config: ExecConfig::sequential(),
@@ -482,6 +618,11 @@ impl Orchestrator {
         dispatch: impl FnOnce(&CampaignSpec, &[usize]) -> Result<Vec<ShardRun>, String>,
     ) -> Result<IncrementalRun, String> {
         let machine_fp = self.machine.fingerprint();
+        // Single writer per segment: the whole load → dispatch → save
+        // cycle runs under the segment lock, so concurrent lanes (and
+        // concurrent processes) on the same program serialize — the
+        // second runner replays what the first one saved.
+        let _guard = self.locks.acquire(&spec.program, machine_fp);
         let mut segment = self.store.load(spec.module_fp, machine_fp);
         let mut replayed = Vec::new();
         let mut missing = HashSet::new();
@@ -548,6 +689,45 @@ impl Orchestrator {
             store_errors: segment.errors,
             run: merged,
         })
+    }
+
+    /// Read-only full replay: the merged document of `spec` rebuilt
+    /// purely from the on-disk segment, or `None` unless *every* unit
+    /// replays cleanly (missing segment, missing lines, or any
+    /// corruption all answer `None` — the caller falls back to a
+    /// normal [`Self::run_spec`], which re-executes and re-saves).
+    ///
+    /// This is what lets a serving daemon stream finished documents
+    /// from the store instead of buffering them in memory: the
+    /// replayed lines are re-emitted verbatim, so the rebuilt document
+    /// is byte-identical to the one the original run produced. Takes
+    /// no segment lock — segment replacement is atomic-rename, so a
+    /// read sees a complete old or complete new segment.
+    pub fn replay_full(&self, spec: &CampaignSpec) -> Option<String> {
+        let machine_fp = self.machine.fingerprint();
+        let segment = self.store.load(spec.module_fp, machine_fp);
+        if !segment.errors.is_empty() {
+            return None;
+        }
+        let mut replayed = Vec::with_capacity(spec.units.len());
+        for unit in &spec.units {
+            let line = segment.lines.get(&unit.store_key())?;
+            let outcome = ShardOutcome::decode(line).ok()?;
+            if outcome.index != unit.index
+                || outcome.operator != unit.operator
+                || outcome.class != unit.class.key()
+            {
+                return None;
+            }
+            replayed.push(outcome);
+        }
+        let run = ShardRun {
+            program: spec.program.clone(),
+            module_fp: spec.module_fp,
+            total: spec.units.len(),
+            outcomes: replayed,
+        };
+        service::merge(&[run]).ok().map(|merged| merged.encode())
     }
 
     /// The default dispatcher: stripes the missing unit indices
@@ -854,6 +1034,131 @@ def test_add():
         assert_eq!(warm.executed, 0);
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&plain_dir);
+    }
+
+    #[test]
+    fn segment_locks_serialize_one_key_and_admit_distinct_keys() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let dir = state_dir("locktable");
+        let locks = Arc::new(SegmentLocks::open(&dir));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let locks = Arc::clone(&locks);
+            let inside = Arc::clone(&inside);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let _guard = locks.acquire("same-program", 7);
+                    assert_eq!(
+                        inside.fetch_add(1, Ordering::SeqCst),
+                        0,
+                        "two holders inside one (program, machine_fp) section"
+                    );
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        // A distinct key is admitted while `same-program` is held.
+        let _held = locks.acquire("other-program", 7);
+        let locks2 = Arc::clone(&locks);
+        let other = std::thread::spawn(move || {
+            let _guard = locks2.acquire("third-program", 7);
+        });
+        other.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_level_lock_serializes_separate_lock_tables() {
+        // Two SegmentLocks instances share no in-process state — only
+        // the flock files — which models two processes on one state
+        // dir. flock conflicts are per open file description, so this
+        // is testable without spawning.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let dir = state_dir("lockfile");
+        let a = SegmentLocks::open(&dir);
+        let b = Arc::new(SegmentLocks::open(&dir));
+        let guard = a.acquire("prog", 42);
+        let released = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let b = Arc::clone(&b);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                let _guard = b.acquire("prog", 42);
+                assert!(
+                    released.load(Ordering::SeqCst),
+                    "second table acquired the segment while the first still held it"
+                );
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        released.store(true, Ordering::SeqCst);
+        drop(guard);
+        waiter.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_lanes_same_program_execute_once_without_interleaving() {
+        // The satellite invariant behind `nfi serve --lanes`: two lanes
+        // racing the same program serialize on the segment lock — one
+        // runs cold, the other replays everything the first saved, and
+        // both documents are byte-identical.
+        let dir = state_dir("lanes");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let spec = service::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        let (a, b) = std::thread::scope(|scope| {
+            let ra = scope.spawn(|| orch.run_spec(&spec).unwrap());
+            let rb = scope.spawn(|| orch.run_spec(&spec).unwrap());
+            (ra.join().unwrap(), rb.join().unwrap())
+        });
+        assert_eq!(
+            a.executed + b.executed,
+            a.units,
+            "exactly one lane executes; the other replays ({} + {} != {})",
+            a.executed,
+            b.executed,
+            a.units
+        );
+        assert_eq!(a.run.encode(), b.run.encode());
+        let plain_dir = state_dir("lanes-plain");
+        let plain = Orchestrator::new(&plain_dir).unwrap();
+        let direct = plain.run_program("demo", SOURCE).unwrap();
+        assert_eq!(a.run.encode(), direct.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&plain_dir);
+    }
+
+    #[test]
+    fn replay_full_rebuilds_the_exact_document_and_refuses_partial_segments() {
+        let dir = state_dir("replayfull");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let spec = service::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        assert!(
+            orch.replay_full(&spec).is_none(),
+            "an empty store cannot replay"
+        );
+        let cold = orch.run_spec(&spec).unwrap();
+        assert_eq!(
+            orch.replay_full(&spec).as_deref(),
+            Some(cold.run.encode().as_str()),
+            "full replay must be byte-identical to the run that saved it"
+        );
+        // Drop one stored line: replay_full refuses rather than serving
+        // a shorter document.
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch.store.segment_path(spec.module_fp, machine_fp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = text.lines().take(text.lines().count() - 1).collect();
+        std::fs::write(&path, truncated.join("\n")).unwrap();
+        assert!(orch.replay_full(&spec).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,32 +1,42 @@
 //! The campaign job table: every submission the daemon has accepted,
-//! its lifecycle state, and (once finished) its merged document.
+//! its lifecycle state, and its run counters.
 //!
 //! Jobs move `Queued → Running → Done | Failed`; the table is the one
 //! shared structure the HTTP handlers (submit/status/document) and the
-//! scheduler thread both touch, so everything lives behind one mutex
-//! and the lock is never held across planning or execution.
+//! scheduler lanes all touch, so everything lives behind one mutex and
+//! the lock is never held across planning or execution.
+//!
+//! The table holds **no documents**: a finished job keeps only its
+//! counters and its planned spec (shared behind an `Arc`), and the
+//! document endpoint rebuilds the bytes from the on-disk store segment
+//! on demand. That keeps a long-running daemon's memory proportional
+//! to its retained specs, makes restart recovery symmetric (a job
+//! restored from the journal serves its document exactly like a job
+//! finished five seconds ago), and cannot change a result — replayed
+//! store lines are re-emitted verbatim.
 
 use nfi_sfi::jsontext::escape;
 use nfi_sfi::CampaignSpec;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Most finished (done/failed) jobs retained, documents included.
-/// Beyond this the oldest finished jobs are dropped wholesale — their
-/// status and document answer 404 afterwards — which bounds a
-/// long-running daemon's memory; queued and running jobs are never
-/// dropped. Re-submitting a dropped campaign is cheap: its outcomes
-/// still replay from the on-disk store.
+/// Most finished (done/failed) jobs retained. Beyond this the oldest
+/// finished jobs are dropped wholesale — their status and document
+/// answer 404 afterwards — which bounds a long-running daemon's
+/// memory; queued and running jobs are never dropped. Re-submitting a
+/// dropped campaign is cheap: its outcomes still replay from the
+/// on-disk store. The journal compacts to the same cap, so the table
+/// and the on-disk record agree on what a restart restores.
 pub const RETAINED_FINISHED_JOBS: usize = 256;
 
 /// Lifecycle state of one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobStatus {
-    /// Accepted, waiting for the scheduler.
+    /// Accepted, waiting for a scheduler lane.
     Queued,
-    /// The scheduler is executing it.
+    /// A scheduler lane is executing it.
     Running,
-    /// Finished; the document is available.
+    /// Finished; the document replays from the store.
     Done,
     /// Ended in an error (the diagnostic rides along).
     Failed(String),
@@ -47,7 +57,8 @@ impl JobStatus {
 /// One accepted campaign job.
 #[derive(Debug, Clone)]
 pub struct Job {
-    /// Daemon-unique id (also the URL path component).
+    /// Daemon-unique id (also the URL path component); ids keep
+    /// counting up across restarts.
     pub id: u64,
     /// Program name from the spec.
     pub program: String,
@@ -61,13 +72,11 @@ pub struct Job {
     pub store_errors: usize,
     /// Lifecycle state.
     pub status: JobStatus,
-    /// The merged outcome document, present once `Done` — byte-identical
-    /// to an offline `nfi campaign run` over the same state dir. Shared
-    /// behind an `Arc` so snapshots never copy document bytes under the
-    /// table lock.
-    pub document: Option<Arc<String>>,
-    /// The planned spec, present until the scheduler takes it.
-    spec: Option<CampaignSpec>,
+    /// The planned spec — retained for the job's whole lifetime (the
+    /// scheduler executes it, the document endpoint replays it, journal
+    /// compaction re-records it). Shared behind an `Arc` so snapshots
+    /// never copy spec bytes under the table lock.
+    pub spec: Arc<CampaignSpec>,
 }
 
 impl Job {
@@ -129,8 +138,10 @@ impl JobTable {
         JobTable::default()
     }
 
-    /// Accepts a planned spec as a new queued job, returning its id.
-    pub fn submit(&self, spec: CampaignSpec) -> u64 {
+    /// Accepts a planned spec as a new queued job, returning its id
+    /// and the shared spec (the caller journals it).
+    pub fn submit(&self, spec: CampaignSpec) -> (u64, Arc<CampaignSpec>) {
+        let spec = Arc::new(spec);
         let mut table = self.lock();
         table.next_id += 1;
         let id = table.next_id;
@@ -144,61 +155,83 @@ impl JobTable {
                 executed: 0,
                 store_errors: 0,
                 status: JobStatus::Queued,
-                document: None,
-                spec: Some(spec),
+                spec: Arc::clone(&spec),
             },
         );
-        id
+        (id, spec)
+    }
+
+    /// Restores a job recovered from the journal under its original
+    /// id: finished jobs come back with their counters, unfinished
+    /// ones come back `Queued` (the caller re-enqueues them). New ids
+    /// continue above every restored one.
+    pub fn restore(
+        &self,
+        id: u64,
+        spec: Arc<CampaignSpec>,
+        status: JobStatus,
+        replayed: usize,
+        executed: usize,
+        store_errors: usize,
+    ) {
+        let mut table = self.lock();
+        table.next_id = table.next_id.max(id);
+        table.jobs.insert(
+            id,
+            Job {
+                id,
+                program: spec.program.clone(),
+                units: spec.units.len(),
+                replayed,
+                executed,
+                store_errors,
+                status,
+                spec,
+            },
+        );
+        table.evict_finished();
+    }
+
+    /// Raises the id floor (journal replay saw `max_id` somewhere,
+    /// even if the full record was lost) so a new job can never reuse
+    /// an id an old client still holds.
+    pub fn reserve_ids(&self, max_id: u64) {
+        let mut table = self.lock();
+        table.next_id = table.next_id.max(max_id);
     }
 
     /// Snapshot of one job (handlers render from the copy, outside the
-    /// lock). The copy is cheap by construction: the document is an
-    /// `Arc` bump and the pending spec — the other potentially large
-    /// payload — is omitted (only the scheduler's [`Self::start`] may
-    /// take it).
+    /// lock). Cheap by construction: the spec is an `Arc` bump.
     pub fn get(&self, id: u64) -> Option<Job> {
-        self.lock().jobs.get(&id).map(|job| Job {
-            program: job.program.clone(),
-            status: job.status.clone(),
-            document: job.document.clone(),
-            spec: None,
-            ..*job
-        })
+        self.lock().jobs.get(&id).cloned()
     }
 
-    /// The rendered status body of one job — built under the lock, so
-    /// a status poll never deep-copies a finished job's document.
+    /// The rendered status body of one job, built under the lock.
     pub fn status_json(&self, id: u64) -> Option<String> {
         self.lock().jobs.get(&id).map(Job::render_status)
     }
 
-    /// Marks the job running and hands its spec to the scheduler.
-    /// Returns `None` if the id is unknown or the spec was already
-    /// taken (a second scheduler would be a bug — the queue hands each
-    /// id out once).
-    pub fn start(&self, id: u64) -> Option<CampaignSpec> {
+    /// Marks the job running and hands its spec to a scheduler lane.
+    /// Returns `None` unless the job is currently `Queued` — the queue
+    /// hands each id out once, and a restart re-queues only jobs that
+    /// replayed as unfinished.
+    pub fn start(&self, id: u64) -> Option<Arc<CampaignSpec>> {
         let mut table = self.lock();
         let job = table.jobs.get_mut(&id)?;
-        let spec = job.spec.take()?;
+        if job.status != JobStatus::Queued {
+            return None;
+        }
         job.status = JobStatus::Running;
-        Some(spec)
+        Some(Arc::clone(&job.spec))
     }
 
     /// Records a finished run.
-    pub fn finish(
-        &self,
-        id: u64,
-        replayed: usize,
-        executed: usize,
-        store_errors: usize,
-        document: String,
-    ) {
+    pub fn finish(&self, id: u64, replayed: usize, executed: usize, store_errors: usize) {
         let mut table = self.lock();
         if let Some(job) = table.jobs.get_mut(&id) {
             job.replayed = replayed;
             job.executed = executed;
             job.store_errors = store_errors;
-            job.document = Some(Arc::new(document));
             job.status = JobStatus::Done;
         }
         table.evict_finished();
@@ -211,6 +244,14 @@ impl JobTable {
             job.status = JobStatus::Failed(message);
         }
         table.evict_finished();
+    }
+
+    /// Snapshot of every job in id order (journal compaction).
+    pub fn all_jobs(&self) -> Vec<Job> {
+        let table = self.lock();
+        let mut jobs: Vec<Job> = table.jobs.values().cloned().collect();
+        jobs.sort_unstable_by_key(|j| j.id);
+        jobs
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Table> {
@@ -236,40 +277,60 @@ mod tests {
     #[test]
     fn jobs_progress_queued_running_done() {
         let table = JobTable::new();
-        let id = table.submit(spec());
+        let (id, _) = table.submit(spec());
         assert_eq!(table.get(id).unwrap().status, JobStatus::Queued);
         let taken = table.start(id).expect("spec available");
         assert_eq!(taken.program, "demo");
         assert_eq!(table.get(id).unwrap().status, JobStatus::Running);
-        assert!(table.start(id).is_none(), "spec is handed out once");
-        table.finish(id, 3, 2, 0, "doc\n".to_string());
+        assert!(table.start(id).is_none(), "a job starts once");
+        table.finish(id, 3, 2, 0);
         let job = table.get(id).unwrap();
         assert_eq!(job.status, JobStatus::Done);
         assert_eq!((job.replayed, job.executed), (3, 2));
-        assert_eq!(job.document.unwrap().as_str(), "doc\n");
+        assert_eq!(job.spec.program, "demo", "the spec outlives the run");
+        assert!(table.start(id).is_none(), "finished jobs don't restart");
     }
 
     #[test]
     fn ids_are_unique_and_unknown_ids_are_none() {
         let table = JobTable::new();
-        let a = table.submit(spec());
-        let b = table.submit(spec());
+        let (a, _) = table.submit(spec());
+        let (b, _) = table.submit(spec());
         assert_ne!(a, b);
         assert!(table.get(999).is_none());
         assert!(table.start(999).is_none());
     }
 
     #[test]
+    fn restored_jobs_keep_their_ids_and_fence_new_ones() {
+        let table = JobTable::new();
+        let shared = Arc::new(spec());
+        table.restore(7, Arc::clone(&shared), JobStatus::Done, 4, 0, 0);
+        table.restore(9, Arc::clone(&shared), JobStatus::Queued, 0, 0, 0);
+        table.reserve_ids(12);
+        let done = table.get(7).unwrap();
+        assert_eq!(done.status, JobStatus::Done);
+        assert_eq!(done.replayed, 4);
+        assert!(
+            table.start(7).is_none(),
+            "finished jobs are not restartable"
+        );
+        assert!(table.start(9).is_some(), "recovered queued jobs run");
+        let (new_id, _) = table.submit(spec());
+        assert_eq!(new_id, 13, "new ids continue above the journal's fence");
+    }
+
+    #[test]
     fn finished_jobs_beyond_the_retention_cap_are_dropped_oldest_first() {
         let table = JobTable::new();
         // One job stays running the whole time: never evicted.
-        let running = table.submit(spec());
+        let (running, _) = table.submit(spec());
         table.start(running);
         let mut finished_ids = Vec::new();
         for _ in 0..RETAINED_FINISHED_JOBS + 5 {
-            let id = table.submit(spec());
+            let (id, _) = table.submit(spec());
             table.start(id);
-            table.finish(id, 0, 1, 0, "doc\n".to_string());
+            table.finish(id, 0, 1, 0);
             finished_ids.push(id);
         }
         for dropped in &finished_ids[..5] {
@@ -292,7 +353,7 @@ mod tests {
     #[test]
     fn status_renders_error_only_when_failed() {
         let table = JobTable::new();
-        let id = table.submit(spec());
+        let (id, _) = table.submit(spec());
         assert!(table
             .get(id)
             .unwrap()
@@ -302,5 +363,15 @@ mod tests {
         let rendered = table.get(id).unwrap().render_status();
         assert!(rendered.contains("\"status\":\"failed\""));
         assert!(rendered.contains("boom \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn all_jobs_snapshots_in_id_order() {
+        let table = JobTable::new();
+        for _ in 0..3 {
+            table.submit(spec());
+        }
+        let ids: Vec<u64> = table.all_jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
     }
 }

@@ -12,36 +12,51 @@
 //!                 │                                   ▲
 //!   ┌─────────────▼───────────────────────────────────┴──┐
 //!   │ accept loop → per-connection threads → router      │
-//!   │        [`jobs::JobTable`]    [`queue::JobQueue`]   │
-//!   └───────────────────────┬────────────────────────────┘
-//!                 scheduler thread (one; jobs run FIFO)
-//!                           │ replay hits from nfi_core::store
-//!                           ▼
-//!        [`worker::WorkerPool`] ── spawns ──▶ nfi campaign exec --shard 0/n
-//!                           │                 nfi campaign exec --shard 1/n ...
-//!                           ▼
-//!          merge → persist segment → document in the job table
+//!   │   [`jobs::JobTable`] [`queue::JobQueue`] journal   │
+//!   └───────┬───────────────┬────────────────────┬───────┘
+//!      lane 0           lane 1      ...      lane n-1
+//!         │ per-(program, machine-fp) segment locks
+//!         │ replay hits from nfi_core::store
+//!         ▼
+//!   [`worker::WorkerPool`] ── spawns ──▶ nfi campaign exec --shard 0/n
+//!         │                              nfi campaign exec --shard 1/n ...
+//!         ▼
+//!   merge → persist segment → document replays from the store
 //! ```
+//!
+//! Jobs on independent programs run in parallel across `--lanes n`
+//! scheduler lanes; jobs touching the same (program, machine-fp)
+//! segment serialize behind the store's segment lock, so concurrency
+//! never costs the byte-parity invariant. Accepted and finished jobs
+//! are appended to a crash-safe [`journal`], replayed at startup:
+//! queued work survives a daemon kill and finished documents rebuild
+//! from the store segment instead of vanishing with the process.
 //!
 //! Module map: [`http`] (bounded request/response codec), [`router`]
 //! (API handlers), [`jobs`] (job table), [`queue`] (FIFO + condvar),
-//! [`worker`] (process-level worker pool), [`client`] (test client).
+//! [`journal`] (crash-safe job journal), [`worker`] (process-level
+//! worker pool), [`client`] (test client).
 
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod queue;
 pub mod router;
 pub mod worker;
 
-use jobs::JobTable;
-use nfi_core::{CampaignStore, Orchestrator, QueueStats, RuntimeSnapshot, StoreTotals};
+use jobs::{JobStatus, JobTable};
+use journal::{Journal, JournalOutcome};
+use nfi_core::{
+    IncrementalRun, JournalStats, Orchestrator, QueueStats, RuntimeSnapshot, StoreTotals,
+};
+use nfi_sfi::CampaignSpec;
 use queue::JobQueue;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use worker::{WorkerMode, WorkerPool};
 
@@ -55,6 +70,8 @@ pub struct ServeConfig {
     pub state_dir: PathBuf,
     /// Workers per job (child processes, or threads in-process).
     pub workers: usize,
+    /// Concurrent scheduler lanes (jobs executing at once).
+    pub lanes: usize,
     /// How store misses execute.
     pub mode: WorkerMode,
     /// Request-body cap in bytes.
@@ -64,12 +81,14 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Defaults: one worker, in-process mode (callers that can spawn
-    /// should set [`WorkerMode::current_exe`]), the codec's body cap.
+    /// Defaults: one worker, one lane, in-process mode (callers that
+    /// can spawn should set [`WorkerMode::current_exe`]), the codec's
+    /// body cap.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             state_dir: state_dir.into(),
             workers: 1,
+            lanes: 1,
             mode: WorkerMode::InProcess,
             max_body: http::DEFAULT_MAX_BODY,
             seed: nfi_pylite::MachineConfig::default().seed,
@@ -89,7 +108,15 @@ struct Counters {
     connections: AtomicUsize,
 }
 
-/// Everything the handler threads and the scheduler share.
+/// What the startup journal replay recovered (fixed after bind).
+#[derive(Debug, Default, Clone, Copy)]
+struct Recovered {
+    queued: u64,
+    finished: u64,
+    corrupt: u64,
+}
+
+/// Everything the handler threads and the scheduler lanes share.
 pub struct ServerState {
     /// Daemon configuration.
     pub config: ServeConfig,
@@ -97,32 +124,120 @@ pub struct ServerState {
     pub jobs: JobTable,
     /// The job queue.
     pub queue: JobQueue,
+    /// The orchestrator every lane runs through — shared so its
+    /// in-process segment-lock table covers all lanes.
+    pub orch: Orchestrator,
+    /// The worker pool (stateless; lanes share it).
+    pub pool: WorkerPool,
+    journal: Mutex<Journal>,
+    recovered: Recovered,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Exclusive `flock` on `<state_dir>/serve.lock`, held for the
+    /// daemon's lifetime (kernel-released on death). The journal and
+    /// the worker exchange dir are daemon-owned, so one state dir
+    /// belongs to at most one daemon at a time; offline `campaign
+    /// run`s still share the dir through the segment locks.
+    _daemon_lock: std::fs::File,
 }
 
 impl ServerState {
-    fn new(config: ServeConfig) -> ServerState {
-        ServerState {
-            config,
-            jobs: JobTable::new(),
-            queue: JobQueue::new(),
-            counters: Counters::default(),
-            shutdown: AtomicBool::new(false),
+    /// Accepts a planned spec: table entry, journal record, queue
+    /// push. The journal append happens *before* the id is returned —
+    /// an acknowledged job is always recoverable after a crash.
+    ///
+    /// Every journal-append + table-update pair runs under the journal
+    /// mutex (here and in the record methods), and compaction — which
+    /// rewrites the journal from a table snapshot — runs under the
+    /// same mutex. A compaction can therefore never observe the append
+    /// without its table update (which would erase a just-journaled
+    /// record) or the table update without its append (which would
+    /// duplicate one).
+    ///
+    /// # Errors
+    ///
+    /// `(status, message)` for the error response: an unjournalable
+    /// job is `500` (and failed in the table), a post-shutdown submit
+    /// is `503`.
+    pub fn accept(&self, spec: CampaignSpec) -> Result<u64, (u16, String)> {
+        let id = {
+            let mut journal = self.journal();
+            let (id, spec) = self.jobs.submit(spec);
+            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = journal.record_accepted(id, &spec) {
+                self.jobs.fail(id, format!("not accepted: {e}"));
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                return Err((500, format!("cannot journal job: {e}")));
+            }
+            id
+        };
+        if !self.queue.push(id) {
+            let message = "daemon is shutting down".to_string();
+            self.finish_under_journal(id, &JournalOutcome::Failed(message.clone()));
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            return Err((503, message));
+        }
+        Ok(id)
+    }
+
+    /// Records a completed run: journal first (a poll-visible `done`
+    /// must survive a crash), then the table, then the counters.
+    fn record_done(&self, id: u64, run: &IncrementalRun) {
+        self.finish_under_journal(
+            id,
+            &JournalOutcome::Done {
+                replayed: run.replayed,
+                executed: run.executed,
+                store_errors: run.store_errors.len(),
+            },
+        );
+        let c = &self.counters;
+        c.completed.fetch_add(1, Ordering::Relaxed);
+        c.units.fetch_add(run.units as u64, Ordering::Relaxed);
+        c.replayed.fetch_add(run.replayed as u64, Ordering::Relaxed);
+        c.executed.fetch_add(run.executed as u64, Ordering::Relaxed);
+    }
+
+    /// Records a failed run (journal first, same reasoning).
+    fn record_failed(&self, id: u64, message: String) {
+        self.finish_under_journal(id, &JournalOutcome::Failed(message));
+        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The one finish path: journal append, table flip, and (when due)
+    /// compaction from a table snapshot, all under the journal mutex —
+    /// see [`Self::accept`] for why the pair must be atomic against
+    /// compaction.
+    fn finish_under_journal(&self, id: u64, outcome: &JournalOutcome) {
+        let mut journal = self.journal();
+        let _ = journal.record_finished(id, outcome);
+        match outcome {
+            JournalOutcome::Done {
+                replayed,
+                executed,
+                store_errors,
+            } => self.jobs.finish(id, *replayed, *executed, *store_errors),
+            JournalOutcome::Failed(message) => self.jobs.fail(id, message.clone()),
+        }
+        // Rewrite the journal from the live table once enough records
+        // have accumulated, so the file tracks the retained job table
+        // instead of the daemon's lifetime.
+        if journal.wants_compaction() {
+            let _ = journal.compact(&self.jobs.all_jobs());
         }
     }
 
-    /// Records an accepted submission (the router calls this).
-    pub fn note_submitted(&self) {
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    fn journal(&self) -> std::sync::MutexGuard<'_, Journal> {
+        self.journal.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The `GET /v1/metrics` document: process-wide cache counters plus
-    /// this daemon's queue gauges and store totals.
+    /// this daemon's queue gauges, store totals, and journal counters.
     pub fn metrics_json(&self) -> String {
         let c = &self.counters;
         let queue = QueueStats {
             depth: self.queue.depth(),
+            lanes: self.config.lanes,
             running: c.running.load(Ordering::Relaxed),
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -133,7 +248,17 @@ impl ServerState {
             replayed: c.replayed.load(Ordering::Relaxed),
             executed: c.executed.load(Ordering::Relaxed),
         };
-        RuntimeSnapshot::capture(queue, store).render_json()
+        let journal = {
+            let j = self.journal();
+            JournalStats {
+                appended: j.appended(),
+                recovered_queued: self.recovered.queued,
+                recovered_finished: self.recovered.finished,
+                corrupt_lines: self.recovered.corrupt,
+                compactions: j.compactions(),
+            }
+        };
+        RuntimeSnapshot::capture(queue, store, journal).render_json()
     }
 }
 
@@ -144,22 +269,92 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` and opens (creating if needed) the state dir, so
-    /// both failure modes surface before the daemon reports ready.
+    /// Binds `addr`, opens (creating if needed) the state dir, and
+    /// replays the job journal: finished jobs come back with their
+    /// counters (documents rebuild from the store), unfinished ones
+    /// are re-enqueued in id order, and new ids continue above every
+    /// recovered one. All failure modes surface before the daemon
+    /// reports ready.
     ///
     /// # Errors
     ///
-    /// Reports an unbindable address or an uncreatable state dir.
+    /// Reports an unbindable address, an uncreatable state dir, a
+    /// state dir another daemon is already serving, or an
+    /// unreadable/unwritable journal.
     pub fn bind(
         addr: impl ToSocketAddrs + std::fmt::Debug,
         config: ServeConfig,
     ) -> Result<Server, String> {
-        CampaignStore::open(&config.state_dir)?;
+        let daemon_lock = acquire_daemon_lock(&config.state_dir)?;
+        // Orchestrator::new opens (creating if needed) the campaign
+        // store, so an uncreatable state dir surfaces here.
+        let orch = Orchestrator::new(&config.state_dir).map(|orch| Orchestrator {
+            workers: config.workers,
+            seed: config.seed,
+            ..orch
+        })?;
+        let pool = WorkerPool {
+            mode: config.mode.clone(),
+            workers: config.workers,
+            work_dir: config.state_dir.join("tmp"),
+        };
+        // Exchange files left by a killed daemon are garbage by
+        // construction (their names carry the dead pid, so no future
+        // dispatch reuses them) — sweep the work dir before serving so
+        // crash/restart cycles don't grow the state dir without bound.
+        // The daemon lock makes this safe: no live daemon shares the
+        // dir, and orphan children still writing keep their unlinked
+        // fds while new files cannot collide with them.
+        let _ = std::fs::remove_dir_all(&pool.work_dir);
+        let (journal, replay) = Journal::open(&config.state_dir)?;
         let listener =
             TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+        let state = ServerState {
+            config,
+            jobs: JobTable::new(),
+            queue: JobQueue::new(),
+            orch,
+            pool,
+            journal: Mutex::new(journal),
+            recovered: Recovered {
+                corrupt: replay.corrupt.len() as u64,
+                ..Recovered::default()
+            },
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            _daemon_lock: daemon_lock,
+        };
+        let mut state = state;
+        for job in replay.jobs {
+            let (status, replayed, executed, store_errors) = match &job.outcome {
+                Some(JournalOutcome::Done {
+                    replayed,
+                    executed,
+                    store_errors,
+                }) => (JobStatus::Done, *replayed, *executed, *store_errors),
+                Some(JournalOutcome::Failed(msg)) => (JobStatus::Failed(msg.clone()), 0, 0, 0),
+                None => (JobStatus::Queued, 0, 0, 0),
+            };
+            let requeue = status == JobStatus::Queued;
+            state.jobs.restore(
+                job.id,
+                Arc::new(job.spec),
+                status,
+                replayed,
+                executed,
+                store_errors,
+            );
+            if requeue {
+                state.queue.push(job.id);
+                state.recovered.queued += 1;
+            } else {
+                state.recovered.finished += 1;
+            }
+        }
+        state.jobs.reserve_ids(replay.max_id);
         Ok(Server {
             listener,
-            state: Arc::new(ServerState::new(config)),
+            state: Arc::new(state),
         })
     }
 
@@ -179,20 +374,22 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Serves until shut down: starts the scheduler thread, then
+    /// Serves until shut down: starts the scheduler lanes, then
     /// accepts connections, one handler thread each.
     ///
     /// # Errors
     ///
-    /// Reports accept-loop setup failures.
+    /// Reports lane/accept-loop setup failures.
     pub fn run(self) -> Result<(), String> {
-        let scheduler = {
+        let mut lanes = Vec::with_capacity(self.state.config.lanes);
+        for lane in 0..self.state.config.lanes {
             let state = Arc::clone(&self.state);
-            std::thread::Builder::new()
-                .name("nfi-serve-scheduler".into())
+            let thread = std::thread::Builder::new()
+                .name(format!("nfi-serve-lane-{lane}"))
                 .spawn(move || scheduler_loop(&state))
-                .map_err(|e| format!("cannot start scheduler: {e}"))?
-        };
+                .map_err(|e| format!("cannot start scheduler lane {lane}: {e}"))?;
+            lanes.push(thread);
+        }
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -225,9 +422,11 @@ impl Server {
                     .fetch_sub(1, Ordering::SeqCst);
             }
         }
-        // Drain: no new pushes, scheduler finishes accepted jobs.
+        // Drain: no new pushes, the lanes finish accepted jobs.
         self.state.queue.shutdown();
-        let _ = scheduler.join();
+        for lane in lanes {
+            let _ = lane.join();
+        }
         Ok(())
     }
 
@@ -266,8 +465,9 @@ impl ServeHandle {
         &self.state
     }
 
-    /// Stops the daemon: the queue drains its accepted jobs, the accept
-    /// loop is woken and exits, and the serving thread is joined.
+    /// Stops the daemon: the queue drains its accepted jobs across the
+    /// lanes, the accept loop is woken and exits, and the serving
+    /// thread is joined.
     pub fn stop(mut self) {
         self.shutdown();
         if let Some(thread) = self.thread.take() {
@@ -292,47 +492,63 @@ impl Drop for ServeHandle {
     }
 }
 
-/// The scheduler: pops job ids FIFO, runs each through the worker pool
-/// and the shared incremental store, records the outcome.
+/// Takes the exclusive daemon `flock` on `<state_dir>/serve.lock`.
+/// The journal and the worker exchange dir have exactly one owner, so
+/// a second daemon on the same state dir is refused at bind instead of
+/// silently re-running the first daemon's queued jobs and compacting
+/// its journal records away. Offline `campaign run`s are unaffected —
+/// they touch neither resource and meet the daemon at the store's
+/// segment locks.
+///
+/// # Errors
+///
+/// Reports a state dir another daemon is already serving, an
+/// uncreatable/unwritable lock file, or a filesystem without `flock`
+/// support. Unlike the best-effort segment-lock file level, this does
+/// **not** degrade to unguarded: an unprotected second daemon would
+/// sweep the first one's in-flight worker files and rename its journal
+/// out from under its append handle, losing acknowledged jobs.
+fn acquire_daemon_lock(state_dir: &std::path::Path) -> Result<std::fs::File, String> {
+    std::fs::create_dir_all(state_dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+    let path = state_dir.join("serve.lock");
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| format!("cannot open daemon lock {}: {e}", path.display()))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(std::fs::TryLockError::WouldBlock) => Err(format!(
+            "state dir {} is already being served by another daemon (serve.lock is held); \
+             give the second daemon its own state dir",
+            state_dir.display()
+        )),
+        Err(std::fs::TryLockError::Error(e)) => Err(format!(
+            "cannot lock {} ({e}); the daemon requires a filesystem with flock support \
+             for its state dir",
+            path.display()
+        )),
+    }
+}
+
+/// One scheduler lane: pops job ids FIFO, runs each through the shared
+/// worker pool and incremental store, records the outcome. Lanes
+/// compete for the queue head; jobs on the same (program, machine-fp)
+/// segment serialize inside the orchestrator's segment lock, which is
+/// why N lanes preserve the serve-vs-offline byte-parity invariant.
 fn scheduler_loop(state: &ServerState) {
-    let pool = WorkerPool {
-        mode: state.config.mode.clone(),
-        workers: state.config.workers,
-        work_dir: state.config.state_dir.join("tmp"),
-    };
-    let orch = Orchestrator::new(&state.config.state_dir).map(|orch| Orchestrator {
-        workers: state.config.workers,
-        seed: state.config.seed,
-        ..orch
-    });
     while let Some(id) = state.queue.pop() {
         let Some(spec) = state.jobs.start(id) else {
             continue;
         };
         let c = &state.counters;
         c.running.fetch_add(1, Ordering::Relaxed);
-        let result = orch
-            .as_ref()
-            .map_err(Clone::clone)
-            .and_then(|orch| pool.run_job(orch, id, &spec));
-        match result {
-            Ok(run) => {
-                c.completed.fetch_add(1, Ordering::Relaxed);
-                c.units.fetch_add(run.units as u64, Ordering::Relaxed);
-                c.replayed.fetch_add(run.replayed as u64, Ordering::Relaxed);
-                c.executed.fetch_add(run.executed as u64, Ordering::Relaxed);
-                state.jobs.finish(
-                    id,
-                    run.replayed,
-                    run.executed,
-                    run.store_errors.len(),
-                    run.run.encode(),
-                );
-            }
-            Err(message) => {
-                c.failed.fetch_add(1, Ordering::Relaxed);
-                state.jobs.fail(id, message);
-            }
+        match state.pool.run_job(&state.orch, id, &spec) {
+            Ok(run) => state.record_done(id, &run),
+            Err(message) => state.record_failed(id, message),
         }
         c.running.fetch_sub(1, Ordering::Relaxed);
     }

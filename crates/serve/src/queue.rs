@@ -1,10 +1,12 @@
 //! A minimal blocking FIFO job queue (mutex + condvar).
 //!
-//! The daemon runs one scheduler thread, so the queue doubles as the
-//! serialization point for state-dir writes: jobs execute strictly in
-//! submission order and two jobs can never race on the same store
-//! segment. Parallelism lives *inside* a job — the worker pool stripes
-//! its store misses over child processes.
+//! The daemon's scheduler lanes all pop from this one queue: ids are
+//! handed out in submission order, one lane each. The queue makes no
+//! exclusivity promise about *segments* — two jobs on the same program
+//! can be in flight on two lanes at once — because store writers
+//! serialize behind the per-(program, machine-fp) segment locks in
+//! `nfi_core::store`. Parallelism also lives *inside* a job: the
+//! worker pool stripes its store misses over child processes.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

@@ -63,7 +63,9 @@ fn campaign_route(state: &ServerState, req: &Request, rest: &str) -> Response {
     }
 }
 
-/// `POST /v1/campaigns`: plan and enqueue.
+/// `POST /v1/campaigns`: plan, journal, and enqueue. The `202` goes
+/// out only after the journal holds the accepted record, so every
+/// acknowledged job survives a daemon crash.
 fn submit(state: &ServerState, body: &[u8]) -> Response {
     let spec = match parse_submission(body, state.config.seed) {
         Ok(spec) => spec,
@@ -71,19 +73,16 @@ fn submit(state: &ServerState, body: &[u8]) -> Response {
     };
     let program = spec.program.clone();
     let units = spec.units.len();
-    let id = state.jobs.submit(spec);
-    state.note_submitted();
-    if !state.queue.push(id) {
-        state.jobs.fail(id, "daemon is shutting down".to_string());
-        return Response::error(503, "daemon is shutting down");
-    }
-    Response::json(
-        202,
-        format!(
-            "{{\"id\":{id},\"program\":\"{}\",\"status\":\"queued\",\"units\":{units}}}",
-            escape(&program),
+    match state.accept(spec) {
+        Ok(id) => Response::json(
+            202,
+            format!(
+                "{{\"id\":{id},\"program\":\"{}\",\"status\":\"queued\",\"units\":{units}}}",
+                escape(&program),
+            ),
         ),
-    )
+        Err((status, message)) => Response::error(status, &message),
+    }
 }
 
 /// Decodes a submission body into a planned spec. Two accepted shapes:
@@ -152,20 +151,35 @@ fn status(state: &ServerState, id: u64) -> Response {
     }
 }
 
-/// `GET /v1/campaigns/:id/document`.
+/// `GET /v1/campaigns/:id/document`: the job table buffers no
+/// documents — a finished job's bytes rebuild from the on-disk store
+/// segment on every fetch. The fast path is a pure replay (read the
+/// segment, re-emit the stored lines verbatim, merge); a segment that
+/// can no longer replay fully — pruned by a later run of the same
+/// program, corrupted on disk — degrades to a **read-only** full
+/// re-execution through the canonical encoder. The fallback
+/// deliberately skips the store's merge-and-persist path: a read
+/// endpoint must not save (and thereby prune) segments, or two
+/// finished jobs planned from different sources of one program would
+/// evict each other's segments on alternating fetches. Either way the
+/// response is byte-identical to the document the original run
+/// produced, which is also what makes finished jobs restored from the
+/// journal indistinguishable from jobs finished in this process.
 fn document(state: &ServerState, id: u64) -> Response {
     let Some(job) = state.jobs.get(id) else {
         return Response::error(404, &format!("no campaign job {id}"));
     };
     match &job.status {
-        // The body copy out of the shared Arc happens here, outside
-        // the job-table lock.
-        JobStatus::Done => Response::jsonl(
-            200,
-            job.document
-                .map(|d| d.as_str().to_string())
-                .unwrap_or_default(),
-        ),
+        JobStatus::Done => match state.orch.replay_full(&job.spec) {
+            Some(doc) => Response::jsonl(200, doc),
+            None => match nfi_core::exec_spec(&job.spec, &state.orch.machine, state.orch.config) {
+                Ok(run) => Response::jsonl(200, run.encode()),
+                Err(e) => Response::error(
+                    500,
+                    &format!("cannot rebuild the document of job {id}: {e}"),
+                ),
+            },
+        },
         JobStatus::Failed(msg) => Response::error(409, &format!("job {id} failed: {msg}")),
         other => Response::error(
             409,

@@ -91,9 +91,22 @@ impl WorkerPool {
         spec: &CampaignSpec,
         missing: &[usize],
     ) -> Result<Vec<ShardRun>, String> {
+        use std::sync::atomic::{AtomicU64, Ordering};
         std::fs::create_dir_all(&self.work_dir)
             .map_err(|e| format!("cannot create {}: {e}", self.work_dir.display()))?;
-        let plan_path = self.work_dir.join(format!("job-{job_id}.plan.jsonl"));
+        // Exchange files are dispatch-unique, not just job-unique: a
+        // killed daemon can leave orphan children still writing
+        // `job-N` files, and a restarted daemon re-runs job N against
+        // the same work dir. The pid separates daemons; the counter
+        // separates concurrent dispatches within one (two document
+        // rebuilds of the same job, say).
+        static DISPATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tag = format!(
+            "job-{job_id}.{}-{}",
+            std::process::id(),
+            DISPATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let plan_path = self.work_dir.join(format!("{tag}.plan.jsonl"));
         std::fs::write(&plan_path, spec.subset(missing).encode())
             .map_err(|e| format!("cannot write {}: {e}", plan_path.display()))?;
         let workers = self.workers.clamp(1, missing.len());
@@ -103,7 +116,7 @@ impl WorkerPool {
         for index in 0..workers {
             let out_path = self
                 .work_dir
-                .join(format!("job-{job_id}.shard-{index}-{workers}.jsonl"));
+                .join(format!("{tag}.shard-{index}-{workers}.jsonl"));
             // One engine thread per child: the parallelism lives in the
             // process fan-out, not nested thread pools.
             let spawned = Command::new(nfi)

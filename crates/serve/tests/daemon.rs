@@ -366,6 +366,302 @@ fn metrics_track_queue_and_store_counters() {
 }
 
 #[test]
+fn concurrent_lanes_serve_documents_byte_identical_to_offline_runs() {
+    // Three lanes, a burst of distinct programs plus a duplicate
+    // same-program pair: independent jobs run in parallel, the
+    // duplicate pair serializes on the segment lock, and every served
+    // document must still match a fresh offline orchestrated run.
+    let dir = state_dir("lanes");
+    let config = ServeConfig {
+        workers: 1,
+        lanes: 3,
+        mode: WorkerMode::InProcess,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+
+    let sources: Vec<(String, String)> = (0..3)
+        .map(|i| {
+            (
+                format!("prog{i}"),
+                format!("def f():\n    return {i}\ndef test_f():\n    assert f() == {i}\n"),
+            )
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for (name, source) in &sources {
+        let body = format!(
+            "{{\"program\":\"{name}\",\"source\":\"{}\"}}",
+            nfi_sfi::jsontext::escape(source)
+        );
+        ids.push((name.clone(), source.clone(), submit(addr, &body)));
+    }
+    // The duplicate: prog0 again, racing the first submission.
+    let (dup_name, dup_source) = sources[0].clone();
+    let dup_body = format!(
+        "{{\"program\":\"{dup_name}\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(&dup_source)
+    );
+    let dup_id = submit(addr, &dup_body);
+
+    for (_, _, id) in &ids {
+        let status = await_job(addr, *id);
+        assert!(status.contains("\"status\":\"done\""), "{status}");
+    }
+    let dup_status = await_job(addr, dup_id);
+    assert!(dup_status.contains("\"status\":\"done\""), "{dup_status}");
+
+    // The same-program pair executed its units exactly once between
+    // them — the segment lock made the loser replay the winner's save.
+    let count = |text: &str, field: &str| -> usize {
+        text.split(&format!("\"{field}\":"))
+            .nth(1)
+            .and_then(|t| t.split([',', '}']).next())
+            .and_then(|t| t.parse().ok())
+            .unwrap()
+    };
+    let first_status = {
+        let reply =
+            request_once(addr, "GET", &format!("/v1/campaigns/{}", ids[0].2), None).unwrap();
+        reply.text()
+    };
+    let units = count(&first_status, "units");
+    assert_eq!(
+        count(&first_status, "executed") + count(&dup_status, "executed"),
+        units,
+        "duplicate submissions double-executed or corrupted the segment: {first_status} vs {dup_status}"
+    );
+
+    // Byte-parity of every document against a fresh offline run.
+    for (name, source, id) in &ids {
+        let doc = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+        assert_eq!(doc.status, 200);
+        let offline_dir = state_dir(&format!("lanes-offline-{name}"));
+        let offline = nfi_core::Orchestrator::new(&offline_dir)
+            .unwrap()
+            .run_program(name, source)
+            .unwrap();
+        assert_eq!(
+            doc.text(),
+            offline.run.encode(),
+            "lane-served {name} differs from offline"
+        );
+        let _ = std::fs::remove_dir_all(&offline_dir);
+    }
+    let dup_doc = request_once(
+        addr,
+        "GET",
+        &format!("/v1/campaigns/{dup_id}/document"),
+        None,
+    )
+    .unwrap();
+    let first_doc = request_once(
+        addr,
+        "GET",
+        &format!("/v1/campaigns/{}/document", ids[0].2),
+        None,
+    )
+    .unwrap();
+    assert_eq!(dup_doc.body, first_doc.body);
+
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(metrics.text().contains("\"lanes\":3"), "{}", metrics.text());
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_recovers_finished_documents_and_requeues_pending_jobs() {
+    let dir = state_dir("recovery");
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+
+    // Round one: finish a job, remember its document, stop cleanly.
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::InProcess,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config.clone())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let id = submit(handle.addr, &body);
+    await_job(handle.addr, id);
+    let doc = request_once(
+        handle.addr,
+        "GET",
+        &format!("/v1/campaigns/{id}/document"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(doc.status, 200);
+    handle.stop();
+
+    // Simulate a crash with work in flight: append an accepted-only
+    // record for a second job straight into the journal, exactly as a
+    // killed daemon would have left it.
+    let spec2 = nfi_core::plan_campaign(
+        "recovered",
+        "def g():\n    return 5\ndef test_g():\n    assert g() == 5\n",
+        nfi_pylite::MachineConfig::default().seed,
+    )
+    .unwrap();
+    {
+        use nfi_serve::journal::Journal;
+        let (mut journal, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.max_id, id);
+        journal.record_accepted(77, &spec2).unwrap();
+    }
+
+    // Round two: the restarted daemon restores job 1 as done (same
+    // counters, same bytes, straight from the store) and runs job 77
+    // to completion.
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    let restored = request_once(addr, "GET", &format!("/v1/campaigns/{id}"), None).unwrap();
+    assert_eq!(restored.status, 200, "{}", restored.text());
+    assert!(
+        restored.text().contains("\"status\":\"done\""),
+        "finished job must be restored, not re-queued: {}",
+        restored.text()
+    );
+    let redoc = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+    assert_eq!(redoc.status, 200);
+    assert_eq!(
+        redoc.body, doc.body,
+        "restored document differs from the pre-restart bytes"
+    );
+
+    let recovered = await_job(addr, 77);
+    assert!(recovered.contains("\"status\":\"done\""), "{recovered}");
+    let rec_doc = request_once(addr, "GET", "/v1/campaigns/77/document", None).unwrap();
+    let offline_dir = state_dir("recovery-offline");
+    let offline = nfi_core::Orchestrator::new(&offline_dir)
+        .unwrap()
+        .run_spec(&spec2)
+        .unwrap();
+    assert_eq!(rec_doc.text(), offline.run.encode());
+
+    // Ids keep counting above everything the journal ever saw.
+    let next = submit(addr, &body);
+    assert!(next > 77, "id {next} reused journal space");
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.text().contains("\"recovered_finished\":1"),
+        "{}",
+        metrics.text()
+    );
+    assert!(
+        metrics.text().contains("\"recovered_queued\":1"),
+        "{}",
+        metrics.text()
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&offline_dir);
+}
+
+#[test]
+fn corrupt_trailing_journal_line_replans_without_changing_the_document() {
+    let dir = state_dir("journal-corrupt");
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::InProcess,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config.clone())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let id = submit(handle.addr, &body);
+    await_job(handle.addr, id);
+    let doc = request_once(
+        handle.addr,
+        "GET",
+        &format!("/v1/campaigns/{id}/document"),
+        None,
+    )
+    .unwrap();
+    handle.stop();
+
+    // Truncate the journal mid-way through its trailing `finished`
+    // record, as a crash mid-append would.
+    let journal_path = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    std::fs::write(&journal_path, &text[..text.len() - 30]).unwrap();
+
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    // The job lost its finish record, so it re-queues, re-runs (warm
+    // from the store: zero units execute), and serves the same bytes.
+    let rerun = await_job(addr, id);
+    assert!(rerun.contains("\"status\":\"done\""), "{rerun}");
+    assert!(
+        rerun.contains("\"executed\":0"),
+        "re-planned job must replay from the store: {rerun}"
+    );
+    let redoc = request_once(addr, "GET", &format!("/v1/campaigns/{id}/document"), None).unwrap();
+    assert_eq!(
+        redoc.body, doc.body,
+        "journal corruption changed a served document"
+    );
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.text().contains("\"corrupt_lines\":1"),
+        "{}",
+        metrics.text()
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_daemon_on_the_same_state_dir_is_refused_at_bind() {
+    let (handle, dir) = start("exclusive");
+    let second = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            mode: WorkerMode::InProcess,
+            ..ServeConfig::new(&dir)
+        },
+    );
+    let err = second.err().expect("second daemon must be refused");
+    assert!(
+        err.contains("already being served"),
+        "unexpected diagnostic: {err}"
+    );
+    handle.stop();
+    // Once the first daemon is gone its lock is released.
+    let third = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            mode: WorkerMode::InProcess,
+            ..ServeConfig::new(&dir)
+        },
+    );
+    assert!(third.is_ok(), "{:?}", third.err());
+    drop(third);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn jobs_accepted_before_shutdown_finish_before_stop_returns() {
     let (handle, dir) = start("drain");
     let addr = handle.addr;

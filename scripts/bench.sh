@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# E7 throughput bench: builds the release binary, runs the campaign /
-# LM-kernel / pipeline throughput drivers, and emits BENCH_e7.json.
+# E7 throughput bench: runs the campaign / LM-kernel / pipeline /
+# store / serve throughput drivers and emits BENCH_e7.json. Reuses an
+# already built release binary when present (CI downloads it as an
+# artifact), building it otherwise.
 #
-# Usage: scripts/bench.sh [--quick] [--threads N] [--out PATH]
+# Usage: scripts/bench.sh [--quick] [--threads N] [--lanes N] [--out PATH]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ARGS=("$@")
-cargo build --release --bin nfi
-exec ./target/release/nfi bench "${ARGS[@]}"
+NFI=./target/release/nfi
+[ -x "$NFI" ] || cargo build --release --bin nfi
+exec "$NFI" bench "$@"

@@ -1,0 +1,54 @@
+# Shared helpers for the serve CI gauntlets — sourced, not executed.
+# Callers set NFI (path of the release binary) and manage their own
+# WORK dir and cleanup trap; `start_daemon` sets SERVE_PID and ADDR,
+# and the HTTP helpers talk to whatever $ADDR currently names.
+
+req() { # req <method> <path> [data] -> body (status checked)
+  # `curl -f` would hide response bodies; check status codes explicitly.
+  local method=$1 path=$2 data=${3-}
+  local out status body
+  out=$(curl -sS -X "$method" ${data:+-d "$data"} \
+    -w $'\n%{http_code}' "http://$ADDR$path")
+  status=${out##*$'\n'}
+  body=${out%$'\n'*}
+  case "$status" in
+    2*) printf '%s' "$body" ;;
+    *) echo "FAIL: $method $path -> HTTP $status: $body" >&2; exit 1 ;;
+  esac
+}
+
+json_field() { # json_field <json> <field> -> value (numbers/strings)
+  printf '%s' "$1" | grep -o "\"$2\":[^,}]*" | head -1 | cut -d: -f2- | tr -d '"'
+}
+
+await() { # await <id> -> final status JSON (fails on failed/timeout)
+  local id=$1 status text
+  for _ in $(seq 1 600); do
+    text=$(req GET "/v1/campaigns/$id")
+    status=$(json_field "$text" status)
+    case "$status" in
+      done) printf '%s' "$text"; return 0 ;;
+      failed) echo "FAIL: job $id failed: $text" >&2; exit 1 ;;
+      *) sleep 0.5 ;;
+    esac
+  done
+  echo "FAIL: job $id never finished: $text" >&2
+  exit 1
+}
+
+start_daemon() { # start_daemon <log-file> <serve-arg>... -> SERVE_PID, ADDR
+  local log=$1
+  shift
+  : > "$log"
+  "$NFI" serve --addr 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  SERVE_PID=$!
+  ADDR=
+  for _ in $(seq 1 50); do
+    # The daemon prints its resolved ephemeral address on line 1.
+    ADDR=$(grep -o 'http://[0-9.:]*' "$log" | head -1 | sed 's|http://||') || true
+    [ -n "${ADDR:-}" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$log" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "${ADDR:-}" ] || { echo "FAIL: daemon never reported an address" >&2; exit 1; }
+}

@@ -14,6 +14,7 @@
 # Usage: scripts/serve_parity.sh [program ...]   (default: banking jobqueue)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/serve_lib.sh
 
 NFI=./target/release/nfi
 [ -x "$NFI" ] || cargo build --release --bin nfi
@@ -32,35 +33,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# `curl -f` would hide response bodies; check status codes explicitly.
-req() { # req <method> <path> [data] -> body (status checked)
-  local method=$1 path=$2 data=${3-}
-  local out status
-  out=$(curl -sS -X "$method" ${data:+-d "$data"} \
-    -w $'\n%{http_code}' "http://$ADDR$path")
-  status=${out##*$'\n'}
-  body=${out%$'\n'*}
-  case "$status" in
-    2*) printf '%s' "$body" ;;
-    *) echo "FAIL: $method $path -> HTTP $status: $body" >&2; exit 1 ;;
-  esac
-}
-
-json_field() { # json_field <json> <field> -> value (numbers/strings)
-  printf '%s' "$1" | grep -o "\"$2\":[^,}]*" | head -1 | cut -d: -f2- | tr -d '"'
-}
-
 echo "== start daemon =="
-"$NFI" serve --state-dir "$WORK/served" --addr 127.0.0.1:0 --workers 2 \
-  > "$WORK/serve.log" 2>&1 &
-SERVE_PID=$!
-for _ in $(seq 1 50); do
-  ADDR=$(grep -o 'http://[0-9.:]*' "$WORK/serve.log" | head -1 | sed 's|http://||') || true
-  [ -n "${ADDR:-}" ] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log" >&2; exit 1; }
-  sleep 0.1
-done
-[ -n "${ADDR:-}" ] || { echo "FAIL: daemon never reported an address" >&2; exit 1; }
+start_daemon "$WORK/serve.log" --state-dir "$WORK/served" --workers 2
 echo "daemon at $ADDR"
 req GET /healthz >/dev/null
 
@@ -71,21 +45,6 @@ for p in "${PROGRAMS[@]}"; do
   JOB_ID[$p]=$(json_field "$reply" id)
   [ -n "${JOB_ID[$p]}" ] || { echo "FAIL: no job id in $reply" >&2; exit 1; }
 done
-
-await() { # await <id> -> final status JSON
-  local id=$1 status text
-  for _ in $(seq 1 600); do
-    text=$(req GET "/v1/campaigns/$id")
-    status=$(json_field "$text" status)
-    case "$status" in
-      done) printf '%s' "$text"; return 0 ;;
-      failed) echo "FAIL: job $id failed: $text" >&2; exit 1 ;;
-      *) sleep 0.5 ;;
-    esac
-  done
-  echo "FAIL: job $id never finished: $text" >&2
-  exit 1
-}
 
 for p in "${PROGRAMS[@]}"; do
   echo "== await + fetch $p =="

@@ -7,7 +7,7 @@
 //! nfi inject --program <name> --describe "<fault>"   one-shot injection
 //! nfi session --program <name> --describe "<fault>" [--profile retry|crash] [--rounds N]
 //! nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
-//! nfi serve --state-dir <dir> [--addr IP:PORT]    fault injection as a service
+//! nfi serve --state-dir <dir> [--addr IP:PORT] [--lanes N]   fault injection as a service
 //! nfi store gc --state-dir <dir> [--dry-run]      prune dead store segments
 //! nfi experiments [e1|e2|...|e8|all] [--quick] [--threads N]
 //! nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
@@ -41,11 +41,12 @@ USAGE:
   nfi campaign merge <run.jsonl>... [--out PATH]
   nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N]
                    [--out-dir DIR] [--program <name> | --file <path> | <file>...]
-  nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--seed N]
+  nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--lanes N]
+            [--seed N]
   nfi store gc --state-dir <dir> [--dry-run]
                (--corpus | --program <name> | --file <path> | <file>...)
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
-  nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
+  nfi bench [--plans N] [--threads N] [--lanes N] [--quick] [--out PATH]
 ";
 
 fn main() -> ExitCode {
@@ -360,13 +361,24 @@ fn exec_config(flags: &HashMap<&str, &str>) -> Result<nfi_core::exec::ExecConfig
 /// agree): rejects `0` and non-numeric values with the same error
 /// style as the `--threads` parser, defaulting to 1.
 fn parse_workers(flags: &HashMap<&str, &str>) -> Result<usize, String> {
+    parse_positive(flags, "workers")
+}
+
+/// The `--lanes` parser (`serve` and `bench` agree): concurrent
+/// scheduler lanes, strictly positive, defaulting to 1 (the previous
+/// FIFO behavior).
+fn parse_lanes(flags: &HashMap<&str, &str>) -> Result<usize, String> {
+    parse_positive(flags, "lanes")
+}
+
+fn parse_positive(flags: &HashMap<&str, &str>, name: &str) -> Result<usize, String> {
     flags
-        .get("workers")
+        .get(name)
         .map(|v| {
             v.parse::<usize>()
                 .ok()
                 .filter(|&w| w > 0)
-                .ok_or_else(|| format!("--workers expects a positive integer, got `{v}`"))
+                .ok_or_else(|| format!("--{name} expects a positive integer, got `{v}`"))
         })
         .transpose()
         .map(|w| w.unwrap_or(1))
@@ -608,8 +620,10 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
     let addr = parse_addr(flags)?;
     let workers = parse_workers(flags)?;
+    let lanes = parse_lanes(flags)?;
     let config = ServeConfig {
         workers,
+        lanes,
         mode: WorkerMode::current_exe()?,
         seed: parse_seed(flags)?,
         ..ServeConfig::new(state_dir)
@@ -617,8 +631,8 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let server = Server::bind(addr, config)?;
     let local = server.local_addr()?;
     println!(
-        "nfi serve: listening on http://{local} (state dir {state_dir}, {workers} process \
-         worker(s) per job)"
+        "nfi serve: listening on http://{local} (state dir {state_dir}, {lanes} lane(s), \
+         {workers} process worker(s) per job)"
     );
     println!("  POST /v1/campaigns | GET /v1/campaigns/:id[/document] | GET /v1/metrics");
     server.run()
@@ -834,13 +848,15 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let serve = bench_serve(
         if quick { 3 } else { 0 },
         parse_workers(flags)?,
+        parse_lanes(flags)?,
         nfi_serve::worker::WorkerMode::current_exe()?,
     );
     println!(
-        "  {:.0} requests/s; {} program(s), {} units end-to-end: {:.1} units/s cold, {:.1} units/s store-warm ({:.2}x), documents identical: {}",
+        "  {:.0} requests/s; {} program(s), {} units end-to-end over {} lane(s): {:.1} units/s cold, {:.1} units/s store-warm ({:.2}x), documents identical: {}",
         serve.requests_per_s(),
         serve.programs,
         serve.units,
+        serve.lanes,
         serve.cold_units_per_s(),
         serve.warm_units_per_s(),
         serve.warm_speedup(),

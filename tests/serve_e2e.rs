@@ -46,9 +46,15 @@ struct Daemon {
 
 impl Daemon {
     fn start(state_dir: &std::path::Path, workers: usize) -> Daemon {
+        Daemon::start_with_lanes(state_dir, workers, 1)
+    }
+
+    fn start_with_lanes(state_dir: &std::path::Path, workers: usize, lanes: usize) -> Daemon {
         let mut child = Command::new(NFI)
             .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
             .arg(workers.to_string())
+            .arg("--lanes")
+            .arg(lanes.to_string())
             .arg("--state-dir")
             .arg(state_dir)
             .stdout(Stdio::piped())
@@ -163,6 +169,115 @@ fn served_documents_from_process_workers_match_offline_campaign_run() {
 }
 
 #[test]
+fn killed_daemon_recovers_accepted_jobs_and_finished_documents_on_restart() {
+    let dir = scratch("restart");
+    let state = dir.join("state");
+    let submit = |addr: &str, name: &str, source: &str| -> u64 {
+        let body = format!(
+            "{{\"program\":\"{name}\",\"source\":\"{}\"}}",
+            neural_fault_injection::sfi::jsontext::escape(source)
+        );
+        let reply = request_once(addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+        assert_eq!(reply.status, 202, "{}", reply.text());
+        reply
+            .text()
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|t| t.split([',', '}']).next())
+            .and_then(|t| t.parse().ok())
+            .unwrap()
+    };
+    let sources: Vec<(String, String)> = (0..3)
+        .map(|i| {
+            (
+                format!("burst{i}"),
+                format!("def f():\n    return {i}\ndef test_f():\n    assert f() == {i}\n"),
+            )
+        })
+        .collect();
+
+    // Warm-up job: finished, journaled, its document fetched.
+    let daemon = Daemon::start_with_lanes(&state, 1, 2);
+    let warm_id = submit(&daemon.addr, "demo", SOURCE);
+    await_done(&daemon.addr, warm_id);
+    let warm_doc = request_once(
+        &daemon.addr,
+        "GET",
+        &format!("/v1/campaigns/{warm_id}/document"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(warm_doc.status, 200);
+
+    // Burst-submit, then kill the daemon immediately — the burst is
+    // accepted (journaled before each 202) but mostly still queued.
+    let burst_ids: Vec<u64> = sources
+        .iter()
+        .map(|(name, source)| submit(&daemon.addr, name, source))
+        .collect();
+    drop(daemon); // SIGKILL, no drain
+
+    // Restart on the same state dir: nothing accepted may be lost.
+    let daemon = Daemon::start_with_lanes(&state, 1, 2);
+    let restored = request_once(
+        &daemon.addr,
+        "GET",
+        &format!("/v1/campaigns/{warm_id}"),
+        None,
+    )
+    .unwrap();
+    assert!(
+        restored.text().contains("\"status\":\"done\""),
+        "warm-up job must restore as done: {}",
+        restored.text()
+    );
+    let redoc = request_once(
+        &daemon.addr,
+        "GET",
+        &format!("/v1/campaigns/{warm_id}/document"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(
+        redoc.body, warm_doc.body,
+        "restored document differs from the pre-kill bytes"
+    );
+    for (id, (name, source)) in burst_ids.iter().zip(&sources) {
+        await_done(&daemon.addr, *id);
+        let doc = request_once(
+            &daemon.addr,
+            "GET",
+            &format!("/v1/campaigns/{id}/document"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(doc.status, 200);
+        // Byte-parity against an offline run of the same binary.
+        let src_path = dir.join(format!("{name}.py"));
+        std::fs::write(&src_path, source).unwrap();
+        let offline_state = dir.join(format!("offline-{name}"));
+        let status = Command::new(NFI)
+            .args(["campaign", "run", "--state-dir"])
+            .arg(&offline_state)
+            .arg(&src_path)
+            .stdout(Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success());
+        let offline_doc = std::fs::read(offline_state.join(format!("runs/{name}.jsonl"))).unwrap();
+        assert_eq!(
+            doc.body, offline_doc,
+            "recovered {name} differs from offline `nfi campaign run`"
+        );
+    }
+    // New ids continue above everything the journal saw.
+    let next = submit(&daemon.addr, "demo", SOURCE);
+    assert!(next > *burst_ids.iter().max().unwrap());
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn strict_flag_validation_rejects_nonsense_up_front() {
     let run = |args: &[&str]| -> (bool, String) {
         let output = Command::new(NFI).args(args).output().expect("run nfi");
@@ -179,6 +294,14 @@ fn strict_flag_validation_rejects_nonsense_up_front() {
         (
             &["serve", "--state-dir", "/tmp/x", "--workers", "two"],
             "--workers expects a positive integer, got `two`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--lanes", "0"],
+            "--lanes expects a positive integer, got `0`",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--lanes", "many"],
+            "--lanes expects a positive integer, got `many`",
         ),
         (
             &["serve", "--state-dir", "/tmp/x", "--port", "0"],
