@@ -326,6 +326,20 @@ pub struct ServeBench {
     pub requests: usize,
     /// Wall time of the rate burst (seconds), one keep-alive connection.
     pub requests_secs: f64,
+    /// Metrics requests answered by the hardened daemon (bearer auth +
+    /// rate limiter on the path).
+    pub auth_requests: usize,
+    /// Wall time of the hardened burst (seconds).
+    pub auth_requests_secs: f64,
+    /// Forged-token requests the hardened daemon refused (its edge
+    /// `unauthorized` counter after the bench).
+    pub unauthorized: u64,
+    /// Submissions the hardened daemon shed (`queue_shed` counter —
+    /// expected 0: the bench never overruns its own queue).
+    pub queue_shed: u64,
+    /// Worker retries across both daemons' rounds (expected 0: nothing
+    /// kills the bench children).
+    pub retries: u64,
     /// Programs submitted per round.
     pub programs: usize,
     /// Scheduler lanes the benched daemon ran.
@@ -348,6 +362,13 @@ impl ServeBench {
     /// Metrics requests/sec over one keep-alive connection.
     pub fn requests_per_s(&self) -> f64 {
         self.requests as f64 / self.requests_secs.max(1e-9)
+    }
+
+    /// Metrics requests/sec with auth + rate limiting on the path —
+    /// the hardening tax on the hot path is `requests_per_s` minus
+    /// this.
+    pub fn auth_requests_per_s(&self) -> f64 {
+        self.auth_requests as f64 / self.auth_requests_secs.max(1e-9)
     }
 
     /// Cold end-to-end units/sec through the daemon.
@@ -387,7 +408,7 @@ pub fn bench_serve(
     let config = nfi_serve::ServeConfig {
         workers,
         lanes,
-        mode,
+        mode: mode.clone(),
         ..nfi_serve::ServeConfig::new(&dir)
     };
     let server = nfi_serve::Server::bind("127.0.0.1:0", config).expect("serve bench bind");
@@ -474,11 +495,61 @@ pub fn bench_serve(
     let (units, _, _, cold_docs, cold_secs) = run_round();
     let (_, warm_replayed, warm_executed, warm_docs, warm_secs) = run_round();
     handle.stop();
+
+    // Hardened rate: same daemon with bearer auth and the per-client
+    // rate limiter on the request path (the limit is far above the
+    // burst, so its bookkeeping — not shedding — is what is priced).
+    // Forged tokens must be refused and show up in the edge counters.
+    // Its own state dir: the first daemon's serve.lock outlives stop()
+    // briefly, and the metrics path never touches the store anyway.
+    let auth_dir =
+        std::env::temp_dir().join(format!("nfi-serve-bench-auth-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&auth_dir);
+    let auth_config = nfi_serve::ServeConfig {
+        workers,
+        lanes,
+        mode,
+        auth: Some(nfi_serve::auth::AuthTokens::parse("bench:bench-token").expect("bench tokens")),
+        rate_limit: 1_000_000,
+        ..nfi_serve::ServeConfig::new(&auth_dir)
+    };
+    let server = nfi_serve::Server::bind("127.0.0.1:0", auth_config).expect("auth bench bind");
+    let handle = server.spawn().expect("auth bench spawn");
+    let mut good = Client::connect(handle.addr)
+        .expect("auth bench client")
+        .with_token("bench-token");
+    let auth_requests = requests;
+    let started = Instant::now();
+    for _ in 0..auth_requests {
+        let reply = good.send("GET", "/v1/metrics", None).expect("auth metrics");
+        assert_eq!(reply.status, 200);
+    }
+    let auth_requests_secs = started.elapsed().as_secs_f64();
+    let mut bad = Client::connect(handle.addr)
+        .expect("forged bench client")
+        .with_token("forged-token");
+    for _ in 0..50 {
+        let reply = bad
+            .send("GET", "/v1/metrics", None)
+            .expect("forged metrics");
+        assert_eq!(reply.status, 401, "forged token must be refused");
+    }
+    let counters = good
+        .send("GET", "/v1/metrics", None)
+        .expect("final metrics");
+    let counters = counters.text();
+    handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&auth_dir);
 
     ServeBench {
         requests,
         requests_secs,
+        auth_requests,
+        auth_requests_secs,
+        unauthorized: json_counter(&counters, "unauthorized"),
+        queue_shed: json_counter(&counters, "queue_shed"),
+        retries: json_counter(&counters, "retries"),
         programs: programs.len(),
         lanes,
         units,
@@ -488,6 +559,22 @@ pub fn bench_serve(
         warm_executed,
         documents_identical: cold_docs == warm_docs,
     }
+}
+
+/// Pulls one named unsigned counter out of a (possibly nested) metrics
+/// JSON body — the workspace flat-object codec stops at nesting, and a
+/// bench dependency on a full parser is not worth it for five digits.
+fn json_counter(json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    json.find(&needle)
+        .and_then(|at| {
+            let digits: String = json[at + needle.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
 }
 
 /// E7 pipeline throughput, sequential vs. parallel.
@@ -526,7 +613,7 @@ pub fn to_json(
     serve: &ServeBench,
 ) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -558,6 +645,10 @@ pub fn to_json(
         store.warm_hit_rate(),
         store.documents_identical,
         serve.requests_per_s(),
+        serve.auth_requests_per_s(),
+        serve.unauthorized,
+        serve.queue_shed,
+        serve.retries,
         serve.programs,
         serve.lanes,
         serve.units,
@@ -661,6 +752,11 @@ mod tests {
         let serve = ServeBench {
             requests: 100,
             requests_secs: 0.05,
+            auth_requests: 100,
+            auth_requests_secs: 0.1,
+            unauthorized: 50,
+            queue_shed: 0,
+            retries: 0,
             programs: 2,
             lanes: 2,
             units: 60,
@@ -681,6 +777,10 @@ mod tests {
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"lanes\": 2"));
         assert!(json.contains("\"requests_per_s\": 2000.0"));
+        assert!(json.contains("\"auth_requests_per_s\": 1000.0"));
+        assert!(json.contains("\"unauthorized\": 50"));
+        assert!(json.contains("\"queue_shed\": 0"));
+        assert!(json.contains("\"retries\": 0"));
         assert!(json.contains("\"warm_speedup\": 30.00"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -698,6 +798,13 @@ mod tests {
         assert!(b.documents_identical, "warm daemon changed a document");
         assert_eq!(b.warm_executed, 0, "warm round must replay everything");
         assert_eq!(b.warm_replayed, b.units);
+        // The hardened round must have run, refused every forged token,
+        // and shed nothing — the bench never overruns its own queue.
+        assert!(b.auth_requests > 0);
+        assert!(b.auth_requests_per_s() > 0.0);
+        assert_eq!(b.unauthorized, 50, "every forged token counts once");
+        assert_eq!(b.queue_shed, 0);
+        assert_eq!(b.retries, 0);
     }
 
     #[test]

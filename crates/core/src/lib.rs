@@ -45,7 +45,8 @@ pub mod store;
 pub use cache::{CacheStats, CachedMutant, MutantCache};
 pub use exec::{CampaignRun, CampaignRunReport, ExecConfig};
 pub use metrics::{
-    field_profile, js_distance, EffortModel, JournalStats, QueueStats, RuntimeSnapshot, StoreTotals,
+    field_profile, js_distance, EdgeStats, EffortModel, JournalStats, QueueStats, RetryStats,
+    RuntimeSnapshot, StoreTotals,
 };
 pub use pipeline::{InjectionReport, NeuralFaultInjector, PipelineConfig, PipelineError};
 pub use service::{exec_spec, exec_units, merge, plan_campaign, ShardOutcome, ShardRun};

@@ -45,6 +45,41 @@ pub struct JournalStats {
     pub compactions: u64,
 }
 
+/// Serving-edge rejection counters: requests the daemon turned away
+/// before they reached the scheduler (auth, admission control, and
+/// slow-client timeouts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Requests rejected with `401` (missing or wrong bearer token).
+    pub unauthorized: u64,
+    /// Requests shed with `429` by the per-client token bucket.
+    pub rate_limited: u64,
+    /// Submissions shed with `503` because the job queue was full or a
+    /// tenant quota was exceeded.
+    pub queue_shed: u64,
+    /// Connections refused with `503` at the connection cap.
+    pub connections_shed: u64,
+    /// Connections dropped with `408` for exceeding the per-request
+    /// read deadline (slowloris bound).
+    pub timeouts: u64,
+}
+
+/// Worker-supervision counters: everything the lane watchdog and the
+/// retry loop did to keep jobs finishing without a daemon restart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Worker children retried on a fresh process (crash or timeout).
+    pub retries: u64,
+    /// Worker children killed by the lane watchdog for exceeding
+    /// their execution budget.
+    pub watchdog_kills: u64,
+    /// Jobs that expired in the queue past their deadline.
+    pub deadline_expiries: u64,
+    /// Work units that exhausted every retry and finished with a
+    /// per-unit failure outcome.
+    pub failed_units: u64,
+}
+
 /// Incremental-store totals across every job a daemon has run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreTotals {
@@ -80,15 +115,21 @@ pub struct RuntimeSnapshot {
     pub store: StoreTotals,
     /// Job-journal counters (zeroed outside a daemon).
     pub journal: JournalStats,
+    /// Serving-edge rejection counters (zeroed outside a daemon).
+    pub edge: EdgeStats,
+    /// Worker-supervision counters (zeroed outside a daemon).
+    pub retry: RetryStats,
 }
 
 impl RuntimeSnapshot {
     /// Captures the process-wide cache counters alongside the
-    /// caller-tracked queue, store, and journal numbers.
+    /// caller-tracked queue, store, journal, edge, and retry numbers.
     pub fn capture(
         queue: QueueStats,
         store: StoreTotals,
         journal: JournalStats,
+        edge: EdgeStats,
+        retry: RetryStats,
     ) -> RuntimeSnapshot {
         RuntimeSnapshot {
             mutant_cache: crate::cache::MutantCache::global().stats(),
@@ -96,6 +137,8 @@ impl RuntimeSnapshot {
             queue,
             store,
             journal,
+            edge,
+            retry,
         }
     }
 
@@ -114,7 +157,7 @@ impl RuntimeSnapshot {
             )
         };
         format!(
-            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
+            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
             self.queue.depth,
             self.queue.lanes,
             self.queue.running,
@@ -130,6 +173,15 @@ impl RuntimeSnapshot {
             self.journal.recovered_finished,
             self.journal.corrupt_lines,
             self.journal.compactions,
+            self.edge.unauthorized,
+            self.edge.rate_limited,
+            self.edge.queue_shed,
+            self.edge.connections_shed,
+            self.edge.timeouts,
+            self.retry.retries,
+            self.retry.watchdog_kills,
+            self.retry.deadline_expiries,
+            self.retry.failed_units,
             cache(&self.mutant_cache),
             cache(&self.experiment_cache),
         )
@@ -336,6 +388,19 @@ mod tests {
                 corrupt_lines: 1,
                 compactions: 1,
             },
+            edge: EdgeStats {
+                unauthorized: 5,
+                rate_limited: 9,
+                queue_shed: 2,
+                connections_shed: 1,
+                timeouts: 4,
+            },
+            retry: RetryStats {
+                retries: 6,
+                watchdog_kills: 2,
+                deadline_expiries: 1,
+                failed_units: 3,
+            },
         };
         let json = snap.render_json();
         assert!(json.contains("\"depth\":2"));
@@ -346,6 +411,8 @@ mod tests {
         assert!(json.contains("\"capacity\":null"));
         assert!(json.contains("\"journal\":{\"appended\":11"));
         assert!(json.contains("\"recovered_queued\":2"));
+        assert!(json.contains("\"edge\":{\"unauthorized\":5,\"rate_limited\":9"));
+        assert!(json.contains("\"retry\":{\"retries\":6,\"watchdog_kills\":2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
@@ -355,6 +422,8 @@ mod tests {
             QueueStats::default(),
             StoreTotals::default(),
             JournalStats::default(),
+            EdgeStats::default(),
+            RetryStats::default(),
         );
         assert_eq!(snap.queue, QueueStats::default());
         assert!(

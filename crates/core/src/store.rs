@@ -8,16 +8,23 @@
 //!
 //! ```text
 //! state dir
-//! └── store/<module_fp>-<machine_fp>.jsonl    one segment per content key
+//! └── store/<program_fp>-<module_fp>-<machine_fp>.jsonl
 //!       {"kind":"campaign_store", ...}         header
 //!       {"kind":"stored","unit":K,"outcome":L} one line per unit
 //! ```
 //!
-//! Addressing is content-only, never name-based:
+//! Addressing:
 //!
-//! * the **segment** key is (module fingerprint, machine-config
-//!   fingerprint) — edit one source line or change a scheduler knob
-//!   and the old segment simply stops matching;
+//! * the **segment** key is (program name, module fingerprint,
+//!   machine-config fingerprint) — edit one source line or change a
+//!   scheduler knob and the old segment simply stops matching. The
+//!   program name is part of the key so two programs (or two tenants'
+//!   scoped `tenant:program` names) with byte-identical source own
+//!   *separate* segments — they can never save over or prune each
+//!   other. The name rides in the file name as a fingerprint; the
+//!   header stores it verbatim and the loader cross-checks it, so a
+//!   fingerprint collision degrades to a reported re-execution, never
+//!   a silent replay of another program's outcomes;
 //! * the **line** key is [`WorkUnit::store_key`] (plan hash extended
 //!   with the experiment seed) — stable across processes and hosts, so
 //!   a segment written by one worker replays in any other.
@@ -85,19 +92,25 @@ impl CampaignStore {
         Ok(CampaignStore { root })
     }
 
-    /// Path of the segment holding `(module_fp, machine_fp)` outcomes.
-    pub fn segment_path(&self, module_fp: u64, machine_fp: u64) -> PathBuf {
-        self.root
-            .join(format!("{module_fp:016x}-{machine_fp:016x}.jsonl"))
+    /// Path of the segment holding `(program, module_fp, machine_fp)`
+    /// outcomes. The program travels as a fingerprint — names are
+    /// tenant-scoped (`tenant:program`) and user-chosen, so they don't
+    /// belong in filesystem paths verbatim.
+    pub fn segment_path(&self, program: &str, module_fp: u64, machine_fp: u64) -> PathBuf {
+        self.root.join(format!(
+            "{:016x}-{module_fp:016x}-{machine_fp:016x}.jsonl",
+            fnv1a(program.as_bytes())
+        ))
     }
 
-    /// Loads the segment for `(module_fp, machine_fp)`. A missing
-    /// segment is simply empty; a corrupt line (truncated, garbled,
-    /// mismatched fingerprints, duplicate key) is reported in
-    /// [`LoadedSegment::errors`] and skipped, so the caller re-executes
-    /// those units instead of panicking or replaying garbage.
-    pub fn load(&self, module_fp: u64, machine_fp: u64) -> LoadedSegment {
-        let path = self.segment_path(module_fp, machine_fp);
+    /// Loads the segment for `(program, module_fp, machine_fp)`. A
+    /// missing segment is simply empty; a corrupt line (truncated,
+    /// garbled, mismatched program or fingerprints, duplicate key) is
+    /// reported in [`LoadedSegment::errors`] and skipped, so the caller
+    /// re-executes those units instead of panicking or replaying
+    /// garbage.
+    pub fn load(&self, program: &str, module_fp: u64, machine_fp: u64) -> LoadedSegment {
+        let path = self.segment_path(program, module_fp, machine_fp);
         let mut seg = LoadedSegment::default();
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -119,7 +132,7 @@ impl CampaignStore {
             }
             let report = |e: String| format!("{}:{}: {e}", path.display(), i + 1);
             if line.contains("\"kind\":\"campaign_store\"") {
-                match Self::decode_header(line, module_fp, machine_fp) {
+                match Self::decode_header(line, program, module_fp, machine_fp) {
                     Ok(count) => declared = Some(count),
                     Err(e) => seg.errors.push(report(e)),
                 }
@@ -154,12 +167,26 @@ impl CampaignStore {
         seg
     }
 
-    fn decode_header(line: &str, module_fp: u64, machine_fp: u64) -> Result<usize, String> {
+    fn decode_header(
+        line: &str,
+        program: &str,
+        module_fp: u64,
+        machine_fp: u64,
+    ) -> Result<usize, String> {
         let fields = parse_flat_object(line)?;
         if get_hex_u64(&fields, "module_fp")? != module_fp
             || get_hex_u64(&fields, "machine_fp")? != machine_fp
         {
             return Err("store header fingerprints do not match the segment name".to_string());
+        }
+        // The file name only carries the program's *fingerprint*; the
+        // verbatim header name is the collision backstop.
+        if get_str(&fields, "program")? != program {
+            return Err(format!(
+                "store header names program `{}`, expected `{program}` \
+                 (program fingerprint collision?)",
+                get_str(&fields, "program")?
+            ));
         }
         get_usize(&fields, "lines")
     }
@@ -206,12 +233,13 @@ impl CampaignStore {
                 escape(&o.line)
             ));
         }
-        let path = self.segment_path(spec.module_fp, machine_fp);
-        // The temp name is writer-unique (pid + counter): two programs
-        // with identical source share a segment *address*, and a fixed
-        // temp name would let their concurrent saves interleave bytes.
-        // With unique temps each rename publishes one internally
-        // consistent segment; last writer wins.
+        let path = self.segment_path(&spec.program, spec.module_fp, machine_fp);
+        // The temp name is writer-unique (pid + counter): a program-
+        // fingerprint collision would let two writers share a segment
+        // address, and a fixed temp name would then interleave their
+        // bytes. With unique temps each rename publishes one internally
+        // consistent segment; last writer wins, and the loser's next
+        // load reports the header mismatch and re-executes.
         static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
         let tmp = path.with_extension(format!(
             "jsonl.{}-{}.tmp",
@@ -320,7 +348,7 @@ impl CampaignStore {
         let Ok(entries) = std::fs::read_dir(&self.root) else {
             return;
         };
-        let keep = self.segment_path(keep_fp, machine_fp);
+        let keep = self.segment_path(program, keep_fp, machine_fp);
         for entry in entries.flatten() {
             let path = entry.path();
             if path == keep || path.extension().is_none_or(|e| e != "jsonl") {
@@ -343,6 +371,16 @@ impl CampaignStore {
     }
 }
 
+/// fnv1a-64 over `bytes` — segment and lock-file naming.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Advisory per-(program, machine-fingerprint) segment locks.
 ///
 /// Store writers follow load → execute → save; two writers
@@ -362,20 +400,19 @@ impl CampaignStore {
 ///   daemon-level lock, because the job journal and worker exchange
 ///   dir are single-owner resources.)
 ///
-/// The key is (program, machine fingerprint), not the segment's
-/// (module fingerprint, machine fingerprint) address: saving a segment
-/// also prunes the *other* module fingerprints of the same program, so
-/// the program is the true write-conflict unit. Two differently named
-/// programs with identical source share a segment address but not a
-/// lock; their saves stay safe because each save writes a unique temp
-/// file and renames it into place atomically (last writer wins, both
-/// outcomes byte-identical).
+/// The key is (program, machine fingerprint), not the segment's full
+/// (program, module fingerprint, machine fingerprint) address: saving
+/// a segment also prunes the *other* module fingerprints of the same
+/// program, so the program is the true write-conflict unit. The
+/// in-process table keys on the verbatim name (no collisions); the
+/// lock *files* key on its fnv1a fingerprint, where a collision only
+/// over-serializes two unrelated programs — never corrupts.
 ///
 /// Reads need no lock: segment replacement is write-then-rename, so a
 /// reader always sees a complete old or complete new segment.
 pub struct SegmentLocks {
     root: PathBuf,
-    held: Mutex<HashSet<u64>>,
+    held: Mutex<HashSet<(String, u64)>>,
     released: Condvar,
 }
 
@@ -390,21 +427,6 @@ impl SegmentLocks {
         }
     }
 
-    /// The lock key of `(program, machine_fp)` (fnv1a-64, also the
-    /// lock file's name).
-    fn key(program: &str, machine_fp: u64) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut absorb = |bytes: &[u8]| {
-            for b in bytes {
-                hash ^= u64::from(*b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        absorb(program.as_bytes());
-        absorb(&machine_fp.to_le_bytes());
-        hash
-    }
-
     /// Blocks until this process and this machine agree the caller is
     /// the only writer of `(program, machine_fp)`, then returns the
     /// guard that holds both levels until dropped.
@@ -413,20 +435,21 @@ impl SegmentLocks {
     /// support degrades to in-process-only locking rather than
     /// failing the run (the lock is advisory either way).
     pub fn acquire(&self, program: &str, machine_fp: u64) -> SegmentGuard<'_> {
-        let key = Self::key(program, machine_fp);
+        let key = (program.to_string(), machine_fp);
         let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
         while held.contains(&key) {
             held = self.released.wait(held).unwrap_or_else(|e| e.into_inner());
         }
-        held.insert(key);
+        held.insert(key.clone());
         drop(held);
+        let name = fnv1a(program.as_bytes()) ^ machine_fp.rotate_left(32);
         let file = std::fs::create_dir_all(&self.root).ok().and_then(|()| {
             std::fs::OpenOptions::new()
                 .read(true)
                 .write(true)
                 .create(true)
                 .truncate(false)
-                .open(self.root.join(format!("{key:016x}.lock")))
+                .open(self.root.join(format!("{name:016x}.lock")))
                 .ok()
         });
         let file = file.filter(|f| f.lock().is_ok());
@@ -442,7 +465,7 @@ impl SegmentLocks {
 /// on drop (the `flock` when the file handle closes).
 pub struct SegmentGuard<'a> {
     locks: &'a SegmentLocks,
-    key: u64,
+    key: (String, u64),
     _file: Option<std::fs::File>,
 }
 
@@ -623,7 +646,7 @@ impl Orchestrator {
         // concurrent processes) on the same program serialize — the
         // second runner replays what the first one saved.
         let _guard = self.locks.acquire(&spec.program, machine_fp);
-        let mut segment = self.store.load(spec.module_fp, machine_fp);
+        let mut segment = self.store.load(&spec.program, spec.module_fp, machine_fp);
         let mut replayed = Vec::new();
         let mut missing = HashSet::new();
         for unit in &spec.units {
@@ -667,13 +690,13 @@ impl Orchestrator {
                 }
             }
         }
+        let replayed_count = replayed.len();
         let mut runs = vec![ShardRun {
             program: spec.program.clone(),
             module_fp: spec.module_fp,
             total: spec.units.len(),
             outcomes: replayed,
         }];
-        let executed = missing.len();
         if !missing.is_empty() {
             let mut indices: Vec<usize> = missing.iter().copied().collect();
             indices.sort_unstable();
@@ -681,11 +704,17 @@ impl Orchestrator {
         }
         let merged = service::merge(&runs)?;
         self.store.save(spec, machine_fp, &merged)?;
+        // Executed is counted from what actually came back, not from
+        // what was dispatched: a supervised dispatcher (the serve
+        // worker pool) may legally return *partial* coverage when a
+        // unit exhausts its retries, and the saved segment is then
+        // partial too. `units - replayed - executed` is exactly the
+        // uncovered remainder.
         Ok(IncrementalRun {
             program: spec.program.clone(),
             units: spec.units.len(),
-            replayed: spec.units.len() - executed,
-            executed,
+            replayed: replayed_count,
+            executed: merged.outcomes.len().saturating_sub(replayed_count),
             store_errors: segment.errors,
             run: merged,
         })
@@ -705,7 +734,7 @@ impl Orchestrator {
     /// read sees a complete old or complete new segment.
     pub fn replay_full(&self, spec: &CampaignSpec) -> Option<String> {
         let machine_fp = self.machine.fingerprint();
-        let segment = self.store.load(spec.module_fp, machine_fp);
+        let segment = self.store.load(&spec.program, spec.module_fp, machine_fp);
         if !segment.errors.is_empty() {
             return None;
         }
@@ -848,7 +877,9 @@ def test_add():
         assert_eq!(second.replayed, 0, "edited source must not replay");
         assert_eq!(second.executed, second.units);
         let machine_fp = orch.machine.fingerprint();
-        let old = orch.store.segment_path(first.run.module_fp, machine_fp);
+        let old = orch
+            .store
+            .segment_path("demo", first.run.module_fp, machine_fp);
         assert!(!old.exists(), "stale segment should be pruned");
         // And the edited program is now warm.
         let third = orch.run_program("demo", &edited).unwrap();
@@ -862,7 +893,9 @@ def test_add():
         let orch = Orchestrator::new(&dir).unwrap();
         let cold = orch.run_program("demo", SOURCE).unwrap();
         let machine_fp = orch.machine.fingerprint();
-        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
         // Garble one stored line and truncate the tail.
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines: Vec<String> = text.lines().map(String::from).collect();
@@ -899,7 +932,9 @@ def test_add():
         let orch = Orchestrator::new(&dir).unwrap();
         let cold = orch.run_program("demo", SOURCE).unwrap();
         let machine_fp = orch.machine.fingerprint();
-        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
         // Swap one payload's operator for another valid-looking key:
         // the line still parses and its index still matches, but it no
         // longer describes the unit it is filed under.
@@ -933,7 +968,9 @@ def test_add():
         let orch = Orchestrator::new(&dir).unwrap();
         let cold = orch.run_program("demo", SOURCE).unwrap();
         let machine_fp = orch.machine.fingerprint();
-        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
         // Append the first stored line twice more: three occurrences of
         // one key. None of them may be replayed.
         let text = std::fs::read_to_string(&path).unwrap();
@@ -946,6 +983,91 @@ def test_add():
             .iter()
             .any(|e| e.contains("duplicate unit key")));
         assert_eq!(rerun.run.encode(), cold.run.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identically_sourced_programs_own_separate_segments() {
+        // The segment address includes the program name, so two
+        // programs (e.g. two tenants' scoped names) with byte-identical
+        // source never save over or prune each other.
+        let dir = state_dir("samesource");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let a = orch.run_program("alice:demo", SOURCE).unwrap();
+        let b = orch.run_program("bob:demo", SOURCE).unwrap();
+        assert_eq!(a.executed, a.units, "alice runs cold");
+        assert_eq!(b.executed, b.units, "bob runs cold too — no shared segment");
+        let machine_fp = orch.machine.fingerprint();
+        assert_ne!(
+            orch.store
+                .segment_path("alice:demo", a.run.module_fp, machine_fp),
+            orch.store
+                .segment_path("bob:demo", b.run.module_fp, machine_fp),
+        );
+        // Both stay warm: neither save pruned or replaced the other.
+        assert_eq!(orch.run_program("alice:demo", SOURCE).unwrap().executed, 0);
+        assert_eq!(orch.run_program("bob:demo", SOURCE).unwrap().executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_segment_naming_another_program_is_rejected_not_replayed() {
+        // Program-fingerprint collisions in the file name are caught by
+        // the verbatim header check: the loader reports the mismatch
+        // and the caller re-executes.
+        let dir = state_dir("headerprog");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
+        let other = orch
+            .store
+            .segment_path("other", cold.run.module_fp, machine_fp);
+        std::fs::rename(&path, &other).unwrap();
+        let seg = orch.store.load("other", cold.run.module_fp, machine_fp);
+        assert!(seg
+            .errors
+            .iter()
+            .any(|e| e.contains("names program `demo`, expected `other`")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_partially_covering_dispatcher_yields_per_unit_failure_accounting() {
+        // A supervised dispatcher may legally return partial coverage
+        // (a poisoned unit exhausted its retries). The run still
+        // finishes; executed counts what actually came back and the
+        // uncovered unit re-executes on the next run.
+        let dir = state_dir("partial");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let spec = service::plan_campaign("demo", SOURCE, orch.seed).unwrap();
+        let result = orch
+            .run_spec_with(&spec, |spec, missing| {
+                // Cover everything except the last missing unit.
+                let covered = &missing[..missing.len() - 1];
+                let sub = spec.subset(covered);
+                let doc = service::exec_spec(&sub, &orch.machine, ExecConfig::sequential())
+                    .unwrap()
+                    .encode();
+                let mut run = ShardRun::decode(&doc).unwrap();
+                run.total = spec.units.len();
+                Ok(vec![run])
+            })
+            .unwrap();
+        assert_eq!(result.replayed, 0);
+        assert_eq!(
+            result.executed,
+            result.units - 1,
+            "one unit stayed uncovered"
+        );
+        assert_eq!(result.run.outcomes.len(), result.units - 1);
+        // The saved partial segment replays what it has; only the
+        // uncovered unit executes on a plain follow-up run.
+        let followup = orch.run_spec(&spec).unwrap();
+        assert_eq!(followup.replayed, followup.units - 1);
+        assert_eq!(followup.executed, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1153,7 +1275,7 @@ def test_add():
         // Drop one stored line: replay_full refuses rather than serving
         // a shorter document.
         let machine_fp = orch.machine.fingerprint();
-        let path = orch.store.segment_path(spec.module_fp, machine_fp);
+        let path = orch.store.segment_path("demo", spec.module_fp, machine_fp);
         let text = std::fs::read_to_string(&path).unwrap();
         let truncated: Vec<&str> = text.lines().take(text.lines().count() - 1).collect();
         std::fs::write(&path, truncated.join("\n")).unwrap();
@@ -1167,7 +1289,9 @@ def test_add():
         let orch = Orchestrator::new(&dir).unwrap();
         let cold = orch.run_program("demo", SOURCE).unwrap();
         let machine_fp = orch.machine.fingerprint();
-        let path = orch.store.segment_path(cold.run.module_fp, machine_fp);
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
         std::fs::write(&path, "not json at all\n\u{0}\u{1}\u{2}\n").unwrap();
         let rerun = orch.run_program("demo", SOURCE).unwrap();
         assert_eq!(rerun.executed, rerun.units);

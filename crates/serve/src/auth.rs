@@ -1,0 +1,205 @@
+//! Bearer-token authentication with per-tenant namespaces.
+//!
+//! The daemon loads a token file (`--auth-token-file`) of
+//! `tenant:token` lines at startup. Clients present
+//! `Authorization: Bearer <token>`; a matching token maps the request
+//! to its tenant, and every program the tenant submits is scoped as
+//! `tenant:program` so namespaces never collide in the job table or
+//! the on-disk store. Token comparison is constant-time — the compare
+//! walks every byte of both strings regardless of where they first
+//! differ, so response timing leaks nothing about a token prefix.
+//!
+//! Without a token file the daemon runs open, exactly as before: every
+//! request belongs to the anonymous `""` tenant and program names are
+//! not scoped.
+
+use std::path::Path;
+
+/// The loaded token table.
+#[derive(Debug, Clone, Default)]
+pub struct AuthTokens {
+    /// `(tenant, token)` pairs in file order.
+    entries: Vec<(String, String)>,
+}
+
+/// Compares two byte strings in time dependent only on their lengths,
+/// not their contents: every byte pair is XOR-folded into one
+/// accumulator with no early exit.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
+}
+
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+}
+
+impl AuthTokens {
+    /// Parses token-file text: one `tenant:token` per line, `#`
+    /// comments and blank lines skipped. Tenant names are
+    /// `[a-z0-9_-]+` (they become program-name prefixes and filesystem
+    /// path components); tokens are any non-empty colon-free string.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic naming the first malformed line, a duplicate
+    /// tenant, or a duplicate token (two tenants sharing a token would
+    /// make authentication ambiguous).
+    pub fn parse(text: &str) -> Result<AuthTokens, String> {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (tenant, token) = line
+                .split_once(':')
+                .ok_or_else(|| format!("token file line {}: expected `tenant:token`", n + 1))?;
+            let (tenant, token) = (tenant.trim(), token.trim());
+            if !valid_tenant(tenant) {
+                return Err(format!(
+                    "token file line {}: tenant `{tenant}` is not [a-z0-9_-]+",
+                    n + 1
+                ));
+            }
+            if token.is_empty() || token.contains(':') {
+                return Err(format!(
+                    "token file line {}: token for tenant `{tenant}` is empty or contains `:`",
+                    n + 1
+                ));
+            }
+            if entries.iter().any(|(t, _)| t == tenant) {
+                return Err(format!(
+                    "token file line {}: duplicate tenant `{tenant}`",
+                    n + 1
+                ));
+            }
+            if entries.iter().any(|(_, k)| k == token) {
+                return Err(format!(
+                    "token file line {}: token for `{tenant}` duplicates another tenant's",
+                    n + 1
+                ));
+            }
+            entries.push((tenant.to_string(), token.to_string()));
+        }
+        if entries.is_empty() {
+            return Err("token file has no tenant:token entries".to_string());
+        }
+        Ok(AuthTokens { entries })
+    }
+
+    /// Loads and parses a token file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and every [`AuthTokens::parse`] diagnostic.
+    pub fn load(path: &Path) -> Result<AuthTokens, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read token file {}: {e}", path.display()))?;
+        AuthTokens::parse(&text)
+    }
+
+    /// Authenticates an `Authorization` header value, returning the
+    /// tenant it maps to. Every stored token is compared (constant
+    /// time each) even after a match is found, so timing does not
+    /// reveal table position either.
+    pub fn authenticate(&self, authorization: Option<&str>) -> Option<&str> {
+        let header = authorization?;
+        let presented = header
+            .strip_prefix("Bearer ")
+            .or_else(|| header.strip_prefix("bearer "))?
+            .trim();
+        let mut tenant = None;
+        for (name, token) in &self.entries {
+            if constant_time_eq(presented.as_bytes(), token.as_bytes()) && tenant.is_none() {
+                tenant = Some(name.as_str());
+            }
+        }
+        tenant
+    }
+
+    /// Tenants in the table, file order.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(t, _)| t.as_str())
+    }
+}
+
+/// Scopes a program name into a tenant's namespace. The anonymous
+/// tenant (auth disabled) leaves names untouched.
+pub fn scoped_program(tenant: &str, program: &str) -> String {
+    if tenant.is_empty() {
+        program.to_string()
+    } else {
+        format!("{tenant}:{program}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_eq() {
+        assert!(constant_time_eq(b"secret", b"secret"));
+        assert!(!constant_time_eq(b"secret", b"secreT"));
+        assert!(!constant_time_eq(b"secret", b"secre"));
+        assert!(!constant_time_eq(b"", b"x"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn parses_tenants_with_comments_and_blanks() {
+        let tokens =
+            AuthTokens::parse("# fleet tokens\n\nalice:tok-alice-1\n  bob : tok-bob-2  \n# done\n")
+                .unwrap();
+        assert_eq!(tokens.tenants().collect::<Vec<_>>(), vec!["alice", "bob"]);
+        assert_eq!(
+            tokens.authenticate(Some("Bearer tok-alice-1")),
+            Some("alice")
+        );
+        assert_eq!(tokens.authenticate(Some("Bearer tok-bob-2")), Some("bob"));
+    }
+
+    #[test]
+    fn rejects_malformed_token_files() {
+        for (text, needle) in [
+            ("no-colon-here\n", "expected `tenant:token`"),
+            ("Alice:tok\n", "not [a-z0-9_-]+"),
+            ("a b:tok\n", "not [a-z0-9_-]+"),
+            (":tok\n", "not [a-z0-9_-]+"),
+            ("alice:\n", "empty or contains"),
+            ("alice:a:b\n", "empty or contains"),
+            ("alice:tok\nalice:tok2\n", "duplicate tenant"),
+            ("alice:tok\nbob:tok\n", "duplicates another tenant's"),
+            ("# only comments\n", "no tenant:token entries"),
+        ] {
+            let err = AuthTokens::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn authenticate_requires_a_wellformed_bearer_header() {
+        let tokens = AuthTokens::parse("alice:tok\n").unwrap();
+        assert_eq!(tokens.authenticate(None), None);
+        assert_eq!(tokens.authenticate(Some("tok")), None, "no scheme");
+        assert_eq!(tokens.authenticate(Some("Basic tok")), None);
+        assert_eq!(tokens.authenticate(Some("Bearer wrong")), None);
+        assert_eq!(tokens.authenticate(Some("Bearer tok")), Some("alice"));
+        assert_eq!(tokens.authenticate(Some("bearer tok")), Some("alice"));
+    }
+
+    #[test]
+    fn scoped_program_prefixes_only_real_tenants() {
+        assert_eq!(scoped_program("", "banking"), "banking");
+        assert_eq!(scoped_program("alice", "banking"), "alice:banking");
+    }
+}

@@ -7,6 +7,17 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// How long a connect attempt may take before it is a failure, and
+/// the per-call read/write bound on an established connection. The
+/// daemon answers fast or sheds fast; a client hanging for minutes is
+/// always wrong.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Longest `Retry-After` the retry helper will actually honor — an
+/// overloaded daemon advises seconds, not minutes, and a corrupt or
+/// hostile header must not park the client forever.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(10);
+
 /// One parsed response.
 #[derive(Debug, Clone)]
 pub struct Reply {
@@ -38,10 +49,13 @@ impl Reply {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    token: Option<String>,
 }
 
 impl Client {
-    /// Connects with a 30-second I/O timeout.
+    /// Connects with [`IO_TIMEOUT`] bounding the connect attempt and
+    /// every read/write — a wedged daemon surfaces as an error, never
+    /// a hang.
     ///
     /// # Errors
     ///
@@ -52,8 +66,10 @@ impl Client {
             .map_err(|e| format!("bad address: {e}"))?
             .next()
             .ok_or("address resolves to nothing")?;
-        let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
+            .map_err(|e| format!("cannot connect {addr}: {e}"))?;
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         let _ = stream.set_nodelay(true);
         let writer = stream
             .try_clone()
@@ -61,7 +77,16 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            token: None,
         })
+    }
+
+    /// Attaches a bearer token: every subsequent [`Self::write_request`]
+    /// carries `Authorization: Bearer <token>`.
+    #[must_use]
+    pub fn with_token(mut self, token: &str) -> Client {
+        self.token = Some(token.to_string());
+        self
     }
 
     /// Sends one request and reads its response.
@@ -86,8 +111,12 @@ impl Client {
         body: Option<&[u8]>,
     ) -> Result<(), String> {
         let body = body.unwrap_or_default();
+        let auth = match &self.token {
+            Some(token) => format!("Authorization: Bearer {token}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: nfi\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: nfi\r\n{auth}Content-Length: {}\r\n\r\n",
             body.len()
         );
         self.writer
@@ -175,4 +204,60 @@ pub fn request_once(
     body: Option<&[u8]>,
 ) -> Result<Reply, String> {
     Client::connect(addr)?.send(method, path, body)
+}
+
+/// One-shot authenticated request on a fresh connection.
+///
+/// # Errors
+///
+/// Same contract as [`Client::send`].
+pub fn request_once_as(
+    addr: impl ToSocketAddrs,
+    token: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<Reply, String> {
+    Client::connect(addr)?
+        .with_token(token)
+        .send(method, path, body)
+}
+
+/// One-shot request that cooperates with the daemon's load shedding:
+/// a `429`/`503` reply carrying `Retry-After` is retried (on a fresh
+/// connection) after sleeping the advised seconds, up to `retries`
+/// times. Any other status — and a shed reply once retries are spent —
+/// is returned as-is for the caller to judge; transport errors are not
+/// retried (the shed path is the one that *promises* the request was
+/// not accepted, so only it is safely idempotent to repeat).
+///
+/// # Errors
+///
+/// Same contract as [`Client::send`].
+pub fn request_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+    token: Option<&str>,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    retries: usize,
+) -> Result<Reply, String> {
+    let mut attempt = 0;
+    loop {
+        let mut client = Client::connect(addr.clone())?;
+        if let Some(token) = token {
+            client = client.with_token(token);
+        }
+        let reply = client.send(method, path, body)?;
+        let shed = matches!(reply.status, 429 | 503);
+        if !shed || attempt >= retries {
+            return Ok(reply);
+        }
+        let advised = reply
+            .header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1);
+        std::thread::sleep(Duration::from_secs(advised).min(MAX_RETRY_AFTER));
+        attempt += 1;
+    }
 }

@@ -73,6 +73,9 @@ pub enum HttpError {
     TooLarge(String),
     /// A protocol feature this codec does not speak — answered `501`.
     NotImplemented(String),
+    /// The client fed bytes slower than the per-request read deadline
+    /// allows (slowloris) — answered `408`.
+    TimedOut(String),
     /// Transport failure mid-request.
     Io(std::io::Error),
 }
@@ -87,6 +90,7 @@ impl HttpError {
             HttpError::BadRequest(msg) => Some(Response::error(400, msg)),
             HttpError::TooLarge(msg) => Some(Response::error(413, msg)),
             HttpError::NotImplemented(msg) => Some(Response::error(501, msg)),
+            HttpError::TimedOut(msg) => Some(Response::error(408, msg)),
         }
     }
 }
@@ -269,7 +273,7 @@ impl Response {
     /// An error response: JSON `{"error": ...}` carrying the
     /// diagnostic, connection-closing for request-framing statuses.
     pub fn error(status: u16, message: &str) -> Response {
-        let close = matches!(status, 400 | 413 | 431 | 501 | 503);
+        let close = matches!(status, 400 | 408 | 413 | 431 | 501 | 503);
         Response {
             close,
             ..Response::json(
@@ -277,6 +281,15 @@ impl Response {
                 format!("{{\"error\":\"{}\"}}", nfi_sfi::jsontext::escape(message)),
             )
         }
+    }
+
+    /// A shedding response (`429`/`503`) with a `Retry-After` header
+    /// telling well-behaved clients when to come back.
+    pub fn shed(status: u16, message: &str, retry_after_secs: u64) -> Response {
+        let mut resp = Response::error(status, message);
+        resp.extra_headers
+            .push(("Retry-After", retry_after_secs.max(1).to_string()));
+        resp
     }
 
     /// `405 Method Not Allowed` naming the methods the path supports.
@@ -295,10 +308,13 @@ impl Response {
             200 => "OK",
             202 => "Accepted",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             503 => "Service Unavailable",
@@ -470,6 +486,32 @@ mod tests {
         assert!(HttpError::Io(std::io::Error::other("x"))
             .response()
             .is_none());
+    }
+
+    #[test]
+    fn rejection_statuses_carry_their_reason_phrases() {
+        let unauthorized = Response::error(401, "missing bearer token");
+        assert_eq!(unauthorized.reason(), "Unauthorized");
+        assert!(!unauthorized.close, "401 keeps the connection");
+
+        let mut out = Vec::new();
+        Response::shed(429, "rate limit exceeded", 2)
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+
+        let shed = Response::shed(503, "queue full", 0);
+        assert_eq!(shed.extra_headers[0].1, "1", "Retry-After is at least 1s");
+        assert!(shed.close, "503 closes the connection");
+    }
+
+    #[test]
+    fn request_timeouts_respond_408_and_close() {
+        let resp = HttpError::TimedOut("x".into()).response().unwrap();
+        assert_eq!((resp.status, resp.close), (408, true));
+        assert_eq!(resp.reason(), "Request Timeout");
     }
 
     #[test]

@@ -15,10 +15,12 @@
 //! finished five seconds ago), and cannot change a result — replayed
 //! store lines are re-emitted verbatim.
 
+use crate::queue::Priority;
 use nfi_sfi::jsontext::escape;
 use nfi_sfi::CampaignSpec;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Most finished (done/failed) jobs retained. Beyond this the oldest
 /// finished jobs are dropped wholesale — their status and document
@@ -54,6 +56,18 @@ impl JobStatus {
     }
 }
 
+/// What a scheduler lane gets back when it claims a queued id.
+#[derive(Debug)]
+pub enum StartOutcome {
+    /// The job flipped to `Running`; execute this spec.
+    Run(Arc<CampaignSpec>),
+    /// The job out-waited its deadline budget; it is now `Failed` and
+    /// the caller records a deadline expiry (journal + metrics).
+    Expired,
+    /// Unknown id or not `Queued` (each id is handed out once).
+    Gone,
+}
+
 /// One accepted campaign job.
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -77,6 +91,21 @@ pub struct Job {
     /// compaction re-records it). Shared behind an `Arc` so snapshots
     /// never copy spec bytes under the table lock.
     pub spec: Arc<CampaignSpec>,
+    /// Owning tenant (`""` when auth is disabled).
+    pub tenant: String,
+    /// Scheduling priority within the tenant's queue band.
+    pub priority: Priority,
+    /// Queue-residency budget in milliseconds from acceptance; a job
+    /// still queued past it fails with a deadline expiry instead of
+    /// running. `None` = no deadline. Restored jobs get a fresh budget
+    /// from their restore time (wall-clock does not survive the
+    /// journal).
+    pub deadline_ms: Option<u64>,
+    /// When the job entered (or re-entered, after a restart) the queue.
+    pub accepted_at: Instant,
+    /// Units that exhausted every worker retry and finished with a
+    /// per-unit failure outcome (0 until finished).
+    pub failed_units: usize,
 }
 
 impl Job {
@@ -87,7 +116,7 @@ impl Job {
             _ => "null".to_string(),
         };
         format!(
-            "{{\"id\":{},\"program\":\"{}\",\"status\":\"{}\",\"units\":{},\"replayed\":{},\"executed\":{},\"store_errors\":{},\"error\":{}}}",
+            "{{\"id\":{},\"program\":\"{}\",\"status\":\"{}\",\"units\":{},\"replayed\":{},\"executed\":{},\"store_errors\":{},\"failed_units\":{},\"priority\":\"{}\",\"error\":{}}}",
             self.id,
             escape(&self.program),
             self.status.key(),
@@ -95,6 +124,8 @@ impl Job {
             self.replayed,
             self.executed,
             self.store_errors,
+            self.failed_units,
+            self.priority.key(),
             error,
         )
     }
@@ -141,6 +172,18 @@ impl JobTable {
     /// Accepts a planned spec as a new queued job, returning its id
     /// and the shared spec (the caller journals it).
     pub fn submit(&self, spec: CampaignSpec) -> (u64, Arc<CampaignSpec>) {
+        self.submit_for(spec, "", Priority::Normal, None)
+    }
+
+    /// Accepts a planned spec as a new queued job under a tenant with
+    /// a priority and an optional queue-deadline budget.
+    pub fn submit_for(
+        &self,
+        spec: CampaignSpec,
+        tenant: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> (u64, Arc<CampaignSpec>) {
         let spec = Arc::new(spec);
         let mut table = self.lock();
         table.next_id += 1;
@@ -156,6 +199,11 @@ impl JobTable {
                 store_errors: 0,
                 status: JobStatus::Queued,
                 spec: Arc::clone(&spec),
+                tenant: tenant.to_string(),
+                priority,
+                deadline_ms,
+                accepted_at: Instant::now(),
+                failed_units: 0,
             },
         );
         (id, spec)
@@ -165,6 +213,7 @@ impl JobTable {
     /// id: finished jobs come back with their counters, unfinished
     /// ones come back `Queued` (the caller re-enqueues them). New ids
     /// continue above every restored one.
+    #[allow(clippy::too_many_arguments)]
     pub fn restore(
         &self,
         id: u64,
@@ -173,6 +222,10 @@ impl JobTable {
         replayed: usize,
         executed: usize,
         store_errors: usize,
+        tenant: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+        failed_units: usize,
     ) {
         let mut table = self.lock();
         table.next_id = table.next_id.max(id);
@@ -187,6 +240,11 @@ impl JobTable {
                 store_errors,
                 status,
                 spec,
+                tenant: tenant.to_string(),
+                priority,
+                deadline_ms,
+                accepted_at: Instant::now(),
+                failed_units,
             },
         );
         table.evict_finished();
@@ -216,25 +274,77 @@ impl JobTable {
     /// hands each id out once, and a restart re-queues only jobs that
     /// replayed as unfinished.
     pub fn start(&self, id: u64) -> Option<Arc<CampaignSpec>> {
-        let mut table = self.lock();
-        let job = table.jobs.get_mut(&id)?;
-        if job.status != JobStatus::Queued {
-            return None;
+        match self.start_or_expire(id) {
+            StartOutcome::Run(spec) => Some(spec),
+            _ => None,
         }
-        job.status = JobStatus::Running;
-        Some(Arc::clone(&job.spec))
     }
 
-    /// Records a finished run.
+    /// Like [`JobTable::start`] but distinguishes a job whose queue
+    /// deadline already expired: the job flips straight to `Failed`
+    /// and the lane counts a deadline expiry instead of running it.
+    pub fn start_or_expire(&self, id: u64) -> StartOutcome {
+        let mut table = self.lock();
+        let Some(job) = table.jobs.get_mut(&id) else {
+            return StartOutcome::Gone;
+        };
+        if job.status != JobStatus::Queued {
+            return StartOutcome::Gone;
+        }
+        if let Some(budget) = job.deadline_ms {
+            let waited = job.accepted_at.elapsed().as_millis() as u64;
+            if waited > budget {
+                job.status = JobStatus::Failed(format!(
+                    "deadline expired: waited {waited}ms in queue against a {budget}ms budget"
+                ));
+                table.evict_finished();
+                return StartOutcome::Expired;
+            }
+        }
+        job.status = JobStatus::Running;
+        StartOutcome::Run(Arc::clone(&job.spec))
+    }
+
+    /// Records a finished run. Units neither replayed nor executed
+    /// exhausted every worker retry — they surface as `failed_units`.
     pub fn finish(&self, id: u64, replayed: usize, executed: usize, store_errors: usize) {
         let mut table = self.lock();
         if let Some(job) = table.jobs.get_mut(&id) {
             job.replayed = replayed;
             job.executed = executed;
             job.store_errors = store_errors;
+            job.failed_units = job.units.saturating_sub(replayed + executed);
             job.status = JobStatus::Done;
         }
         table.evict_finished();
+    }
+
+    /// Queued or running jobs currently charged to a tenant (quota
+    /// accounting).
+    pub fn active_for_tenant(&self, tenant: &str) -> usize {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|j| {
+                j.tenant == tenant && matches!(j.status, JobStatus::Queued | JobStatus::Running)
+            })
+            .count()
+    }
+
+    /// Distinct program names a tenant has submitted jobs for
+    /// (segment-quota accounting; the store is the durable source, the
+    /// table covers jobs whose segments are not saved yet).
+    pub fn programs_for_tenant(&self, tenant: &str) -> Vec<String> {
+        let table = self.lock();
+        let mut programs: Vec<String> = table
+            .jobs
+            .values()
+            .filter(|j| j.tenant == tenant)
+            .map(|j| j.program.clone())
+            .collect();
+        programs.sort_unstable();
+        programs.dedup();
+        programs
     }
 
     /// Records a failed run.
@@ -305,8 +415,30 @@ mod tests {
     fn restored_jobs_keep_their_ids_and_fence_new_ones() {
         let table = JobTable::new();
         let shared = Arc::new(spec());
-        table.restore(7, Arc::clone(&shared), JobStatus::Done, 4, 0, 0);
-        table.restore(9, Arc::clone(&shared), JobStatus::Queued, 0, 0, 0);
+        table.restore(
+            7,
+            Arc::clone(&shared),
+            JobStatus::Done,
+            4,
+            0,
+            0,
+            "",
+            Priority::Normal,
+            None,
+            0,
+        );
+        table.restore(
+            9,
+            Arc::clone(&shared),
+            JobStatus::Queued,
+            0,
+            0,
+            0,
+            "",
+            Priority::Normal,
+            None,
+            0,
+        );
         table.reserve_ids(12);
         let done = table.get(7).unwrap();
         assert_eq!(done.status, JobStatus::Done);
@@ -363,6 +495,62 @@ mod tests {
         let rendered = table.get(id).unwrap().render_status();
         assert!(rendered.contains("\"status\":\"failed\""));
         assert!(rendered.contains("boom \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_the_job_instead_of_starting_it() {
+        let table = JobTable::new();
+        let (id, _) = table.submit_for(spec(), "alice", Priority::High, Some(0));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        match table.start_or_expire(id) {
+            StartOutcome::Expired => {}
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        let job = table.get(id).unwrap();
+        assert_eq!(job.status.key(), "failed");
+        let rendered = job.render_status();
+        assert!(rendered.contains("deadline expired"), "{rendered}");
+        assert!(
+            matches!(table.start_or_expire(id), StartOutcome::Gone),
+            "an expired job is not restartable"
+        );
+
+        // Without a deadline the same flow just runs.
+        let (ok, _) = table.submit_for(spec(), "alice", Priority::Normal, None);
+        assert!(matches!(table.start_or_expire(ok), StartOutcome::Run(_)));
+    }
+
+    #[test]
+    fn finish_derives_failed_units_from_uncovered_ones() {
+        let table = JobTable::new();
+        let (id, planned) = table.submit(spec());
+        table.start(id);
+        let units = planned.units.len();
+        assert!(units >= 2, "test needs a multi-unit spec");
+        table.finish(id, 1, units - 2, 0);
+        let job = table.get(id).unwrap();
+        assert_eq!(job.failed_units, 1);
+        assert!(job.render_status().contains("\"failed_units\":1"));
+    }
+
+    #[test]
+    fn tenant_accounting_counts_active_jobs_and_distinct_programs() {
+        let table = JobTable::new();
+        let (a, _) = table.submit_for(spec(), "alice", Priority::Normal, None);
+        let (_b, _) = table.submit_for(spec(), "alice", Priority::Normal, None);
+        let (_c, _) = table.submit_for(spec(), "bob", Priority::Normal, None);
+        assert_eq!(table.active_for_tenant("alice"), 2);
+        assert_eq!(table.active_for_tenant("bob"), 1);
+        assert_eq!(table.active_for_tenant(""), 0);
+        table.start(a);
+        assert_eq!(table.active_for_tenant("alice"), 2, "running still counts");
+        table.finish(a, 0, 0, 0);
+        assert_eq!(table.active_for_tenant("alice"), 1, "finished does not");
+        assert_eq!(
+            table.programs_for_tenant("alice"),
+            vec!["demo".to_string()],
+            "duplicate program names dedupe"
+        );
     }
 
     #[test]

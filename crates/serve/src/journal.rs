@@ -5,10 +5,17 @@
 //!
 //! ```text
 //! {"kind":"accepted","id":3,"spec":"<escaped campaign_spec JSONL>"}
+//! {"kind":"accepted","id":4,"spec":"...","tenant":"alice","priority":"high","deadline_ms":5000}
 //! {"kind":"finished","id":3,"status":"done","replayed":0,"executed":44,"store_errors":0}
 //! {"kind":"finished","id":5,"status":"failed","error":"..."}
 //! {"kind":"fence","max_id":9}
 //! ```
+//!
+//! The tenant/priority/deadline fields on `accepted` records are
+//! **optional**: a journal written before they existed replays exactly
+//! as it used to (anonymous tenant, normal priority, no deadline), and
+//! a default-valued job omits them so open-daemon journals are
+//! byte-identical to the old format.
 //!
 //! Ordering is what makes the journal honest:
 //!
@@ -35,7 +42,10 @@
 //! proportional to its retained job table, not its lifetime.
 
 use crate::jobs::{Job, JobStatus, RETAINED_FINISHED_JOBS};
-use nfi_sfi::jsontext::{escape, get_str, get_u64, get_usize, parse_flat_object, JsonValue};
+use crate::queue::Priority;
+use nfi_sfi::jsontext::{
+    escape, get_opt_str, get_opt_u64, get_str, get_u64, get_usize, parse_flat_object, JsonValue,
+};
 use nfi_sfi::CampaignSpec;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -71,6 +81,13 @@ pub struct ReplayedJob {
     /// `Some` when a `finished` record matched; `None` means the job
     /// never finished and must be re-enqueued.
     pub outcome: Option<JournalOutcome>,
+    /// Owning tenant (`""` for records without the field).
+    pub tenant: String,
+    /// Scheduling priority (`Normal` for records without the field).
+    pub priority: Priority,
+    /// Queue-deadline budget in milliseconds, if the job had one. A
+    /// re-queued job's budget restarts at restore time.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Everything a startup replay learned from the journal file.
@@ -150,7 +167,13 @@ impl Journal {
             compacted.push_str(&line);
         }
         for job in &replay.jobs {
-            compacted.push_str(&accepted_line(job.id, &job.spec));
+            compacted.push_str(&accepted_line(
+                job.id,
+                &job.spec,
+                &job.tenant,
+                job.priority,
+                job.deadline_ms,
+            ));
             if let Some(outcome) = &job.outcome {
                 compacted.push_str(&finished_line(job.id, outcome));
             }
@@ -185,9 +208,16 @@ impl Journal {
     ///
     /// Reports the failed write — the caller must then fail the job
     /// instead of acknowledging it.
-    pub fn record_accepted(&mut self, id: u64, spec: &CampaignSpec) -> Result<(), String> {
+    pub fn record_accepted(
+        &mut self,
+        id: u64,
+        spec: &CampaignSpec,
+        tenant: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Result<(), String> {
         self.fence = self.fence.max(id);
-        self.append(&accepted_line(id, spec))
+        self.append(&accepted_line(id, spec, tenant, priority, deadline_ms))
     }
 
     /// Appends (and syncs) the `finished` record of a job. Called
@@ -223,7 +253,13 @@ impl Journal {
             doc.push_str(&line);
         }
         for job in jobs {
-            doc.push_str(&accepted_line(job.id, &job.spec));
+            doc.push_str(&accepted_line(
+                job.id,
+                &job.spec,
+                &job.tenant,
+                job.priority,
+                job.deadline_ms,
+            ));
             let outcome = match &job.status {
                 JobStatus::Done => Some(JournalOutcome::Done {
                     replayed: job.replayed,
@@ -277,11 +313,30 @@ fn fence_line(fence: u64, top_job_id: u64) -> Option<String> {
     (fence > top_job_id).then(|| format!("{{\"kind\":\"fence\",\"max_id\":{fence}}}\n"))
 }
 
-fn accepted_line(id: u64, spec: &CampaignSpec) -> String {
-    format!(
-        "{{\"kind\":\"accepted\",\"id\":{id},\"spec\":\"{}\"}}\n",
+fn accepted_line(
+    id: u64,
+    spec: &CampaignSpec,
+    tenant: &str,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"accepted\",\"id\":{id},\"spec\":\"{}\"",
         escape(&spec.encode())
-    )
+    );
+    // Default-valued fields are omitted so journals from open daemons
+    // stay byte-identical to the pre-tenancy format.
+    if !tenant.is_empty() {
+        line.push_str(&format!(",\"tenant\":\"{}\"", escape(tenant)));
+    }
+    if priority != Priority::Normal {
+        line.push_str(&format!(",\"priority\":\"{}\"", priority.key()));
+    }
+    if let Some(budget) = deadline_ms {
+        line.push_str(&format!(",\"deadline_ms\":{budget}"));
+    }
+    line.push_str("}\n");
+    line
 }
 
 fn finished_line(id: u64, outcome: &JournalOutcome) -> String {
@@ -369,12 +424,23 @@ fn replay_accepted(
     if jobs.contains_key(&id) {
         return Err(format!("duplicate accepted record for job {id}"));
     }
+    let tenant = get_opt_str(fields, "tenant")?.unwrap_or_default();
+    let priority = match get_opt_str(fields, "priority")? {
+        None => Priority::Normal,
+        Some(key) => {
+            Priority::parse(&key).ok_or_else(|| format!("job {id}: unknown priority `{key}`"))?
+        }
+    };
+    let deadline_ms = get_opt_u64(fields, "deadline_ms")?;
     jobs.insert(
         id,
         ReplayedJob {
             id,
             spec,
             outcome: None,
+            tenant,
+            priority,
+            deadline_ms,
         },
     );
     Ok(())
@@ -431,7 +497,9 @@ def test_f():
         let dir = state_dir("roundtrip");
         let (mut journal, replay) = Journal::open(&dir).unwrap();
         assert!(replay.jobs.is_empty());
-        journal.record_accepted(1, &spec("alpha")).unwrap();
+        journal
+            .record_accepted(1, &spec("alpha"), "", Priority::Normal, None)
+            .unwrap();
         journal
             .record_finished(
                 1,
@@ -442,11 +510,15 @@ def test_f():
                 },
             )
             .unwrap();
-        journal.record_accepted(2, &spec("beta")).unwrap();
+        journal
+            .record_accepted(2, &spec("beta"), "", Priority::Normal, None)
+            .unwrap();
         journal
             .record_finished(2, &JournalOutcome::Failed("boom".to_string()))
             .unwrap();
-        journal.record_accepted(3, &spec("gamma")).unwrap();
+        journal
+            .record_accepted(3, &spec("gamma"), "", Priority::Normal, None)
+            .unwrap();
         assert_eq!(journal.appended(), 5);
         drop(journal);
 
@@ -475,8 +547,12 @@ def test_f():
     fn truncated_trailing_accepted_line_is_skipped_not_trusted() {
         let dir = state_dir("truncated");
         let (mut journal, _) = Journal::open(&dir).unwrap();
-        journal.record_accepted(1, &spec("alpha")).unwrap();
-        journal.record_accepted(2, &spec("beta")).unwrap();
+        journal
+            .record_accepted(1, &spec("alpha"), "", Priority::Normal, None)
+            .unwrap();
+        journal
+            .record_accepted(2, &spec("beta"), "", Priority::Normal, None)
+            .unwrap();
         drop(journal);
         // Chop the tail mid-record, as a crash mid-append would.
         let path = Journal::path_in(&dir);
@@ -494,7 +570,9 @@ def test_f():
     fn corrupt_finished_line_requeues_the_job_instead_of_inventing_an_outcome() {
         let dir = state_dir("refinish");
         let (mut journal, _) = Journal::open(&dir).unwrap();
-        journal.record_accepted(1, &spec("alpha")).unwrap();
+        journal
+            .record_accepted(1, &spec("alpha"), "", Priority::Normal, None)
+            .unwrap();
         journal
             .record_finished(
                 1,
@@ -527,7 +605,7 @@ def test_f():
     fn orphan_finished_and_duplicate_records_are_corrupt() {
         let dir = state_dir("orphan");
         std::fs::create_dir_all(&dir).unwrap();
-        let accepted = accepted_line(4, &spec("alpha"));
+        let accepted = accepted_line(4, &spec("alpha"), "", Priority::Normal, None);
         let done = finished_line(
             4,
             &JournalOutcome::Done {
@@ -565,13 +643,73 @@ def test_f():
     }
 
     #[test]
+    fn tenant_priority_and_deadline_fields_round_trip() {
+        let dir = state_dir("tenancy");
+        let (mut journal, _) = Journal::open(&dir).unwrap();
+        journal
+            .record_accepted(1, &spec("alice:alpha"), "alice", Priority::High, Some(5000))
+            .unwrap();
+        journal
+            .record_accepted(2, &spec("beta"), "", Priority::Normal, None)
+            .unwrap();
+        drop(journal);
+
+        let text = std::fs::read_to_string(Journal::path_in(&dir)).unwrap();
+        assert!(
+            text.contains("\"tenant\":\"alice\",\"priority\":\"high\",\"deadline_ms\":5000"),
+            "{text}"
+        );
+        let plain = text.lines().nth(1).unwrap();
+        assert!(
+            !plain.contains("tenant") && !plain.contains("priority") && !plain.contains("deadline"),
+            "default-valued jobs keep the old record shape: {plain}"
+        );
+
+        let (_journal, replay) = Journal::open(&dir).unwrap();
+        assert!(replay.corrupt.is_empty(), "{:?}", replay.corrupt);
+        assert_eq!(replay.jobs[0].tenant, "alice");
+        assert_eq!(replay.jobs[0].priority, Priority::High);
+        assert_eq!(replay.jobs[0].deadline_ms, Some(5000));
+        assert_eq!(replay.jobs[1].tenant, "");
+        assert_eq!(replay.jobs[1].priority, Priority::Normal);
+        assert_eq!(replay.jobs[1].deadline_ms, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_format_lines_replay_with_default_tenancy_and_bad_priority_is_corrupt() {
+        let dir = state_dir("oldformat");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-tenancy journal: hand-built accepted + finished lines
+        // with none of the new fields.
+        let encoded = escape(&spec("alpha").encode());
+        let old = format!(
+            "{{\"kind\":\"accepted\",\"id\":1,\"spec\":\"{encoded}\"}}\n\
+             {{\"kind\":\"finished\",\"id\":1,\"status\":\"done\",\"replayed\":0,\"executed\":4,\"store_errors\":0}}\n\
+             {{\"kind\":\"accepted\",\"id\":2,\"spec\":\"{encoded}\",\"priority\":\"urgent\"}}\n"
+        );
+        std::fs::write(Journal::path_in(&dir), old).unwrap();
+        let (_journal, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.jobs.len(), 1, "the bad-priority record is skipped");
+        assert_eq!(replay.jobs[0].tenant, "");
+        assert_eq!(replay.jobs[0].priority, Priority::Normal);
+        assert_eq!(replay.jobs[0].deadline_ms, None);
+        assert!(replay.jobs[0].outcome.is_some());
+        assert_eq!(replay.corrupt.len(), 1, "{:?}", replay.corrupt);
+        assert_eq!(replay.max_id, 2, "even the corrupt record fences its id");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn open_compacts_finished_jobs_beyond_the_retention_cap() {
         let dir = state_dir("compact");
         let (mut journal, _) = Journal::open(&dir).unwrap();
         let s = spec("alpha");
         let total = RETAINED_FINISHED_JOBS as u64 + 10;
         for id in 1..=total {
-            journal.record_accepted(id, &s).unwrap();
+            journal
+                .record_accepted(id, &s, "", Priority::Normal, None)
+                .unwrap();
             journal
                 .record_finished(
                     id,

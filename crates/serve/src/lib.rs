@@ -11,7 +11,7 @@
 //!           POST /v1/campaigns          GET /v1/campaigns/:id[/document]
 //!                 │                                   ▲
 //!   ┌─────────────▼───────────────────────────────────┴──┐
-//!   │ accept loop → per-connection threads → router      │
+//!   │ accept loop → conn cap → rate limit → auth → router│
 //!   │   [`jobs::JobTable`] [`queue::JobQueue`] journal   │
 //!   └───────┬───────────────┬────────────────────┬───────┘
 //!      lane 0           lane 1      ...      lane n-1
@@ -19,7 +19,7 @@
 //!         │ replay hits from nfi_core::store
 //!         ▼
 //!   [`worker::WorkerPool`] ── spawns ──▶ nfi campaign exec --shard 0/n
-//!         │                              nfi campaign exec --shard 1/n ...
+//!         │   (watchdog + retry + per-unit isolation)
 //!         ▼
 //!   merge → persist segment → document replays from the store
 //! ```
@@ -32,36 +32,67 @@
 //! queued work survives a daemon kill and finished documents rebuild
 //! from the store segment instead of vanishing with the process.
 //!
+//! The daemon is hardened for **untrusted heavy traffic**:
+//!
+//! * optional bearer-token [`auth`] maps every request to a tenant;
+//!   tenant program names are namespaced (`tenant:program`) end to
+//!   end — job table, journal, store segments — and the queue drains
+//!   tenants fairly;
+//! * admission control sheds early and cheaply: a connection cap, a
+//!   per-client token-bucket [`limit`], a bounded queue depth, and
+//!   per-tenant quotas all answer `429`/`503` with `Retry-After`
+//!   before any disk or CPU is spent;
+//! * per-request read deadlines bound slowloris clients (`408`), and
+//!   per-job queue deadlines fail work that out-waited its budget
+//!   instead of running it late;
+//! * hung or crashed worker children are watchdog-killed and retried
+//!   with capped exponential backoff; a poisoned unit degrades to a
+//!   per-unit failure outcome instead of wedging a lane.
+//!
+//! Every shed, rejection, kill, retry, and expiry is counted in
+//! `GET /v1/metrics`.
+//!
 //! Module map: [`http`] (bounded request/response codec), [`router`]
-//! (API handlers), [`jobs`] (job table), [`queue`] (FIFO + condvar),
-//! [`journal`] (crash-safe job journal), [`worker`] (process-level
-//! worker pool), [`client`] (test client).
+//! (API handlers), [`auth`] (bearer tokens + tenancy), [`limit`]
+//! (token-bucket rate limiter), [`jobs`] (job table), [`queue`]
+//! (tenant-fair priority queue), [`journal`] (crash-safe job journal),
+//! [`worker`] (supervised process-level worker pool), [`client`]
+//! (test client).
 
+pub mod auth;
 pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod journal;
+pub mod limit;
 pub mod queue;
 pub mod router;
 pub mod worker;
 
-use jobs::{JobStatus, JobTable};
+use jobs::{JobStatus, JobTable, StartOutcome};
 use journal::{Journal, JournalOutcome};
+use limit::{Admission, RateLimiter};
 use nfi_core::{
-    IncrementalRun, JournalStats, Orchestrator, QueueStats, RuntimeSnapshot, StoreTotals,
+    EdgeStats, IncrementalRun, JournalStats, Orchestrator, QueueStats, RetryStats, RuntimeSnapshot,
+    StoreTotals,
 };
 use nfi_sfi::CampaignSpec;
-use queue::JobQueue;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use queue::{JobQueue, Priority, PushOutcome};
+use std::io::{BufReader, Read};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use worker::{WorkerMode, WorkerPool};
 
-/// Most concurrent connections before the daemon answers `503`.
+/// Default cap on concurrent connections ([`ServeConfig::max_connections`]).
 pub const MAX_CONNECTIONS: usize = 64;
+
+/// Seconds a `Retry-After` advises after a queue/quota shed. Queue
+/// residency is job-scale (seconds), not request-scale, so a fixed
+/// small value beats pretending to predict drain time.
+const SHED_RETRY_AFTER_SECS: u64 = 2;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -78,12 +109,41 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Default scheduler seed for submissions that don't name one.
     pub seed: u64,
+    /// Bearer-token table; `None` runs the daemon open (every request
+    /// is the anonymous `""` tenant).
+    pub auth: Option<auth::AuthTokens>,
+    /// Per-client token-bucket refill in requests/second (0 = no rate
+    /// limiting).
+    pub rate_limit: u64,
+    /// Token-bucket burst capacity (0 = twice the rate).
+    pub rate_burst: u64,
+    /// Most concurrent connections before the accept loop sheds `503`.
+    pub max_connections: usize,
+    /// Most queued jobs before submissions shed `503` (0 = unbounded).
+    pub max_queue: usize,
+    /// Most queued+running jobs one tenant may hold (0 = unlimited).
+    pub tenant_max_queued: usize,
+    /// Most distinct programs one tenant may occupy store segments for
+    /// (0 = unlimited).
+    pub tenant_max_programs: usize,
+    /// Default queue-deadline budget for submissions that don't name
+    /// one (`None` = no deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// How long one request may take to arrive in full (slowloris
+    /// bound; also the idle keep-alive timeout and the write timeout).
+    pub request_timeout: Duration,
+    /// Watchdog budget per worker child (`None` = never killed).
+    pub child_timeout: Option<Duration>,
+    /// Fresh-child retries after a failed worker attempt.
+    pub worker_retries: usize,
 }
 
 impl ServeConfig {
     /// Defaults: one worker, one lane, in-process mode (callers that
     /// can spawn should set [`WorkerMode::current_exe`]), the codec's
-    /// body cap.
+    /// body cap, and every hardening knob at its permissive default —
+    /// open auth, no rate limit, unbounded queue, no deadlines, no
+    /// child watchdog, two worker retries.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             state_dir: state_dir.into(),
@@ -92,6 +152,17 @@ impl ServeConfig {
             mode: WorkerMode::InProcess,
             max_body: http::DEFAULT_MAX_BODY,
             seed: nfi_pylite::MachineConfig::default().seed,
+            auth: None,
+            rate_limit: 0,
+            rate_burst: 0,
+            max_connections: MAX_CONNECTIONS,
+            max_queue: 0,
+            tenant_max_queued: 0,
+            tenant_max_programs: 0,
+            default_deadline_ms: None,
+            request_timeout: Duration::from_secs(30),
+            child_timeout: None,
+            worker_retries: 2,
         }
     }
 }
@@ -106,6 +177,12 @@ struct Counters {
     replayed: AtomicU64,
     executed: AtomicU64,
     connections: AtomicUsize,
+    unauthorized: AtomicU64,
+    rate_limited: AtomicU64,
+    queue_shed: AtomicU64,
+    connections_shed: AtomicU64,
+    timeouts: AtomicU64,
+    deadline_expiries: AtomicU64,
 }
 
 /// What the startup journal replay recovered (fixed after bind).
@@ -127,8 +204,10 @@ pub struct ServerState {
     /// The orchestrator every lane runs through — shared so its
     /// in-process segment-lock table covers all lanes.
     pub orch: Orchestrator,
-    /// The worker pool (stateless; lanes share it).
+    /// The worker pool (lanes share it; its event counters feed
+    /// `/v1/metrics`).
     pub pool: WorkerPool,
+    limiter: Option<RateLimiter>,
     journal: Mutex<Journal>,
     recovered: Recovered,
     counters: Counters,
@@ -142,9 +221,12 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// Accepts a planned spec: table entry, journal record, queue
-    /// push. The journal append happens *before* the id is returned —
-    /// an acknowledged job is always recoverable after a crash.
+    /// Accepts a planned spec for a tenant: admission checks, table
+    /// entry, journal record, queue push. The journal append happens
+    /// *before* the id is returned — an acknowledged job is always
+    /// recoverable after a crash. Sheds (`429`/`503` + `Retry-After`)
+    /// happen *before* the journal append — a rejected burst costs no
+    /// disk.
     ///
     /// Every journal-append + table-update pair runs under the journal
     /// mutex (here and in the record methods), and compaction — which
@@ -156,28 +238,91 @@ impl ServerState {
     ///
     /// # Errors
     ///
-    /// `(status, message)` for the error response: an unjournalable
-    /// job is `500` (and failed in the table), a post-shutdown submit
-    /// is `503`.
-    pub fn accept(&self, spec: CampaignSpec) -> Result<u64, (u16, String)> {
+    /// The error response to send: `503` + `Retry-After` when the
+    /// queue is at [`ServeConfig::max_queue`], `429` + `Retry-After`
+    /// when the tenant is over [`ServeConfig::tenant_max_queued`],
+    /// `500` for an unjournalable job, `503` after shutdown.
+    pub fn accept(
+        &self,
+        spec: CampaignSpec,
+        tenant: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, http::Response> {
+        let cfg = &self.config;
+        if cfg.max_queue > 0 && self.queue.depth() >= cfg.max_queue {
+            self.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(http::Response::shed(
+                503,
+                &format!("job queue is at its {}-job bound", cfg.max_queue),
+                SHED_RETRY_AFTER_SECS,
+            ));
+        }
+        if cfg.tenant_max_queued > 0 && self.jobs.active_for_tenant(tenant) >= cfg.tenant_max_queued
+        {
+            self.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(http::Response::shed(
+                429,
+                &format!(
+                    "tenant quota: {} jobs already queued or running (limit {})",
+                    self.jobs.active_for_tenant(tenant),
+                    cfg.tenant_max_queued
+                ),
+                SHED_RETRY_AFTER_SECS,
+            ));
+        }
+        if cfg.tenant_max_programs > 0 {
+            let programs = self.jobs.programs_for_tenant(tenant);
+            if !programs.iter().any(|p| p == &spec.program)
+                && programs.len() >= cfg.tenant_max_programs
+            {
+                self.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(http::Response::shed(
+                    429,
+                    &format!(
+                        "tenant quota: {} distinct programs already stored (limit {}); \
+                         submit under an existing program name",
+                        programs.len(),
+                        cfg.tenant_max_programs
+                    ),
+                    SHED_RETRY_AFTER_SECS,
+                ));
+            }
+        }
+        let deadline_ms = deadline_ms.or(cfg.default_deadline_ms);
         let id = {
             let mut journal = self.journal();
-            let (id, spec) = self.jobs.submit(spec);
+            let (id, spec) = self.jobs.submit_for(spec, tenant, priority, deadline_ms);
             self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-            if let Err(e) = journal.record_accepted(id, &spec) {
+            if let Err(e) = journal.record_accepted(id, &spec, tenant, priority, deadline_ms) {
                 self.jobs.fail(id, format!("not accepted: {e}"));
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                return Err((500, format!("cannot journal job: {e}")));
+                return Err(http::Response::error(
+                    500,
+                    &format!("cannot journal job: {e}"),
+                ));
             }
             id
         };
-        if !self.queue.push(id) {
-            let message = "daemon is shutting down".to_string();
-            self.finish_under_journal(id, &JournalOutcome::Failed(message.clone()));
-            self.counters.failed.fetch_add(1, Ordering::Relaxed);
-            return Err((503, message));
+        match self.queue.push_for(tenant, priority, id) {
+            PushOutcome::Queued => Ok(id),
+            PushOutcome::Full => {
+                // The daemon queue is unbounded (the depth bound is the
+                // pre-check above, so journal-replay requeues never
+                // shed) — but handle a bounded queue racing full too.
+                let message = "job queue filled while accepting".to_string();
+                self.finish_under_journal(id, &JournalOutcome::Failed(message.clone()));
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                self.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+                Err(http::Response::shed(503, &message, SHED_RETRY_AFTER_SECS))
+            }
+            PushOutcome::Shutdown => {
+                let message = "daemon is shutting down".to_string();
+                self.finish_under_journal(id, &JournalOutcome::Failed(message.clone()));
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                Err(http::Response::error(503, &message))
+            }
         }
-        Ok(id)
     }
 
     /// Records a completed run: journal first (a poll-visible `done`
@@ -232,7 +377,8 @@ impl ServerState {
     }
 
     /// The `GET /v1/metrics` document: process-wide cache counters plus
-    /// this daemon's queue gauges, store totals, and journal counters.
+    /// this daemon's queue gauges, store totals, journal counters, edge
+    /// rejections, and worker-supervision events.
     pub fn metrics_json(&self) -> String {
         let c = &self.counters;
         let queue = QueueStats {
@@ -258,7 +404,21 @@ impl ServerState {
                 compactions: j.compactions(),
             }
         };
-        RuntimeSnapshot::capture(queue, store, journal).render_json()
+        let edge = EdgeStats {
+            unauthorized: c.unauthorized.load(Ordering::Relaxed),
+            rate_limited: c.rate_limited.load(Ordering::Relaxed),
+            queue_shed: c.queue_shed.load(Ordering::Relaxed),
+            connections_shed: c.connections_shed.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+        };
+        let events = &self.pool.events;
+        let retry = RetryStats {
+            retries: events.retries.load(Ordering::Relaxed),
+            watchdog_kills: events.watchdog_kills.load(Ordering::Relaxed),
+            deadline_expiries: c.deadline_expiries.load(Ordering::Relaxed),
+            failed_units: events.failed_units.load(Ordering::Relaxed),
+        };
+        RuntimeSnapshot::capture(queue, store, journal, edge, retry).render_json()
     }
 }
 
@@ -272,9 +432,9 @@ impl Server {
     /// Binds `addr`, opens (creating if needed) the state dir, and
     /// replays the job journal: finished jobs come back with their
     /// counters (documents rebuild from the store), unfinished ones
-    /// are re-enqueued in id order, and new ids continue above every
-    /// recovered one. All failure modes surface before the daemon
-    /// reports ready.
+    /// are re-enqueued in id order under their original tenant and
+    /// priority, and new ids continue above every recovered one. All
+    /// failure modes surface before the daemon reports ready.
     ///
     /// # Errors
     ///
@@ -294,9 +454,13 @@ impl Server {
             ..orch
         })?;
         let pool = WorkerPool {
-            mode: config.mode.clone(),
-            workers: config.workers,
-            work_dir: config.state_dir.join("tmp"),
+            child_timeout: config.child_timeout,
+            max_retries: config.worker_retries,
+            ..WorkerPool::new(
+                config.mode.clone(),
+                config.workers,
+                config.state_dir.join("tmp"),
+            )
         };
         // Exchange files left by a killed daemon are garbage by
         // construction (their names carry the dead pid, so no future
@@ -309,12 +473,21 @@ impl Server {
         let (journal, replay) = Journal::open(&config.state_dir)?;
         let listener =
             TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+        let limiter = (config.rate_limit > 0).then(|| {
+            let burst = if config.rate_burst > 0 {
+                config.rate_burst
+            } else {
+                config.rate_limit * 2
+            };
+            RateLimiter::new(config.rate_limit, burst)
+        });
         let state = ServerState {
             config,
             jobs: JobTable::new(),
             queue: JobQueue::new(),
             orch,
             pool,
+            limiter,
             journal: Mutex::new(journal),
             recovered: Recovered {
                 corrupt: replay.corrupt.len() as u64,
@@ -326,6 +499,7 @@ impl Server {
         };
         let mut state = state;
         for job in replay.jobs {
+            let units = job.spec.units.len();
             let (status, replayed, executed, store_errors) = match &job.outcome {
                 Some(JournalOutcome::Done {
                     replayed,
@@ -335,6 +509,11 @@ impl Server {
                 Some(JournalOutcome::Failed(msg)) => (JobStatus::Failed(msg.clone()), 0, 0, 0),
                 None => (JobStatus::Queued, 0, 0, 0),
             };
+            let failed_units = if status == JobStatus::Done {
+                units.saturating_sub(replayed + executed)
+            } else {
+                0
+            };
             let requeue = status == JobStatus::Queued;
             state.jobs.restore(
                 job.id,
@@ -343,9 +522,16 @@ impl Server {
                 replayed,
                 executed,
                 store_errors,
+                &job.tenant,
+                job.priority,
+                job.deadline_ms,
+                failed_units,
             );
             if requeue {
-                state.queue.push(job.id);
+                // The daemon queue is unbounded, so a recovered job can
+                // never be shed here — acknowledged work survives
+                // restart regardless of the admission bound.
+                state.queue.push_for(&job.tenant, job.priority, job.id);
                 state.recovered.queued += 1;
             } else {
                 state.recovered.finished += 1;
@@ -402,9 +588,16 @@ impl Server {
                 continue;
             };
             let state = Arc::clone(&self.state);
-            if state.counters.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+            if state.counters.connections.fetch_add(1, Ordering::SeqCst)
+                >= state.config.max_connections
+            {
+                state
+                    .counters
+                    .connections_shed
+                    .fetch_add(1, Ordering::Relaxed);
                 let mut stream = stream;
-                let _ = http::Response::error(503, "connection limit reached")
+                let _ = stream.set_write_timeout(Some(state.config.request_timeout));
+                let _ = http::Response::shed(503, "connection limit reached", 1)
                     .write_to(&mut stream, false);
                 state.counters.connections.fetch_sub(1, Ordering::SeqCst);
                 continue;
@@ -534,15 +727,37 @@ fn acquire_daemon_lock(state_dir: &std::path::Path) -> Result<std::fs::File, Str
     }
 }
 
-/// One scheduler lane: pops job ids FIFO, runs each through the shared
-/// worker pool and incremental store, records the outcome. Lanes
-/// compete for the queue head; jobs on the same (program, machine-fp)
-/// segment serialize inside the orchestrator's segment lock, which is
-/// why N lanes preserve the serve-vs-offline byte-parity invariant.
+/// One scheduler lane: pops job ids (tenant-fair, priority-ordered),
+/// runs each through the shared worker pool and incremental store,
+/// records the outcome. A job that out-waited its queue deadline fails
+/// here — counted, journaled — instead of running late. Lanes compete
+/// for the queue head; jobs on the same (program, machine-fp) segment
+/// serialize inside the orchestrator's segment lock, which is why N
+/// lanes preserve the serve-vs-offline byte-parity invariant.
 fn scheduler_loop(state: &ServerState) {
     while let Some(id) = state.queue.pop() {
-        let Some(spec) = state.jobs.start(id) else {
-            continue;
+        let spec = match state.jobs.start_or_expire(id) {
+            StartOutcome::Run(spec) => spec,
+            StartOutcome::Expired => {
+                state
+                    .counters
+                    .deadline_expiries
+                    .fetch_add(1, Ordering::Relaxed);
+                // The table already holds the failure message; the
+                // journal record makes the expiry crash-durable.
+                let Some(job) = state.jobs.get(id) else {
+                    continue;
+                };
+                let message = match job.status {
+                    JobStatus::Failed(msg) => msg,
+                    _ => "deadline expired".to_string(),
+                };
+                let mut journal = state.journal();
+                let _ = journal.record_finished(id, &JournalOutcome::Failed(message));
+                state.counters.failed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            StartOutcome::Gone => continue,
         };
         let c = &state.counters;
         c.running.fetch_add(1, Ordering::Relaxed);
@@ -554,32 +769,144 @@ fn scheduler_loop(state: &ServerState) {
     }
 }
 
-/// Serves one connection: read request, route, respond, repeat until
-/// the client closes, asks to close, errors, or idles out.
+/// Bounds how long one request may take to arrive in full (slowloris
+/// guard). Re-armed at the top of every keep-alive iteration; each raw
+/// read narrows the socket's read timeout to the time remaining, so a
+/// client dripping one byte per poll still hits the same total
+/// deadline as a silent one.
+struct DeadlineReader {
+    stream: TcpStream,
+    budget: Duration,
+    deadline: Instant,
+    progressed: bool,
+}
+
+impl DeadlineReader {
+    fn new(stream: TcpStream, budget: Duration) -> DeadlineReader {
+        DeadlineReader {
+            stream,
+            budget,
+            deadline: Instant::now() + budget,
+            progressed: false,
+        }
+    }
+
+    /// Starts a fresh request deadline.
+    fn arm(&mut self) {
+        self.deadline = Instant::now() + self.budget;
+        self.progressed = false;
+    }
+
+    /// Whether any bytes arrived since the last [`Self::arm`] — a
+    /// timeout with progress is a slowloris `408`; without, it is just
+    /// an idle keep-alive connection to close silently.
+    fn progressed(&self) -> bool {
+        self.progressed
+    }
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let n = self.stream.read(buf)?;
+        if n > 0 {
+            self.progressed = true;
+        }
+        Ok(n)
+    }
+}
+
+/// Serves one connection: read request (under the per-request
+/// deadline), rate-limit, authenticate, route, respond, repeat until
+/// the client closes, asks to close, errors, or times out.
 fn handle_connection(state: &ServerState, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    // Idle keep-alive connections release their thread after 30s.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(state.config.request_timeout));
+    let peer: Option<IpAddr> = stream.peer_addr().ok().map(|a| a.ip());
     let Ok(writer) = stream.try_clone() else {
         return;
     };
     let mut writer = writer;
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(DeadlineReader::new(stream, state.config.request_timeout));
     loop {
+        reader.get_mut().arm();
         match http::read_request(&mut reader, state.config.max_body) {
             Ok(request) => {
-                let response = router::handle(state, &request);
+                let response = admit_and_route(state, &request, peer);
                 let keep_alive = !request.wants_close() && !response.close;
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
             }
             Err(error) => {
-                if let Some(response) = error.response() {
+                let timed_out = matches!(
+                    &error,
+                    http::HttpError::Io(e) if matches!(
+                        e.kind(),
+                        // Unix sockets report an expired read timeout as
+                        // WouldBlock; the deadline reader synthesizes
+                        // TimedOut. Treat both as the deadline firing.
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    )
+                );
+                if timed_out {
+                    if reader.get_ref().progressed() {
+                        // Mid-request stall: a slowloris (or genuinely
+                        // glacial) client. Answer 408 and count it; an
+                        // *idle* keep-alive timeout just closes.
+                        state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let _ = http::Response::error(408, "request read deadline exceeded")
+                            .write_to(&mut writer, false);
+                    }
+                } else if let Some(response) = error.response() {
                     let _ = response.write_to(&mut writer, false);
                 }
                 return;
             }
         }
     }
+}
+
+/// The edge pipeline for one parsed request: per-client rate limit
+/// (cheapest first), then authentication, then the router.
+fn admit_and_route(
+    state: &ServerState,
+    request: &http::Request,
+    peer: Option<IpAddr>,
+) -> http::Response {
+    if let (Some(limiter), Some(ip)) = (&state.limiter, peer) {
+        if let Admission::Shed { retry_after_secs } = limiter.allow(ip) {
+            state.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+            return http::Response::shed(
+                429,
+                "rate limit exceeded for this client",
+                retry_after_secs,
+            );
+        }
+    }
+    let tenant = match &state.config.auth {
+        None => String::new(),
+        Some(tokens) => match tokens.authenticate(request.header("authorization")) {
+            Some(tenant) => tenant.to_string(),
+            // The liveness probe stays open — load balancers and
+            // operators need it before they have tokens. It leaks
+            // nothing tenant-scoped.
+            None if request.path == "/healthz" => String::new(),
+            None => {
+                state.counters.unauthorized.fetch_add(1, Ordering::Relaxed);
+                return http::Response::error(
+                    401,
+                    "missing or invalid bearer token (Authorization: Bearer <token>)",
+                );
+            }
+        },
+    };
+    router::handle(state, request, &tenant)
 }

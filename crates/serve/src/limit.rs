@@ -1,0 +1,230 @@
+//! Per-client admission control: a keyed token-bucket rate limiter.
+//!
+//! Every client (keyed by peer IP) owns a bucket of `burst` tokens
+//! refilled continuously at `rate` tokens per second. A request takes
+//! one token; an empty bucket sheds the request with the number of
+//! whole seconds until a token will be available, which the HTTP edge
+//! turns into `429` + `Retry-After`. The clock is injected as a float
+//! second count so tests drive time explicitly; the daemon feeds it
+//! from a monotonic [`std::time::Instant`] epoch.
+//!
+//! The bucket map is bounded: past [`MAX_TRACKED_CLIENTS`] the stalest
+//! bucket (the one touched longest ago) is evicted, so an address-
+//! rotating client set cannot grow daemon memory without bound. An
+//! evicted client starts fresh with a full bucket — eviction can only
+//! under-limit, never lock out a legitimate client.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Most client buckets tracked at once.
+pub const MAX_TRACKED_CLIENTS: usize = 4096;
+
+/// What the limiter decided about one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Under the limit; a token was taken.
+    Allowed,
+    /// Shed: no token until roughly this many seconds pass (≥ 1).
+    Shed {
+        /// Whole seconds a well-behaved client should wait.
+        retry_after_secs: u64,
+    },
+}
+
+struct Bucket {
+    tokens: f64,
+    /// Injected-clock timestamp of the last refill.
+    updated: f64,
+}
+
+/// A keyed token-bucket limiter.
+pub struct RateLimiter {
+    /// Tokens refilled per second.
+    rate: f64,
+    /// Bucket capacity (also the initial fill).
+    burst: f64,
+    epoch: Instant,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter refilling `rate` tokens/second into buckets of
+    /// `burst` capacity. Both are clamped to at least 1.
+    pub fn new(rate: u64, burst: u64) -> RateLimiter {
+        RateLimiter {
+            rate: rate.max(1) as f64,
+            burst: burst.max(1) as f64,
+            epoch: Instant::now(),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admits or sheds one request from `peer` at the current time.
+    pub fn allow(&self, peer: IpAddr) -> Admission {
+        self.allow_at(peer, self.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Admits or sheds one request from `peer` at injected time `now`
+    /// (seconds since an arbitrary epoch; must be monotone per test).
+    pub fn allow_at(&self, peer: IpAddr, now: f64) -> Admission {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        if !buckets.contains_key(&peer) && buckets.len() >= MAX_TRACKED_CLIENTS {
+            let stalest = buckets
+                .iter()
+                .min_by(|a, b| a.1.updated.total_cmp(&b.1.updated))
+                .map(|(ip, _)| *ip);
+            if let Some(ip) = stalest {
+                buckets.remove(&ip);
+            }
+        }
+        let bucket = buckets.entry(peer).or_insert(Bucket {
+            tokens: self.burst,
+            updated: now,
+        });
+        // Refill is monotone: a non-advancing clock adds nothing.
+        let elapsed = (now - bucket.updated).max(0.0);
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+        bucket.updated = bucket.updated.max(now);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admission::Allowed
+        } else {
+            let wait = (1.0 - bucket.tokens) / self.rate;
+            Admission::Shed {
+                retry_after_secs: (wait.ceil() as u64).max(1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_admits_exactly_burst_then_sheds() {
+        let limiter = RateLimiter::new(1, 3);
+        for n in 0..3 {
+            assert_eq!(
+                limiter.allow_at(ip(1), 0.0),
+                Admission::Allowed,
+                "request {n} within the burst"
+            );
+        }
+        match limiter.allow_at(ip(1), 0.0) {
+            Admission::Shed { retry_after_secs } => assert_eq!(retry_after_secs, 1),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refill_is_continuous_and_capped_at_burst() {
+        let limiter = RateLimiter::new(2, 4);
+        for _ in 0..4 {
+            assert_eq!(limiter.allow_at(ip(1), 0.0), Admission::Allowed);
+        }
+        assert!(matches!(
+            limiter.allow_at(ip(1), 0.0),
+            Admission::Shed { .. }
+        ));
+        // Half a second at 2 tokens/s refills one token.
+        assert_eq!(limiter.allow_at(ip(1), 0.5), Admission::Allowed);
+        assert!(matches!(
+            limiter.allow_at(ip(1), 0.5),
+            Admission::Shed { .. }
+        ));
+        // A long idle period refills to burst, not beyond.
+        for n in 0..4 {
+            assert_eq!(
+                limiter.allow_at(ip(1), 100.0),
+                Admission::Allowed,
+                "token {n} after refill-to-burst"
+            );
+        }
+        assert!(matches!(
+            limiter.allow_at(ip(1), 100.0),
+            Admission::Shed { .. }
+        ));
+    }
+
+    #[test]
+    fn refill_is_monotone_under_a_stuck_or_regressing_clock() {
+        let limiter = RateLimiter::new(1, 1);
+        assert_eq!(limiter.allow_at(ip(1), 10.0), Admission::Allowed);
+        // A clock that regresses must not mint tokens.
+        assert!(matches!(
+            limiter.allow_at(ip(1), 5.0),
+            Admission::Shed { .. }
+        ));
+        assert!(matches!(
+            limiter.allow_at(ip(1), 10.0),
+            Admission::Shed { .. }
+        ));
+        // ...and the bucket still refills from its high-water mark.
+        assert_eq!(limiter.allow_at(ip(1), 11.5), Admission::Allowed);
+    }
+
+    #[test]
+    fn retry_after_reflects_the_refill_rate() {
+        let limiter = RateLimiter::new(1, 1);
+        assert_eq!(limiter.allow_at(ip(1), 0.0), Admission::Allowed);
+        match limiter.allow_at(ip(1), 0.0) {
+            Admission::Shed { retry_after_secs } => assert_eq!(retry_after_secs, 1),
+            other => panic!("{other:?}"),
+        }
+        // A slow limiter (1 token / 10 requests... i.e. rate 1 with an
+        // empty bucket drained further) never reports 0 seconds.
+        let slow = RateLimiter::new(1, 2);
+        slow.allow_at(ip(2), 0.0);
+        slow.allow_at(ip(2), 0.0);
+        match slow.allow_at(ip(2), 0.2) {
+            Admission::Shed { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clients_have_independent_buckets() {
+        let limiter = RateLimiter::new(1, 1);
+        assert_eq!(limiter.allow_at(ip(1), 0.0), Admission::Allowed);
+        assert!(matches!(
+            limiter.allow_at(ip(1), 0.0),
+            Admission::Shed { .. }
+        ));
+        assert_eq!(
+            limiter.allow_at(ip(2), 0.0),
+            Admission::Allowed,
+            "a second client is not affected by the first's empty bucket"
+        );
+    }
+
+    #[test]
+    fn tracked_clients_are_bounded_by_stalest_eviction() {
+        let limiter = RateLimiter::new(1, 1);
+        for n in 0..MAX_TRACKED_CLIENTS {
+            let peer = IpAddr::V4(Ipv4Addr::from((n as u32).to_be_bytes()));
+            limiter.allow_at(peer, n as f64 * 0.001);
+        }
+        assert_eq!(
+            limiter.buckets.lock().unwrap().len(),
+            MAX_TRACKED_CLIENTS,
+            "at capacity"
+        );
+        // One more client evicts the stalest, not grows the map.
+        limiter.allow_at(ip(200), 10.0);
+        let buckets = limiter.buckets.lock().unwrap();
+        assert_eq!(buckets.len(), MAX_TRACKED_CLIENTS);
+        assert!(
+            !buckets.contains_key(&IpAddr::V4(Ipv4Addr::from(0u32.to_be_bytes()))),
+            "the stalest bucket was the one evicted"
+        );
+    }
+}

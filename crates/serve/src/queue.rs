@@ -1,17 +1,81 @@
-//! A minimal blocking FIFO job queue (mutex + condvar).
+//! A blocking, tenant-fair, priority-aware job queue (mutex + condvar).
 //!
-//! The daemon's scheduler lanes all pop from this one queue: ids are
-//! handed out in submission order, one lane each. The queue makes no
-//! exclusivity promise about *segments* — two jobs on the same program
-//! can be in flight on two lanes at once — because store writers
-//! serialize behind the per-(program, machine-fp) segment locks in
-//! `nfi_core::store`. Parallelism also lives *inside* a job: the
-//! worker pool stripes its store misses over child processes.
+//! The daemon's scheduler lanes all pop from this one queue. Each
+//! tenant owns a private band of three priority FIFOs; `pop` serves
+//! tenants round-robin (one job per turn) so a tenant bursting a
+//! thousand submissions cannot starve everyone else, and within a
+//! tenant higher priorities drain first. With a single tenant (auth
+//! disabled — everything lands under the `""` tenant at
+//! [`Priority::Normal`]) the queue degenerates to the plain FIFO the
+//! daemon always had.
+//!
+//! Depth is bounded when the daemon asks for it: a full queue rejects
+//! the push ([`PushOutcome::Full`]) so the HTTP edge can shed with
+//! `503 Retry-After` instead of piling unbounded work onto the
+//! condvar. The queue makes no exclusivity promise about *segments* —
+//! two jobs on the same program can be in flight on two lanes at once —
+//! because store writers serialize behind the per-(program,
+//! machine-fp) segment locks in `nfi_core::store`.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// The shared FIFO of queued job ids.
+/// Scheduling priority of one job within its tenant's band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Drains before everything else the tenant has queued.
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Drains only when the tenant has nothing better queued.
+    Low,
+}
+
+impl Priority {
+    /// All priorities, drain order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Stable API key of this priority.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses an API key back into a priority.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    fn band(&self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// What happened to a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The job id is queued.
+    Queued,
+    /// The queue is at its depth bound; the caller sheds the request.
+    Full,
+    /// The queue is shut down; the id was dropped.
+    Shutdown,
+}
+
+/// The shared queue of job ids, banded per tenant and priority.
 #[derive(Default)]
 pub struct JobQueue {
     inner: Mutex<Inner>,
@@ -20,35 +84,88 @@ pub struct JobQueue {
 
 #[derive(Default)]
 struct Inner {
-    queue: VecDeque<u64>,
+    /// One band per tenant, in first-seen order; `cursor` rotates over
+    /// this vec so draining is fair. Empty bands are retired on pop so
+    /// the vec stays proportional to *active* tenants.
+    tenants: Vec<TenantBand>,
+    cursor: usize,
+    depth: usize,
+    /// 0 = unbounded.
+    max_depth: usize,
     shutdown: bool,
 }
 
+#[derive(Default)]
+struct TenantBand {
+    tenant: String,
+    lanes: [VecDeque<u64>; 3],
+}
+
+impl TenantBand {
+    fn is_empty(&self) -> bool {
+        self.lanes.iter().all(VecDeque::is_empty)
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
 impl JobQueue {
-    /// An empty queue.
+    /// An empty, unbounded queue.
     pub fn new() -> JobQueue {
         JobQueue::default()
     }
 
-    /// Enqueues a job id. Returns `false` (dropping the id) after
-    /// shutdown.
+    /// An empty queue shedding pushes beyond `max_depth` waiting jobs
+    /// (0 = unbounded).
+    pub fn bounded(max_depth: usize) -> JobQueue {
+        let queue = JobQueue::default();
+        queue.lock().max_depth = max_depth;
+        queue
+    }
+
+    /// Enqueues a job id under the anonymous tenant at normal
+    /// priority. Returns `false` (dropping the id) after shutdown or
+    /// when the depth bound sheds it.
     pub fn push(&self, id: u64) -> bool {
+        self.push_for("", Priority::Normal, id) == PushOutcome::Queued
+    }
+
+    /// Enqueues a job id into a tenant's band at a priority.
+    pub fn push_for(&self, tenant: &str, priority: Priority, id: u64) -> PushOutcome {
         let mut inner = self.lock();
         if inner.shutdown {
-            return false;
+            return PushOutcome::Shutdown;
         }
-        inner.queue.push_back(id);
+        if inner.max_depth > 0 && inner.depth >= inner.max_depth {
+            return PushOutcome::Full;
+        }
+        let at = match inner.tenants.iter().position(|b| b.tenant == tenant) {
+            Some(at) => at,
+            None => {
+                inner.tenants.push(TenantBand {
+                    tenant: tenant.to_string(),
+                    ..TenantBand::default()
+                });
+                inner.tenants.len() - 1
+            }
+        };
+        inner.tenants[at].lanes[priority.band()].push_back(id);
+        inner.depth += 1;
         self.ready.notify_one();
-        true
+        PushOutcome::Queued
     }
 
     /// Blocks until a job id is available (`Some`) or the queue is shut
-    /// down (`None`). Pending ids drain before `None` is reported, so a
-    /// graceful shutdown finishes accepted work.
+    /// down (`None`). Tenants are served round-robin, one job per turn,
+    /// highest priority first within a tenant. Pending ids drain before
+    /// `None` is reported, so a graceful shutdown finishes accepted
+    /// work.
     pub fn pop(&self) -> Option<u64> {
         let mut inner = self.lock();
         loop {
-            if let Some(id) = inner.queue.pop_front() {
+            if let Some(id) = inner.pop_fair() {
                 return Some(id);
             }
             if inner.shutdown {
@@ -58,9 +175,20 @@ impl JobQueue {
         }
     }
 
-    /// Jobs currently waiting.
+    /// Jobs currently waiting across every tenant.
     pub fn depth(&self) -> usize {
-        self.lock().queue.len()
+        self.lock().depth
+    }
+
+    /// Jobs currently waiting for one tenant.
+    pub fn depth_for(&self, tenant: &str) -> usize {
+        self.lock()
+            .tenants
+            .iter()
+            .filter(|b| b.tenant == tenant)
+            .flat_map(|b| b.lanes.iter())
+            .map(VecDeque::len)
+            .sum()
     }
 
     /// Stops accepting pushes and wakes every blocked `pop`.
@@ -71,6 +199,47 @@ impl JobQueue {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Inner {
+    fn pop_fair(&mut self) -> Option<u64> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        let n = self.tenants.len();
+        for step in 0..n {
+            let at = (self.cursor + step) % n;
+            if let Some(id) = self.tenants[at].pop() {
+                self.depth -= 1;
+                // Next turn starts after the tenant just served.
+                self.cursor = (at + 1) % n;
+                self.retire_empty();
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Drops empty bands, keeping the cursor aimed at the same tenant
+    /// rotation position.
+    fn retire_empty(&mut self) {
+        let mut at = 0;
+        while at < self.tenants.len() {
+            if self.tenants[at].is_empty() {
+                self.tenants.remove(at);
+                if self.cursor > at {
+                    self.cursor -= 1;
+                }
+            } else {
+                at += 1;
+            }
+        }
+        if self.tenants.is_empty() {
+            self.cursor = 0;
+        } else {
+            self.cursor %= self.tenants.len();
+        }
     }
 }
 
@@ -122,5 +291,68 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.shutdown();
         assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_when_full_and_drains_back_open() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.push_for("a", Priority::Normal, 1), PushOutcome::Queued);
+        assert_eq!(q.push_for("b", Priority::Normal, 2), PushOutcome::Queued);
+        assert_eq!(q.push_for("a", Priority::Normal, 3), PushOutcome::Full);
+        assert_eq!(q.depth(), 2);
+        assert!(q.pop().is_some());
+        assert_eq!(
+            q.push_for("a", Priority::Normal, 3),
+            PushOutcome::Queued,
+            "a drained queue admits again"
+        );
+    }
+
+    #[test]
+    fn tenants_drain_round_robin_one_job_per_turn() {
+        let q = JobQueue::new();
+        // Tenant "hog" floods first; "small" submits two jobs late.
+        for id in 1..=4 {
+            q.push_for("hog", Priority::Normal, id);
+        }
+        q.push_for("small", Priority::Normal, 100);
+        q.push_for("small", Priority::Normal, 101);
+        let order: Vec<u64> = (0..6).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec![1, 100, 2, 101, 3, 4],
+            "the small tenant interleaves instead of waiting out the flood"
+        );
+    }
+
+    #[test]
+    fn priorities_drain_high_before_normal_before_low_within_a_tenant() {
+        let q = JobQueue::new();
+        q.push_for("t", Priority::Low, 30);
+        q.push_for("t", Priority::Normal, 20);
+        q.push_for("t", Priority::High, 10);
+        q.push_for("t", Priority::High, 11);
+        let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn tenant_depth_is_tracked_separately() {
+        let q = JobQueue::new();
+        q.push_for("a", Priority::Normal, 1);
+        q.push_for("a", Priority::High, 2);
+        q.push_for("b", Priority::Normal, 3);
+        assert_eq!(q.depth_for("a"), 2);
+        assert_eq!(q.depth_for("b"), 1);
+        assert_eq!(q.depth_for("missing"), 0);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn priority_keys_round_trip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse(p.key()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
     }
 }

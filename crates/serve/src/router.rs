@@ -4,7 +4,7 @@
 //! POST /v1/campaigns               submit a job (source or CampaignSpec)
 //! GET  /v1/campaigns/:id           job status + counters
 //! GET  /v1/campaigns/:id/document  merged outcome JSONL (when done)
-//! GET  /v1/metrics                 cache / store / queue snapshot
+//! GET  /v1/metrics                 cache / store / queue / edge snapshot
 //! GET  /healthz                    liveness probe
 //! ```
 //!
@@ -12,15 +12,23 @@
 //! (cheap — parse + operator enumeration), enqueues, and returns `202`;
 //! execution happens on the scheduler thread, and the document endpoint
 //! answers `409` until it lands.
+//!
+//! Every handler runs *as a tenant* (the edge pipeline in `lib.rs`
+//! resolved the bearer token; `""` is the anonymous tenant of an open
+//! daemon). Submitted program names are namespaced to
+//! `tenant:program` before planning, which scopes store segments and
+//! job visibility per tenant end to end; a job owned by another tenant
+//! answers `404`, indistinguishable from a job that never existed.
 
 use crate::http::{Request, Response};
 use crate::jobs::JobStatus;
+use crate::queue::Priority;
 use crate::ServerState;
 use nfi_sfi::jsontext::{escape, get_opt_str, get_opt_u64, get_str, parse_flat_object};
 use nfi_sfi::CampaignSpec;
 
-/// Dispatches one request to its handler.
-pub fn handle(state: &ServerState, req: &Request) -> Response {
+/// Dispatches one request to its handler on behalf of `tenant`.
+pub fn handle(state: &ServerState, req: &Request, tenant: &str) -> Response {
     let path = req.path.as_str();
     match path {
         "/healthz" => match req.method.as_str() {
@@ -32,18 +40,18 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
             _ => Response::method_not_allowed("GET", &req.method, path),
         },
         "/v1/campaigns" => match req.method.as_str() {
-            "POST" => submit(state, &req.body),
+            "POST" => submit(state, &req.body, tenant),
             _ => Response::method_not_allowed("POST", &req.method, path),
         },
         _ => match path.strip_prefix("/v1/campaigns/") {
-            Some(rest) => campaign_route(state, req, rest),
+            Some(rest) => campaign_route(state, req, rest, tenant),
             None => Response::error(404, &format!("no route for {path}")),
         },
     }
 }
 
 /// Routes `/v1/campaigns/:id[/document]`.
-fn campaign_route(state: &ServerState, req: &Request, rest: &str) -> Response {
+fn campaign_route(state: &ServerState, req: &Request, rest: &str, tenant: &str) -> Response {
     let (id_text, tail) = match rest.split_once('/') {
         Some((id, tail)) => (id, Some(tail)),
         None => (rest, None),
@@ -52,8 +60,8 @@ fn campaign_route(state: &ServerState, req: &Request, rest: &str) -> Response {
         return Response::error(400, &format!("campaign id `{id_text}` is not a number"));
     };
     match (req.method.as_str(), tail) {
-        ("GET", None) => status(state, id),
-        ("GET", Some("document")) => document(state, id),
+        ("GET", None) => status(state, id, tenant),
+        ("GET", Some("document")) => document(state, id, tenant),
         (_, None) => Response::method_not_allowed("GET", &req.method, &req.path),
         (_, Some("document")) => Response::method_not_allowed("GET", &req.method, &req.path),
         (_, Some(other)) => Response::error(
@@ -66,32 +74,42 @@ fn campaign_route(state: &ServerState, req: &Request, rest: &str) -> Response {
 /// `POST /v1/campaigns`: plan, journal, and enqueue. The `202` goes
 /// out only after the journal holds the accepted record, so every
 /// acknowledged job survives a daemon crash.
-fn submit(state: &ServerState, body: &[u8]) -> Response {
-    let spec = match parse_submission(body, state.config.seed) {
-        Ok(spec) => spec,
+fn submit(state: &ServerState, body: &[u8], tenant: &str) -> Response {
+    let (mut spec, priority, deadline_ms) = match parse_submission(body, state.config.seed) {
+        Ok(parts) => parts,
         Err(msg) => return Response::error(400, &msg),
     };
+    // Namespace the program per tenant *after* planning/validation —
+    // the spec's module fingerprint covers only the source, so the
+    // rename cannot invalidate it, and the scoped name then keys the
+    // job table, the journal, and the store segment alike.
+    spec.program = crate::auth::scoped_program(tenant, &spec.program);
     let program = spec.program.clone();
     let units = spec.units.len();
-    match state.accept(spec) {
+    match state.accept(spec, tenant, priority, deadline_ms) {
         Ok(id) => Response::json(
             202,
             format!(
-                "{{\"id\":{id},\"program\":\"{}\",\"status\":\"queued\",\"units\":{units}}}",
+                "{{\"id\":{id},\"program\":\"{}\",\"status\":\"queued\",\"units\":{units},\"priority\":\"{}\"}}",
                 escape(&program),
+                priority.key(),
             ),
         ),
-        Err((status, message)) => Response::error(status, &message),
+        Err(response) => response,
     }
 }
 
-/// Decodes a submission body into a planned spec. Two accepted shapes:
+/// Decodes a submission body into a planned spec plus its scheduling
+/// knobs. Two accepted shapes:
 ///
 /// * a full `campaign_spec` JSONL document (what `nfi campaign plan`
 ///   emits) — used verbatim after validating that its source still
-///   parses to the recorded fingerprint;
+///   parses to the recorded fingerprint; a spec document has no place
+///   for scheduling knobs, so it runs at normal priority under the
+///   daemon's default deadline;
 /// * a flat submit object `{"program": name}` (a corpus program) or
-///   `{"program": name, "source": "..."}` with an optional `"seed"` —
+///   `{"program": name, "source": "..."}` with optional `"seed"`,
+///   `"priority"` (`high`/`normal`/`low`), and `"deadline_ms"` fields —
 ///   planned here under `default_seed` (the daemon's `--seed`) when the
 ///   body names none, so serve and `nfi campaign run --seed` stay
 ///   byte-identical on the same state dir.
@@ -99,7 +117,10 @@ fn submit(state: &ServerState, body: &[u8]) -> Response {
 /// # Errors
 ///
 /// Returns the parse diagnostic the 400 response carries.
-fn parse_submission(body: &[u8], default_seed: u64) -> Result<CampaignSpec, String> {
+fn parse_submission(
+    body: &[u8],
+    default_seed: u64,
+) -> Result<(CampaignSpec, Priority, Option<u64>), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
     let trimmed = text.trim();
     if trimmed.is_empty() {
@@ -123,11 +144,12 @@ fn parse_submission(body: &[u8], default_seed: u64) -> Result<CampaignSpec, Stri
                 spec.program
             ));
         }
-        return Ok(spec);
+        return Ok((spec, Priority::Normal, None));
     }
     let fields = parse_flat_object(trimmed).map_err(|e| {
         format!(
-            "submit object: {e} (send {{\"program\":name[,\"source\":...,\"seed\":n]}} \
+            "submit object: {e} (send {{\"program\":name[,\"source\":...,\"seed\":n,\
+             \"priority\":\"high|normal|low\",\"deadline_ms\":n]}} \
              or a campaign_spec JSONL document)"
         )
     })?;
@@ -140,14 +162,23 @@ fn parse_submission(body: &[u8], default_seed: u64) -> Result<CampaignSpec, Stri
             .to_string(),
     };
     let seed = get_opt_u64(&fields, "seed")?.unwrap_or(default_seed);
-    nfi_core::plan_campaign(&program, &source, seed)
+    let priority = match get_opt_str(&fields, "priority")? {
+        None => Priority::Normal,
+        Some(text) => Priority::parse(&text)
+            .ok_or_else(|| format!("unknown priority `{text}` (use high, normal, or low)"))?,
+    };
+    let deadline_ms = get_opt_u64(&fields, "deadline_ms")?;
+    let spec = nfi_core::plan_campaign(&program, &source, seed)?;
+    Ok((spec, priority, deadline_ms))
 }
 
-/// `GET /v1/campaigns/:id`.
-fn status(state: &ServerState, id: u64) -> Response {
-    match state.jobs.status_json(id) {
-        Some(rendered) => Response::json(200, rendered),
-        None => Response::error(404, &format!("no campaign job {id}")),
+/// `GET /v1/campaigns/:id`. Another tenant's job is a `404`, not a
+/// `403` — job ids are global, and a distinguishable refusal would let
+/// tenants probe each other's job volume.
+fn status(state: &ServerState, id: u64, tenant: &str) -> Response {
+    match state.jobs.get(id) {
+        Some(job) if job.tenant == tenant => Response::json(200, job.render_status()),
+        _ => Response::error(404, &format!("no campaign job {id}")),
     }
 }
 
@@ -165,10 +196,13 @@ fn status(state: &ServerState, id: u64) -> Response {
 /// response is byte-identical to the document the original run
 /// produced, which is also what makes finished jobs restored from the
 /// journal indistinguishable from jobs finished in this process.
-fn document(state: &ServerState, id: u64) -> Response {
+fn document(state: &ServerState, id: u64, tenant: &str) -> Response {
     let Some(job) = state.jobs.get(id) else {
         return Response::error(404, &format!("no campaign job {id}"));
     };
+    if job.tenant != tenant {
+        return Response::error(404, &format!("no campaign job {id}"));
+    }
     match &job.status {
         JobStatus::Done => match state.orch.replay_full(&job.spec) {
             Some(doc) => Response::jsonl(200, doc),

@@ -5,7 +5,9 @@
 //! `nfi campaign exec`); the process-worker path is exercised by the
 //! workspace-level `tests/serve_e2e.rs`, which has the real binary.
 
-use nfi_serve::client::{request_once, Client};
+use nfi_serve::auth::AuthTokens;
+use nfi_serve::client::{request_once, request_once_as, request_with_retry, Client};
+use nfi_serve::queue::Priority;
 use nfi_serve::worker::WorkerMode;
 use nfi_serve::{ServeConfig, Server};
 use std::net::SocketAddr;
@@ -517,7 +519,9 @@ fn restart_recovers_finished_documents_and_requeues_pending_jobs() {
         use nfi_serve::journal::Journal;
         let (mut journal, replay) = Journal::open(&dir).unwrap();
         assert_eq!(replay.max_id, id);
-        journal.record_accepted(77, &spec2).unwrap();
+        journal
+            .record_accepted(77, &spec2, "", nfi_serve::queue::Priority::Normal, None)
+            .unwrap();
     }
 
     // Round two: the restarted daemon restores job 1 as done (same
@@ -658,6 +662,513 @@ fn second_daemon_on_the_same_state_dir_is_refused_at_bind() {
     );
     assert!(third.is_ok(), "{:?}", third.err());
     drop(third);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Polls a job as a tenant until done/failed.
+fn await_job_as(addr: SocketAddr, token: &str, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply =
+            request_once_as(addr, token, "GET", &format!("/v1/campaigns/{id}"), None).unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let text = reply.text();
+        if text.contains("\"status\":\"done\"") || text.contains("\"status\":\"failed\"") {
+            return text;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished: {text}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn two_tenant_auth() -> AuthTokens {
+    AuthTokens::parse("alice:secret-a\nbob:secret-b\n").unwrap()
+}
+
+#[test]
+fn auth_gates_every_route_but_healthz_and_namespaces_tenants() {
+    let dir = state_dir("auth");
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::InProcess,
+        auth: Some(two_tenant_auth()),
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        nfi_sfi::jsontext::escape(SOURCE)
+    );
+
+    // No token (and a wrong token) → 401 everywhere but the liveness
+    // probe.
+    let denied = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(denied.status, 401, "{}", denied.text());
+    assert!(denied.text().contains("bearer token"), "{}", denied.text());
+    let wrong = request_once_as(
+        addr,
+        "not-a-token",
+        "POST",
+        "/v1/campaigns",
+        Some(body.as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(wrong.status, 401, "{}", wrong.text());
+    let probe = request_once(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(probe.status, 200, "{}", probe.text());
+
+    // Alice's submission is namespaced: the daemon plans and stores it
+    // as `alice:demo`.
+    let accepted = request_once_as(
+        addr,
+        "secret-a",
+        "POST",
+        "/v1/campaigns",
+        Some(body.as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    assert!(
+        accepted.text().contains("\"program\":\"alice:demo\""),
+        "{}",
+        accepted.text()
+    );
+    let id: u64 = accepted
+        .text()
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|t| t.split([',', '}']).next())
+        .and_then(|t| t.parse().ok())
+        .unwrap();
+    let status = await_job_as(addr, "secret-a", id);
+    assert!(status.contains("\"status\":\"done\""), "{status}");
+
+    // Bob cannot see Alice's job — 404, indistinguishable from a job
+    // that never existed.
+    let cross = request_once_as(
+        addr,
+        "secret-b",
+        "GET",
+        &format!("/v1/campaigns/{id}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(cross.status, 404, "{}", cross.text());
+    let cross_doc = request_once_as(
+        addr,
+        "secret-b",
+        "GET",
+        &format!("/v1/campaigns/{id}/document"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(cross_doc.status, 404);
+
+    // Alice's document is byte-identical to an offline run planned
+    // under the same namespaced name (`campaign run --as alice:demo`).
+    let doc = request_once_as(
+        addr,
+        "secret-a",
+        "GET",
+        &format!("/v1/campaigns/{id}/document"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(doc.status, 200);
+    let offline_dir = state_dir("auth-offline");
+    let offline = nfi_core::Orchestrator::new(&offline_dir)
+        .unwrap()
+        .run_program("alice:demo", SOURCE)
+        .unwrap();
+    assert_eq!(doc.text(), offline.run.encode());
+
+    // The rejections surfaced in the metrics.
+    let metrics = handle.state().metrics_json();
+    assert!(metrics.contains("\"unauthorized\":2"), "{metrics}");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&offline_dir);
+}
+
+#[test]
+fn rate_limited_clients_get_429_with_retry_after_and_recover() {
+    let dir = state_dir("ratelimit");
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::InProcess,
+        rate_limit: 5,
+        rate_burst: 3,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+
+    // Burn the burst, then the next request sheds with Retry-After.
+    let mut shed = None;
+    for _ in 0..10 {
+        let reply = request_once(addr, "GET", "/healthz", None).unwrap();
+        if reply.status == 429 {
+            shed = Some(reply);
+            break;
+        }
+        assert_eq!(reply.status, 200);
+    }
+    let shed = shed.expect("a burst past the bucket must shed");
+    let retry_after: u64 = shed
+        .header("retry-after")
+        .expect("429 must carry Retry-After")
+        .parse()
+        .unwrap();
+    assert!(retry_after >= 1, "Retry-After must be at least 1s");
+    assert_eq!(shed.header("connection"), Some("keep-alive"));
+
+    // The cooperating client helper honors the advice and gets through.
+    let recovered = request_with_retry(addr, None, "GET", "/healthz", None, 3).unwrap();
+    assert_eq!(recovered.status, 200, "{}", recovered.text());
+
+    let metrics = handle.state().metrics_json();
+    assert!(metrics.contains("\"rate_limited\":"), "{metrics}");
+    assert!(!metrics.contains("\"rate_limited\":0"), "{metrics}");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_bound_and_tenant_quota_shed_submissions_before_the_journal() {
+    // Bind without serving: no scheduler lane ever pops, so queue
+    // depth and tenant accounting are exact — no races.
+    let dir = state_dir("shed");
+    let config = ServeConfig {
+        mode: WorkerMode::InProcess,
+        max_queue: 2,
+        tenant_max_queued: 1,
+        ..ServeConfig::new(&dir)
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let state = server.state();
+    let spec = || nfi_core::plan_campaign("demo", SOURCE, 7).unwrap();
+
+    // Tenant quota first: alice's second job sheds 429 while her first
+    // is still queued.
+    state
+        .accept(spec(), "alice", Priority::Normal, None)
+        .expect("first job is admitted");
+    let quota = state
+        .accept(spec(), "alice", Priority::Normal, None)
+        .expect_err("tenant quota must shed");
+    assert_eq!(
+        quota.status,
+        429,
+        "{}",
+        String::from_utf8_lossy(&quota.body)
+    );
+    assert!(
+        quota
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "Retry-After" && !v.is_empty()),
+        "429 must advise Retry-After"
+    );
+
+    // Queue bound next: with 2 jobs queued (alice + bob), carol sheds
+    // 503 regardless of her own quota headroom.
+    state
+        .accept(spec(), "bob", Priority::Normal, None)
+        .expect("bob has quota and the queue has room");
+    let full = state
+        .accept(spec(), "carol", Priority::Normal, None)
+        .expect_err("queue bound must shed");
+    assert_eq!(full.status, 503, "{}", String::from_utf8_lossy(&full.body));
+
+    let metrics = state.metrics_json();
+    assert!(metrics.contains("\"queue_shed\":2"), "{metrics}");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenant_program_quota_sheds_new_program_names_only() {
+    let dir = state_dir("progquota");
+    let config = ServeConfig {
+        mode: WorkerMode::InProcess,
+        tenant_max_programs: 1,
+        ..ServeConfig::new(&dir)
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let state = server.state();
+    let spec = |name: &str| nfi_core::plan_campaign(name, SOURCE, 7).unwrap();
+    state
+        .accept(spec("alice:one"), "alice", Priority::Normal, None)
+        .expect("first program is admitted");
+    // A resubmission of the same program passes; a second distinct
+    // program sheds; another tenant is unaffected.
+    state
+        .accept(spec("alice:one"), "alice", Priority::Normal, None)
+        .expect("known program names stay admitted");
+    let denied = state
+        .accept(spec("alice:two"), "alice", Priority::Normal, None)
+        .expect_err("a second distinct program must shed");
+    assert_eq!(denied.status, 429);
+    assert!(
+        String::from_utf8_lossy(&denied.body).contains("distinct programs"),
+        "{}",
+        String::from_utf8_lossy(&denied.body)
+    );
+    state
+        .accept(spec("bob:one"), "bob", Priority::Normal, None)
+        .expect("quotas are per tenant");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jobs_that_outwait_their_deadline_fail_with_an_expiry() {
+    let dir = state_dir("deadline");
+    let config = ServeConfig {
+        workers: 1,
+        lanes: 1,
+        mode: WorkerMode::InProcess,
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+
+    // Keep the single lane busy with a real corpus campaign, then queue
+    // a 1ms-deadline job behind it: by the time the lane frees up the
+    // budget is long gone.
+    let blocker = submit(addr, "{\"program\":\"ecommerce\"}");
+    let doomed = submit(
+        addr,
+        &format!(
+            "{{\"program\":\"demo\",\"source\":\"{}\",\"deadline_ms\":1}}",
+            nfi_sfi::jsontext::escape(SOURCE)
+        ),
+    );
+    let doomed_status = await_job(addr, doomed);
+    assert!(
+        doomed_status.contains("\"status\":\"failed\""),
+        "{doomed_status}"
+    );
+    assert!(
+        doomed_status.contains("deadline expired"),
+        "{doomed_status}"
+    );
+    let blocker_status = await_job(addr, blocker);
+    assert!(
+        blocker_status.contains("\"status\":\"done\""),
+        "the blocking job itself must finish: {blocker_status}"
+    );
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(
+        metrics.text().contains("\"deadline_expiries\":1"),
+        "{}",
+        metrics.text()
+    );
+
+    // The expiry survives a restart as a journaled failure.
+    handle.stop();
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            mode: WorkerMode::InProcess,
+            ..ServeConfig::new(&dir)
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let restored =
+        request_once(handle.addr, "GET", &format!("/v1/campaigns/{doomed}"), None).unwrap();
+    assert!(
+        restored.text().contains("deadline expired"),
+        "{}",
+        restored.text()
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_priority_is_400_and_priority_echoes_in_the_accept_reply() {
+    let (handle, dir) = start("priority");
+    let addr = handle.addr;
+    let escaped = nfi_sfi::jsontext::escape(SOURCE);
+    let bad = request_once(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        Some(
+            format!("{{\"program\":\"demo\",\"source\":\"{escaped}\",\"priority\":\"urgent\"}}")
+                .as_bytes(),
+        ),
+    )
+    .unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("unknown priority"), "{}", bad.text());
+    let high = request_once(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        Some(
+            format!("{{\"program\":\"demo\",\"source\":\"{escaped}\",\"priority\":\"high\"}}")
+                .as_bytes(),
+        ),
+    )
+    .unwrap();
+    assert_eq!(high.status, 202, "{}", high.text());
+    assert!(
+        high.text().contains("\"priority\":\"high\""),
+        "{}",
+        high.text()
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slowloris_mid_request_gets_408_and_idle_keepalive_closes_silently() {
+    let dir = state_dir("slowloris");
+    let config = ServeConfig {
+        mode: WorkerMode::InProcess,
+        request_timeout: Duration::from_millis(250),
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+
+    // A client that starts a request and stalls gets 408.
+    let mut slow = Client::connect(addr).unwrap();
+    slow.write_raw(b"GET /healthz HTT").unwrap();
+    let reply = slow
+        .read_reply()
+        .expect("the daemon answers before closing");
+    assert_eq!(reply.status, 408, "{}", reply.text());
+
+    // Dripping bytes slower than the deadline does not reset it.
+    let mut drip = Client::connect(addr).unwrap();
+    let started = Instant::now();
+    for chunk in [b"GET ".as_slice(), b"/heal", b"thz H"] {
+        let _ = drip.write_raw(chunk);
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    let dripped = drip
+        .read_reply()
+        .expect("drip-fed request must be answered");
+    assert_eq!(dripped.status, 408, "{}", dripped.text());
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the deadline bounded the drip"
+    );
+
+    // An idle keep-alive connection is closed with no bytes at all.
+    let mut idle = Client::connect(addr).unwrap();
+    let reply = idle.send("GET", "/healthz", None).unwrap();
+    assert_eq!(reply.status, 200);
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        idle.read_reply().is_err(),
+        "idle connection must be closed, not answered"
+    );
+
+    let metrics = handle.state().metrics_json();
+    assert!(metrics.contains("\"timeouts\":2"), "{metrics}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hardened_daemon_with_four_lanes_preserves_offline_byte_parity() {
+    // The acceptance gauntlet in miniature: auth + rate limiting +
+    // deadlines + four lanes all on, two tenants interleaved — every
+    // served document still byte-identical to an offline run under the
+    // namespaced program name.
+    let dir = state_dir("hardened");
+    let config = ServeConfig {
+        workers: 2,
+        lanes: 4,
+        mode: WorkerMode::InProcess,
+        auth: Some(two_tenant_auth()),
+        rate_limit: 500,
+        rate_burst: 500,
+        max_queue: 64,
+        tenant_max_queued: 32,
+        default_deadline_ms: Some(60_000),
+        ..ServeConfig::new(&dir)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+
+    let sources: Vec<(String, String)> = (0..3)
+        .map(|i| {
+            (
+                format!("prog{i}"),
+                format!("def f():\n    return {i}\ndef test_f():\n    assert f() == {i}\n"),
+            )
+        })
+        .collect();
+    let mut submitted = Vec::new();
+    for (i, (name, source)) in sources.iter().enumerate() {
+        let token = if i % 2 == 0 { "secret-a" } else { "secret-b" };
+        let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+        let body = format!(
+            "{{\"program\":\"{name}\",\"source\":\"{}\"}}",
+            nfi_sfi::jsontext::escape(source)
+        );
+        let reply =
+            request_once_as(addr, token, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+        assert_eq!(reply.status, 202, "{}", reply.text());
+        let id: u64 = reply
+            .text()
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|t| t.split([',', '}']).next())
+            .and_then(|t| t.parse().ok())
+            .unwrap();
+        submitted.push((id, token, format!("{tenant}:{name}"), source.clone()));
+    }
+    for (id, token, scoped, source) in &submitted {
+        let status = await_job_as(addr, token, *id);
+        assert!(status.contains("\"status\":\"done\""), "{status}");
+        let doc = request_once_as(
+            addr,
+            token,
+            "GET",
+            &format!("/v1/campaigns/{id}/document"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(doc.status, 200);
+        let offline_dir = state_dir(&format!("hardened-offline-{id}"));
+        let offline = nfi_core::Orchestrator::new(&offline_dir)
+            .unwrap()
+            .run_program(scoped, source)
+            .unwrap();
+        assert_eq!(
+            doc.text(),
+            offline.run.encode(),
+            "hardened daemon diverged from offline for {scoped}"
+        );
+        let _ = std::fs::remove_dir_all(&offline_dir);
+    }
+    handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

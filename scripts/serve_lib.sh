@@ -1,20 +1,33 @@
 # Shared helpers for the serve CI gauntlets — sourced, not executed.
 # Callers set NFI (path of the release binary) and manage their own
 # WORK dir and cleanup trap; `start_daemon` sets SERVE_PID and ADDR,
-# and the HTTP helpers talk to whatever $ADDR currently names.
+# and the HTTP helpers talk to whatever $ADDR currently names. When
+# AUTH_TOKEN is set, every request carries it as a bearer token.
 
 req() { # req <method> <path> [data] -> body (status checked)
   # `curl -f` would hide response bodies; check status codes explicitly.
   local method=$1 path=$2 data=${3-}
   local out status body
-  out=$(curl -sS -X "$method" ${data:+-d "$data"} \
-    -w $'\n%{http_code}' "http://$ADDR$path")
+  out=$(curl -sS -X "$method" ${AUTH_TOKEN:+-H "Authorization: Bearer $AUTH_TOKEN"} \
+    ${data:+-d "$data"} -w $'\n%{http_code}' "http://$ADDR$path")
   status=${out##*$'\n'}
   body=${out%$'\n'*}
   case "$status" in
     2*) printf '%s' "$body" ;;
     *) echo "FAIL: $method $path -> HTTP $status: $body" >&2; exit 1 ;;
   esac
+}
+
+req_raw() { # req_raw <method> <path> [data] -> sets STATUS, BODY, HDRS
+  # Like req, but any status is acceptable — overload gauntlets *want*
+  # to see 4xx/5xx sheds. Response headers land in the file $HDRS.
+  local method=$1 path=$2 data=${3-}
+  HDRS="${WORK:-/tmp}/last-headers"
+  local out
+  out=$(curl -sS -X "$method" ${AUTH_TOKEN:+-H "Authorization: Bearer $AUTH_TOKEN"} \
+    ${data:+-d "$data"} -D "$HDRS" -w $'\n%{http_code}' "http://$ADDR$path")
+  STATUS=${out##*$'\n'}
+  BODY=${out%$'\n'*}
 }
 
 json_field() { # json_field <json> <field> -> value (numbers/strings)

@@ -2,12 +2,14 @@
 # Serve-parity check: documents served by the `nfi serve` daemon (with
 # its spawned `nfi campaign exec --shard i/n` process workers) must be
 # byte-identical to an offline `nfi campaign run --state-dir` of the
-# same binary.
+# same binary — with the full hardening stack enabled: bearer auth,
+# rate limiting, queue deadlines, and four scheduler lanes.
 #
-#   1. start the daemon on an ephemeral port;
-#   2. submit two corpus programs over HTTP, poll both to completion
-#      (failing on any non-2xx along the way);
-#   3. fetch each document and byte-diff it against the offline run;
+#   1. start the daemon on an ephemeral port with auth + limits on;
+#   2. submit two corpus programs over HTTP as tenant `ci`, poll both
+#      to completion (failing on any non-2xx along the way);
+#   3. fetch each document and byte-diff it against an offline
+#      `nfi campaign run --as ci:<program>` of the same store segment;
 #   4. resubmit one program — the store-warm job must execute 0 units
 #      and serve the same bytes.
 #
@@ -33,10 +35,19 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== start daemon =="
-start_daemon "$WORK/serve.log" --state-dir "$WORK/served" --workers 2
+echo "== start hardened daemon =="
+printf 'ci:parity-ci-token\n' > "$WORK/tokens"
+start_daemon "$WORK/serve.log" --state-dir "$WORK/served" --workers 2 --lanes 4 \
+  --auth-token-file "$WORK/tokens" --rate-limit 200 --deadline-ms 300000 \
+  --max-queue 64 --tenant-max-queued 32
 echo "daemon at $ADDR"
 req GET /healthz >/dev/null
+# No token -> the edge must refuse before the router ever sees the path.
+if curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/v1/metrics" | grep -qv 401; then
+  echo "FAIL: unauthenticated /v1/metrics was not refused with 401" >&2
+  exit 1
+fi
+AUTH_TOKEN=parity-ci-token
 
 declare -A JOB_ID
 for p in "${PROGRAMS[@]}"; do
@@ -52,14 +63,17 @@ for p in "${PROGRAMS[@]}"; do
   req GET "/v1/campaigns/${JOB_ID[$p]}/document" > "$WORK/$p.served.jsonl"
 done
 
-echo "== offline parity =="
+echo "== offline parity (tenant-scoped) =="
 for p in "${PROGRAMS[@]}"; do
-  "$NFI" campaign run --state-dir "$WORK/offline" --workers 2 --program "$p" >/dev/null
+  # The daemon namespaced each job to `ci:<program>`; `--as` reproduces
+  # exactly that store segment offline.
+  "$NFI" campaign run --state-dir "$WORK/offline" --workers 2 \
+    --program "$p" --as "ci:$p" >/dev/null
 done
 for p in "${PROGRAMS[@]}"; do
-  if ! diff -q "$WORK/$p.served.jsonl" "$WORK/offline/runs/$p.jsonl" >/dev/null; then
-    echo "FAIL: served $p document differs from offline campaign run" >&2
-    diff "$WORK/$p.served.jsonl" "$WORK/offline/runs/$p.jsonl" >&2 || true
+  if ! diff -q "$WORK/$p.served.jsonl" "$WORK/offline/runs/ci:$p.jsonl" >/dev/null; then
+    echo "FAIL: served $p document differs from offline campaign run --as ci:$p" >&2
+    diff "$WORK/$p.served.jsonl" "$WORK/offline/runs/ci:$p.jsonl" >&2 || true
     exit 1
   fi
 done
@@ -76,4 +90,6 @@ diff -q "$WORK/warm.jsonl" "$WORK/${PROGRAMS[0]}.served.jsonl" >/dev/null \
 
 metrics=$(req GET /v1/metrics)
 echo "metrics: $metrics"
-echo "serve parity: ${#PROGRAMS[@]} program(s) byte-identical served vs offline; warm resubmission executed 0 units"
+[ "$(json_field "$metrics" unauthorized)" -ge 1 ] \
+  || { echo "FAIL: the 401 probe never reached the unauthorized counter" >&2; exit 1; }
+echo "serve parity: ${#PROGRAMS[@]} program(s) byte-identical served (auth + limits + 4 lanes) vs offline --as; warm resubmission executed 0 units"

@@ -36,13 +36,16 @@ USAGE:
               [--profile retry|crash] [--rounds N]
   nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
   nfi explore (--program <name> | --file <path>) --describe \"<fault>\" [--seeds N]
-  nfi campaign plan (--program <name> | --file <path>) [--seed N] [--out PATH]
+  nfi campaign plan (--program <name> | --file <path>) [--as <name>] [--seed N] [--out PATH]
   nfi campaign exec --plan PATH [--shard i/n] [--threads N] [--no-cache] [--out PATH]
   nfi campaign merge <run.jsonl>... [--out PATH]
-  nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N]
+  nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N] [--as <name>]
                    [--out-dir DIR] [--program <name> | --file <path> | <file>...]
   nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--lanes N]
-            [--seed N]
+            [--seed N] [--auth-token-file PATH] [--rate-limit N] [--rate-burst N]
+            [--max-connections N] [--max-queue N] [--tenant-max-queued N]
+            [--tenant-max-programs N] [--deadline-ms N] [--request-timeout-ms N]
+            [--child-timeout-ms N] [--worker-retries N]
   nfi store gc --state-dir <dir> [--dry-run]
                (--corpus | --program <name> | --file <path> | <file>...)
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
@@ -384,6 +387,39 @@ fn parse_positive(flags: &HashMap<&str, &str>, name: &str) -> Result<usize, Stri
         .map(|w| w.unwrap_or(1))
 }
 
+/// Parser for the serve hardening knobs: an unsigned integer where `0`
+/// (and absence) means "off"/"unbounded" — the daemon's permissive
+/// default — so every limit flag reads the same way.
+fn parse_limit(flags: &HashMap<&str, &str>, name: &str) -> Result<u64, String> {
+    flags
+        .get(name)
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--{name} expects an unsigned integer (0 = off), got `{v}`"))
+        })
+        .transpose()
+        .map(|v| v.unwrap_or(0))
+}
+
+/// Validates a `--as <name>` program-name override. The name heads the
+/// store segment and every run document, and under a serving daemon it
+/// may carry a `tenant:` prefix — so colons are fine, but whitespace
+/// and control characters would make the headers and logs ambiguous.
+fn parse_as_name<'a>(flags: &HashMap<&str, &'a str>) -> Result<Option<&'a str>, String> {
+    let Some(name) = flags.get("as").copied() else {
+        return Ok(None);
+    };
+    if name.is_empty() || name == "true" {
+        return Err("--as expects a program name".to_string());
+    }
+    if name.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(format!(
+            "--as name `{name}` contains whitespace or control characters"
+        ));
+    }
+    Ok(Some(name))
+}
+
 /// The one shared listen-address parser: `--addr ip:port` (strictly a
 /// socket address; port `0` binds an ephemeral port, printed at
 /// startup) or `--port n` as loopback shorthand. Nonsense — a
@@ -457,11 +493,17 @@ fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), 
     match positional.first().copied() {
         Some("plan") => {
             let source = load_source(flags)?;
-            let program = flags
-                .get("program")
-                .copied()
-                .or_else(|| flags.get("file").map(|p| file_stem_name(p)))
-                .unwrap_or("campaign");
+            // --as overrides the derived name — the offline mirror of a
+            // daemon tenant's namespaced `tenant:program`, so offline
+            // parity runs can address the same store segment.
+            let program = match parse_as_name(flags)? {
+                Some(name) => name,
+                None => flags
+                    .get("program")
+                    .copied()
+                    .or_else(|| flags.get("file").map(|p| file_stem_name(p)))
+                    .unwrap_or("campaign"),
+            };
             let spec = service::plan_campaign(program, &source, parse_seed(flags)?)?;
             eprintln!("planned {} units for {program}", spec.units.len());
             write_doc(flags, &spec.encode())
@@ -573,7 +615,19 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
         config: exec_config(flags)?,
         ..Orchestrator::new(state_dir)?
     };
-    let targets = resolve_targets(files, flags)?;
+    let mut targets = resolve_targets(files, flags)?;
+    if let Some(name) = parse_as_name(flags)? {
+        // Renaming only makes sense for exactly one target — with
+        // several, all would collapse onto one store segment and
+        // perpetually prune each other.
+        let [target] = targets.as_mut_slice() else {
+            return Err(format!(
+                "--as {name} needs exactly one target, got {}",
+                targets.len()
+            ));
+        };
+        target.0 = name.to_string();
+    }
 
     let out_dir = flags
         .get("out-dir")
@@ -616,23 +670,80 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
 /// processes — served documents are byte-identical to an offline
 /// `nfi campaign run --state-dir` over the same directory.
 fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
-    use nfi_serve::{worker::WorkerMode, ServeConfig, Server};
+    use nfi_serve::{auth::AuthTokens, worker::WorkerMode, ServeConfig, Server};
+    use std::time::Duration;
     let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
     let addr = parse_addr(flags)?;
     let workers = parse_workers(flags)?;
     let lanes = parse_lanes(flags)?;
+    let auth = flags
+        .get("auth-token-file")
+        .map(|path| AuthTokens::load(std::path::Path::new(path)))
+        .transpose()?;
+    let defaults = ServeConfig::new(state_dir);
+    let deadline = parse_limit(flags, "deadline-ms")?;
+    let child_timeout = parse_limit(flags, "child-timeout-ms")?;
+    let request_timeout = parse_limit(flags, "request-timeout-ms")?;
+    let max_connections = parse_limit(flags, "max-connections")? as usize;
     let config = ServeConfig {
         workers,
         lanes,
         mode: WorkerMode::current_exe()?,
         seed: parse_seed(flags)?,
-        ..ServeConfig::new(state_dir)
+        auth,
+        rate_limit: parse_limit(flags, "rate-limit")?,
+        rate_burst: parse_limit(flags, "rate-burst")?,
+        max_connections: if max_connections > 0 {
+            max_connections
+        } else {
+            defaults.max_connections
+        },
+        max_queue: parse_limit(flags, "max-queue")? as usize,
+        tenant_max_queued: parse_limit(flags, "tenant-max-queued")? as usize,
+        tenant_max_programs: parse_limit(flags, "tenant-max-programs")? as usize,
+        default_deadline_ms: (deadline > 0).then_some(deadline),
+        request_timeout: if request_timeout > 0 {
+            Duration::from_millis(request_timeout)
+        } else {
+            defaults.request_timeout
+        },
+        child_timeout: (child_timeout > 0).then(|| Duration::from_millis(child_timeout)),
+        worker_retries: match flags.get("worker-retries") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--worker-retries expects an unsigned integer, got `{v}`"))?,
+            None => defaults.worker_retries,
+        },
+        ..defaults
+    };
+    let hardening = {
+        let mut on = Vec::new();
+        if config.auth.is_some() {
+            on.push("auth".to_string());
+        }
+        if config.rate_limit > 0 {
+            on.push(format!("{}/s rate limit", config.rate_limit));
+        }
+        if config.max_queue > 0 {
+            on.push(format!("queue bound {}", config.max_queue));
+        }
+        if let Some(ms) = config.default_deadline_ms {
+            on.push(format!("{ms}ms deadline"));
+        }
+        if let Some(t) = config.child_timeout {
+            on.push(format!("{}ms child watchdog", t.as_millis()));
+        }
+        if on.is_empty() {
+            "open (no auth, no limits)".to_string()
+        } else {
+            on.join(", ")
+        }
     };
     let server = Server::bind(addr, config)?;
     let local = server.local_addr()?;
     println!(
         "nfi serve: listening on http://{local} (state dir {state_dir}, {lanes} lane(s), \
-         {workers} process worker(s) per job)"
+         {workers} process worker(s) per job; {hardening})"
     );
     println!("  POST /v1/campaigns | GET /v1/campaigns/:id[/document] | GET /v1/metrics");
     server.run()
@@ -861,6 +972,13 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         serve.warm_units_per_s(),
         serve.warm_speedup(),
         serve.documents_identical,
+    );
+    println!(
+        "  hardened: {:.0} requests/s with auth + rate limiting; {} forged tokens refused, {} submissions shed, {} worker retries",
+        serve.auth_requests_per_s(),
+        serve.unauthorized,
+        serve.queue_shed,
+        serve.retries,
     );
 
     let json = to_json(&campaign, &lm, &e7, &store, &serve);

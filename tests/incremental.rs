@@ -110,7 +110,7 @@ fn corrupted_segment_lines_fall_back_to_re_execution_without_panicking() {
     let cold = orch.run_program("banking", &source).unwrap();
     let path = orch
         .store
-        .segment_path(cold.run.module_fp, orch.machine.fingerprint());
+        .segment_path("banking", cold.run.module_fp, orch.machine.fingerprint());
 
     // Corrupt three ways at once: garble a stored line's payload,
     // truncate the file mid-line, and leave a line of binary noise.
@@ -148,12 +148,16 @@ fn store_segments_for_stale_fingerprints_are_pruned_on_save() {
     let source = corpus_source("ecommerce");
     let first = orch.run_program("ecommerce", &source).unwrap();
     let machine_fp = orch.machine.fingerprint();
-    let old_segment = orch.store.segment_path(first.run.module_fp, machine_fp);
+    let old_segment = orch
+        .store
+        .segment_path("ecommerce", first.run.module_fp, machine_fp);
     assert!(old_segment.exists());
 
     let edited = format!("{source}edited_marker = 1\n");
     let second = orch.run_program("ecommerce", &edited).unwrap();
-    let new_segment = orch.store.segment_path(second.run.module_fp, machine_fp);
+    let new_segment = orch
+        .store
+        .segment_path("ecommerce", second.run.module_fp, machine_fp);
     assert!(new_segment.exists());
     assert!(
         !old_segment.exists(),

@@ -6,7 +6,7 @@
 //! run` of the same binary. Also covers the strict CLI flag
 //! validation, which lives in the binary.
 
-use neural_fault_injection::serve::client::{request_once, Client};
+use neural_fault_injection::serve::client::{request_once, request_once_as, Client};
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -50,6 +50,15 @@ impl Daemon {
     }
 
     fn start_with_lanes(state_dir: &std::path::Path, workers: usize, lanes: usize) -> Daemon {
+        Daemon::start_with_args(state_dir, workers, lanes, &[])
+    }
+
+    fn start_with_args(
+        state_dir: &std::path::Path,
+        workers: usize,
+        lanes: usize,
+        extra: &[&str],
+    ) -> Daemon {
         let mut child = Command::new(NFI)
             .args(["serve", "--addr", "127.0.0.1:0", "--workers"])
             .arg(workers.to_string())
@@ -57,6 +66,7 @@ impl Daemon {
             .arg(lanes.to_string())
             .arg("--state-dir")
             .arg(state_dir)
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -277,6 +287,211 @@ fn killed_daemon_recovers_accepted_jobs_and_finished_documents_on_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Writes an executable wrapper around the real `nfi` binary whose
+/// first `count` invocations run `misbehave` instead (a shared counter
+/// file sequences the attempts — use one worker so attempts are
+/// ordered).
+#[cfg(unix)]
+fn flaky_nfi(dir: &std::path::Path, count: usize, misbehave: &str) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt;
+    let counter = dir.join("attempts");
+    let path = dir.join("flaky-nfi.sh");
+    std::fs::write(
+        &path,
+        format!(
+            "#!/bin/sh\nc=$(cat {counter} 2>/dev/null || echo 0)\n\
+             echo $((c+1)) > {counter}\n\
+             if [ \"$c\" -lt {count} ]; then\n  {misbehave}\nfi\n\
+             exec {NFI} \"$@\"\n",
+            counter = counter.display(),
+        ),
+    )
+    .unwrap();
+    std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+    path
+}
+
+#[test]
+#[cfg(unix)]
+fn crashing_worker_children_retry_with_backoff_and_the_job_completes() {
+    use neural_fault_injection::serve::{worker::WorkerMode, ServeConfig, Server};
+    let dir = scratch("flaky");
+    let state = dir.join("state");
+    // The first two child spawns exit 3; the retries then reach the
+    // real binary. max_retries 2 → attempt 3 succeeds.
+    let wrapper = flaky_nfi(&dir, 2, "exit 3");
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::Spawn { nfi: wrapper },
+        worker_retries: 2,
+        ..ServeConfig::new(&state)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        neural_fault_injection::sfi::jsontext::escape(SOURCE)
+    );
+    let reply = request_once(addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let status = await_done(&addr.to_string(), 1);
+    assert!(
+        status.contains("\"failed_units\":0"),
+        "retries must recover full coverage: {status}"
+    );
+
+    // The retries surfaced in the metrics, and the served document is
+    // byte-identical to an offline run — a retried job is
+    // indistinguishable from a clean one.
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    let text = metrics.text();
+    assert!(text.contains("\"retries\":2"), "{text}");
+    assert!(text.contains("\"failed_units\":0"), "{text}");
+    let doc = request_once(addr, "GET", "/v1/campaigns/1/document", None).unwrap();
+    let offline_dir = dir.join("offline");
+    let offline = neural_fault_injection::core::Orchestrator::new(&offline_dir)
+        .unwrap()
+        .run_program("demo", SOURCE)
+        .unwrap();
+    assert_eq!(doc.text(), offline.run.encode());
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg(unix)]
+fn a_hung_worker_child_is_watchdog_killed_retried_and_the_job_completes() {
+    use neural_fault_injection::serve::{worker::WorkerMode, ServeConfig, Server};
+    let dir = scratch("hung");
+    let state = dir.join("state");
+    // The first child hangs (the wrapper sleeps without exec'ing); the
+    // watchdog kills it at its budget and the retry reaches the real
+    // binary. The hang must not require a daemon restart to clear.
+    let wrapper = flaky_nfi(&dir, 1, "sleep 600");
+    let config = ServeConfig {
+        workers: 1,
+        mode: WorkerMode::Spawn { nfi: wrapper },
+        worker_retries: 2,
+        child_timeout: Some(Duration::from_millis(500)),
+        ..ServeConfig::new(&state)
+    };
+    let handle = Server::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr;
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        neural_fault_injection::sfi::jsontext::escape(SOURCE)
+    );
+    let reply = request_once(addr, "POST", "/v1/campaigns", Some(body.as_bytes())).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    let status = await_done(&addr.to_string(), 1);
+    assert!(status.contains("\"failed_units\":0"), "{status}");
+    let metrics = request_once(addr, "GET", "/v1/metrics", None).unwrap();
+    let text = metrics.text();
+    assert!(text.contains("\"watchdog_kills\":1"), "{text}");
+    assert!(text.contains("\"retries\":1"), "{text}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auth_and_the_as_flag_close_the_tenant_parity_loop_over_the_cli() {
+    let dir = scratch("cli-auth");
+    let tokens = dir.join("tokens");
+    std::fs::write(&tokens, "alice:tok-a\n").unwrap();
+    let daemon = Daemon::start_with_args(
+        &dir.join("served"),
+        1,
+        2,
+        &[
+            "--auth-token-file",
+            tokens.to_str().unwrap(),
+            "--rate-limit",
+            "200",
+            "--deadline-ms",
+            "120000",
+            "--max-queue",
+            "64",
+        ],
+    );
+
+    // No token → 401; the probe stays open.
+    let denied = request_once(&daemon.addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(denied.status, 401, "{}", denied.text());
+    let probe = request_once(&daemon.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(probe.status, 200);
+
+    // Alice submits; her program is served under `alice:demo`.
+    let body = format!(
+        "{{\"program\":\"demo\",\"source\":\"{}\"}}",
+        neural_fault_injection::sfi::jsontext::escape(SOURCE)
+    );
+    let reply = request_once_as(
+        &daemon.addr,
+        "tok-a",
+        "POST",
+        "/v1/campaigns",
+        Some(body.as_bytes()),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    assert!(
+        reply.text().contains("\"program\":\"alice:demo\""),
+        "{}",
+        reply.text()
+    );
+    let deadline = Instant::now() + Duration::from_secs(180);
+    let status = loop {
+        let reply = request_once_as(&daemon.addr, "tok-a", "GET", "/v1/campaigns/1", None).unwrap();
+        let text = reply.text();
+        if text.contains("\"status\":\"done\"") {
+            break text;
+        }
+        assert!(
+            !text.contains("\"status\":\"failed\""),
+            "job failed: {text}"
+        );
+        assert!(Instant::now() < deadline, "job never finished: {text}");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(status.contains("\"program\":\"alice:demo\""), "{status}");
+    let doc = request_once_as(
+        &daemon.addr,
+        "tok-a",
+        "GET",
+        "/v1/campaigns/1/document",
+        None,
+    )
+    .unwrap();
+    assert_eq!(doc.status, 200);
+
+    // `campaign run --as alice:demo` reproduces the tenant's document
+    // offline, byte for byte — the namespaced store key is the same.
+    let demo_py = dir.join("demo.py");
+    std::fs::write(&demo_py, SOURCE).unwrap();
+    let offline_state = dir.join("offline");
+    let out = Command::new(NFI)
+        .args(["campaign", "run", "--as", "alice:demo", "--state-dir"])
+        .arg(&offline_state)
+        .arg(&demo_py)
+        .stdout(Stdio::null())
+        .status()
+        .expect("offline campaign run --as");
+    assert!(out.success());
+    let offline_doc = std::fs::read(offline_state.join("runs/alice:demo.jsonl")).unwrap();
+    assert_eq!(
+        doc.body, offline_doc,
+        "served tenant document differs from offline `campaign run --as`"
+    );
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn strict_flag_validation_rejects_nonsense_up_front() {
     let run = |args: &[&str]| -> (bool, String) {
@@ -328,6 +543,46 @@ fn strict_flag_validation_rejects_nonsense_up_front() {
             "--addr already carries a port",
         ),
         (&["serve"], "need --state-dir"),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--rate-limit", "fast"],
+            "--rate-limit expects an unsigned integer",
+        ),
+        (
+            &["serve", "--state-dir", "/tmp/x", "--worker-retries", "-1"],
+            "--worker-retries expects an unsigned integer",
+        ),
+        (
+            &[
+                "serve",
+                "--state-dir",
+                "/tmp/x",
+                "--auth-token-file",
+                "/no/such/file",
+            ],
+            "cannot read token file",
+        ),
+        (
+            &[
+                "campaign",
+                "plan",
+                "--program",
+                "banking",
+                "--as",
+                "bad name",
+            ],
+            "contains whitespace",
+        ),
+        (
+            &[
+                "campaign",
+                "run",
+                "--state-dir",
+                "/tmp/x",
+                "--as",
+                "everything",
+            ],
+            "needs exactly one target",
+        ),
         (
             &["campaign", "run", "--state-dir", "/tmp/x", "--workers", "0"],
             "--workers expects a positive integer, got `0`",
