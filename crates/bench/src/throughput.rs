@@ -2,7 +2,7 @@
 //! batched neural kernels — the drivers behind `scripts/bench.sh` and
 //! the `nfi bench` subcommand (`BENCH_e7.json`).
 //!
-//! Five measurements:
+//! Six measurements:
 //!
 //! * **campaign**: plans/sec applying + differentially testing every
 //!   plan of the full corpus-wide campaign, sequential vs. the parallel
@@ -10,16 +10,21 @@
 //! * **lm**: tokens/sec of LM training, per-example SGD kernels vs. the
 //!   batched GEMM kernels, both at `threads = 1` (batching-only gain);
 //! * **e7**: end-to-end pipeline scenarios/sec, sequential vs. parallel;
+//! * **vm**: raw VM instructions/sec over precompiled corpus suites,
+//!   plus cold-vs-code-warm campaign passes isolating the
+//!   compiled-code cache (the memo caches are cleared on both sides);
 //! * **store**: incremental-store units/sec, cold vs. warm replay;
 //! * **serve**: requests/sec and end-to-end units/sec through the
 //!   `nfi serve` daemon, cold vs. store-warm.
 
 use crate::experiments::{run_e7_with, E7Row};
-use nfi_core::cache::{CacheStats, MutantCache};
+use nfi_core::cache::{CacheStats, CodeCache, MutantCache};
 use nfi_core::exec::{self, CampaignRunReport, ExecConfig};
-use nfi_inject::memo::ExperimentCache;
+use nfi_inject::harness::run_suite_in;
+use nfi_inject::memo::{ExperimentCache, SuiteCache};
 use nfi_llm::LlmConfig;
 use nfi_neural::lm::{code_tokens, LmConfig, NgramLm, DEFAULT_BATCH};
+use nfi_pylite::Machine;
 use nfi_sfi::Campaign;
 use std::time::Instant;
 
@@ -114,6 +119,7 @@ pub fn bench_campaign(plan_cap: usize, threads: usize) -> CampaignBench {
 
     MutantCache::global().clear();
     ExperimentCache::global().clear();
+    SuiteCache::global().clear();
     let (seq_reports, sequential_secs) = run_all(ExecConfig::sequential());
     let (par_reports, parallel_secs) = run_all(ExecConfig::with_threads(threads).cached(false));
     let (warm_reports, warm_secs) = run_all(ExecConfig::with_threads(threads));
@@ -280,6 +286,7 @@ pub fn bench_store(max_programs: usize) -> StoreBench {
     let run_all = || -> (usize, usize, usize, Vec<String>, f64) {
         MutantCache::global().clear();
         ExperimentCache::global().clear();
+        SuiteCache::global().clear();
         let started = Instant::now();
         let (mut units, mut replayed, mut executed) = (0, 0, 0);
         let mut docs = Vec::new();
@@ -441,6 +448,7 @@ pub fn bench_serve(
     let run_round = || -> (usize, usize, usize, Vec<String>, f64) {
         MutantCache::global().clear();
         ExperimentCache::global().clear();
+        SuiteCache::global().clear();
         let mut client = Client::connect(addr).expect("serve bench round client");
         let started = Instant::now();
         let ids: Vec<u64> = programs
@@ -577,6 +585,134 @@ fn json_counter(json: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// VM execution throughput: raw instruction dispatch rate over
+/// precompiled corpus suites, plus cold-vs-code-warm campaign passes
+/// that isolate the compiled-code cache (the mutant and experiment
+/// memo caches are cleared before *both* passes, so the only state
+/// that survives into the warm pass is compiled code).
+#[derive(Debug, Clone)]
+pub struct VmBench {
+    /// Corpus programs measured.
+    pub programs: usize,
+    /// Suite repetitions of the instruction-throughput loop.
+    pub reps: usize,
+    /// VM instructions executed across the loop (sum of test
+    /// `RunOutcome::steps`).
+    pub instrs: u64,
+    /// Wall time of the instruction-throughput loop (seconds).
+    pub instr_secs: f64,
+    /// Campaign units per pass.
+    pub units: usize,
+    /// Code-cold campaign pass wall time (seconds): compiled-code cache
+    /// cleared, every unit compiles its modules.
+    pub cold_secs: f64,
+    /// Code-warm campaign pass wall time (seconds): same work with the
+    /// compiled-code cache retained (memo caches cleared again).
+    pub warm_secs: f64,
+    /// Compiled-code cache counters across both passes.
+    pub code_cache: CacheStats,
+    /// Whether both passes produced identical aggregate reports.
+    pub reports_identical: bool,
+}
+
+impl VmBench {
+    /// VM instructions/sec of the precompiled hot loop.
+    pub fn instrs_per_s(&self) -> f64 {
+        self.instrs as f64 / self.instr_secs.max(1e-9)
+    }
+
+    /// Code-cold campaign units/sec.
+    pub fn cold_units_per_s(&self) -> f64 {
+        self.units as f64 / self.cold_secs.max(1e-9)
+    }
+
+    /// Code-warm campaign units/sec.
+    pub fn warm_units_per_s(&self) -> f64 {
+        self.units as f64 / self.warm_secs.max(1e-9)
+    }
+
+    /// Code-warm speedup over code-cold — the compile share of a cold
+    /// campaign unit.
+    pub fn code_warm_speedup(&self) -> f64 {
+        self.cold_secs / self.warm_secs.max(1e-9)
+    }
+}
+
+/// Measures the VM cold path over the first `max_programs` corpus
+/// programs (0 = all), sequentially on the calling thread so the
+/// thread-local compiled-code cache is exercised the way `threads = 1`
+/// campaigns exercise it.
+pub fn bench_vm(max_programs: usize) -> VmBench {
+    let machine_config = crate::experiments::experiment_machine();
+    let programs: Vec<_> = nfi_corpus::all()
+        .iter()
+        .take(if max_programs == 0 {
+            usize::MAX
+        } else {
+            max_programs
+        })
+        .collect();
+    let modules: Vec<(nfi_pylite::Module, u64)> = programs
+        .iter()
+        .map(|p| {
+            let m = p.module().expect("corpus parses");
+            let fp = nfi_pylite::fingerprint(&m);
+            (m, fp)
+        })
+        .collect();
+
+    // Instruction throughput: every suite precompiled (first rep warms
+    // the code cache), one machine reset between tests, instruction
+    // counts taken from the outcomes themselves.
+    let mut machine = Machine::new(machine_config.clone());
+    let reps = 5;
+    let mut instrs = 0u64;
+    let started = Instant::now();
+    for _ in 0..reps {
+        for (module, fp) in &modules {
+            let report = run_suite_in(&mut machine, module, *fp, &machine_config);
+            instrs += report
+                .tests
+                .iter()
+                .map(|t| t.outcome.steps)
+                .sum::<u64>();
+        }
+    }
+    let instr_secs = started.elapsed().as_secs_f64();
+
+    // Cold vs code-warm campaign passes. The memo caches are cleared
+    // before both passes so neither replays the other's *results*; the
+    // code cache is cleared only before the cold pass, so the warm
+    // delta is exactly the compilation work.
+    let campaigns: Vec<Campaign> = modules.iter().map(|(m, _)| Campaign::full(m)).collect();
+    let run_all = || -> (Vec<CampaignRunReport>, f64) {
+        MutantCache::global().clear();
+        ExperimentCache::global().clear();
+        SuiteCache::global().clear();
+        let started = Instant::now();
+        let reports = campaigns
+            .iter()
+            .map(|c| exec::run_campaign(c, &machine_config, ExecConfig::sequential()).report)
+            .collect();
+        (reports, started.elapsed().as_secs_f64())
+    };
+    CodeCache::global().clear();
+    let (cold_reports, cold_secs) = run_all();
+    let (warm_reports, warm_secs) = run_all();
+
+    VmBench {
+        programs: programs.len(),
+        reps,
+        instrs,
+        instr_secs,
+        units: campaigns.iter().map(|c| c.plans().len()).sum(),
+        cold_secs,
+        warm_secs,
+        code_cache: CodeCache::global().stats(),
+        reports_identical: cold_reports == warm_reports,
+    }
+}
+
 /// E7 pipeline throughput, sequential vs. parallel.
 #[derive(Debug, Clone)]
 pub struct E7Bench {
@@ -604,16 +740,17 @@ pub fn bench_e7(scenario_cap: usize, threads: usize) -> E7Bench {
     }
 }
 
-/// Renders the five benchmarks as the `BENCH_e7.json` document.
+/// Renders the six benchmarks as the `BENCH_e7.json` document.
 pub fn to_json(
     campaign: &CampaignBench,
     lm: &LmBench,
     e7: &E7Bench,
+    vm: &VmBench,
     store: &StoreBench,
     serve: &ServeBench,
 ) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"vm\": {{\n    \"programs\": {},\n    \"reps\": {},\n    \"instrs\": {},\n    \"instrs_per_s\": {:.1},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"code_warm_units_per_s\": {:.1},\n    \"code_warm_speedup\": {:.2},\n    \"code_cache_hit_rate\": {:.3},\n    \"code_cache_hits\": {},\n    \"code_cache_misses\": {},\n    \"reports_identical\": {}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -634,6 +771,18 @@ pub fn to_json(
         e7.sequential.throughput_per_s,
         e7.parallel.throughput_per_s,
         e7.speedup(),
+        vm.programs,
+        vm.reps,
+        vm.instrs,
+        vm.instrs_per_s(),
+        vm.units,
+        vm.cold_units_per_s(),
+        vm.warm_units_per_s(),
+        vm.code_warm_speedup(),
+        vm.code_cache.hit_rate(),
+        vm.code_cache.hits,
+        vm.code_cache.misses,
+        vm.reports_identical,
         store.programs,
         store.units,
         store.cold_units_per_s(),
@@ -739,6 +888,23 @@ mod tests {
                 ..E7Row::default()
             },
         };
+        let vm = VmBench {
+            programs: 2,
+            reps: 5,
+            instrs: 1_000_000,
+            instr_secs: 0.5,
+            units: 60,
+            cold_secs: 0.6,
+            warm_secs: 0.2,
+            code_cache: CacheStats {
+                hits: 90,
+                misses: 30,
+                entries: 30,
+                evictions: 0,
+                capacity: Some(4096),
+            },
+            reports_identical: true,
+        };
         let store = StoreBench {
             programs: 2,
             units: 60,
@@ -766,7 +932,12 @@ mod tests {
             warm_executed: 0,
             documents_identical: true,
         };
-        let json = to_json(&campaign, &lm, &e7, &store, &serve);
+        let json = to_json(&campaign, &lm, &e7, &vm, &store, &serve);
+        assert!(json.contains("\"vm\""));
+        assert!(json.contains("\"instrs_per_s\": 2000000.0"));
+        assert!(json.contains("\"cold_units_per_s\": 100.0"));
+        assert!(json.contains("\"code_warm_speedup\": 3.00"));
+        assert!(json.contains("\"code_cache_hit_rate\": 0.750"));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"warm_speedup\": 20.00"));
         assert!(json.contains("\"mutant_cache_hit_rate\": 0.500"));
@@ -805,6 +976,24 @@ mod tests {
         assert_eq!(b.unauthorized, 50, "every forged token counts once");
         assert_eq!(b.queue_shed, 0);
         assert_eq!(b.retries, 0);
+    }
+
+    #[test]
+    fn vm_bench_reports_identical_passes_and_warm_hits() {
+        let _guard = global_cache_guard();
+        let b = bench_vm(2);
+        assert_eq!(b.programs, 2);
+        assert!(b.instrs > 0, "corpus suites execute instructions");
+        assert!(b.instrs_per_s() > 0.0);
+        assert!(b.units > 0);
+        assert!(b.cold_units_per_s() > 0.0);
+        assert!(b.reports_identical, "code-warm pass changed results");
+        assert!(
+            b.code_cache.hits > 0,
+            "warm pass missed the code cache: {:?}",
+            b.code_cache
+        );
+        assert!(b.code_cache.hit_rate() > 0.0);
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct RuntimeSnapshot {
     pub mutant_cache: CacheStats,
     /// Process-wide experiment-cache counters.
     pub experiment_cache: CacheStats,
+    /// Process-wide pristine-suite memo counters.
+    pub suite_cache: CacheStats,
+    /// Process-wide compiled-code cache counters (aggregated across
+    /// worker threads).
+    pub code_cache: CacheStats,
     /// Job-queue gauges (zeroed outside a daemon).
     pub queue: QueueStats,
     /// Store replay/execute totals (zeroed outside a daemon).
@@ -134,6 +139,8 @@ impl RuntimeSnapshot {
         RuntimeSnapshot {
             mutant_cache: crate::cache::MutantCache::global().stats(),
             experiment_cache: nfi_inject::memo::ExperimentCache::global().stats(),
+            suite_cache: nfi_inject::memo::SuiteCache::global().stats(),
+            code_cache: nfi_inject::codecache::CodeCache::global().stats(),
             queue,
             store,
             journal,
@@ -157,7 +164,7 @@ impl RuntimeSnapshot {
             )
         };
         format!(
-            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{}}}",
+            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{},\"suite_cache\":{},\"code_cache\":{}}}",
             self.queue.depth,
             self.queue.lanes,
             self.queue.running,
@@ -184,6 +191,8 @@ impl RuntimeSnapshot {
             self.retry.failed_units,
             cache(&self.mutant_cache),
             cache(&self.experiment_cache),
+            cache(&self.suite_cache),
+            cache(&self.code_cache),
         )
     }
 }
@@ -368,6 +377,20 @@ mod tests {
                 capacity: Some(64),
             },
             experiment_cache: CacheStats::default(),
+            suite_cache: CacheStats {
+                hits: 5,
+                misses: 1,
+                entries: 1,
+                evictions: 0,
+                capacity: Some(65_536),
+            },
+            code_cache: CacheStats {
+                hits: 8,
+                misses: 2,
+                entries: 2,
+                evictions: 0,
+                capacity: Some(4096),
+            },
             queue: QueueStats {
                 depth: 2,
                 lanes: 4,
@@ -413,6 +436,9 @@ mod tests {
         assert!(json.contains("\"recovered_queued\":2"));
         assert!(json.contains("\"edge\":{\"unauthorized\":5,\"rate_limited\":9"));
         assert!(json.contains("\"retry\":{\"retries\":6,\"watchdog_kills\":2"));
+        assert!(json.contains("\"code_cache\":{\"hits\":8,\"misses\":2,\"hit_rate\":0.800"));
+        assert!(json.contains("\"suite_cache\":{\"hits\":5,\"misses\":1,\"hit_rate\":0.833"));
+        assert!(json.contains("\"capacity\":4096"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

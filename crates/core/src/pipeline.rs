@@ -1,7 +1,7 @@
 //! The one-shot injection pipeline: NL description + code → integrated
 //! faulty program → failure-mode report.
 
-use nfi_inject::{integrate_snippet, run_experiment, ExperimentReport, PatchError};
+use nfi_inject::{integrate_snippet, run_experiment_cached, ExperimentReport, PatchError};
 use nfi_llm::{FaultLlm, GeneratedFault, LlmConfig, TrainingRecord};
 use nfi_nlp::FaultSpec;
 use nfi_pylite::{MachineConfig, Module, PyliteError};
@@ -200,7 +200,7 @@ impl NeuralFaultInjector {
         timings.integrate_us = t.elapsed().as_micros();
 
         let t = Instant::now();
-        let experiment = run_experiment(module, &faulty_module, &self.config.machine);
+        let experiment = run_experiment_cached(module, &faulty_module, &self.config.machine);
         timings.test_us = t.elapsed().as_micros();
 
         Ok(InjectionReport {

@@ -1,8 +1,14 @@
 //! The inject → activate → classify experiment pipeline.
+//!
+//! The default entry points route both suites through the process-wide
+//! compiled-code cache and reuse one machine across every test of both
+//! suites ([`run_experiment_keyed`] / [`run_experiment_in`]).
+//! [`run_experiment`] keeps the original compile-per-test execution as
+//! the differential reference: both paths produce identical reports.
 
 use crate::classify::{classify, most_severe, FailureMode};
-use crate::harness::run_suite;
-use nfi_pylite::{MachineConfig, Module};
+use crate::harness::{run_suite_in, run_suite_uncached, SuiteReport};
+use nfi_pylite::{fingerprint, Machine, MachineConfig, Module};
 
 /// Per-test comparison between pristine and faulty runs.
 #[derive(Debug, Clone)]
@@ -29,15 +35,9 @@ pub struct ExperimentReport {
     pub detected: bool,
 }
 
-/// Runs the pristine and faulty suites and classifies each test
-/// differentially.
-pub fn run_experiment(
-    pristine: &Module,
-    faulty: &Module,
-    config: &MachineConfig,
-) -> ExperimentReport {
-    let base = run_suite(pristine, config);
-    let injected = run_suite(faulty, config);
+/// Classifies each (pristine, faulty) test pair differentially and
+/// folds the aggregate — shared by every experiment entry point.
+fn compare_suites(base: &SuiteReport, injected: &SuiteReport) -> ExperimentReport {
     let mut tests = Vec::new();
     let mut detected = false;
     for (p, f) in base.tests.iter().zip(injected.tests.iter()) {
@@ -70,6 +70,85 @@ pub fn run_experiment(
         activated,
         detected,
     }
+}
+
+/// Runs the pristine and faulty suites and classifies each test
+/// differentially.
+///
+/// This is the compile-per-test reference path: every test compiles the
+/// module on a fresh machine, bypassing the compiled-code cache. Hot
+/// drivers should prefer [`run_experiment_cached`] (or the keyed
+/// variants), which produce identical reports without the
+/// recompilation.
+pub fn run_experiment(
+    pristine: &Module,
+    faulty: &Module,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    let base = run_suite_uncached(pristine, config);
+    let injected = run_suite_uncached(faulty, config);
+    compare_suites(&base, &injected)
+}
+
+/// [`run_experiment`] through the compiled-code cache, fingerprinting
+/// both modules here.
+pub fn run_experiment_cached(
+    pristine: &Module,
+    faulty: &Module,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    run_experiment_keyed(
+        pristine,
+        faulty,
+        fingerprint(pristine),
+        fingerprint(faulty),
+        config,
+    )
+}
+
+/// [`run_experiment`] for pre-computed module fingerprints: both suites
+/// run precompiled code on one machine, reset between tests.
+pub fn run_experiment_keyed(
+    pristine: &Module,
+    faulty: &Module,
+    pristine_fp: u64,
+    faulty_fp: u64,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    let mut machine = Machine::new(config.clone());
+    run_experiment_in(
+        &mut machine,
+        pristine,
+        faulty,
+        pristine_fp,
+        faulty_fp,
+        config,
+    )
+}
+
+/// [`run_experiment_keyed`] on a caller-provided machine — the hot-loop
+/// entry point for drivers that sweep many experiments (schedule
+/// exploration, campaign shards) and want to keep one machine's
+/// allocations warm across all of them.
+///
+/// The pristine suite is replayed from the process-wide
+/// [`SuiteCache`](crate::memo::SuiteCache): every unit of a campaign
+/// shares one pristine module and config, so the baseline half of each
+/// experiment after the first is a memo hit rather than a re-execution.
+/// The memo key is content-addressed, so a hit is byte-identical to the
+/// run it replaces.
+pub fn run_experiment_in(
+    machine: &mut Machine,
+    pristine: &Module,
+    faulty: &Module,
+    pristine_fp: u64,
+    faulty_fp: u64,
+    config: &MachineConfig,
+) -> ExperimentReport {
+    let base =
+        crate::memo::SuiteCache::global().run_keyed_in(machine, pristine, pristine_fp, config);
+    let injected = run_suite_in(machine, faulty, faulty_fp, config);
+    compare_suites(&base, &injected)
 }
 
 #[cfg(test)]
@@ -135,5 +214,44 @@ def test_zero():
             report.overall,
             FailureMode::CrashUnhandled("RuntimeError".into())
         );
+    }
+
+    fn assert_reports_identical(a: &ExperimentReport, b: &ExperimentReport) {
+        assert_eq!(a.overall, b.overall);
+        assert_eq!(a.activated, b.activated);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.tests.len(), b.tests.len());
+        for (x, y) in a.tests.iter().zip(b.tests.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.pristine_passed, y.pristine_passed);
+            assert_eq!(x.mode, y.mode);
+        }
+    }
+
+    #[test]
+    fn cached_experiment_matches_compile_per_run_reference() {
+        let pristine = parse(BASE).unwrap();
+        for replacement in ["qty * 11", "10 * qty", "qty + 10"] {
+            let faulty = parse(&BASE.replace("qty * 10", replacement)).unwrap();
+            let config = MachineConfig::default();
+            assert_reports_identical(
+                &run_experiment_cached(&pristine, &faulty, &config),
+                &run_experiment(&pristine, &faulty, &config),
+            );
+        }
+    }
+
+    #[test]
+    fn reused_machine_matches_fresh_machines_across_experiments() {
+        let pristine = parse(BASE).unwrap();
+        let mut machine = Machine::new(MachineConfig::default());
+        for replacement in ["qty * 11", "qty * 12", "qty * 10"] {
+            let faulty = parse(&BASE.replace("qty * 10", replacement)).unwrap();
+            let config = MachineConfig::default();
+            let (pfp, ffp) = (fingerprint(&pristine), fingerprint(&faulty));
+            let reused = run_experiment_in(&mut machine, &pristine, &faulty, pfp, ffp, &config);
+            let fresh = run_experiment_keyed(&pristine, &faulty, pfp, ffp, &config);
+            assert_reports_identical(&reused, &fresh);
+        }
     }
 }

@@ -8,7 +8,7 @@
 use crate::classify::{most_severe, FailureMode};
 use crate::experiment::ExperimentReport;
 use crate::memo::ExperimentCache;
-use nfi_pylite::{fingerprint, MachineConfig, Module};
+use nfi_pylite::{fingerprint, Machine, MachineConfig, Module};
 use std::collections::BTreeMap;
 
 /// Aggregated result of a multi-seed exploration.
@@ -49,7 +49,10 @@ impl ExplorationReport {
 /// modules are fingerprinted once per exploration, and a seed already
 /// explored for this (pristine, faulty) pair — by an earlier sweep or
 /// an overlapping driver — is replayed from the memo instead of
-/// re-executed.
+/// re-executed. Both modules compile once for the whole sweep (the
+/// compiled-code cache), and every seed that does execute runs on one
+/// machine whose per-run state is reset between runs — the sweep's
+/// only per-seed cost is execution itself.
 pub fn explore_schedules(
     pristine: &Module,
     faulty: &Module,
@@ -59,6 +62,7 @@ pub fn explore_schedules(
     let cache = ExperimentCache::global();
     let pristine_fp = fingerprint(pristine);
     let faulty_fp = fingerprint(faulty);
+    let mut machine = Machine::new(base.clone());
     let mut per_seed = Vec::new();
     let mut activating = Vec::new();
     let mut mode_counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -67,8 +71,14 @@ pub fn explore_schedules(
             seed,
             ..base.clone()
         };
-        let report: ExperimentReport =
-            cache.run_keyed(pristine, faulty, pristine_fp, faulty_fp, &config);
+        let report: ExperimentReport = cache.run_keyed_in(
+            &mut machine,
+            pristine,
+            faulty,
+            pristine_fp,
+            faulty_fp,
+            &config,
+        );
         if report.activated {
             activating.push(seed);
         }

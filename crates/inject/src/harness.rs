@@ -1,11 +1,18 @@
 //! The test harness: run a module's embedded `test_*` suite.
 //!
-//! Each test executes on a fresh machine (fresh globals, clock, and
+//! Each test executes on fresh machine state (fresh globals, clock, and
 //! detector state) so tests are isolated, exactly like the corpus
-//! verification suite.
+//! verification suite. The module is compiled **once per suite** through
+//! the process-wide [`CodeCache`] and the compiled code re-run per test
+//! on one reused machine — recompiling the same module for every test
+//! used to dominate the cold path. [`run_suite_uncached`] keeps the
+//! original compile-per-test path as a differential reference; both
+//! paths produce byte-identical reports.
 
+use crate::codecache::CodeCache;
 use nfi_pylite::analysis::ModuleIndex;
-use nfi_pylite::{Machine, MachineConfig, Module, RunOutcome, RunStatus};
+use nfi_pylite::{fingerprint, Machine, MachineConfig, Module, RunOutcome, RunStatus};
+use std::rc::Rc;
 
 /// The outcome of one test function.
 #[derive(Debug, Clone)]
@@ -50,12 +57,101 @@ impl SuiteReport {
     }
 }
 
-/// Runs the module's `test_*` suite, one fresh machine per test.
+/// The result reported for every test when the module does not even
+/// compile: a module failure with an empty outcome placeholder.
+fn compile_failure(name: &str) -> TestResult {
+    TestResult {
+        name: name.to_string(),
+        outcome: RunOutcome {
+            status: RunStatus::Completed,
+            output: String::new(),
+            races: Vec::new(),
+            overflows: Vec::new(),
+            leaks: Vec::new(),
+            task_failures: Vec::new(),
+            steps: 0,
+            vtime: 0.0,
+            return_value: None,
+        },
+        module_failed: true,
+    }
+}
+
+/// Runs the module's `test_*` suite: the module is compiled once
+/// (through the process-wide [`CodeCache`]) and each test runs on fresh
+/// machine state.
 ///
 /// When the module body itself fails (e.g. a module-level injected
 /// fault), each test is reported as failed with `module_failed` set —
 /// the suite cannot even load.
 pub fn run_suite(module: &Module, config: &MachineConfig) -> SuiteReport {
+    run_suite_keyed(module, fingerprint(module), config)
+}
+
+/// [`run_suite`] for a pre-computed module fingerprint — the hot-loop
+/// entry point for drivers that already fingerprint the module once.
+pub fn run_suite_keyed(module: &Module, module_fp: u64, config: &MachineConfig) -> SuiteReport {
+    let mut machine = Machine::new(config.clone());
+    run_suite_in(&mut machine, module, module_fp, config)
+}
+
+/// Runs the suite on a caller-provided machine, resetting its per-run
+/// state before every test. Reusing one machine across many suites (a
+/// seed sweep, a campaign shard) keeps its allocations — and the
+/// installed global table — warm while staying observably identical to
+/// a fresh machine per test.
+pub fn run_suite_in(
+    machine: &mut Machine,
+    module: &Module,
+    module_fp: u64,
+    config: &MachineConfig,
+) -> SuiteReport {
+    let index = ModuleIndex::build(module);
+    let names = index.test_functions();
+    if names.is_empty() {
+        return SuiteReport { tests: Vec::new() };
+    }
+    let code = match CodeCache::global().compile(module, module_fp) {
+        Ok(code) => code,
+        Err(_) => {
+            return SuiteReport {
+                tests: names.iter().map(|name| compile_failure(name)).collect(),
+            }
+        }
+    };
+    let mut tests = Vec::new();
+    for name in names {
+        machine.reset(config.clone());
+        let module_out = machine.run_code(Rc::clone(&code));
+        if !matches!(module_out.status, RunStatus::Completed) {
+            tests.push(TestResult {
+                name: name.to_string(),
+                outcome: module_out,
+                module_failed: true,
+            });
+            continue;
+        }
+        match machine.call(name, vec![]) {
+            Ok(outcome) => tests.push(TestResult {
+                name: name.to_string(),
+                outcome,
+                module_failed: false,
+            }),
+            Err(_) => tests.push(TestResult {
+                name: name.to_string(),
+                outcome: module_out,
+                module_failed: true,
+            }),
+        }
+    }
+    SuiteReport { tests }
+}
+
+/// The original compile-per-test path: one fresh machine *and one fresh
+/// compile* per test, bypassing the [`CodeCache`]. This is the
+/// differential reference the cached paths are tested against (and the
+/// execution path behind campaign runs with caching disabled).
+pub fn run_suite_uncached(module: &Module, config: &MachineConfig) -> SuiteReport {
     let index = ModuleIndex::build(module);
     let mut tests = Vec::new();
     for name in index.test_functions() {
@@ -63,23 +159,7 @@ pub fn run_suite(module: &Module, config: &MachineConfig) -> SuiteReport {
         let module_out = match machine.run_module(module) {
             Ok(out) => out,
             Err(_) => {
-                // Compile error: report as module failure with an empty
-                // outcome placeholder.
-                tests.push(TestResult {
-                    name: name.to_string(),
-                    outcome: RunOutcome {
-                        status: RunStatus::Completed,
-                        output: String::new(),
-                        races: Vec::new(),
-                        overflows: Vec::new(),
-                        leaks: Vec::new(),
-                        task_failures: Vec::new(),
-                        steps: 0,
-                        vtime: 0.0,
-                        return_value: None,
-                    },
-                    module_failed: true,
-                });
+                tests.push(compile_failure(name));
                 continue;
             }
         };
@@ -166,5 +246,52 @@ mod tests {
         let report = run_suite(&m, &config);
         assert_eq!(report.failed(), 1);
         assert!(matches!(report.tests[0].outcome.status, RunStatus::Hung(_)));
+    }
+
+    /// Every field of every test result must agree between the cached
+    /// (compile-once, reused machine) and uncached (fresh machine and
+    /// compile per test) paths — including detector reports, step counts,
+    /// and virtual time.
+    fn assert_reports_identical(a: &SuiteReport, b: &SuiteReport) {
+        assert_eq!(a.tests.len(), b.tests.len());
+        for (x, y) in a.tests.iter().zip(b.tests.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.module_failed, y.module_failed);
+            assert_eq!(format!("{:?}", x.outcome), format!("{:?}", y.outcome));
+        }
+    }
+
+    #[test]
+    fn cached_suite_matches_uncached_suite() {
+        let m = parse(
+            "count = 0\ndef bump():\n    global count\n    count = count + 1\n    return count\ndef test_bump():\n    assert bump() == 1\ndef test_again():\n    assert bump() == 1\n",
+        )
+        .unwrap();
+        let config = MachineConfig::default();
+        assert_reports_identical(&run_suite(&m, &config), &run_suite_uncached(&m, &config));
+    }
+
+    #[test]
+    fn cached_suite_matches_uncached_on_concurrency() {
+        let m = parse(
+            "total = 0\ndef work():\n    global total\n    for i in range(10):\n        total = total + 1\ndef test_total():\n    t1 = spawn(work)\n    t2 = spawn(work)\n    join(t1)\n    join(t2)\n    assert total == 20\n",
+        )
+        .unwrap();
+        let config = MachineConfig {
+            quantum: 3,
+            ..MachineConfig::default()
+        };
+        assert_reports_identical(&run_suite(&m, &config), &run_suite_uncached(&m, &config));
+    }
+
+    #[test]
+    fn compile_failure_placeholder_is_identical_on_both_paths() {
+        let m = parse("break\ndef test_x():\n    assert True\n").unwrap();
+        let config = MachineConfig::default();
+        let cached = run_suite(&m, &config);
+        let uncached = run_suite_uncached(&m, &config);
+        assert_eq!(cached.tests.len(), 1);
+        assert!(cached.tests[0].module_failed);
+        assert_reports_identical(&cached, &uncached);
     }
 }

@@ -9,7 +9,9 @@
 //! * [`patch`] — splices reviewed snippets back into the codebase
 //!   (function replacement by name, new definitions appended).
 //! * [`harness`] — runs a program's embedded `test_*` suite on the
-//!   PyLite machine, one fresh machine per test.
+//!   PyLite machine, compiling once per suite through the
+//!   content-addressed [`codecache`] and resetting one machine between
+//!   tests.
 //! * [`classify`] — differential failure-mode classification against
 //!   the pristine program: crash / hang / silent data corruption /
 //!   data race / resource leak / buffer overflow / no effect.
@@ -34,6 +36,7 @@
 //! ```
 
 pub mod classify;
+pub mod codecache;
 pub mod diff;
 pub mod experiment;
 pub mod explore;
@@ -42,9 +45,15 @@ pub mod memo;
 pub mod patch;
 
 pub use classify::FailureMode;
+pub use codecache::{CodeCache, CODE_CACHE_CAPACITY};
 pub use diff::{change_counts, diff_lines, render_diff, DiffLine};
-pub use experiment::{run_experiment, ExperimentReport, TestComparison};
+pub use experiment::{
+    run_experiment, run_experiment_cached, run_experiment_in, run_experiment_keyed,
+    ExperimentReport, TestComparison,
+};
 pub use explore::{explore_schedules, ExplorationReport};
-pub use harness::{run_suite, SuiteReport, TestResult};
-pub use memo::{run_experiment_memo, CacheStats, ExperimentCache, Memo};
+pub use harness::{
+    run_suite, run_suite_in, run_suite_keyed, run_suite_uncached, SuiteReport, TestResult,
+};
+pub use memo::{run_experiment_memo, CacheStats, ExperimentCache, Memo, SuiteCache};
 pub use patch::{integrate_snippet, replace_function, PatchError};

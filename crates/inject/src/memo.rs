@@ -14,8 +14,9 @@
 //! result — a hit returns exactly what the miss computed — so cached and
 //! uncached runs are bit-identical by construction.
 
-use crate::experiment::{run_experiment, ExperimentReport};
-use nfi_pylite::{fingerprint, MachineConfig, Module};
+use crate::experiment::{run_experiment_in, run_experiment_keyed, ExperimentReport};
+use crate::harness::{run_suite_in, SuiteReport};
+use nfi_pylite::{fingerprint, Machine, MachineConfig, Module};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -226,7 +227,26 @@ impl ExperimentCache {
     ) -> ExperimentReport {
         self.memo
             .get_or_insert_with((pristine_fp, faulty_fp, config.fingerprint()), || {
-                run_experiment(pristine, faulty, config)
+                run_experiment_keyed(pristine, faulty, pristine_fp, faulty_fp, config)
+            })
+    }
+
+    /// [`ExperimentCache::run_keyed`] computing misses on a
+    /// caller-provided machine, so a driver sweeping many experiments on
+    /// one thread (schedule exploration) keeps a single machine's
+    /// allocations warm across every miss.
+    pub fn run_keyed_in(
+        &self,
+        machine: &mut Machine,
+        pristine: &Module,
+        faulty: &Module,
+        pristine_fp: u64,
+        faulty_fp: u64,
+        config: &MachineConfig,
+    ) -> ExperimentReport {
+        self.memo
+            .get_or_insert_with((pristine_fp, faulty_fp, config.fingerprint()), || {
+                run_experiment_in(machine, pristine, faulty, pristine_fp, faulty_fp, config)
             })
     }
 
@@ -263,6 +283,158 @@ impl Default for ExperimentCache {
     }
 }
 
+/// Per-thread entry cap of the pristine-suite memo. One entry per
+/// (module, machine config) pair in flight — a whole corpus campaign
+/// populates a dozen — so the bound only guards a long-lived service
+/// streaming arbitrary programs through one worker thread.
+pub const SUITE_CACHE_CAPACITY: usize = 1024;
+
+static SUITE_HITS: AtomicU64 = AtomicU64::new(0);
+static SUITE_MISSES: AtomicU64 = AtomicU64::new(0);
+static SUITE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Entries resident across all live threads (each thread's map
+/// subtracts its length when the thread exits).
+static SUITE_ENTRIES: AtomicU64 = AtomicU64::new(0);
+
+struct SuiteEntry {
+    report: std::rc::Rc<SuiteReport>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct SuiteTable {
+    map: HashMap<(u64, u64), SuiteEntry>,
+    clock: u64,
+}
+
+impl Drop for SuiteTable {
+    fn drop(&mut self) {
+        SUITE_ENTRIES.fetch_sub(self.map.len() as u64, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static SUITE_TABLE: std::cell::RefCell<SuiteTable> =
+        std::cell::RefCell::new(SuiteTable::default());
+}
+
+/// A memo of pristine suite reports, keyed by
+/// `(fingerprint(module), machine.fingerprint())`.
+///
+/// Every differential experiment runs the *same* pristine suite as its
+/// baseline: within one campaign, all units share one pristine module
+/// and one machine config, so the baseline half of every unit after the
+/// first is a byte-identical replay. [`run_suite_in`] is deterministic
+/// in `(module, config)`, so memoizing it can never change a report —
+/// a hit returns exactly what the miss computed. Only the pristine side
+/// of an experiment consults this table; faulty suites are unique per
+/// mutant and would just churn the LRU.
+///
+/// Suite reports hold `Rc`-based run outcomes and are not `Send`, so
+/// like [`crate::codecache::CodeCache`] (and unlike [`Memo`]) the table
+/// is **thread-local** — each executor thread warms its own — while the
+/// counters are process-wide atomics so [`SuiteCache::stats`] aggregates
+/// all threads. Eviction is the same exact LRU by logical use-clock,
+/// applied per thread.
+pub struct SuiteCache {
+    _priv: (),
+}
+
+static SUITE_GLOBAL: SuiteCache = SuiteCache { _priv: () };
+
+impl SuiteCache {
+    /// The process-wide cache (a zero-sized facade over thread-local
+    /// tables plus global counters).
+    pub fn global() -> &'static SuiteCache {
+        &SUITE_GLOBAL
+    }
+
+    /// Runs (or replays) the suite for a pre-computed module
+    /// fingerprint, computing misses on the caller's machine. Hits
+    /// return the thread-resident report without executing anything.
+    pub fn run_keyed_in(
+        &self,
+        machine: &mut Machine,
+        module: &Module,
+        module_fp: u64,
+        config: &MachineConfig,
+    ) -> std::rc::Rc<SuiteReport> {
+        let key = (module_fp, config.fingerprint());
+        let hit = SUITE_TABLE.with(|t| {
+            let mut t = t.borrow_mut();
+            t.clock += 1;
+            let clock = t.clock;
+            t.map.get_mut(&key).map(|e| {
+                e.last_used = clock;
+                std::rc::Rc::clone(&e.report)
+            })
+        });
+        if let Some(report) = hit {
+            SUITE_HITS.fetch_add(1, Ordering::Relaxed);
+            return report;
+        }
+        let report = std::rc::Rc::new(run_suite_in(machine, module, module_fp, config));
+        SUITE_MISSES.fetch_add(1, Ordering::Relaxed);
+        SUITE_TABLE.with(|t| {
+            let mut t = t.borrow_mut();
+            while t.map.len() >= SUITE_CACHE_CAPACITY && !t.map.contains_key(&key) {
+                let Some(oldest) = t
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                else {
+                    break;
+                };
+                t.map.remove(&oldest);
+                SUITE_ENTRIES.fetch_sub(1, Ordering::Relaxed);
+                SUITE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            }
+            t.clock += 1;
+            let clock = t.clock;
+            if t.map
+                .insert(
+                    key,
+                    SuiteEntry {
+                        report: std::rc::Rc::clone(&report),
+                        last_used: clock,
+                    },
+                )
+                .is_none()
+            {
+                SUITE_ENTRIES.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        report
+    }
+
+    /// Aggregated counters across all threads. `entries` counts every
+    /// live thread's resident entries; `capacity` is the per-thread cap.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: SUITE_HITS.load(Ordering::Relaxed),
+            misses: SUITE_MISSES.load(Ordering::Relaxed),
+            entries: SUITE_ENTRIES.load(Ordering::Relaxed) as usize,
+            evictions: SUITE_EVICTIONS.load(Ordering::Relaxed),
+            capacity: Some(SUITE_CACHE_CAPACITY),
+        }
+    }
+
+    /// Drops the calling thread's entries and zeroes the global counters
+    /// (cold-start benches).
+    pub fn clear(&self) {
+        SUITE_TABLE.with(|t| {
+            let mut t = t.borrow_mut();
+            SUITE_ENTRIES.fetch_sub(t.map.len() as u64, Ordering::Relaxed);
+            t.map.clear();
+            t.clock = 0;
+        });
+        SUITE_HITS.store(0, Ordering::Relaxed);
+        SUITE_MISSES.store(0, Ordering::Relaxed);
+        SUITE_EVICTIONS.store(0, Ordering::Relaxed);
+    }
+}
+
 /// [`run_experiment`] through the process-wide memo table.
 pub fn run_experiment_memo(
     pristine: &Module,
@@ -275,6 +447,7 @@ pub fn run_experiment_memo(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::run_experiment;
     use nfi_pylite::parse;
 
     const BASE: &str = "\
@@ -329,6 +502,32 @@ def test_price():
         assert_eq!(cache.stats().misses, 2);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    // Suite-cache counters are process-global and other test threads
+    // touch them, so the assertions rely on `Rc` pointer identity and a
+    // unique module rather than absolute counter values.
+    #[test]
+    fn suite_memo_replays_identically_to_direct_run() {
+        let src = "\
+def sm_probe(n):
+    return n + 7
+def test_sm_probe():
+    assert sm_probe(1) == 8
+";
+        let module = parse(src).unwrap();
+        let config = MachineConfig::default();
+        let fp = fingerprint(&module);
+        let cache = SuiteCache::global();
+        let mut machine = Machine::new(config.clone());
+        let first = cache.run_keyed_in(&mut machine, &module, fp, &config);
+        let second = cache.run_keyed_in(&mut machine, &module, fp, &config);
+        assert!(
+            std::rc::Rc::ptr_eq(&first, &second),
+            "hit must share the memoized report"
+        );
+        let direct = crate::harness::run_suite(&module, &config);
+        assert_eq!(format!("{:?}", *first), format!("{direct:?}"));
     }
 
     #[test]

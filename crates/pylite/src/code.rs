@@ -8,7 +8,36 @@
 
 use crate::ast::{BinOp, CmpOp, Span};
 use crate::value::Value;
+use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Per-module global name table, resolved at compile time.
+///
+/// `LoadGlobal`/`StoreGlobal` operands are *slots* into this table, so
+/// the VM's hot path is a vector index instead of a string-keyed
+/// `HashMap` lookup. The compiler also pre-resolves every slot's
+/// builtin fallback (`builtins::lookup`) once here, so a global miss
+/// costs a second vector index rather than a match over builtin names.
+///
+/// One table is shared by the module-level code object and every
+/// function compiled within it (nested compilers intern into the same
+/// table), which is what lets a slot mean the same name everywhere.
+#[derive(Debug, Default)]
+pub struct GlobalTable {
+    /// Slot → name, for diagnostics and race reports.
+    pub names: Vec<String>,
+    /// Name → slot, for host-side lookups (`Machine::call`, `global`).
+    pub index: HashMap<String, u16>,
+    /// Slot → pre-resolved builtin fallback (parallel to `names`).
+    pub builtins: Vec<Option<Value>>,
+}
+
+impl GlobalTable {
+    /// Slot for `name`, when the compiled module references it.
+    pub fn slot(&self, name: &str) -> Option<u16> {
+        self.index.get(name).copied()
+    }
+}
 
 /// A compile-time constant.
 #[derive(Debug, Clone)]
@@ -32,9 +61,10 @@ pub enum Instr {
     LoadLocal(u16),
     /// Pop into local slot `i`.
     StoreLocal(u16),
-    /// Push global `names[i]` (falls back to builtins, else `NameError`).
+    /// Push global slot `i` of the module's [`GlobalTable`] (falls back
+    /// to the slot's pre-resolved builtin, else `NameError`).
     LoadGlobal(u16),
-    /// Pop into global `names[i]`.
+    /// Pop into global slot `i` of the module's [`GlobalTable`].
     StoreGlobal(u16),
     /// Binary arithmetic on the top two stack values.
     Bin(BinOp),
@@ -126,12 +156,17 @@ pub struct Code {
     pub locals: Vec<String>,
     /// Constant pool.
     pub consts: Vec<Const>,
-    /// Global / method / exception-kind name pool.
+    /// Method / exception-kind name pool (globals live in the module's
+    /// [`GlobalTable`] instead).
     pub names: Vec<String>,
     /// Instruction stream.
     pub instrs: Vec<Instr>,
     /// Source span per instruction (parallel to `instrs`).
     pub spans: Vec<Span>,
+    /// The module-wide global table. `Some` only on the module-level
+    /// code object; nested function codes share it through the machine
+    /// that installed it.
+    pub globals: Option<Rc<GlobalTable>>,
 }
 
 impl Code {

@@ -7,9 +7,10 @@
 //! ending in a re-raise; this avoids a pending-unwind register in the VM.
 
 use crate::ast::*;
-use crate::code::{Code, Const, Instr};
+use crate::code::{Code, Const, GlobalTable, Instr};
 use crate::error::{ErrorKind, PyliteError};
 use crate::value::Value;
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
@@ -22,13 +23,32 @@ use std::rc::Rc;
 /// loop, `return` at module level, or jump/control misuse inside
 /// `finally` suites.
 pub fn compile_module(module: &Module) -> Result<Rc<Code>, PyliteError> {
-    let mut c = Compiler::new("<module>".to_string(), Vec::new(), true, &module.body)?;
+    let globals_tab = Rc::new(RefCell::new(GlobalTable::default()));
+    let mut c = Compiler::new(
+        "<module>".to_string(),
+        Vec::new(),
+        true,
+        &module.body,
+        Rc::clone(&globals_tab),
+    )?;
     c.suite(&module.body)?;
     // Implicit `return None` at the end of the module.
     let none = c.const_value(Value::None);
     c.emit(Instr::LoadConst(none), Span::default());
     c.emit(Instr::Return, Span::default());
-    Ok(Rc::new(c.finish()))
+    let mut code = c.finish();
+    // Pre-resolve every slot's builtin fallback once, so a global-slot
+    // miss at run time is a vector index instead of a name match.
+    let mut table = Rc::try_unwrap(globals_tab)
+        .expect("nested compilers released the global table")
+        .into_inner();
+    table.builtins = table
+        .names
+        .iter()
+        .map(|n| crate::builtins::lookup(n))
+        .collect();
+    code.globals = Some(Rc::new(table));
+    Ok(Rc::new(code))
 }
 
 /// Lexical scope tracked while compiling (for break/continue/return
@@ -58,6 +78,8 @@ struct Compiler {
     locals_map: HashMap<String, u16>,
     globals_decl: BTreeSet<String>,
     is_module: bool,
+    /// Module-wide global slot table, shared with nested compilers.
+    globals_tab: Rc<RefCell<GlobalTable>>,
 }
 
 impl Compiler {
@@ -66,6 +88,7 @@ impl Compiler {
         params: Vec<String>,
         is_module: bool,
         body: &[Stmt],
+        globals_tab: Rc<RefCell<GlobalTable>>,
     ) -> Result<Self, PyliteError> {
         let mut assigned = BTreeSet::new();
         let mut globals_decl = BTreeSet::new();
@@ -94,6 +117,7 @@ impl Compiler {
             locals_map,
             globals_decl,
             is_module,
+            globals_tab,
         })
     }
 
@@ -164,6 +188,20 @@ impl Compiler {
         (self.code.names.len() - 1) as u16
     }
 
+    /// Interns `name` into the module-wide global table and returns its
+    /// slot. Every compiler of one module shares the table, so a slot
+    /// denotes the same global everywhere.
+    fn global_slot(&mut self, name: &str) -> u16 {
+        let mut tab = self.globals_tab.borrow_mut();
+        if let Some(i) = tab.index.get(name) {
+            return *i;
+        }
+        let slot = tab.names.len() as u16;
+        tab.names.push(name.to_string());
+        tab.index.insert(name.to_string(), slot);
+        slot
+    }
+
     fn is_local(&self, name: &str) -> bool {
         !self.is_module && self.locals_map.contains_key(name) && !self.globals_decl.contains(name)
     }
@@ -173,8 +211,8 @@ impl Compiler {
             let slot = self.locals_map[name];
             self.emit(Instr::LoadLocal(slot), span);
         } else {
-            let idx = self.name_idx(name);
-            self.emit(Instr::LoadGlobal(idx), span);
+            let slot = self.global_slot(name);
+            self.emit(Instr::LoadGlobal(slot), span);
         }
     }
 
@@ -183,8 +221,8 @@ impl Compiler {
             let slot = self.locals_map[name];
             self.emit(Instr::StoreLocal(slot), span);
         } else {
-            let idx = self.name_idx(name);
-            self.emit(Instr::StoreGlobal(idx), span);
+            let slot = self.global_slot(name);
+            self.emit(Instr::StoreGlobal(slot), span);
         }
     }
 
@@ -314,7 +352,13 @@ impl Compiler {
                 defaults,
                 body,
             } => {
-                let mut inner = Compiler::new(name.clone(), params.clone(), false, body)?;
+                let mut inner = Compiler::new(
+                    name.clone(),
+                    params.clone(),
+                    false,
+                    body,
+                    Rc::clone(&self.globals_tab),
+                )?;
                 inner.suite(body)?;
                 let none = inner.const_value(Value::None);
                 inner.emit(Instr::LoadConst(none), span);
@@ -739,7 +783,9 @@ mod tests {
         assert_eq!(func.params, vec!["a"]);
         assert!(func.locals.contains(&"b".to_string()));
         assert!(!func.locals.contains(&"g".to_string()));
-        assert!(func.names.contains(&"g".to_string()));
+        let table = code.globals.as_ref().expect("module global table");
+        let g = table.slot("g").expect("g interned as a global");
+        assert!(func.instrs.contains(&Instr::LoadGlobal(g)));
     }
 
     #[test]
@@ -798,10 +844,12 @@ mod tests {
     fn finally_is_inlined_on_normal_path() {
         let code = compile("try:\n    x = 1\nfinally:\n    y = 2\n");
         // `y = 2` appears twice: normal path + exception path.
+        let table = code.globals.as_ref().expect("module global table");
+        let y = table.slot("y").expect("y interned as a global");
         let stores = code
             .instrs
             .iter()
-            .filter(|i| matches!(i, Instr::StoreGlobal(idx) if code.names[*idx as usize] == "y"))
+            .filter(|i| matches!(i, Instr::StoreGlobal(idx) if *idx == y))
             .count();
         assert_eq!(stores, 2);
     }

@@ -6,7 +6,14 @@
 //! workspace: the paper evaluates on Python programs mutated by a
 //! ProFIPy-style tool, and PyLite plays the role of that Python runtime.
 //!
-//! The VM is built for dependability experiments rather than speed:
+//! The VM is built first for dependability experiments, but its hot path
+//! is engineered: globals are resolved to per-module slots at compile
+//! time (vector indexing, no string-keyed map on the dispatch path), the
+//! scheduler checks the running task out once per quantum and reuses its
+//! runnable scratch buffer, race-detector bookkeeping stays off the
+//! dispatch path until a second task has ever been spawned, and compiled
+//! code objects are `Rc`-shared so harnesses compile once and run many
+//! times (see [`Machine::run_code`]). The dependability instrumentation:
 //!
 //! * deterministic, seed-driven preemptive scheduling of cooperative
 //!   tasks (`spawn` / `join` / `lock`) — interleavings are reproducible,

@@ -21,7 +21,7 @@
 
 use crate::ast::Module;
 use crate::builtins;
-use crate::code::{Code, Const, Instr};
+use crate::code::{Code, Const, GlobalTable, Instr};
 use crate::compile::compile_module;
 use crate::error::{ErrorKind, PyliteError};
 use crate::ops;
@@ -239,11 +239,54 @@ struct LockState {
     held_by: Option<TaskId>,
 }
 
-#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
 enum AccessKey {
-    Global(String),
+    /// A global, identified by its slot in the installed [`GlobalTable`].
+    Global(u16),
     Object(usize),
 }
+
+/// FNV-1a hasher for the machine's interior maps (access tracking,
+/// container names). The keys are small integers, the maps are never
+/// iterated, and lookups sit on the per-instruction hot path of the
+/// race detector — where the default SipHash costs more than the rest
+/// of the bookkeeping combined.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
 
 #[derive(Debug)]
 struct AccessState {
@@ -287,7 +330,13 @@ enum StepFlow {
 /// ```
 pub struct Machine {
     config: MachineConfig,
-    globals: HashMap<String, Value>,
+    /// Global table of the most recently run module code; slot operands
+    /// in `LoadGlobal`/`StoreGlobal` index into `slots` through it.
+    table: Rc<GlobalTable>,
+    /// Slot-indexed global values (parallel to `table.names`).
+    slots: Vec<Option<Value>>,
+    /// Host-set globals whose names the installed table does not know.
+    extra_globals: HashMap<String, Value>,
     tasks: Vec<Task>,
     /// Locks held per task (indexed by `TaskId`; lives outside `Task`
     /// because the running task is checked out of `tasks` during a step).
@@ -302,11 +351,14 @@ pub struct Machine {
     races: Vec<RaceReport>,
     pub(crate) overflows: Vec<OverflowReport>,
     steps: u64,
-    access: HashMap<AccessKey, AccessState>,
-    obj_names: HashMap<usize, String>,
+    access: FastMap<AccessKey, AccessState>,
+    obj_names: FastMap<usize, String>,
     pub(crate) next_handle: usize,
     current_line: Option<u32>,
     spawned_failures: Vec<ExcInfo>,
+    /// Scratch buffer reused by `schedule()` for the per-quantum
+    /// runnable-task collection (avoids a fresh `Vec` every quantum).
+    runnable: Vec<TaskId>,
 }
 
 impl Machine {
@@ -315,7 +367,9 @@ impl Machine {
         let rng = StdRng::seed_from_u64(config.seed);
         Machine {
             config,
-            globals: HashMap::new(),
+            table: Rc::new(GlobalTable::default()),
+            slots: Vec::new(),
+            extra_globals: HashMap::new(),
             tasks: Vec::new(),
             task_locks: Vec::new(),
             task_spawn_step: Vec::new(),
@@ -327,12 +381,43 @@ impl Machine {
             races: Vec::new(),
             overflows: Vec::new(),
             steps: 0,
-            access: HashMap::new(),
-            obj_names: HashMap::new(),
+            access: FastMap::default(),
+            obj_names: FastMap::default(),
             next_handle: 0,
             current_line: None,
             spawned_failures: Vec::new(),
+            runnable: Vec::new(),
         }
+    }
+
+    /// Resets the machine to the observable state of a fresh
+    /// `Machine::new(config)` while retaining allocations (and the
+    /// installed global table), so harnesses can reuse one machine
+    /// across many runs instead of rebuilding it per run. The RNG
+    /// stream, virtual clock, globals, locks, and handle ids all
+    /// restart exactly as on a new machine.
+    pub fn reset(&mut self, config: MachineConfig) {
+        self.rng = StdRng::seed_from_u64(config.seed);
+        self.config = config;
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.extra_globals.clear();
+        self.tasks.clear();
+        self.task_locks.clear();
+        self.task_spawn_step.clear();
+        self.clock = 0.0;
+        self.output.clear();
+        self.locks.clear();
+        self.handles.clear();
+        self.races.clear();
+        self.overflows.clear();
+        self.steps = 0;
+        self.access.clear();
+        self.obj_names.clear();
+        self.next_handle = 0;
+        self.current_line = None;
+        self.spawned_failures.clear();
     }
 
     /// Parses, compiles, and runs source text as a module.
@@ -365,7 +450,7 @@ impl Machine {
     /// Returns a [`ErrorKind::Runtime`] error when `name` is not a defined
     /// function.
     pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<RunOutcome, PyliteError> {
-        let func = match self.globals.get(name) {
+        let func = match self.global(name) {
             Some(Value::Func(f)) => f.clone(),
             Some(other) => {
                 return Err(PyliteError::new(
@@ -387,25 +472,45 @@ impl Machine {
         Ok(self.run_frames(vec![frame]))
     }
 
-    /// The value of a global variable, if defined.
-    pub fn global(&self, name: &str) -> Option<Value> {
-        self.globals.get(name).cloned()
+    /// A borrowed reference to the value of a global variable, if defined.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        match self.table.slot(name) {
+            Some(slot) => self.slots.get(slot as usize).and_then(|v| v.as_ref()),
+            None => self.extra_globals.get(name),
+        }
     }
 
     /// Sets a global variable (used by harnesses to parameterize runs).
+    ///
+    /// Names the installed global table does not know are kept aside and
+    /// migrated into slots when a module that references them runs.
     pub fn set_global(&mut self, name: &str, value: Value) {
-        self.globals.insert(name.to_string(), value);
+        match self.table.slot(name) {
+            Some(slot) => self.slots[slot as usize] = Some(value),
+            None => {
+                self.extra_globals.insert(name.to_string(), value);
+            }
+        }
     }
 
-    /// Names of globals holding user-defined functions.
-    pub fn function_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .globals
+    /// Names of globals holding user-defined functions, sorted (borrowed
+    /// from the machine's global table; no per-name clone).
+    pub fn function_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .table
+            .names
             .iter()
-            .filter(|(_, val)| matches!(val, Value::Func(_)))
-            .map(|(k, _)| k.clone())
+            .zip(self.slots.iter())
+            .filter(|(_, val)| matches!(val, Some(Value::Func(_))))
+            .map(|(k, _)| k.as_str())
+            .chain(
+                self.extra_globals
+                    .iter()
+                    .filter(|(_, val)| matches!(val, Value::Func(_)))
+                    .map(|(k, _)| k.as_str()),
+            )
             .collect();
-        v.sort();
+        v.sort_unstable();
         v
     }
 
@@ -414,8 +519,36 @@ impl Machine {
         self.clock
     }
 
-    fn run_code(&mut self, code: Rc<Code>) -> RunOutcome {
+    /// Runs a precompiled module code object (the compile-once, run-many
+    /// entry used by harnesses together with a code cache). Installs the
+    /// code's global table when it differs from the currently installed
+    /// one; definitions persist in the machine's globals exactly as with
+    /// [`Machine::run_module`].
+    pub fn run_code(&mut self, code: Rc<Code>) -> RunOutcome {
+        if let Some(table) = &code.globals {
+            self.install_table(Rc::clone(table));
+        }
         self.run_frames(vec![Frame::new(code)])
+    }
+
+    /// Swaps in a module's global table, carrying existing global values
+    /// over by name so name-keyed semantics survive a module switch.
+    fn install_table(&mut self, table: Rc<GlobalTable>) {
+        if Rc::ptr_eq(&self.table, &table) {
+            return;
+        }
+        let old = std::mem::replace(&mut self.table, Rc::clone(&table));
+        for (i, v) in self.slots.drain(..).enumerate() {
+            if let Some(v) = v {
+                self.extra_globals.insert(old.names[i].clone(), v);
+            }
+        }
+        self.slots = vec![None; table.names.len()];
+        for (i, name) in table.names.iter().enumerate() {
+            if let Some(v) = self.extra_globals.remove(name) {
+                self.slots[i] = Some(v);
+            }
+        }
     }
 
     fn run_frames(&mut self, frames: Vec<Frame>) -> RunOutcome {
@@ -481,22 +614,27 @@ impl Machine {
     // ---- scheduler --------------------------------------------------------
 
     fn schedule(&mut self) -> RunStatus {
-        loop {
+        // The runnable collection reuses one machine-owned scratch buffer
+        // across every quantum of the run (taken out of `self` here to
+        // satisfy the borrow checker around `wait_satisfied`).
+        let mut runnable = std::mem::take(&mut self.runnable);
+        let status = 'sched: loop {
             if self.tasks.iter().all(|t| t.done()) {
-                return self.main_status();
+                break self.main_status();
             }
             // A task is runnable when Ready, or blocked on a condition that
             // is now satisfied.
-            let runnable: Vec<TaskId> = self
-                .tasks
-                .iter()
-                .filter(|t| match &t.status {
+            runnable.clear();
+            for t in &self.tasks {
+                let ready = match &t.status {
                     TaskStatus::Ready => true,
                     TaskStatus::Blocked(w) => self.wait_satisfied(w),
                     TaskStatus::Done(_) => false,
-                })
-                .map(|t| t.id)
-                .collect();
+                };
+                if ready {
+                    runnable.push(t.id);
+                }
+            }
             if runnable.is_empty() {
                 // Advance virtual time to the earliest sleeper, else deadlock.
                 let min_wake = self
@@ -512,28 +650,42 @@ impl Machine {
                     continue;
                 }
                 self.fail_unfinished_tasks();
-                return RunStatus::Hung(HangKind::Deadlock);
+                break RunStatus::Hung(HangKind::Deadlock);
             }
             let pick = runnable[self.rng.gen_range(0..runnable.len())];
             self.wake(pick);
+            // Check the task out once per quantum, not once per step:
+            // `step_inner` needs it outside `self.tasks` anyway (its
+            // slot holds a Done dummy meanwhile), and hoisting the swap
+            // out of the step loop removes two `Task` moves per
+            // instruction from the dispatch path.
+            let mut task = std::mem::replace(&mut self.tasks[pick], Task::dummy());
             let mut executed = 0u32;
+            let mut out_of_steps = false;
             while executed < self.config.quantum {
                 if self.steps >= self.config.step_budget {
-                    self.fail_unfinished_tasks();
-                    return RunStatus::Hung(HangKind::StepBudget);
+                    out_of_steps = true;
+                    break;
                 }
                 self.steps += 1;
                 executed += 1;
-                match self.step(pick) {
+                match self.step_inner(&mut task) {
                     StepFlow::Normal => {
-                        if !matches!(self.tasks[pick].status, TaskStatus::Ready) {
+                        if !matches!(task.status, TaskStatus::Ready) {
                             break;
                         }
                     }
                     StepFlow::Yield | StepFlow::Finished => break,
                 }
             }
-        }
+            self.tasks[pick] = task;
+            if out_of_steps {
+                self.fail_unfinished_tasks();
+                break 'sched RunStatus::Hung(HangKind::StepBudget);
+            }
+        };
+        self.runnable = runnable;
+        status
     }
 
     fn main_status(&mut self) -> RunStatus {
@@ -622,38 +774,47 @@ impl Machine {
 
     // ---- race detection ---------------------------------------------------
 
-    pub(crate) fn note_global_store_hint(&mut self, name: &str, value: &Value) {
+    /// Remembers the global name a container was first stored under, so
+    /// race reports on the container can name it. Only clones the name
+    /// when a new container is seen.
+    fn note_global_store_hint(&mut self, slot: u16, value: &Value) {
         if let Some(addr) = container_addr(value) {
-            self.obj_names
-                .entry(addr)
-                .or_insert_with(|| name.to_string());
+            if !self.obj_names.contains_key(&addr) {
+                if let Some(name) = self.table.names.get(slot as usize) {
+                    self.obj_names.insert(addr, name.clone());
+                }
+            }
         }
     }
 
-    fn record_global_access(&mut self, tid: TaskId, name: &str, is_write: bool) {
-        if !self.config.detect_races {
+    // Both recorders skip while `tasks.len() == 1`: until a second task
+    // has *ever* been spawned nothing can race, and the entries skipped
+    // here are observably dead — the first post-spawn access of a
+    // location recreates exactly the owner/lockset state the
+    // spawn-boundary ownership transfer would have derived from them
+    // (the `written` flag they would have accumulated is never read).
+    fn record_global_access(&mut self, tid: TaskId, slot: u16, is_write: bool) {
+        if !self.config.detect_races || self.tasks.len() == 1 {
             return;
         }
-        self.record_access(AccessKey::Global(name.to_string()), tid, is_write, name);
+        self.record_access(AccessKey::Global(slot), tid, is_write, "");
     }
 
     pub(crate) fn record_object_access(&mut self, tid: TaskId, value: &Value, is_write: bool) {
-        if !self.config.detect_races {
+        if !self.config.detect_races || self.tasks.len() == 1 {
             return;
         }
         let Some(addr) = container_addr(value) else {
             return;
         };
-        let hint = self
-            .obj_names
-            .get(&addr)
-            .cloned()
-            .unwrap_or_else(|| format!("<{}@{:x}>", value.type_name(), addr));
-        self.record_access(AccessKey::Object(addr), tid, is_write, &hint);
+        self.record_access(AccessKey::Object(addr), tid, is_write, value.type_name());
     }
 
-    fn record_access(&mut self, key: AccessKey, tid: TaskId, is_write: bool, hint: &str) {
-        let locks = self.task_locks[tid].clone();
+    /// Core lockset bookkeeping for one access. `type_name` is only used
+    /// when an [`AccessKey::Object`] race is reported and no stored name
+    /// hint exists; the location string is built lazily at report time
+    /// rather than on every access.
+    fn record_access(&mut self, key: AccessKey, tid: TaskId, is_write: bool, type_name: &str) {
         let line = self.current_line;
         let now = self.steps;
         let spawn_step = self.task_spawn_step[tid];
@@ -702,18 +863,38 @@ impl Machine {
             }
             // Second concurrent task touches the location: shared regime.
             entry.shared = true;
-            entry.lockset = locks.clone();
+            entry.lockset = self.task_locks[tid].clone();
             entry.modified_shared = is_write;
         } else {
-            entry.lockset = entry.lockset.intersection(&locks).copied().collect();
+            // Intersect in place: the common spin-loop case re-observes
+            // the same lockset every iteration, and `retain` avoids the
+            // per-access `BTreeSet` rebuild an `intersection().collect()`
+            // would allocate.
+            if !entry.lockset.is_empty() {
+                let held = &self.task_locks[tid];
+                entry.lockset.retain(|l| held.contains(l));
+            }
             entry.modified_shared |= is_write;
         }
         entry.written |= is_write;
         entry.last_step = now;
         if entry.modified_shared && entry.lockset.is_empty() && !entry.reported {
             entry.reported = true;
+            let location = match key {
+                AccessKey::Global(slot) => self
+                    .table
+                    .names
+                    .get(slot as usize)
+                    .cloned()
+                    .unwrap_or_default(),
+                AccessKey::Object(addr) => self
+                    .obj_names
+                    .get(&addr)
+                    .cloned()
+                    .unwrap_or_else(|| format!("<{type_name}@{addr:x}>")),
+            };
             self.races.push(RaceReport {
-                location: hint.to_string(),
+                location,
                 first_task: entry.owner,
                 second_task: tid,
                 line,
@@ -840,13 +1021,6 @@ impl Machine {
 
     // ---- the interpreter loop ----------------------------------------------
 
-    fn step(&mut self, tid: TaskId) -> StepFlow {
-        let mut task = std::mem::replace(&mut self.tasks[tid], Task::dummy());
-        let flow = self.step_inner(&mut task);
-        self.tasks[tid] = task;
-        flow
-    }
-
     fn step_inner(&mut self, task: &mut Task) -> StepFlow {
         let tid = task.id;
         let Some(frame) = task.frames.last_mut() else {
@@ -906,27 +1080,40 @@ impl Machine {
                 frame.locals[i as usize] = Some(v);
             }
             Instr::LoadGlobal(i) => {
-                let name = frame.code.names[i as usize].clone();
-                match self.globals.get(&name).cloned() {
+                // Slot-resolved hot path: a vector index into the
+                // machine's global slots, with the builtin fallback
+                // pre-resolved per slot at compile time.
+                match self.slots.get(i as usize).and_then(|v| v.clone()) {
                     Some(v) => {
-                        self.record_global_access(tid, &name, false);
+                        self.record_global_access(tid, i, false);
                         task.frames.last_mut().expect("frame").stack.push(v);
                     }
-                    None => match builtins::lookup(&name) {
+                    None => match self.table.builtins.get(i as usize).and_then(|b| b.clone()) {
                         Some(v) => frame.stack.push(v),
-                        None => raise!(
-                            task,
-                            Value::exc("NameError", format!("name `{name}` is not defined"))
-                        ),
+                        None => {
+                            let name = self
+                                .table
+                                .names
+                                .get(i as usize)
+                                .cloned()
+                                .unwrap_or_default();
+                            raise!(
+                                task,
+                                Value::exc("NameError", format!("name `{name}` is not defined"))
+                            )
+                        }
                     },
                 }
             }
             Instr::StoreGlobal(i) => {
-                let name = frame.code.names[i as usize].clone();
                 let v = frame.stack.pop().expect("store requires a value");
-                self.note_global_store_hint(&name, &v);
-                self.record_global_access(tid, &name, true);
-                self.globals.insert(name, v);
+                self.note_global_store_hint(i, &v);
+                self.record_global_access(tid, i, true);
+                let slot = i as usize;
+                if slot >= self.slots.len() {
+                    self.slots.resize(slot + 1, None);
+                }
+                self.slots[slot] = Some(v);
             }
             Instr::Bin(op) => {
                 let b = frame.stack.pop().expect("binop rhs");
@@ -1053,11 +1240,13 @@ impl Machine {
                 return self.dispatch_call(task, callee, args);
             }
             Instr::CallMethod { name, argc } => {
-                let method = frame.code.names[name as usize].clone();
+                // Borrow the method name from the code object instead of
+                // cloning a String per call.
+                let code = Rc::clone(&frame.code);
                 let at = frame.stack.len() - argc as usize;
                 let args = frame.stack.split_off(at);
                 let recv = frame.stack.pop().expect("receiver");
-                match builtins::call_method(self, tid, &recv, &method, args) {
+                match builtins::call_method(self, tid, &recv, &code.names[name as usize], args) {
                     BuiltinFlow::Value(v) => task.frames.last_mut().expect("frame").stack.push(v),
                     BuiltinFlow::Raise(e) => raise!(task, e),
                     BuiltinFlow::Block(w) => {
@@ -1181,9 +1370,8 @@ impl Machine {
                 frame.blocks.pop();
             }
             Instr::MatchExc(i) => {
-                let kind = frame.code.names[i as usize].clone();
                 let matched = match frame.stack.last() {
-                    Some(Value::Exc(e)) => e.matches(&kind),
+                    Some(Value::Exc(e)) => e.matches(&frame.code.names[i as usize]),
                     _ => false,
                 };
                 frame.stack.push(Value::Bool(matched));

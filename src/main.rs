@@ -892,7 +892,7 @@ fn cmd_experiments(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(
 
 fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
     use nfi_bench::throughput::{
-        bench_campaign, bench_e7, bench_lm, bench_serve, bench_store, to_json,
+        bench_campaign, bench_e7, bench_lm, bench_serve, bench_store, bench_vm, to_json,
     };
     let quick = flags.contains_key("quick");
     // Shared --threads parsing; ExecConfig clamps 0 to 1, so the printed
@@ -941,6 +941,19 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         e7.speedup(),
     );
 
+    println!("benching VM cold path (precompiled dispatch + code cache)...");
+    let vm = bench_vm(if quick { 3 } else { 0 });
+    println!(
+        "  {} program(s): {:.0} instrs/s precompiled; {} units: {:.1} units/s code-cold, {:.1} units/s code-warm ({:.2}x), code-cache hit rate {:.1}%",
+        vm.programs,
+        vm.instrs_per_s(),
+        vm.units,
+        vm.cold_units_per_s(),
+        vm.warm_units_per_s(),
+        vm.code_warm_speedup(),
+        vm.code_cache.hit_rate() * 100.0,
+    );
+
     println!("benching incremental campaign store (cold vs warm)...");
     let store = bench_store(if quick { 3 } else { 0 });
     println!(
@@ -981,7 +994,7 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         serve.retries,
     );
 
-    let json = to_json(&campaign, &lm, &e7, &store, &serve);
+    let json = to_json(&campaign, &lm, &e7, &vm, &store, &serve);
     let path = flags.get("out").copied().unwrap_or("BENCH_e7.json");
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("wrote {path}");
