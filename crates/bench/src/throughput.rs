@@ -238,6 +238,22 @@ pub struct StoreBench {
     pub warm_executed: usize,
     /// Whether every warm document was byte-identical to its cold one.
     pub documents_identical: bool,
+    /// Edit-round (`store_edit`) wall time: every program gets a
+    /// one-line top-level edit and re-runs against the warm store —
+    /// function units anchor-replay, top-level units execute.
+    pub edit_secs: f64,
+    /// Total units across the edited programs.
+    pub edit_units: usize,
+    /// Units replayed on the edit round (all via the anchor fallback).
+    pub edit_replayed: usize,
+    /// Of `edit_replayed`, units recovered by anchor (the whole
+    /// replay set — recorded separately as a consistency check).
+    pub edit_anchor_replayed: usize,
+    /// Units executed on the edit round (the changed top-level group).
+    pub edit_executed: usize,
+    /// Whether every edit-round document was byte-identical to a cold
+    /// from-scratch run of the edited sources.
+    pub edit_documents_identical: bool,
 }
 
 impl StoreBench {
@@ -262,6 +278,26 @@ impl StoreBench {
             0.0
         } else {
             self.warm_replayed as f64 / self.units as f64
+        }
+    }
+
+    /// One-line-edit warm units/sec (the `store_edit` scenario).
+    pub fn edit_units_per_s(&self) -> f64 {
+        self.edit_units as f64 / self.edit_secs.max(1e-9)
+    }
+
+    /// Edit-round speedup over a cold run (per unit).
+    pub fn edit_speedup(&self) -> f64 {
+        (self.cold_secs / self.units.max(1) as f64)
+            / (self.edit_secs / self.edit_units.max(1) as f64).max(1e-9)
+    }
+
+    /// Anchor hit fraction of the edit round in `[0, 1]`.
+    pub fn edit_hit_rate(&self) -> f64 {
+        if self.edit_units == 0 {
+            0.0
+        } else {
+            self.edit_replayed as f64 / self.edit_units as f64
         }
     }
 }
@@ -308,6 +344,54 @@ pub fn bench_store(max_programs: usize) -> StoreBench {
 
     let (units, _, cold_executed, cold_docs, cold_secs) = run_all();
     let (_, warm_replayed, warm_executed, warm_docs, warm_secs) = run_all();
+
+    // The store_edit scenario: one appended top-level line per program
+    // (the canonical "warm edit"). Function units anchor-replay from
+    // the previous segments; the changed top-level group executes.
+    let edited: Vec<(String, String)> = programs
+        .iter()
+        .map(|p| {
+            (
+                p.name.to_string(),
+                format!("{}bench_edit_marker = 1\n", p.source),
+            )
+        })
+        .collect();
+    let run_edited =
+        |o: &nfi_core::Orchestrator| -> (usize, usize, usize, usize, Vec<String>, f64) {
+            MutantCache::global().clear();
+            ExperimentCache::global().clear();
+            SuiteCache::global().clear();
+            let started = Instant::now();
+            let (mut units, mut replayed, mut anchored, mut executed) = (0, 0, 0, 0);
+            let mut docs = Vec::new();
+            for (name, source) in &edited {
+                let r = o.run_program(name, source).expect("store bench edit run");
+                units += r.units;
+                replayed += r.replayed;
+                anchored += r.anchor_replayed;
+                executed += r.executed;
+                docs.push(r.run.encode());
+            }
+            (
+                units,
+                replayed,
+                anchored,
+                executed,
+                docs,
+                started.elapsed().as_secs_f64(),
+            )
+        };
+    let (edit_units, edit_replayed, edit_anchor_replayed, edit_executed, edit_docs, edit_secs) =
+        run_edited(&orch);
+    // Byte-identity check: a from-scratch run of the edited sources in
+    // a pristine state dir must produce the same documents the
+    // anchor-spliced run did.
+    let scratch_dir = dir.with_file_name(format!("nfi-store-bench-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch_dir);
+    let scratch = nfi_core::Orchestrator::new(&scratch_dir).expect("store bench scratch dir");
+    let (_, _, _, _, scratch_docs, _) = run_edited(&scratch);
+    let _ = std::fs::remove_dir_all(&scratch_dir);
     let _ = std::fs::remove_dir_all(&dir);
 
     StoreBench {
@@ -319,6 +403,12 @@ pub fn bench_store(max_programs: usize) -> StoreBench {
         warm_replayed,
         warm_executed,
         documents_identical: cold_docs == warm_docs,
+        edit_secs,
+        edit_units,
+        edit_replayed,
+        edit_anchor_replayed,
+        edit_executed,
+        edit_documents_identical: edit_docs == scratch_docs,
     }
 }
 
@@ -671,11 +761,7 @@ pub fn bench_vm(max_programs: usize) -> VmBench {
     for _ in 0..reps {
         for (module, fp) in &modules {
             let report = run_suite_in(&mut machine, module, *fp, &machine_config);
-            instrs += report
-                .tests
-                .iter()
-                .map(|t| t.outcome.steps)
-                .sum::<u64>();
+            instrs += report.tests.iter().map(|t| t.outcome.steps).sum::<u64>();
         }
     }
     let instr_secs = started.elapsed().as_secs_f64();
@@ -750,7 +836,7 @@ pub fn to_json(
     serve: &ServeBench,
 ) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"vm\": {{\n    \"programs\": {},\n    \"reps\": {},\n    \"instrs\": {},\n    \"instrs_per_s\": {:.1},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"code_warm_units_per_s\": {:.1},\n    \"code_warm_speedup\": {:.2},\n    \"code_cache_hit_rate\": {:.3},\n    \"code_cache_hits\": {},\n    \"code_cache_misses\": {},\n    \"reports_identical\": {}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"vm\": {{\n    \"programs\": {},\n    \"reps\": {},\n    \"instrs\": {},\n    \"instrs_per_s\": {:.1},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"code_warm_units_per_s\": {:.1},\n    \"code_warm_speedup\": {:.2},\n    \"code_cache_hit_rate\": {:.3},\n    \"code_cache_hits\": {},\n    \"code_cache_misses\": {},\n    \"reports_identical\": {}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"store_edit\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"edit_units_per_s\": {:.1},\n    \"edit_speedup\": {:.2},\n    \"edit_replayed\": {},\n    \"edit_anchor_replayed\": {},\n    \"edit_executed\": {},\n    \"edit_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -793,6 +879,15 @@ pub fn to_json(
         store.warm_executed,
         store.warm_hit_rate(),
         store.documents_identical,
+        store.programs,
+        store.edit_units,
+        store.edit_units_per_s(),
+        store.edit_speedup(),
+        store.edit_replayed,
+        store.edit_anchor_replayed,
+        store.edit_executed,
+        store.edit_hit_rate(),
+        store.edit_documents_identical,
         serve.requests_per_s(),
         serve.auth_requests_per_s(),
         serve.unauthorized,
@@ -914,6 +1009,12 @@ mod tests {
             warm_replayed: 60,
             warm_executed: 0,
             documents_identical: true,
+            edit_secs: 0.12,
+            edit_units: 62,
+            edit_replayed: 50,
+            edit_anchor_replayed: 50,
+            edit_executed: 12,
+            edit_documents_identical: true,
         };
         let serve = ServeBench {
             requests: 100,
@@ -945,6 +1046,9 @@ mod tests {
         assert!(json.contains("\"store_hit_rate\": 1.000"));
         assert!(json.contains("\"warm_executed\": 0"));
         assert!(json.contains("\"documents_identical\": true"));
+        assert!(json.contains("\"store_edit\""));
+        assert!(json.contains("\"edit_anchor_replayed\": 50"));
+        assert!(json.contains("\"edit_hit_rate\": 0.806"));
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"lanes\": 2"));
         assert!(json.contains("\"requests_per_s\": 2000.0"));
@@ -1007,5 +1111,16 @@ mod tests {
         assert_eq!(b.warm_replayed, b.units);
         assert!(b.documents_identical, "warm documents diverged from cold");
         assert_eq!(b.warm_hit_rate(), 1.0);
+        // The edit round: function units anchor-replay, only the
+        // changed top-level group executes, and the spliced documents
+        // match a from-scratch run of the edited sources.
+        assert!(b.edit_units >= b.units);
+        assert!(b.edit_replayed > 0, "edit round must anchor-replay");
+        assert_eq!(b.edit_anchor_replayed, b.edit_replayed);
+        assert_eq!(b.edit_executed, b.edit_units - b.edit_replayed);
+        assert!(
+            b.edit_documents_identical,
+            "edit documents diverged from a from-scratch run"
+        );
     }
 }

@@ -85,10 +85,17 @@ pub struct RetryStats {
 pub struct StoreTotals {
     /// Campaign work units planned across all completed jobs.
     pub units: u64,
-    /// Units replayed verbatim from the on-disk store.
+    /// Units replayed from the on-disk store (fast-path verbatim
+    /// replays plus anchor-fallback replays).
     pub replayed: u64,
     /// Units that had to execute (store misses + corrupt lines).
     pub executed: u64,
+    /// Of `replayed`, units recovered through the anchor fallback — a
+    /// warm edit replaying the previous segment by structural anchor.
+    pub anchor_hits: u64,
+    /// Units the anchor fallback was consulted for but could not cover
+    /// (the changed-function remainder of warm edits).
+    pub anchor_misses: u64,
 }
 
 impl StoreTotals {
@@ -164,7 +171,7 @@ impl RuntimeSnapshot {
             )
         };
         format!(
-            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{},\"suite_cache\":{},\"code_cache\":{}}}",
+            "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"anchor_hits\":{},\"anchor_misses\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{},\"suite_cache\":{},\"code_cache\":{}}}",
             self.queue.depth,
             self.queue.lanes,
             self.queue.running,
@@ -174,6 +181,8 @@ impl RuntimeSnapshot {
             self.store.units,
             self.store.replayed,
             self.store.executed,
+            self.store.anchor_hits,
+            self.store.anchor_misses,
             self.store.hit_rate(),
             self.journal.appended,
             self.journal.recovered_queued,
@@ -403,6 +412,8 @@ mod tests {
                 units: 100,
                 replayed: 75,
                 executed: 25,
+                anchor_hits: 30,
+                anchor_misses: 10,
             },
             journal: JournalStats {
                 appended: 11,
@@ -430,6 +441,7 @@ mod tests {
         assert!(json.contains("\"lanes\":4"));
         assert!(json.contains("\"submitted\":7"));
         assert!(json.contains("\"hit_rate\":0.750"));
+        assert!(json.contains("\"anchor_hits\":30,\"anchor_misses\":10"));
         assert!(json.contains("\"capacity\":64"));
         assert!(json.contains("\"capacity\":null"));
         assert!(json.contains("\"journal\":{\"appended\":11"));

@@ -102,6 +102,21 @@ impl ShardOutcome {
         )
     }
 
+    /// The same outcome re-addressed to a new global plan index, with
+    /// the canonical line re-rendered to match. This is the store's
+    /// anchor-fallback replay primitive: a prior segment's outcome is
+    /// valid for the current plan's unit, but enumeration indices
+    /// shift across module versions, so the line must be re-emitted
+    /// under the unit's current index. Because [`render`] is the one
+    /// canonical encoder (executions produce lines the same way), a
+    /// re-indexed replay is byte-identical to a fresh execution whose
+    /// runtime outcome is unchanged.
+    pub fn reindexed(mut self, index: usize) -> ShardOutcome {
+        self.index = index;
+        self.line = self.render();
+        self
+    }
+
     /// Decodes one canonical outcome line, keeping the line text
     /// verbatim (what the incremental store replays).
     ///

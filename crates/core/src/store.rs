@@ -9,8 +9,8 @@
 //! ```text
 //! state dir
 //! └── store/<program_fp>-<module_fp>-<machine_fp>.jsonl
-//!       {"kind":"campaign_store", ...}         header
-//!       {"kind":"stored","unit":K,"outcome":L} one line per unit
+//!       {"kind":"campaign_store","format":2, ...}         header
+//!       {"kind":"stored","unit":K,"anchor":A,"outcome":L} one line per unit
 //! ```
 //!
 //! Addressing:
@@ -25,17 +25,36 @@
 //!   header stores it verbatim and the loader cross-checks it, so a
 //!   fingerprint collision degrades to a reported re-execution, never
 //!   a silent replay of another program's outcomes;
-//! * the **line** key is [`WorkUnit::store_key`] (plan hash extended
-//!   with the experiment seed) — stable across processes and hosts, so
-//!   a segment written by one worker replays in any other.
+//! * the **line** key is [`WorkUnit::store_key`] — operator, the
+//!   site's *structural anchor* + ordinal ([`nfi_pylite::anchors`]),
+//!   operator detail, and the experiment seed. Stable across
+//!   processes and hosts, so a segment written by one worker replays
+//!   in any other — and stable across *module versions* for units
+//!   whose enclosing function did not change, which is what the
+//!   anchor-fallback path below keys on.
+//!
+//! A module-fingerprint match replays the whole segment (the fast
+//! path). On a fingerprint **miss** — a warm edit — the orchestrator
+//! falls back to the program's previous segment (pruning keeps at most
+//! one per machine config) and splits the plan by anchor: units whose
+//! anchor-stable key still resolves there are **anchor hits**,
+//! replayed with their enumeration index rewritten to the new plan;
+//! the rest are **anchor misses** and execute. A one-line body edit
+//! therefore re-executes only the units whose enclosing function
+//! changed — O(diff), not O(module). Segments record a `format`
+//! version; pre-anchor segments (format 1, or no `format` field)
+//! degrade gracefully: their keys simply never match, so everything
+//! re-executes once and the re-saved segment is format 2.
 //!
 //! Replayed outcome lines are re-emitted **verbatim** (the same
 //! guarantee [`service::merge`] gives shard documents), so a warm
-//! incremental run's merged document is byte-identical to a cold one.
-//! Corrupt store lines — truncation, garbling, editor accidents — are
-//! reported as warnings and the affected units fall back to
-//! re-execution; the store can never change a result, only skip
-//! recomputing it.
+//! incremental run's merged document is byte-identical to a cold one;
+//! anchor-replayed lines are re-emitted through the one canonical
+//! encoder with only the index rewritten, preserving the same
+//! guarantee. Corrupt store lines — truncation, garbling, editor
+//! accidents — are reported as warnings and the affected units fall
+//! back to re-execution; the store can never change a result, only
+//! skip recomputing it.
 //!
 //! [`Orchestrator`] is the multi-run, multi-worker entry point behind
 //! `nfi campaign run --state-dir`: plan, replay what the store covers,
@@ -68,6 +87,12 @@ pub struct CampaignStore {
     root: PathBuf,
 }
 
+/// The segment format this build writes: format 2 keys lines by
+/// structural anchor ([`WorkUnit::store_key`]) and records each line's
+/// anchor. Format-1 segments (including headerless pre-versioning
+/// ones) are read but never used as an anchor-fallback source.
+pub const SEGMENT_FORMAT: u32 = 2;
+
 /// One loaded store segment: outcome lines by unit store key, plus
 /// every corruption the loader tolerated (each one falls back to
 /// re-execution).
@@ -77,6 +102,12 @@ pub struct LoadedSegment {
     pub lines: HashMap<u64, String>,
     /// Human-readable reports of skipped/corrupt lines.
     pub errors: Vec<String>,
+    /// Declared segment format (1 when the header predates
+    /// versioning; 0 when there is no readable header at all).
+    pub format: u32,
+    /// Whether the header decoded and matched the requested address —
+    /// the gate for using this segment as an anchor-fallback source.
+    pub header_valid: bool,
 }
 
 impl CampaignStore {
@@ -133,7 +164,11 @@ impl CampaignStore {
             let report = |e: String| format!("{}:{}: {e}", path.display(), i + 1);
             if line.contains("\"kind\":\"campaign_store\"") {
                 match Self::decode_header(line, program, module_fp, machine_fp) {
-                    Ok(count) => declared = Some(count),
+                    Ok((count, format)) => {
+                        declared = Some(count);
+                        seg.format = format;
+                        seg.header_valid = true;
+                    }
                     Err(e) => seg.errors.push(report(e)),
                 }
             } else if line.contains("\"kind\":\"stored\"") {
@@ -172,7 +207,7 @@ impl CampaignStore {
         program: &str,
         module_fp: u64,
         machine_fp: u64,
-    ) -> Result<usize, String> {
+    ) -> Result<(usize, u32), String> {
         let fields = parse_flat_object(line)?;
         if get_hex_u64(&fields, "module_fp")? != module_fp
             || get_hex_u64(&fields, "machine_fp")? != machine_fp
@@ -188,7 +223,17 @@ impl CampaignStore {
                 get_str(&fields, "program")?
             ));
         }
-        get_usize(&fields, "lines")
+        // Headers written before segment versioning carry no `format`
+        // field and read as format 1.
+        let format = match fields.get("format") {
+            Some(v) => u32::try_from(
+                v.as_u64()
+                    .ok_or_else(|| format!("field `format` is not an unsigned integer: {v:?}"))?,
+            )
+            .map_err(|_| "field `format` does not fit in u32".to_string())?,
+            None => 1,
+        };
+        Ok((get_usize(&fields, "lines")?, format))
     }
 
     /// Decodes the (key, verbatim outcome line) of one stored record.
@@ -199,6 +244,88 @@ impl CampaignStore {
     fn decode_stored(line: &str) -> Result<(u64, String), String> {
         let fields = parse_flat_object(line)?;
         Ok((get_hex_u64(&fields, "unit")?, get_str(&fields, "outcome")?))
+    }
+
+    /// The program's *previous* segment under `machine_fp` — any intact
+    /// anchor-capable segment of the same program whose module
+    /// fingerprint differs from `current_fp`. Pruning keeps at most one
+    /// such segment per (program, machine config), so this is the
+    /// anchor-fallback source for a warm edit. Answers `None` when
+    /// there is none, when its header does not check out, or when it
+    /// predates anchor keying (format < 2 — those keys can never match
+    /// and pre-anchor replays must not be guessed at).
+    pub fn previous_segment(
+        &self,
+        program: &str,
+        current_fp: u64,
+        machine_fp: u64,
+    ) -> Option<(u64, LoadedSegment)> {
+        let entries = std::fs::read_dir(&self.root).ok()?;
+        let prefix = format!("{:016x}-", fnv1a(program.as_bytes()));
+        let suffix = format!("-{machine_fp:016x}.jsonl");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(&suffix) {
+                continue;
+            }
+            let middle = &name[prefix.len()..name.len() - suffix.len()];
+            let Ok(old_fp) = u64::from_str_radix(middle, 16) else {
+                continue;
+            };
+            if old_fp == current_fp {
+                continue;
+            }
+            let segment = self.load(program, old_fp, machine_fp);
+            // `header_valid` re-checks the verbatim program name, so a
+            // program-fingerprint collision can never donate lines.
+            if segment.header_valid && segment.format >= SEGMENT_FORMAT {
+                return Some((old_fp, segment));
+            }
+        }
+        None
+    }
+
+    /// Per-segment detail for `nfi store inspect`: the header identity
+    /// plus line and distinct-anchor counts read from the records
+    /// themselves (tolerating corrupt lines — they are simply not
+    /// counted). Orphans come back with their [`SegmentInfo::note`] and
+    /// zero counts.
+    pub fn inspect(&self) -> Vec<SegmentDetail> {
+        self.segments()
+            .into_iter()
+            .map(|info| {
+                let mut detail = SegmentDetail {
+                    format: 0,
+                    lines: 0,
+                    anchors: std::collections::BTreeMap::new(),
+                    info,
+                };
+                let Ok(text) = std::fs::read_to_string(&detail.info.path) else {
+                    return detail;
+                };
+                for line in text.lines() {
+                    if line.contains("\"kind\":\"campaign_store\"") {
+                        if let Ok(fields) = parse_flat_object(line) {
+                            detail.format = fields
+                                .get("format")
+                                .and_then(JsonValue::as_u64)
+                                .and_then(|v| u32::try_from(v).ok())
+                                .unwrap_or(1);
+                        }
+                    } else if line.contains("\"kind\":\"stored\"") {
+                        let Ok(fields) = parse_flat_object(line) else {
+                            continue;
+                        };
+                        detail.lines += 1;
+                        // Pre-anchor lines count under anchor 0.
+                        let anchor = get_hex_u64(&fields, "anchor").unwrap_or(0);
+                        *detail.anchors.entry(anchor).or_insert(0) += 1;
+                    }
+                }
+                detail
+            })
+            .collect()
     }
 
     /// Persists a complete (or partial) run of `spec` as the segment
@@ -212,24 +339,27 @@ impl CampaignStore {
     ///
     /// Reports I/O failures and outcomes that don't belong to `spec`.
     pub fn save(&self, spec: &CampaignSpec, machine_fp: u64, run: &ShardRun) -> Result<(), String> {
-        let key_by_index: HashMap<usize, u64> = spec
+        let key_by_index: HashMap<usize, (u64, u64)> = spec
             .units
             .iter()
-            .map(|u| (u.index, u.store_key()))
+            .map(|u| (u.index, (u.store_key(), u.anchor)))
             .collect();
         let mut doc = format!(
-            "{{\"kind\":\"campaign_store\",\"program\":\"{}\",\"module_fp\":\"{:016x}\",\"machine_fp\":\"{:016x}\",\"lines\":{}}}\n",
+            "{{\"kind\":\"campaign_store\",\"format\":{SEGMENT_FORMAT},\"program\":\"{}\",\"module_fp\":\"{:016x}\",\"machine_fp\":\"{:016x}\",\"lines\":{}}}\n",
             escape(&spec.program),
             spec.module_fp,
             machine_fp,
             run.outcomes.len(),
         );
         for o in &run.outcomes {
-            let key = key_by_index
+            let (key, anchor) = key_by_index
                 .get(&o.index)
                 .ok_or_else(|| format!("outcome index {} is not in the spec", o.index))?;
+            // The anchor is advisory (replay keys on `unit` alone) but
+            // makes segments inspectable: `nfi store inspect` groups
+            // lines by anchor to show what a warm edit would keep.
             doc.push_str(&format!(
-                "{{\"kind\":\"stored\",\"unit\":\"{key:016x}\",\"outcome\":\"{}\"}}\n",
+                "{{\"kind\":\"stored\",\"unit\":\"{key:016x}\",\"anchor\":\"{anchor:016x}\",\"outcome\":\"{}\"}}\n",
                 escape(&o.line)
             ));
         }
@@ -508,6 +638,22 @@ impl SegmentInfo {
     }
 }
 
+/// One segment's full debugging view ([`CampaignStore::inspect`], the
+/// engine of `nfi store inspect`).
+#[derive(Debug, Clone)]
+pub struct SegmentDetail {
+    /// Header identity (same record `segments()` lists).
+    pub info: SegmentInfo,
+    /// Declared segment format (1 for pre-versioning headers, 0 when
+    /// no header decoded at all).
+    pub format: u32,
+    /// Intact stored lines.
+    pub lines: usize,
+    /// Stored-line count per structural anchor (pre-anchor lines all
+    /// group under anchor 0).
+    pub anchors: std::collections::BTreeMap<u64, usize>,
+}
+
 /// What a [`CampaignStore::gc`] sweep did (or, dry-run, would do).
 #[derive(Debug, Default)]
 pub struct GcReport {
@@ -545,10 +691,20 @@ pub struct IncrementalRun {
     pub program: String,
     /// Total units in the campaign.
     pub units: usize,
-    /// Units replayed verbatim from the store.
+    /// Units replayed from the store — fast-path verbatim replays
+    /// *plus* anchor-fallback replays (so `units - replayed - executed`
+    /// stays the uncovered remainder either way).
     pub replayed: usize,
     /// Units executed this run (store misses + corrupt lines).
     pub executed: usize,
+    /// Of `replayed`, how many came through the anchor fallback (a
+    /// warm edit replaying the previous segment). Zero on the
+    /// module-fingerprint fast path.
+    pub anchor_replayed: usize,
+    /// Units the anchor fallback was consulted for but could not
+    /// cover (changed-function units of a warm edit). Zero when no
+    /// fallback segment was consulted.
+    pub anchor_missed: usize,
     /// Store corruption reports (each fell back to re-execution).
     pub store_errors: Vec<String>,
     /// The merged run — byte-identical to an unsharded cold run.
@@ -576,6 +732,11 @@ pub struct Orchestrator {
     pub config: ExecConfig,
     /// Scheduler seed stamped on planned units.
     pub seed: u64,
+    /// Whether a module-fingerprint miss may fall back to anchor
+    /// replay from the program's previous segment (on by default;
+    /// `--no-anchor-reuse` forces every warm edit to re-execute in
+    /// full).
+    pub anchor_reuse: bool,
 }
 
 impl Orchestrator {
@@ -593,6 +754,7 @@ impl Orchestrator {
             machine: MachineConfig::default(),
             config: ExecConfig::sequential(),
             seed: MachineConfig::default().seed,
+            anchor_reuse: true,
         })
     }
 
@@ -647,9 +809,49 @@ impl Orchestrator {
         // second runner replays what the first one saved.
         let _guard = self.locks.acquire(&spec.program, machine_fp);
         let mut segment = self.store.load(&spec.program, spec.module_fp, machine_fp);
+        // A clean fingerprint miss (no segment at this address, not
+        // even a corrupt one) is the warm-edit case: look for the
+        // program's previous segment and replay by anchor-stable key.
+        let fallback = if self.anchor_reuse && segment.lines.is_empty() && segment.errors.is_empty()
+        {
+            self.store
+                .previous_segment(&spec.program, spec.module_fp, machine_fp)
+        } else {
+            None
+        };
         let mut replayed = Vec::new();
         let mut missing = HashSet::new();
+        let mut anchor_replayed = 0usize;
+        let mut anchor_missed = 0usize;
         for unit in &spec.units {
+            if let Some((_, previous)) = &fallback {
+                // Anchor-fallback replay: the unit's key is anchor-
+                // stable, so an unchanged enclosing function resolves
+                // in the previous segment even though statement ids,
+                // lines, and the module fingerprint all shifted. Only
+                // the enumeration index is version-bound — rewrite it
+                // and re-render through the canonical encoder, which
+                // keeps the merged document byte-identical to a cold
+                // run of the edited module (the runtime outcome of an
+                // untouched function is unchanged by construction).
+                match previous.lines.get(&unit.store_key()) {
+                    Some(line) => match ShardOutcome::decode(line) {
+                        Ok(o) if o.operator == unit.operator && o.class == unit.class.key() => {
+                            anchor_replayed += 1;
+                            replayed.push(o.reindexed(unit.index));
+                        }
+                        _ => {
+                            anchor_missed += 1;
+                            missing.insert(unit.index);
+                        }
+                    },
+                    None => {
+                        anchor_missed += 1;
+                        missing.insert(unit.index);
+                    }
+                }
+                continue;
+            }
             match segment.lines.get(&unit.store_key()) {
                 Some(line) => match ShardOutcome::decode(line) {
                     // A replayed payload must still describe this unit
@@ -690,6 +892,12 @@ impl Orchestrator {
                 }
             }
         }
+        // Corruption in the fallback segment degraded those units to
+        // re-execution; surface the reports the same way fast-path
+        // corruption is surfaced.
+        if let Some((_, previous)) = fallback {
+            segment.errors.extend(previous.errors);
+        }
         let replayed_count = replayed.len();
         let mut runs = vec![ShardRun {
             program: spec.program.clone(),
@@ -715,6 +923,8 @@ impl Orchestrator {
             units: spec.units.len(),
             replayed: replayed_count,
             executed: merged.outcomes.len().saturating_sub(replayed_count),
+            anchor_replayed,
+            anchor_missed,
             store_errors: segment.errors,
             run: merged,
         })
@@ -872,18 +1082,132 @@ def test_add():
         let dir = state_dir("edit");
         let orch = Orchestrator::new(&dir).unwrap();
         let first = orch.run_program("demo", SOURCE).unwrap();
+        // A body edit inside `add`: its units re-execute, everything
+        // outside the function anchor-replays from the old segment.
         let edited = SOURCE.replace("total + v", "total + v + 0");
         let second = orch.run_program("demo", &edited).unwrap();
-        assert_eq!(second.replayed, 0, "edited source must not replay");
-        assert_eq!(second.executed, second.units);
+        let spec = service::plan_campaign("demo", &edited, orch.seed).unwrap();
+        let in_add = spec
+            .units
+            .iter()
+            .filter(|u| u.site.function.as_deref() == Some("add"))
+            .count();
+        assert!(in_add > 0 && in_add < spec.units.len());
+        assert_eq!(second.executed, in_add, "only add's units re-execute");
+        assert_eq!(second.replayed, second.units - in_add);
+        assert_eq!(second.anchor_replayed, second.replayed);
+        assert_eq!(second.anchor_missed, in_add);
+        // The replay-spliced document is byte-identical to a cold run
+        // of the edited source.
+        let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
+        assert_eq!(second.run.encode(), direct.encode());
         let machine_fp = orch.machine.fingerprint();
         let old = orch
             .store
             .segment_path("demo", first.run.module_fp, machine_fp);
         assert!(!old.exists(), "stale segment should be pruned");
-        // And the edited program is now warm.
+        // And the edited program is now warm on the fast path.
         let third = orch.run_program("demo", &edited).unwrap();
         assert_eq!(third.executed, 0);
+        assert_eq!(third.anchor_replayed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_level_edit_reuses_function_units_with_shifted_indices() {
+        let dir = state_dir("edit-top");
+        let orch = Orchestrator::new(&dir).unwrap();
+        orch.run_program("demo", SOURCE).unwrap();
+        // Appending a top-level statement changes the shared top-level
+        // anchor (those units re-execute) and shifts enumeration
+        // indices, so function units replay *re-indexed*.
+        let edited = format!("{SOURCE}edited_marker = 1\n");
+        let second = orch.run_program("demo", &edited).unwrap();
+        let spec = service::plan_campaign("demo", &edited, orch.seed).unwrap();
+        let top_level = spec
+            .units
+            .iter()
+            .filter(|u| u.site.function.is_none())
+            .count();
+        assert_eq!(
+            second.executed, top_level,
+            "only top-level units re-execute"
+        );
+        assert_eq!(second.anchor_replayed, second.units - top_level);
+        assert!(second.anchor_replayed > 0);
+        let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
+        assert_eq!(second.run.encode(), direct.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn anchor_reuse_can_be_disabled() {
+        let dir = state_dir("edit-noanchor");
+        let orch = Orchestrator {
+            anchor_reuse: false,
+            ..Orchestrator::new(&dir).unwrap()
+        };
+        orch.run_program("demo", SOURCE).unwrap();
+        let edited = SOURCE.replace("total + v", "total + v + 0");
+        let second = orch.run_program("demo", &edited).unwrap();
+        assert_eq!(second.replayed, 0, "no anchor reuse: full re-execution");
+        assert_eq!(second.executed, second.units);
+        assert_eq!(second.anchor_replayed, 0);
+        assert_eq!(second.anchor_missed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_anchor_segments_degrade_to_full_re_execution() {
+        let dir = state_dir("edit-v1");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        // Downgrade the saved segment to format 1 in place: a real
+        // pre-anchor segment would also carry incompatible keys, but
+        // the format gate alone must already refuse the fallback.
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"format\":2,", "")).unwrap();
+        let edited = SOURCE.replace("total + v", "total + v + 0");
+        let second = orch.run_program("demo", &edited).unwrap();
+        assert_eq!(second.anchor_replayed, 0, "format-1 segments never donate");
+        assert_eq!(second.executed, second.units);
+        // Never a changed byte either way.
+        let spec = service::plan_campaign("demo", &edited, orch.seed).unwrap();
+        let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
+        assert_eq!(second.run.encode(), direct.encode());
+        // The migrated save is format 2 and warm again.
+        let third = orch.run_program("demo", &edited).unwrap();
+        assert_eq!(third.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_fallback_lines_degrade_to_re_execution_only() {
+        let dir = state_dir("edit-corrupt");
+        let orch = Orchestrator::new(&dir).unwrap();
+        let cold = orch.run_program("demo", SOURCE).unwrap();
+        let machine_fp = orch.machine.fingerprint();
+        let path = orch
+            .store
+            .segment_path("demo", cold.run.module_fp, machine_fp);
+        // Garble one stored line of the would-be fallback segment.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = lines[1].replace("\"outcome\"", "\"outcom\"");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let edited = SOURCE.replace("total + v", "total + v + 0");
+        let second = orch.run_program("demo", &edited).unwrap();
+        assert!(
+            !second.store_errors.is_empty(),
+            "fallback corruption must be reported"
+        );
+        let spec = service::plan_campaign("demo", &edited, orch.seed).unwrap();
+        let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
+        assert_eq!(second.run.encode(), direct.encode());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,340 @@
+//! Site-stable structural anchors: a per-statement key that survives
+//! edits *elsewhere* in the module.
+//!
+//! The incremental campaign store addresses work by content. Its fast
+//! path keys a whole segment by the module fingerprint, which is exact
+//! but all-or-nothing: one edited line anywhere re-executes every unit
+//! in the module. Anchors recover per-function granularity. Each
+//! statement is assigned
+//!
+//! * an **anchor** — a hash of the statement's *structural
+//!   neighborhood*: for a statement inside a `def`, the dotted def
+//!   path (`"f"`, `"f.g"`, …) extended with the canonical printed text
+//!   of that innermost def; for a top-level statement, the printed
+//!   text of all non-def top-level statements. Anchors never fold in
+//!   byte offsets, line numbers, or node ids, so they are insensitive
+//!   to comments, formatting, and edits outside the neighborhood;
+//! * an **ordinal** — the statement's pre-order position *within its
+//!   anchor group*, which disambiguates repeated statements inside one
+//!   function without reintroducing whole-module position sensitivity.
+//!
+//! Together `(anchor, ordinal)` identify an injection site across
+//! module versions: editing one function changes only that function's
+//! anchor (its printed body changed), while every other statement in
+//! the module keeps both its anchor and its ordinal. The campaign
+//! store exploits this in its anchor-fallback path — on a
+//! module-fingerprint miss, any unit whose anchor-stable key still
+//! resolves in the previous segment replays verbatim.
+//!
+//! Granularity notes, all conservative (they can only cause extra
+//! re-execution, never a stale replay):
+//!
+//! * a `def` *statement itself* anchors to its own function — renaming
+//!   or editing `f` re-executes units that target the `f` def site;
+//! * a def nested in another def (`f.g`) gets its own anchor, so
+//!   editing `f`'s straight-line body re-executes `f`'s units but not
+//!   `g`'s — while editing `g` changes both (its printed text is part
+//!   of `f`'s);
+//! * a def nested inside a *non-def top-level statement* (under an
+//!   `if`, say) is treated as part of that top-level statement's
+//!   neighborhood, not given its own anchor;
+//! * appending or editing any non-def top-level statement changes the
+//!   shared top-level anchor, re-executing all top-level units.
+
+use crate::ast::{stmt_blocks, Module, NodeId, Stmt, StmtKind};
+use crate::fingerprint::{fnv1a, fnv1a_extend};
+use crate::printer::print_block;
+use std::collections::HashMap;
+
+/// Domain tag for def-scoped anchors (keeps a def path from ever
+/// colliding with printed top-level text).
+const DEF_TAG: &[u8] = b"nfi-anchor-def\x00";
+/// Domain tag for the shared top-level anchor.
+const TOP_TAG: &[u8] = b"nfi-anchor-top\x00";
+
+/// The `(anchor, ordinal)` pair assigned to one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtAnchor {
+    /// Structural-neighborhood hash (see module docs).
+    pub anchor: u64,
+    /// Pre-order position within the anchor group.
+    pub ordinal: u32,
+}
+
+/// All statement anchors of one module, computed in a single pass.
+#[derive(Debug, Clone)]
+pub struct ModuleAnchors {
+    by_stmt: HashMap<NodeId, StmtAnchor>,
+}
+
+impl ModuleAnchors {
+    /// Computes anchors for every statement in `module` (every
+    /// statement reachable from the module body is assigned — nested
+    /// blocks included).
+    pub fn compute(module: &Module) -> ModuleAnchors {
+        let mut anchors = ModuleAnchors {
+            by_stmt: HashMap::new(),
+        };
+        // The shared top-level anchor hashes the printed text of the
+        // non-def top-level statements only, so adding or editing a
+        // function leaves top-level units anchored.
+        let top_level: Vec<Stmt> = module
+            .body
+            .iter()
+            .filter(|s| !matches!(s.kind, StmtKind::Def { .. }))
+            .cloned()
+            .collect();
+        let top_anchor = fnv1a_extend(fnv1a(TOP_TAG), print_block(&top_level, 0).as_bytes());
+        let mut top_ordinal = 0u32;
+        for stmt in &module.body {
+            match &stmt.kind {
+                StmtKind::Def { name, .. } => anchors.assign_def(stmt, name),
+                _ => anchors.assign_group(stmt, top_anchor, &mut top_ordinal),
+            }
+        }
+        anchors
+    }
+
+    /// The anchor assigned to `stmt_id`, or `None` for an id that is
+    /// not a statement of the computed module.
+    pub fn get(&self, stmt_id: NodeId) -> Option<StmtAnchor> {
+        self.by_stmt.get(&stmt_id).copied()
+    }
+
+    /// Number of anchored statements.
+    pub fn len(&self) -> usize {
+        self.by_stmt.len()
+    }
+
+    /// Whether the module had no statements at all.
+    pub fn is_empty(&self) -> bool {
+        self.by_stmt.is_empty()
+    }
+
+    /// Anchors a def and its whole subtree: the def statement itself
+    /// and its body share `fnv1a(path) ⊕ printed def`, while nested
+    /// defs recurse with a `path.name` extension and their own anchor.
+    fn assign_def(&mut self, def: &Stmt, path: &str) {
+        let mut h = fnv1a(DEF_TAG);
+        h = fnv1a_extend(h, path.as_bytes());
+        h = fnv1a_extend(h, b"\x00");
+        let printed = print_block(std::slice::from_ref(def), 0);
+        let anchor = fnv1a_extend(h, printed.as_bytes());
+        let mut ordinal = 0u32;
+        self.assign_in_def(def, path, anchor, &mut ordinal);
+    }
+
+    /// Pre-order assignment inside a def, branching off to
+    /// [`assign_def`](Self::assign_def) at nested defs.
+    fn assign_in_def(&mut self, stmt: &Stmt, path: &str, anchor: u64, ordinal: &mut u32) {
+        self.by_stmt.insert(
+            stmt.id,
+            StmtAnchor {
+                anchor,
+                ordinal: *ordinal,
+            },
+        );
+        *ordinal += 1;
+        for block in stmt_blocks(stmt) {
+            for child in block {
+                if let StmtKind::Def { name, .. } = &child.kind {
+                    self.assign_def(child, &format!("{path}.{name}"));
+                } else {
+                    self.assign_in_def(child, path, anchor, ordinal);
+                }
+            }
+        }
+    }
+
+    /// Pre-order assignment of a whole subtree to one anchor group
+    /// (the top-level group; nested defs under non-def statements stay
+    /// in the group, per the module docs).
+    fn assign_group(&mut self, stmt: &Stmt, anchor: u64, ordinal: &mut u32) {
+        self.by_stmt.insert(
+            stmt.id,
+            StmtAnchor {
+                anchor,
+                ordinal: *ordinal,
+            },
+        );
+        *ordinal += 1;
+        for block in stmt_blocks(stmt) {
+            for child in block {
+                self.assign_group(child, anchor, ordinal);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const BASE: &str = "x = 1\ndef f(a):\n    y = a + 1\n    return y\ndef g(b):\n    while b > 0:\n        b = b - 1\n    return b\nz = f(2) + g(3)\n";
+
+    /// Anchors of every statement in the subtree of the named def.
+    fn def_anchors(src: &str, name: &str) -> Vec<StmtAnchor> {
+        let module = parse(src).unwrap();
+        let anchors = ModuleAnchors::compute(&module);
+        let def = module
+            .body
+            .iter()
+            .find(|s| matches!(&s.kind, StmtKind::Def { name: n, .. } if n == name))
+            .unwrap_or_else(|| panic!("no def {name}"));
+        let mut out = Vec::new();
+        collect(def, &anchors, &mut out);
+        out
+    }
+
+    fn collect(stmt: &Stmt, anchors: &ModuleAnchors, out: &mut Vec<StmtAnchor>) {
+        out.push(anchors.get(stmt.id).expect("every stmt is anchored"));
+        for block in stmt_blocks(stmt) {
+            for child in block {
+                collect(child, anchors, out);
+            }
+        }
+    }
+
+    /// Anchors of the non-def top-level statements (whole subtrees).
+    fn top_anchors(src: &str) -> Vec<StmtAnchor> {
+        let module = parse(src).unwrap();
+        let anchors = ModuleAnchors::compute(&module);
+        let mut out = Vec::new();
+        for stmt in &module.body {
+            if !matches!(stmt.kind, StmtKind::Def { .. }) {
+                collect(stmt, &anchors, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_statement_is_anchored() {
+        let module = parse(BASE).unwrap();
+        let anchors = ModuleAnchors::compute(&module);
+        let mut total = 0usize;
+        module.walk_stmts(&mut |stmt| {
+            assert!(anchors.get(stmt.id).is_some(), "stmt {:?}", stmt.id);
+            total += 1;
+        });
+        assert_eq!(anchors.len(), total);
+        assert!(!anchors.is_empty());
+    }
+
+    #[test]
+    fn anchor_ordinal_pairs_are_unique_per_module() {
+        let module = parse(BASE).unwrap();
+        let anchors = ModuleAnchors::compute(&module);
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        module.walk_stmts(&mut |stmt| {
+            let a = anchors.get(stmt.id).unwrap();
+            pairs.push((a.anchor, a.ordinal));
+        });
+        pairs.sort_unstable();
+        let before = pairs.len();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "(anchor, ordinal) must be unique");
+    }
+
+    #[test]
+    fn comment_and_formatting_edits_preserve_all_anchors() {
+        // Same program with comments, blank lines, and redundant
+        // parentheses — the parser canonicalizes all of it away.
+        let noisy = "# leading comment\nx = 1\n\ndef f(a):\n    # inner comment\n    y = (a + 1)\n    return (y)\n\ndef g(b):\n    while (b > 0):\n        b = b - 1\n    return b\nz = (f(2) + g(3))\n";
+        assert_eq!(def_anchors(BASE, "f"), def_anchors(noisy, "f"));
+        assert_eq!(def_anchors(BASE, "g"), def_anchors(noisy, "g"));
+        assert_eq!(top_anchors(BASE), top_anchors(noisy));
+    }
+
+    #[test]
+    fn unrelated_function_edit_preserves_other_anchors() {
+        // Edit g's body only: f and the top level keep every anchor.
+        let edited = BASE.replace("b = b - 1", "b = b - 1 - 0");
+        assert_ne!(edited, BASE);
+        assert_eq!(def_anchors(BASE, "f"), def_anchors(&edited, "f"));
+        assert_eq!(top_anchors(BASE), top_anchors(&edited));
+        // While g's own anchor changed for every statement in g.
+        let before = def_anchors(BASE, "g");
+        let after = def_anchors(&edited, "g");
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b.anchor, a.anchor, "g's anchor must change");
+        }
+    }
+
+    #[test]
+    fn body_edit_changes_only_the_enclosing_functions_anchor() {
+        let edited = BASE.replace("y = a + 1", "y = a + 1 + 0");
+        assert_ne!(edited, BASE);
+        let before_f = def_anchors(BASE, "f");
+        let after_f = def_anchors(&edited, "f");
+        assert_eq!(before_f.len(), after_f.len());
+        for (b, a) in before_f.iter().zip(&after_f) {
+            assert_ne!(b.anchor, a.anchor);
+            // Ordinals survive a body edit that keeps the shape.
+            assert_eq!(b.ordinal, a.ordinal);
+        }
+        assert_eq!(def_anchors(BASE, "g"), def_anchors(&edited, "g"));
+        assert_eq!(top_anchors(BASE), top_anchors(&edited));
+    }
+
+    #[test]
+    fn added_function_preserves_existing_anchors() {
+        let grown = format!("{BASE}def h(c):\n    return c\n");
+        assert_eq!(def_anchors(BASE, "f"), def_anchors(&grown, "f"));
+        assert_eq!(def_anchors(BASE, "g"), def_anchors(&grown, "g"));
+        assert_eq!(top_anchors(BASE), top_anchors(&grown));
+    }
+
+    #[test]
+    fn top_level_edit_changes_top_anchors_but_not_function_anchors() {
+        let grown = format!("{BASE}marker = 1\n");
+        assert_eq!(def_anchors(BASE, "f"), def_anchors(&grown, "f"));
+        let before = top_anchors(BASE);
+        let after = top_anchors(&grown);
+        assert_eq!(after.len(), before.len() + 1);
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b.anchor, a.anchor, "top-level anchor must change");
+            assert_eq!(b.ordinal, a.ordinal);
+        }
+    }
+
+    #[test]
+    fn nested_defs_anchor_independently_of_the_outer_body() {
+        let nested =
+            "def f(a):\n    y = a + 1\n    def g(b):\n        return b + y\n    return g(a)\n";
+        // Editing f's straight-line body leaves g's anchors alone …
+        let edited = nested.replace("y = a + 1", "y = a + 1 + 0");
+        let module = parse(nested).unwrap();
+        let module_edited = parse(&edited).unwrap();
+        let a = ModuleAnchors::compute(&module);
+        let b = ModuleAnchors::compute(&module_edited);
+        let g_of = |m: &Module, an: &ModuleAnchors| {
+            let f = m.body.first().unwrap();
+            let body = stmt_blocks(f)[0];
+            let g = body
+                .iter()
+                .find(|s| matches!(s.kind, StmtKind::Def { .. }))
+                .unwrap();
+            let mut out = Vec::new();
+            collect(g, an, &mut out);
+            out
+        };
+        assert_eq!(g_of(&module, &a), g_of(&module_edited, &b));
+        // … while same-named defs at different paths never collide.
+        let twice = "def f(a):\n    def g(b):\n        return b\n    return g(a)\ndef g(b):\n    return b\n";
+        let m = parse(twice).unwrap();
+        let an = ModuleAnchors::compute(&m);
+        let outer_g = def_anchors(twice, "g");
+        let f_stmt = m.body.first().unwrap();
+        let inner_g = stmt_blocks(f_stmt)[0]
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::Def { .. }))
+            .unwrap();
+        assert_ne!(
+            an.get(inner_g.id).unwrap().anchor,
+            outer_g[0].anchor,
+            "f.g and g have distinct anchors even with identical bodies"
+        );
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod analysis;
+pub mod anchors;
 pub mod ast;
 mod builtins;
 pub mod code;
@@ -59,6 +60,7 @@ pub mod parser;
 pub mod printer;
 pub mod value;
 
+pub use anchors::{ModuleAnchors, StmtAnchor};
 pub use ast::{Module, NodeId, Span, Stmt, StmtKind};
 pub use builtins::{BUILTIN_FUNCTIONS, EXCEPTION_KINDS};
 pub use error::{ErrorKind, PyliteError};

@@ -176,6 +176,8 @@ struct Counters {
     units: AtomicU64,
     replayed: AtomicU64,
     executed: AtomicU64,
+    anchor_hits: AtomicU64,
+    anchor_misses: AtomicU64,
     connections: AtomicUsize,
     unauthorized: AtomicU64,
     rate_limited: AtomicU64,
@@ -341,6 +343,12 @@ impl ServerState {
         c.units.fetch_add(run.units as u64, Ordering::Relaxed);
         c.replayed.fetch_add(run.replayed as u64, Ordering::Relaxed);
         c.executed.fetch_add(run.executed as u64, Ordering::Relaxed);
+        // Warm-edit resubmissions: how much the anchor fallback saved
+        // (hits) and what a changed function still cost (misses).
+        c.anchor_hits
+            .fetch_add(run.anchor_replayed as u64, Ordering::Relaxed);
+        c.anchor_misses
+            .fetch_add(run.anchor_missed as u64, Ordering::Relaxed);
     }
 
     /// Records a failed run (journal first, same reasoning).
@@ -393,6 +401,8 @@ impl ServerState {
             units: c.units.load(Ordering::Relaxed),
             replayed: c.replayed.load(Ordering::Relaxed),
             executed: c.executed.load(Ordering::Relaxed),
+            anchor_hits: c.anchor_hits.load(Ordering::Relaxed),
+            anchor_misses: c.anchor_misses.load(Ordering::Relaxed),
         };
         let journal = {
             let j = self.journal();

@@ -24,6 +24,7 @@ use crate::jsontext::{
     escape, get_hex_u64, get_opt_str, get_str, get_u64, get_usize, parse_flat_object,
 };
 use crate::{operators, Campaign, FaultClass, FaultPlan, Site};
+use nfi_pylite::anchors::ModuleAnchors;
 use nfi_pylite::ast::NodeId;
 use nfi_pylite::fingerprint::{fnv1a, fnv1a_extend};
 use std::fmt;
@@ -127,30 +128,53 @@ pub struct WorkUnit {
     pub site: Site,
     /// Scheduler seed for the differential experiment.
     pub seed: u64,
+    /// Site-stable structural anchor of the enclosing function (or the
+    /// top-level group) — see [`nfi_pylite::anchors`]. Insensitive to
+    /// edits outside that neighborhood, which is what lets
+    /// [`store_key`](WorkUnit::store_key) survive them.
+    pub anchor: u64,
+    /// Pre-order position of the site statement within its anchor
+    /// group (disambiguates repeated statements in one function).
+    pub ordinal: u32,
 }
 
 impl WorkUnit {
-    /// Captures an in-memory plan as a work unit.
-    pub fn from_plan(index: usize, plan: &FaultPlan, seed: u64) -> WorkUnit {
+    /// Captures an in-memory plan as a work unit with its site-stable
+    /// anchor.
+    pub fn from_plan(
+        index: usize,
+        plan: &FaultPlan,
+        seed: u64,
+        anchor: u64,
+        ordinal: u32,
+    ) -> WorkUnit {
         WorkUnit {
             index,
             operator: plan.operator.to_string(),
             class: plan.class,
             site: plan.site.clone(),
             seed,
+            anchor,
+            ordinal,
         }
     }
 
     /// The unit's stable content key for the incremental campaign
-    /// store: [`plan_hash`] of the mutation this unit requests,
-    /// extended with the scheduler seed its experiment runs under.
-    /// Computable from the serialized form alone (no operator-registry
-    /// resolution), identical across processes and hosts, and equal
-    /// for two units exactly when replaying one's stored outcome is
-    /// valid for the other (given equal module + machine fingerprints,
-    /// which the store addresses separately).
+    /// store: operator key, the site's structural anchor + ordinal,
+    /// the operator's site detail, and the scheduler seed the
+    /// experiment runs under. Deliberately *not* the raw site
+    /// position ([`plan_hash`] folds statement id and line number):
+    /// anchors survive edits outside the enclosing function, so a
+    /// unit in an untouched function computes the *same* key across
+    /// module versions — the property the store's anchor-fallback
+    /// replay path keys on. Computable from the serialized form alone
+    /// (no operator-registry resolution) and identical across
+    /// processes and hosts.
     pub fn store_key(&self) -> u64 {
-        let h = site_hash(fnv1a(self.operator.as_bytes()), &self.site);
+        let mut h = fnv1a(self.operator.as_bytes());
+        h = fnv1a_extend(h, &self.anchor.to_le_bytes());
+        h = fnv1a_extend(h, &self.ordinal.to_le_bytes());
+        h = fnv1a_extend(h, self.site.detail.as_bytes());
         fnv1a_extend(h, &self.seed.to_le_bytes())
     }
 
@@ -173,7 +197,7 @@ impl WorkUnit {
             None => "null".to_string(),
         };
         format!(
-            "{{\"kind\":\"unit\",\"index\":{},\"operator\":\"{}\",\"class\":\"{}\",\"stmt_id\":{},\"function\":{},\"line\":{},\"detail\":\"{}\",\"seed\":{}}}",
+            "{{\"kind\":\"unit\",\"index\":{},\"operator\":\"{}\",\"class\":\"{}\",\"stmt_id\":{},\"function\":{},\"line\":{},\"detail\":\"{}\",\"anchor\":\"{:016x}\",\"ordinal\":{},\"seed\":{}}}",
             self.index,
             escape(&self.operator),
             self.class.key(),
@@ -181,6 +205,8 @@ impl WorkUnit {
             function,
             self.site.line,
             escape(&self.site.detail),
+            self.anchor,
+            self.ordinal,
             self.seed,
         )
     }
@@ -212,6 +238,20 @@ impl WorkUnit {
             // Exact: the seed is a full-range u64 and must never be
             // squeezed through an f64 (2^53 silently truncates).
             seed: get_u64(&fields, "seed")?,
+            // Tolerated when absent (pre-anchor plan documents, e.g. a
+            // journaled spec from an older daemon): the fallback keeps
+            // keys unique per spec — module-fp keyed segments still
+            // replay them, anchor fallback simply never hits.
+            anchor: match fields.get("anchor") {
+                Some(_) => get_hex_u64(&fields, "anchor")?,
+                None => 0,
+            },
+            ordinal: match fields.get("ordinal") {
+                Some(_) => u32::try_from(get_u64(&fields, "ordinal")?)
+                    .map_err(|_| "field `ordinal` does not fit in u32".to_string())?,
+                None => u32::try_from(get_u64(&fields, "stmt_id")?)
+                    .map_err(|_| "field `stmt_id` does not fit in u32".to_string())?,
+            },
         };
         Ok(unit)
     }
@@ -236,15 +276,26 @@ impl CampaignSpec {
     /// Captures a campaign's full enumeration, stamping every unit with
     /// `seed` as its experiment scheduler seed.
     pub fn from_campaign(program: &str, campaign: &Campaign, seed: u64) -> CampaignSpec {
+        let anchors = ModuleAnchors::compute(campaign.module());
+        let module_fp = nfi_pylite::fingerprint(campaign.module());
         CampaignSpec {
             program: program.to_string(),
             source: nfi_pylite::print_module(campaign.module()),
-            module_fp: nfi_pylite::fingerprint(campaign.module()),
+            module_fp,
             units: campaign
                 .plans()
                 .iter()
                 .enumerate()
-                .map(|(i, p)| WorkUnit::from_plan(i, p, seed))
+                .map(|(i, p)| {
+                    // Every site statement is anchored; the module-fp
+                    // fallback keeps keys unique (and per-version) if
+                    // a future operator ever targets something else.
+                    let (anchor, ordinal) = match anchors.get(p.site.stmt_id) {
+                        Some(a) => (a.anchor, a.ordinal),
+                        None => (module_fp, p.site.stmt_id.0),
+                    };
+                    WorkUnit::from_plan(i, p, seed, anchor, ordinal)
+                })
                 .collect(),
         }
     }
@@ -423,13 +474,64 @@ mod tests {
         for (a, b) in spec.units.iter().zip(&reseeded.units) {
             assert_ne!(a.store_key(), b.store_key());
         }
-        // And the key agrees with plan_hash on the mutation half.
-        let unit = &spec.units[0];
-        let plan = unit.to_plan().unwrap();
-        assert_eq!(
-            unit.store_key(),
-            fnv1a_extend(plan_hash(&plan), &unit.seed.to_le_bytes())
-        );
+    }
+
+    #[test]
+    fn store_keys_survive_edits_outside_the_enclosing_function() {
+        // Edit test_add's body (a different function): every unit of
+        // the unchanged module regions keeps its exact store key, even
+        // though statement ids, line numbers, and the module
+        // fingerprint all shift.
+        let edited = parse(
+            "m = lock()\ntotal = 0\ndef add(v):\n    global total\n    m.acquire()\n    total = total + v\n    m.release()\n    return total\ndef test_add():\n    assert add(1) == 1\n    assert add(1) == 2\n",
+        )
+        .unwrap();
+        let before = CampaignSpec::from_campaign("demo", &campaign(), 7);
+        let after = CampaignSpec::from_campaign("demo", &Campaign::full(&edited), 7);
+        assert_ne!(before.module_fp, after.module_fp);
+        // Pair units across versions by (operator, function, detail,
+        // ordinal) — shape-preserving edits keep ordinals — and
+        // compare keys.
+        let ident = |u: &WorkUnit| {
+            (
+                u.operator.clone(),
+                u.site.function.clone(),
+                u.site.detail.clone(),
+                u.ordinal,
+            )
+        };
+        for b in &before.units {
+            let Some(a) = after.units.iter().find(|a| ident(a) == ident(b)) else {
+                continue;
+            };
+            assert_eq!(
+                b.store_key(),
+                a.store_key(),
+                "unit {:?} must keep its key across an unrelated edit",
+                ident(b)
+            );
+        }
+        // While a unit inside the *edited* function gets a new key:
+        // appending to add()'s body shifts every add unit's anchor.
+        let touched = parse(
+            "m = lock()\ntotal = 0\ndef add(v):\n    global total\n    m.acquire()\n    total = total + v + 0\n    m.release()\n    return total\ndef test_add():\n    assert add(1) == 1\n",
+        )
+        .unwrap();
+        let touched = CampaignSpec::from_campaign("demo", &Campaign::full(&touched), 7);
+        let mut paired = 0usize;
+        for b in before
+            .units
+            .iter()
+            .filter(|u| u.site.function.as_deref() == Some("add"))
+        {
+            let Some(a) = touched.units.iter().find(|a| ident(a) == ident(b)) else {
+                continue;
+            };
+            paired += 1;
+            assert_ne!(a.anchor, b.anchor, "add's anchor must change");
+            assert_ne!(a.store_key(), b.store_key(), "and with it the key");
+        }
+        assert!(paired > 0, "the edited function must still pair units");
     }
 
     #[test]

@@ -40,7 +40,8 @@ USAGE:
   nfi campaign exec --plan PATH [--shard i/n] [--threads N] [--no-cache] [--out PATH]
   nfi campaign merge <run.jsonl>... [--out PATH]
   nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N] [--as <name>]
-                   [--out-dir DIR] [--program <name> | --file <path> | <file>...]
+                   [--no-anchor-reuse] [--out-dir DIR]
+                   [--program <name> | --file <path> | <file>...]
   nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--lanes N]
             [--seed N] [--auth-token-file PATH] [--rate-limit N] [--rate-burst N]
             [--max-connections N] [--max-queue N] [--tenant-max-queued N]
@@ -48,6 +49,7 @@ USAGE:
             [--child-timeout-ms N] [--worker-retries N]
   nfi store gc --state-dir <dir> [--dry-run]
                (--corpus | --program <name> | --file <path> | <file>...)
+  nfi store inspect --state-dir <dir> [--program <name>]
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
   nfi bench [--plans N] [--threads N] [--lanes N] [--quick] [--out PATH]
 ";
@@ -613,6 +615,7 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
         workers,
         seed: parse_seed(flags)?,
         config: exec_config(flags)?,
+        anchor_reuse: !flags.contains_key("no-anchor-reuse"),
         ..Orchestrator::new(state_dir)?
     };
     let mut targets = resolve_targets(files, flags)?;
@@ -636,7 +639,8 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
 
-    let (mut units, mut replayed, mut executed) = (0usize, 0usize, 0usize);
+    let (mut units, mut replayed, mut executed, mut anchor_replayed) =
+        (0usize, 0usize, 0usize, 0usize);
     for (name, source) in &targets {
         let result = orch.run_program(name, source)?;
         for warning in &result.store_errors {
@@ -646,18 +650,20 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
         std::fs::write(&doc_path, result.run.encode())
             .map_err(|e| format!("cannot write {}: {e}", doc_path.display()))?;
         println!(
-            "run program={name} units={} replayed={} executed={} store_errors={}",
+            "run program={name} units={} replayed={} anchor_replayed={} executed={} store_errors={}",
             result.units,
             result.replayed,
+            result.anchor_replayed,
             result.executed,
             result.store_errors.len(),
         );
         units += result.units;
         replayed += result.replayed;
         executed += result.executed;
+        anchor_replayed += result.anchor_replayed;
     }
     println!(
-        "campaign run: {} program(s), {units} units, {replayed} replayed, {executed} executed ({} workers)",
+        "campaign run: {} program(s), {units} units, {replayed} replayed ({anchor_replayed} via anchors), {executed} executed ({} workers)",
         targets.len(),
         workers,
     );
@@ -824,8 +830,52 @@ fn cmd_store(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Str
                 ))
             }
         }
+        Some("inspect") => {
+            let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+            let store = CampaignStore::open(state_dir)?;
+            let filter = flags.get("program").copied();
+            let mut shown = 0usize;
+            for seg in store.inspect() {
+                if let Some(want) = filter {
+                    if seg.info.program.as_deref() != Some(want) {
+                        continue;
+                    }
+                }
+                shown += 1;
+                match (&seg.info.program, seg.info.module_fp, seg.info.machine_fp) {
+                    (Some(program), Some(module_fp), Some(machine_fp)) => {
+                        println!(
+                            "segment {} ({} bytes)\n  program={program} module_fp={module_fp:016x} \
+                             machine_fp={machine_fp:016x} format={} lines={} anchors={}",
+                            seg.info.path.display(),
+                            seg.info.bytes,
+                            seg.format,
+                            seg.lines,
+                            seg.anchors.len(),
+                        );
+                        for (anchor, count) in &seg.anchors {
+                            println!("    anchor {anchor:016x}: {count} line(s)");
+                        }
+                    }
+                    _ => println!(
+                        "orphan {} ({} bytes): {}",
+                        seg.info.path.display(),
+                        seg.info.bytes,
+                        seg.info.note.as_deref().unwrap_or("no valid store header"),
+                    ),
+                }
+            }
+            println!(
+                "store inspect: {shown} segment(s){}",
+                filter
+                    .map(|p| format!(" for program {p}"))
+                    .unwrap_or_default()
+            );
+            Ok(())
+        }
         _ => Err("usage: nfi store gc --state-dir <dir> [--dry-run] \
-             (--corpus | --program <name> | --file <path> | <file>...)"
+             (--corpus | --program <name> | --file <path> | <file>...)\n\
+             or:    nfi store inspect --state-dir <dir> [--program <name>]"
             .to_string()),
     }
 }
@@ -966,6 +1016,15 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         store.warm_replayed,
         store.units,
         store.documents_identical,
+    );
+    println!(
+        "  store_edit (one-line edit per program): {:.1} units/s ({:.2}x cold per-unit), {} anchor-replayed / {} executed of {} units, documents identical: {}",
+        store.edit_units_per_s(),
+        store.edit_speedup(),
+        store.edit_anchor_replayed,
+        store.edit_executed,
+        store.edit_units,
+        store.edit_documents_identical,
     );
 
     println!("benching the serve daemon (cold vs store-warm, process workers)...");

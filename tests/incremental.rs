@@ -1,8 +1,9 @@
 //! The incremental campaign store's contract, end to end: a warm
 //! re-run with unchanged sources executes zero work units and emits a
-//! byte-identical document; editing one program re-executes only that
-//! program's units; store corruption degrades to re-execution with an
-//! error report, never a panic or a changed result.
+//! byte-identical document; editing one program re-executes only the
+//! units whose structural anchor changed, anchor-replaying the rest;
+//! store corruption degrades to re-execution with an error report,
+//! never a panic or a changed result.
 
 use neural_fault_injection::core::exec::ExecConfig;
 use neural_fault_injection::core::{service, Orchestrator};
@@ -51,7 +52,7 @@ fn warm_corpus_rerun_executes_nothing_and_matches_the_unsharded_run() {
 }
 
 #[test]
-fn editing_one_program_re_executes_only_that_program() {
+fn editing_one_program_re_executes_only_its_changed_anchor_group() {
     let dir = state_dir("edit-one");
     let orch = Orchestrator::new(&dir).unwrap();
     let unchanged = "banking";
@@ -61,20 +62,31 @@ fn editing_one_program_re_executes_only_that_program() {
     orch.run_program(edited, &corpus_source(edited)).unwrap();
 
     // A one-line edit: appending a fresh trailing statement changes the
-    // module fingerprint without touching existing sites.
+    // module fingerprint and the shared top-level anchor, but leaves
+    // every function-body anchor intact.
     let edited_source = format!("{}edited_marker = 1\n", corpus_source(edited));
     let untouched = orch
         .run_program(unchanged, &corpus_source(unchanged))
         .unwrap();
     let touched = orch.run_program(edited, &edited_source).unwrap();
     assert_eq!(untouched.executed, 0, "unchanged program must fully replay");
-    assert_eq!(
-        touched.executed, touched.units,
-        "edited program must fully re-execute"
-    );
-    // And the re-executed document equals a from-scratch run of the
-    // edited source.
     let spec = service::plan_campaign(edited, &edited_source, orch.seed).unwrap();
+    let top_level = spec
+        .units
+        .iter()
+        .filter(|u| u.site.function.is_none())
+        .count();
+    assert_eq!(
+        touched.executed, top_level,
+        "only the edited top-level anchor group re-executes"
+    );
+    assert_eq!(touched.anchor_replayed, touched.units - top_level);
+    assert!(
+        touched.anchor_replayed > 0,
+        "function units must replay across the edit"
+    );
+    // And the spliced document equals a from-scratch run of the edited
+    // source.
     let direct = service::exec_spec(&spec, &orch.machine, ExecConfig::sequential()).unwrap();
     assert_eq!(touched.run.encode(), direct.encode());
     let _ = std::fs::remove_dir_all(&dir);
