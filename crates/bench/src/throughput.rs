@@ -423,6 +423,13 @@ pub struct ServeBench {
     pub requests: usize,
     /// Wall time of the rate burst (seconds), one keep-alive connection.
     pub requests_secs: f64,
+    /// Client-side latency of every request in the rate burst.
+    pub request_latency: nfi_telemetry::Histogram,
+    /// Metrics requests answered with telemetry globally disabled —
+    /// the baseline that prices the histogram/trace bookkeeping.
+    pub off_requests: usize,
+    /// Wall time of the telemetry-off burst (seconds).
+    pub off_requests_secs: f64,
     /// Metrics requests answered by the hardened daemon (bearer auth +
     /// rate limiter on the path).
     pub auth_requests: usize,
@@ -459,6 +466,12 @@ impl ServeBench {
     /// Metrics requests/sec over one keep-alive connection.
     pub fn requests_per_s(&self) -> f64 {
         self.requests as f64 / self.requests_secs.max(1e-9)
+    }
+
+    /// Metrics requests/sec with telemetry disabled; `requests_per_s`
+    /// divided by this is the telemetry tax (budgeted under 5%).
+    pub fn off_requests_per_s(&self) -> f64 {
+        self.off_requests as f64 / self.off_requests_secs.max(1e-9)
     }
 
     /// Metrics requests/sec with auth + rate limiting on the path —
@@ -513,14 +526,35 @@ pub fn bench_serve(
     let addr = handle.addr;
 
     // Front-end request rate: metrics answers never touch the queue.
+    // Per-request client-side latency lands in a histogram for the
+    // p50/p99 columns of BENCH_e7.json.
     let requests = 500;
+    let mut request_latency = nfi_telemetry::Histogram::new();
     let mut client = Client::connect(addr).expect("serve bench client");
     let started = Instant::now();
     for _ in 0..requests {
+        let sent = Instant::now();
         let reply = client.send("GET", "/v1/metrics", None).expect("metrics");
         assert_eq!(reply.status, 200);
+        request_latency.record_micros(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
     let requests_secs = started.elapsed().as_secs_f64();
+
+    // The same burst with telemetry off prices the histogram/trace
+    // bookkeeping; the telemetry-on burst just warmed this connection,
+    // which if anything flatters the baseline.
+    let was_enabled = nfi_telemetry::enabled();
+    nfi_telemetry::set_enabled(false);
+    let off_requests = requests;
+    let started = Instant::now();
+    for _ in 0..off_requests {
+        let reply = client
+            .send("GET", "/v1/metrics", None)
+            .expect("off metrics");
+        assert_eq!(reply.status, 200);
+    }
+    let off_requests_secs = started.elapsed().as_secs_f64();
+    nfi_telemetry::set_enabled(was_enabled);
 
     let programs: Vec<&str> = nfi_corpus::all()
         .iter()
@@ -643,6 +677,9 @@ pub fn bench_serve(
     ServeBench {
         requests,
         requests_secs,
+        request_latency,
+        off_requests,
+        off_requests_secs,
         auth_requests,
         auth_requests_secs,
         unauthorized: json_counter(&counters, "unauthorized"),
@@ -836,7 +873,7 @@ pub fn to_json(
     serve: &ServeBench,
 ) -> String {
     format!(
-        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"vm\": {{\n    \"programs\": {},\n    \"reps\": {},\n    \"instrs\": {},\n    \"instrs_per_s\": {:.1},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"code_warm_units_per_s\": {:.1},\n    \"code_warm_speedup\": {:.2},\n    \"code_cache_hit_rate\": {:.3},\n    \"code_cache_hits\": {},\n    \"code_cache_misses\": {},\n    \"reports_identical\": {}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"store_edit\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"edit_units_per_s\": {:.1},\n    \"edit_speedup\": {:.2},\n    \"edit_replayed\": {},\n    \"edit_anchor_replayed\": {},\n    \"edit_executed\": {},\n    \"edit_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaign\": {{\n    \"plans\": {},\n    \"sequential_plans_per_s\": {:.1},\n    \"parallel_plans_per_s\": {:.1},\n    \"speedup\": {:.2},\n    \"warm_plans_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"mutant_cache_hit_rate\": {:.3},\n    \"mutant_cache_hits\": {},\n    \"mutant_cache_misses\": {},\n    \"experiment_cache_hit_rate\": {:.3},\n    \"reports_identical\": {}\n  }},\n  \"lm\": {{\n    \"tokens_per_epoch\": {},\n    \"per_example_tokens_per_s\": {:.1},\n    \"batched_tokens_per_s\": {:.1},\n    \"speedup\": {:.2}\n  }},\n  \"e7\": {{\n    \"scenarios\": {},\n    \"sequential_per_s\": {:.2},\n    \"parallel_per_s\": {:.2},\n    \"speedup\": {:.2}\n  }},\n  \"vm\": {{\n    \"programs\": {},\n    \"reps\": {},\n    \"instrs\": {},\n    \"instrs_per_s\": {:.1},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"code_warm_units_per_s\": {:.1},\n    \"code_warm_speedup\": {:.2},\n    \"code_cache_hit_rate\": {:.3},\n    \"code_cache_hits\": {},\n    \"code_cache_misses\": {},\n    \"reports_identical\": {}\n  }},\n  \"store\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"cold_executed\": {},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"store_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"store_edit\": {{\n    \"programs\": {},\n    \"units\": {},\n    \"edit_units_per_s\": {:.1},\n    \"edit_speedup\": {:.2},\n    \"edit_replayed\": {},\n    \"edit_anchor_replayed\": {},\n    \"edit_executed\": {},\n    \"edit_hit_rate\": {:.3},\n    \"documents_identical\": {}\n  }},\n  \"serve\": {{\n    \"requests_per_s\": {:.1},\n    \"requests_per_s_telemetry_off\": {:.1},\n    \"latency\": {{\n      \"request_p50_us\": {},\n      \"request_p90_us\": {},\n      \"request_p99_us\": {}\n    }},\n    \"auth_requests_per_s\": {:.1},\n    \"unauthorized\": {},\n    \"queue_shed\": {},\n    \"retries\": {},\n    \"programs\": {},\n    \"lanes\": {},\n    \"units\": {},\n    \"cold_units_per_s\": {:.1},\n    \"warm_units_per_s\": {:.1},\n    \"warm_speedup\": {:.2},\n    \"warm_replayed\": {},\n    \"warm_executed\": {},\n    \"documents_identical\": {}\n  }}\n}}\n",
         campaign.threads,
         campaign.plans,
         campaign.sequential_plans_per_s(),
@@ -889,6 +926,10 @@ pub fn to_json(
         store.edit_hit_rate(),
         store.edit_documents_identical,
         serve.requests_per_s(),
+        serve.off_requests_per_s(),
+        serve.request_latency.p50_micros(),
+        serve.request_latency.p90_micros(),
+        serve.request_latency.p99_micros(),
         serve.auth_requests_per_s(),
         serve.unauthorized,
         serve.queue_shed,
@@ -1016,9 +1057,21 @@ mod tests {
             edit_executed: 12,
             edit_documents_identical: true,
         };
+        let request_latency = {
+            let mut h = nfi_telemetry::Histogram::new();
+            for _ in 0..98 {
+                h.record_micros(400);
+            }
+            h.record_micros(3000);
+            h.record_micros(3000);
+            h
+        };
         let serve = ServeBench {
             requests: 100,
             requests_secs: 0.05,
+            request_latency,
+            off_requests: 100,
+            off_requests_secs: 0.04,
             auth_requests: 100,
             auth_requests_secs: 0.1,
             unauthorized: 50,
@@ -1052,6 +1105,11 @@ mod tests {
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"lanes\": 2"));
         assert!(json.contains("\"requests_per_s\": 2000.0"));
+        assert!(json.contains("\"requests_per_s_telemetry_off\": 2500.0"));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"request_p50_us\": 512"));
+        assert!(json.contains("\"request_p90_us\": 512"));
+        assert!(json.contains("\"request_p99_us\": 3000"));
         assert!(json.contains("\"auth_requests_per_s\": 1000.0"));
         assert!(json.contains("\"unauthorized\": 50"));
         assert!(json.contains("\"queue_shed\": 0"));
@@ -1070,6 +1128,14 @@ mod tests {
         assert_eq!(b.lanes, 2);
         assert!(b.units > 0);
         assert!(b.requests > 0);
+        // The latency histogram saw every request of the burst, and its
+        // percentiles are monotone.
+        assert_eq!(b.request_latency.count, b.requests as u64);
+        assert!(b.request_latency.p50_micros() > 0);
+        assert!(b.request_latency.p99_micros() >= b.request_latency.p50_micros());
+        assert!(b.off_requests > 0);
+        assert!(b.off_requests_per_s() > 0.0);
+        assert!(nfi_telemetry::enabled(), "bench must restore telemetry");
         assert!(b.documents_identical, "warm daemon changed a document");
         assert_eq!(b.warm_executed, 0, "warm round must replay everything");
         assert_eq!(b.warm_replayed, b.units);

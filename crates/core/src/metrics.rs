@@ -10,6 +10,7 @@
 
 use crate::cache::CacheStats;
 use nfi_sfi::FaultClass;
+use nfi_telemetry::{families, prom::PromText, Histogram};
 use std::collections::BTreeMap;
 
 /// Job-queue gauges and counters of a serving daemon.
@@ -109,8 +110,80 @@ impl StoreTotals {
     }
 }
 
+/// Latency distributions summarized from the process-wide telemetry
+/// registry: HTTP request duration (all routes merged), queue wait,
+/// and each orchestrator phase — the `latency` section of
+/// `/v1/metrics`.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// HTTP request duration, every route/status series merged.
+    pub http: Histogram,
+    /// Accept-to-lane-start queue wait.
+    pub queue_wait: Histogram,
+    /// Orchestrator phase durations, keyed by phase name, sorted.
+    pub phases: Vec<(String, Histogram)>,
+}
+
+impl LatencySummary {
+    /// Summarizes the current state of the global histogram registry.
+    pub fn capture() -> LatencySummary {
+        let mut summary = LatencySummary::default();
+        let mut phases: BTreeMap<String, Histogram> = BTreeMap::new();
+        for series in nfi_telemetry::registry().snapshot() {
+            match series.family.as_str() {
+                f if f == families::HTTP => summary.http.merge(&series.hist),
+                f if f == families::QUEUE_WAIT => summary.queue_wait.merge(&series.hist),
+                f if f == families::PHASE => {
+                    let phase = series
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "phase")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| "unknown".to_string());
+                    phases.entry(phase).or_default().merge(&series.hist);
+                }
+                _ => {}
+            }
+        }
+        summary.phases = phases.into_iter().collect();
+        summary
+    }
+
+    fn render_hist(h: &Histogram) -> String {
+        format!(
+            "{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            h.count,
+            h.p50_micros(),
+            h.p90_micros(),
+            h.p99_micros(),
+            h.max_micros,
+        )
+    }
+
+    /// Renders the `latency` section value of the metrics JSON.
+    pub fn render_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "\"{}\":{}",
+                    nfi_telemetry::json::escape(name),
+                    Self::render_hist(h)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"http\":{},\"queue_wait\":{},\"phases\":{{{}}}}}",
+            Self::render_hist(&self.http),
+            Self::render_hist(&self.queue_wait),
+            phases.join(","),
+        )
+    }
+}
+
 /// A point-in-time operational snapshot: cache, store, and queue stats.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RuntimeSnapshot {
     /// Process-wide mutant-cache counters.
     pub mutant_cache: CacheStats,
@@ -131,6 +204,8 @@ pub struct RuntimeSnapshot {
     pub edge: EdgeStats,
     /// Worker-supervision counters (zeroed outside a daemon).
     pub retry: RetryStats,
+    /// Latency distributions from the global telemetry registry.
+    pub latency: LatencySummary,
 }
 
 impl RuntimeSnapshot {
@@ -153,6 +228,7 @@ impl RuntimeSnapshot {
             journal,
             edge,
             retry,
+            latency: LatencySummary::capture(),
         }
     }
 
@@ -170,7 +246,7 @@ impl RuntimeSnapshot {
                     .map_or("null".to_string(), |c| c.to_string()),
             )
         };
-        format!(
+        let mut body = format!(
             "{{\"queue\":{{\"depth\":{},\"lanes\":{},\"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{}}},\"store\":{{\"units\":{},\"replayed\":{},\"executed\":{},\"anchor_hits\":{},\"anchor_misses\":{},\"hit_rate\":{:.3}}},\"journal\":{{\"appended\":{},\"recovered_queued\":{},\"recovered_finished\":{},\"corrupt_lines\":{},\"compactions\":{}}},\"edge\":{{\"unauthorized\":{},\"rate_limited\":{},\"queue_shed\":{},\"connections_shed\":{},\"timeouts\":{}}},\"retry\":{{\"retries\":{},\"watchdog_kills\":{},\"deadline_expiries\":{},\"failed_units\":{}}},\"mutant_cache\":{},\"experiment_cache\":{},\"suite_cache\":{},\"code_cache\":{}}}",
             self.queue.depth,
             self.queue.lanes,
@@ -202,7 +278,230 @@ impl RuntimeSnapshot {
             cache(&self.experiment_cache),
             cache(&self.suite_cache),
             cache(&self.code_cache),
-        )
+        );
+        // The latency section rides at the end so every pre-existing
+        // section keeps its byte position for substring consumers.
+        body.truncate(body.len() - 1);
+        body.push_str(",\"latency\":");
+        body.push_str(&self.latency.render_json());
+        body.push('}');
+        body
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format —
+    /// every `/v1/metrics` counter as a `nfi_*` family, plus the
+    /// latency histograms straight from the telemetry registry (per
+    /// series, with their route/status/phase labels).
+    pub fn render_prometheus(&self) -> String {
+        let mut p = PromText::new();
+        p.gauge(
+            "nfi_queue_depth",
+            "Jobs waiting in the queue.",
+            &[],
+            self.queue.depth as f64,
+        );
+        p.gauge(
+            "nfi_queue_lanes",
+            "Concurrent scheduler lanes.",
+            &[],
+            self.queue.lanes as f64,
+        );
+        p.gauge(
+            "nfi_queue_running",
+            "Jobs currently executing.",
+            &[],
+            self.queue.running as f64,
+        );
+        p.counter(
+            "nfi_jobs_submitted_total",
+            "Jobs accepted since startup.",
+            &[],
+            self.queue.submitted,
+        );
+        p.counter(
+            "nfi_jobs_completed_total",
+            "Jobs finished successfully.",
+            &[],
+            self.queue.completed,
+        );
+        p.counter(
+            "nfi_jobs_failed_total",
+            "Jobs that ended in an error.",
+            &[],
+            self.queue.failed,
+        );
+        p.counter(
+            "nfi_store_units_total",
+            "Campaign work units planned.",
+            &[],
+            self.store.units,
+        );
+        p.counter(
+            "nfi_store_replayed_total",
+            "Units replayed from the store.",
+            &[],
+            self.store.replayed,
+        );
+        p.counter(
+            "nfi_store_executed_total",
+            "Units that had to execute.",
+            &[],
+            self.store.executed,
+        );
+        p.counter(
+            "nfi_store_anchor_hits_total",
+            "Units replayed via the anchor fallback.",
+            &[],
+            self.store.anchor_hits,
+        );
+        p.counter(
+            "nfi_store_anchor_misses_total",
+            "Units the anchor fallback could not cover.",
+            &[],
+            self.store.anchor_misses,
+        );
+        p.counter(
+            "nfi_journal_appended_total",
+            "Journal records appended.",
+            &[],
+            self.journal.appended,
+        );
+        p.counter(
+            "nfi_journal_recovered_queued_total",
+            "Unfinished jobs re-enqueued at startup.",
+            &[],
+            self.journal.recovered_queued,
+        );
+        p.counter(
+            "nfi_journal_recovered_finished_total",
+            "Finished jobs restored at startup.",
+            &[],
+            self.journal.recovered_finished,
+        );
+        p.counter(
+            "nfi_journal_corrupt_lines_total",
+            "Journal lines skipped as corrupt.",
+            &[],
+            self.journal.corrupt_lines,
+        );
+        p.counter(
+            "nfi_journal_compactions_total",
+            "Journal compactions performed.",
+            &[],
+            self.journal.compactions,
+        );
+        const EDGE_HELP: &str = "Requests rejected at the serving edge, by reason.";
+        p.counter(
+            "nfi_edge_rejections_total",
+            EDGE_HELP,
+            &[("reason", "unauthorized")],
+            self.edge.unauthorized,
+        );
+        p.counter(
+            "nfi_edge_rejections_total",
+            EDGE_HELP,
+            &[("reason", "rate_limited")],
+            self.edge.rate_limited,
+        );
+        p.counter(
+            "nfi_edge_rejections_total",
+            EDGE_HELP,
+            &[("reason", "queue_shed")],
+            self.edge.queue_shed,
+        );
+        p.counter(
+            "nfi_edge_rejections_total",
+            EDGE_HELP,
+            &[("reason", "connections_shed")],
+            self.edge.connections_shed,
+        );
+        p.counter(
+            "nfi_edge_rejections_total",
+            EDGE_HELP,
+            &[("reason", "timeout")],
+            self.edge.timeouts,
+        );
+        const WORKER_HELP: &str = "Worker-supervision events, by kind.";
+        p.counter(
+            "nfi_worker_events_total",
+            WORKER_HELP,
+            &[("kind", "retry")],
+            self.retry.retries,
+        );
+        p.counter(
+            "nfi_worker_events_total",
+            WORKER_HELP,
+            &[("kind", "watchdog_kill")],
+            self.retry.watchdog_kills,
+        );
+        p.counter(
+            "nfi_worker_events_total",
+            WORKER_HELP,
+            &[("kind", "deadline_expiry")],
+            self.retry.deadline_expiries,
+        );
+        p.counter(
+            "nfi_worker_events_total",
+            WORKER_HELP,
+            &[("kind", "failed_unit")],
+            self.retry.failed_units,
+        );
+        for (name, stats) in [
+            ("mutant", &self.mutant_cache),
+            ("experiment", &self.experiment_cache),
+            ("suite", &self.suite_cache),
+            ("code", &self.code_cache),
+        ] {
+            let labels = [("cache", name)];
+            p.counter(
+                "nfi_cache_hits_total",
+                "Cache hits, by cache.",
+                &labels,
+                stats.hits,
+            );
+            p.counter(
+                "nfi_cache_misses_total",
+                "Cache misses, by cache.",
+                &labels,
+                stats.misses,
+            );
+            p.counter(
+                "nfi_cache_evictions_total",
+                "Cache evictions, by cache.",
+                &labels,
+                stats.evictions,
+            );
+            p.gauge(
+                "nfi_cache_entries",
+                "Resident cache entries, by cache.",
+                &labels,
+                stats.entries as f64,
+            );
+        }
+        for series in nfi_telemetry::registry().snapshot() {
+            let labels: Vec<(&str, &str)> = series
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let (name, help) = match series.family.as_str() {
+                f if f == families::HTTP => (
+                    "nfi_http_request_duration_seconds",
+                    "HTTP request duration, by route and status class.",
+                ),
+                f if f == families::QUEUE_WAIT => (
+                    "nfi_queue_wait_seconds",
+                    "Job wait from accept to lane start.",
+                ),
+                f if f == families::PHASE => (
+                    "nfi_phase_duration_seconds",
+                    "Orchestrator phase duration, by phase.",
+                ),
+                _ => continue,
+            };
+            p.histogram(name, help, &labels, &series.hist);
+        }
+        p.finish()
     }
 }
 
@@ -435,6 +734,16 @@ mod tests {
                 deadline_expiries: 1,
                 failed_units: 3,
             },
+            latency: {
+                let mut l = LatencySummary::default();
+                l.http.record_micros(100);
+                l.http.record_micros(3_000);
+                l.queue_wait.record_micros(40);
+                let mut execute = Histogram::new();
+                execute.record_micros(2_000_000);
+                l.phases = vec![("execute".to_string(), execute)];
+                l
+            },
         };
         let json = snap.render_json();
         assert!(json.contains("\"depth\":2"));
@@ -451,7 +760,105 @@ mod tests {
         assert!(json.contains("\"code_cache\":{\"hits\":8,\"misses\":2,\"hit_rate\":0.800"));
         assert!(json.contains("\"suite_cache\":{\"hits\":5,\"misses\":1,\"hit_rate\":0.833"));
         assert!(json.contains("\"capacity\":4096"));
+        // The latency section rides at the end with per-histogram
+        // percentile summaries.
+        assert!(json.contains("\"latency\":{\"http\":{\"count\":2"));
+        assert!(json.contains("\"queue_wait\":{\"count\":1"));
+        assert!(json.contains("\"phases\":{\"execute\":{\"count\":1"));
+        assert!(json.contains("\"p99_us\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_page_carries_every_counter_and_conforms() {
+        let mut snap = RuntimeSnapshot {
+            queue: QueueStats {
+                depth: 1,
+                lanes: 2,
+                running: 1,
+                submitted: 9,
+                completed: 7,
+                failed: 1,
+            },
+            store: StoreTotals {
+                units: 50,
+                replayed: 40,
+                executed: 10,
+                anchor_hits: 5,
+                anchor_misses: 2,
+            },
+            journal: JournalStats {
+                appended: 3,
+                ..JournalStats::default()
+            },
+            edge: EdgeStats {
+                unauthorized: 4,
+                rate_limited: 2,
+                ..EdgeStats::default()
+            },
+            retry: RetryStats {
+                retries: 1,
+                ..RetryStats::default()
+            },
+            ..RuntimeSnapshot::default()
+        };
+        snap.latency.http.record_micros(250);
+        let page = snap.render_prometheus();
+        nfi_telemetry::prom::check_conformance(&page)
+            .unwrap_or_else(|e| panic!("non-conformant page: {e}\n{page}"));
+        // Every JSON counter has a Prometheus family.
+        for needle in [
+            "nfi_queue_depth 1",
+            "nfi_queue_lanes 2",
+            "nfi_jobs_submitted_total 9",
+            "nfi_jobs_completed_total 7",
+            "nfi_jobs_failed_total 1",
+            "nfi_store_units_total 50",
+            "nfi_store_replayed_total 40",
+            "nfi_store_executed_total 10",
+            "nfi_store_anchor_hits_total 5",
+            "nfi_store_anchor_misses_total 2",
+            "nfi_journal_appended_total 3",
+            "nfi_edge_rejections_total{reason=\"unauthorized\"} 4",
+            "nfi_edge_rejections_total{reason=\"rate_limited\"} 2",
+            "nfi_worker_events_total{kind=\"retry\"} 1",
+            "nfi_cache_hits_total{cache=\"mutant\"}",
+            "nfi_cache_entries{cache=\"code\"}",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+    }
+
+    #[test]
+    fn latency_summary_captures_the_global_registry() {
+        // Record through the shared registry the way the serving path
+        // does, then check both renderers see it.
+        nfi_telemetry::registry()
+            .histogram(
+                nfi_telemetry::families::HTTP,
+                &[("route", "/test/latency_summary"), ("status", "2xx")],
+            )
+            .record_micros(500);
+        nfi_telemetry::registry()
+            .histogram(nfi_telemetry::families::PHASE, &[("phase", "test_phase")])
+            .record_micros(900);
+        let summary = LatencySummary::capture();
+        assert!(summary.http.count >= 1);
+        assert!(summary
+            .phases
+            .iter()
+            .any(|(name, h)| name == "test_phase" && h.count >= 1));
+        let page = RuntimeSnapshot::capture(
+            QueueStats::default(),
+            StoreTotals::default(),
+            JournalStats::default(),
+            EdgeStats::default(),
+            RetryStats::default(),
+        )
+        .render_prometheus();
+        nfi_telemetry::prom::check_conformance(&page).expect("captured page conforms");
+        assert!(page.contains("nfi_http_request_duration_seconds_bucket{route=\"/test/latency_summary\",status=\"2xx\",le="));
+        assert!(page.contains("nfi_phase_duration_seconds_count{phase=\"test_phase\"}"));
     }
 
     #[test]

@@ -38,6 +38,13 @@ use std::sync::Arc;
 ///
 /// Reports an unparseable source.
 pub fn plan_campaign(program: &str, source: &str, seed: u64) -> Result<CampaignSpec, String> {
+    let _span = nfi_telemetry::Span::enter_with(
+        "plan",
+        Some(
+            nfi_telemetry::registry()
+                .histogram(nfi_telemetry::families::PHASE, &[("phase", "plan")]),
+        ),
+    );
     let module = nfi_pylite::parse(source).map_err(|e| format!("cannot parse {program}: {e}"))?;
     let campaign = Campaign::full(&module);
     Ok(CampaignSpec::from_campaign(program, &campaign, seed))

@@ -77,10 +77,19 @@ use crate::service::{self, ShardOutcome, ShardRun};
 use nfi_pylite::MachineConfig;
 use nfi_sfi::jsontext::{escape, get_hex_u64, get_str, get_usize, parse_flat_object, JsonValue};
 use nfi_sfi::{CampaignSpec, WorkUnit};
+use nfi_telemetry::{families, Span};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// The `phase_duration{phase=...}` histogram handle for one
+/// orchestrator phase. The registry caches and leaks the series, so
+/// the per-job cost is one mutex-guarded lookup; recording on the
+/// returned handle is lock-free.
+fn phase_hist(phase: &'static str) -> &'static nfi_telemetry::AtomicHistogram {
+    nfi_telemetry::registry().histogram(families::PHASE, &[("phase", phase)])
+}
 
 /// A content-addressed on-disk store of campaign outcome lines.
 pub struct CampaignStore {
@@ -808,12 +817,15 @@ impl Orchestrator {
         // concurrent processes) on the same program serialize — the
         // second runner replays what the first one saved.
         let _guard = self.locks.acquire(&spec.program, machine_fp);
+        let replay_span = Span::enter_with("store_replay", Some(phase_hist("store_replay")));
         let mut segment = self.store.load(&spec.program, spec.module_fp, machine_fp);
         // A clean fingerprint miss (no segment at this address, not
         // even a corrupt one) is the warm-edit case: look for the
         // program's previous segment and replay by anchor-stable key.
         let fallback = if self.anchor_reuse && segment.lines.is_empty() && segment.errors.is_empty()
         {
+            let _anchor_span =
+                Span::enter_with("anchor_fallback", Some(phase_hist("anchor_fallback")));
             self.store
                 .previous_segment(&spec.program, spec.module_fp, machine_fp)
         } else {
@@ -898,6 +910,7 @@ impl Orchestrator {
         if let Some((_, previous)) = fallback {
             segment.errors.extend(previous.errors);
         }
+        drop(replay_span);
         let replayed_count = replayed.len();
         let mut runs = vec![ShardRun {
             program: spec.program.clone(),
@@ -908,10 +921,17 @@ impl Orchestrator {
         if !missing.is_empty() {
             let mut indices: Vec<usize> = missing.iter().copied().collect();
             indices.sort_unstable();
+            let _execute_span = Span::enter_with("execute", Some(phase_hist("execute")));
             runs.extend(dispatch(spec, &indices)?);
         }
-        let merged = service::merge(&runs)?;
-        self.store.save(spec, machine_fp, &merged)?;
+        let merged = {
+            let _merge_span = Span::enter_with("merge", Some(phase_hist("merge")));
+            service::merge(&runs)?
+        };
+        {
+            let _persist_span = Span::enter_with("persist", Some(phase_hist("persist")));
+            self.store.save(spec, machine_fp, &merged)?;
+        }
         // Executed is counted from what actually came back, not from
         // what was dispatched: a supervised dispatcher (the serve
         // worker pool) may legally return *partial* coverage when a
@@ -988,11 +1008,19 @@ impl Orchestrator {
                     .collect::<HashSet<usize>>()
             })
             .collect();
+        // Shard threads inherit the dispatching thread's trace context
+        // so their spans nest under the execute phase.
+        let context = nfi_telemetry::trace::current_context();
         let docs: Vec<String> = std::thread::scope(|scope| {
             let handles: Vec<_> = stripes
                 .iter()
                 .map(|stripe| {
+                    let context = context.clone();
                     scope.spawn(move || {
+                        let _ctx = context.map(|(trace, parent)| {
+                            nfi_telemetry::trace::push_context(trace, parent)
+                        });
+                        let _span = Span::enter("exec_shard");
                         service::exec_units(spec, &self.machine, self.config, |u: &WorkUnit| {
                             stripe.contains(&u.index)
                         })

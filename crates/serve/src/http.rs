@@ -95,6 +95,26 @@ impl HttpError {
     }
 }
 
+/// Replaces anything that could carry a credential in an echoed
+/// header line with a placeholder. Diagnostics (and the access log)
+/// must never leak a bearer token into stderr or an error body: a
+/// malformed `Authorization` header is still an `Authorization`
+/// header, so the whole value is dropped, not just a recognized
+/// `Bearer` prefix.
+pub fn redact_auth(line: &str) -> String {
+    let lowered = line.trim_start().to_ascii_lowercase();
+    if lowered.starts_with("authorization") || lowered.starts_with("proxy-authorization") {
+        let name_len = line.len() - line.trim_start().len()
+            + if lowered.starts_with("proxy-authorization") {
+                "proxy-authorization".len()
+            } else {
+                "authorization".len()
+            };
+        return format!("{}[REDACTED]", &line[..name_len.min(line.len())]);
+    }
+    line.to_string()
+}
+
 /// Reads one line (ending `\n`, optional `\r`) of at most `max` bytes.
 /// Returns `None` on immediate EOF.
 fn read_line(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
@@ -184,9 +204,9 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
                 "more than {MAX_HEADERS} headers"
             )));
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("header line `{line}` has no colon")))?;
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::BadRequest(format!("header line `{}` has no colon", redact_auth(&line)))
+        })?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
@@ -253,6 +273,18 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response with an explicit content type (the
+    /// Prometheus exposition endpoint).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
             extra_headers: Vec::new(),
             body: body.into_bytes(),
             close: false,
@@ -416,6 +448,24 @@ mod tests {
                 other => panic!("{needle}: expected BadRequest, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn malformed_authorization_headers_redact_their_value() {
+        let err =
+            parse(b"GET /x HTTP/1.1\r\nAuthorization Bearer sekrit-token-123\r\n\r\n").unwrap_err();
+        match err {
+            HttpError::BadRequest(msg) => {
+                assert!(!msg.contains("sekrit"), "token leaked: {msg}");
+                assert!(msg.contains("[REDACTED]"), "{msg}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert_eq!(
+            redact_auth("proxy-authorization basic abc"),
+            "proxy-authorization[REDACTED]"
+        );
+        assert_eq!(redact_auth("x-other no colon"), "x-other no colon");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::queue::Priority;
 use nfi_sfi::jsontext::escape;
 use nfi_sfi::CampaignSpec;
+use nfi_telemetry::{Trace, TraceId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -106,6 +107,11 @@ pub struct Job {
     /// Units that exhausted every worker retry and finished with a
     /// per-unit failure outcome (0 until finished).
     pub failed_units: usize,
+    /// The job's span tree, filled as it moves accept → queue → lane →
+    /// orchestrator phases. Jobs restored from the journal get a fresh
+    /// empty trace — spans are in-memory observability, not durable
+    /// state.
+    pub trace: Arc<Trace>,
 }
 
 impl Job {
@@ -185,6 +191,12 @@ impl JobTable {
         deadline_ms: Option<u64>,
     ) -> (u64, Arc<CampaignSpec>) {
         let spec = Arc::new(spec);
+        // The submit handler pushes the request's trace before calling
+        // in; adopting it here makes the access-log trace id, the job's
+        // trace endpoint, and the worker children's NFI_TRACE one id.
+        let trace = nfi_telemetry::trace::current_context()
+            .map(|(trace, _)| trace)
+            .unwrap_or_else(|| Trace::new(TraceId::mint()));
         let mut table = self.lock();
         table.next_id += 1;
         let id = table.next_id;
@@ -204,6 +216,7 @@ impl JobTable {
                 deadline_ms,
                 accepted_at: Instant::now(),
                 failed_units: 0,
+                trace,
             },
         );
         (id, spec)
@@ -245,6 +258,7 @@ impl JobTable {
                 deadline_ms,
                 accepted_at: Instant::now(),
                 failed_units,
+                trace: Trace::new(TraceId::mint()),
             },
         );
         table.evict_finished();

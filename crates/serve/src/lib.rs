@@ -77,6 +77,7 @@ use nfi_core::{
     StoreTotals,
 };
 use nfi_sfi::CampaignSpec;
+use nfi_telemetry::{families, log::log, trace, Level, Span, SpanRecord, Trace, TraceId};
 use queue::{JobQueue, Priority, PushOutcome};
 use std::io::{BufReader, Read};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -307,7 +308,18 @@ impl ServerState {
             id
         };
         match self.queue.push_for(tenant, priority, id) {
-            PushOutcome::Queued => Ok(id),
+            PushOutcome::Queued => {
+                log(
+                    Level::Info,
+                    "job_accepted",
+                    &[
+                        ("id", &id.to_string()),
+                        ("tenant", tenant),
+                        ("priority", priority.key()),
+                    ],
+                );
+                Ok(id)
+            }
             PushOutcome::Full => {
                 // The daemon queue is unbounded (the depth bound is the
                 // pre-check above, so journal-replay requeues never
@@ -349,10 +361,24 @@ impl ServerState {
             .fetch_add(run.anchor_replayed as u64, Ordering::Relaxed);
         c.anchor_misses
             .fetch_add(run.anchor_missed as u64, Ordering::Relaxed);
+        log(
+            Level::Info,
+            "job_done",
+            &[
+                ("id", &id.to_string()),
+                ("replayed", &run.replayed.to_string()),
+                ("executed", &run.executed.to_string()),
+            ],
+        );
     }
 
     /// Records a failed run (journal first, same reasoning).
     fn record_failed(&self, id: u64, message: String) {
+        log(
+            Level::Warn,
+            "job_failed",
+            &[("id", &id.to_string()), ("error", &message)],
+        );
         self.finish_under_journal(id, &JournalOutcome::Failed(message));
         self.counters.failed.fetch_add(1, Ordering::Relaxed);
     }
@@ -386,8 +412,19 @@ impl ServerState {
 
     /// The `GET /v1/metrics` document: process-wide cache counters plus
     /// this daemon's queue gauges, store totals, journal counters, edge
-    /// rejections, and worker-supervision events.
+    /// rejections, worker-supervision events, and latency summaries.
     pub fn metrics_json(&self) -> String {
+        self.runtime_snapshot().render_json()
+    }
+
+    /// The `GET /metrics` Prometheus text-format page — every counter
+    /// `/v1/metrics` carries, plus the latency histograms with full
+    /// bucket series.
+    pub fn metrics_prometheus(&self) -> String {
+        self.runtime_snapshot().render_prometheus()
+    }
+
+    fn runtime_snapshot(&self) -> RuntimeSnapshot {
         let c = &self.counters;
         let queue = QueueStats {
             depth: self.queue.depth(),
@@ -428,7 +465,7 @@ impl ServerState {
             deadline_expiries: c.deadline_expiries.load(Ordering::Relaxed),
             failed_units: events.failed_units.load(Ordering::Relaxed),
         };
-        RuntimeSnapshot::capture(queue, store, journal, edge, retry).render_json()
+        RuntimeSnapshot::capture(queue, store, journal, edge, retry)
     }
 }
 
@@ -771,10 +808,34 @@ fn scheduler_loop(state: &ServerState) {
         };
         let c = &state.counters;
         c.running.fetch_add(1, Ordering::Relaxed);
+        // Observe the job's queue residency and make its trace current
+        // for this lane, so the orchestrator's phase spans (and the
+        // worker children's echoed spans) land in the job's tree.
+        let _ctx = state.jobs.get(id).map(|job| {
+            let wait_us = job
+                .accepted_at
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            nfi_telemetry::registry()
+                .histogram(families::QUEUE_WAIT, &[])
+                .record_micros(wait_us);
+            let trace = Arc::clone(&job.trace);
+            trace.record(SpanRecord {
+                id: trace.alloc_span(),
+                parent: 0,
+                name: "queue_wait".into(),
+                start_us: trace.elapsed_us().saturating_sub(wait_us),
+                dur_us: wait_us,
+            });
+            trace::push_context(trace, 0)
+        });
+        let run_span = Span::enter("run");
         match state.pool.run_job(&state.orch, id, &spec) {
             Ok(run) => state.record_done(id, &run),
             Err(message) => state.record_failed(id, message),
         }
+        drop(run_span);
         c.running.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -849,7 +910,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         reader.get_mut().arm();
         match http::read_request(&mut reader, state.config.max_body) {
             Ok(request) => {
-                let response = admit_and_route(state, &request, peer);
+                let response = observe_request(state, &request, peer);
                 let keep_alive = !request.wants_close() && !response.close;
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
@@ -884,20 +945,99 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
-/// The edge pipeline for one parsed request: per-client rate limit
-/// (cheapest first), then authentication, then the router.
-fn admit_and_route(
+/// The route-template label of a request path: bounded cardinality
+/// (ids collapse to `:id`, unknown paths to `other`) so hostile paths
+/// cannot grow the histogram registry without bound.
+fn route_template(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/metrics" => "/v1/metrics",
+        "/v1/campaigns" => "/v1/campaigns",
+        p => match p.strip_prefix("/v1/campaigns/") {
+            Some(rest) => match rest.split_once('/') {
+                None => "/v1/campaigns/:id",
+                Some((_, "document")) => "/v1/campaigns/:id/document",
+                Some((_, "trace")) => "/v1/campaigns/:id/trace",
+                Some(_) => "/v1/campaigns/:id/*",
+            },
+            None => "other",
+        },
+    }
+}
+
+/// The status-class label (`2xx`, `4xx`, ...) of a response code.
+fn status_class(status: u16) -> &'static str {
+    match status {
+        100..=199 => "1xx",
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// Wraps the edge pipeline with the request's observability: a fresh
+/// trace (which `POST /v1/campaigns` hands to the accepted job), the
+/// per-(route, status class) duration histogram, and the access-log
+/// line (debug level; bearer tokens never reach the logger — only the
+/// resolved tenant name does).
+fn observe_request(
     state: &ServerState,
     request: &http::Request,
     peer: Option<IpAddr>,
 ) -> http::Response {
+    let started = Instant::now();
+    let traced = nfi_telemetry::enabled().then(|| Trace::new(TraceId::mint()));
+    let ctx = traced
+        .as_ref()
+        .map(|trace| trace::push_context(Arc::clone(trace), 0));
+    let (response, tenant) = admit_and_route(state, request, peer);
+    drop(ctx);
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let route = route_template(&request.path);
+    nfi_telemetry::registry()
+        .histogram(
+            families::HTTP,
+            &[("route", route), ("status", status_class(response.status))],
+        )
+        .record_micros(micros);
+    if nfi_telemetry::log::enabled_at(Level::Debug) {
+        let trace_id = traced
+            .as_ref()
+            .map(|t| t.id().to_string())
+            .unwrap_or_default();
+        log(
+            Level::Debug,
+            "http_request",
+            &[
+                ("trace", &trace_id),
+                ("tenant", &tenant),
+                ("method", &request.method),
+                ("route", route),
+                ("status", &response.status.to_string()),
+                ("dur_us", &micros.to_string()),
+            ],
+        );
+    }
+    response
+}
+
+/// The edge pipeline for one parsed request: per-client rate limit
+/// (cheapest first), then authentication, then the router. Returns the
+/// response plus the tenant the request resolved to (for the access
+/// log; `""` covers both the anonymous tenant and rejected requests).
+fn admit_and_route(
+    state: &ServerState,
+    request: &http::Request,
+    peer: Option<IpAddr>,
+) -> (http::Response, String) {
     if let (Some(limiter), Some(ip)) = (&state.limiter, peer) {
         if let Admission::Shed { retry_after_secs } = limiter.allow(ip) {
             state.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
-            return http::Response::shed(
-                429,
-                "rate limit exceeded for this client",
-                retry_after_secs,
+            return (
+                http::Response::shed(429, "rate limit exceeded for this client", retry_after_secs),
+                String::new(),
             );
         }
     }
@@ -911,12 +1051,16 @@ fn admit_and_route(
             None if request.path == "/healthz" => String::new(),
             None => {
                 state.counters.unauthorized.fetch_add(1, Ordering::Relaxed);
-                return http::Response::error(
-                    401,
-                    "missing or invalid bearer token (Authorization: Bearer <token>)",
+                return (
+                    http::Response::error(
+                        401,
+                        "missing or invalid bearer token (Authorization: Bearer <token>)",
+                    ),
+                    String::new(),
                 );
             }
         },
     };
-    router::handle(state, request, &tenant)
+    let response = router::handle(state, request, &tenant);
+    (response, tenant)
 }

@@ -26,6 +26,7 @@ use crate::queue::Priority;
 use crate::ServerState;
 use nfi_sfi::jsontext::{escape, get_opt_str, get_opt_u64, get_str, parse_flat_object};
 use nfi_sfi::CampaignSpec;
+use nfi_telemetry::{json::JsonBuf, prom, Span};
 
 /// Dispatches one request to its handler on behalf of `tenant`.
 pub fn handle(state: &ServerState, req: &Request, tenant: &str) -> Response {
@@ -37,6 +38,10 @@ pub fn handle(state: &ServerState, req: &Request, tenant: &str) -> Response {
         },
         "/v1/metrics" => match req.method.as_str() {
             "GET" => Response::json(200, state.metrics_json()),
+            _ => Response::method_not_allowed("GET", &req.method, path),
+        },
+        "/metrics" => match req.method.as_str() {
+            "GET" => Response::text(200, prom::CONTENT_TYPE, state.metrics_prometheus()),
             _ => Response::method_not_allowed("GET", &req.method, path),
         },
         "/v1/campaigns" => match req.method.as_str() {
@@ -62,8 +67,11 @@ fn campaign_route(state: &ServerState, req: &Request, rest: &str, tenant: &str) 
     match (req.method.as_str(), tail) {
         ("GET", None) => status(state, id, tenant),
         ("GET", Some("document")) => document(state, id, tenant),
+        ("GET", Some("trace")) => job_trace(state, id, tenant),
         (_, None) => Response::method_not_allowed("GET", &req.method, &req.path),
-        (_, Some("document")) => Response::method_not_allowed("GET", &req.method, &req.path),
+        (_, Some("document" | "trace")) => {
+            Response::method_not_allowed("GET", &req.method, &req.path)
+        }
         (_, Some(other)) => Response::error(
             404,
             &format!("no route for campaign sub-resource `{other}`"),
@@ -75,6 +83,11 @@ fn campaign_route(state: &ServerState, req: &Request, rest: &str, tenant: &str) 
 /// out only after the journal holds the accepted record, so every
 /// acknowledged job survives a daemon crash.
 fn submit(state: &ServerState, body: &[u8], tenant: &str) -> Response {
+    // The whole handler is the "accept" span of the job's trace (the
+    // edge pushed the request trace before routing here): planning
+    // opens its own "plan" span nested under this one, and the
+    // accepted job adopts the same trace.
+    let _span = Span::enter("accept");
     let (mut spec, priority, deadline_ms) = match parse_submission(body, state.config.seed) {
         Ok(parts) => parts,
         Err(msg) => return Response::error(400, &msg),
@@ -223,4 +236,29 @@ fn document(state: &ServerState, id: u64, tenant: &str) -> Response {
             ),
         ),
     }
+}
+
+/// `GET /v1/campaigns/:id/trace`: the job's span tree (accept → queue
+/// wait → plan → replay/execute with nested worker-child spans → merge
+/// → persist) plus the run counters, rendered through the shared JSON
+/// builder. Tenant-scoped like every other job resource: another
+/// tenant's job is a `404`.
+fn job_trace(state: &ServerState, id: u64, tenant: &str) -> Response {
+    let Some(job) = state.jobs.get(id) else {
+        return Response::error(404, &format!("no campaign job {id}"));
+    };
+    if job.tenant != tenant {
+        return Response::error(404, &format!("no campaign job {id}"));
+    }
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.field_u64("id", job.id)
+        .field_str("program", &job.program)
+        .field_str("status", job.status.key())
+        .field_u64("units", job.units as u64)
+        .field_u64("replayed", job.replayed as u64)
+        .field_u64("executed", job.executed as u64);
+    job.trace.render_into(&mut j);
+    j.end_obj();
+    Response::json(200, j.finish())
 }

@@ -36,6 +36,7 @@
 use nfi_core::service::ShardRun;
 use nfi_core::{IncrementalRun, Orchestrator};
 use nfi_sfi::CampaignSpec;
+use nfi_telemetry::{trace, Span, SpanRecord};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -189,12 +190,18 @@ impl WorkerPool {
         let workers = self.workers.clamp(1, missing.len());
 
         // Shards run (and retry) concurrently; each thread owns one
-        // stride of the miss subset end to end.
+        // stride of the miss subset end to end. Supervisor threads
+        // inherit the dispatching lane's trace context so each child's
+        // span (and the spans the child echoes back) nest under the
+        // execute phase.
+        let context = trace::current_context();
         let results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|shard| {
                     let (tag, plan_path, subset) = (&tag, &plan_path, &subset);
+                    let context = context.clone();
                     scope.spawn(move || {
+                        let _ctx = context.map(|(t, parent)| trace::push_context(t, parent));
                         self.run_shard(nfi, tag, plan_path, subset, shard, workers, spec)
                     })
                 })
@@ -353,7 +360,8 @@ impl WorkerPool {
     ) -> Result<ShardRun, String> {
         // One engine thread per child: the parallelism lives in the
         // process fan-out, not nested thread pools.
-        let mut child = Command::new(nfi)
+        let mut command = Command::new(nfi);
+        command
             .args(["campaign", "exec", "--threads", "1", "--shard"])
             .arg(shard_arg)
             .arg("--plan")
@@ -362,7 +370,16 @@ impl WorkerPool {
             .arg(out_path)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
-            .stderr(Stdio::piped())
+            .stderr(Stdio::piped());
+        // Hand the child this span's id via NFI_TRACE; it echoes its
+        // own spans back as NFI-SPAN stderr lines, re-anchored below.
+        let child_span = Span::enter("worker_child");
+        let trace_ctx = trace::current_context().filter(|_| child_span.id() > 0);
+        let spawned_at_us = trace_ctx.as_ref().map(|(t, _)| t.elapsed_us()).unwrap_or(0);
+        if let Some((t, _)) = &trace_ctx {
+            command.env(trace::TRACE_ENV, t.context_env(child_span.id()));
+        }
+        let mut child = command
             .spawn()
             .map_err(|e| format!("cannot spawn {label} ({}): {e}", nfi.display()))?;
         // Drain stderr concurrently so a chatty child cannot deadlock
@@ -388,11 +405,29 @@ impl WorkerPool {
             .and_then(|rx| rx.recv_timeout(Duration::from_millis(200)).ok())
             .map(|buf| String::from_utf8_lossy(&buf).into_owned())
             .unwrap_or_default();
+        // Re-anchor the spans the child echoed (even from a failed
+        // attempt — its partial timeline is exactly what a trace is
+        // for): ids shift into a reserved range, the child's roots
+        // attach under this attempt's span, and starts shift by the
+        // spawn offset so one monotonic timeline covers both processes.
+        if let Some((t, _)) = &trace_ctx {
+            let spans: Vec<SpanRecord> =
+                stderr.lines().filter_map(trace::parse_span_line).collect();
+            if let Some(width) = spans.iter().map(|s| s.id).max() {
+                let base = t.reserve_ids(width);
+                for span in &spans {
+                    t.import_child(span, child_span.id(), base, spawned_at_us);
+                }
+            }
+        }
         let status = verdict?;
         if !status.success() {
             return Err(format!(
                 "{label} exited with {status}: {}",
-                stderr.lines().next_back().unwrap_or("(no diagnostics)"),
+                stderr
+                    .lines()
+                    .rfind(|l| !l.starts_with(nfi_telemetry::trace::SPAN_LINE_PREFIX))
+                    .unwrap_or("(no diagnostics)"),
             ));
         }
         let mut run = std::fs::read_to_string(out_path)

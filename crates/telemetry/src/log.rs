@@ -1,0 +1,146 @@
+//! Leveled JSON-lines logging to stderr.
+//!
+//! One line per event: `{"ts_us":...,"level":"info","event":"...",
+//! "key":"value",...}`. The level comes from `NFI_LOG` (or the
+//! daemon's `--log-level` flag) and defaults to `info`; `off` silences
+//! everything. Emission is a single locked stderr write, so lines from
+//! concurrent lanes never interleave mid-record.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Degraded but handled conditions (retries, sheds, corrupt lines).
+    Warn = 2,
+    /// Job lifecycle events. The default.
+    Info = 3,
+    /// Per-request detail (the HTTP access log).
+    Debug = 4,
+    /// Everything, including per-phase chatter.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `off|error|warn|info|debug|trace` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Applies `NFI_LOG` if set and valid; returns the resulting level.
+pub fn init_from_env() -> Level {
+    if let Ok(v) = std::env::var("NFI_LOG") {
+        if let Some(l) = Level::parse(&v) {
+            set_level(l);
+        }
+    }
+    level()
+}
+
+/// Whether events at `at` currently pass the level filter (and
+/// telemetry is enabled at all).
+pub fn enabled_at(at: Level) -> bool {
+    crate::enabled() && at != Level::Off && at <= level()
+}
+
+/// Emits one JSON event line to stderr when `at` passes the filter.
+/// `fields` values are escaped; callers must pre-redact secrets
+/// (bearer tokens never reach this layer).
+pub fn log(at: Level, event: &str, fields: &[(&str, &str)]) {
+    if !enabled_at(at) {
+        return;
+    }
+    let ts_us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ts_us\":");
+    line.push_str(&ts_us.to_string());
+    line.push_str(",\"level\":\"");
+    line.push_str(at.as_str());
+    line.push_str("\",\"event\":\"");
+    line.push_str(&crate::json::escape(event));
+    line.push('"');
+    for (k, v) in fields {
+        line.push_str(",\"");
+        line.push_str(&crate::json::escape(k));
+        line.push_str("\":\"");
+        line.push_str(&crate::json::escape(v));
+        line.push('"');
+    }
+    line.push_str("}\n");
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels_and_orders_them() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn level_filter_gates_emission() {
+        // Tests share the process-wide level; restore it after.
+        let before = level();
+        set_level(Level::Warn);
+        assert!(enabled_at(Level::Error));
+        assert!(enabled_at(Level::Warn));
+        assert!(!enabled_at(Level::Info));
+        set_level(Level::Off);
+        assert!(!enabled_at(Level::Error));
+        set_level(before);
+    }
+}

@@ -40,21 +40,25 @@ USAGE:
   nfi campaign exec --plan PATH [--shard i/n] [--threads N] [--no-cache] [--out PATH]
   nfi campaign merge <run.jsonl>... [--out PATH]
   nfi campaign run --state-dir <dir> [--workers N] [--threads N] [--seed N] [--as <name>]
-                   [--no-anchor-reuse] [--out-dir DIR]
+                   [--no-anchor-reuse] [--out-dir DIR] [--trace]
                    [--program <name> | --file <path> | <file>...]
   nfi serve --state-dir <dir> [--addr IP:PORT | --port N] [--workers N] [--lanes N]
             [--seed N] [--auth-token-file PATH] [--rate-limit N] [--rate-burst N]
             [--max-connections N] [--max-queue N] [--tenant-max-queued N]
             [--tenant-max-programs N] [--deadline-ms N] [--request-timeout-ms N]
             [--child-timeout-ms N] [--worker-retries N]
+            [--log-level off|error|warn|info|debug|trace]
   nfi store gc --state-dir <dir> [--dry-run]
                (--corpus | --program <name> | --file <path> | <file>...)
-  nfi store inspect --state-dir <dir> [--program <name>]
+  nfi store inspect --state-dir <dir> [--program <name>] [--json]
   nfi experiments [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick] [--threads N]
   nfi bench [--plans N] [--threads N] [--lanes N] [--quick] [--out PATH]
 ";
 
 fn main() -> ExitCode {
+    // `NFI_LOG` tunes the structured-log level for every subcommand;
+    // `nfi serve --log-level` can still override it later.
+    nfi_telemetry::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -522,7 +526,25 @@ fn cmd_campaign(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), 
             let config = exec_config(flags)?
                 .sharded(shard)
                 .cached(!flags.contains_key("no-cache"));
-            let run = service::exec_spec(&spec, &MachineConfig::default(), config)?;
+            // A spawning daemon hands us trace context via `NFI_TRACE`;
+            // participate by recording our own spans and echoing them
+            // back as `NFI-SPAN` stderr lines for the parent to
+            // re-anchor under its worker-child span.
+            let trace = std::env::var(nfi_telemetry::trace::TRACE_ENV)
+                .ok()
+                .and_then(|v| nfi_telemetry::trace::parse_context_env(&v))
+                .map(|(id, _parent)| nfi_telemetry::Trace::new(id));
+            let ctx = trace
+                .as_ref()
+                .map(|t| nfi_telemetry::trace::push_context(std::sync::Arc::clone(t), 0));
+            let run = {
+                let _span = nfi_telemetry::Span::enter("exec");
+                service::exec_spec(&spec, &MachineConfig::default(), config)?
+            };
+            drop(ctx);
+            if let Some(t) = &trace {
+                let _ = t.emit_spans(&mut std::io::stderr().lock());
+            }
             eprintln!(
                 "executed shard {shard}: {} of {} units",
                 run.outcomes.len(),
@@ -600,6 +622,43 @@ fn resolve_targets(
     Ok(targets)
 }
 
+/// Prints the phase breakdown of one `--trace` campaign run: the span
+/// tree, indented by nesting, with per-phase durations — the offline
+/// twin of the daemon's `/v1/campaigns/:id/trace` endpoint.
+fn print_trace(program: &str, trace: &nfi_telemetry::Trace) {
+    let spans = trace.spans();
+    println!("trace {} program={program}", trace.id());
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].start_us, spans[i].id));
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    fn print_span(spans: &[nfi_telemetry::SpanRecord], order: &[usize], at: usize, depth: usize) {
+        let s = &spans[at];
+        println!(
+            "  {:indent$}{:<24} {:>10} us  (start +{} us)",
+            "",
+            s.name,
+            s.dur_us,
+            s.start_us,
+            indent = depth * 2,
+        );
+        for &c in order {
+            if c != at && spans[c].parent == s.id {
+                print_span(spans, order, c, depth + 1);
+            }
+        }
+    }
+    for &i in &order {
+        // Orphans (parent dropped past the ring bound) print as roots.
+        if spans[i].parent == 0 || !known.contains(&spans[i].parent) {
+            print_span(&spans, &order, i, 0);
+        }
+    }
+    let dropped = trace.dropped();
+    if dropped > 0 {
+        println!("  ({dropped} span(s) dropped past the ring bound)");
+    }
+}
+
 /// The incremental orchestrator: plan every target, replay unchanged
 /// units from the `--state-dir` store, execute only the rest across
 /// `--workers` in-process workers, merge, and persist. The merged
@@ -639,10 +698,22 @@ fn cmd_campaign_run(files: &[&str], flags: &HashMap<&str, &str>) -> Result<(), S
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
 
+    let want_trace = flags.contains_key("trace");
     let (mut units, mut replayed, mut executed, mut anchor_replayed) =
         (0usize, 0usize, 0usize, 0usize);
     for (name, source) in &targets {
+        // `--trace` wraps each program run in its own trace so the
+        // offline orchestrator produces the same phase breakdown the
+        // daemon's /v1/campaigns/:id/trace endpoint would.
+        let trace = want_trace.then(|| nfi_telemetry::Trace::new(nfi_telemetry::TraceId::mint()));
+        let ctx = trace
+            .as_ref()
+            .map(|t| nfi_telemetry::trace::push_context(std::sync::Arc::clone(t), 0));
         let result = orch.run_program(name, source)?;
+        drop(ctx);
+        if let Some(t) = &trace {
+            print_trace(name, t);
+        }
         for warning in &result.store_errors {
             eprintln!("warning: {warning}");
         }
@@ -679,6 +750,12 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     use nfi_serve::{auth::AuthTokens, worker::WorkerMode, ServeConfig, Server};
     use std::time::Duration;
     let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
+    if let Some(text) = flags.get("log-level") {
+        let level = nfi_telemetry::Level::parse(text).ok_or_else(|| {
+            format!("--log-level expects off|error|warn|info|debug|trace, got `{text}`")
+        })?;
+        nfi_telemetry::log::set_level(level);
+    }
     let addr = parse_addr(flags)?;
     let workers = parse_workers(flags)?;
     let lanes = parse_lanes(flags)?;
@@ -751,7 +828,9 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
         "nfi serve: listening on http://{local} (state dir {state_dir}, {lanes} lane(s), \
          {workers} process worker(s) per job; {hardening})"
     );
-    println!("  POST /v1/campaigns | GET /v1/campaigns/:id[/document] | GET /v1/metrics");
+    println!(
+        "  POST /v1/campaigns | GET /v1/campaigns/:id[/document|/trace] | GET /v1/metrics | GET /metrics"
+    );
     server.run()
 }
 
@@ -834,6 +913,61 @@ fn cmd_store(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Str
             let state_dir = flags.get("state-dir").ok_or("need --state-dir <dir>")?;
             let store = CampaignStore::open(state_dir)?;
             let filter = flags.get("program").copied();
+            if flags.contains_key("json") {
+                // The same JSON builder the daemon's trace endpoint
+                // renders through, so scripts get one escaping/format
+                // discipline across both surfaces.
+                use nfi_telemetry::json::JsonBuf;
+                let mut j = JsonBuf::new();
+                j.begin_obj();
+                j.field_str("state_dir", state_dir);
+                let mut shown = 0u64;
+                j.key("segments").begin_arr();
+                for seg in store.inspect() {
+                    if let Some(want) = filter {
+                        if seg.info.program.as_deref() != Some(want) {
+                            continue;
+                        }
+                    }
+                    shown += 1;
+                    j.begin_obj();
+                    j.field_str("path", &seg.info.path.display().to_string())
+                        .field_u64("bytes", seg.info.bytes);
+                    match (&seg.info.program, seg.info.module_fp, seg.info.machine_fp) {
+                        (Some(program), Some(module_fp), Some(machine_fp)) => {
+                            j.field_str("program", program)
+                                .field_str("module_fp", &format!("{module_fp:016x}"))
+                                .field_str("machine_fp", &format!("{machine_fp:016x}"))
+                                .field_str("format", &seg.format.to_string())
+                                .field_u64("lines", seg.lines as u64);
+                            j.key("anchors").begin_arr();
+                            for (anchor, count) in &seg.anchors {
+                                j.begin_obj();
+                                j.field_str("anchor", &format!("{anchor:016x}"))
+                                    .field_u64("lines", *count as u64);
+                                j.end_obj();
+                            }
+                            j.end_arr();
+                        }
+                        _ => {
+                            j.key("orphan").bool_val(true);
+                            j.field_str(
+                                "note",
+                                seg.info.note.as_deref().unwrap_or("no valid store header"),
+                            );
+                        }
+                    }
+                    j.end_obj();
+                }
+                j.end_arr();
+                j.field_u64("shown", shown);
+                if let Some(p) = filter {
+                    j.field_str("program_filter", p);
+                }
+                j.end_obj();
+                println!("{}", j.finish());
+                return Ok(());
+            }
             let mut shown = 0usize;
             for seg in store.inspect() {
                 if let Some(want) = filter {
@@ -875,7 +1009,7 @@ fn cmd_store(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), Str
         }
         _ => Err("usage: nfi store gc --state-dir <dir> [--dry-run] \
              (--corpus | --program <name> | --file <path> | <file>...)\n\
-             or:    nfi store inspect --state-dir <dir> [--program <name>]"
+             or:    nfi store inspect --state-dir <dir> [--program <name>] [--json]"
             .to_string()),
     }
 }
@@ -1044,6 +1178,13 @@ fn cmd_bench(flags: &HashMap<&str, &str>) -> Result<(), String> {
         serve.warm_units_per_s(),
         serve.warm_speedup(),
         serve.documents_identical,
+    );
+    println!(
+        "  request latency p50 {} us, p99 {} us; telemetry off: {:.0} requests/s ({:.1}% tax with it on)",
+        serve.request_latency.p50_micros(),
+        serve.request_latency.p99_micros(),
+        serve.off_requests_per_s(),
+        (serve.off_requests_per_s() / serve.requests_per_s().max(1e-9) - 1.0) * 100.0,
     );
     println!(
         "  hardened: {:.0} requests/s with auth + rate limiting; {} forged tokens refused, {} submissions shed, {} worker retries",
