@@ -45,11 +45,13 @@ pub mod store;
 pub use cache::{CacheStats, CachedMutant, MutantCache};
 pub use exec::{CampaignRun, CampaignRunReport, ExecConfig};
 pub use metrics::{
-    field_profile, js_distance, EdgeStats, EffortModel, JournalStats, QueueStats, RetryStats,
-    RuntimeSnapshot, StoreTotals,
+    field_profile, js_distance, EdgeStats, EffortModel, FleetStats, JournalStats, QueueStats,
+    RetryStats, RuntimeSnapshot, StoreTotals,
 };
 pub use pipeline::{InjectionReport, NeuralFaultInjector, PipelineConfig, PipelineError};
-pub use service::{exec_spec, exec_units, merge, plan_campaign, ShardOutcome, ShardRun};
+pub use service::{
+    exec_spec, exec_units, merge, plan_campaign, DispatchTier, ShardOutcome, ShardRun,
+};
 pub use session::{run_session, SessionResult, SessionRound};
 pub use store::{
     CampaignStore, GcReport, IncrementalRun, LoadedSegment, Orchestrator, SegmentGuard,

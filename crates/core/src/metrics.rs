@@ -81,6 +81,38 @@ pub struct RetryStats {
     pub failed_units: u64,
 }
 
+/// Remote-worker fleet counters of a serving daemon: registry
+/// liveness, protocol traffic, and assignment lifecycle events for the
+/// `nfi worker` dispatch tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Registered workers currently live (heartbeating).
+    pub workers_live: u64,
+    /// Workers marked lost after a heartbeat timeout.
+    pub workers_lost: u64,
+    /// Successful worker registrations (rejoins included).
+    pub registrations: u64,
+    /// Accepted heartbeats.
+    pub heartbeats: u64,
+    /// Accepted assignment polls.
+    pub polls: u64,
+    /// Assignments created by dispatching lanes.
+    pub assignments_dispatched: u64,
+    /// Assignments completed by a worker result.
+    pub assignments_completed: u64,
+    /// Assignment requeues (heartbeat loss, rejoin, failure).
+    pub assignments_requeued: u64,
+    /// Worker-reported failures and undecodable shard documents.
+    pub assignments_failed: u64,
+    /// Late duplicate results discarded (first result wins).
+    pub duplicate_results: u64,
+    /// Requests refused for carrying a stale registration generation.
+    pub stale_rejections: u64,
+    /// Assignments the dispatching lane executed locally after the
+    /// fleet could not (requeue cap exhausted or no live workers).
+    pub local_fallbacks: u64,
+}
+
 /// Incremental-store totals across every job a daemon has run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreTotals {
@@ -204,19 +236,23 @@ pub struct RuntimeSnapshot {
     pub edge: EdgeStats,
     /// Worker-supervision counters (zeroed outside a daemon).
     pub retry: RetryStats,
+    /// Remote-worker fleet counters (zeroed outside a daemon).
+    pub fleet: FleetStats,
     /// Latency distributions from the global telemetry registry.
     pub latency: LatencySummary,
 }
 
 impl RuntimeSnapshot {
     /// Captures the process-wide cache counters alongside the
-    /// caller-tracked queue, store, journal, edge, and retry numbers.
+    /// caller-tracked queue, store, journal, edge, retry, and fleet
+    /// numbers.
     pub fn capture(
         queue: QueueStats,
         store: StoreTotals,
         journal: JournalStats,
         edge: EdgeStats,
         retry: RetryStats,
+        fleet: FleetStats,
     ) -> RuntimeSnapshot {
         RuntimeSnapshot {
             mutant_cache: crate::cache::MutantCache::global().stats(),
@@ -228,6 +264,7 @@ impl RuntimeSnapshot {
             journal,
             edge,
             retry,
+            fleet,
             latency: LatencySummary::capture(),
         }
     }
@@ -279,11 +316,27 @@ impl RuntimeSnapshot {
             cache(&self.suite_cache),
             cache(&self.code_cache),
         );
-        // The latency section rides at the end so every pre-existing
-        // section keeps its byte position for substring consumers.
+        // The latency and fleet sections ride at the end so every
+        // pre-existing section keeps its byte position for substring
+        // consumers.
         body.truncate(body.len() - 1);
         body.push_str(",\"latency\":");
         body.push_str(&self.latency.render_json());
+        body.push_str(&format!(
+            ",\"fleet\":{{\"workers_live\":{},\"workers_lost\":{},\"registrations\":{},\"heartbeats\":{},\"polls\":{},\"assignments_dispatched\":{},\"assignments_completed\":{},\"assignments_requeued\":{},\"assignments_failed\":{},\"duplicate_results\":{},\"stale_rejections\":{},\"local_fallbacks\":{}}}",
+            self.fleet.workers_live,
+            self.fleet.workers_lost,
+            self.fleet.registrations,
+            self.fleet.heartbeats,
+            self.fleet.polls,
+            self.fleet.assignments_dispatched,
+            self.fleet.assignments_completed,
+            self.fleet.assignments_requeued,
+            self.fleet.assignments_failed,
+            self.fleet.duplicate_results,
+            self.fleet.stale_rejections,
+            self.fleet.local_fallbacks,
+        ));
         body.push('}');
         body
     }
@@ -445,6 +498,80 @@ impl RuntimeSnapshot {
             WORKER_HELP,
             &[("kind", "failed_unit")],
             self.retry.failed_units,
+        );
+        p.gauge(
+            "nfi_fleet_workers",
+            "Registered remote workers, by liveness state.",
+            &[("state", "live")],
+            self.fleet.workers_live as f64,
+        );
+        const FLEET_EVENT_HELP: &str = "Remote-worker fleet protocol events, by kind.";
+        p.counter(
+            "nfi_fleet_events_total",
+            FLEET_EVENT_HELP,
+            &[("kind", "registration")],
+            self.fleet.registrations,
+        );
+        p.counter(
+            "nfi_fleet_events_total",
+            FLEET_EVENT_HELP,
+            &[("kind", "heartbeat")],
+            self.fleet.heartbeats,
+        );
+        p.counter(
+            "nfi_fleet_events_total",
+            FLEET_EVENT_HELP,
+            &[("kind", "poll")],
+            self.fleet.polls,
+        );
+        p.counter(
+            "nfi_fleet_events_total",
+            FLEET_EVENT_HELP,
+            &[("kind", "worker_lost")],
+            self.fleet.workers_lost,
+        );
+        p.counter(
+            "nfi_fleet_events_total",
+            FLEET_EVENT_HELP,
+            &[("kind", "stale_rejection")],
+            self.fleet.stale_rejections,
+        );
+        const FLEET_ASSIGN_HELP: &str = "Fleet assignment lifecycle events, by kind.";
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "dispatched")],
+            self.fleet.assignments_dispatched,
+        );
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "completed")],
+            self.fleet.assignments_completed,
+        );
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "requeued")],
+            self.fleet.assignments_requeued,
+        );
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "failed")],
+            self.fleet.assignments_failed,
+        );
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "duplicate")],
+            self.fleet.duplicate_results,
+        );
+        p.counter(
+            "nfi_fleet_assignments_total",
+            FLEET_ASSIGN_HELP,
+            &[("kind", "local_fallback")],
+            self.fleet.local_fallbacks,
         );
         for (name, stats) in [
             ("mutant", &self.mutant_cache),
@@ -734,6 +861,20 @@ mod tests {
                 deadline_expiries: 1,
                 failed_units: 3,
             },
+            fleet: FleetStats {
+                workers_live: 3,
+                workers_lost: 1,
+                registrations: 4,
+                heartbeats: 12,
+                polls: 30,
+                assignments_dispatched: 8,
+                assignments_completed: 7,
+                assignments_requeued: 2,
+                assignments_failed: 1,
+                duplicate_results: 1,
+                stale_rejections: 2,
+                local_fallbacks: 1,
+            },
             latency: {
                 let mut l = LatencySummary::default();
                 l.http.record_micros(100);
@@ -766,6 +907,11 @@ mod tests {
         assert!(json.contains("\"queue_wait\":{\"count\":1"));
         assert!(json.contains("\"phases\":{\"execute\":{\"count\":1"));
         assert!(json.contains("\"p99_us\":"));
+        // The fleet section follows latency at the tail.
+        assert!(json.contains("\"fleet\":{\"workers_live\":3,\"workers_lost\":1"));
+        assert!(json.contains("\"assignments_dispatched\":8"));
+        assert!(json.contains("\"duplicate_results\":1"));
+        assert!(json.contains("\"local_fallbacks\":1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
@@ -800,6 +946,13 @@ mod tests {
                 retries: 1,
                 ..RetryStats::default()
             },
+            fleet: FleetStats {
+                workers_live: 2,
+                registrations: 3,
+                assignments_dispatched: 5,
+                assignments_completed: 4,
+                ..FleetStats::default()
+            },
             ..RuntimeSnapshot::default()
         };
         snap.latency.http.record_micros(250);
@@ -822,6 +975,11 @@ mod tests {
             "nfi_edge_rejections_total{reason=\"unauthorized\"} 4",
             "nfi_edge_rejections_total{reason=\"rate_limited\"} 2",
             "nfi_worker_events_total{kind=\"retry\"} 1",
+            "nfi_fleet_workers{state=\"live\"} 2",
+            "nfi_fleet_events_total{kind=\"registration\"} 3",
+            "nfi_fleet_assignments_total{kind=\"dispatched\"} 5",
+            "nfi_fleet_assignments_total{kind=\"completed\"} 4",
+            "nfi_fleet_assignments_total{kind=\"local_fallback\"} 0",
             "nfi_cache_hits_total{cache=\"mutant\"}",
             "nfi_cache_entries{cache=\"code\"}",
         ] {
@@ -854,6 +1012,7 @@ mod tests {
             JournalStats::default(),
             EdgeStats::default(),
             RetryStats::default(),
+            FleetStats::default(),
         )
         .render_prometheus();
         nfi_telemetry::prom::check_conformance(&page).expect("captured page conforms");
@@ -869,6 +1028,7 @@ mod tests {
             JournalStats::default(),
             EdgeStats::default(),
             RetryStats::default(),
+            FleetStats::default(),
         );
         assert_eq!(snap.queue, QueueStats::default());
         assert!(

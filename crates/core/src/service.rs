@@ -31,6 +31,35 @@ use nfi_sfi::{Campaign, CampaignSpec, FaultPlan};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// How a campaign's store misses execute — the dispatch abstraction
+/// behind [`crate::store::Orchestrator::run_spec_with`]. Every tier
+/// receives the same self-contained miss subset and returns shard
+/// runs that [`merge`] back byte-identically, so tier selection is a
+/// pure scheduling decision with no observable effect on documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchTier {
+    /// Threads inside the calling process (offline `campaign run`,
+    /// `--mode in-process` serving).
+    LocalThreads,
+    /// Supervised `nfi campaign exec` child processes on the
+    /// scheduler's machine (watchdog, retry, per-unit isolation).
+    LocalProcesses,
+    /// Registered remote `nfi worker` nodes pulling hash-sharded
+    /// assignments over HTTP (heartbeat, requeue, local fallback).
+    RemoteWorkers,
+}
+
+impl DispatchTier {
+    /// Stable lowercase label (log fields, metrics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchTier::LocalThreads => "local_threads",
+            DispatchTier::LocalProcesses => "local_processes",
+            DispatchTier::RemoteWorkers => "remote_workers",
+        }
+    }
+}
+
 /// Builds the full-enumeration spec for a program source: parse, run
 /// the operator registry over it, capture the plan IR.
 ///
@@ -326,6 +355,24 @@ pub fn exec_units(
 /// Merges shard runs into one: a union keyed by global plan index.
 /// Associative and commutative by construction — inputs may be raw
 /// shards, partial merges, or any mix, in any order.
+///
+/// # Protocol invariants
+///
+/// This is the byte-parity chokepoint every dispatch tier (threads,
+/// spawned `nfi campaign exec` children, remote `nfi worker` nodes)
+/// funnels through:
+///
+/// * **Byte-identical merge.** Outcome `line`s are re-emitted
+///   verbatim and ordered by global index, so the merged document is
+///   byte-for-byte the unsharded run's document no matter how the
+///   work was partitioned, which machine executed each part, or in
+///   what order results arrived.
+/// * **No overlap tolerated.** A plan index covered by two inputs is
+///   an error, never a silent pick — so callers with at-least-once
+///   execution semantics (the remote-worker fleet, worker retries)
+///   must deduplicate *before* merging. The fleet does this by
+///   keeping only the first result per assignment; the store does it
+///   by replaying each store key from exactly one segment line.
 ///
 /// # Errors
 ///

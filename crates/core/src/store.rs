@@ -796,12 +796,28 @@ impl Orchestrator {
     /// store misses: `dispatch` receives the spec and the sorted global
     /// indices of the units the store could not replay, and must return
     /// shard runs that together cover exactly those indices (each with
-    /// `total` equal to the full spec's unit count). `nfi-serve` passes
-    /// a dispatcher that stripes the misses over spawned `nfi campaign
-    /// exec --shard i/n` child processes; the default [`Self::run_spec`]
-    /// uses in-process worker threads. Replay, merge, and segment
-    /// persistence are identical either way — which is what makes a
-    /// served document byte-identical to an offline `campaign run`.
+    /// `total` equal to the full spec's unit count).
+    ///
+    /// This seam is the dispatch-tier abstraction. Three dispatchers
+    /// exist today: the default [`Self::run_spec`] stripes misses over
+    /// in-process worker threads; `nfi-serve`'s process pool spawns
+    /// `nfi campaign exec --shard i/n` children; and its worker fleet
+    /// hash-shards the miss set into subset specs
+    /// ([`CampaignSpec::subset`]) pulled by remote `nfi worker` nodes.
+    ///
+    /// # Protocol invariants
+    ///
+    /// * **Byte-identical merge.** Replay, merge, and segment
+    ///   persistence are this function, regardless of dispatcher — so
+    ///   a dispatcher that returns correct shard runs yields a document
+    ///   byte-identical to an offline `campaign run`, whether the
+    ///   units executed in-process, in a child, or across the network.
+    /// * **No overlapping coverage.** The returned runs must cover
+    ///   each missing index exactly once; [`service::merge`] refuses
+    ///   duplicates. A dispatcher with at-least-once execution (the
+    ///   remote fleet requeues assignments from lost workers) must
+    ///   dedup results *before* returning — the fleet keeps only the
+    ///   first document per assignment.
     ///
     /// # Errors
     ///

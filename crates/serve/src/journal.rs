@@ -35,6 +35,16 @@
 //! or can simply resubmit). Corruption can cost work, never change a
 //! result.
 //!
+//! The same at-least-once posture extends to the distributed tier: a
+//! job restored as accepted may re-dispatch units that a remote
+//! `nfi worker` already executed before the crash (its in-flight
+//! results died with the old fleet registry). That is safe for the
+//! same reason replay is safe — store keys are deterministic functions
+//! of the unit (program, fingerprints, anchor, seed), so re-executing
+//! a unit writes the byte-identical outcome line under the same key,
+//! and the merged document cannot depend on how many times any unit
+//! ran, or where.
+//!
 //! The file is compacted at startup (finished jobs beyond the table's
 //! retention cap fall out) and again whenever
 //! [`COMPACT_APPEND_THRESHOLD`] records have accumulated since the

@@ -52,15 +52,24 @@
 //! Every shed, rejection, kill, retry, and expiry is counted in
 //! `GET /v1/metrics`.
 //!
+//! Store misses execute through one of three dispatch tiers selected
+//! per job ([`nfi_core::DispatchTier`]): in-process threads, spawned
+//! `nfi campaign exec` children, or — when remote `nfi worker` nodes
+//! are registered — the [`fleet`], which hash-shards the miss set over
+//! the fleet and merges the returned shard documents byte-identically
+//! to the local paths.
+//!
 //! Module map: [`http`] (bounded request/response codec), [`router`]
 //! (API handlers), [`auth`] (bearer tokens + tenancy), [`limit`]
 //! (token-bucket rate limiter), [`jobs`] (job table), [`queue`]
 //! (tenant-fair priority queue), [`journal`] (crash-safe job journal),
-//! [`worker`] (supervised process-level worker pool), [`client`]
-//! (test client).
+//! [`worker`] (supervised process-level worker pool), [`fleet`]
+//! (remote-worker registry + assignment pool), [`client`] (test
+//! client).
 
 pub mod auth;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod journal;
@@ -69,12 +78,13 @@ pub mod queue;
 pub mod router;
 pub mod worker;
 
+use fleet::Fleet;
 use jobs::{JobStatus, JobTable, StartOutcome};
 use journal::{Journal, JournalOutcome};
 use limit::{Admission, RateLimiter};
 use nfi_core::{
-    EdgeStats, IncrementalRun, JournalStats, Orchestrator, QueueStats, RetryStats, RuntimeSnapshot,
-    StoreTotals,
+    DispatchTier, EdgeStats, IncrementalRun, JournalStats, Orchestrator, QueueStats, RetryStats,
+    RuntimeSnapshot, StoreTotals,
 };
 use nfi_sfi::CampaignSpec;
 use nfi_telemetry::{families, log::log, trace, Level, Span, SpanRecord, Trace, TraceId};
@@ -137,6 +147,15 @@ pub struct ServeConfig {
     pub child_timeout: Option<Duration>,
     /// Fresh-child retries after a failed worker attempt.
     pub worker_retries: usize,
+    /// Remote-worker silence budget before the fleet marks the worker
+    /// lost and requeues its leases.
+    pub heartbeat_timeout: Duration,
+    /// Requeues per fleet assignment before the dispatching lane runs
+    /// it locally.
+    pub assignment_requeues: u32,
+    /// Optional per-lease execution budget for fleet assignments
+    /// (`None` = heartbeat-only failure detection).
+    pub assignment_timeout: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -164,6 +183,9 @@ impl ServeConfig {
             request_timeout: Duration::from_secs(30),
             child_timeout: None,
             worker_retries: 2,
+            heartbeat_timeout: Duration::from_secs(5),
+            assignment_requeues: 2,
+            assignment_timeout: None,
         }
     }
 }
@@ -210,6 +232,9 @@ pub struct ServerState {
     /// The worker pool (lanes share it; its event counters feed
     /// `/v1/metrics`).
     pub pool: WorkerPool,
+    /// The remote-worker fleet: registry, assignment pool, and the
+    /// remote dispatch tier the lanes use while workers are live.
+    pub fleet: Fleet,
     limiter: Option<RateLimiter>,
     journal: Mutex<Journal>,
     recovered: Recovered,
@@ -465,7 +490,22 @@ impl ServerState {
             deadline_expiries: c.deadline_expiries.load(Ordering::Relaxed),
             failed_units: events.failed_units.load(Ordering::Relaxed),
         };
-        RuntimeSnapshot::capture(queue, store, journal, edge, retry)
+        RuntimeSnapshot::capture(queue, store, journal, edge, retry, self.fleet.stats())
+    }
+
+    /// The dispatch tier the next job would execute under: remote
+    /// workers whenever any are live, else whatever the worker pool is
+    /// configured for. Re-evaluated per job, so the daemon rides fleet
+    /// membership up and down without restarting.
+    pub fn dispatch_tier(&self) -> DispatchTier {
+        if self.fleet.live_workers() > 0 {
+            DispatchTier::RemoteWorkers
+        } else {
+            match &self.pool.mode {
+                WorkerMode::InProcess => DispatchTier::LocalThreads,
+                WorkerMode::Spawn { .. } => DispatchTier::LocalProcesses,
+            }
+        }
     }
 }
 
@@ -517,6 +557,15 @@ impl Server {
         // dir, and orphan children still writing keep their unlinked
         // fds while new files cannot collide with them.
         let _ = std::fs::remove_dir_all(&pool.work_dir);
+        // The fleet admits only workers whose machine fingerprint
+        // matches the orchestrator's — the precondition for remote
+        // shard documents merging byte-identically.
+        let fleet = Fleet::new(
+            orch.machine.fingerprint(),
+            config.heartbeat_timeout,
+            config.assignment_requeues,
+            config.assignment_timeout,
+        );
         let (journal, replay) = Journal::open(&config.state_dir)?;
         let listener =
             TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
@@ -534,6 +583,7 @@ impl Server {
             queue: JobQueue::new(),
             orch,
             pool,
+            fleet,
             limiter,
             journal: Mutex::new(journal),
             recovered: Recovered {
@@ -831,7 +881,25 @@ fn scheduler_loop(state: &ServerState) {
             trace::push_context(trace, 0)
         });
         let run_span = Span::enter("run");
-        match state.pool.run_job(&state.orch, id, &spec) {
+        // Tier selection per job: live remote workers take the miss
+        // set; otherwise the local pool (threads or spawned children)
+        // does. All three tiers share the run_spec_with seam, so the
+        // merged document is byte-identical regardless of the choice.
+        let tier = state.dispatch_tier();
+        log(
+            Level::Debug,
+            "dispatch_tier",
+            &[("id", &id.to_string()), ("tier", tier.label())],
+        );
+        let result = match tier {
+            DispatchTier::RemoteWorkers => state.orch.run_spec_with(&spec, |spec, missing| {
+                state.fleet.dispatch(&state.orch, id, spec, missing)
+            }),
+            DispatchTier::LocalThreads | DispatchTier::LocalProcesses => {
+                state.pool.run_job(&state.orch, id, &spec)
+            }
+        };
+        match result {
             Ok(run) => state.record_done(id, &run),
             Err(message) => state.record_failed(id, message),
         }
@@ -954,15 +1022,26 @@ fn route_template(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/v1/metrics" => "/v1/metrics",
         "/v1/campaigns" => "/v1/campaigns",
-        p => match p.strip_prefix("/v1/campaigns/") {
-            Some(rest) => match rest.split_once('/') {
-                None => "/v1/campaigns/:id",
-                Some((_, "document")) => "/v1/campaigns/:id/document",
-                Some((_, "trace")) => "/v1/campaigns/:id/trace",
-                Some(_) => "/v1/campaigns/:id/*",
-            },
-            None => "other",
-        },
+        "/v1/workers" => "/v1/workers",
+        p => {
+            if let Some(rest) = p.strip_prefix("/v1/campaigns/") {
+                return match rest.split_once('/') {
+                    None => "/v1/campaigns/:id",
+                    Some((_, "document")) => "/v1/campaigns/:id/document",
+                    Some((_, "trace")) => "/v1/campaigns/:id/trace",
+                    Some(_) => "/v1/campaigns/:id/*",
+                };
+            }
+            if let Some(rest) = p.strip_prefix("/v1/workers/") {
+                return match rest.split_once('/') {
+                    Some((_, "heartbeat")) => "/v1/workers/:id/heartbeat",
+                    Some((_, "poll")) => "/v1/workers/:id/poll",
+                    Some((_, "result")) => "/v1/workers/:id/result",
+                    _ => "/v1/workers/:id/*",
+                };
+            }
+            "other"
+        }
     }
 }
 

@@ -6,6 +6,10 @@
 //! GET  /v1/campaigns/:id/document  merged outcome JSONL (when done)
 //! GET  /v1/metrics                 cache / store / queue / edge snapshot
 //! GET  /healthz                    liveness probe
+//! POST /v1/workers                 register a remote worker
+//! POST /v1/workers/:id/heartbeat   keep a registration live
+//! POST /v1/workers/:id/poll        pull the next assignment
+//! POST /v1/workers/:id/result      stream an assignment's shard doc back
 //! ```
 //!
 //! Handlers never block on campaign work: submit plans the campaign
@@ -19,14 +23,26 @@
 //! `tenant:program` before planning, which scopes store segments and
 //! job visibility per tenant end to end; a job owned by another tenant
 //! answers `404`, indistinguishable from a job that never existed.
+//!
+//! The `/v1/workers` surface is for `nfi worker` nodes, not tenants:
+//! on an authenticated daemon it requires a token under the dedicated
+//! `worker` tenant (provision `worker:<token>` lines in the token
+//! file), and any other tenant gets the same `404` an unknown route
+//! would — campaign tenants cannot probe or join the fleet.
 
+use crate::fleet::{Completion, FleetError};
 use crate::http::{Request, Response};
 use crate::jobs::JobStatus;
 use crate::queue::Priority;
 use crate::ServerState;
-use nfi_sfi::jsontext::{escape, get_opt_str, get_opt_u64, get_str, parse_flat_object};
+use nfi_sfi::jsontext::{
+    escape, get_hex_u64, get_opt_str, get_opt_u64, get_str, get_u64, parse_flat_object,
+};
 use nfi_sfi::CampaignSpec;
-use nfi_telemetry::{json::JsonBuf, prom, Span};
+use nfi_telemetry::{json::JsonBuf, prom, trace::SPAN_LINE_PREFIX, Span};
+
+/// The reserved tenant name worker tokens must resolve to.
+pub const WORKER_TENANT: &str = "worker";
 
 /// Dispatches one request to its handler on behalf of `tenant`.
 pub fn handle(state: &ServerState, req: &Request, tenant: &str) -> Response {
@@ -48,10 +64,22 @@ pub fn handle(state: &ServerState, req: &Request, tenant: &str) -> Response {
             "POST" => submit(state, &req.body, tenant),
             _ => Response::method_not_allowed("POST", &req.method, path),
         },
-        _ => match path.strip_prefix("/v1/campaigns/") {
-            Some(rest) => campaign_route(state, req, rest, tenant),
-            None => Response::error(404, &format!("no route for {path}")),
+        "/v1/workers" => match worker_access(state, req, tenant) {
+            Some(refusal) => refusal,
+            None => worker_register(state, &req.body),
         },
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/campaigns/") {
+                return campaign_route(state, req, rest, tenant);
+            }
+            if let Some(rest) = path.strip_prefix("/v1/workers/") {
+                return match worker_access(state, req, tenant) {
+                    Some(refusal) => refusal,
+                    None => worker_route(state, req, rest),
+                };
+            }
+            Response::error(404, &format!("no route for {path}"))
+        }
     }
 }
 
@@ -261,4 +289,173 @@ fn job_trace(state: &ServerState, id: u64, tenant: &str) -> Response {
     job.trace.render_into(&mut j);
     j.end_obj();
     Response::json(200, j.finish())
+}
+
+/// Gates the `/v1/workers` surface: POST-only, and on an authenticated
+/// daemon only the [`WORKER_TENANT`] may use it. The refusal is the
+/// generic route `404` — campaign tenants cannot tell the fleet
+/// surface exists.
+fn worker_access(state: &ServerState, req: &Request, tenant: &str) -> Option<Response> {
+    if state.config.auth.is_some() && tenant != WORKER_TENANT {
+        return Some(Response::error(404, &format!("no route for {}", req.path)));
+    }
+    if req.method != "POST" {
+        return Some(Response::method_not_allowed("POST", &req.method, &req.path));
+    }
+    None
+}
+
+/// Routes `/v1/workers/:id/{heartbeat,poll,result}`.
+fn worker_route(state: &ServerState, req: &Request, rest: &str) -> Response {
+    let Some((id_text, action)) = rest.split_once('/') else {
+        return Response::error(404, &format!("no route for {}", req.path));
+    };
+    let Ok(worker) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("worker id `{id_text}` is not a number"));
+    };
+    match action {
+        "heartbeat" => worker_heartbeat(state, worker, &req.body),
+        "poll" => worker_poll(state, worker, &req.body),
+        "result" => worker_result(state, worker, &req.body),
+        other => Response::error(404, &format!("no route for worker sub-resource `{other}`")),
+    }
+}
+
+/// Maps a fleet refusal to its response: unknown ids are `404` (the
+/// worker should re-register — a restarted daemon has an empty
+/// registry), staleness and capability mismatches are `409`.
+fn fleet_refusal(error: &FleetError) -> Response {
+    match error {
+        FleetError::Unknown => Response::error(404, &error.to_string()),
+        FleetError::Stale | FleetError::Mismatch(_) => Response::error(409, &error.to_string()),
+    }
+}
+
+/// `POST /v1/workers`: body
+/// `{"kind":"worker_register","name":...,"fingerprint":"<16 hex>"}`.
+/// The fingerprint must match the scheduler's machine configuration —
+/// the precondition for remote shard documents merging byte-identically
+/// — or the registration is refused with `409`.
+fn worker_register(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not valid UTF-8");
+    };
+    let parsed = parse_flat_object(text.trim()).and_then(|fields| {
+        let name = get_str(&fields, "name")?;
+        let fingerprint = get_hex_u64(&fields, "fingerprint")?;
+        Ok((name, fingerprint))
+    });
+    let (name, fingerprint) = match parsed {
+        Ok(parts) => parts,
+        Err(e) => return Response::error(400, &format!("worker_register body: {e}")),
+    };
+    match state.fleet.register(&name, fingerprint) {
+        Ok(reg) => Response::json(
+            200,
+            format!(
+                "{{\"worker\":{},\"generation\":{},\"heartbeat_ms\":{}}}",
+                reg.worker, reg.generation, reg.heartbeat_ms
+            ),
+        ),
+        Err(e) => fleet_refusal(&e),
+    }
+}
+
+/// Decodes the `{"generation":n}` body every per-worker endpoint
+/// carries.
+fn parse_generation(body: &[u8]) -> Result<u64, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let fields = parse_flat_object(text.trim())?;
+    get_u64(&fields, "generation")
+}
+
+/// `POST /v1/workers/:id/heartbeat`: body `{"generation":n}`.
+fn worker_heartbeat(state: &ServerState, worker: u64, body: &[u8]) -> Response {
+    let generation = match parse_generation(body) {
+        Ok(g) => g,
+        Err(e) => return Response::error(400, &format!("heartbeat body: {e}")),
+    };
+    match state.fleet.heartbeat(worker, generation) {
+        Ok(()) => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+        Err(e) => fleet_refusal(&e),
+    }
+}
+
+/// `POST /v1/workers/:id/poll`: body `{"generation":n}`. Answers
+/// `{"assignment":null}` when the pool is empty, else the assignment
+/// id, its encoded subset plan, and the job trace context the worker's
+/// spans should re-anchor under.
+fn worker_poll(state: &ServerState, worker: u64, body: &[u8]) -> Response {
+    let generation = match parse_generation(body) {
+        Ok(g) => g,
+        Err(e) => return Response::error(400, &format!("poll body: {e}")),
+    };
+    match state.fleet.poll(worker, generation) {
+        Ok(None) => Response::json(200, "{\"assignment\":null}".to_string()),
+        Ok(Some(lease)) => Response::json(
+            200,
+            format!(
+                "{{\"assignment\":{},\"job\":{},\"plan\":\"{}\",\"context\":{}}}",
+                lease.assignment,
+                lease.job,
+                escape(&lease.plan),
+                match &lease.context {
+                    Some(ctx) => format!("\"{}\"", escape(ctx)),
+                    None => "null".to_string(),
+                },
+            ),
+        ),
+        Err(e) => fleet_refusal(&e),
+    }
+}
+
+/// `POST /v1/workers/:id/result`: a JSONL body — header line
+/// `{"kind":"worker_result","assignment":n,"generation":n[,"error":...]}`,
+/// then the worker's `NFI-SPAN ` trace lines, then the shard document.
+/// Answers `{"status":"accepted"}` or, for a late duplicate after a
+/// requeue, `{"status":"duplicate"}` (the first result's bytes win).
+fn worker_result(state: &ServerState, worker: u64, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not valid UTF-8");
+    };
+    let mut lines = text.lines();
+    let header = match lines.next().map(parse_flat_object) {
+        Some(Ok(fields)) => fields,
+        Some(Err(e)) => return Response::error(400, &format!("worker_result header: {e}")),
+        None => return Response::error(400, "empty worker_result body"),
+    };
+    let parsed = (|| {
+        let assignment = get_u64(&header, "assignment")?;
+        let generation = get_u64(&header, "generation")?;
+        let error = get_opt_str(&header, "error")?;
+        Ok::<_, String>((assignment, generation, error))
+    })();
+    let (assignment, generation, error) = match parsed {
+        Ok(parts) => parts,
+        Err(e) => return Response::error(400, &format!("worker_result header: {e}")),
+    };
+    let outcome = match error {
+        Some(message) => Err(message),
+        None => {
+            let mut spans = Vec::new();
+            let mut doc = String::new();
+            for line in lines {
+                if line.starts_with(SPAN_LINE_PREFIX) {
+                    spans.push(line.to_string());
+                } else {
+                    doc.push_str(line);
+                    doc.push('\n');
+                }
+            }
+            Ok((doc, spans))
+        }
+    };
+    match state
+        .fleet
+        .complete(worker, generation, assignment, outcome)
+    {
+        Ok(Completion::Accepted) => Response::json(200, "{\"status\":\"accepted\"}".to_string()),
+        Ok(Completion::Duplicate) => Response::json(200, "{\"status\":\"duplicate\"}".to_string()),
+        Err(e) => fleet_refusal(&e),
+    }
 }

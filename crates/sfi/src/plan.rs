@@ -310,8 +310,16 @@ impl CampaignSpec {
     /// executor accepts it, and the surviving units keep their global
     /// indices, so their outcome lines merge back into the full run
     /// untouched. This is how an orchestrator hands an arbitrary
-    /// store-miss set to `nfi campaign exec --shard i/n` child
-    /// processes: encode the subset once, stride it `i/n` ways.
+    /// store-miss set to another executor: the serve daemon's process
+    /// pool encodes the subset once and strides it over `nfi campaign
+    /// exec --shard i/n` children, and its worker fleet encodes one
+    /// subset per hash chunk and ships each to a remote `nfi worker`
+    /// as a self-contained assignment (the subset carries the source,
+    /// so the worker needs no shared filesystem). Because indices are
+    /// global and units carry their own seeds, a subset's outcome
+    /// lines are byte-for-byte the lines a full local run would have
+    /// produced for those units — the foundation of the
+    /// byte-identical-merge guarantee across all dispatch tiers.
     pub fn subset(&self, indices: &[usize]) -> CampaignSpec {
         let wanted: std::collections::HashSet<usize> = indices.iter().copied().collect();
         CampaignSpec {

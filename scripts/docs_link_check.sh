@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link in README.md and
+# docs/*.md must resolve to a file or directory in the repo. External
+# links (http/https/mailto) and pure #anchors are skipped — the check
+# is for the cross-reference web between the README and the docs/
+# guides, which refactors silently break.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline links: [text](target). Reference-style links are not used.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "FAIL: $doc links to missing $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+for doc in docs/*.md; do
+  [ -f "$doc" ] || continue
+  grep -q "$(basename "$doc")" README.md \
+    || { echo "FAIL: README.md never links to $doc" >&2; fail=1; }
+done
+
+[ "$fail" = 0 ] && echo "docs link check: all relative links resolve"
+exit "$fail"

@@ -8,6 +8,7 @@
 //! nfi session --program <name> --describe "<fault>" [--profile retry|crash] [--rounds N]
 //! nfi dataset [--cap N] [--seed N] [--incidents] [--out PATH]
 //! nfi serve --state-dir <dir> [--addr IP:PORT] [--lanes N]   fault injection as a service
+//! nfi worker --addr IP:PORT [--token-file PATH]   remote execution node for a daemon
 //! nfi store gc --state-dir <dir> [--dry-run]      prune dead store segments
 //! nfi experiments [e1|e2|...|e8|all] [--quick] [--threads N]
 //! nfi bench [--plans N] [--threads N] [--quick] [--out PATH]
@@ -47,7 +48,11 @@ USAGE:
             [--max-connections N] [--max-queue N] [--tenant-max-queued N]
             [--tenant-max-programs N] [--deadline-ms N] [--request-timeout-ms N]
             [--child-timeout-ms N] [--worker-retries N]
+            [--heartbeat-timeout-ms N] [--assignment-requeues N]
+            [--assignment-timeout-ms N]
             [--log-level off|error|warn|info|debug|trace]
+  nfi worker --addr IP:PORT [--token <tok> | --token-file PATH] [--name <name>]
+             [--threads N] [--poll-ms N]
   nfi store gc --state-dir <dir> [--dry-run]
                (--corpus | --program <name> | --file <path> | <file>...)
   nfi store inspect --state-dir <dir> [--program <name>] [--json]
@@ -127,6 +132,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explore" => cmd_explore(&flags),
         "campaign" => cmd_campaign(&positional, &flags),
         "serve" => cmd_serve(&flags),
+        "worker" => cmd_worker(&flags),
         "store" => cmd_store(&positional, &flags),
         "experiments" => cmd_experiments(&positional, &flags),
         "bench" => cmd_bench(&flags),
@@ -797,6 +803,20 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
                 .map_err(|_| format!("--worker-retries expects an unsigned integer, got `{v}`"))?,
             None => defaults.worker_retries,
         },
+        heartbeat_timeout: match parse_limit(flags, "heartbeat-timeout-ms")? {
+            0 => defaults.heartbeat_timeout,
+            ms => Duration::from_millis(ms),
+        },
+        assignment_requeues: match flags.get("assignment-requeues") {
+            Some(v) => v.parse().map_err(|_| {
+                format!("--assignment-requeues expects an unsigned integer, got `{v}`")
+            })?,
+            None => defaults.assignment_requeues,
+        },
+        assignment_timeout: match parse_limit(flags, "assignment-timeout-ms")? {
+            0 => defaults.assignment_timeout,
+            ms => Some(Duration::from_millis(ms)),
+        },
         ..defaults
     };
     let hardening = {
@@ -831,7 +851,276 @@ fn cmd_serve(flags: &HashMap<&str, &str>) -> Result<(), String> {
     println!(
         "  POST /v1/campaigns | GET /v1/campaigns/:id[/document|/trace] | GET /v1/metrics | GET /metrics"
     );
+    println!("  POST /v1/workers[/:id/heartbeat|/:id/poll|/:id/result]  (nfi worker fleet)");
     server.run()
+}
+
+/// Resolves the worker's bearer token: `--token` verbatim, or the
+/// first token line of `--token-file` (both a bare token and a
+/// daemon-style `tenant:token` line are accepted, so ops can point the
+/// worker at the same file the daemon loads).
+fn worker_token(flags: &HashMap<&str, &str>) -> Result<Option<String>, String> {
+    match (flags.get("token"), flags.get("token-file")) {
+        (Some(_), Some(_)) => Err("give --token or --token-file, not both".to_string()),
+        (Some(t), None) => Ok(Some((*t).to_string())),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read token file {path}: {e}"))?;
+            let line = text
+                .lines()
+                .map(str::trim)
+                .find(|l| !l.is_empty() && !l.starts_with('#'))
+                .ok_or_else(|| format!("token file {path} has no token line"))?;
+            let token = line.split_once(':').map(|(_, t)| t.trim()).unwrap_or(line);
+            if token.is_empty() {
+                return Err(format!("token file {path}: empty token"));
+            }
+            Ok(Some(token.to_string()))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
+/// Renders the body of one `POST /v1/workers/:id/result`: the header
+/// line, then (for a success) the worker's re-anchored `NFI-SPAN`
+/// trace lines and the shard document. Plan-decode and execution
+/// failures travel in the header's `error` field so the scheduler can
+/// requeue the assignment instead of waiting out the lease.
+fn execute_assignment(
+    assignment: u64,
+    generation: u64,
+    plan: &str,
+    context: Option<&str>,
+    config: nfi_core::exec::ExecConfig,
+) -> String {
+    use neural_fault_injection::core::service;
+    use neural_fault_injection::sfi::CampaignSpec;
+    let outcome = CampaignSpec::decode(plan)
+        .map_err(|e| format!("assignment plan: {e}"))
+        .and_then(|spec| {
+            // The scheduler handed us the job's trace context in the
+            // lease; record our spans under it (parent 0 — the
+            // scheduler re-anchors the roots under its own assignment
+            // span at import) and echo them back in the result body.
+            let trace = context
+                .and_then(nfi_telemetry::trace::parse_context_env)
+                .map(|(id, _parent)| nfi_telemetry::Trace::new(id));
+            let ctx = trace
+                .as_ref()
+                .map(|t| nfi_telemetry::trace::push_context(std::sync::Arc::clone(t), 0));
+            let run = {
+                let _span = nfi_telemetry::Span::enter("worker_exec");
+                service::exec_spec(&spec, &MachineConfig::default(), config)
+            };
+            drop(ctx);
+            run.map(|run| {
+                let mut tail = String::new();
+                if let Some(t) = &trace {
+                    let mut lines = Vec::new();
+                    let _ = t.emit_spans(&mut lines);
+                    tail.push_str(&String::from_utf8_lossy(&lines));
+                }
+                tail.push_str(&run.encode());
+                tail
+            })
+        });
+    match outcome {
+        Ok(tail) => format!(
+            "{{\"kind\":\"worker_result\",\"assignment\":{assignment},\"generation\":{generation}}}\n{tail}"
+        ),
+        Err(e) => format!(
+            "{{\"kind\":\"worker_result\",\"assignment\":{assignment},\"generation\":{generation},\"error\":\"{}\"}}\n",
+            nfi_sfi::jsontext::escape(&e)
+        ),
+    }
+}
+
+/// `nfi worker`: a remote execution node for a serving daemon. The
+/// worker registers with the scheduler at `--addr` (proving its
+/// machine fingerprint matches — the precondition for byte-identical
+/// shard documents), heartbeats in the background, and pulls
+/// miss-subset assignments: decode the plan, execute it with the local
+/// engine, stream the shard document back. Work-stealing falls out of
+/// the pull loop — a fast worker simply polls more often. The loop
+/// survives daemon restarts by re-registering whenever the daemon
+/// stops recognizing it.
+fn cmd_worker(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use nfi_serve::client::request_with_retry;
+    use nfi_sfi::jsontext::{
+        escape, get_opt_str, get_opt_u64, get_str, get_u64, parse_flat_object,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let addr = parse_addr(flags)?;
+    let token = worker_token(flags)?;
+    let default_name = format!("worker-{}", std::process::id());
+    let name = flags.get("name").copied().unwrap_or(&default_name);
+    if name.is_empty()
+        || name == "true"
+        || name.chars().any(|c| c.is_whitespace() || c.is_control())
+    {
+        return Err(format!("--name `{name}` must be a single plain word"));
+    }
+    let config = exec_config(flags)?;
+    let poll = Duration::from_millis(match flags.get("poll-ms") {
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|&p| p > 0)
+            .ok_or_else(|| format!("--poll-ms expects a positive integer, got `{v}`"))?,
+        None => 200,
+    });
+    let fingerprint = MachineConfig::default().fingerprint();
+    let post = |path: &str, body: &str| -> Result<(u16, String), String> {
+        let reply = request_with_retry(
+            addr,
+            token.as_deref(),
+            "POST",
+            path,
+            Some(body.as_bytes()),
+            3,
+        )?;
+        Ok((reply.status, reply.text()))
+    };
+
+    println!(
+        "nfi worker: {name} -> http://{addr} ({} thread(s), fingerprint {fingerprint:016x})",
+        config.threads
+    );
+    let mut unreachable_logged = false;
+    loop {
+        // Register (and re-register after every staleness signal: a
+        // restarted daemon answers 404, a name takeover answers 409 on
+        // the old generation — both resolve to a fresh registration).
+        let body = format!(
+            "{{\"kind\":\"worker_register\",\"name\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\"}}",
+            escape(name)
+        );
+        let (status, text) = match post("/v1/workers", &body) {
+            Ok(reply) => reply,
+            Err(e) => {
+                if !unreachable_logged {
+                    eprintln!("nfi worker: daemon unreachable ({e}); retrying");
+                    unreachable_logged = true;
+                }
+                std::thread::sleep(Duration::from_secs(2));
+                continue;
+            }
+        };
+        if status != 200 {
+            // 409 = fingerprint mismatch, 401/404 = bad or missing
+            // token: configuration errors a retry loop cannot fix.
+            return Err(format!("registration refused ({status}): {}", text.trim()));
+        }
+        unreachable_logged = false;
+        let parsed = parse_flat_object(text.trim()).and_then(|fields| {
+            Ok((
+                get_u64(&fields, "worker")?,
+                get_u64(&fields, "generation")?,
+                get_u64(&fields, "heartbeat_ms")?,
+            ))
+        });
+        let (worker, generation, heartbeat_ms) =
+            parsed.map_err(|e| format!("registration reply: {e}"))?;
+        let heartbeat = Duration::from_millis(heartbeat_ms.max(10));
+        println!(
+            "nfi worker: registered as worker {worker} (generation {generation}, \
+             heartbeat every {heartbeat_ms}ms)"
+        );
+
+        // One registration epoch: a heartbeat thread keeps the lease
+        // registry warm while the main thread polls and executes. The
+        // epoch ends when the daemon stops recognizing this
+        // (worker, generation) — then both loops wind down and the
+        // outer loop registers afresh.
+        let stale = AtomicBool::new(false);
+        let done = AtomicBool::new(false);
+        let gen_body = format!("{{\"generation\":{generation}}}");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(heartbeat);
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match post(&format!("/v1/workers/{worker}/heartbeat"), &gen_body) {
+                        Ok((200, _)) => {}
+                        Ok(_) => {
+                            stale.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        // Transient transport failure: keep beating;
+                        // the poll loop owns the unreachable verdict.
+                        Err(_) => {}
+                    }
+                }
+            });
+            while !stale.load(Ordering::Relaxed) {
+                let (status, text) = match post(&format!("/v1/workers/{worker}/poll"), &gen_body) {
+                    Ok(reply) => reply,
+                    Err(_) => {
+                        std::thread::sleep(poll);
+                        continue;
+                    }
+                };
+                if status != 200 {
+                    stale.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let lease = parse_flat_object(text.trim()).and_then(|fields| {
+                    Ok(match get_opt_u64(&fields, "assignment")? {
+                        None => None,
+                        Some(assignment) => Some((
+                            assignment,
+                            get_str(&fields, "plan")?,
+                            get_opt_str(&fields, "context")?,
+                        )),
+                    })
+                });
+                match lease {
+                    Ok(None) => std::thread::sleep(poll),
+                    Ok(Some((assignment, plan, context))) => {
+                        let result = execute_assignment(
+                            assignment,
+                            generation,
+                            &plan,
+                            context.as_deref(),
+                            config,
+                        );
+                        match post(&format!("/v1/workers/{worker}/result"), &result) {
+                            Ok((200, reply)) => println!(
+                                "nfi worker: assignment {assignment} {}",
+                                if reply.contains("duplicate") {
+                                    "already covered (requeued elsewhere)"
+                                } else {
+                                    "done"
+                                }
+                            ),
+                            Ok((status, reply)) => {
+                                eprintln!(
+                                    "nfi worker: result for assignment {assignment} \
+                                     refused ({status}): {}",
+                                    reply.trim()
+                                );
+                                stale.store(true, Ordering::Relaxed);
+                            }
+                            Err(e) => eprintln!(
+                                "nfi worker: cannot deliver assignment {assignment}: {e} \
+                                 (the scheduler will requeue it)"
+                            ),
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("nfi worker: poll reply: {e}");
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        eprintln!("nfi worker: registration went stale; re-registering");
+    }
 }
 
 /// `nfi store`: state-dir maintenance. `gc` prunes segments whose
